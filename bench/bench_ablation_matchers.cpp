@@ -1,0 +1,140 @@
+// Ablation bench for matcher design choices DESIGN.md calls out:
+// (a) Similarity Flooding fixpoint formulae (basic/A/B/C — the paper
+//     fixes C), (b) Cupid's structural weight (the paper caps w_struct
+//     at 0.6 because relations are flat), and (c) the distribution-based
+//     matcher's exact vs greedy cluster-selection solver.
+
+#include "bench_common.h"
+#include "datasets/wikidata.h"
+#include "matchers/cupid.h"
+#include "matchers/distribution_based.h"
+#include "matchers/embdi.h"
+#include "matchers/similarity_flooding.h"
+#include "metrics/metrics.h"
+
+using namespace valentine;
+using namespace valentine::bench;
+
+namespace {
+double RunOn(const ColumnMatcher& m, const DatasetPair& p) {
+  MatchResult r = m.Match(p.source, p.target);
+  return RecallAtGroundTruth(r, p.ground_truth);
+}
+}  // namespace
+
+int main() {
+  // One noisy-schema unionable pair per source.
+  std::vector<DatasetPair> pairs;
+  for (const Source& src : MakeFabricationSources()) {
+    FabricationOptions fab;
+    fab.scenario = Scenario::kUnionable;
+    fab.row_overlap = 0.5;
+    fab.noisy_schema = true;
+    fab.seed = 42;
+    auto p = FabricateDatasetPair(src.table, fab);
+    if (p.ok()) pairs.push_back(std::move(p).ValueOrDie());
+  }
+
+  std::printf("== Ablation: Similarity Flooding fixpoint formulae ==\n\n");
+  {
+    std::vector<std::string> header = {"formula"};
+    for (const auto& p : pairs) header.push_back(p.source.name());
+    std::vector<std::vector<std::string>> rows;
+    const std::pair<const char*, SfFormula> formulas[] = {
+        {"basic", SfFormula::kBasic},
+        {"A", SfFormula::kA},
+        {"B", SfFormula::kB},
+        {"C (paper)", SfFormula::kC},
+    };
+    for (const auto& [name, formula] : formulas) {
+      SimilarityFloodingOptions o;
+      o.formula = formula;
+      SimilarityFloodingMatcher m(o);
+      std::vector<std::string> row = {name};
+      for (const auto& p : pairs) row.push_back(FormatDouble(RunOn(m, p), 2));
+      rows.push_back(std::move(row));
+    }
+    PrintTable(header, rows);
+  }
+
+  std::printf("\n== Ablation: Cupid structural weight ==\n\n");
+  {
+    std::vector<std::string> header = {"w_struct"};
+    for (const auto& p : pairs) header.push_back(p.source.name());
+    std::vector<std::vector<std::string>> rows;
+    for (double w : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      CupidOptions o;
+      o.leaf_w_struct = w;
+      o.w_struct = w;
+      CupidMatcher m(o);
+      std::vector<std::string> row = {FormatDouble(w, 1)};
+      for (const auto& p : pairs) row.push_back(FormatDouble(RunOn(m, p), 2));
+      rows.push_back(std::move(row));
+    }
+    PrintTable(header, rows);
+    std::printf("expected: recall degrades at high w_struct — flat "
+                "relational schemata carry no structure, which is why the "
+                "paper capped w_struct at 0.6\n");
+  }
+
+  std::printf("\n== Ablation: distribution-based cluster solver ==\n\n");
+  {
+    std::vector<std::string> header = {"solver"};
+    for (const auto& p : pairs) header.push_back(p.source.name());
+    std::vector<std::vector<std::string>> rows;
+    for (size_t exact_limit : {size_t{0}, size_t{10}}) {
+      DistributionBasedOptions o;
+      o.exact_solver_limit = exact_limit;
+      DistributionBasedMatcher m(o);
+      std::vector<std::string> row = {exact_limit == 0 ? "greedy-only"
+                                                       : "exact<=10+greedy"};
+      for (const auto& p : pairs) row.push_back(FormatDouble(RunOn(m, p), 2));
+      rows.push_back(std::move(row));
+    }
+    PrintTable(header, rows);
+    std::printf("expected: near-identical results — the greedy fallback is "
+                "an adequate ILP substitute at this scale\n");
+  }
+
+  std::printf("\n== Ablation: EmbDI training algorithm ==\n\n");
+  {
+    // Joinable pairs (value overlap present) — EmbDI's favourable
+    // regime; Table II pins the trainer to word2vec, PPMI is the
+    // count-based alternative.
+    std::vector<DatasetPair> join_pairs;
+    for (const Source& src : MakeFabricationSources(200)) {
+      FabricationOptions fab;
+      fab.scenario = Scenario::kJoinable;
+      fab.column_overlap = 0.5;
+      fab.seed = 43;
+      auto p = FabricateDatasetPair(src.table, fab);
+      if (p.ok()) join_pairs.push_back(std::move(p).ValueOrDie());
+    }
+    std::vector<std::string> header = {"trainer"};
+    for (const auto& p : join_pairs) header.push_back(p.source.name());
+    std::vector<std::vector<std::string>> rows;
+    const std::pair<const char*, EmbdiTraining> trainers[] = {
+        {"word2vec (paper)", EmbdiTraining::kWord2Vec},
+        {"PPMI projection", EmbdiTraining::kPpmi},
+    };
+    for (const auto& [name, training] : trainers) {
+      EmbdiOptions o;
+      o.training = training;
+      o.max_rows = 80;
+      o.walks_per_node = 2;
+      o.sentence_length = 20;
+      o.dimensions = 32;
+      o.epochs = 2;
+      EmbdiMatcher m(o);
+      std::vector<std::string> row = {name};
+      for (const auto& p : join_pairs) {
+        row.push_back(FormatDouble(RunOn(m, p), 2));
+      }
+      rows.push_back(std::move(row));
+    }
+    PrintTable(header, rows);
+    std::printf("expected: both trainers exploit shared value nodes; "
+                "word2vec is the paper's configuration\n");
+  }
+  return 0;
+}

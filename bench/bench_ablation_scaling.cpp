@@ -1,0 +1,142 @@
+// Ablation bench for the extension modules the paper's §IX motivates:
+// (a) exact vs sketch-based value-overlap matching (accuracy/runtime
+//     trade-off of MinHash + Lazo + LSH pruning),
+// (b) value normalization on semantically-joinable pairs,
+// (c) the human-in-the-loop feedback loop (recall vs labeled pairs).
+
+#include <chrono>
+#include <memory>
+
+#include "bench_common.h"
+#include "datasets/wikidata.h"
+#include "harness/feedback.h"
+#include "matchers/coma.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "metrics/metrics.h"
+#include "scaling/approximate_matcher.h"
+#include "text/normalizer.h"
+
+using namespace valentine;
+using namespace valentine::bench;
+
+namespace {
+struct Timed {
+  double recall;
+  double ms;
+};
+
+Timed RunTimed(const ColumnMatcher& m, const DatasetPair& p) {
+  auto start = std::chrono::steady_clock::now();
+  MatchResult r = m.Match(p.source, p.target);
+  auto end = std::chrono::steady_clock::now();
+  return {RecallAtGroundTruth(r, p.ground_truth),
+          std::chrono::duration<double, std::milli>(end - start).count()};
+}
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: exact vs approximate value-overlap matching ==\n\n");
+  {
+    // A larger *noisy* pair: with perturbed instances, the exact
+    // baseline falls into its quadratic fuzzy stage — the regime the
+    // paper's §IX says needs approximation.
+    Table big = MakeTpcdiProspect(1500, 2026);
+    FabricationOptions fab;
+    fab.scenario = Scenario::kSemanticallyJoinable;
+    fab.column_overlap = 0.5;
+    fab.seed = 21;
+    DatasetPair pair = FabricateDatasetPair(big, fab).ValueOrDie();
+
+    JaccardLevenshteinOptions exact_opt;
+    exact_opt.threshold = 0.4;
+    exact_opt.max_distinct_values = 600;
+    JaccardLevenshteinMatcher exact(exact_opt);
+
+    ApproximateOverlapOptions sketch_opt;
+    sketch_opt.estimate_all_pairs = true;
+    ApproximateOverlapMatcher sketch_all(sketch_opt);
+
+    // LSH pruning tuned to the noisy regime: more bands with fewer rows
+    // shift the S-curve left so moderate-Jaccard pairs still collide.
+    ApproximateOverlapOptions lsh_opt;
+    lsh_opt.lsh.bands = 64;
+    lsh_opt.lsh.rows_per_band = 2;
+    ApproximateOverlapMatcher sketch_lsh(lsh_opt);
+
+    Timed t_exact = RunTimed(exact, pair);
+    Timed t_sketch = RunTimed(sketch_all, pair);
+    Timed t_lsh = RunTimed(sketch_lsh, pair);
+
+    PrintTable({"variant", "Recall@|GT|", "runtime (ms)"},
+               {{"exact fuzzy Jaccard", FormatDouble(t_exact.recall, 2),
+                 FormatDouble(t_exact.ms, 1)},
+                {"MinHash+Lazo, all pairs", FormatDouble(t_sketch.recall, 2),
+                 FormatDouble(t_sketch.ms, 1)},
+                {"MinHash+Lazo, LSH-pruned", FormatDouble(t_lsh.recall, 2),
+                 FormatDouble(t_lsh.ms, 1)}});
+    std::printf("expected: sketches preserve recall at a fraction of the "
+                "exact fuzzy runtime; LSH banding must be tuned to the "
+                "expected overlap regime\n\n");
+  }
+
+  std::printf("== Ablation: value normalization on semantic joins ==\n\n");
+  {
+    auto pairs = MakeWikidataPairs(300, 7);
+    std::vector<std::string> header = {"pair", "plain JL", "normalized JL"};
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& p : pairs) {
+      JaccardLevenshteinOptions o;
+      o.threshold = 0.0;
+      o.max_distinct_values = 150;
+      JaccardLevenshteinMatcher plain(o);
+      NormalizeOptions norm;
+      norm.sort_tokens = true;  // unify "Last, First" with "First Last"
+      NormalizingMatcher normalized(
+          std::make_unique<JaccardLevenshteinMatcher>(o), norm);
+      rows.push_back({ScenarioName(p.scenario),
+                      FormatDouble(RunTimed(plain, p).recall, 2),
+                      FormatDouble(RunTimed(normalized, p).recall, 2)});
+    }
+    PrintTable(header, rows);
+    std::printf("expected: normalization recovers the re-encoded columns of "
+                "the unionable pair; the residual semantic-join gaps "
+                "(acronyms, added name tokens) resist normalization — the "
+                "paper's point that semantic instance similarity is a hard "
+                "open problem\n\n");
+  }
+
+  std::printf("== Ablation: human-in-the-loop feedback rounds ==\n\n");
+  {
+    Table original = MakeTpcdiProspect(kSourceRows, 2026);
+    FabricationOptions fab;
+    fab.scenario = Scenario::kUnionable;
+    fab.noisy_schema = true;
+    fab.seed = 23;
+    DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+    ComaOptions copt;
+    copt.selection = ComaSelection::kAll;
+    ComaMatcher matcher(copt);
+    MatchResult base = matcher.Match(pair.source, pair.target);
+
+    std::vector<std::string> header = {"labeled pairs", "Recall@|GT|"};
+    std::vector<std::vector<std::string>> rows;
+    FeedbackSession session;
+    rows.push_back({"0", FormatDouble(
+                             RecallAtGroundTruth(base, pair.ground_truth),
+                             2)});
+    size_t total_labeled = 0;
+    for (int round = 0; round < 6; ++round) {
+      total_labeled +=
+          SimulateReviewRound(session.Apply(base), pair.ground_truth, 4,
+                              &session);
+      rows.push_back({std::to_string(total_labeled),
+                      FormatDouble(RecallAtGroundTruth(session.Apply(base),
+                                                       pair.ground_truth),
+                                   2)});
+    }
+    PrintTable(header, rows);
+    std::printf("expected: recall climbs monotonically as the (simulated) "
+                "user labels ranked candidates\n");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#ifndef VALENTINE_BENCH_BENCH_COMMON_H_
+#define VALENTINE_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment-reproduction benches: scaled-down
+// dataset sources (shapes preserved, absolute sizes reduced for
+// single-machine runtimes — see EXPERIMENTS.md) and suite construction.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/chembl.h"
+#include "datasets/opendata.h"
+#include "datasets/tpcdi.h"
+#include "fabrication/fabricator.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace valentine {
+namespace bench {
+
+// Rows per generated source table. The paper used 7.5k-23k rows on two
+// 80-core machines; the shapes reproduced here are row-count-insensitive.
+inline constexpr size_t kSourceRows = 400;
+
+struct Source {
+  std::string name;
+  Table table;
+};
+
+inline std::vector<Source> MakeFabricationSources(
+    size_t rows = kSourceRows) {
+  std::vector<Source> sources;
+  sources.push_back({"TPC-DI", MakeTpcdiProspect(rows, 2026)});
+  sources.push_back({"OpenData", MakeOpenDataTable(rows, 4711)});
+  sources.push_back({"ChEMBL", MakeChemblAssays(rows, 99)});
+  return sources;
+}
+
+// Builds the combined fabricated suite over all three sources.
+inline std::vector<DatasetPair> MakeCombinedSuite(
+    const PairSuiteOptions& options, size_t rows = kSourceRows) {
+  std::vector<DatasetPair> suite;
+  uint64_t seed = options.seed;
+  for (const Source& src : MakeFabricationSources(rows)) {
+    PairSuiteOptions per_source = options;
+    per_source.seed = seed;
+    seed += 1000;
+    auto pairs = BuildFabricatedSuite(src.table, per_source);
+    for (auto& p : pairs) suite.push_back(std::move(p));
+  }
+  return suite;
+}
+
+// Keeps only pairs whose id marks a noisy / verbatim schema.
+inline std::vector<DatasetPair> FilterBySchemaNoise(
+    std::vector<DatasetPair> suite, bool noisy) {
+  std::vector<DatasetPair> out;
+  const char* tag = noisy ? "_noisySchema" : "_verbatimSchema";
+  for (auto& p : suite) {
+    if (p.id.find(tag) != std::string::npos) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+inline std::vector<DatasetPair> FilterByInstanceNoise(
+    std::vector<DatasetPair> suite, bool noisy) {
+  std::vector<DatasetPair> out;
+  const char* tag = noisy ? "_noisyInst" : "_verbatimInst";
+  for (auto& p : suite) {
+    if (p.id.find(tag) != std::string::npos) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+inline void RunAndPrintFamily(const MethodFamily& family,
+                              const std::vector<DatasetPair>& suite) {
+  auto outcomes = RunFamilyOnSuite(family, suite);
+  PrintScenarioStats(family.name, AggregateByScenario(outcomes));
+  std::printf("  avg runtime per run: %.1f ms (%zu pairs x %zu configs)\n\n",
+              AverageRuntimeMsPerRun(outcomes), suite.size(),
+              family.grid.size());
+}
+
+}  // namespace bench
+}  // namespace valentine
+
+#endif  // VALENTINE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 6: effectiveness of the hybrid methods. EmbDI
+// runs over the full fabricated suite (all three sources); SemProp runs
+// only over the ChEMBL-derived suite, because it needs a compatible
+// domain ontology — exactly the situation in the paper (§VII-A3).
+// "Noisy Instances/Schemata" here means noise in schemata, instances, or
+// both, as in the figure.
+
+#include "bench_common.h"
+#include "matchers/embdi.h"
+
+using namespace valentine;
+using namespace valentine::bench;
+
+namespace {
+// EmbDI with bench-scaled graph/training sizes (shape-preserving; see
+// EXPERIMENTS.md).
+MethodFamily FastEmbdiFamily() {
+  EmbdiOptions o;
+  o.max_rows = 80;
+  o.walks_per_node = 2;
+  o.sentence_length = 20;
+  o.dimensions = 32;
+  o.epochs = 2;
+  MethodFamily family{"EmbDI", {}};
+  family.grid.push_back({"word2vec len=20 win=3 dim=32 (scaled)",
+                         std::make_shared<EmbdiMatcher>(o)});
+  return family;
+}
+
+std::vector<DatasetPair> OnlyNoisy(std::vector<DatasetPair> suite) {
+  std::vector<DatasetPair> out;
+  for (auto& p : suite) {
+    bool noisy_schema = p.id.find("_noisySchema") != std::string::npos;
+    bool noisy_inst = p.id.find("_noisyInst") != std::string::npos;
+    if (noisy_schema || noisy_inst) out.push_back(std::move(p));
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  PairSuiteOptions opt;
+  opt.seed = 3;
+
+  std::printf("== Fig. 6: hybrid methods, noisy instances/schemata ==\n");
+  std::printf("paper shape: EmbDI inconsistent, acceptable only on "
+              "joinable; SemProp worst of all methods\n\n");
+
+  auto noisy_all = OnlyNoisy(MakeCombinedSuite(opt));
+  RunAndPrintFamily(FastEmbdiFamily(), noisy_all);
+
+  // SemProp: ChEMBL only, with its ontology.
+  Ontology efo = MakeEfoLikeOntology();
+  PairSuiteOptions chembl_opt;
+  chembl_opt.seed = 3;
+  auto chembl_suite = OnlyNoisy(
+      BuildFabricatedSuite(MakeChemblAssays(kSourceRows, 99), chembl_opt));
+  std::printf("(SemProp on ChEMBL-derived pairs only)\n");
+  RunAndPrintFamily(SemPropFamily(&efo), chembl_suite);
+  return 0;
+}

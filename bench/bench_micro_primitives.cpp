@@ -1,0 +1,178 @@
+// Google-benchmark microbenchmarks of the computational primitives the
+// matchers are built on: string similarities, EMD, MinHash, histogram
+// construction, word2vec steps, and whole-matcher invocations on a
+// fixed small pair. Useful for tracking regressions in the kernels that
+// dominate Table IV's runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/tpcdi.h"
+#include "fabrication/fabricator.h"
+#include "knowledge/hash_embedding.h"
+#include "knowledge/word2vec.h"
+#include "matchers/coma.h"
+#include "matchers/cupid.h"
+#include "matchers/distribution_based.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "matchers/similarity_flooding.h"
+#include "stats/emd.h"
+#include "stats/histogram.h"
+#include "stats/minhash.h"
+#include "text/string_similarity.h"
+
+namespace valentine {
+namespace {
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "application_identifier";
+  std::string b = "applciation_identifeir";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = "customer_address";
+  std::string b = "client_residence";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_TrigramSimilarity(benchmark::State& state) {
+  std::string a = "permit_application_date";
+  std::string b = "application_issue_date";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrigramSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_TrigramSimilarity);
+
+void BM_QuantileHistogram(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> data(static_cast<size_t>(state.range(0)));
+  for (auto& d : data) d = rng.Gaussian(100, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuantileHistogram::Build(data, 32));
+  }
+}
+BENCHMARK(BM_QuantileHistogram)->Arg(1000)->Arg(10000);
+
+void BM_Emd(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> a(5000), b(5000);
+  for (auto& d : a) d = rng.Gaussian(100, 15);
+  for (auto& d : b) d = rng.Gaussian(110, 20);
+  auto ha = QuantileHistogram::Build(a, 32);
+  auto hb = QuantileHistogram::Build(b, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdBetweenHistograms(ha, hb));
+  }
+}
+BENCHMARK(BM_Emd);
+
+void BM_MinHashBuild(benchmark::State& state) {
+  std::unordered_set<std::string> set;
+  for (int i = 0; i < 1000; ++i) set.insert("value_" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinHashSignature::Build(set, 64));
+  }
+}
+BENCHMARK(BM_MinHashBuild);
+
+void BM_HashEmbedWord(benchmark::State& state) {
+  HashEmbedder embedder(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.EmbedWord("acetylcholinesterase"));
+  }
+}
+BENCHMARK(BM_HashEmbedWord);
+
+void BM_Word2VecTrain(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<std::string>> sentences;
+  for (int s = 0; s < 200; ++s) {
+    std::vector<std::string> sentence;
+    for (int w = 0; w < 20; ++w) {
+      sentence.push_back("tok" + std::to_string(rng.Index(300)));
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  for (auto _ : state) {
+    Word2VecOptions o;
+    o.dimensions = 32;
+    o.epochs = 1;
+    Word2Vec model(o);
+    model.Train(sentences);
+    benchmark::DoNotOptimize(model.vocab_size());
+  }
+}
+BENCHMARK(BM_Word2VecTrain);
+
+// Whole-matcher invocations on one fixed fabricated pair.
+const DatasetPair& FixedPair() {
+  static const DatasetPair* kPair = [] {
+    Table t = MakeTpcdiProspect(200, 2026);
+    FabricationOptions fab;
+    fab.scenario = Scenario::kUnionable;
+    fab.row_overlap = 0.5;
+    fab.noisy_schema = true;
+    fab.seed = 9;
+    return new DatasetPair(FabricateDatasetPair(t, fab).ValueOrDie());
+  }();
+  return *kPair;
+}
+
+void BM_MatcherCupid(benchmark::State& state) {
+  const DatasetPair& p = FixedPair();
+  for (auto _ : state) {
+    CupidMatcher m;  // fresh instance: include cache-cold cost
+    benchmark::DoNotOptimize(m.Match(p.source, p.target));
+  }
+}
+BENCHMARK(BM_MatcherCupid);
+
+void BM_MatcherSimilarityFlooding(benchmark::State& state) {
+  const DatasetPair& p = FixedPair();
+  SimilarityFloodingMatcher m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Match(p.source, p.target));
+  }
+}
+BENCHMARK(BM_MatcherSimilarityFlooding);
+
+void BM_MatcherComaSchema(benchmark::State& state) {
+  const DatasetPair& p = FixedPair();
+  ComaMatcher m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Match(p.source, p.target));
+  }
+}
+BENCHMARK(BM_MatcherComaSchema);
+
+void BM_MatcherDistribution(benchmark::State& state) {
+  const DatasetPair& p = FixedPair();
+  DistributionBasedMatcher m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Match(p.source, p.target));
+  }
+}
+BENCHMARK(BM_MatcherDistribution);
+
+void BM_MatcherJaccardLevenshtein(benchmark::State& state) {
+  const DatasetPair& p = FixedPair();
+  JaccardLevenshteinOptions o;
+  o.max_distinct_values = 150;
+  JaccardLevenshteinMatcher m(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Match(p.source, p.target));
+  }
+}
+BENCHMARK(BM_MatcherJaccardLevenshtein);
+
+}  // namespace
+}  // namespace valentine
+
+BENCHMARK_MAIN();

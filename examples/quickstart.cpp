@@ -1,0 +1,47 @@
+// Quickstart: load two small CSV tables, run a matcher, print the ranked
+// matches — the minimal end-to-end use of the public API.
+
+#include <cstdio>
+
+#include "io/csv.h"
+#include "matchers/coma.h"
+#include "matchers/jaccard_levenshtein.h"
+
+using namespace valentine;
+
+int main() {
+  const char* kClientsCsv =
+      "name,surname,city,income\n"
+      "John,Smith,Boston,52000\n"
+      "Mary,Jones,Denver,61000\n"
+      "Ann,Brown,Boston,48000\n"
+      "Bob,White,Seattle,75000\n";
+  const char* kCustomersCsv =
+      "first_name,last_name,location,salary\n"
+      "John,Smith,Boston,52000\n"
+      "Peter,Green,Austin,58000\n"
+      "Mary,Jones,Denver,61000\n";
+
+  Result<Table> clients = ReadCsvString(kClientsCsv, "clients");
+  Result<Table> customers = ReadCsvString(kCustomersCsv, "customers");
+  if (!clients.ok() || !customers.ok()) {
+    std::fprintf(stderr, "CSV parse failed\n");
+    return 1;
+  }
+
+  std::printf("Source: %s\nTarget: %s\n\n", clients->Describe().c_str(),
+              customers->Describe().c_str());
+
+  // A schema+synonym matcher...
+  ComaMatcher coma;
+  MatchResult ranked = coma.Match(*clients, *customers);
+  std::printf("COMA (schema strategy) ranking:\n%s\n",
+              ranked.ToString(8).c_str());
+
+  // ...and the instance-overlap baseline.
+  JaccardLevenshteinMatcher baseline;
+  MatchResult ranked2 = baseline.Match(*clients, *customers);
+  std::printf("Jaccard-Levenshtein baseline ranking:\n%s",
+              ranked2.ToString(8).c_str());
+  return 0;
+}

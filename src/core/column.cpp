@@ -1,0 +1,69 @@
+#include "core/column.h"
+
+namespace valentine {
+
+size_t Column::NullCount() const {
+  size_t n = 0;
+  for (const Value& v : values_) {
+    if (v.is_null()) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Column::NonNullStrings() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const Value& v : values_) {
+    if (!v.is_null()) out.push_back(v.AsString());
+  }
+  return out;
+}
+
+std::vector<std::string> Column::DistinctStrings() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Value& v : values_) {
+    if (v.is_null()) continue;
+    std::string s = v.AsString();
+    if (seen.insert(s).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::unordered_set<std::string> Column::DistinctStringSet() const {
+  std::unordered_set<std::string> out;
+  for (const Value& v : values_) {
+    if (!v.is_null()) out.insert(v.AsString());
+  }
+  return out;
+}
+
+std::vector<double> Column::NumericValues() const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (const Value& v : values_) {
+    if (auto d = v.TryFloat()) out.push_back(*d);
+  }
+  return out;
+}
+
+double Column::NumericFraction() const {
+  size_t non_null = 0;
+  size_t numeric = 0;
+  for (const Value& v : values_) {
+    if (v.is_null()) continue;
+    ++non_null;
+    if (v.TryFloat()) ++numeric;
+  }
+  if (non_null == 0) return 0.0;
+  return static_cast<double>(numeric) / static_cast<double>(non_null);
+}
+
+Column Column::TakeRows(const std::vector<size_t>& rows) const {
+  Column out(name_, type_);
+  out.Reserve(rows.size());
+  for (size_t r : rows) out.Append(values_[r]);
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,72 @@
+#ifndef VALENTINE_CORE_COLUMN_H_
+#define VALENTINE_CORE_COLUMN_H_
+
+/// \file column.h
+/// A named, typed vector of cells — the unit matchers compare.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/value.h"
+
+namespace valentine {
+
+/// \brief One column of a table: a name, a declared type, and cells.
+class Column {
+ public:
+  Column() = default;
+  Column(std::string name, DataType type)
+      : name_(std::move(name)), type_(type) {}
+  Column(std::string name, DataType type, std::vector<Value> values)
+      : name_(std::move(name)), type_(type), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Declared logical type. The declared type may be broader than the
+  /// actual cells (e.g. kDate over string-typed cells).
+  DataType type() const { return type_; }
+  void set_type(DataType type) { type_ = type; }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  /// Number of null cells.
+  size_t NullCount() const;
+
+  /// All cells rendered as strings (nulls excluded).
+  std::vector<std::string> NonNullStrings() const;
+
+  /// Distinct textual values (nulls excluded), in first-seen order.
+  std::vector<std::string> DistinctStrings() const;
+
+  /// Distinct textual values as a set, for overlap computations.
+  std::unordered_set<std::string> DistinctStringSet() const;
+
+  /// Numeric interpretations of all interpretable cells.
+  std::vector<double> NumericValues() const;
+
+  /// Fraction of non-null cells that parse as numbers (0 when no cells).
+  double NumericFraction() const;
+
+  /// Creates a column with the same name/type and cells at the given rows.
+  Column TakeRows(const std::vector<size_t>& rows) const;
+
+ private:
+  std::string name_;
+  DataType type_ = DataType::kNull;
+  std::vector<Value> values_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_CORE_COLUMN_H_

@@ -1,0 +1,90 @@
+#include "core/join.h"
+
+#include <unordered_map>
+
+namespace valentine {
+
+Result<Table> HashJoin(const Table& left, const std::string& left_column,
+                       const Table& right, const std::string& right_column,
+                       const JoinOptions& options) {
+  auto left_idx = left.ColumnIndex(left_column);
+  if (!left_idx) {
+    return Status::NotFound("left column '" + left_column + "' not found");
+  }
+  auto right_idx = right.ColumnIndex(right_column);
+  if (!right_idx) {
+    return Status::NotFound("right column '" + right_column + "' not found");
+  }
+
+  // Build side: key -> first matching right row.
+  std::unordered_map<std::string, size_t> build;
+  const Column& right_key = right.column(*right_idx);
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (right_key[r].is_null()) continue;
+    build.emplace(right_key[r].AsString(), r);  // first occurrence wins
+  }
+
+  // Probe side: collect row pairs.
+  std::vector<size_t> left_rows;
+  std::vector<long> right_rows;  // -1 = no match (left join padding)
+  const Column& left_key = left.column(*left_idx);
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    long matched = -1;
+    if (!left_key[l].is_null()) {
+      auto it = build.find(left_key[l].AsString());
+      if (it != build.end()) matched = static_cast<long>(it->second);
+    }
+    if (matched < 0 && options.type == JoinType::kInner) continue;
+    left_rows.push_back(l);
+    right_rows.push_back(matched);
+  }
+
+  // Materialize: all left columns, then right columns minus the key.
+  Table out(left.name() + "_join_" + right.name());
+  for (const Column& c : left.columns()) {
+    (void)out.AddColumn(c.TakeRows(left_rows));
+  }
+  for (size_t rc = 0; rc < right.num_columns(); ++rc) {
+    if (rc == *right_idx) continue;
+    const Column& c = right.column(rc);
+    std::string name = c.name();
+    if (out.ColumnIndex(name)) name = options.collision_prefix + name;
+    Column merged(name, c.type());
+    merged.Reserve(right_rows.size());
+    for (long r : right_rows) {
+      merged.Append(r < 0 ? Value::Null() : c[static_cast<size_t>(r)]);
+    }
+    VALENTINE_RETURN_NOT_OK(out.AddColumn(std::move(merged)));
+  }
+  return out;
+}
+
+Result<Table> UnionAll(
+    const Table& top, const Table& bottom,
+    const std::vector<std::pair<std::string, std::string>>& column_pairs) {
+  if (column_pairs.empty()) {
+    return Status::InvalidArgument("union needs at least one column pair");
+  }
+  Table out(top.name() + "_union_" + bottom.name());
+  for (const auto& [top_col, bottom_col] : column_pairs) {
+    const Column* t = top.FindColumn(top_col);
+    if (t == nullptr) {
+      return Status::NotFound("top column '" + top_col + "' not found");
+    }
+    const Column* b = bottom.FindColumn(bottom_col);
+    if (b == nullptr) {
+      return Status::NotFound("bottom column '" + bottom_col +
+                              "' not found");
+    }
+    Column merged(t->name(), TypesCompatible(t->type(), b->type())
+                                 ? t->type()
+                                 : DataType::kString);
+    merged.Reserve(t->size() + b->size());
+    for (const Value& v : t->values()) merged.Append(v);
+    for (const Value& v : b->values()) merged.Append(v);
+    VALENTINE_RETURN_NOT_OK(out.AddColumn(std::move(merged)));
+  }
+  return out;
+}
+
+}  // namespace valentine

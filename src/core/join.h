@@ -1,0 +1,51 @@
+#ifndef VALENTINE_CORE_JOIN_H_
+#define VALENTINE_CORE_JOIN_H_
+
+/// \file join.h
+/// Relational join execution over the in-memory tables. Discovery finds
+/// *which* columns are joinable (the matchers' job); this executes the
+/// join so downstream consumers — e.g. ML feature augmentation, the
+/// paper's motivating application [10][11] — can materialize the result.
+
+#include <string>
+
+#include "core/status.h"
+#include "core/table.h"
+
+namespace valentine {
+
+/// Join variants.
+enum class JoinType {
+  kInner,  ///< only matching rows
+  kLeft,   ///< all left rows; unmatched right columns become nulls
+};
+
+/// Options for a join.
+struct JoinOptions {
+  JoinType type = JoinType::kInner;
+  /// Prefix applied to right-side column names that collide with a
+  /// left-side name.
+  std::string collision_prefix = "right_";
+  /// On duplicate right keys, only the first matching row is used
+  /// (keeps the output size bounded by |left| per key match).
+  bool first_match_only = true;
+};
+
+/// Hash-joins `left` and `right` on textual equality of
+/// left[left_column] == right[right_column]. Null keys never match.
+/// Fails when either column is missing.
+Result<Table> HashJoin(const Table& left, const std::string& left_column,
+                       const Table& right, const std::string& right_column,
+                       const JoinOptions& options = {});
+
+/// Row-wise union of two tables whose columns are aligned by the given
+/// pairs (source of the unionable scenario's downstream use). Columns of
+/// `top` keep their names; rows of `bottom` are appended with its
+/// matched columns reordered accordingly.
+Result<Table> UnionAll(
+    const Table& top, const Table& bottom,
+    const std::vector<std::pair<std::string, std::string>>& column_pairs);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_CORE_JOIN_H_

@@ -1,0 +1,84 @@
+#ifndef VALENTINE_CORE_RNG_H_
+#define VALENTINE_CORE_RNG_H_
+
+/// \file rng.h
+/// Deterministic random-number generation.
+///
+/// Every randomized component in the suite (fabricators, noise models,
+/// EmbDI walks, word2vec init) takes an explicit seed so that experiments
+/// are exactly reproducible run-to-run. We use splitmix64 for seeding and
+/// xoshiro256** as the generator — fast, well-distributed, and stable
+/// across platforms (unlike std::mt19937 distributions, whose outputs are
+/// not standardized).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace valentine {
+
+/// \brief Deterministic xoshiro256** PRNG with convenience samplers.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Normal with given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen index into a container of the given size (> 0).
+  size_t Index(size_t size) { return static_cast<size_t>(NextBounded(size)); }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) in random order (k <= n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Derives an independent child generator (for parallel determinism).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_CORE_RNG_H_

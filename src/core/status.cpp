@@ -1,0 +1,28 @@
+#include "core/status.h"
+
+namespace valentine {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace valentine

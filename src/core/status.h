@@ -1,0 +1,115 @@
+#ifndef VALENTINE_CORE_STATUS_H_
+#define VALENTINE_CORE_STATUS_H_
+
+/// \file status.h
+/// Error-handling primitives in the Arrow/RocksDB idiom.
+///
+/// Library code never throws across module boundaries; fallible operations
+/// return a Status (or a Result<T> when they also produce a value).
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace valentine {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIOError,
+  kParseError,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: OK, or an error code + message.
+///
+/// Cheap to copy in the OK case (no allocation). Use the static factories:
+///
+///     if (rows == 0) return Status::InvalidArgument("table has no rows");
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an OK status explicitly.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  /// Human-readable error description; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for logging.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A value or an error: the return type of fallible producers.
+///
+///     Result<Table> r = CsvReader::ReadFile(path);
+///     if (!r.ok()) return r.status();
+///     Table t = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; undefined behaviour if !ok().
+  const T& ValueOrDie() const& { return *value_; }
+  T&& ValueOrDie() && { return std::move(*value_); }
+  const T& operator*() const& { return *value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define VALENTINE_RETURN_NOT_OK(expr)       \
+  do {                                      \
+    ::valentine::Status _st = (expr);       \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace valentine
+
+#endif  // VALENTINE_CORE_STATUS_H_

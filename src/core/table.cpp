@@ -1,0 +1,72 @@
+#include "core/table.h"
+
+namespace valentine {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " +
+        std::to_string(column.size()) + " rows, table has " +
+        std::to_string(num_rows()));
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+std::optional<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+const Column* Table::FindColumn(const std::string& name) const {
+  auto idx = ColumnIndex(name);
+  return idx ? &columns_[*idx] : nullptr;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+Table Table::Project(const std::vector<size_t>& column_indices) const {
+  Table out(name_);
+  for (size_t i : column_indices) {
+    (void)out.AddColumn(columns_[i]);
+  }
+  return out;
+}
+
+Table Table::TakeRows(const std::vector<size_t>& rows) const {
+  Table out(name_);
+  for (const Column& c : columns_) {
+    (void)out.AddColumn(c.TakeRows(rows));
+  }
+  return out;
+}
+
+Table Table::SliceRows(size_t begin, size_t end) const {
+  std::vector<size_t> rows;
+  rows.reserve(end - begin);
+  for (size_t r = begin; r < end; ++r) rows.push_back(r);
+  return TakeRows(rows);
+}
+
+Status Table::RenameColumn(size_t index, std::string new_name) {
+  if (index >= columns_.size()) {
+    return Status::OutOfRange("column index " + std::to_string(index) +
+                              " out of range");
+  }
+  columns_[index].set_name(std::move(new_name));
+  return Status::OK();
+}
+
+std::string Table::Describe() const {
+  return name_ + "(cols=" + std::to_string(num_columns()) +
+         ", rows=" + std::to_string(num_rows()) + ")";
+}
+
+}  // namespace valentine

@@ -1,0 +1,86 @@
+#ifndef VALENTINE_CORE_TABLE_H_
+#define VALENTINE_CORE_TABLE_H_
+
+/// \file table.h
+/// The in-memory tabular dataset model: a named collection of equal-length
+/// columns. This is the substrate every matcher, fabricator, and generator
+/// operates on (the C++ stand-in for the pandas DataFrames the original
+/// Python suite used).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/column.h"
+#include "core/status.h"
+
+namespace valentine {
+
+/// \brief A named relation with a flat schema.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Appends a column; fails if its length disagrees with existing ones.
+  Status AddColumn(Column column);
+
+  /// Index of the column with the given name, if present.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Pointer to the named column, or nullptr.
+  const Column* FindColumn(const std::string& name) const;
+
+  /// All column names in order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// New table with only the given column indices (in the given order).
+  Table Project(const std::vector<size_t>& column_indices) const;
+
+  /// New table with only the given rows (in the given order).
+  Table TakeRows(const std::vector<size_t>& rows) const;
+
+  /// New table with rows [begin, end).
+  Table SliceRows(size_t begin, size_t end) const;
+
+  /// Renames column `index` (bounds-checked).
+  Status RenameColumn(size_t index, std::string new_name);
+
+  /// One-line summary for logs: "name(cols=N, rows=M)".
+  std::string Describe() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+/// \brief A (table, column) reference — the endpoints of a match.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  bool operator==(const ColumnRef& other) const {
+    return table == other.table && column == other.column;
+  }
+  bool operator<(const ColumnRef& other) const {
+    if (table != other.table) return table < other.table;
+    return column < other.column;
+  }
+  std::string ToString() const { return table + "." + column; }
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_CORE_TABLE_H_

@@ -1,0 +1,132 @@
+#include "core/value.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace valentine {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull: return "null";
+    case DataType::kBool: return "bool";
+    case DataType::kInt64: return "int64";
+    case DataType::kFloat64: return "float64";
+    case DataType::kString: return "string";
+    case DataType::kDate: return "date";
+  }
+  return "unknown";
+}
+
+bool TypesCompatible(DataType a, DataType b) {
+  if (a == b) return true;
+  if (a == DataType::kNull || b == DataType::kNull) return true;
+  auto numeric = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kFloat64 ||
+           t == DataType::kBool;
+  };
+  if (numeric(a) && numeric(b)) return true;
+  auto textual = [](DataType t) {
+    return t == DataType::kString || t == DataType::kDate;
+  };
+  return textual(a) && textual(b);
+}
+
+DataType Value::kind() const {
+  switch (repr_.index()) {
+    case 0: return DataType::kNull;
+    case 1: return DataType::kBool;
+    case 2: return DataType::kInt64;
+    case 3: return DataType::kFloat64;
+    default: return DataType::kString;
+  }
+}
+
+std::string Value::AsString() const {
+  switch (repr_.index()) {
+    case 0: return "";
+    case 1: return std::get<bool>(repr_) ? "true" : "false";
+    case 2: return std::to_string(std::get<int64_t>(repr_));
+    case 3: {
+      double d = std::get<double>(repr_);
+      std::array<char, 32> buf;
+      auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+      (void)ec;
+      return std::string(buf.data(), ptr);
+    }
+    default: return std::get<std::string>(repr_);
+  }
+}
+
+std::optional<double> Value::TryFloat() const {
+  switch (repr_.index()) {
+    case 0: return std::nullopt;
+    case 1: return std::get<bool>(repr_) ? 1.0 : 0.0;
+    case 2: return static_cast<double>(std::get<int64_t>(repr_));
+    case 3: return std::get<double>(repr_);
+    default: {
+      const std::string& s = std::get<std::string>(repr_);
+      if (s.empty()) return std::nullopt;
+      const char* begin = s.c_str();
+      char* end = nullptr;
+      double d = std::strtod(begin, &end);
+      if (end == begin) return std::nullopt;
+      // Require the whole string (modulo trailing spaces) to be numeric.
+      while (*end != '\0') {
+        if (!std::isspace(static_cast<unsigned char>(*end))) {
+          return std::nullopt;
+        }
+        ++end;
+      }
+      return d;
+    }
+  }
+}
+
+namespace {
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ParseFloat(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  return end == begin + s.size();
+}
+}  // namespace
+
+Value ParseCell(const std::string& text) {
+  if (text.empty()) return Value::Null();
+  // Zero-padded numerics ("007", "00142") are identifiers, not numbers:
+  // parsing them as ints would lose the padding on round trip.
+  size_t digits_start = (text[0] == '-' || text[0] == '+') ? 1 : 0;
+  if (text.size() > digits_start + 1 && text[digits_start] == '0' &&
+      std::isdigit(static_cast<unsigned char>(text[digits_start + 1]))) {
+    return Value::String(text);
+  }
+  int64_t i;
+  if (ParseInt(text, &i)) return Value::Int(i);
+  double d;
+  if (ParseFloat(text, &d)) return Value::Float(d);
+  if (text == "true" || text == "TRUE" || text == "True") {
+    return Value::Bool(true);
+  }
+  if (text == "false" || text == "FALSE" || text == "False") {
+    return Value::Bool(false);
+  }
+  return Value::String(text);
+}
+
+DataType InferType(const std::string& text) {
+  return ParseCell(text).kind();
+}
+
+}  // namespace valentine

@@ -1,0 +1,89 @@
+#ifndef VALENTINE_CORE_VALUE_H_
+#define VALENTINE_CORE_VALUE_H_
+
+/// \file value.h
+/// Dynamically-typed cell values.
+///
+/// Tables hold heterogeneous tabular data (CSV-like), so cells are a small
+/// tagged union. Matchers mostly consume values through AsString() (set
+/// semantics) or TryFloat() (distributional semantics), both of which are
+/// total over every kind.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace valentine {
+
+/// Logical type of a column (declared) or a value (actual).
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kFloat64,
+  kString,
+  kDate,  ///< Calendar date; stored canonically as "YYYY-MM-DD".
+};
+
+/// Lower-case name for a data type, e.g. "int64".
+const char* DataTypeName(DataType type);
+
+/// True when two declared types are close enough to union/join across
+/// (e.g. int64 and float64, or string and date).
+bool TypesCompatible(DataType a, DataType b);
+
+/// \brief A single cell: null, bool, int64, float64, or string.
+///
+/// Dates are strings at the value level; the column's declared type marks
+/// them as dates.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int(int64_t i) { return Value(Repr(i)); }
+  static Value Float(double d) { return Value(Repr(d)); }
+  static Value String(std::string s) { return Value(Repr(std::move(s))); }
+
+  /// Actual kind of this cell (kDate never appears here; see class docs).
+  DataType kind() const;
+
+  bool is_null() const { return repr_.index() == 0; }
+
+  /// Canonical textual rendering; empty string for null. Floats render
+  /// with shortest round-trip formatting so equal values compare equal.
+  std::string AsString() const;
+
+  /// Numeric interpretation: bools as 0/1, ints and floats directly,
+  /// strings parsed if fully numeric; nullopt otherwise.
+  std::optional<double> TryFloat() const;
+
+  /// Underlying accessors; only valid for the matching kind.
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double float_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+/// Parses a textual cell into the most specific Value (int, then float,
+/// then bool literals "true"/"false", else string; empty -> null).
+Value ParseCell(const std::string& text);
+
+/// Infers the declared type for a column of parsed values: the narrowest
+/// DataType covering all non-null cells (kString if mixed).
+DataType InferType(const std::string& text);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_CORE_VALUE_H_

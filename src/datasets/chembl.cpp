@@ -1,0 +1,131 @@
+#include "datasets/chembl.h"
+
+#include "datasets/synthetic.h"
+
+namespace valentine {
+
+namespace {
+const std::vector<std::string>& Organisms() {
+  static const std::vector<std::string> kPool = {
+      "Homo sapiens",        "Mus musculus",     "Rattus norvegicus",
+      "Escherichia coli",    "Canis familiaris", "Bos taurus",
+      "Plasmodium falciparum","Danio rerio",     "Cavia porcellus",
+      "Oryctolagus cuniculus","Sus scrofa",      "Gallus gallus",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& TargetNames() {
+  static const std::vector<std::string> kPool = {
+      "Carbonic anhydrase II",  "Cyclooxygenase-2",
+      "Acetylcholinesterase",   "Dopamine D2 receptor",
+      "Thrombin",               "Tyrosine kinase ABL",
+      "HERG potassium channel", "Cytochrome P450 3A4",
+      "Histamine H1 receptor",  "Serotonin transporter",
+      "Epidermal growth factor receptor", "Beta-2 adrenergic receptor",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& CellLines() {
+  static const std::vector<std::string> kPool = {
+      "HeLa", "HEK293", "CHO-K1", "MCF7", "A549", "HepG2",
+      "PC-3", "U-87",   "Caco-2", "THP-1",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& AssayWords() {
+  static const std::vector<std::string> kPool = {
+      "inhibition", "binding",   "affinity",   "potency",  "displacement",
+      "radioligand","fluorescence","cytotoxicity","permeability","clearance",
+      "agonist",    "antagonist","selectivity","substrate","metabolism",
+  };
+  return kPool;
+}
+}  // namespace
+
+Table MakeChemblAssays(size_t rows, uint64_t seed) {
+  SyntheticTableBuilder b("assays", rows, seed);
+  b.AddPrefixedIdColumn("assay_id", "CHEMBL")
+      .AddTextColumn("description", AssayWords(), 4, 12)
+      .AddCategorical("assay_type", {"B", "F", "A", "T", "P", "U"})
+      .AddCategorical("assay_category",
+                      {"screening", "confirmatory", "panel", "other"})
+      .AddCategorical("assay_organism", Organisms())
+      .AddPatternColumn("assay_tax_id", "dddddd")
+      .AddCategorical("assay_strain", {"Wistar", "Sprague-Dawley", "BALB/c",
+                                       "C57BL/6", "K-12", "unspecified"})
+      .AddCategorical("assay_tissue",
+                      {"liver", "brain", "heart", "kidney", "plasma",
+                       "lung", "muscle", "spleen"})
+      .AddCategorical("assay_cell_type", CellLines())
+      .AddCategorical("assay_subcellular_fraction",
+                      {"membrane", "cytosol", "microsome", "mitochondria",
+                       "nucleus", "none"})
+      .AddPrefixedIdColumn("tid", "T")
+      .AddCategorical("target_name", TargetNames())
+      .AddCategorical("relationship_type", {"D", "H", "M", "N", "S", "U"})
+      .AddCategorical("confidence_score",
+                      {"0", "1", "3", "4", "5", "6", "7", "8", "9"})
+      .AddCategorical("curated_by", {"Autocuration", "Intermediate",
+                                     "Expert", "NULL"})
+      .AddPrefixedIdColumn("doc_id", "DOC")
+      .AddCategorical("journal", {"J Med Chem", "Bioorg Med Chem Lett",
+                                  "Eur J Med Chem", "ACS Med Chem Lett",
+                                  "MedChemComm", "Nature", "Science"})
+      .AddUniformInt("year", 1990, 2021)
+      .AddCategorical("src_short_name",
+                      {"LITERATURE", "PUBCHEM", "DRUGMATRIX", "TP_TRANSPORTER",
+                       "ATLAS", "SUPPLEMENTARY"})
+      .AddPatternColumn("chembl_id", "CHEMBLddddddd")
+      .AddCategorical("bao_format",
+                      {"BAO_0000219", "BAO_0000218", "BAO_0000019",
+                       "BAO_0000366", "BAO_0000221"})
+      .AddGaussianFloat("assay_value_mean", 6.2, 1.4)
+      .AddUniformInt("activity_count", 1, 480)
+      .WithNulls("assay_strain", 0.4)
+      .WithNulls("assay_subcellular_fraction", 0.3)
+      .WithNulls("assay_tissue", 0.25);
+  return b.Build();
+}
+
+Ontology MakeEfoLikeOntology() {
+  // Labels use EFO's formal vocabulary, which only partially matches
+  // the Assays column names — exactly the gap that made SemProp's
+  // embedding-based linking unreliable in the paper (its vectors relate
+  // surface forms, not domain semantics).
+  Ontology o;
+  size_t root = o.AddClass("experimental_factor", {"experimental factor"});
+  size_t assay = o.AddSubclass(
+      root, "assay", {"planned process", "assay", "measurement method"});
+  o.AddSubclass(assay, "assay_type",
+                {"process classification", "methodology"});
+  o.AddSubclass(assay, "assay_description",
+                {"textual entity", "protocol narrative"});
+  o.AddSubclass(assay, "assay_measurement",
+                {"quantitative observation", "measurement datum"});
+  size_t organism = o.AddSubclass(
+      root, "organism", {"organism", "taxonomic entity", "NCBI taxon"});
+  o.AddSubclass(organism, "strain", {"breed or strain variant"});
+  size_t anatomy = o.AddSubclass(
+      root, "anatomical_entity", {"anatomical entity", "organism part"});
+  o.AddSubclass(anatomy, "cell_type", {"cell", "cultured cell population"});
+  o.AddSubclass(anatomy, "subcellular_fraction",
+                {"cellular component", "organelle fraction"});
+  size_t target = o.AddSubclass(
+      root, "molecular_target", {"molecular entity", "polypeptide"});
+  o.AddSubclass(target, "target_confidence",
+                {"curation confidence", "evidence level"});
+  size_t publication = o.AddSubclass(
+      root, "publication", {"information content entity", "bibliographic "
+                            "reference", "journal article"});
+  o.AddSubclass(publication, "publication_year", {"temporal annotation"});
+  o.AddSubclass(root, "data_source", {"provenance record", "curation "
+                                      "activity"});
+  o.AddSubclass(root, "identifier", {"centrally registered identifier",
+                                     "accession number"});
+  return o;
+}
+
+}  // namespace valentine

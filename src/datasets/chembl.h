@@ -1,0 +1,28 @@
+#ifndef VALENTINE_DATASETS_CHEMBL_H_
+#define VALENTINE_DATASETS_CHEMBL_H_
+
+/// \file chembl.h
+/// Deterministic stand-in for the ChEMBL `Assays` table (paper §V-A:
+/// fabricated ChEMBL pairs span 12-23 columns and 7500-15000 rows) plus
+/// an EFO-like ontology covering its column semantics — ChEMBL is the
+/// one dataset source the paper could run SemProp on, because it ships
+/// with a compatible ontology.
+
+#include "core/table.h"
+#include "knowledge/ontology.h"
+
+namespace valentine {
+
+/// Generates the 23-column Assays-like table. The vocabulary is
+/// deliberately domain-specific (assay types, organisms, targets): that
+/// specialization is what defeats general-purpose pre-trained embeddings
+/// in the paper's SemProp experiments.
+Table MakeChemblAssays(size_t rows = 2000, uint64_t seed = 99);
+
+/// Builds the EFO-like ontology whose class labels cover the Assays
+/// schema (used by SemProp's semantic matcher).
+Ontology MakeEfoLikeOntology();
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DATASETS_CHEMBL_H_

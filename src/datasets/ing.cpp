@@ -1,0 +1,331 @@
+#include "datasets/ing.h"
+
+#include "datasets/synthetic.h"
+
+namespace valentine {
+
+namespace {
+
+/// Deterministic pool of hex-ish hash strings shared by both tables of a
+/// pair, so matching hash columns overlap *and* have near-identical
+/// distributions.
+std::vector<std::string> MakeHashPool(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  const char* hex = "0123456789abcdef";
+  for (size_t i = 0; i < n; ++i) {
+    std::string h;
+    for (size_t k = 0; k < 12; ++k) h.push_back(hex[rng.Index(16)]);
+    pool.push_back(std::move(h));
+  }
+  return pool;
+}
+
+std::vector<std::string> MakeLabeledPool(const std::string& prefix, size_t n) {
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool.push_back(prefix + "-" + std::to_string(100 + i));
+  }
+  return pool;
+}
+
+const std::vector<std::string>& AgileWords() {
+  static const std::vector<std::string> kPool = {
+      "refactor",  "migrate", "implement", "investigate", "fix",
+      "deploy",    "review",  "automate",  "monitor",     "integrate",
+      "pipeline",  "login",   "dashboard", "payments",    "mortgage",
+      "savings",   "fraud",   "onboarding","compliance",  "reporting",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& TeamNames() {
+  static const std::vector<std::string> kPool = {
+      "Team Phoenix", "Team Hydra",  "Team Orion",  "Team Falcon",
+      "Team Nimbus",  "Team Quartz", "Team Vortex", "Team Atlas",
+      "Team Borealis","Team Condor", "Team Delta",  "Team Echo",
+  };
+  return kPool;
+}
+
+
+/// Finite pool of staff names (real teams are finite; combinatorial
+/// random names would make person columns indistinguishable).
+std::vector<std::string> MakeStaffPool(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool.push_back(rng.Pick(vocab::FirstNames()) + " " +
+                   rng.Pick(vocab::LastNames()));
+  }
+  return pool;
+}
+
+/// Finite pool of recurring task phrases (backlogs repeat templates).
+std::vector<std::string> MakePhrasePool(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool.push_back(rng.Pick(AgileWords()) + " " + rng.Pick(AgileWords()) +
+                   " " + rng.Pick(AgileWords()));
+  }
+  return pool;
+}
+
+}  // namespace
+
+DatasetPair MakeIngPair1(size_t rows, uint64_t seed) {
+  // Shared value pools for the matching columns. Decoy columns draw
+  // from *different* pools (different hashes, staff, phrases, or value
+  // formats), as their real counterparts would — this is what lets the
+  // distribution-based method separate true matches from bait.
+  auto sprint_ids = MakeLabeledPool("SPR", 40);
+  auto epic_names = MakeLabeledPool("EPIC", 30);
+  auto task_hashes = MakeHashPool(300, seed ^ 0x1111);
+  auto other_hashes = MakeHashPool(300, seed ^ 0x9999);
+  auto staff = MakeStaffPool(120, seed ^ 0x5555);
+  auto leads = MakeStaffPool(40, seed ^ 0x6666);
+  auto phrases = MakePhrasePool(150, seed ^ 0x7777);
+  auto epic_phrases = MakePhrasePool(60, seed ^ 0x8888);
+  std::vector<std::string> statuses = {"todo", "in progress", "review",
+                                       "blocked", "done"};
+  std::vector<std::string> priorities = {"low", "medium", "high", "critical"};
+
+  // --- Table A: 33-column custom SCRUM system. ---
+  SyntheticTableBuilder a("scrum_a", rows, seed);
+  a.AddCategorical("task_hash", task_hashes)                // GT 1
+      .AddCategorical("sprint_id", sprint_ids)              // GT 2
+      .AddCategorical("epic_name", epic_names)              // GT 3
+      .AddCategorical("team_id", TeamNames())               // GT 4
+      .AddCategorical("owner_team", TeamNames())            // GT 5
+      .AddCategorical("assignee", staff)                    // GT 6
+      .AddCategorical("task_description", phrases)          // GT 7
+      .AddCategorical("status", statuses)                   // GT 8
+      .AddCategorical("priority", priorities)               // GT 9
+      .AddUniformInt("story_points", 1, 13)                 // GT 10
+      .AddDateColumn("start_date", 2018, 2020)              // GT 11
+      .AddDateColumn("end_date", 2018, 2021)                // GT 12
+      .AddUniformInt("sprint_number", 1, 26)                // GT 13
+      .AddCategorical("board_name", MakeLabeledPool("BRD", 15))  // GT 14
+      // 19 extra A-only columns, several deliberately confusable (but,
+      // as in real systems, with their own value pools/formats).
+      .AddCategorical("epic_description", epic_phrases)
+      .AddCategorical("parent_task_hash", other_hashes)
+      .AddCategorical("linked_task_hash", other_hashes)
+      .AddCategorical("reporter", leads)
+      .AddCategorical("reviewer", leads)
+      .AddCategorical("resolution", {"fixed", "wontfix", "duplicate",
+                                     "cannot reproduce", "done"})
+      .AddUniformInt("time_spent_hours", 1, 120)
+      .AddUniformInt("time_estimate_hours", 1, 100)
+      .AddPatternColumn("created_at", "201d-0d-1d 0d:3d")
+      .AddPatternColumn("updated_at", "202d-0d-2d 1d:0d")
+      .AddUniformInt("comment_count", 0, 40)
+      .AddUniformInt("attachment_count", 0, 10)
+      .AddCategorical("labels", AgileWords())
+      .AddCategorical("component", MakeLabeledPool("CMP", 20))
+      .AddCategorical("fix_version", MakeLabeledPool("REL", 18))
+      .AddFlagColumn("is_subtask", 0.3)
+      .AddFlagColumn("is_blocked_flag", 0.15)
+      .AddUniformInt("reopen_count", 0, 5)
+      .AddCategorical("environment", {"dev", "test", "acceptance", "prod"});
+
+  // --- Table B: 16-column second SCRUM system; 14 matching columns with
+  // identical or near-identical names, 2 unique. ---
+  SyntheticTableBuilder b("scrum_b", rows + 37, seed ^ 0x2222);
+  b.AddCategorical("task_hash", task_hashes)
+      .AddCategorical("sprintid", sprint_ids)
+      .AddCategorical("epic", epic_names)
+      .AddCategorical("team_id", TeamNames())
+      .AddCategorical("ownerteam", TeamNames())
+      // Misleading names, matching values (the paper's "similar words
+      // that are used in multiple contexts"): "resource" holds assignee
+      // names, "estimate" holds story points (name-similar to A's
+      // time_estimate_hours), "created"/"closed" hold the sprint start
+      // and end dates (name-similar to A's created_at).
+      .AddCategorical("resource", staff)
+      .AddCategorical("description", phrases)
+      .AddCategorical("status", statuses)
+      .AddCategorical("prio", priorities)
+      .AddUniformInt("estimate", 1, 13)
+      .AddDateColumn("created", 2018, 2020)
+      .AddDateColumn("closed", 2018, 2021)
+      .AddUniformInt("sprint_nr", 1, 26)
+      .AddCategorical("board", MakeLabeledPool("BRD", 15))
+      // B-only columns.
+      .AddCategorical("squad_tribe", MakeLabeledPool("TRB", 8))
+      .AddUniformInt("velocity_target", 20, 80);
+
+  DatasetPair p;
+  p.id = "ing1_scrum";
+  p.scenario = Scenario::kUnionable;
+  p.source = a.Build();
+  p.target = b.Build();
+  p.ground_truth = {
+      {"task_hash", "task_hash"},       {"sprint_id", "sprintid"},
+      {"epic_name", "epic"},            {"team_id", "team_id"},
+      {"owner_team", "ownerteam"},      {"assignee", "resource"},
+      {"task_description", "description"},{"status", "status"},
+      {"priority", "prio"},             {"story_points", "estimate"},
+      {"start_date", "created"},        {"end_date", "closed"},
+      {"sprint_number", "sprint_nr"},   {"board_name", "board"},
+  };
+  return p;
+}
+
+DatasetPair MakeIngPair2(size_t rows, uint64_t seed) {
+  // Shared pools for the matching column families. App *dependency*
+  // columns concentrate on a small subset of platform apps — a distinct
+  // distribution from the app-name columns over the full catalogue,
+  // which is what makes the n and m sides separable by value
+  // distribution (as in the real ING#2 data).
+  auto app_names = MakeLabeledPool("APP", 120);
+  auto platform_apps = std::vector<std::string>(app_names.begin(),
+                                                app_names.begin() + 30);
+  auto app_codes = MakeHashPool(120, seed ^ 0x3333);
+  auto team_pool = std::vector<std::string>(TeamNames());
+  auto mgr_pool = MakeStaffPool(50, seed ^ 0xaaaa);
+  auto dept_pool = MakeLabeledPool("DEPT", 12);
+  auto host_pool = MakeLabeledPool("HOST", 60);
+  auto cost_pool = MakeLabeledPool("CC", 25);
+  std::vector<std::string> criticality = {"low", "medium", "high",
+                                          "mission critical"};
+  std::vector<std::string> lifecycle = {"plan", "build", "run", "retire"};
+  std::vector<std::string> env = {"dev", "test", "acceptance", "prod"};
+
+  // --- Table A: wide 59-column technical inventory. Several columns per
+  // business concept (the n side of the n-m ground truth). ---
+  SyntheticTableBuilder a("apps_tech", rows, seed);
+  a.AddCategorical("application_name", app_names)      // -> app_nm_key
+      .AddCategorical("application_alias", app_names)  // -> app_nm_key
+      .AddCategorical("application_code", app_codes)   // -> app_cd_key
+      .AddCategorical("ci_identifier", app_codes)      // -> app_cd_key
+      .AddCategorical("owner_team", team_pool)         // -> team_nm_key
+      .AddCategorical("support_team", team_pool)       // -> team_nm_key
+      .AddCategorical("devops_team", team_pool)        // -> team_nm_key
+      .AddCategorical("manager_name", mgr_pool)        // -> mgr_nm_key
+      .AddCategorical("product_owner", mgr_pool)       // -> mgr_nm_key
+      .AddCategorical("department", dept_pool)         // -> dept_cd_key
+      .AddCategorical("division", dept_pool)           // -> dept_cd_key
+      .AddCategorical("hostname", host_pool)           // -> hw_nm_key
+      .AddCategorical("cluster_name", host_pool)       // -> hw_nm_key
+      .AddCategorical("criticality", criticality)      // -> crit_cd_key
+      .AddCategorical("lifecycle_phase", lifecycle)    // -> phase_cd_key
+      .AddCategorical("environment", env)              // -> env_cd_key
+      .AddCategorical("cost_center", cost_pool)        // -> cc_cd_key
+      .AddCategorical("used_by_app", platform_apps)    // -> rel_app_key
+      .AddCategorical("uses_app", platform_apps)       // -> rel_app_key
+      .AddCategorical("depends_on_app", platform_apps) // -> rel_app_key
+      // A-only technical noise columns (39 more).
+      .AddPatternColumn("ip_address", "ddd.ddd.d.dd")
+      .AddPatternColumn("mac_address", "aa:aa:aa:dd:dd:dd")
+      .AddUniformInt("cpu_cores", 1, 64)
+      .AddUniformInt("memory_gb", 2, 512)
+      .AddUniformInt("disk_gb", 20, 4000)
+      .AddCategorical("os_name", {"RHEL", "Windows Server", "Ubuntu",
+                                  "AIX", "Solaris"})
+      .AddCategorical("os_version", {"6.10", "7.9", "8.4", "2016", "2019",
+                                     "20.04", "22.04"})
+      .AddCategorical("db_engine", {"Oracle", "PostgreSQL", "MySQL",
+                                    "MSSQL", "DB2", "none"})
+      .AddUniformInt("port", 1024, 65535)
+      .AddCategorical("protocol", {"https", "http", "tcp", "mq", "sftp"})
+      .AddDateColumn("install_date", 2005, 2020)
+      .AddDateColumn("last_patch_date", 2019, 2021)
+      .AddDateColumn("decommission_date", 2021, 2026)
+      .AddUniformInt("incident_count", 0, 120)
+      .AddUniformInt("change_count", 0, 60)
+      .AddGaussianFloat("availability_pct", 99.2, 0.6)
+      .AddGaussianInt("monthly_cost_eur", 4200, 2500, 100)
+      .AddFlagColumn("is_virtualized", 0.8)
+      .AddFlagColumn("is_clustered", 0.4)
+      .AddFlagColumn("has_drp", 0.6)
+      .AddFlagColumn("pci_scope", 0.2)
+      .AddFlagColumn("gdpr_scope", 0.5)
+      .AddCategorical("backup_policy", {"daily", "weekly", "hourly", "none"})
+      .AddCategorical("monitoring_tool", {"nagios", "zabbix", "prometheus",
+                                          "dynatrace"})
+      .AddCategorical("ticket_queue", MakeLabeledPool("Q", 15))
+      .AddPatternColumn("serial_number", "AAddddddd")
+      .AddCategorical("vendor", vocab::Companies())
+      .AddCategorical("license_type", {"perpetual", "subscription",
+                                       "open source"})
+      .AddUniformInt("license_count", 1, 500)
+      .AddCategorical("datacenter", {"AMS-1", "AMS-2", "FRA-1", "DUB-1"})
+      .AddCategorical("rack_id", MakeLabeledPool("RACK", 40))
+      .AddUniformInt("rack_unit", 1, 42)
+      .AddCategorical("network_zone", {"dmz", "internal", "restricted"})
+      .AddPatternColumn("subnet", "dd.dd.dd.d/dd")
+      .AddCategorical("storage_tier", {"gold", "silver", "bronze"})
+      .AddUniformInt("iops_limit", 100, 20000)
+      .AddCategorical("patch_window", {"sat-night", "sun-night", "weekday"})
+      .AddUniformInt("uptime_days", 0, 900)
+      .AddTextColumn("technical_notes", AgileWords(), 2, 8);
+
+  // --- Table B: 25-column business view; suffixed names, nested-ish
+  // composite values in two columns. ---
+  SyntheticTableBuilder b("apps_biz", rows, seed ^ 0x4444);
+  b.AddCategorical("app_nm_key", app_names)
+      .AddCategorical("app_cd_key", app_codes)
+      .AddCategorical("team_nm_key", team_pool)
+      .AddCategorical("mgr_nm_key", mgr_pool)
+      .AddCategorical("dept_cd_key", dept_pool)
+      .AddCategorical("hw_nm_key", host_pool)
+      .AddCategorical("crit_cd_key", criticality)
+      .AddCategorical("phase_cd_key", lifecycle)
+      .AddCategorical("env_cd_key", env)
+      .AddCategorical("cc_cd_key", cost_pool)
+      .AddCategorical("rel_app_key", platform_apps)
+      // B-only business columns.
+      .AddTextColumn("business_capability_txt", AgileWords(), 1, 4)
+      .AddCategorical("business_owner_key", MakeLabeledPool("BU", 10))
+      .AddGaussianInt("budget_keur_amt", 800, 350, 50)
+      .AddUniformInt("fte_cnt", 1, 40)
+      .AddCategorical("sla_tier_cd", {"tier-1", "tier-2", "tier-3",
+                                      "tier-4"})
+      .AddCategorical("risk_rating_cd", {"R1", "R2", "R3"})
+      .AddDateColumn("review_dt", 2020, 2021)
+      .AddFlagColumn("outsourced_flg", 0.3)
+      .AddCategorical("strategy_cd", {"invest", "maintain", "divest"})
+      .AddTextColumn("remarks_txt", AgileWords(), 2, 6)
+      .AddCategorical("region_cd", {"EU", "US", "APAC"})
+      .AddUniformInt("user_cnt", 10, 100000)
+      .AddCategorical("channel_cd", {"retail", "wholesale", "internal"})
+      .AddPatternColumn("composite_ref", "AAA-ddd|AAA-ddd");
+
+  DatasetPair p;
+  p.id = "ing2_apps";
+  p.scenario = Scenario::kJoinable;
+  p.source = a.Build();
+  p.target = b.Build();
+  // n-m ground truth: several technical columns map to one business key.
+  p.ground_truth = {
+      {"application_name", "app_nm_key"},
+      {"application_alias", "app_nm_key"},
+      {"application_code", "app_cd_key"},
+      {"ci_identifier", "app_cd_key"},
+      {"owner_team", "team_nm_key"},
+      {"support_team", "team_nm_key"},
+      {"devops_team", "team_nm_key"},
+      {"manager_name", "mgr_nm_key"},
+      {"product_owner", "mgr_nm_key"},
+      {"department", "dept_cd_key"},
+      {"division", "dept_cd_key"},
+      {"hostname", "hw_nm_key"},
+      {"cluster_name", "hw_nm_key"},
+      {"criticality", "crit_cd_key"},
+      {"lifecycle_phase", "phase_cd_key"},
+      {"environment", "env_cd_key"},
+      {"cost_center", "cc_cd_key"},
+      {"used_by_app", "rel_app_key"},
+      {"uses_app", "rel_app_key"},
+      {"depends_on_app", "rel_app_key"},
+  };
+  return p;
+}
+
+}  // namespace valentine

@@ -1,0 +1,33 @@
+#ifndef VALENTINE_DATASETS_ING_H_
+#define VALENTINE_DATASETS_ING_H_
+
+/// \file ing.h
+/// Synthetic stand-ins for the two proprietary ING Bank dataset pairs
+/// (paper §V-B), which cannot be public. Built to reproduce the published
+/// qualitative structure (DESIGN.md §3):
+///
+///  * ING#1 — two SCRUM backlog tables (33x935 and 16x972 in the paper)
+///    whose matching columns have identical or near-identical names but
+///    whose contents (hashes, descriptions, repeated agile vocabulary)
+///    create false-positive bait; matching columns carry almost-identical
+///    value distributions (which is why the distribution-based method
+///    won).
+///  * ING#2 — an application-inventory pair: one wide low-level table
+///    (59x1000) and one business-level table (25x1000) whose column names
+///    carry suffixes, with *n-m ground truth*: one business column
+///    corresponds to several technical columns (the structure COMA's 1-1
+///    selection failed on).
+
+#include "fabrication/fabricator.h"
+
+namespace valentine {
+
+/// The SCRUM backlog pair with expert-style ground truth (14 matches).
+DatasetPair MakeIngPair1(size_t rows = 500, uint64_t seed = 11);
+
+/// The application-inventory pair with n-m ground truth.
+DatasetPair MakeIngPair2(size_t rows = 500, uint64_t seed = 12);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DATASETS_ING_H_

@@ -1,0 +1,78 @@
+#include "datasets/opendata.h"
+
+#include "datasets/synthetic.h"
+
+namespace valentine {
+
+Table MakeOpenDataTable(size_t rows, uint64_t seed) {
+  SyntheticTableBuilder b("permits", rows, seed);
+  b.AddPrefixedIdColumn("permit_number", "PRM")
+      .AddCategorical("permit_type",
+                      {"building", "demolition", "electrical", "plumbing",
+                       "mechanical", "signage", "excavation"})
+      .AddCategorical("permit_status",
+                      {"issued", "pending", "expired", "revoked", "closed"})
+      .AddDateColumn("application_date", 2010, 2020)
+      .AddDateColumn("issue_date", 2010, 2021)
+      .AddDateColumn("expiry_date", 2011, 2025)
+      .AddTextColumn("work_description", vocab::Words(), 3, 10)
+      .AddPatternColumn("street_number", "dddd")
+      .AddCategorical("street_name", vocab::Streets())
+      .AddCategorical("city", vocab::Cities())
+      .AddCategorical("province", vocab::UsStates())
+      .AddPatternColumn("postal_code", "AdA dAd")
+      .AddCategorical("country", vocab::Countries())
+      .AddGaussianFloat("latitude", 45.0, 3.0)
+      .AddGaussianFloat("longitude", -79.0, 8.0)
+      .AddCategorical("ward", {"Ward 1", "Ward 2", "Ward 3", "Ward 4",
+                               "Ward 5", "Ward 6", "Ward 7", "Ward 8"})
+      .AddUniformInt("council_district", 1, 24)
+      .AddGaussianInt("construction_value", 180000, 120000, 1000)
+      .AddGaussianFloat("permit_fee", 850.0, 400.0)
+      .AddUniformInt("dwelling_units_created", 0, 12)
+      .AddUniformInt("dwelling_units_lost", 0, 4)
+      .AddUniformInt("storeys", 1, 40)
+      .AddGaussianInt("floor_area_sqm", 420, 350, 10)
+      .AddCategorical("structure_type",
+                      {"detached", "semi-detached", "apartment", "commercial",
+                       "industrial", "institutional", "mixed"})
+      .AddCategorical("current_use", vocab::Words())
+      .AddCategorical("proposed_use", vocab::Words())
+      .AddPersonNameColumn("applicant_name")
+      .AddCategorical("applicant_type",
+                      {"owner", "agent", "contractor", "architect"})
+      .AddCategorical("contractor_name", vocab::Companies())
+      .AddPatternColumn("contractor_phone", "ddd-ddd-dddd")
+      .AddPersonNameColumn("owner_name")
+      .AddPatternColumn("owner_phone", "(ddd) ddd-dddd")
+      .AddCategorical("architect_firm", vocab::Companies())
+      .AddPatternColumn("roll_number", "dd-dd-ddddd")
+      .AddPatternColumn("legal_description", "Aa dd Aa ddd")
+      .AddCategorical("zoning_district", {"R1", "R2", "R3", "C1", "C2", "M1",
+                                          "M2", "OS", "AG"})
+      .AddFlagColumn("heritage_property", 0.06)
+      .AddFlagColumn("conditional_approval", 0.2)
+      .AddUniformInt("inspection_count", 0, 15)
+      .AddDateColumn("last_inspection_date", 2012, 2021)
+      .AddCategorical("inspector_name", vocab::LastNames())
+      .AddCategorical("review_outcome",
+                      {"approved", "approved with conditions", "rejected",
+                       "deferred"})
+      .AddGaussianFloat("development_charge", 12000.0, 8000.0)
+      .AddGaussianFloat("parkland_levy", 2200.0, 1500.0)
+      .AddUniformInt("parking_spaces", 0, 200)
+      .AddUniformInt("bicycle_spaces", 0, 80)
+      .AddCategorical("sewer_connection", {"municipal", "septic", "none"})
+      .AddCategorical("water_connection", {"municipal", "well", "none"})
+      .AddCategorical("data_source", {"canada_open_data", "usa_open_data",
+                                      "uk_open_data"})
+      .AddDateColumn("record_updated", 2019, 2021)
+      .AddPatternColumn("geo_id", "Gdddddd")
+      .WithNulls("architect_firm", 0.35)
+      .WithNulls("parkland_levy", 0.25)
+      .WithNulls("last_inspection_date", 0.2)
+      .WithNulls("heritage_property", 0.1);
+  return b.Build();
+}
+
+}  // namespace valentine

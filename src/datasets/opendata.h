@@ -1,0 +1,21 @@
+#ifndef VALENTINE_DATASETS_OPENDATA_H_
+#define VALENTINE_DATASETS_OPENDATA_H_
+
+/// \file opendata.h
+/// Deterministic stand-in for the Open Data table the paper fabricated
+/// from (§V-A: the Canada/USA/UK Open Data benchmark of Nargesian et
+/// al.; fabricated pairs span 26-51 columns and 11628-23255 rows). The
+/// generated table is a wide civic "building permits" style relation
+/// with the characteristic Open Data mix: codes, free text, money,
+/// dates, geo fields, and sparsely populated columns.
+
+#include "core/table.h"
+
+namespace valentine {
+
+/// Generates the 51-column open-data-like table.
+Table MakeOpenDataTable(size_t rows = 2000, uint64_t seed = 4711);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DATASETS_OPENDATA_H_

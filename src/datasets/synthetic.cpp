@@ -1,0 +1,347 @@
+#include "datasets/synthetic.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace valentine {
+
+namespace vocab {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kPool = {
+      "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",   "David",   "Elizabeth","William", "Barbara",
+      "Richard", "Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",   "Chris",   "Lisa",     "Daniel",  "Nancy",
+      "Matthew", "Betty",   "Anthony", "Sandra",   "Mark",    "Margaret",
+      "Donald",  "Ashley",  "Steven",  "Kimberly", "Andrew",  "Emily",
+      "Paul",    "Donna",   "Joshua",  "Michelle", "Kenneth", "Carol",
+      "Kevin",   "Amanda",  "Brian",   "Melissa",  "George",  "Deborah",
+      "Timothy", "Stephanie","Ronald", "Rebecca",  "Jason",   "Laura",
+      "Edward",  "Helen",   "Jeffrey", "Sharon",   "Ryan",    "Cynthia",
+      "Jacob",   "Kathleen","Gary",    "Amy",      "Nicholas","Angela",
+      "Eric",    "Shirley", "Jonathan","Anna",     "Stephen", "Ruth",
+      "Larry",   "Brenda",  "Justin",  "Pamela",   "Scott",   "Nicole",
+      "Brandon", "Katherine","Benjamin","Samantha","Samuel",  "Christine",
+      "Gregory", "Emma",    "Frank",   "Catherine","Alexander","Debra",
+      "Raymond", "Virginia","Patrick", "Rachel",   "Jack",    "Carolyn",
+      "Dennis",  "Janet",   "Jerry",   "Maria",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kPool = {
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",
+      "Garcia",   "Miller",   "Davis",    "Rodriguez","Martinez",
+      "Hernandez","Lopez",    "Gonzalez", "Wilson",   "Anderson",
+      "Thomas",   "Taylor",   "Moore",    "Jackson",  "Martin",
+      "Lee",      "Perez",    "Thompson", "White",    "Harris",
+      "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",
+      "Scott",    "Torres",   "Nguyen",   "Hill",     "Flores",
+      "Green",    "Adams",    "Nelson",   "Baker",    "Hall",
+      "Rivera",   "Campbell", "Mitchell", "Carter",   "Roberts",
+      "Gomez",    "Phillips", "Evans",    "Turner",   "Diaz",
+      "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+      "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",
+      "Rogers",   "Gutierrez","Ortiz",    "Morgan",   "Cooper",
+      "Peterson", "Bailey",   "Reed",     "Kelly",    "Howard",
+      "Ramos",    "Kim",      "Cox",      "Ward",     "Richardson",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> kPool = {
+      "New York",     "Los Angeles", "Chicago",     "Houston",
+      "Phoenix",      "Philadelphia","San Antonio", "San Diego",
+      "Dallas",       "San Jose",    "Austin",      "Jacksonville",
+      "Fort Worth",   "Columbus",    "Charlotte",   "Indianapolis",
+      "Seattle",      "Denver",      "Boston",      "Nashville",
+      "Detroit",      "Portland",    "Memphis",     "Louisville",
+      "Baltimore",    "Milwaukee",   "Albuquerque", "Tucson",
+      "Fresno",       "Sacramento",  "Mesa",        "Kansas City",
+      "Atlanta",      "Omaha",       "Raleigh",     "Miami",
+      "Oakland",      "Minneapolis", "Tulsa",       "Cleveland",
+      "Wichita",      "Arlington",   "Tampa",       "Honolulu",
+      "Pittsburgh",   "Toronto",     "Vancouver",   "Montreal",
+      "London",       "Manchester",  "Amsterdam",   "Rotterdam",
+      "Berlin",       "Munich",      "Paris",       "Lyon",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> kPool = {
+      "United States", "Canada",      "United Kingdom", "Netherlands",
+      "Germany",       "France",      "Spain",          "Italy",
+      "Portugal",      "Belgium",     "Switzerland",    "Austria",
+      "Sweden",        "Norway",      "Denmark",        "Finland",
+      "Ireland",       "Poland",      "Greece",         "Japan",
+      "Australia",     "New Zealand", "Brazil",         "Mexico",
+      "Argentina",     "India",       "China",          "South Korea",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& CountryCodes() {
+  static const std::vector<std::string> kPool = {
+      "US", "CA", "UK", "NL", "DE", "FR", "ES", "IT", "PT", "BE",
+      "CH", "AT", "SE", "NO", "DK", "FI", "IE", "PL", "GR", "JP",
+      "AU", "NZ", "BR", "MX", "AR", "IN", "CN", "KR",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& UsStates() {
+  static const std::vector<std::string> kPool = {
+      "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+      "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+      "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+      "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+      "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Companies() {
+  static const std::vector<std::string> kPool = {
+      "Acme Corp",        "Globex",          "Initech",
+      "Umbrella Group",   "Stark Industries","Wayne Enterprises",
+      "Wonka Industries", "Tyrell Corp",     "Cyberdyne Systems",
+      "Soylent Corp",     "Massive Dynamic", "Hooli",
+      "Pied Piper",       "Vandelay Industries","Dunder Mifflin",
+      "Sterling Cooper",  "Oceanic Airlines","Weyland-Yutani",
+      "Aperture Science", "Black Mesa",      "Vehement Capital",
+      "Gringotts Bank",   "Octan Energy",    "Zorin Industries",
+      "Macrosoft",        "Goliath National","Duff Brewing",
+      "Planet Express",   "Monsters Inc",    "Gekko and Co",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Streets() {
+  static const std::vector<std::string> kPool = {
+      "Main St",      "Oak Ave",     "Maple Dr",    "Cedar Ln",
+      "Pine St",      "Elm St",      "Washington Ave","Lake Rd",
+      "Hill St",      "Park Ave",    "Sunset Blvd", "River Rd",
+      "Church St",    "Spring St",   "High St",     "Center St",
+      "Union Ave",    "Prospect St", "Highland Ave","Franklin St",
+      "Jefferson Ave","Lincoln Blvd","Madison St",  "Adams Dr",
+      "Monroe Ln",    "Jackson Way", "Harrison Ct", "Tyler Pl",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Words() {
+  static const std::vector<std::string> kPool = {
+      "analysis",  "platform",  "report",   "module",    "pipeline",
+      "dataset",   "service",   "account",  "inventory", "payment",
+      "schedule",  "request",   "response", "network",   "storage",
+      "compute",   "process",   "review",   "release",   "update",
+      "backlog",   "feature",   "defect",   "metric",    "quality",
+      "security",  "capacity",  "workflow", "customer",  "contract",
+      "invoice",   "shipment",  "warehouse","catalog",   "campaign",
+      "channel",   "segment",   "forecast", "budget",    "audit",
+      "policy",    "standard",  "protocol", "interface", "gateway",
+      "cluster",   "instance",  "container","function",  "variable",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& MusicGenres() {
+  static const std::vector<std::string> kPool = {
+      "rock",  "pop",    "country", "blues",   "jazz",   "soul",
+      "folk",  "gospel", "rap",     "hip hop", "r&b",    "disco",
+      "metal", "punk",   "indie",   "electronic","latin", "reggae",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Occupations() {
+  static const std::vector<std::string> kPool = {
+      "engineer",  "teacher",   "nurse",      "accountant", "lawyer",
+      "architect", "designer",  "analyst",    "manager",    "developer",
+      "scientist", "technician","electrician","plumber",    "chef",
+      "pilot",     "dentist",   "pharmacist", "journalist", "librarian",
+  };
+  return kPool;
+}
+
+}  // namespace vocab
+
+SyntheticTableBuilder::SyntheticTableBuilder(std::string table_name,
+                                             size_t rows, uint64_t seed)
+    : rng_(seed), table_(std::move(table_name)), rows_(rows) {}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddIdColumn(
+    const std::string& name, int64_t start) {
+  Column col(name, DataType::kInt64);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    col.Append(Value::Int(start + static_cast<int64_t>(i)));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddPrefixedIdColumn(
+    const std::string& name, const std::string& prefix) {
+  Column col(name, DataType::kString);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%05zu", i + 1);
+    col.Append(Value::String(prefix + buf));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddCategorical(
+    const std::string& name, const std::vector<std::string>& pool) {
+  Column col(name, DataType::kString);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    col.Append(Value::String(rng_.Pick(pool)));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddUniformInt(
+    const std::string& name, int64_t lo, int64_t hi) {
+  Column col(name, DataType::kInt64);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    col.Append(Value::Int(rng_.UniformInt(lo, hi)));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddGaussianInt(
+    const std::string& name, double mean, double stddev, int64_t lo) {
+  Column col(name, DataType::kInt64);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    int64_t v = static_cast<int64_t>(std::llround(rng_.Gaussian(mean, stddev)));
+    col.Append(Value::Int(std::max(lo, v)));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddGaussianFloat(
+    const std::string& name, double mean, double stddev) {
+  Column col(name, DataType::kFloat64);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    double v = rng_.Gaussian(mean, stddev);
+    col.Append(Value::Float(std::round(v * 100.0) / 100.0));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddDateColumn(
+    const std::string& name, int year_lo, int year_hi) {
+  Column col(name, DataType::kDate);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    int year = static_cast<int>(rng_.UniformInt(year_lo, year_hi));
+    int month = static_cast<int>(rng_.UniformInt(1, 12));
+    int day = static_cast<int>(rng_.UniformInt(1, 28));
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+    col.Append(Value::String(buf));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddPatternColumn(
+    const std::string& name, const std::string& pattern) {
+  Column col(name, DataType::kString);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    std::string v;
+    v.reserve(pattern.size());
+    for (char p : pattern) {
+      switch (p) {
+        case 'd':
+          v.push_back(static_cast<char>('0' + rng_.Index(10)));
+          break;
+        case 'A':
+          v.push_back(static_cast<char>('A' + rng_.Index(26)));
+          break;
+        case 'a':
+          v.push_back(static_cast<char>('a' + rng_.Index(26)));
+          break;
+        default:
+          v.push_back(p);
+      }
+    }
+    col.Append(Value::String(std::move(v)));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddTextColumn(
+    const std::string& name, const std::vector<std::string>& pool,
+    size_t min_words, size_t max_words) {
+  Column col(name, DataType::kString);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    size_t n = min_words + rng_.Index(max_words - min_words + 1);
+    std::string text;
+    for (size_t w = 0; w < n; ++w) {
+      if (w > 0) text += " ";
+      text += rng_.Pick(pool);
+    }
+    col.Append(Value::String(std::move(text)));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddPersonNameColumn(
+    const std::string& name) {
+  Column col(name, DataType::kString);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    col.Append(Value::String(rng_.Pick(vocab::FirstNames()) + " " +
+                             rng_.Pick(vocab::LastNames())));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::AddFlagColumn(
+    const std::string& name, double p_true) {
+  Column col(name, DataType::kString);
+  col.Reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    col.Append(Value::String(rng_.Bernoulli(p_true) ? "Y" : "N"));
+  }
+  (void)table_.AddColumn(std::move(col));
+  return *this;
+}
+
+SyntheticTableBuilder& SyntheticTableBuilder::WithNulls(
+    const std::string& column_name, double null_rate) {
+  auto idx = table_.ColumnIndex(column_name);
+  if (idx) {
+    Column& col = table_.column(*idx);
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (rng_.Bernoulli(null_rate)) col[i] = Value::Null();
+    }
+  }
+  return *this;
+}
+
+Table SyntheticTableBuilder::Build() { return std::move(table_); }
+
+}  // namespace valentine

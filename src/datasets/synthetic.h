@@ -1,0 +1,92 @@
+#ifndef VALENTINE_DATASETS_SYNTHETIC_H_
+#define VALENTINE_DATASETS_SYNTHETIC_H_
+
+/// \file synthetic.h
+/// Generic synthetic table construction: deterministic column generators
+/// (ids, categoricals, names, numerics, dates, patterned codes, free
+/// text) plus embedded vocabulary pools. The per-source generators
+/// (TPC-DI, Open Data, ChEMBL, WikiData, Magellan, ING) are built on top
+/// of this — see DESIGN.md §3 for why generated stand-ins preserve the
+/// paper's experimental behaviour.
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/table.h"
+
+namespace valentine {
+
+/// Embedded vocabulary pools used by the dataset generators.
+namespace vocab {
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& Countries();
+const std::vector<std::string>& CountryCodes();  ///< aligned with Countries()
+const std::vector<std::string>& UsStates();
+const std::vector<std::string>& Companies();
+const std::vector<std::string>& Streets();
+const std::vector<std::string>& Words();        ///< generic English nouns
+const std::vector<std::string>& MusicGenres();
+const std::vector<std::string>& Occupations();
+}  // namespace vocab
+
+/// \brief Fluent builder of deterministic synthetic tables.
+///
+/// All generators draw from one seeded Rng, so the same (name, rows,
+/// seed, call sequence) always yields the identical table.
+class SyntheticTableBuilder {
+ public:
+  SyntheticTableBuilder(std::string table_name, size_t rows, uint64_t seed);
+
+  /// Sequential integer key starting at `start`.
+  SyntheticTableBuilder& AddIdColumn(const std::string& name,
+                                     int64_t start = 1);
+  /// Ids rendered as "<prefix><number>", e.g. "CUST00042".
+  SyntheticTableBuilder& AddPrefixedIdColumn(const std::string& name,
+                                             const std::string& prefix);
+  /// Uniform draw from a vocabulary (with replacement).
+  SyntheticTableBuilder& AddCategorical(const std::string& name,
+                                        const std::vector<std::string>& pool);
+  /// Uniform integers in [lo, hi].
+  SyntheticTableBuilder& AddUniformInt(const std::string& name, int64_t lo,
+                                       int64_t hi);
+  /// Gaussian integers (rounded, clamped at lo).
+  SyntheticTableBuilder& AddGaussianInt(const std::string& name, double mean,
+                                        double stddev, int64_t lo = 0);
+  /// Gaussian doubles rounded to 2 decimals.
+  SyntheticTableBuilder& AddGaussianFloat(const std::string& name,
+                                          double mean, double stddev);
+  /// Dates uniform in [year_lo, year_hi], rendered "YYYY-MM-DD".
+  SyntheticTableBuilder& AddDateColumn(const std::string& name,
+                                       int year_lo, int year_hi);
+  /// Patterned codes: in `pattern`, 'd' -> digit, 'A' -> uppercase
+  /// letter, 'a' -> lowercase letter; other chars are literal.
+  SyntheticTableBuilder& AddPatternColumn(const std::string& name,
+                                          const std::string& pattern);
+  /// Free text: `min_words`..`max_words` words drawn from the pool.
+  SyntheticTableBuilder& AddTextColumn(const std::string& name,
+                                       const std::vector<std::string>& pool,
+                                       size_t min_words, size_t max_words);
+  /// Full person names "First Last".
+  SyntheticTableBuilder& AddPersonNameColumn(const std::string& name);
+  /// Boolean flags with probability `p_true`, rendered "Y"/"N".
+  SyntheticTableBuilder& AddFlagColumn(const std::string& name,
+                                       double p_true = 0.5);
+  /// Nulls out a fraction of an existing column's cells.
+  SyntheticTableBuilder& WithNulls(const std::string& column_name,
+                                   double null_rate);
+
+  /// Finalizes the table (the builder may not be reused afterwards).
+  Table Build();
+
+ private:
+  Rng rng_;
+  Table table_;
+  size_t rows_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DATASETS_SYNTHETIC_H_

@@ -1,0 +1,36 @@
+#include "datasets/tpcdi.h"
+
+#include "datasets/synthetic.h"
+
+namespace valentine {
+
+Table MakeTpcdiProspect(size_t rows, uint64_t seed) {
+  SyntheticTableBuilder b("prospect", rows, seed);
+  b.AddPrefixedIdColumn("agency_id", "AGY")
+      .AddCategorical("last_name", vocab::LastNames())
+      .AddCategorical("first_name", vocab::FirstNames())
+      .AddPatternColumn("middle_initial", "A")
+      .AddCategorical("gender", {"M", "F"})
+      .AddPatternColumn("address_line1", "ddd aA")
+      .AddCategorical("address_line2", vocab::Streets())
+      .AddPatternColumn("postal_code", "ddddd")
+      .AddCategorical("city", vocab::Cities())
+      .AddCategorical("state", vocab::UsStates())
+      .AddCategorical("country", vocab::Countries())
+      .AddPatternColumn("phone", "(ddd) ddd-dddd")
+      .AddGaussianInt("income", 65000, 22000, 12000)
+      .AddUniformInt("number_cars", 0, 4)
+      .AddUniformInt("number_children", 0, 5)
+      .AddCategorical("marital_status", {"S", "M", "D", "W", "U"})
+      .AddUniformInt("age", 18, 95)
+      .AddGaussianInt("credit_rating", 620, 90, 300)
+      .AddFlagColumn("own_or_rent", 0.6)
+      .AddCategorical("employer", vocab::Companies())
+      .AddUniformInt("number_credit_cards", 0, 9)
+      .AddGaussianInt("net_worth", 250000, 180000, 0)
+      .WithNulls("address_line2", 0.15)
+      .WithNulls("employer", 0.05);
+  return b.Build();
+}
+
+}  // namespace valentine

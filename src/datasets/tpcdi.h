@@ -1,0 +1,19 @@
+#ifndef VALENTINE_DATASETS_TPCDI_H_
+#define VALENTINE_DATASETS_TPCDI_H_
+
+/// \file tpcdi.h
+/// Deterministic stand-in for the TPC-DI `Prospect` table (paper §V-A:
+/// fabricated TPC-DI pairs span 11-22 columns and 7492-14983 rows). The
+/// schema mirrors the published Prospect definition: customer identity,
+/// address, demographics, and financial attributes.
+
+#include "core/table.h"
+
+namespace valentine {
+
+/// Generates the 22-column Prospect-like table.
+Table MakeTpcdiProspect(size_t rows = 2000, uint64_t seed = 2026);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DATASETS_TPCDI_H_

@@ -1,0 +1,310 @@
+#include "datasets/wikidata.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "datasets/synthetic.h"
+#include "fabrication/noise.h"
+#include "fabrication/splitter.h"
+
+namespace valentine {
+
+namespace {
+
+const std::vector<std::string>& MiddleNames() {
+  static const std::vector<std::string> kPool = {
+      "Aaron", "Lee",  "Marie", "Ann",  "Ray", "Jean",
+      "Lou",   "Mae",  "Dean",  "Earl", "Kay", "Jay",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& VoiceTypes() {
+  static const std::vector<std::string> kPool = {
+      "soprano", "mezzo-soprano", "contralto", "tenor", "baritone", "bass",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Awards() {
+  static const std::vector<std::string> kPool = {
+      "Grammy Award",          "American Music Award", "Billboard Award",
+      "MTV Video Music Award", "CMA Award",            "Brit Award",
+      "Golden Globe",          "Kennedy Center Honor",
+  };
+  return kPool;
+}
+
+const char* kMonthNames[] = {"January",   "February", "March",    "April",
+                             "May",       "June",     "July",     "August",
+                             "September", "October",  "November", "December"};
+
+/// Column-name map from the table-A encoding to the table-B encoding
+/// (the paper's "partner -> spouse" style variation).
+const std::vector<std::pair<std::string, std::string>>& RenameMap() {
+  static const std::vector<std::pair<std::string, std::string>> kMap = {
+      {"artist", "performer_name"},
+      {"birth_name", "full_name"},
+      {"birth_date", "date_of_birth"},
+      {"birth_place", "place_of_birth"},
+      {"citizenship", "nationality"},
+      {"gender", "sex"},
+      {"genre", "music_genre"},
+      {"instrument", "plays_instrument"},
+      {"label", "record_company"},
+      {"debut_year", "career_start"},
+      {"partner", "spouse"},
+      {"father", "fathers_name"},
+      {"mother", "mothers_name"},
+      {"notable_work", "famous_song"},
+      {"award", "honours"},
+      {"residence", "lives_in"},
+      {"height_cm", "height"},
+      {"net_worth_musd", "fortune"},
+      {"website", "homepage"},
+      {"voice_type", "vocal_range"},
+  };
+  return kMap;
+}
+
+struct SingerRows {
+  std::vector<std::string> first, middle, last, birth_city, genre, instrument,
+      label, partner, father, mother, work, award, residence, website, voice,
+      gender;
+  std::vector<int> birth_year, birth_month, birth_day, debut_year, height;
+  std::vector<double> net_worth;
+};
+
+SingerRows GenerateRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  SingerRows r;
+  auto pick = [&](const std::vector<std::string>& pool) {
+    return rng.Pick(pool);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    r.first.push_back(pick(vocab::FirstNames()));
+    r.middle.push_back(pick(MiddleNames()));
+    r.last.push_back(pick(vocab::LastNames()));
+    r.birth_city.push_back(pick(vocab::Cities()));
+    r.genre.push_back(pick(vocab::MusicGenres()));
+    r.instrument.push_back(pick({"guitar", "piano", "drums", "bass",
+                                 "violin", "saxophone", "harmonica"}));
+    r.label.push_back(pick(vocab::Companies()));
+    r.partner.push_back(pick(vocab::FirstNames()) + " " +
+                        pick(vocab::LastNames()));
+    r.father.push_back(pick(vocab::FirstNames()) + " " + r.last.back());
+    r.mother.push_back(pick(vocab::FirstNames()) + " " +
+                       pick(vocab::LastNames()));
+    r.work.push_back(pick(vocab::Words()) + " " + pick(vocab::Words()));
+    r.award.push_back(pick(Awards()));
+    r.residence.push_back(pick(vocab::Cities()));
+    std::string slug = r.first.back() + r.last.back();
+    for (char& c : slug) c = static_cast<char>(std::tolower(c));
+    r.website.push_back(slug + ".com");
+    r.voice.push_back(pick(VoiceTypes()));
+    r.gender.push_back(rng.Bernoulli(0.5) ? "male" : "female");
+    r.birth_year.push_back(static_cast<int>(rng.UniformInt(1930, 2000)));
+    r.birth_month.push_back(static_cast<int>(rng.UniformInt(1, 12)));
+    r.birth_day.push_back(static_cast<int>(rng.UniformInt(1, 28)));
+    r.debut_year.push_back(r.birth_year.back() +
+                           static_cast<int>(rng.UniformInt(15, 30)));
+    r.height.push_back(static_cast<int>(rng.UniformInt(150, 200)));
+    r.net_worth.push_back(
+        std::round(rng.UniformDouble(0.5, 400.0) * 10.0) / 10.0);
+  }
+  return r;
+}
+
+void AppendString(Table* t, const std::string& name,
+                  std::vector<std::string> values) {
+  Column c(name, DataType::kString);
+  for (auto& v : values) c.Append(Value::String(std::move(v)));
+  (void)t->AddColumn(std::move(c));
+}
+
+/// Builds the table in encoding A (verbatim) or B (renamed columns plus
+/// alternative encodings in six value columns).
+Table BuildSingersTable(const SingerRows& r, bool encoding_b,
+                        const std::string& table_name) {
+  size_t n = r.first.size();
+  Table t(table_name);
+  std::vector<std::string> artist(n), birth_name(n), birth_date(n),
+      citizenship(n), genre(n), website(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (encoding_b) {
+      // The six alternative-encoding columns (paper: "Elvis Presley" ->
+      // "Elvis Aaron Presley", etc.).
+      artist[i] = r.first[i] + " " + r.middle[i] + " " + r.last[i];
+      birth_name[i] = r.last[i] + ", " + r.first[i] + " " + r.middle[i];
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%s %d, %d",
+                    kMonthNames[r.birth_month[i] - 1], r.birth_day[i],
+                    r.birth_year[i]);
+      birth_date[i] = buf;
+      citizenship[i] = "USA";
+      genre[i] = r.genre[i] + " music";
+      website[i] = "https://www." + r.website[i];
+    } else {
+      artist[i] = r.first[i] + " " + r.last[i];
+      birth_name[i] = r.first[i] + " " + r.middle[i] + " " + r.last[i];
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", r.birth_year[i],
+                    r.birth_month[i], r.birth_day[i]);
+      birth_date[i] = buf;
+      citizenship[i] = "United States of America";
+      genre[i] = r.genre[i];
+      website[i] = r.website[i];
+    }
+  }
+  auto name_of = [&](size_t idx) {
+    const auto& m = RenameMap()[idx];
+    return encoding_b ? m.second : m.first;
+  };
+  AppendString(&t, name_of(0), artist);
+  AppendString(&t, name_of(1), birth_name);
+  AppendString(&t, name_of(2), birth_date);
+  AppendString(&t, name_of(3), r.birth_city);
+  AppendString(&t, name_of(4), citizenship);
+  AppendString(&t, name_of(5), r.gender);
+  AppendString(&t, name_of(6), genre);
+  AppendString(&t, name_of(7), r.instrument);
+  AppendString(&t, name_of(8), r.label);
+  {
+    Column c(name_of(9), DataType::kInt64);
+    for (int v : r.debut_year) c.Append(Value::Int(v));
+    (void)t.AddColumn(std::move(c));
+  }
+  AppendString(&t, name_of(10), r.partner);
+  AppendString(&t, name_of(11), r.father);
+  AppendString(&t, name_of(12), r.mother);
+  AppendString(&t, name_of(13), r.work);
+  AppendString(&t, name_of(14), r.award);
+  AppendString(&t, name_of(15), r.residence);
+  {
+    Column c(name_of(16), DataType::kInt64);
+    for (int v : r.height) c.Append(Value::Int(v));
+    (void)t.AddColumn(std::move(c));
+  }
+  {
+    Column c(name_of(17), DataType::kFloat64);
+    for (double v : r.net_worth) c.Append(Value::Float(v));
+    (void)t.AddColumn(std::move(c));
+  }
+  AppendString(&t, name_of(18), website);
+  AppendString(&t, name_of(19), r.voice);
+  return t;
+}
+
+}  // namespace
+
+Table MakeWikidataSingersBase(size_t rows, uint64_t seed) {
+  return BuildSingersTable(GenerateRows(rows, seed), /*encoding_b=*/false,
+                           "singers");
+}
+
+std::vector<DatasetPair> MakeWikidataPairs(size_t rows, uint64_t seed) {
+  SingerRows r = GenerateRows(rows, seed);
+  Table a_full = BuildSingersTable(r, false, "singers_a");
+  Table b_full = BuildSingersTable(r, true, "singers_b");
+  Rng rng(seed ^ 0x5151);
+
+  auto ground_truth_for = [&](const Table& a, const Table& b) {
+    std::vector<GroundTruthEntry> gt;
+    std::unordered_map<std::string, std::string> map;
+    for (const auto& [an, bn] : RenameMap()) map[an] = bn;
+    for (const auto& an : a.ColumnNames()) {
+      const std::string& bn = map.at(an);
+      if (b.ColumnIndex(bn)) gt.push_back({an, bn});
+    }
+    return gt;
+  };
+
+  std::vector<DatasetPair> pairs;
+
+  // Unionable: same 20 columns, ~50% row overlap. Alternative encodings
+  // in six columns make the instance side non-trivial.
+  {
+    HorizontalSplit hs = SplitRowsWithOverlap(rows, 0.5, &rng);
+    DatasetPair p;
+    p.scenario = Scenario::kUnionable;
+    p.source = a_full.TakeRows(hs.rows_a);
+    p.target = b_full.TakeRows(hs.rows_b);
+    p.ground_truth = ground_truth_for(p.source, p.target);
+    p.id = "wikidata_unionable";
+    pairs.push_back(std::move(p));
+  }
+
+  // View-unionable: no row overlap, ~65% column overlap, and extra
+  // instance noise on the target — the paper notes its fabrication
+  // deliberately varies distribution similarity here (horizontal splits
+  // plus noise), which is what defeats the distribution-based method.
+  {
+    HorizontalSplit hs = SplitRowsWithOverlap(rows, 0.0, &rng);
+    VerticalSplit vs =
+        SplitColumnsWithOverlap(a_full.num_columns(), 0.65, &rng);
+    DatasetPair p;
+    p.scenario = Scenario::kViewUnionable;
+    p.source = a_full.Project(vs.cols_a).TakeRows(hs.rows_a);
+    p.target = b_full.Project(vs.cols_b).TakeRows(hs.rows_b);
+    p.source.set_name("singers_a");
+    p.target.set_name("singers_b");
+    InstanceNoiseOptions noise;
+    AddInstanceNoise(&p.target, noise, &rng);
+    p.ground_truth = ground_truth_for(p.source, p.target);
+    p.id = "wikidata_view_unionable";
+    pairs.push_back(std::move(p));
+  }
+
+  // Joinable: vertical split with shared join columns, full rows, and
+  // *consistent* encodings on the shared side: the joinable case uses
+  // verbatim instances, so the target shard keeps encoding A values but
+  // encoding B names.
+  {
+    VerticalSplit vs =
+        SplitColumnsWithOverlap(a_full.num_columns(), 0.4, &rng);
+    Table b_named_a_values = a_full;
+    for (size_t c = 0; c < b_named_a_values.num_columns(); ++c) {
+      (void)b_named_a_values.RenameColumn(c, RenameMap()[c].second);
+    }
+    b_named_a_values.set_name("singers_b");
+    DatasetPair p;
+    p.scenario = Scenario::kJoinable;
+    p.source = a_full.Project(vs.cols_a);
+    p.target = b_named_a_values.Project(vs.cols_b);
+    p.source.set_name("singers_a");
+    p.target.set_name("singers_b");
+    p.ground_truth.clear();
+    for (size_t c : vs.shared) {
+      p.ground_truth.push_back(
+          {RenameMap()[c].first, RenameMap()[c].second});
+    }
+    p.id = "wikidata_joinable";
+    pairs.push_back(std::move(p));
+  }
+
+  // Semantically-joinable: same vertical split but the target keeps the
+  // *alternative* encodings, so the join key demands semantics.
+  {
+    VerticalSplit vs =
+        SplitColumnsWithOverlap(a_full.num_columns(), 0.4, &rng);
+    DatasetPair p;
+    p.scenario = Scenario::kSemanticallyJoinable;
+    p.source = a_full.Project(vs.cols_a);
+    p.target = b_full.Project(vs.cols_b);
+    p.source.set_name("singers_a");
+    p.target.set_name("singers_b");
+    for (size_t c : vs.shared) {
+      p.ground_truth.push_back(
+          {RenameMap()[c].first, RenameMap()[c].second});
+    }
+    p.id = "wikidata_semantically_joinable";
+    pairs.push_back(std::move(p));
+  }
+
+  return pairs;
+}
+
+}  // namespace valentine

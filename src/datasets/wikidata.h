@@ -1,0 +1,29 @@
+#ifndef VALENTINE_DATASETS_WIKIDATA_H_
+#define VALENTINE_DATASETS_WIKIDATA_H_
+
+/// \file wikidata.h
+/// Curated WikiData-style matching challenge (paper §V-B): two tables
+/// about USA singers with identical underlying entities but (i) varied
+/// column names in the second table (partner -> spouse, etc.) and
+/// (ii) alternative value encodings in six selected columns (e.g.
+/// "Elvis Presley" -> "Elvis Aaron Presley", ISO dates -> long-form
+/// dates). Variants are fabricated for all four relatedness scenarios.
+
+#include <vector>
+
+#include "core/table.h"
+#include "fabrication/fabricator.h"
+
+namespace valentine {
+
+/// The base 20-column singers table (table-A encoding).
+Table MakeWikidataSingersBase(size_t rows = 1000, uint64_t seed = 7);
+
+/// The four curated pairs, one per relatedness scenario, in the order
+/// Unionable, View-Unionable, Joinable, Semantically-Joinable.
+std::vector<DatasetPair> MakeWikidataPairs(size_t rows = 1000,
+                                           uint64_t seed = 7);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DATASETS_WIKIDATA_H_

@@ -1,0 +1,127 @@
+#include "discovery/discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "matchers/coma.h"
+
+namespace valentine {
+
+DiscoveryEngine::DiscoveryEngine(DiscoveryOptions options)
+    : options_(std::move(options)), column_index_(options_.lsh) {}
+
+DiscoveryEngine::~DiscoveryEngine() = default;
+
+const ColumnMatcher& DiscoveryEngine::matcher() const {
+  if (options_.matcher) return *options_.matcher;
+  static const ComaMatcher* kDefault = [] {
+    ComaOptions opt;
+    opt.strategy = ComaStrategy::kInstances;
+    return new ComaMatcher(opt);
+  }();
+  return *kDefault;
+}
+
+Status DiscoveryEngine::AddTable(Table table) {
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("table '" + table.name() +
+                                   "' has no columns");
+  }
+  for (const Table& existing : tables_) {
+    if (existing.name() == table.name()) {
+      return Status::InvalidArgument("duplicate table name '" +
+                                     table.name() + "'");
+    }
+  }
+  for (const Column& c : table.columns()) {
+    column_index_.Add(table.name() + "\x1f" + c.name(),
+                      c.DistinctStringSet());
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
+    const Table& query, size_t k) const {
+  // Nominate candidate tables: for every query column, probe the
+  // containment index and credit the owning table.
+  std::set<std::string> candidate_tables;
+  for (const Column& c : query.columns()) {
+    auto hits = column_index_.QueryContainment(c.DistinctStringSet(),
+                                               options_.min_containment);
+    for (const auto& [key, containment] : hits) {
+      candidate_tables.insert(key.substr(0, key.find('\x1f')));
+    }
+  }
+
+  // Verify candidates with the matcher; table score = best column match.
+  std::vector<DiscoveryResult> results;
+  for (const Table& t : tables_) {
+    if (!candidate_tables.count(t.name())) continue;
+    MatchResult ranked = matcher().Match(query, t);
+    DiscoveryResult r;
+    r.table_name = t.name();
+    if (!ranked.empty()) {
+      r.score = ranked[0].score;
+      r.evidence = ranked.TopK(3);
+    }
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const DiscoveryResult& a, const DiscoveryResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.table_name < b.table_name;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+std::vector<DiscoveryResult> DiscoveryEngine::FindUnionable(
+    const Table& query, size_t k) const {
+  std::vector<DiscoveryResult> results;
+  for (const Table& t : tables_) {
+    MatchResult ranked = matcher().Match(query, t);
+    // Union score: mean of the best per-query-column matches, over the
+    // strongest `union_evidence_columns` columns.
+    std::map<std::string, Match> best_per_column;
+    for (const Match& m : ranked.matches()) {
+      auto it = best_per_column.find(m.source.column);
+      if (it == best_per_column.end() || m.score > it->second.score) {
+        best_per_column[m.source.column] = m;
+      }
+    }
+    std::vector<Match> bests;
+    bests.reserve(best_per_column.size());
+    for (auto& [col, m] : best_per_column) bests.push_back(m);
+    std::sort(bests.begin(), bests.end(),
+              [](const Match& a, const Match& b) { return a.score > b.score; });
+    size_t evidence_n =
+        std::min<size_t>(options_.union_evidence_columns, bests.size());
+    DiscoveryResult r;
+    r.table_name = t.name();
+    if (evidence_n > 0) {
+      double total = 0.0;
+      for (size_t i = 0; i < evidence_n; ++i) {
+        total += bests[i].score;
+        r.evidence.push_back(bests[i]);
+      }
+      // Penalize arity mismatch: unionable relations must align fully.
+      double arity = static_cast<double>(
+                         std::min(query.num_columns(), t.num_columns())) /
+                     static_cast<double>(
+                         std::max(query.num_columns(), t.num_columns()));
+      r.score = (total / static_cast<double>(evidence_n)) * arity;
+    }
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const DiscoveryResult& a, const DiscoveryResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.table_name < b.table_name;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace valentine

@@ -1,0 +1,85 @@
+#ifndef VALENTINE_DISCOVERY_DISCOVERY_H_
+#define VALENTINE_DISCOVERY_DISCOVERY_H_
+
+/// \file discovery.h
+/// Dataset discovery on top of the matchers — the consuming use case the
+/// paper targets (§II-B: "Valentine as a Discovery Component"). A
+/// DiscoveryEngine holds a repository of tables; given a query table it
+/// returns ranked *tables*:
+///
+///  * FindJoinable — tables containing at least one column whose value
+///    domain overlaps/contains a query column (candidate pruning through
+///    the MinHash-LSH index, verification through a column matcher);
+///  * FindUnionable — tables whose schema aligns column-for-column with
+///    the query (scored by the mean of the best per-column matches).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/table.h"
+#include "matchers/matcher.h"
+#include "scaling/lsh_index.h"
+
+namespace valentine {
+
+/// One discovered table with its evidence.
+struct DiscoveryResult {
+  std::string table_name;
+  double score = 0.0;          ///< table-level relatedness
+  std::vector<Match> evidence; ///< the column matches behind the score
+};
+
+/// Engine configuration.
+struct DiscoveryOptions {
+  /// Column matcher used to verify/score candidate tables. When null, a
+  /// default COMA-Instances matcher is used.
+  MatcherPtr matcher;
+  /// LSH settings for the joinability candidate index.
+  LshOptions lsh;
+  /// Minimum estimated containment for a query column to nominate a
+  /// candidate table in FindJoinable.
+  double min_containment = 0.3;
+  /// How many column matches contribute to a table's union score.
+  size_t union_evidence_columns = 3;
+};
+
+/// \brief A searchable repository of tables.
+class DiscoveryEngine {
+ public:
+  explicit DiscoveryEngine(DiscoveryOptions options = {});
+  ~DiscoveryEngine();
+
+  DiscoveryEngine(const DiscoveryEngine&) = delete;
+  DiscoveryEngine& operator=(const DiscoveryEngine&) = delete;
+
+  /// Registers a table; fails on duplicate names or empty tables.
+  Status AddTable(Table table);
+
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<Table>& tables() const { return tables_; }
+
+  /// Top-k tables joinable with the query: candidate tables are
+  /// nominated by per-column LSH containment probes, then verified and
+  /// scored with the matcher (score = best verified column match).
+  std::vector<DiscoveryResult> FindJoinable(const Table& query,
+                                            size_t k) const;
+
+  /// Top-k unionable tables: every repository table is scored by the
+  /// mean of its `union_evidence_columns` best column matches against
+  /// the query (schema-alignment semantics, §III-A).
+  std::vector<DiscoveryResult> FindUnionable(const Table& query,
+                                             size_t k) const;
+
+ private:
+  const ColumnMatcher& matcher() const;
+
+  DiscoveryOptions options_;
+  std::vector<Table> tables_;
+  LshIndex column_index_;  ///< keys are "<table>\x1f<column>"
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DISCOVERY_DISCOVERY_H_

@@ -1,0 +1,131 @@
+#include "fabrication/fabricator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fabrication/noise.h"
+#include "fabrication/splitter.h"
+
+namespace valentine {
+
+const char* ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kUnionable: return "Unionable";
+    case Scenario::kViewUnionable: return "View-Unionable";
+    case Scenario::kJoinable: return "Joinable";
+    case Scenario::kSemanticallyJoinable: return "Semantically-Joinable";
+  }
+  return "Unknown";
+}
+
+Result<DatasetPair> FabricateDatasetPair(const Table& original,
+                                         const FabricationOptions& options) {
+  if (original.num_columns() < 2) {
+    return Status::InvalidArgument("fabrication needs >= 2 columns, table " +
+                                   original.Describe());
+  }
+  if (original.num_rows() == 0) {
+    return Status::InvalidArgument("fabrication needs rows, table " +
+                                   original.Describe());
+  }
+
+  Rng rng(options.seed);
+  const size_t n_rows = original.num_rows();
+  const size_t n_cols = original.num_columns();
+
+  // --- Decide shard rows/columns per scenario. ---
+  double row_overlap = options.row_overlap;
+  double col_overlap = 1.0;
+  bool split_vertically = false;
+  bool split_horizontally = true;
+  bool noisy_instances = options.noisy_instances;
+  switch (options.scenario) {
+    case Scenario::kUnionable:
+      break;
+    case Scenario::kViewUnionable:
+      row_overlap = 0.0;  // defining property: no shared rows
+      col_overlap = options.column_overlap;
+      split_vertically = true;
+      break;
+    case Scenario::kJoinable:
+      noisy_instances = false;  // "classical" join keeps instances verbatim
+      col_overlap = options.column_overlap;
+      split_vertically = true;
+      split_horizontally = options.joinable_horizontal_variant;
+      row_overlap = 0.5;
+      break;
+    case Scenario::kSemanticallyJoinable:
+      noisy_instances = true;  // the definition of the scenario
+      col_overlap = options.column_overlap;
+      split_vertically = true;
+      split_horizontally = options.joinable_horizontal_variant;
+      row_overlap = 0.5;
+      break;
+  }
+
+  HorizontalSplit hsplit;
+  if (split_horizontally) {
+    hsplit = SplitRowsWithOverlap(n_rows, row_overlap, &rng);
+  } else {
+    hsplit.rows_a.resize(n_rows);
+    hsplit.rows_b.resize(n_rows);
+    for (size_t i = 0; i < n_rows; ++i) {
+      hsplit.rows_a[i] = i;
+      hsplit.rows_b[i] = i;
+    }
+    hsplit.overlap_count = n_rows;
+  }
+
+  VerticalSplit vsplit;
+  if (split_vertically) {
+    vsplit = SplitColumnsWithOverlap(n_cols, col_overlap, &rng);
+  } else {
+    vsplit.cols_a.resize(n_cols);
+    vsplit.cols_b.resize(n_cols);
+    vsplit.shared.resize(n_cols);
+    for (size_t i = 0; i < n_cols; ++i) {
+      vsplit.cols_a[i] = i;
+      vsplit.cols_b[i] = i;
+      vsplit.shared[i] = i;
+    }
+  }
+
+  DatasetPair pair;
+  pair.scenario = options.scenario;
+  pair.source = original.Project(vsplit.cols_a).TakeRows(hsplit.rows_a);
+  pair.target = original.Project(vsplit.cols_b).TakeRows(hsplit.rows_b);
+  pair.source.set_name(original.name() + "_src");
+  pair.target.set_name(original.name() + "_tgt");
+
+  // --- Instance noise on the target shard (perturbing one side keeps
+  // the other as the clean reference, as in eTuner). ---
+  if (noisy_instances) {
+    InstanceNoiseOptions noise;
+    AddInstanceNoise(&pair.target, noise, &rng);
+  }
+
+  // --- Schema noise on the target shard; ground truth tracks renames. ---
+  std::unordered_map<std::string, std::string> rename;
+  if (options.noisy_schema) {
+    for (const auto& [old_name, new_name] :
+         AddSchemaNoise(&pair.target, &rng)) {
+      rename[old_name] = new_name;
+    }
+  }
+
+  // --- Ground truth: every shared original column matches itself. ---
+  for (size_t c : vsplit.shared) {
+    const std::string& name = original.column(c).name();
+    auto it = rename.find(name);
+    pair.ground_truth.push_back(
+        {name, it == rename.end() ? name : it->second});
+  }
+
+  pair.id = original.name() + "_" + ScenarioName(options.scenario) +
+            (options.noisy_schema ? "_noisySchema" : "_verbatimSchema") +
+            (noisy_instances ? "_noisyInst" : "_verbatimInst") + "_s" +
+            std::to_string(options.seed);
+  return pair;
+}
+
+}  // namespace valentine

@@ -1,0 +1,80 @@
+#ifndef VALENTINE_FABRICATION_FABRICATOR_H_
+#define VALENTINE_FABRICATION_FABRICATOR_H_
+
+/// \file fabricator.h
+/// Dataset-pair fabrication for the four relatedness scenarios of
+/// paper §III/§IV: given one original table, produce a (source, target)
+/// pair plus the column-correspondence ground truth.
+///
+///  * Unionable: horizontal split, varying row overlap, all columns on
+///    both sides; every column pair corresponds.
+///  * View-unionable: horizontal + vertical split, zero row overlap,
+///    varying column overlap; shared columns correspond.
+///  * Joinable: vertical split with varying column overlap (optionally a
+///    50% horizontal split too); instances stay verbatim.
+///  * Semantically-joinable: joinable + noisy instances, so an equality
+///    join no longer reconstructs the original.
+///
+/// Independently, each pair may get noisy schemata (one side's column
+/// names rewritten) and — where the scenario allows — noisy instances.
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/table.h"
+
+namespace valentine {
+
+/// The four dataset relatedness scenarios (paper Fig. 2).
+enum class Scenario {
+  kUnionable,
+  kViewUnionable,
+  kJoinable,
+  kSemanticallyJoinable,
+};
+
+const char* ScenarioName(Scenario scenario);
+
+/// Knobs of one fabrication run.
+struct FabricationOptions {
+  Scenario scenario = Scenario::kUnionable;
+  /// Fraction of rows shared between the shards (unionable / joinable
+  /// horizontal variant). Ignored for view-unionable (forced to 0).
+  double row_overlap = 0.5;
+  /// Fraction of columns shared (view-unionable / joinable).
+  double column_overlap = 0.5;
+  /// Also split joinable pairs horizontally at 50% row overlap.
+  bool joinable_horizontal_variant = false;
+  /// Rewrite one side's column names with the noise rules.
+  bool noisy_schema = false;
+  /// Perturb instances. Forced on for semantically-joinable, forced off
+  /// for joinable (per §IV).
+  bool noisy_instances = false;
+  uint64_t seed = 1;
+};
+
+/// A correspondence in the ground truth (names as they appear in the
+/// fabricated tables, i.e. after schema noise).
+struct GroundTruthEntry {
+  std::string source_column;
+  std::string target_column;
+};
+
+/// A fabricated experiment input: two tables plus their ground truth.
+struct DatasetPair {
+  std::string id;  ///< human-readable pair identifier
+  Scenario scenario = Scenario::kUnionable;
+  Table source;
+  Table target;
+  std::vector<GroundTruthEntry> ground_truth;
+};
+
+/// Fabricates one dataset pair from an original table. Fails when the
+/// original has fewer than 2 columns or no rows.
+Result<DatasetPair> FabricateDatasetPair(const Table& original,
+                                         const FabricationOptions& options);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_FABRICATION_FABRICATOR_H_

@@ -1,0 +1,70 @@
+#include "fabrication/noise.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "text/transforms.h"
+#include "text/typo_model.h"
+
+namespace valentine {
+
+void AddInstanceNoise(Column* column, const InstanceNoiseOptions& options,
+                      Rng* rng) {
+  if (column->empty() || options.cell_rate <= 0.0) return;
+  const bool numeric = column->NumericFraction() > 0.9;
+  if (numeric) {
+    NumericStats stats = ComputeNumericStats(column->NumericValues());
+    double sigma = stats.stddev * options.numeric_sigma_scale;
+    if (sigma <= 0.0) sigma = std::max(1.0, std::abs(stats.mean) * 0.05);
+    for (size_t i = 0; i < column->size(); ++i) {
+      Value& v = (*column)[i];
+      if (v.is_null() || !rng->Bernoulli(options.cell_rate)) continue;
+      auto d = v.TryFloat();
+      if (!d) continue;
+      double perturbed = *d + rng->Gaussian(0.0, sigma);
+      if (v.kind() == DataType::kInt64) {
+        v = Value::Int(static_cast<int64_t>(std::llround(perturbed)));
+      } else {
+        v = Value::Float(perturbed);
+      }
+    }
+  } else {
+    TypoModel typos(options.typo_rate);
+    for (size_t i = 0; i < column->size(); ++i) {
+      Value& v = (*column)[i];
+      if (v.is_null() || !rng->Bernoulli(options.cell_rate)) continue;
+      v = Value::String(typos.Perturb(v.AsString(), rng));
+    }
+  }
+}
+
+void AddInstanceNoise(Table* table, const InstanceNoiseOptions& options,
+                      Rng* rng) {
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    AddInstanceNoise(&table->column(c), options, rng);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> AddSchemaNoise(Table* table,
+                                                                Rng* rng) {
+  std::vector<std::pair<std::string, std::string>> mapping;
+  std::unordered_set<std::string> used;
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    const std::string old_name = table->column(c).name();
+    int rule = static_cast<int>(rng->Index(6));
+    std::string new_name =
+        ApplySchemaNoiseRule(old_name, table->name(), rule);
+    // Keep names unique within the table (abbreviation can collide);
+    // fall back to the always-unique prefix rule.
+    if (new_name == old_name || used.count(new_name)) {
+      new_name = PrefixWithTable(old_name, table->name());
+    }
+    while (used.count(new_name)) new_name += "_x";
+    used.insert(new_name);
+    (void)table->RenameColumn(c, new_name);
+    mapping.emplace_back(old_name, new_name);
+  }
+  return mapping;
+}
+
+}  // namespace valentine

@@ -1,0 +1,45 @@
+#ifndef VALENTINE_FABRICATION_NOISE_H_
+#define VALENTINE_FABRICATION_NOISE_H_
+
+/// \file noise.h
+/// Instance and schema noise injection (paper §IV). Instance noise:
+/// keyboard-proximity typos for string cells, distribution-scaled
+/// perturbation for numeric cells (the eTuner recipe). Schema noise: one
+/// of the three name transformation rules — table-name prefix,
+/// abbreviation, vowel dropping — applied per column.
+
+#include "core/rng.h"
+#include "core/table.h"
+
+namespace valentine {
+
+/// Controls instance-noise injection.
+struct InstanceNoiseOptions {
+  /// Fraction of cells perturbed per column.
+  double cell_rate = 0.65;
+  /// Per-character typo probability inside a perturbed string cell.
+  double typo_rate = 0.22;
+  /// Numeric cells are shifted by Gaussian noise with this multiple of
+  /// the column's standard deviation.
+  double numeric_sigma_scale = 0.4;
+};
+
+/// Perturbs a fraction of the column's cells in place. Numeric columns
+/// are shifted relative to their own value distribution; string columns
+/// receive typos.
+void AddInstanceNoise(Column* column, const InstanceNoiseOptions& options,
+                      Rng* rng);
+
+/// Applies AddInstanceNoise to every column of the table.
+void AddInstanceNoise(Table* table, const InstanceNoiseOptions& options,
+                      Rng* rng);
+
+/// Renames every column using a randomly chosen transformation rule
+/// (prefix with table name / abbreviate / drop vowels). Returns the
+/// mapping old name -> new name.
+std::vector<std::pair<std::string, std::string>> AddSchemaNoise(Table* table,
+                                                                Rng* rng);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_FABRICATION_NOISE_H_

@@ -1,0 +1,71 @@
+#include "fabrication/splitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace valentine {
+
+HorizontalSplit SplitRowsWithOverlap(size_t n, double overlap, Rng* rng) {
+  HorizontalSplit split;
+  if (n == 0) return split;
+  overlap = std::clamp(overlap, 0.0, 1.0);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  size_t shared = static_cast<size_t>(std::llround(overlap * n));
+  shared = std::min(shared, n);
+  size_t rest = n - shared;
+  size_t half = rest / 2;
+
+  split.overlap_count = shared;
+  split.rows_a.assign(order.begin(), order.begin() + shared);
+  split.rows_b.assign(order.begin(), order.begin() + shared);
+  for (size_t i = shared; i < shared + half; ++i) {
+    split.rows_a.push_back(order[i]);
+  }
+  for (size_t i = shared + half; i < n; ++i) {
+    split.rows_b.push_back(order[i]);
+  }
+  // Guarantee non-empty shards when possible.
+  if (split.rows_a.empty() && !split.rows_b.empty()) {
+    split.rows_a.push_back(split.rows_b.back());
+  }
+  if (split.rows_b.empty() && !split.rows_a.empty()) {
+    split.rows_b.push_back(split.rows_a.back());
+  }
+  std::sort(split.rows_a.begin(), split.rows_a.end());
+  std::sort(split.rows_b.begin(), split.rows_b.end());
+  return split;
+}
+
+VerticalSplit SplitColumnsWithOverlap(size_t n, double overlap, Rng* rng) {
+  VerticalSplit split;
+  if (n == 0) return split;
+  overlap = std::clamp(overlap, 0.0, 1.0);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  size_t shared = static_cast<size_t>(std::llround(overlap * n));
+  shared = std::clamp<size_t>(shared, 1, n);
+  split.shared.assign(order.begin(), order.begin() + shared);
+
+  split.cols_a = split.shared;
+  split.cols_b = split.shared;
+  bool to_a = true;
+  for (size_t i = shared; i < n; ++i) {
+    if (to_a) {
+      split.cols_a.push_back(order[i]);
+    } else {
+      split.cols_b.push_back(order[i]);
+    }
+    to_a = !to_a;
+  }
+  std::sort(split.cols_a.begin(), split.cols_a.end());
+  std::sort(split.cols_b.begin(), split.cols_b.end());
+  std::sort(split.shared.begin(), split.shared.end());
+  return split;
+}
+
+}  // namespace valentine

@@ -1,0 +1,41 @@
+#ifndef VALENTINE_FABRICATION_SPLITTER_H_
+#define VALENTINE_FABRICATION_SPLITTER_H_
+
+/// \file splitter.h
+/// Horizontal and vertical table splitting with controlled overlap — the
+/// mechanical core of the eTuner-style fabrication (paper §IV, Fig. 3).
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace valentine {
+
+/// Row-index sets for two horizontal shards.
+struct HorizontalSplit {
+  std::vector<size_t> rows_a;
+  std::vector<size_t> rows_b;
+  size_t overlap_count = 0;
+};
+
+/// Splits n rows into two shards sharing `overlap` fraction of the total
+/// rows; non-shared rows are divided evenly. overlap = 0 yields disjoint
+/// shards; overlap = 1 makes both shards the whole table. Row order is
+/// randomized but deterministic under the Rng.
+HorizontalSplit SplitRowsWithOverlap(size_t n, double overlap, Rng* rng);
+
+/// Column-index sets for two vertical shards.
+struct VerticalSplit {
+  std::vector<size_t> cols_a;
+  std::vector<size_t> cols_b;
+  std::vector<size_t> shared;  ///< columns present in both shards
+};
+
+/// Splits n columns into two shards sharing `overlap` fraction of them
+/// (at least one shared column); the remaining columns alternate between
+/// the shards. Original column order is preserved within each shard.
+VerticalSplit SplitColumnsWithOverlap(size_t n, double overlap, Rng* rng);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_FABRICATION_SPLITTER_H_

@@ -1,0 +1,54 @@
+#include "graph/digraph.h"
+
+namespace valentine {
+
+NodeId Digraph::AddNode(std::string name, std::string kind) {
+  NodeId id = names_.size();
+  names_.push_back(std::move(name));
+  kinds_.push_back(std::move(kind));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+NodeId Digraph::GetOrAddNode(const std::string& name,
+                             const std::string& kind) {
+  std::string key = kind + "\x1f" + name;
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  NodeId id = AddNode(name, kind);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+void Digraph::AddEdge(NodeId from, NodeId to, std::string label) {
+  out_[from].push_back({label, to});
+  in_[to].push_back({std::move(label), from});
+  ++edge_count_;
+}
+
+std::vector<NodeId> Digraph::Neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  out.reserve(out_[id].size() + in_[id].size());
+  for (const Edge& e : out_[id]) out.push_back(e.target);
+  for (const Edge& e : in_[id]) out.push_back(e.target);
+  return out;
+}
+
+size_t Digraph::OutDegreeWithLabel(NodeId id, const std::string& label) const {
+  size_t n = 0;
+  for (const Edge& e : out_[id]) {
+    if (e.label == label) ++n;
+  }
+  return n;
+}
+
+size_t Digraph::InDegreeWithLabel(NodeId id, const std::string& label) const {
+  size_t n = 0;
+  for (const Edge& e : in_[id]) {
+    if (e.label == label) ++n;
+  }
+  return n;
+}
+
+}  // namespace valentine

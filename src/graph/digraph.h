@@ -1,0 +1,64 @@
+#ifndef VALENTINE_GRAPH_DIGRAPH_H_
+#define VALENTINE_GRAPH_DIGRAPH_H_
+
+/// \file digraph.h
+/// A labeled directed multigraph. Two matchers are built on this:
+/// Similarity Flooding turns each schema into a graph and floods
+/// similarity over a pairwise-connectivity product graph, and EmbDI walks
+/// a record/attribute/value graph to generate training sentences.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace valentine {
+
+/// Node handle within a Digraph.
+using NodeId = size_t;
+
+/// \brief Directed multigraph with string-labeled nodes and edges.
+class Digraph {
+ public:
+  /// Adds a node with a payload string and a kind tag; returns its id.
+  NodeId AddNode(std::string name, std::string kind = "");
+
+  /// Adds or reuses the node with this exact (name, kind).
+  NodeId GetOrAddNode(const std::string& name, const std::string& kind = "");
+
+  /// Adds a labeled directed edge.
+  void AddEdge(NodeId from, NodeId to, std::string label);
+
+  size_t num_nodes() const { return names_.size(); }
+  size_t num_edges() const { return edge_count_; }
+
+  const std::string& name(NodeId id) const { return names_[id]; }
+  const std::string& kind(NodeId id) const { return kinds_[id]; }
+
+  /// Outgoing edges of a node as (label, target) pairs.
+  struct Edge {
+    std::string label;
+    NodeId target;
+  };
+  const std::vector<Edge>& OutEdges(NodeId id) const { return out_[id]; }
+  const std::vector<Edge>& InEdges(NodeId id) const { return in_[id]; }
+
+  /// All neighbours regardless of direction or label (for random walks).
+  std::vector<NodeId> Neighbors(NodeId id) const;
+
+  /// Count of outgoing edges of a node carrying a given label.
+  size_t OutDegreeWithLabel(NodeId id, const std::string& label) const;
+  size_t InDegreeWithLabel(NodeId id, const std::string& label) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::string> kinds_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::unordered_map<std::string, NodeId> index_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_GRAPH_DIGRAPH_H_

@@ -1,0 +1,50 @@
+#include "harness/campaign.h"
+
+#include <algorithm>
+
+#include "harness/parallel.h"
+
+namespace valentine {
+
+CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
+                                  const std::vector<MethodFamily>& families,
+                                  const CampaignOptions& options) {
+  CampaignReport report;
+  report.num_pairs = suite.size();
+  for (const MethodFamily& family : families) {
+    if (!options.family_filter.empty() &&
+        std::find(options.family_filter.begin(),
+                  options.family_filter.end(),
+                  family.name) == options.family_filter.end()) {
+      continue;
+    }
+    report.num_configurations += family.grid.size();
+    CampaignFamilyReport fr;
+    fr.family = family.name;
+    fr.outcomes =
+        RunFamilyOnSuiteParallel(family, suite, options.num_threads);
+    fr.by_scenario = AggregateByScenario(fr.outcomes);
+    fr.avg_runtime_ms = AverageRuntimeMsPerRun(fr.outcomes);
+    report.num_experiments += family.grid.size() * suite.size();
+    report.families.push_back(std::move(fr));
+  }
+  return report;
+}
+
+CampaignReport RunCampaign(const std::vector<Table>& sources,
+                           const std::vector<MethodFamily>& families,
+                           const CampaignOptions& options) {
+  std::vector<DatasetPair> suite;
+  uint64_t seed = options.suite.seed;
+  for (const Table& source : sources) {
+    PairSuiteOptions per_source = options.suite;
+    per_source.seed = seed;
+    seed += 1000;
+    for (auto& pair : BuildFabricatedSuite(source, per_source)) {
+      suite.push_back(std::move(pair));
+    }
+  }
+  return RunCampaignOnSuite(suite, families, options);
+}
+
+}  // namespace valentine

@@ -1,0 +1,55 @@
+#ifndef VALENTINE_HARNESS_CAMPAIGN_H_
+#define VALENTINE_HARNESS_CAMPAIGN_H_
+
+/// \file campaign.h
+/// Whole-campaign orchestration: the paper's Fig. 1 pipeline (fabricate
+/// suites from source tables -> run every configuration of every method
+/// family -> aggregate per scenario) as one library call, so embedders
+/// and the benches share the same driver.
+
+#include <string>
+#include <vector>
+
+#include "harness/param_grid.h"
+#include "harness/runner.h"
+
+namespace valentine {
+
+/// Campaign configuration.
+struct CampaignOptions {
+  PairSuiteOptions suite;
+  /// Threads for the experiment runner (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// When non-empty, only families whose name appears here run.
+  std::vector<std::string> family_filter;
+};
+
+/// Aggregated results of one family over the campaign suite.
+struct CampaignFamilyReport {
+  std::string family;
+  std::vector<ScenarioStats> by_scenario;
+  double avg_runtime_ms = 0.0;
+  std::vector<FamilyPairOutcome> outcomes;
+};
+
+/// Full campaign output.
+struct CampaignReport {
+  size_t num_pairs = 0;
+  size_t num_configurations = 0;
+  size_t num_experiments = 0;
+  std::vector<CampaignFamilyReport> families;
+};
+
+/// Fabricates the suite from every source table and runs the families.
+CampaignReport RunCampaign(const std::vector<Table>& sources,
+                           const std::vector<MethodFamily>& families,
+                           const CampaignOptions& options = {});
+
+/// Convenience: campaign over an already-fabricated suite.
+CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
+                                  const std::vector<MethodFamily>& families,
+                                  const CampaignOptions& options = {});
+
+}  // namespace valentine
+
+#endif  // VALENTINE_HARNESS_CAMPAIGN_H_

@@ -1,0 +1,30 @@
+#include "harness/experiment.h"
+
+#include <chrono>
+
+#include "metrics/metrics.h"
+
+namespace valentine {
+
+ExperimentResult RunExperiment(const ColumnMatcher& matcher,
+                               const std::string& config,
+                               const DatasetPair& pair) {
+  ExperimentResult result;
+  result.pair_id = pair.id;
+  result.scenario = pair.scenario;
+  result.method = matcher.Name();
+  result.config = config;
+  result.ground_truth_size = pair.ground_truth.size();
+
+  auto start = std::chrono::steady_clock::now();
+  MatchResult matches = matcher.Match(pair.source, pair.target);
+  auto end = std::chrono::steady_clock::now();
+  result.runtime_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+
+  result.recall_at_gt = RecallAtGroundTruth(matches, pair.ground_truth);
+  result.map = MeanAveragePrecision(matches, pair.ground_truth);
+  return result;
+}
+
+}  // namespace valentine

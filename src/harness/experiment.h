@@ -1,0 +1,35 @@
+#ifndef VALENTINE_HARNESS_EXPERIMENT_H_
+#define VALENTINE_HARNESS_EXPERIMENT_H_
+
+/// \file experiment.h
+/// A single experiment = one configured matcher applied to one dataset
+/// pair, yielding the ranked matches, the Recall@|GT| score, and the
+/// wall-clock runtime (paper Fig. 1's innermost box).
+
+#include <string>
+
+#include "fabrication/fabricator.h"
+#include "matchers/matcher.h"
+
+namespace valentine {
+
+/// Outcome of one (matcher, pair) run.
+struct ExperimentResult {
+  std::string pair_id;
+  Scenario scenario = Scenario::kUnionable;
+  std::string method;
+  std::string config;
+  double recall_at_gt = 0.0;
+  double map = 0.0;          ///< mean average precision (extra diagnostics)
+  double runtime_ms = 0.0;
+  size_t ground_truth_size = 0;
+};
+
+/// Runs one matcher configuration on one pair and scores it.
+ExperimentResult RunExperiment(const ColumnMatcher& matcher,
+                               const std::string& config,
+                               const DatasetPair& pair);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_HARNESS_EXPERIMENT_H_

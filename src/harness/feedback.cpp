@@ -1,0 +1,88 @@
+#include "harness/feedback.h"
+
+#include "metrics/metrics.h"
+
+namespace valentine {
+
+void FeedbackSession::Confirm(const std::string& source_column,
+                              const std::string& target_column) {
+  confirmed_.emplace(source_column, target_column);
+  rejected_.erase({source_column, target_column});
+}
+
+void FeedbackSession::Reject(const std::string& source_column,
+                             const std::string& target_column) {
+  rejected_.emplace(source_column, target_column);
+  confirmed_.erase({source_column, target_column});
+}
+
+bool FeedbackSession::IsConfirmed(const std::string& source_column,
+                                  const std::string& target_column) const {
+  return confirmed_.count({source_column, target_column}) > 0;
+}
+
+bool FeedbackSession::IsRejected(const std::string& source_column,
+                                 const std::string& target_column) const {
+  return rejected_.count({source_column, target_column}) > 0;
+}
+
+MatchResult FeedbackSession::Apply(const MatchResult& result,
+                                   bool exclusive) const {
+  std::set<std::string> confirmed_sources;
+  std::set<std::string> confirmed_targets;
+  if (exclusive) {
+    for (const auto& [s, t] : confirmed_) {
+      confirmed_sources.insert(s);
+      confirmed_targets.insert(t);
+    }
+  }
+
+  MatchResult out;
+  // Confirmed pairs first, whether or not the matcher ranked them.
+  for (const auto& [s, t] : confirmed_) {
+    ColumnRef src{"", s};
+    ColumnRef tgt{"", t};
+    // Recover table names from the ranked list when available.
+    for (const Match& m : result.matches()) {
+      if (m.source.column == s && m.target.column == t) {
+        src = m.source;
+        tgt = m.target;
+        break;
+      }
+    }
+    out.Add(src, tgt, 1.0);
+  }
+  for (const Match& m : result.matches()) {
+    if (IsConfirmed(m.source.column, m.target.column)) continue;  // added
+    if (IsRejected(m.source.column, m.target.column)) continue;
+    if (exclusive && (confirmed_sources.count(m.source.column) ||
+                      confirmed_targets.count(m.target.column))) {
+      continue;
+    }
+    out.Add(m);
+  }
+  out.Sort();
+  return out;
+}
+
+size_t SimulateReviewRound(const MatchResult& ranked,
+                           const std::vector<GroundTruthEntry>& gt,
+                           size_t budget, FeedbackSession* session) {
+  size_t labeled = 0;
+  for (size_t i = 0; i < ranked.size() && labeled < budget; ++i) {
+    const Match& m = ranked[i];
+    if (session->IsConfirmed(m.source.column, m.target.column) ||
+        session->IsRejected(m.source.column, m.target.column)) {
+      continue;
+    }
+    if (MatchesGroundTruth(m, gt)) {
+      session->Confirm(m.source.column, m.target.column);
+    } else {
+      session->Reject(m.source.column, m.target.column);
+    }
+    ++labeled;
+  }
+  return labeled;
+}
+
+}  // namespace valentine

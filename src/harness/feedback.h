@@ -1,0 +1,61 @@
+#ifndef VALENTINE_HARNESS_FEEDBACK_H_
+#define VALENTINE_HARNESS_FEEDBACK_H_
+
+/// \file feedback.h
+/// Human-in-the-loop match refinement (paper §IX: matching should be a
+/// *search problem* where users give positive/negative examples, not
+/// thresholds). A FeedbackSession accumulates confirmations/rejections
+/// and re-ranks a matcher's output: confirmed pairs pin to the top,
+/// rejected pairs drop out, and columns consumed by a confirmed 1-1
+/// match stop competing for other partners.
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "fabrication/fabricator.h"
+#include "matchers/match_result.h"
+
+namespace valentine {
+
+/// \brief Accumulated user feedback over column pairs.
+class FeedbackSession {
+ public:
+  /// Marks a pair as a confirmed correspondence.
+  void Confirm(const std::string& source_column,
+               const std::string& target_column);
+  /// Marks a pair as wrong.
+  void Reject(const std::string& source_column,
+              const std::string& target_column);
+
+  bool IsConfirmed(const std::string& source_column,
+                   const std::string& target_column) const;
+  bool IsRejected(const std::string& source_column,
+                  const std::string& target_column) const;
+
+  size_t num_confirmed() const { return confirmed_.size(); }
+  size_t num_rejected() const { return rejected_.size(); }
+
+  /// Re-ranks a result under the feedback: confirmed pairs first (score
+  /// 1), rejected pairs removed. When `exclusive` is true, a confirmed
+  /// pair also eliminates other candidates touching its endpoints (the
+  /// user asserted a 1-1 correspondence).
+  MatchResult Apply(const MatchResult& result, bool exclusive = true) const;
+
+ private:
+  using Pair = std::pair<std::string, std::string>;
+  std::set<Pair> confirmed_;
+  std::set<Pair> rejected_;
+};
+
+/// Simulates one review round: a user inspects the top `budget` *not yet
+/// labeled* pairs of the ranking and labels each against the ground
+/// truth (the oracle experiment for human-in-the-loop evaluation).
+/// Returns how many pairs were labeled.
+size_t SimulateReviewRound(const MatchResult& ranked,
+                           const std::vector<GroundTruthEntry>& gt,
+                           size_t budget, FeedbackSession* session);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_HARNESS_FEEDBACK_H_

@@ -1,0 +1,103 @@
+#include "harness/json_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace valentine {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+std::string JsonNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+}  // namespace
+
+std::string ToJson(const ExperimentResult& result) {
+  std::string out = "{";
+  out += "\"pair_id\":\"" + JsonEscape(result.pair_id) + "\",";
+  out += "\"scenario\":\"" + std::string(ScenarioName(result.scenario)) +
+         "\",";
+  out += "\"method\":\"" + JsonEscape(result.method) + "\",";
+  out += "\"config\":\"" + JsonEscape(result.config) + "\",";
+  out += "\"recall_at_gt\":" + JsonNumber(result.recall_at_gt) + ",";
+  out += "\"map\":" + JsonNumber(result.map) + ",";
+  out += "\"runtime_ms\":" + JsonNumber(result.runtime_ms) + ",";
+  out += "\"ground_truth_size\":" +
+         std::to_string(result.ground_truth_size);
+  out += "}";
+  return out;
+}
+
+std::string ToJson(const std::vector<ExperimentResult>& results) {
+  std::string out = "[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ToJson(results[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string ToJson(const MatchResult& result) {
+  std::string out = "[";
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (i > 0) out += ",";
+    const Match& m = result[i];
+    out += "{\"source\":\"" + JsonEscape(m.source.ToString()) +
+           "\",\"target\":\"" + JsonEscape(m.target.ToString()) +
+           "\",\"score\":" + JsonNumber(m.score) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string ToJson(const std::vector<FamilyPairOutcome>& outcomes) {
+  std::string out = "[";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (i > 0) out += ",";
+    const FamilyPairOutcome& o = outcomes[i];
+    out += "{\"family\":\"" + JsonEscape(o.family) + "\",\"pair_id\":\"" +
+           JsonEscape(o.pair_id) + "\",\"scenario\":\"" +
+           ScenarioName(o.scenario) + "\",\"best_recall\":" +
+           JsonNumber(o.best_recall) + ",\"best_config\":\"" +
+           JsonEscape(o.best_config) + "\",\"total_ms\":" +
+           JsonNumber(o.total_ms) + ",\"runs\":" + std::to_string(o.runs) +
+           "}";
+  }
+  out += "]";
+  return out;
+}
+
+Status WriteJsonFile(const std::string& json, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << json;
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace valentine

@@ -1,0 +1,33 @@
+#include "harness/parallel.h"
+
+#include <atomic>
+#include <thread>
+
+namespace valentine {
+
+std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, suite.size());
+  if (num_threads <= 1) return RunFamilyOnSuite(family, suite);
+
+  std::vector<FamilyPairOutcome> outcomes(suite.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= suite.size()) return;
+      outcomes[i] = RunFamilyOnPair(family, suite[i]);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return outcomes;
+}
+
+}  // namespace valentine

@@ -1,0 +1,31 @@
+#ifndef VALENTINE_HARNESS_PARALLEL_H_
+#define VALENTINE_HARNESS_PARALLEL_H_
+
+/// \file parallel.h
+/// Multi-threaded experiment execution. The paper ran ~75K experiments
+/// as batch jobs on two 80-core machines; this is the same
+/// embarrassingly-parallel structure at library level: pairs are
+/// distributed over a thread pool, outcomes land at their pair's index,
+/// so results are byte-identical to the sequential runner.
+///
+/// ColumnMatcher::Match must be safe to call concurrently on one
+/// instance (all built-in matchers are; Cupid's memo cache is mutex
+/// guarded).
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace valentine {
+
+/// Runs the family over the suite with `num_threads` workers
+/// (0 = hardware concurrency). Output order matches the suite order and
+/// is identical to RunFamilyOnSuite's.
+std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads = 0);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_HARNESS_PARALLEL_H_

@@ -1,0 +1,163 @@
+#include "harness/param_grid.h"
+
+#include <cstdio>
+
+#include "matchers/coma.h"
+#include "matchers/cupid.h"
+#include "matchers/distribution_based.h"
+#include "matchers/embdi.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "matchers/semprop.h"
+#include "matchers/similarity_flooding.h"
+
+namespace valentine {
+
+namespace {
+std::string Fmt(const char* fmt, double a, double b = 0.0, double c = 0.0) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a, b, c);
+  return buf;
+}
+}  // namespace
+
+MethodFamily CupidFamily() {
+  MethodFamily family{"Cupid", {}};
+  const double weights[] = {0.0, 0.2, 0.4, 0.6};
+  const double accepts[] = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  for (double leaf_w : weights) {
+    for (double w : weights) {
+      for (double th : accepts) {
+        CupidOptions opt;
+        opt.leaf_w_struct = leaf_w;
+        opt.w_struct = w;
+        opt.th_accept = th;
+        family.grid.push_back(
+            {Fmt("leaf_w=%.1f w=%.1f th=%.1f", leaf_w, w, th),
+             std::make_shared<CupidMatcher>(opt)});
+      }
+    }
+  }
+  return family;
+}
+
+MethodFamily SimilarityFloodingFamily() {
+  MethodFamily family{"SimilarityFlooding", {}};
+  SimilarityFloodingOptions opt;
+  opt.formula = SfFormula::kC;
+  family.grid.push_back({"inverse_average, formula C",
+                         std::make_shared<SimilarityFloodingMatcher>(opt)});
+  return family;
+}
+
+MethodFamily ComaSchemaFamily() {
+  MethodFamily family{"COMA-Schema", {}};
+  ComaOptions opt;
+  opt.strategy = ComaStrategy::kSchema;
+  opt.threshold = 0.0;
+  family.grid.push_back(
+      {"strategy=schema th=0", std::make_shared<ComaMatcher>(opt)});
+  return family;
+}
+
+MethodFamily ComaInstancesFamily() {
+  MethodFamily family{"COMA-Instances", {}};
+  ComaOptions opt;
+  opt.strategy = ComaStrategy::kInstances;
+  opt.threshold = 0.0;
+  family.grid.push_back(
+      {"strategy=instances th=0", std::make_shared<ComaMatcher>(opt)});
+  return family;
+}
+
+MethodFamily ComaFamily() {
+  MethodFamily family{"COMA", {}};
+  for (auto& cm : ComaSchemaFamily().grid) family.grid.push_back(cm);
+  for (auto& cm : ComaInstancesFamily().grid) family.grid.push_back(cm);
+  return family;
+}
+
+namespace {
+MethodFamily DistributionFamilyWith(const char* name,
+                                    std::vector<double> thresholds) {
+  MethodFamily family{name, {}};
+  for (double t1 : thresholds) {
+    for (double t2 : thresholds) {
+      DistributionBasedOptions opt;
+      opt.phase1_threshold = t1;
+      opt.phase2_threshold = t2;
+      family.grid.push_back(
+          {Fmt("th1=%.2f th2=%.2f", t1, t2),
+           std::make_shared<DistributionBasedMatcher>(opt)});
+    }
+  }
+  return family;
+}
+}  // namespace
+
+MethodFamily DistributionFamily1() {
+  return DistributionFamilyWith("Distribution#1", {0.10, 0.15, 0.20});
+}
+
+MethodFamily DistributionFamily2() {
+  return DistributionFamilyWith("Distribution#2", {0.30, 0.40, 0.50});
+}
+
+MethodFamily SemPropFamily(const Ontology* ontology) {
+  MethodFamily family{"SemProp", {}};
+  for (double minh : {0.2, 0.3}) {
+    for (double sem : {0.4, 0.5, 0.6}) {
+      for (double coh : {0.2, 0.4}) {
+        SemPropOptions opt;
+        opt.minhash_threshold = minh;
+        opt.semantic_threshold = sem;
+        opt.coherent_group_threshold = coh;
+        family.grid.push_back(
+            {Fmt("minh=%.1f sem=%.1f coh=%.1f", minh, sem, coh),
+             std::make_shared<SemPropMatcher>(ontology, opt)});
+      }
+    }
+  }
+  return family;
+}
+
+MethodFamily EmbdiFamily() {
+  MethodFamily family{"EmbDI", {}};
+  EmbdiOptions opt;  // Table II fixed hyperparameters (scaled dims).
+  family.grid.push_back({"word2vec len=60 win=3",
+                         std::make_shared<EmbdiMatcher>(opt)});
+  return family;
+}
+
+MethodFamily JaccardLevenshteinFamily() {
+  MethodFamily family{"JaccardLevenshtein", {}};
+  for (double th : {0.4, 0.5, 0.6, 0.7, 0.8}) {
+    JaccardLevenshteinOptions opt;
+    opt.threshold = th;
+    family.grid.push_back({Fmt("th=%.1f", th),
+                           std::make_shared<JaccardLevenshteinMatcher>(opt)});
+  }
+  return family;
+}
+
+std::vector<MethodFamily> AllFamilies(const Ontology* ontology) {
+  std::vector<MethodFamily> families;
+  families.push_back(CupidFamily());
+  families.push_back(SimilarityFloodingFamily());
+  families.push_back(ComaFamily());
+  families.push_back(DistributionFamily1());
+  families.push_back(DistributionFamily2());
+  if (ontology != nullptr) {
+    families.push_back(SemPropFamily(ontology));
+  }
+  families.push_back(EmbdiFamily());
+  families.push_back(JaccardLevenshteinFamily());
+  return families;
+}
+
+size_t TotalConfigurations(const std::vector<MethodFamily>& families) {
+  size_t total = 0;
+  for (const auto& f : families) total += f.grid.size();
+  return total;
+}
+
+}  // namespace valentine

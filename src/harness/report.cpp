@@ -1,0 +1,73 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace valentine {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string RenderWhisker(const Summary& s, size_t width) {
+  std::string bar(width, ' ');
+  auto pos = [&](double v) {
+    v = std::clamp(v, 0.0, 1.0);
+    return std::min(width - 1, static_cast<size_t>(v * (width - 1)));
+  };
+  size_t lo = pos(s.min);
+  size_t mid = pos(s.median);
+  size_t hi = pos(s.max);
+  for (size_t i = lo; i <= hi; ++i) bar[i] = '-';
+  bar[lo] = '|';
+  bar[hi] = '|';
+  bar[mid] = 'o';
+  return "[" + bar + "]";
+}
+
+void PrintScenarioStats(const std::string& method,
+                        const std::vector<ScenarioStats>& stats) {
+  std::printf("%s\n", method.c_str());
+  for (const auto& st : stats) {
+    std::printf("  %-24s %s min=%.2f med=%.2f max=%.2f (n=%zu)\n",
+                ScenarioName(st.scenario), RenderWhisker(st.recall).c_str(),
+                st.recall.min, st.recall.median, st.recall.max,
+                st.recall.count);
+  }
+}
+
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_sep = [&] {
+    std::printf("+");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(header);
+  print_sep();
+  for (const auto& row : rows) print_row(row);
+  print_sep();
+}
+
+}  // namespace valentine

@@ -1,0 +1,31 @@
+#ifndef VALENTINE_HARNESS_REPORT_H_
+#define VALENTINE_HARNESS_REPORT_H_
+
+/// \file report.h
+/// Console reporting: the ASCII analogues of the paper's box plots
+/// (Figs. 4-7) and result tables (Tables III-IV).
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace valentine {
+
+/// "min — median — max" as an ASCII whisker bar over [0, 1].
+std::string RenderWhisker(const Summary& s, size_t width = 40);
+
+/// Prints one figure block: per-scenario whisker rows for one method.
+void PrintScenarioStats(const std::string& method,
+                        const std::vector<ScenarioStats>& stats);
+
+/// Prints a simple fixed-width table: header row + rows of cells.
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with the given precision.
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_HARNESS_REPORT_H_

@@ -1,0 +1,130 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "metrics/metrics.h"
+
+namespace valentine {
+
+std::vector<DatasetPair> BuildFabricatedSuite(
+    const Table& original, const PairSuiteOptions& options) {
+  std::vector<DatasetPair> suite;
+  uint64_t seed = options.seed;
+  auto add = [&](FabricationOptions fab) {
+    fab.seed = seed++;
+    auto result = FabricateDatasetPair(original, fab);
+    if (result.ok()) suite.push_back(std::move(result).ValueOrDie());
+  };
+  std::vector<bool> schema_noise = {false};
+  if (options.schema_noise_variants) schema_noise.push_back(true);
+  std::vector<bool> instance_noise = {false};
+  if (options.instance_noise_variants) instance_noise.push_back(true);
+
+  // Unionable: row overlaps x schema noise x instance noise.
+  for (double row : options.row_overlaps) {
+    for (bool sn : schema_noise) {
+      for (bool in : instance_noise) {
+        FabricationOptions fab;
+        fab.scenario = Scenario::kUnionable;
+        fab.row_overlap = row;
+        fab.noisy_schema = sn;
+        fab.noisy_instances = in;
+        add(fab);
+      }
+    }
+  }
+  // View-unionable: column overlaps x schema noise x instance noise.
+  for (double col : options.column_overlaps) {
+    for (bool sn : schema_noise) {
+      for (bool in : instance_noise) {
+        FabricationOptions fab;
+        fab.scenario = Scenario::kViewUnionable;
+        fab.column_overlap = col;
+        fab.noisy_schema = sn;
+        fab.noisy_instances = in;
+        add(fab);
+      }
+    }
+  }
+  // Joinable: column overlaps x horizontal variant x schema noise
+  // (instances always verbatim).
+  for (double col : options.column_overlaps) {
+    for (bool horiz : {false, true}) {
+      for (bool sn : schema_noise) {
+        FabricationOptions fab;
+        fab.scenario = Scenario::kJoinable;
+        fab.column_overlap = col;
+        fab.joinable_horizontal_variant = horiz;
+        fab.noisy_schema = sn;
+        add(fab);
+      }
+    }
+  }
+  // Semantically-joinable: same grid, instances always noisy.
+  for (double col : options.column_overlaps) {
+    for (bool horiz : {false, true}) {
+      for (bool sn : schema_noise) {
+        FabricationOptions fab;
+        fab.scenario = Scenario::kSemanticallyJoinable;
+        fab.column_overlap = col;
+        fab.joinable_horizontal_variant = horiz;
+        fab.noisy_schema = sn;
+        add(fab);
+      }
+    }
+  }
+  return suite;
+}
+
+FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
+                                  const DatasetPair& pair) {
+  FamilyPairOutcome out;
+  out.family = family.name;
+  out.pair_id = pair.id;
+  out.scenario = pair.scenario;
+  for (const ConfiguredMatcher& cm : family.grid) {
+    ExperimentResult r = RunExperiment(*cm.matcher, cm.description, pair);
+    out.total_ms += r.runtime_ms;
+    ++out.runs;
+    if (r.recall_at_gt > out.best_recall || out.best_config.empty()) {
+      out.best_recall = r.recall_at_gt;
+      out.best_config = cm.description;
+    }
+  }
+  return out;
+}
+
+std::vector<FamilyPairOutcome> RunFamilyOnSuite(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite) {
+  std::vector<FamilyPairOutcome> outcomes;
+  outcomes.reserve(suite.size());
+  for (const DatasetPair& pair : suite) {
+    outcomes.push_back(RunFamilyOnPair(family, pair));
+  }
+  return outcomes;
+}
+
+std::vector<ScenarioStats> AggregateByScenario(
+    const std::vector<FamilyPairOutcome>& outcomes) {
+  std::map<Scenario, std::vector<double>> buckets;
+  for (const auto& o : outcomes) buckets[o.scenario].push_back(o.best_recall);
+  std::vector<ScenarioStats> stats;
+  for (auto& [scenario, recalls] : buckets) {
+    stats.push_back({scenario, Summarize(std::move(recalls))});
+  }
+  return stats;
+}
+
+double AverageRuntimeMsPerRun(
+    const std::vector<FamilyPairOutcome>& outcomes) {
+  double total = 0.0;
+  size_t runs = 0;
+  for (const auto& o : outcomes) {
+    total += o.total_ms;
+    runs += o.runs;
+  }
+  return runs == 0 ? 0.0 : total / static_cast<double>(runs);
+}
+
+}  // namespace valentine

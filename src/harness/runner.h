@@ -1,0 +1,73 @@
+#ifndef VALENTINE_HARNESS_RUNNER_H_
+#define VALENTINE_HARNESS_RUNNER_H_
+
+/// \file runner.h
+/// Suite construction and batch execution (paper Fig. 1): fabricate the
+/// dataset-pair suite from each source table, run every grid
+/// configuration of every method family on every pair, and aggregate
+/// Recall@|GT| per scenario (min / median / max, as in the box plots).
+
+#include <vector>
+
+#include "fabrication/fabricator.h"
+#include "harness/experiment.h"
+#include "harness/param_grid.h"
+#include "metrics/metrics.h"
+
+namespace valentine {
+
+/// Controls how many fabricated pairs a suite contains.
+struct PairSuiteOptions {
+  /// Row-overlap levels for unionable pairs.
+  std::vector<double> row_overlaps = {0.3, 0.5, 0.8};
+  /// Column-overlap levels for view-unionable / (semantically-)joinable.
+  std::vector<double> column_overlaps = {0.3, 0.5, 0.8};
+  /// Include noisy-schema variants.
+  bool schema_noise_variants = true;
+  /// Include noisy-instance variants (where the scenario allows).
+  bool instance_noise_variants = true;
+  uint64_t seed = 1;
+};
+
+/// Fabricates the full pair suite from one original table: all four
+/// scenarios crossed with overlap levels and noise combinations
+/// (the C++ analogue of the paper's 180-pairs-per-source suites).
+std::vector<DatasetPair> BuildFabricatedSuite(const Table& original,
+                                              const PairSuiteOptions& options);
+
+/// Best-of-grid outcome of one method family on one pair (the paper's
+/// grid search "operates each algorithm under optimal conditions").
+struct FamilyPairOutcome {
+  std::string family;
+  std::string pair_id;
+  Scenario scenario = Scenario::kUnionable;
+  double best_recall = 0.0;
+  std::string best_config;
+  double total_ms = 0.0;    ///< summed over all grid configurations
+  size_t runs = 0;
+};
+
+/// Runs every configuration of the family on the pair; keeps the best
+/// recall and accumulates runtime.
+FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
+                                  const DatasetPair& pair);
+
+/// Runs the family over a whole suite.
+std::vector<FamilyPairOutcome> RunFamilyOnSuite(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite);
+
+/// Per-scenario recall distribution of a batch of outcomes.
+struct ScenarioStats {
+  Scenario scenario = Scenario::kUnionable;
+  Summary recall;
+};
+std::vector<ScenarioStats> AggregateByScenario(
+    const std::vector<FamilyPairOutcome>& outcomes);
+
+/// Mean per-configuration runtime (ms) across outcomes — the Table IV
+/// quantity ("average runtime per experiment").
+double AverageRuntimeMsPerRun(const std::vector<FamilyPairOutcome>& outcomes);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_HARNESS_RUNNER_H_

@@ -1,0 +1,215 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace valentine {
+
+namespace {
+
+/// Splits CSV text into records of fields, honoring quoted fields.
+Status Tokenize(const std::string& text, char delim,
+                std::vector<std::vector<std::string>>* records) {
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records->push_back(std::move(current));
+    current.clear();
+  };
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"' && !field_started && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+    } else if (c == delim) {
+      end_field();
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // Tolerate CRLF.
+    } else if (c == '\n') {
+      end_record();
+      ++i;
+    } else {
+      field.push_back(c);
+      field_started = true;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field");
+  }
+  if (!field.empty() || !current.empty()) {
+    end_record();
+  }
+  return Status::OK();
+}
+
+DataType WidenType(DataType acc, DataType next) {
+  if (next == DataType::kNull) return acc;
+  if (acc == DataType::kNull) return next;
+  if (acc == next) return acc;
+  auto numeric = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kFloat64;
+  };
+  if (numeric(acc) && numeric(next)) return DataType::kFloat64;
+  return DataType::kString;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text, std::string table_name,
+                            const CsvReadOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  VALENTINE_RETURN_NOT_OK(Tokenize(text, options.delimiter, &records));
+  Table table(std::move(table_name));
+  if (records.empty()) return table;
+
+  size_t width = records[0].size();
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::ParseError("record " + std::to_string(r) + " has " +
+                                std::to_string(records[r].size()) +
+                                " fields, expected " + std::to_string(width));
+    }
+  }
+
+  std::vector<std::string> names(width);
+  size_t first_data = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < width; ++c) names[c] = "col" + std::to_string(c);
+  }
+
+  for (size_t c = 0; c < width; ++c) {
+    Column col(names[c], DataType::kString);
+    DataType inferred = DataType::kNull;
+    col.Reserve(records.size() - first_data);
+    for (size_t r = first_data; r < records.size(); ++r) {
+      if (options.infer_types) {
+        Value v = ParseCell(records[r][c]);
+        inferred = WidenType(inferred, v.kind());
+        col.Append(std::move(v));
+      } else {
+        const std::string& cell = records[r][c];
+        col.Append(cell.empty() ? Value::Null() : Value::String(cell));
+      }
+    }
+    if (options.infer_types) {
+      col.set_type(inferred == DataType::kNull ? DataType::kString : inferred);
+    }
+    VALENTINE_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, std::string table_name,
+                          const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), std::move(table_name), options);
+}
+
+namespace {
+void AppendEscaped(const std::string& cell, char delim, std::string* out) {
+  bool needs_quotes = cell.find(delim) != std::string::npos ||
+                      cell.find('"') != std::string::npos ||
+                      cell.find('\n') != std::string::npos ||
+                      cell.find('\r') != std::string::npos;
+  if (!needs_quotes) {
+    *out += cell;
+    return;
+  }
+  out->push_back('"');
+  for (char c : cell) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back(delimiter);
+    AppendEscaped(table.column(c).name(), delimiter, &out);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(delimiter);
+      AppendEscaped(table.column(c)[r].AsString(), delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, delimiter);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Table>> ReadCsvDirectory(const std::string& dir_path,
+                                            const CsvReadOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir_path, ec)) {
+    return Status::IOError("not a directory: " + dir_path);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir_path, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::IOError("cannot list " + dir_path);
+  std::sort(paths.begin(), paths.end());  // deterministic order
+  std::vector<Table> tables;
+  for (const std::string& path : paths) {
+    std::string stem = fs::path(path).stem().string();
+    Result<Table> table = ReadCsvFile(path, stem, options);
+    if (!table.ok()) {
+      return Status::IOError(path + ": " + table.status().ToString());
+    }
+    tables.push_back(std::move(table).ValueOrDie());
+  }
+  return tables;
+}
+
+}  // namespace valentine

@@ -1,0 +1,52 @@
+#ifndef VALENTINE_IO_CSV_H_
+#define VALENTINE_IO_CSV_H_
+
+/// \file csv.h
+/// Minimal RFC-4180-style CSV reader/writer so fabricated dataset pairs
+/// can be persisted and re-loaded (the original suite ships its pairs as
+/// CSV files). Handles quoting, embedded separators/newlines, and type
+/// inference on read.
+
+#include <string>
+
+#include "core/status.h"
+#include "core/table.h"
+
+namespace valentine {
+
+/// Options controlling CSV parsing.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// When true, the first record is the header (column names).
+  bool has_header = true;
+  /// When true, cells are parsed into typed values and per-column types
+  /// are inferred; otherwise everything stays a string.
+  bool infer_types = true;
+};
+
+/// Parses CSV text into a Table. The table name is caller-provided since
+/// CSV has no notion of one.
+Result<Table> ReadCsvString(const std::string& text, std::string table_name,
+                            const CsvReadOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path, std::string table_name,
+                          const CsvReadOptions& options = {});
+
+/// Serializes a table to CSV text (header row + records, quoting cells
+/// that contain the delimiter, quotes, or newlines).
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+/// Loads every *.csv file in a directory (non-recursive) as a table
+/// named after its file stem — the repository-loading path for the CLI
+/// and the discovery engine.
+Result<std::vector<Table>> ReadCsvDirectory(
+    const std::string& dir_path, const CsvReadOptions& options = {});
+
+}  // namespace valentine
+
+#endif  // VALENTINE_IO_CSV_H_

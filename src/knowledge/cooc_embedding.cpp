@@ -1,0 +1,118 @@
+#include "knowledge/cooc_embedding.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace valentine {
+
+namespace {
+uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashWord(const std::string& s, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return Mix(h);
+}
+}  // namespace
+
+CoocEmbedding::CoocEmbedding(CoocOptions options)
+    : options_(std::move(options)) {}
+
+void CoocEmbedding::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  // --- Vocabulary + windowed co-occurrence counts. ---
+  std::unordered_map<std::string, size_t> word_ids;
+  std::vector<std::string> words;
+  std::vector<double> word_counts;
+  auto id_of = [&](const std::string& w) {
+    auto it = word_ids.find(w);
+    if (it != word_ids.end()) return it->second;
+    size_t id = words.size();
+    word_ids.emplace(w, id);
+    words.push_back(w);
+    word_counts.push_back(0.0);
+    return id;
+  };
+
+  // pair (center, context) -> count; contexts are symmetric.
+  std::unordered_map<uint64_t, double> pair_counts;
+  double total_pairs = 0.0;
+  for (const auto& sentence : sentences) {
+    std::vector<size_t> ids;
+    ids.reserve(sentence.size());
+    for (const auto& w : sentence) ids.push_back(id_of(w));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      word_counts[ids[i]] += 1.0;
+      size_t lo = (i > options_.window) ? i - options_.window : 0;
+      size_t hi = std::min(ids.size(), i + options_.window + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        pair_counts[(static_cast<uint64_t>(ids[i]) << 32) | ids[j]] += 1.0;
+        total_pairs += 1.0;
+      }
+    }
+  }
+  if (total_pairs <= 0.0) return;
+
+  // Smoothed context distribution.
+  double smoothed_total = 0.0;
+  std::vector<double> smoothed(word_counts.size());
+  for (size_t c = 0; c < word_counts.size(); ++c) {
+    smoothed[c] = std::pow(word_counts[c], options_.smoothing);
+    smoothed_total += smoothed[c];
+  }
+  double total_words = 0.0;
+  for (double wc : word_counts) total_words += wc;
+
+  // --- PPMI-weighted random projection. ---
+  const size_t dim = options_.dimensions;
+  std::vector<Embedding> vecs(words.size(), Embedding(dim, 0.0f));
+  auto context_sign = [&](size_t context, size_t d) {
+    uint64_t h = Mix(HashWord(words[context], options_.seed) +
+                     0x9e3779b97f4a7c15ULL * (d + 1));
+    return (h & 1) ? 1.0f : -1.0f;
+  };
+  for (const auto& [key, count] : pair_counts) {
+    size_t center = static_cast<size_t>(key >> 32);
+    size_t context = static_cast<size_t>(key & 0xffffffffULL);
+    double p_pair = count / total_pairs;
+    double p_center = word_counts[center] / total_words;
+    double p_context = smoothed[context] / smoothed_total;
+    double pmi = std::log(p_pair / (p_center * p_context));
+    if (pmi <= 0.0) continue;  // positive PMI only
+    Embedding& v = vecs[center];
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] += static_cast<float>(pmi) * context_sign(context, d);
+    }
+  }
+
+  // Normalize and publish (dropping words rarer than min_count).
+  for (size_t wid = 0; wid < words.size(); ++wid) {
+    if (word_counts[wid] < static_cast<double>(options_.min_count)) continue;
+    Embedding& v = vecs[wid];
+    double norm = 0.0;
+    for (float x : v) norm += static_cast<double>(x) * x;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (float& x : v) x = static_cast<float>(x / norm);
+    }
+    vectors_.emplace(words[wid], std::move(v));
+  }
+}
+
+const Embedding* CoocEmbedding::Vector(const std::string& word) const {
+  auto it = vectors_.find(word);
+  return it == vectors_.end() ? nullptr : &it->second;
+}
+
+}  // namespace valentine

@@ -1,0 +1,51 @@
+#ifndef VALENTINE_KNOWLEDGE_COOC_EMBEDDING_H_
+#define VALENTINE_KNOWLEDGE_COOC_EMBEDDING_H_
+
+/// \file cooc_embedding.h
+/// Count-based embeddings: positive pointwise mutual information (PPMI)
+/// over windowed co-occurrence counts, projected to a fixed dimension
+/// with a deterministic random projection. The GloVe-family alternative
+/// to the skip-gram trainer — paper Table II pins EmbDI's "train.
+/// algorithm" to word2vec; this implements the other branch so the
+/// choice can be ablated (bench_ablation_matchers).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "knowledge/hash_embedding.h"  // Embedding alias
+
+namespace valentine {
+
+/// PPMI trainer hyperparameters.
+struct CoocOptions {
+  size_t dimensions = 64;
+  size_t window = 3;
+  /// Context-distribution smoothing exponent (0.75 as in word2vec's
+  /// negative sampling; softens PMI's bias toward rare contexts).
+  double smoothing = 0.75;
+  size_t min_count = 1;
+  uint64_t seed = 29;
+};
+
+/// \brief PPMI + random-projection embedding model.
+class CoocEmbedding {
+ public:
+  explicit CoocEmbedding(CoocOptions options = {});
+
+  /// Counts co-occurrences over the corpus and builds the vectors.
+  void Train(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Vector of a word; nullptr when out of vocabulary.
+  const Embedding* Vector(const std::string& word) const;
+
+  size_t vocab_size() const { return vectors_.size(); }
+
+ private:
+  CoocOptions options_;
+  std::unordered_map<std::string, Embedding> vectors_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_KNOWLEDGE_COOC_EMBEDDING_H_

@@ -1,0 +1,88 @@
+#include "knowledge/hash_embedding.h"
+
+#include <cmath>
+
+#include "text/string_similarity.h"
+#include "text/tokenizer.h"
+
+namespace valentine {
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+HashEmbedder::HashEmbedder(size_t dim, uint64_t seed)
+    : dim_(dim), seed_(seed) {}
+
+namespace {
+uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashFeature(const std::string& s, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return Mix(h);
+}
+}  // namespace
+
+void HashEmbedder::AddHashedVector(const std::string& feature,
+                                   Embedding* out) const {
+  uint64_t state = HashFeature(feature, seed_);
+  for (size_t i = 0; i < dim_; ++i) {
+    state = Mix(state + 0x9e3779b97f4a7c15ULL);
+    // Map to roughly N(0,1) by summing two uniforms (triangular ~ ok).
+    double u = static_cast<double>(state >> 11) * 0x1.0p-53;
+    (*out)[i] += static_cast<float>(2.0 * u - 1.0);
+  }
+}
+
+Embedding HashEmbedder::EmbedWord(const std::string& word) const {
+  Embedding out(dim_, 0.0f);
+  if (word.empty()) return out;
+  std::string lower = ToLower(word);
+  AddHashedVector("w:" + lower, &out);
+  for (const std::string& gram : CharNGrams(lower, 3)) {
+    AddHashedVector("g:" + gram, &out);
+  }
+  // L2-normalize.
+  double norm = 0.0;
+  for (float v : out) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (float& v : out) v = static_cast<float>(v / norm);
+  }
+  return out;
+}
+
+Embedding HashEmbedder::EmbedText(const std::string& text) const {
+  Embedding out(dim_, 0.0f);
+  auto tokens = TokenizeText(text);
+  if (tokens.empty()) return out;
+  for (const auto& tok : tokens) {
+    Embedding w = EmbedWord(tok);
+    for (size_t i = 0; i < dim_; ++i) out[i] += w[i];
+  }
+  for (float& v : out) v /= static_cast<float>(tokens.size());
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,50 @@
+#ifndef VALENTINE_KNOWLEDGE_HASH_EMBEDDING_H_
+#define VALENTINE_KNOWLEDGE_HASH_EMBEDDING_H_
+
+/// \file hash_embedding.h
+/// Deterministic character-n-gram hash embeddings — the suite's stand-in
+/// for pre-trained word vectors (word2vec / GloVe / fastText).
+///
+/// Each word is the normalized sum of pseudo-random unit vectors hashed
+/// from its character trigrams plus the whole word (fastText-style).
+/// Orthographically similar words land near each other; semantically
+/// related but orthographically different words do not — which is exactly
+/// the failure mode the paper observed for SemProp's pre-trained vectors
+/// on domain-specific data (DESIGN.md §3).
+
+#include <string>
+#include <vector>
+
+namespace valentine {
+
+/// Dense embedding vector.
+using Embedding = std::vector<float>;
+
+/// Cosine similarity of two equal-dimension vectors (0 for zero vectors).
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+
+/// \brief Deterministic n-gram hashing embedder.
+class HashEmbedder {
+ public:
+  /// \param dim embedding dimensionality.
+  /// \param seed stream seed, so distinct "pre-trained models" differ.
+  explicit HashEmbedder(size_t dim = 64, uint64_t seed = 7);
+
+  size_t dim() const { return dim_; }
+
+  /// Embeds a single word (empty word -> zero vector).
+  Embedding EmbedWord(const std::string& word) const;
+
+  /// Embeds text as the mean of its tokens' word vectors.
+  Embedding EmbedText(const std::string& text) const;
+
+ private:
+  void AddHashedVector(const std::string& feature, Embedding* out) const;
+
+  size_t dim_;
+  uint64_t seed_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_KNOWLEDGE_HASH_EMBEDDING_H_

@@ -1,0 +1,132 @@
+#include "knowledge/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace valentine {
+
+Word2Vec::Word2Vec(Word2VecOptions options) : options_(std::move(options)) {}
+
+void Word2Vec::BuildVocab(
+    const std::vector<std::vector<std::string>>& sentences) {
+  std::unordered_map<std::string, size_t> raw_counts;
+  for (const auto& sentence : sentences) {
+    for (const auto& word : sentence) ++raw_counts[word];
+  }
+  for (const auto& [word, count] : raw_counts) {
+    if (count >= options_.min_count) {
+      vocab_[word] = index_to_word_.size();
+      index_to_word_.push_back(word);
+      counts_.push_back(count);
+    }
+  }
+  // Unigram table with the standard 3/4-power smoothing.
+  const size_t table_size = std::max<size_t>(vocab_.size() * 16, 1024);
+  unigram_table_.clear();
+  unigram_table_.reserve(table_size);
+  double total = 0.0;
+  for (size_t c : counts_) total += std::pow(static_cast<double>(c), 0.75);
+  if (total <= 0.0 || vocab_.empty()) return;
+  size_t word = 0;
+  double cum = std::pow(static_cast<double>(counts_[0]), 0.75) / total;
+  for (size_t i = 0; i < table_size; ++i) {
+    unigram_table_.push_back(word);
+    if (static_cast<double>(i + 1) / table_size > cum &&
+        word + 1 < vocab_.size()) {
+      ++word;
+      cum += std::pow(static_cast<double>(counts_[word]), 0.75) / total;
+    }
+  }
+}
+
+void Word2Vec::InitWeights() {
+  Rng rng(options_.seed);
+  const size_t dim = options_.dimensions;
+  in_weights_.assign(vocab_.size(), Embedding(dim, 0.0f));
+  out_weights_.assign(vocab_.size(), Embedding(dim, 0.0f));
+  for (auto& row : in_weights_) {
+    for (float& v : row) {
+      v = static_cast<float>((rng.UniformDouble() - 0.5) / dim);
+    }
+  }
+}
+
+namespace {
+double Sigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+}  // namespace
+
+void Word2Vec::TrainPair(size_t center, size_t context, double lr, Rng* rng) {
+  const size_t dim = options_.dimensions;
+  Embedding& v_in = in_weights_[center];
+  std::vector<float> grad_in(dim, 0.0f);
+
+  auto update = [&](size_t target, double label) {
+    Embedding& v_out = out_weights_[target];
+    double dot = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      dot += static_cast<double>(v_in[i]) * v_out[i];
+    }
+    double g = (label - Sigmoid(dot)) * lr;
+    for (size_t i = 0; i < dim; ++i) {
+      grad_in[i] += static_cast<float>(g * v_out[i]);
+      v_out[i] += static_cast<float>(g * v_in[i]);
+    }
+  };
+
+  update(context, 1.0);
+  for (size_t k = 0; k < options_.negative_samples; ++k) {
+    size_t neg = unigram_table_[rng->Index(unigram_table_.size())];
+    if (neg == context) continue;
+    update(neg, 0.0);
+  }
+  for (size_t i = 0; i < dim; ++i) v_in[i] += grad_in[i];
+}
+
+void Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences) {
+  BuildVocab(sentences);
+  if (vocab_.empty() || unigram_table_.empty()) return;
+  InitWeights();
+  Rng rng(options_.seed ^ 0xabcdef12345ULL);
+
+  size_t total_tokens = 0;
+  for (const auto& s : sentences) total_tokens += s.size();
+  const size_t total_steps =
+      std::max<size_t>(1, total_tokens * options_.epochs);
+  size_t step = 0;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sentence : sentences) {
+      // Map to vocab ids once per sentence.
+      std::vector<size_t> ids;
+      ids.reserve(sentence.size());
+      for (const auto& w : sentence) {
+        auto it = vocab_.find(w);
+        if (it != vocab_.end()) ids.push_back(it->second);
+      }
+      for (size_t pos = 0; pos < ids.size(); ++pos) {
+        double progress = static_cast<double>(step++) / total_steps;
+        double lr = std::max(options_.min_learning_rate,
+                             options_.learning_rate * (1.0 - progress));
+        size_t window = 1 + rng.Index(options_.window);
+        size_t lo = (pos > window) ? pos - window : 0;
+        size_t hi = std::min(ids.size(), pos + window + 1);
+        for (size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          TrainPair(ids[pos], ids[c], lr, &rng);
+        }
+      }
+    }
+  }
+}
+
+const Embedding* Word2Vec::Vector(const std::string& word) const {
+  auto it = vocab_.find(word);
+  if (it == vocab_.end()) return nullptr;
+  return &in_weights_[it->second];
+}
+
+}  // namespace valentine

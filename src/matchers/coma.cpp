@@ -1,0 +1,331 @@
+#include "matchers/coma.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "text/stemmer.h"
+#include "text/string_similarity.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace valentine {
+
+double ComaMatcher::NameTrigramSim(const std::string& a,
+                                   const std::string& b) const {
+  return TrigramSimilarity(ToLower(a), ToLower(b));
+}
+
+double ComaMatcher::NameSynonymSim(const std::string& a,
+                                   const std::string& b) const {
+  struct Tok {
+    std::string raw;
+    std::string stem;
+  };
+  auto normalize = [&](const std::string& name) {
+    std::vector<Tok> tokens;
+    for (const std::string& t : TokenizeIdentifier(name)) {
+      std::string raw = thesaurus_->Expand(t);
+      tokens.push_back({raw, StemToken(raw)});
+    }
+    return tokens;
+  };
+  std::vector<Tok> ta = normalize(a);
+  std::vector<Tok> tb = normalize(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  auto token_sim = [&](const Tok& x, const Tok& y) {
+    if (x.stem == y.stem) return 1.0;
+    return std::max(thesaurus_->Relatedness(x.raw, y.raw),
+                    thesaurus_->Relatedness(x.stem, y.stem));
+  };
+  auto one_way = [&](const std::vector<Tok>& xs, const std::vector<Tok>& ys) {
+    double total = 0.0;
+    for (const auto& x : xs) {
+      double best = 0.0;
+      for (const auto& y : ys) best = std::max(best, token_sim(x, y));
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  return 0.5 * (one_way(ta, tb) + one_way(tb, ta));
+}
+
+double ComaMatcher::NamePathSim(const std::string& table_a,
+                                const std::string& col_a,
+                                const std::string& table_b,
+                                const std::string& col_b) const {
+  return TrigramSimilarity(ToLower(table_a) + "." + ToLower(col_a),
+                           ToLower(table_b) + "." + ToLower(col_b));
+}
+
+double ComaMatcher::NameAffixSim(const std::string& a, const std::string& b) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  // Compare separator-free forms so "addr_line" and "addrline" agree.
+  auto strip = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c != '_' && c != '-' && c != ' ') out.push_back(c);
+    }
+    return out;
+  };
+  la = strip(la);
+  lb = strip(lb);
+  if (la.empty() || lb.empty()) return 0.0;
+  size_t lcs = LongestCommonSubstring(la, lb);
+  return static_cast<double>(lcs) /
+         static_cast<double>(std::min(la.size(), lb.size()));
+}
+
+double ComaMatcher::DataTypeSim(DataType a, DataType b) {
+  if (a == b) return 1.0;
+  if (TypesCompatible(a, b)) return 0.7;
+  return 0.0;
+}
+
+std::vector<ComaComponentScore> ComaMatcher::SchemaComponentScores(
+    const std::string& source_table, const Column& a,
+    const std::string& target_table, const Column& b) const {
+  std::vector<ComaComponentScore> scores;
+  scores.push_back({"name_trigram", NameTrigramSim(a.name(), b.name()), 1.5});
+  scores.push_back({"name_synonym", NameSynonymSim(a.name(), b.name()), 2.0});
+  // Token-level edit-distance measure (COMA's Name matcher combines
+  // several string measures, not only n-grams).
+  scores.push_back({"name_token_edit",
+                    BestMatchAverage(TokenizeIdentifier(a.name()),
+                                     TokenizeIdentifier(b.name()),
+                                     &JaroWinklerSimilarity),
+                    2.0});
+  scores.push_back({"name_path",
+                    NamePathSim(source_table, a.name(), target_table,
+                                b.name()),
+                    1.0});
+  scores.push_back({"name_affix", NameAffixSim(a.name(), b.name()), 1.5});
+  scores.push_back({"data_type", DataTypeSim(a.type(), b.type()), 1.0});
+  if (options_.use_soundex) {
+    scores.push_back({"name_soundex",
+                      BestMatchAverage(TokenizeIdentifier(a.name()),
+                                       TokenizeIdentifier(b.name()),
+                                       &SoundexSimilarity),
+                      0.5});
+  }
+  return scores;
+}
+
+double ComaMatcher::Aggregate(const std::vector<ComaComponentScore>& scores,
+                              ComaAggregation aggregation) {
+  if (scores.empty()) return 0.0;
+  switch (aggregation) {
+    case ComaAggregation::kMax: {
+      double best = 0.0;
+      for (const auto& s : scores) best = std::max(best, s.score);
+      return best;
+    }
+    case ComaAggregation::kMin: {
+      double worst = std::numeric_limits<double>::max();
+      for (const auto& s : scores) worst = std::min(worst, s.score);
+      return worst;
+    }
+    case ComaAggregation::kAverage: {
+      double total = 0.0;
+      for (const auto& s : scores) total += s.score;
+      return total / static_cast<double>(scores.size());
+    }
+    case ComaAggregation::kWeighted: {
+      double total = 0.0;
+      double total_w = 0.0;
+      for (const auto& s : scores) {
+        total += s.score * s.weight;
+        total_w += s.weight;
+      }
+      return total_w > 0.0 ? total / total_w : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Applies the direction + selection strategies to the aggregated score
+/// matrix, returning the surviving (i, j) pairs.
+std::vector<std::pair<size_t, size_t>> SelectPairs(
+    const std::vector<std::vector<double>>& score, const ComaOptions& opt) {
+  const size_t ns = score.size();
+  const size_t nt = ns == 0 ? 0 : score[0].size();
+  std::vector<std::pair<size_t, size_t>> out;
+
+  auto passes_threshold = [&](size_t i, size_t j) {
+    return score[i][j] >= opt.threshold;
+  };
+
+  if (opt.selection == ComaSelection::kAll) {
+    for (size_t i = 0; i < ns; ++i) {
+      for (size_t j = 0; j < nt; ++j) {
+        if (passes_threshold(i, j)) out.emplace_back(i, j);
+      }
+    }
+    return out;
+  }
+
+  if (opt.selection == ComaSelection::kOneToOne) {
+    // Greedy best-counterpart selection over descending scores.
+    std::vector<std::tuple<double, size_t, size_t>> ranked;
+    for (size_t i = 0; i < ns; ++i) {
+      for (size_t j = 0; j < nt; ++j) {
+        if (passes_threshold(i, j)) ranked.emplace_back(score[i][j], i, j);
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (std::get<0>(a) != std::get<0>(b)) {
+                  return std::get<0>(a) > std::get<0>(b);
+                }
+                if (std::get<1>(a) != std::get<1>(b)) {
+                  return std::get<1>(a) < std::get<1>(b);
+                }
+                return std::get<2>(a) < std::get<2>(b);
+              });
+    std::vector<bool> used_src(ns, false), used_tgt(nt, false);
+    for (const auto& [s, i, j] : ranked) {
+      if (used_src[i] || used_tgt[j]) continue;
+      used_src[i] = true;
+      used_tgt[j] = true;
+      out.emplace_back(i, j);
+    }
+    return out;
+  }
+
+  // kMaxN / kMaxDelta: build per-direction candidate sets, then apply
+  // the direction strategy.
+  auto forward_keep = [&](size_t i, size_t j) {
+    // Rank of (i, j) within row i.
+    if (opt.selection == ComaSelection::kMaxN) {
+      size_t better = 0;
+      for (size_t k = 0; k < nt; ++k) {
+        if (score[i][k] > score[i][j]) ++better;
+      }
+      return better < opt.max_n;
+    }
+    double best = 0.0;
+    for (size_t k = 0; k < nt; ++k) best = std::max(best, score[i][k]);
+    return score[i][j] >= best - opt.delta;
+  };
+  auto backward_keep = [&](size_t i, size_t j) {
+    if (opt.selection == ComaSelection::kMaxN) {
+      size_t better = 0;
+      for (size_t k = 0; k < ns; ++k) {
+        if (score[k][j] > score[i][j]) ++better;
+      }
+      return better < opt.max_n;
+    }
+    double best = 0.0;
+    for (size_t k = 0; k < ns; ++k) best = std::max(best, score[k][j]);
+    return score[i][j] >= best - opt.delta;
+  };
+
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      if (!passes_threshold(i, j)) continue;
+      bool keep = false;
+      switch (opt.direction) {
+        case ComaDirection::kForward:
+          keep = forward_keep(i, j);
+          break;
+        case ComaDirection::kBackward:
+          keep = backward_keep(i, j);
+          break;
+        case ComaDirection::kBoth:
+          keep = forward_keep(i, j) && backward_keep(i, j);
+          break;
+      }
+      if (keep) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MatchResult ComaMatcher::Match(const Table& source,
+                               const Table& target) const {
+  const size_t ns = source.num_columns();
+  const size_t nt = target.num_columns();
+  const bool instances = options_.strategy == ComaStrategy::kInstances;
+
+  // Precompute instance features once per column.
+  std::vector<std::unordered_set<std::string>> src_sets, tgt_sets;
+  std::vector<TextProfile> src_prof, tgt_prof;
+  std::vector<NumericStats> src_num, tgt_num;
+  std::vector<double> src_numfrac, tgt_numfrac;
+  if (instances) {
+    auto profile = [&](const Table& t,
+                       std::vector<std::unordered_set<std::string>>* sets,
+                       std::vector<TextProfile>* profs,
+                       std::vector<NumericStats>* nums,
+                       std::vector<double>* numfracs) {
+      for (const Column& c : t.columns()) {
+        std::unordered_set<std::string> set = c.DistinctStringSet();
+        if (options_.max_distinct_values > 0 &&
+            set.size() > options_.max_distinct_values) {
+          std::unordered_set<std::string> capped;
+          for (const auto& v : set) {
+            capped.insert(v);
+            if (capped.size() >= options_.max_distinct_values) break;
+          }
+          set = std::move(capped);
+        }
+        sets->push_back(std::move(set));
+        profs->push_back(ComputeTextProfile(c));
+        nums->push_back(ComputeNumericStats(c.NumericValues()));
+        numfracs->push_back(c.NumericFraction());
+      }
+    };
+    profile(source, &src_sets, &src_prof, &src_num, &src_numfrac);
+    profile(target, &tgt_sets, &tgt_prof, &tgt_num, &tgt_numfrac);
+  }
+
+  // Optional TF-IDF token matcher (whole-matrix computation).
+  std::vector<std::vector<double>> tfidf_sim;
+  if (instances && options_.use_tfidf_tokens) {
+    tfidf_sim =
+        TfIdfColumnSimilarity(source, target, options_.max_distinct_values);
+  }
+
+  // Aggregated similarity matrix over all first-line matchers.
+  std::vector<std::vector<double>> combined(ns, std::vector<double>(nt, 0.0));
+  for (size_t i = 0; i < ns; ++i) {
+    const Column& a = source.column(i);
+    for (size_t j = 0; j < nt; ++j) {
+      const Column& b = target.column(j);
+      std::vector<ComaComponentScore> scores =
+          SchemaComponentScores(source.name(), a, target.name(), b);
+      if (instances) {
+        scores.push_back({"value_overlap",
+                          JaccardSimilarity(src_sets[i], tgt_sets[j]), 3.0});
+        // Profile matcher: numeric columns compare moments, textual
+        // columns compare character profiles.
+        double prof_sim;
+        if (src_numfrac[i] > 0.9 && tgt_numfrac[j] > 0.9) {
+          prof_sim = NumericStatsSimilarity(src_num[i], tgt_num[j]);
+        } else {
+          prof_sim = TextProfileSimilarity(src_prof[i], tgt_prof[j]);
+        }
+        scores.push_back({"instance_profile", prof_sim, 1.5});
+        if (options_.use_tfidf_tokens) {
+          scores.push_back({"tfidf_tokens", tfidf_sim[i][j], 2.0});
+        }
+      }
+      combined[i][j] = Aggregate(scores, options_.aggregation);
+    }
+  }
+
+  MatchResult result;
+  for (const auto& [i, j] : SelectPairs(combined, options_)) {
+    result.Add({source.name(), source.column(i).name()},
+               {target.name(), target.column(j).name()}, combined[i][j]);
+  }
+  result.Sort();
+  return result;
+}
+
+}  // namespace valentine

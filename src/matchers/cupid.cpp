@@ -1,0 +1,154 @@
+#include "matchers/cupid.h"
+
+#include <algorithm>
+
+#include "text/stemmer.h"
+#include "text/string_similarity.h"
+#include "text/tokenizer.h"
+
+namespace valentine {
+
+double CupidMatcher::TypeCompatibility(DataType a, DataType b) {
+  if (a == b) return 1.0;
+  if (TypesCompatible(a, b)) return 0.8;
+  return 0.4;  // Cupid keeps a floor: incompatible types still may match.
+}
+
+double CupidMatcher::LinguisticSimilarity(const std::string& a,
+                                          const std::string& b) const {
+  std::string key = a + "\x1f" + b;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (auto it = lsim_cache_.find(key); it != lsim_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Normalization: tokenize, expand abbreviations; keep both the raw
+  // expanded token (for thesaurus lookup — the thesaurus stores surface
+  // forms) and its stem (for string similarity and plural folding).
+  struct Tok {
+    std::string raw;
+    std::string stem;
+  };
+  auto normalize = [&](const std::string& name) {
+    std::vector<Tok> tokens;
+    for (const std::string& t : TokenizeIdentifier(name)) {
+      std::string raw = thesaurus_->Expand(t);
+      tokens.push_back({raw, StemToken(raw)});
+    }
+    return tokens;
+  };
+  std::vector<Tok> ta = normalize(a);
+  std::vector<Tok> tb = normalize(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+
+  // Per-token similarity: thesaurus relatedness (raw or stemmed forms)
+  // dominates, Jaro-Winkler on stems as fallback for unknown vocabulary.
+  auto token_sim = [&](const Tok& x, const Tok& y) {
+    double rel = std::max(thesaurus_->Relatedness(x.raw, y.raw),
+                          thesaurus_->Relatedness(x.stem, y.stem));
+    double jw = JaroWinklerSimilarity(x.stem, y.stem);
+    return std::max(rel, jw);
+  };
+  auto one_way = [&](const std::vector<Tok>& xs, const std::vector<Tok>& ys) {
+    double total = 0.0;
+    for (const auto& x : xs) {
+      double best = 0.0;
+      for (const auto& y : ys) best = std::max(best, token_sim(x, y));
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  double sim = 0.5 * (one_way(ta, tb) + one_way(tb, ta));
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    lsim_cache_.emplace(std::move(key), sim);
+  }
+  return sim;
+}
+
+MatchResult CupidMatcher::Match(const Table& source,
+                                const Table& target) const {
+  const size_t ns = source.num_columns();
+  const size_t nt = target.num_columns();
+
+  // --- Linguistic matching over leaves (columns). ---
+  std::vector<std::vector<double>> lsim(ns, std::vector<double>(nt, 0.0));
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      lsim[i][j] = LinguisticSimilarity(source.column(i).name(),
+                                        target.column(j).name());
+    }
+  }
+
+  // --- Structural matching (TreeMatch on a 2-level tree). ---
+  // Initial leaf structural similarity: data-type compatibility.
+  std::vector<std::vector<double>> ssim(ns, std::vector<double>(nt, 0.0));
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      ssim[i][j] = TypeCompatibility(source.column(i).type(),
+                                     target.column(j).type());
+    }
+  }
+  auto wsim_at = [&](size_t i, size_t j, double w_struct) {
+    return w_struct * ssim[i][j] + (1.0 - w_struct) * lsim[i][j];
+  };
+
+  // Table-level structural similarity: fraction of leaves with a strong
+  // link (wsim >= th_accept) among all leaves of both subtrees.
+  auto table_ssim = [&] {
+    size_t strong_src = 0;
+    for (size_t i = 0; i < ns; ++i) {
+      for (size_t j = 0; j < nt; ++j) {
+        if (wsim_at(i, j, options_.leaf_w_struct) >= options_.th_accept) {
+          ++strong_src;
+          break;
+        }
+      }
+    }
+    size_t strong_tgt = 0;
+    for (size_t j = 0; j < nt; ++j) {
+      for (size_t i = 0; i < ns; ++i) {
+        if (wsim_at(i, j, options_.leaf_w_struct) >= options_.th_accept) {
+          ++strong_tgt;
+          break;
+        }
+      }
+    }
+    return static_cast<double>(strong_src + strong_tgt) /
+           static_cast<double>(ns + nt);
+  };
+
+  // Table-level linguistic similarity between the two table names.
+  double table_lsim = LinguisticSimilarity(source.name(), target.name());
+  double parent_ssim = table_ssim();
+  double parent_wsim =
+      options_.w_struct * parent_ssim + (1.0 - options_.w_struct) * table_lsim;
+
+  // Mutual reinforcement: if the parents match strongly, boost leaf
+  // structural similarities; if weakly, penalize (original TreeMatch).
+  double factor = 1.0;
+  if (parent_wsim > options_.th_high) {
+    factor = options_.c_inc;
+  } else if (parent_wsim < options_.th_low) {
+    factor = options_.c_dec;
+  }
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      ssim[i][j] = std::min(1.0, ssim[i][j] * factor);
+    }
+  }
+
+  MatchResult result;
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      double w = wsim_at(i, j, options_.leaf_w_struct);
+      result.Add({source.name(), source.column(i).name()},
+                 {target.name(), target.column(j).name()}, w);
+    }
+  }
+  result.Sort();
+  return result;
+}
+
+}  // namespace valentine

@@ -1,0 +1,179 @@
+#include "matchers/distribution_based.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/emd.h"
+#include "stats/histogram.h"
+
+namespace valentine {
+
+namespace {
+
+/// Exhaustive partition search over at most `exact_limit` nodes:
+/// recursively assigns each node to an existing block or a new one,
+/// keeping the best total intra-block weight.
+void ExactPartition(size_t node, size_t n,
+                    const std::vector<std::vector<double>>& weight,
+                    std::vector<size_t>* assign, size_t num_blocks,
+                    double score, double* best_score,
+                    std::vector<size_t>* best_assign) {
+  if (node == n) {
+    if (score > *best_score) {
+      *best_score = score;
+      *best_assign = *assign;
+    }
+    return;
+  }
+  for (size_t b = 0; b <= num_blocks; ++b) {
+    double delta = 0.0;
+    for (size_t prev = 0; prev < node; ++prev) {
+      if ((*assign)[prev] == b) delta += weight[prev][node];
+    }
+    (*assign)[node] = b;
+    ExactPartition(node + 1, n, weight, assign,
+                   std::max(num_blocks, b + 1), score + delta, best_score,
+                   best_assign);
+  }
+}
+
+/// Greedy agglomerative clustering: merge the cluster pair with the
+/// largest positive gain until no merge improves the objective. The
+/// inter-cluster gain matrix is maintained incrementally, so the whole
+/// run is O(n^3) in the worst case.
+std::vector<size_t> GreedyPartition(
+    size_t n, const std::vector<std::vector<double>>& weight) {
+  std::vector<size_t> assign(n);
+  for (size_t i = 0; i < n; ++i) assign[i] = i;
+  std::vector<bool> alive(n, true);
+  // gain[a][b] = total pair weight between current clusters a and b.
+  std::vector<std::vector<double>> gain(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      gain[i][j] = gain[j][i] = weight[i][j];
+    }
+  }
+  while (true) {
+    double best_gain = 0.0;
+    size_t best_a = 0;
+    size_t best_b = 0;
+    for (size_t a = 0; a < n; ++a) {
+      if (!alive[a]) continue;
+      for (size_t b = a + 1; b < n; ++b) {
+        if (!alive[b]) continue;
+        if (gain[a][b] > best_gain) {
+          best_gain = gain[a][b];
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_gain <= 0.0) break;
+    for (size_t i = 0; i < n; ++i) {
+      if (assign[i] == best_b) assign[i] = best_a;
+    }
+    for (size_t c = 0; c < n; ++c) {
+      if (!alive[c] || c == best_a || c == best_b) continue;
+      gain[best_a][c] += gain[best_b][c];
+      gain[c][best_a] = gain[best_a][c];
+    }
+    alive[best_b] = false;
+  }
+  return assign;
+}
+
+}  // namespace
+
+std::vector<size_t> SolveClusterSelection(
+    size_t n, const std::vector<std::vector<double>>& weight,
+    size_t exact_limit) {
+  if (n == 0) return {};
+  if (n <= exact_limit) {
+    std::vector<size_t> assign(n, 0);
+    std::vector<size_t> best_assign(n, 0);
+    double best_score = -std::numeric_limits<double>::max();
+    ExactPartition(0, n, weight, &assign, 0, 0.0, &best_score, &best_assign);
+    return best_assign;
+  }
+  return GreedyPartition(n, weight);
+}
+
+MatchResult DistributionBasedMatcher::Match(const Table& source,
+                                            const Table& target) const {
+  const size_t ns = source.num_columns();
+  const size_t nt = target.num_columns();
+  const size_t n = ns + nt;
+
+  // Distinct value sets and quantile histograms for every column of
+  // both tables (the method clusters the union of attributes).
+  std::vector<std::vector<std::string>> values(n);
+  std::vector<QuantileHistogram> hists(n);
+  auto load = [&](const Table& t, size_t offset) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      std::vector<std::string> vals = t.column(c).DistinctStrings();
+      if (options_.max_values > 0 && vals.size() > options_.max_values) {
+        vals.resize(options_.max_values);
+      }
+      hists[offset + c] =
+          QuantileHistogram::Build(ValuesToPoints(vals), options_.num_bins);
+      values[offset + c] = std::move(vals);
+    }
+  };
+  load(source, 0);
+  load(target, ns);
+
+  // --- Phase 1: full-set EMD under θ1 over cross-table pairs. ---
+  // Signed weights for the final partition: surviving links positive,
+  // everything else mildly repulsive so blocks stay clique-like.
+  constexpr double kNonEdgePenalty = -0.25;
+  std::vector<std::vector<double>> weight(n, std::vector<double>(n, kNonEdgePenalty));
+  struct Link {
+    size_t a;
+    size_t b;
+    double score;
+  };
+  std::vector<Link> links;
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      double emd1 = EmdBetweenHistograms(hists[i], hists[ns + j]);
+      if (emd1 > options_.phase1_threshold) continue;
+
+      // --- Phase 2: intersection EMD under θ2. ---
+      std::unordered_set<std::string> set_b(values[ns + j].begin(),
+                                            values[ns + j].end());
+      std::vector<std::string> inter;
+      for (const auto& v : values[i]) {
+        if (set_b.count(v)) inter.push_back(v);
+      }
+      double emd2;
+      if (inter.empty()) {
+        emd2 = std::numeric_limits<double>::max();
+      } else {
+        QuantileHistogram hi =
+            QuantileHistogram::Build(ValuesToPoints(inter), options_.num_bins);
+        emd2 = std::max(EmdBetweenHistograms(hists[i], hi),
+                        EmdBetweenHistograms(hists[ns + j], hi));
+      }
+      if (emd2 > options_.phase2_threshold) continue;
+      double score = 1.0 / (1.0 + emd2);
+      links.push_back({i, ns + j, score});
+      weight[i][ns + j] = score;
+    }
+  }
+
+  // --- Final step: disjoint cluster selection (ILP substitute). ---
+  std::vector<size_t> assign =
+      SolveClusterSelection(n, weight, options_.exact_solver_limit);
+
+  MatchResult result;
+  for (const Link& link : links) {
+    if (assign[link.a] != assign[link.b]) continue;
+    result.Add({source.name(), source.column(link.a).name()},
+               {target.name(), target.column(link.b - ns).name()},
+               link.score);
+  }
+  result.Sort();
+  return result;
+}
+
+}  // namespace valentine

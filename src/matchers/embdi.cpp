@@ -1,0 +1,112 @@
+#include "matchers/embdi.h"
+
+#include <algorithm>
+
+#include <functional>
+
+#include "graph/digraph.h"
+#include "knowledge/cooc_embedding.h"
+#include "knowledge/word2vec.h"
+
+namespace valentine {
+
+namespace {
+
+/// Adds one table to the shared EmbDI graph. CID/RID tokens are
+/// namespaced by table; value tokens are shared across tables.
+void AddTableToGraph(const Table& table, const std::string& prefix,
+                     size_t max_rows, Digraph* g) {
+  size_t rows = table.num_rows();
+  if (max_rows > 0) rows = std::min(rows, max_rows);
+  std::vector<NodeId> cids;
+  cids.reserve(table.num_columns());
+  for (const Column& c : table.columns()) {
+    cids.push_back(
+        g->GetOrAddNode("cid__" + prefix + "__" + c.name(), "cid"));
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    NodeId rid =
+        g->GetOrAddNode("rid__" + prefix + "__" + std::to_string(r), "rid");
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& v = table.column(c)[r];
+      if (v.is_null()) continue;
+      NodeId val = g->GetOrAddNode("tt__" + v.AsString(), "value");
+      g->AddEdge(rid, val, "cell");
+      g->AddEdge(val, cids[c], "attr");
+    }
+  }
+}
+
+}  // namespace
+
+MatchResult EmbdiMatcher::Match(const Table& source,
+                                const Table& target) const {
+  Digraph g;
+  AddTableToGraph(source, "A", options_.max_rows, &g);
+  AddTableToGraph(target, "B", options_.max_rows, &g);
+
+  // --- Sentence generation via uniform random walks. ---
+  Rng rng(options_.seed);
+  std::vector<std::vector<std::string>> sentences;
+  sentences.reserve(g.num_nodes() * options_.walks_per_node);
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    for (size_t w = 0; w < options_.walks_per_node; ++w) {
+      std::vector<std::string> sentence;
+      sentence.reserve(options_.sentence_length);
+      NodeId cur = start;
+      for (size_t s = 0; s < options_.sentence_length; ++s) {
+        sentence.push_back(g.name(cur));
+        std::vector<NodeId> next = g.Neighbors(cur);
+        if (next.empty()) break;
+        cur = next[rng.Index(next.size())];
+      }
+      if (sentence.size() > 1) sentences.push_back(std::move(sentence));
+    }
+  }
+
+  // --- Train local embeddings (trainer per options). ---
+  Word2Vec w2v_model;
+  CoocEmbedding cooc_model;
+  std::function<const Embedding*(const std::string&)> lookup;
+  if (options_.training == EmbdiTraining::kWord2Vec) {
+    Word2VecOptions w2v;
+    w2v.dimensions = options_.dimensions;
+    w2v.window = options_.window_size;
+    w2v.epochs = options_.epochs;
+    w2v.seed = options_.seed;
+    w2v_model = Word2Vec(w2v);
+    w2v_model.Train(sentences);
+    lookup = [&w2v_model](const std::string& w) {
+      return w2v_model.Vector(w);
+    };
+  } else {
+    CoocOptions cooc;
+    cooc.dimensions = options_.dimensions;
+    cooc.window = options_.window_size;
+    cooc.seed = options_.seed;
+    cooc_model = CoocEmbedding(cooc);
+    cooc_model.Train(sentences);
+    lookup = [&cooc_model](const std::string& w) {
+      return cooc_model.Vector(w);
+    };
+  }
+
+  // --- Match CIDs across tables by cosine similarity. ---
+  MatchResult result;
+  for (const Column& a : source.columns()) {
+    const Embedding* va = lookup("cid__A__" + a.name());
+    for (const Column& b : target.columns()) {
+      const Embedding* vb = lookup("cid__B__" + b.name());
+      double sim = 0.0;
+      if (va != nullptr && vb != nullptr) {
+        // Negative cosine means "unrelated", not "anti-related".
+        sim = std::max(0.0, CosineSimilarity(*va, *vb));
+      }
+      result.Add({source.name(), a.name()}, {target.name(), b.name()}, sim);
+    }
+  }
+  result.Sort();
+  return result;
+}
+
+}  // namespace valentine

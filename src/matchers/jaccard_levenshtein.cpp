@@ -1,0 +1,38 @@
+#include "matchers/jaccard_levenshtein.h"
+
+#include "text/string_similarity.h"
+
+namespace valentine {
+
+MatchResult JaccardLevenshteinMatcher::Match(const Table& source,
+                                             const Table& target) const {
+  // Pre-extract (and cap) distinct values once per column.
+  auto extract = [&](const Table& t) {
+    std::vector<std::vector<std::string>> cols;
+    cols.reserve(t.num_columns());
+    for (const Column& c : t.columns()) {
+      std::vector<std::string> vals = c.DistinctStrings();
+      if (options_.max_distinct_values > 0 &&
+          vals.size() > options_.max_distinct_values) {
+        vals.resize(options_.max_distinct_values);
+      }
+      cols.push_back(std::move(vals));
+    }
+    return cols;
+  };
+  auto src_vals = extract(source);
+  auto tgt_vals = extract(target);
+
+  MatchResult result;
+  for (size_t i = 0; i < source.num_columns(); ++i) {
+    for (size_t j = 0; j < target.num_columns(); ++j) {
+      double sim = FuzzyJaccard(src_vals[i], tgt_vals[j], options_.threshold);
+      result.Add({source.name(), source.column(i).name()},
+                 {target.name(), target.column(j).name()}, sim);
+    }
+  }
+  result.Sort();
+  return result;
+}
+
+}  // namespace valentine

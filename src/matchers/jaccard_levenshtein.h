@@ -1,0 +1,45 @@
+#ifndef VALENTINE_MATCHERS_JACCARD_LEVENSHTEIN_H_
+#define VALENTINE_MATCHERS_JACCARD_LEVENSHTEIN_H_
+
+/// \file jaccard_levenshtein.h
+/// The paper's baseline (§VI-A, "Jaccard-Levenshtein Matcher"): a naive
+/// instance-based matcher that computes all pairwise column similarities
+/// with Jaccard similarity, where two values count as identical when
+/// their normalized Levenshtein distance is below a threshold.
+
+#include "matchers/matcher.h"
+
+namespace valentine {
+
+/// Parameters of the baseline (paper Table II: threshold in [0.4, 0.8]).
+struct JaccardLevenshteinOptions {
+  /// Maximum normalized Levenshtein distance for two values to be
+  /// treated as identical.
+  double threshold = 0.5;
+  /// Cap on distinct values compared per column (keeps the quadratic
+  /// fuzzy stage tractable; 0 = unlimited).
+  size_t max_distinct_values = 500;
+};
+
+/// \brief Fuzzy-Jaccard value-overlap baseline matcher.
+class JaccardLevenshteinMatcher : public ColumnMatcher {
+ public:
+  explicit JaccardLevenshteinMatcher(JaccardLevenshteinOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "JaccardLevenshtein"; }
+  MatcherCategory Category() const override {
+    return MatcherCategory::kInstanceBased;
+  }
+  std::vector<MatchType> Capabilities() const override {
+    return {MatchType::kValueOverlap};
+  }
+  MatchResult Match(const Table& source, const Table& target) const override;
+
+ private:
+  JaccardLevenshteinOptions options_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_MATCHERS_JACCARD_LEVENSHTEIN_H_

@@ -1,0 +1,46 @@
+#include "matchers/match_result.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace valentine {
+
+void MatchResult::Sort() {
+  std::sort(matches_.begin(), matches_.end(),
+            [](const Match& a, const Match& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (!(a.source == b.source)) return a.source < b.source;
+              return a.target < b.target;
+            });
+}
+
+std::vector<Match> MatchResult::TopK(size_t k) const {
+  std::vector<Match> out(matches_.begin(),
+                         matches_.begin() +
+                             static_cast<long>(std::min(k, matches_.size())));
+  return out;
+}
+
+void MatchResult::FilterBelow(double threshold) {
+  matches_.erase(std::remove_if(matches_.begin(), matches_.end(),
+                                [&](const Match& m) {
+                                  return m.score < threshold;
+                                }),
+                 matches_.end());
+}
+
+std::string MatchResult::ToString(size_t limit) const {
+  std::ostringstream out;
+  size_t n = std::min(limit, matches_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Match& m = matches_[i];
+    out << m.source.ToString() << " -> " << m.target.ToString() << " : "
+        << m.score << "\n";
+  }
+  if (matches_.size() > n) {
+    out << "... (" << matches_.size() - n << " more)\n";
+  }
+  return out.str();
+}
+
+}  // namespace valentine

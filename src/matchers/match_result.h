@@ -1,0 +1,62 @@
+#ifndef VALENTINE_MATCHERS_MATCH_RESULT_H_
+#define VALENTINE_MATCHERS_MATCH_RESULT_H_
+
+/// \file match_result.h
+/// The output contract of every matcher: a *ranked* list of column pairs
+/// with confidence scores. Valentine's central argument (paper §II-C) is
+/// that dataset discovery needs rankings, not 1-1 match sets — all
+/// effectiveness metrics here consume this ranking.
+
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+
+namespace valentine {
+
+/// \brief One candidate correspondence between a source and target column.
+struct Match {
+  ColumnRef source;
+  ColumnRef target;
+  double score = 0.0;
+
+  bool SamePair(const Match& other) const {
+    return source == other.source && target == other.target;
+  }
+};
+
+/// \brief A ranked list of matches (highest score first after Sort()).
+class MatchResult {
+ public:
+  MatchResult() = default;
+
+  void Add(ColumnRef source, ColumnRef target, double score) {
+    matches_.push_back({std::move(source), std::move(target), score});
+  }
+  void Add(Match m) { matches_.push_back(std::move(m)); }
+
+  size_t size() const { return matches_.size(); }
+  bool empty() const { return matches_.empty(); }
+  const Match& operator[](size_t i) const { return matches_[i]; }
+  const std::vector<Match>& matches() const { return matches_; }
+
+  /// Sorts by descending score; ties broken lexicographically on the
+  /// column refs so rankings are fully deterministic.
+  void Sort();
+
+  /// The first k matches after sorting (fewer if the list is shorter).
+  std::vector<Match> TopK(size_t k) const;
+
+  /// Drops matches scoring strictly below `threshold`.
+  void FilterBelow(double threshold);
+
+  /// Multi-line debug rendering "source -> target : score".
+  std::string ToString(size_t limit = 20) const;
+
+ private:
+  std::vector<Match> matches_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_MATCHERS_MATCH_RESULT_H_

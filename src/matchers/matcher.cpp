@@ -1,0 +1,26 @@
+#include "matchers/matcher.h"
+
+namespace valentine {
+
+const char* MatchTypeName(MatchType type) {
+  switch (type) {
+    case MatchType::kAttributeOverlap: return "Attribute Overlap";
+    case MatchType::kValueOverlap: return "Value Overlap";
+    case MatchType::kSemanticOverlap: return "Semantic Overlap";
+    case MatchType::kDataType: return "Data Type";
+    case MatchType::kDistribution: return "Distribution";
+    case MatchType::kEmbeddings: return "Embeddings";
+  }
+  return "Unknown";
+}
+
+const char* MatcherCategoryName(MatcherCategory category) {
+  switch (category) {
+    case MatcherCategory::kSchemaBased: return "schema-based";
+    case MatcherCategory::kInstanceBased: return "instance-based";
+    case MatcherCategory::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+}  // namespace valentine

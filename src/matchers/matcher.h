@@ -1,0 +1,68 @@
+#ifndef VALENTINE_MATCHERS_MATCHER_H_
+#define VALENTINE_MATCHERS_MATCHER_H_
+
+/// \file matcher.h
+/// The ColumnMatcher interface every method implements, plus the matcher
+/// taxonomy from the paper's Table I (match types × categories).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "matchers/match_result.h"
+
+namespace valentine {
+
+/// The six match-type capabilities of paper Table I.
+enum class MatchType {
+  kAttributeOverlap,
+  kValueOverlap,
+  kSemanticOverlap,
+  kDataType,
+  kDistribution,
+  kEmbeddings,
+};
+
+/// Human-readable label of a match type (as printed in Table I).
+const char* MatchTypeName(MatchType type);
+
+/// Whether the method reads schema-level info, instance values, or both
+/// (paper §VI classification).
+enum class MatcherCategory {
+  kSchemaBased,
+  kInstanceBased,
+  kHybrid,
+};
+
+const char* MatcherCategoryName(MatcherCategory category);
+
+/// \brief Interface for schema matching methods.
+///
+/// A matcher scores column correspondences between a source and a target
+/// table and returns them as a ranked list (never a thresholded 1-1 set —
+/// selection is the caller's concern).
+class ColumnMatcher {
+ public:
+  virtual ~ColumnMatcher() = default;
+
+  /// Short method name, e.g. "Cupid".
+  virtual std::string Name() const = 0;
+
+  /// Schema-based / instance-based / hybrid.
+  virtual MatcherCategory Category() const = 0;
+
+  /// The Table I capability row for this method.
+  virtual std::vector<MatchType> Capabilities() const = 0;
+
+  /// Computes the ranked match list for the pair of tables.
+  virtual MatchResult Match(const Table& source,
+                            const Table& target) const = 0;
+};
+
+/// Convenience owning handle.
+using MatcherPtr = std::unique_ptr<ColumnMatcher>;
+
+}  // namespace valentine
+
+#endif  // VALENTINE_MATCHERS_MATCHER_H_

@@ -1,0 +1,127 @@
+#include "matchers/semprop.h"
+
+#include <algorithm>
+
+#include "stats/minhash.h"
+#include "text/tokenizer.h"
+
+namespace valentine {
+
+std::pair<size_t, double> SemPropMatcher::LinkToOntology(
+    const std::string& name) const {
+  constexpr size_t kNoLink = static_cast<size_t>(-1);
+  if (ontology_ == nullptr) return {kNoLink, 0.0};
+  Embedding name_emb = embedder_.EmbedText(JoinTokens(
+      TokenizeIdentifier(name)));
+  size_t best_class = kNoLink;
+  double best_sim = 0.0;
+  for (size_t c = 0; c < ontology_->num_classes(); ++c) {
+    for (const auto& label : ontology_->cls(c).labels) {
+      double sim = CosineSimilarity(name_emb, embedder_.EmbedText(label));
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_class = c;
+      }
+    }
+  }
+  if (best_sim < options_.semantic_threshold) return {kNoLink, 0.0};
+  return {best_class, best_sim};
+}
+
+MatchResult SemPropMatcher::Match(const Table& source,
+                                  const Table& target) const {
+  constexpr size_t kNoLink = static_cast<size_t>(-1);
+  const size_t ns = source.num_columns();
+  const size_t nt = target.num_columns();
+
+  // --- Semantic stage: link every column name to an ontology class. ---
+  std::vector<std::pair<size_t, double>> src_links(ns, {kNoLink, 0.0});
+  std::vector<std::pair<size_t, double>> tgt_links(nt, {kNoLink, 0.0});
+  for (size_t i = 0; i < ns; ++i) {
+    src_links[i] = LinkToOntology(source.column(i).name());
+  }
+  for (size_t j = 0; j < nt; ++j) {
+    tgt_links[j] = LinkToOntology(target.column(j).name());
+  }
+
+  // Coherent-group score per table: the fraction of linked columns.
+  // A table whose links are scattered/absent gets its semantic matches
+  // suppressed (below the coherence threshold the links are untrusted).
+  auto coherence = [&](const std::vector<std::pair<size_t, double>>& links) {
+    if (links.empty()) return 0.0;
+    size_t linked = 0;
+    for (const auto& [cls, sim] : links) {
+      if (cls != kNoLink) ++linked;
+    }
+    return static_cast<double>(linked) / static_cast<double>(links.size());
+  };
+  bool coherent = coherence(src_links) >= options_.coherent_group_threshold &&
+                  coherence(tgt_links) >= options_.coherent_group_threshold;
+
+  std::vector<std::vector<double>> sem_score(ns, std::vector<double>(nt, 0.0));
+  if (coherent && ontology_ != nullptr) {
+    for (size_t i = 0; i < ns; ++i) {
+      if (src_links[i].first == kNoLink) continue;
+      for (size_t j = 0; j < nt; ++j) {
+        if (tgt_links[j].first == kNoLink) continue;
+        auto dist = ontology_->HierarchyDistance(src_links[i].first,
+                                                 tgt_links[j].first);
+        if (!dist || *dist > options_.max_class_distance) continue;
+        double link_strength =
+            0.5 * (src_links[i].second + tgt_links[j].second);
+        // Nearby-but-not-identical classes relate more weakly.
+        double decay = 1.0 / (1.0 + static_cast<double>(*dist));
+        sem_score[i][j] = link_strength * decay;
+      }
+    }
+  }
+
+  // --- Syntactic stage for pairs the semantic matcher did not relate:
+  // MinHash-estimated Jaccard over value sets. ---
+  auto capped_set = [&](const Column& c) {
+    std::unordered_set<std::string> set = c.DistinctStringSet();
+    if (options_.max_values > 0 && set.size() > options_.max_values) {
+      std::unordered_set<std::string> capped;
+      for (const auto& v : set) {
+        capped.insert(v);
+        if (capped.size() >= options_.max_values) break;
+      }
+      return capped;
+    }
+    return set;
+  };
+  std::vector<MinHashSignature> src_sigs;
+  std::vector<MinHashSignature> tgt_sigs;
+  src_sigs.reserve(ns);
+  tgt_sigs.reserve(nt);
+  for (size_t i = 0; i < ns; ++i) {
+    src_sigs.push_back(MinHashSignature::Build(capped_set(source.column(i)),
+                                               options_.minhash_hashes));
+  }
+  for (size_t j = 0; j < nt; ++j) {
+    tgt_sigs.push_back(MinHashSignature::Build(capped_set(target.column(j)),
+                                               options_.minhash_hashes));
+  }
+
+  MatchResult result;
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      double score = sem_score[i][j];
+      if (score <= 0.0) {
+        double jac = src_sigs[i].EstimateJaccard(tgt_sigs[j]);
+        if (jac >= options_.minhash_threshold) {
+          // Syntactic matches rank below semantic ones, as in Aurum.
+          score = 0.5 * jac;
+        }
+      }
+      if (score > 0.0) {
+        result.Add({source.name(), source.column(i).name()},
+                   {target.name(), target.column(j).name()}, score);
+      }
+    }
+  }
+  result.Sort();
+  return result;
+}
+
+}  // namespace valentine

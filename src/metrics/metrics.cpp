@@ -1,0 +1,110 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace valentine {
+
+bool MatchesGroundTruth(const Match& m,
+                        const std::vector<GroundTruthEntry>& gt) {
+  for (const auto& entry : gt) {
+    if (m.source.column == entry.source_column &&
+        m.target.column == entry.target_column) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double RecallAtK(const MatchResult& sorted_result,
+                 const std::vector<GroundTruthEntry>& gt, size_t k) {
+  if (k == 0) return 0.0;
+  size_t relevant = 0;
+  size_t limit = std::min(k, sorted_result.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (MatchesGroundTruth(sorted_result[i], gt)) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(k);
+}
+
+double RecallAtGroundTruth(const MatchResult& sorted_result,
+                           const std::vector<GroundTruthEntry>& gt) {
+  return RecallAtK(sorted_result, gt, gt.size());
+}
+
+double PrecisionAtK(const MatchResult& sorted_result,
+                    const std::vector<GroundTruthEntry>& gt, size_t k) {
+  if (k == 0) return 0.0;
+  size_t limit = std::min(k, sorted_result.size());
+  if (limit == 0) return 0.0;
+  size_t relevant = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (MatchesGroundTruth(sorted_result[i], gt)) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(limit);
+}
+
+double MeanAveragePrecision(const MatchResult& sorted_result,
+                            const std::vector<GroundTruthEntry>& gt) {
+  if (gt.empty()) return 0.0;
+  size_t relevant = 0;
+  double sum_precision = 0.0;
+  for (size_t i = 0; i < sorted_result.size(); ++i) {
+    if (MatchesGroundTruth(sorted_result[i], gt)) {
+      ++relevant;
+      sum_precision +=
+          static_cast<double>(relevant) / static_cast<double>(i + 1);
+    }
+  }
+  return sum_precision / static_cast<double>(gt.size());
+}
+
+OneToOneMetrics OneToOneFromRanking(const MatchResult& sorted_result,
+                                    const std::vector<GroundTruthEntry>& gt,
+                                    double threshold) {
+  std::unordered_set<std::string> used_src;
+  std::unordered_set<std::string> used_tgt;
+  size_t selected = 0;
+  size_t correct = 0;
+  for (size_t i = 0; i < sorted_result.size(); ++i) {
+    const Match& m = sorted_result[i];
+    if (m.score < threshold) break;
+    if (used_src.count(m.source.column) || used_tgt.count(m.target.column)) {
+      continue;
+    }
+    used_src.insert(m.source.column);
+    used_tgt.insert(m.target.column);
+    ++selected;
+    if (MatchesGroundTruth(m, gt)) ++correct;
+  }
+  OneToOneMetrics out;
+  if (selected > 0) {
+    out.precision = static_cast<double>(correct) / selected;
+  }
+  if (!gt.empty()) {
+    out.recall = static_cast<double>(correct) / gt.size();
+  }
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  size_t mid = values.size() / 2;
+  s.median = (values.size() % 2 == 1)
+                 ? values[mid]
+                 : 0.5 * (values[mid - 1] + values[mid]);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+}  // namespace valentine

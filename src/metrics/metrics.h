@@ -1,0 +1,62 @@
+#ifndef VALENTINE_METRICS_METRICS_H_
+#define VALENTINE_METRICS_METRICS_H_
+
+/// \file metrics.h
+/// Effectiveness metrics for ranked match lists. The paper's headline
+/// metric is Recall@k with k = |ground truth| (R-precision, §II-C);
+/// Precision@k, MAP, and reference 1-1 P/R/F1 are provided for analysis
+/// and ablations.
+
+#include <vector>
+
+#include "fabrication/fabricator.h"
+#include "matchers/match_result.h"
+
+namespace valentine {
+
+/// True when the ranked match `m` corresponds to a ground-truth entry
+/// (column names compared on both endpoints).
+bool MatchesGroundTruth(const Match& m,
+                        const std::vector<GroundTruthEntry>& gt);
+
+/// Recall@k over a *sorted* result: (# relevant in top-k) / k.
+double RecallAtK(const MatchResult& sorted_result,
+                 const std::vector<GroundTruthEntry>& gt, size_t k);
+
+/// The paper's metric: Recall@k with k = |ground truth|. Returns 0 when
+/// the ground truth is empty.
+double RecallAtGroundTruth(const MatchResult& sorted_result,
+                           const std::vector<GroundTruthEntry>& gt);
+
+/// Precision@k (equal to Recall@k when k = |gt|, see §II-C).
+double PrecisionAtK(const MatchResult& sorted_result,
+                    const std::vector<GroundTruthEntry>& gt, size_t k);
+
+/// Mean average precision of the ranking w.r.t. the ground truth.
+double MeanAveragePrecision(const MatchResult& sorted_result,
+                            const std::vector<GroundTruthEntry>& gt);
+
+/// Reference 1-1 metrics: greedily select a 1-1 assignment from the
+/// ranking (highest score first, skipping used endpoints), thresholded.
+struct OneToOneMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+OneToOneMetrics OneToOneFromRanking(const MatchResult& sorted_result,
+                                    const std::vector<GroundTruthEntry>& gt,
+                                    double threshold);
+
+/// Distribution summary used in the paper's box plots.
+struct Summary {
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+};
+Summary Summarize(std::vector<double> values);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_METRICS_METRICS_H_

@@ -1,0 +1,53 @@
+#include "scaling/approximate_matcher.h"
+
+namespace valentine {
+
+MatchResult ApproximateOverlapMatcher::Match(const Table& source,
+                                             const Table& target) const {
+  const size_t sig_size = options_.lsh.bands * options_.lsh.rows_per_band;
+
+  // Sketch every column once.
+  std::vector<LazoSketch> src_sketches;
+  src_sketches.reserve(source.num_columns());
+  for (const Column& c : source.columns()) {
+    src_sketches.push_back(LazoSketch::Build(c.DistinctStringSet(), sig_size));
+  }
+
+  MatchResult result;
+  if (options_.estimate_all_pairs) {
+    std::vector<LazoSketch> tgt_sketches;
+    tgt_sketches.reserve(target.num_columns());
+    for (const Column& c : target.columns()) {
+      tgt_sketches.push_back(
+          LazoSketch::Build(c.DistinctStringSet(), sig_size));
+    }
+    for (size_t i = 0; i < source.num_columns(); ++i) {
+      for (size_t j = 0; j < target.num_columns(); ++j) {
+        LazoEstimate est = EstimateLazo(src_sketches[i], tgt_sketches[j]);
+        if (est.jaccard >= options_.min_jaccard) {
+          result.Add({source.name(), source.column(i).name()},
+                     {target.name(), target.column(j).name()}, est.jaccard);
+        }
+      }
+    }
+    result.Sort();
+    return result;
+  }
+
+  // Index the target once; prune source columns through the LSH.
+  LshIndex index(options_.lsh);
+  for (const Column& c : target.columns()) {
+    index.Add(c.name(), c.DistinctStringSet());
+  }
+  for (size_t i = 0; i < source.num_columns(); ++i) {
+    const Column& c = source.column(i);
+    for (const auto& [key, jaccard] :
+         index.QueryJaccard(c.DistinctStringSet(), options_.min_jaccard)) {
+      result.Add({source.name(), c.name()}, {target.name(), key}, jaccard);
+    }
+  }
+  result.Sort();
+  return result;
+}
+
+}  // namespace valentine

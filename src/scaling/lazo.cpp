@@ -1,0 +1,30 @@
+#include "scaling/lazo.h"
+
+#include <algorithm>
+
+namespace valentine {
+
+LazoEstimate EstimateLazo(const LazoSketch& a, const LazoSketch& b) {
+  LazoEstimate out;
+  if (a.cardinality == 0 && b.cardinality == 0) {
+    out.jaccard = 1.0;
+    return out;
+  }
+  if (a.cardinality == 0 || b.cardinality == 0) return out;
+
+  double j = a.signature.EstimateJaccard(b.signature);
+  double total = static_cast<double>(a.cardinality + b.cardinality);
+  double inter = j / (1.0 + j) * total;
+  // The intersection can never exceed the smaller set.
+  inter = std::min(inter, static_cast<double>(
+                              std::min(a.cardinality, b.cardinality)));
+  out.jaccard = j;
+  out.intersection_size = inter;
+  out.containment_a_in_b = inter / static_cast<double>(a.cardinality);
+  out.containment_b_in_a = inter / static_cast<double>(b.cardinality);
+  out.containment_a_in_b = std::min(out.containment_a_in_b, 1.0);
+  out.containment_b_in_a = std::min(out.containment_b_in_a, 1.0);
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,136 @@
+#include "scaling/lsh_index.h"
+
+#include <algorithm>
+
+namespace valentine {
+
+namespace {
+uint64_t HashBand(const uint64_t* values, size_t n, uint64_t band_seed) {
+  uint64_t h = 1469598103934665603ULL ^ (band_seed * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= values[i];
+    h *= 1099511628211ULL;
+    h ^= h >> 33;
+  }
+  return h;
+}
+}  // namespace
+
+LshIndex::LshIndex(LshOptions options) : options_(options) {
+  if (options_.bands == 0) options_.bands = 1;
+  if (options_.rows_per_band == 0) options_.rows_per_band = 1;
+  if (options_.cardinality_partitions == 0) {
+    options_.cardinality_partitions = 1;
+  }
+  buckets_.resize(options_.cardinality_partitions);
+  for (auto& partition : buckets_) partition.resize(options_.bands);
+  slot_buckets_.resize(options_.bands * options_.rows_per_band);
+}
+
+size_t LshIndex::PartitionOf(size_t cardinality) const {
+  // Geometric cardinality boundaries: [0,100), [100,1k), [1k,10k), ...
+  size_t partition = 0;
+  size_t boundary = 100;
+  while (partition + 1 < options_.cardinality_partitions &&
+         cardinality >= boundary) {
+    ++partition;
+    boundary *= 10;
+  }
+  return partition;
+}
+
+void LshIndex::Add(const std::string& key,
+                   const std::unordered_set<std::string>& set) {
+  size_t id = keys_.size();
+  keys_.push_back(key);
+  key_to_id_[key] = id;
+  LazoSketch sketch = LazoSketch::Build(set, signature_size());
+  const std::vector<uint64_t>& mins = sketch.signature.mins();
+  size_t partition = PartitionOf(sketch.cardinality);
+  for (size_t b = 0; b < options_.bands; ++b) {
+    uint64_t bucket = HashBand(mins.data() + b * options_.rows_per_band,
+                               options_.rows_per_band, b);
+    buckets_[partition][b][bucket].push_back(id);
+  }
+  for (size_t s = 0; s < mins.size(); ++s) {
+    slot_buckets_[s][mins[s]].push_back(id);
+  }
+  sketches_.push_back(std::move(sketch));
+}
+
+std::vector<std::string> LshIndex::ContainmentCandidates(
+    const std::unordered_set<std::string>& query) const {
+  LazoSketch sketch = LazoSketch::Build(query, signature_size());
+  const std::vector<uint64_t>& mins = sketch.signature.mins();
+  std::unordered_set<size_t> hits;
+  for (size_t s = 0; s < mins.size(); ++s) {
+    auto it = slot_buckets_[s].find(mins[s]);
+    if (it == slot_buckets_[s].end()) continue;
+    for (size_t id : it->second) hits.insert(id);
+  }
+  std::vector<std::string> out;
+  out.reserve(hits.size());
+  for (size_t id : hits) out.push_back(keys_[id]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> LshIndex::Candidates(
+    const std::unordered_set<std::string>& query) const {
+  LazoSketch sketch = LazoSketch::Build(query, signature_size());
+  const std::vector<uint64_t>& mins = sketch.signature.mins();
+  std::unordered_set<size_t> hits;
+  // A containment-style query must probe every cardinality partition:
+  // the matching domain may be much larger than the query.
+  for (const auto& partition : buckets_) {
+    for (size_t b = 0; b < options_.bands; ++b) {
+      uint64_t bucket = HashBand(mins.data() + b * options_.rows_per_band,
+                                 options_.rows_per_band, b);
+      auto it = partition[b].find(bucket);
+      if (it == partition[b].end()) continue;
+      for (size_t id : it->second) hits.insert(id);
+    }
+  }
+  std::vector<std::string> out;
+  out.reserve(hits.size());
+  for (size_t id : hits) out.push_back(keys_[id]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> LshIndex::QueryJaccard(
+    const std::unordered_set<std::string>& query, double min_jaccard) const {
+  LazoSketch q = LazoSketch::Build(query, signature_size());
+  std::vector<std::pair<std::string, double>> out;
+  for (const std::string& key : Candidates(query)) {
+    const LazoSketch& candidate = sketches_[key_to_id_.at(key)];
+    LazoEstimate est = EstimateLazo(q, candidate);
+    if (est.jaccard >= min_jaccard) out.emplace_back(key, est.jaccard);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> LshIndex::QueryContainment(
+    const std::unordered_set<std::string>& query,
+    double min_containment) const {
+  LazoSketch q = LazoSketch::Build(query, signature_size());
+  std::vector<std::pair<std::string, double>> out;
+  for (const std::string& key : ContainmentCandidates(query)) {
+    const LazoSketch& candidate = sketches_[key_to_id_.at(key)];
+    LazoEstimate est = EstimateLazo(q, candidate);
+    if (est.containment_a_in_b >= min_containment) {
+      out.emplace_back(key, est.containment_a_in_b);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace valentine

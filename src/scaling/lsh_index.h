@@ -1,0 +1,93 @@
+#ifndef VALENTINE_SCALING_LSH_INDEX_H_
+#define VALENTINE_SCALING_LSH_INDEX_H_
+
+/// \file lsh_index.h
+/// MinHash-LSH domain index in the spirit of LSH Ensemble (Zhu,
+/// Nargesian, Pu, Miller — "internet-scale domain search", cited in the
+/// paper's §IX): signatures are banded, bands are hashed into buckets,
+/// and a query only compares against columns that collide in at least
+/// one band. Partitioning by set cardinality sharpens containment
+/// queries when domain sizes are skewed.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "scaling/lazo.h"
+
+namespace valentine {
+
+/// LSH configuration. With `bands` x `rows_per_band` = signature size,
+/// the collision probability of two sets with Jaccard s is
+/// 1 - (1 - s^rows)^bands (the usual S-curve).
+struct LshOptions {
+  size_t bands = 16;
+  size_t rows_per_band = 8;
+  /// Number of cardinality partitions (1 disables partitioning).
+  size_t cardinality_partitions = 4;
+};
+
+/// \brief Banded MinHash-LSH index over named value sets.
+class LshIndex {
+ public:
+  explicit LshIndex(LshOptions options = {});
+
+  /// Number of hash slots per signature (bands x rows).
+  size_t signature_size() const {
+    return options_.bands * options_.rows_per_band;
+  }
+
+  /// Adds a named set to the index.
+  void Add(const std::string& key,
+           const std::unordered_set<std::string>& set);
+
+  size_t size() const { return sketches_.size(); }
+
+  /// Keys whose signatures collide with the query in >= 1 band;
+  /// the superset from which exact/estimated verification proceeds.
+  std::vector<std::string> Candidates(
+      const std::unordered_set<std::string>& query) const;
+
+  /// Containment-oriented candidates: single-slot (r = 1) probing, the
+  /// recall-end of the banding S-curve. A small query contained in a
+  /// large domain has low Jaccard, so Jaccard banding would miss it;
+  /// slot-level collisions (expected J x slots agreeing) do not.
+  std::vector<std::string> ContainmentCandidates(
+      const std::unordered_set<std::string>& query) const;
+
+  /// Candidate keys with Lazo-estimated Jaccard >= `min_jaccard`,
+  /// ranked by estimate (descending).
+  std::vector<std::pair<std::string, double>> QueryJaccard(
+      const std::unordered_set<std::string>& query,
+      double min_jaccard) const;
+
+  /// Candidate keys with estimated containment(query in candidate) >=
+  /// `min_containment`, ranked descending — the joinability query of
+  /// LSH Ensemble.
+  std::vector<std::pair<std::string, double>> QueryContainment(
+      const std::unordered_set<std::string>& query,
+      double min_containment) const;
+
+ private:
+  /// Raw (unfolded) per-slot MinHash values for banding.
+  std::vector<uint64_t> RawSignature(
+      const std::unordered_set<std::string>& set) const;
+  size_t PartitionOf(size_t cardinality) const;
+
+  LshOptions options_;
+  std::vector<std::string> keys_;
+  std::vector<LazoSketch> sketches_;
+  std::unordered_map<std::string, size_t> key_to_id_;
+  /// partition -> band -> bucket-hash -> entry ids.
+  std::vector<std::vector<std::unordered_map<uint64_t, std::vector<size_t>>>>
+      buckets_;
+  /// slot -> min-value -> entry ids (r = 1 probing for containment).
+  std::vector<std::unordered_map<uint64_t, std::vector<size_t>>>
+      slot_buckets_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_SCALING_LSH_INDEX_H_

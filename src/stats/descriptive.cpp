@@ -1,0 +1,94 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace valentine {
+
+NumericStats ComputeNumericStats(std::vector<double> data) {
+  NumericStats s;
+  s.count = data.size();
+  if (data.empty()) return s;
+  double sum = 0.0;
+  for (double d : data) sum += d;
+  s.mean = sum / static_cast<double>(data.size());
+  double var = 0.0;
+  for (double d : data) var += (d - s.mean) * (d - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(data.size()));
+  std::sort(data.begin(), data.end());
+  s.min = data.front();
+  s.max = data.back();
+  size_t mid = data.size() / 2;
+  s.median = (data.size() % 2 == 1)
+                 ? data[mid]
+                 : 0.5 * (data[mid - 1] + data[mid]);
+  return s;
+}
+
+TextProfile ComputeTextProfile(const Column& column) {
+  TextProfile p;
+  size_t total_chars = 0;
+  size_t digits = 0;
+  size_t alphas = 0;
+  size_t spaces = 0;
+  std::vector<double> lengths;
+  std::unordered_set<std::string> distinct;
+  for (const Value& v : column.values()) {
+    if (v.is_null()) continue;
+    std::string s = v.AsString();
+    ++p.count;
+    lengths.push_back(static_cast<double>(s.size()));
+    total_chars += s.size();
+    for (unsigned char c : s) {
+      if (std::isdigit(c)) ++digits;
+      else if (std::isalpha(c)) ++alphas;
+      else if (std::isspace(c)) ++spaces;
+    }
+    distinct.insert(std::move(s));
+  }
+  if (p.count == 0) return p;
+  NumericStats len_stats = ComputeNumericStats(std::move(lengths));
+  p.mean_length = len_stats.mean;
+  p.stddev_length = len_stats.stddev;
+  if (total_chars > 0) {
+    p.digit_fraction = static_cast<double>(digits) / total_chars;
+    p.alpha_fraction = static_cast<double>(alphas) / total_chars;
+    p.space_fraction = static_cast<double>(spaces) / total_chars;
+  }
+  p.distinct_ratio = static_cast<double>(distinct.size()) /
+                     static_cast<double>(p.count);
+  return p;
+}
+
+namespace {
+/// 1 - |a-b| / max(|a|,|b|,eps), clamped to [0,1].
+double InverseRelativeDiff(double a, double b) {
+  double denom = std::max({std::abs(a), std::abs(b), 1e-9});
+  double sim = 1.0 - std::abs(a - b) / denom;
+  return std::clamp(sim, 0.0, 1.0);
+}
+}  // namespace
+
+double NumericStatsSimilarity(const NumericStats& a, const NumericStats& b) {
+  if (a.count == 0 || b.count == 0) return 0.0;
+  double sim = 0.0;
+  sim += InverseRelativeDiff(a.mean, b.mean);
+  sim += InverseRelativeDiff(a.stddev, b.stddev);
+  sim += InverseRelativeDiff(a.max - a.min, b.max - b.min);
+  sim += InverseRelativeDiff(a.median, b.median);
+  return sim / 4.0;
+}
+
+double TextProfileSimilarity(const TextProfile& a, const TextProfile& b) {
+  if (a.count == 0 || b.count == 0) return 0.0;
+  double sim = 0.0;
+  sim += InverseRelativeDiff(a.mean_length, b.mean_length);
+  sim += 1.0 - std::abs(a.digit_fraction - b.digit_fraction);
+  sim += 1.0 - std::abs(a.alpha_fraction - b.alpha_fraction);
+  sim += 1.0 - std::abs(a.space_fraction - b.space_fraction);
+  sim += 1.0 - std::abs(a.distinct_ratio - b.distinct_ratio);
+  return sim / 5.0;
+}
+
+}  // namespace valentine

@@ -1,0 +1,52 @@
+#ifndef VALENTINE_STATS_DESCRIPTIVE_H_
+#define VALENTINE_STATS_DESCRIPTIVE_H_
+
+/// \file descriptive.h
+/// Descriptive statistics over columns. COMA's statistics matcher and the
+/// instance-feature comparisons use these profiles: numeric moments for
+/// number-like columns and length/character-class profiles for text.
+
+#include <string>
+#include <vector>
+
+#include "core/column.h"
+
+namespace valentine {
+
+/// Summary of a numeric sample.
+struct NumericStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes moments and order statistics of a sample.
+NumericStats ComputeNumericStats(std::vector<double> data);
+
+/// Character-level profile of a textual column.
+struct TextProfile {
+  size_t count = 0;
+  double mean_length = 0.0;
+  double stddev_length = 0.0;
+  double digit_fraction = 0.0;   ///< fraction of characters that are digits
+  double alpha_fraction = 0.0;   ///< fraction that are letters
+  double space_fraction = 0.0;   ///< fraction that are whitespace
+  double distinct_ratio = 0.0;   ///< distinct values / values
+};
+
+/// Profiles the non-null cells of a column as text.
+TextProfile ComputeTextProfile(const Column& column);
+
+/// Similarity in [0,1] of two numeric profiles (inverse normalized
+/// difference of mean/stddev/range).
+double NumericStatsSimilarity(const NumericStats& a, const NumericStats& b);
+
+/// Similarity in [0,1] of two text profiles.
+double TextProfileSimilarity(const TextProfile& a, const TextProfile& b);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_STATS_DESCRIPTIVE_H_

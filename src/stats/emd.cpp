@@ -1,0 +1,70 @@
+#include "stats/emd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace valentine {
+
+double EmdPointMasses(std::vector<MassPoint> a, std::vector<MassPoint> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::max();
+
+  auto normalize = [](std::vector<MassPoint>* pts) {
+    double total = 0.0;
+    for (const auto& p : *pts) total += p.mass;
+    if (total > 0.0) {
+      for (auto& p : *pts) p.mass /= total;
+    }
+    std::sort(pts->begin(), pts->end(),
+              [](const MassPoint& x, const MassPoint& y) {
+                return x.position < y.position;
+              });
+  };
+  normalize(&a);
+  normalize(&b);
+
+  // Sweep the merged support accumulating signed surplus; EMD is the
+  // integral of |surplus| over position gaps.
+  size_t i = 0;
+  size_t j = 0;
+  double surplus = 0.0;
+  double emd = 0.0;
+  double prev_pos = 0.0;
+  bool first = true;
+  while (i < a.size() || j < b.size()) {
+    double pos;
+    if (j >= b.size() || (i < a.size() && a[i].position <= b[j].position)) {
+      pos = a[i].position;
+    } else {
+      pos = b[j].position;
+    }
+    if (!first) emd += std::abs(surplus) * (pos - prev_pos);
+    first = false;
+    prev_pos = pos;
+    while (i < a.size() && a[i].position == pos) surplus += a[i++].mass;
+    while (j < b.size() && b[j].position == pos) surplus -= b[j++].mass;
+  }
+  return emd;
+}
+
+double EmdBetweenHistograms(const QuantileHistogram& a,
+                            const QuantileHistogram& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::max();
+  double lo = std::min(a.min_value(), b.min_value());
+  double hi = std::max(a.max_value(), b.max_value());
+  double span = hi - lo;
+  if (span <= 0.0) span = 1.0;
+  auto to_points = [&](const QuantileHistogram& h) {
+    std::vector<MassPoint> pts;
+    pts.reserve(h.num_bins());
+    for (size_t i = 0; i < h.num_bins(); ++i) {
+      pts.push_back({(h.center(i) - lo) / span, h.mass(i)});
+    }
+    return pts;
+  };
+  return EmdPointMasses(to_points(a), to_points(b));
+}
+
+}  // namespace valentine

@@ -1,0 +1,37 @@
+#ifndef VALENTINE_STATS_EMD_H_
+#define VALENTINE_STATS_EMD_H_
+
+/// \file emd.h
+/// Earth Mover's Distance between 1-D distributions. For distributions on
+/// the real line with equal total mass, EMD has a closed form: the L1
+/// distance between the CDFs integrated over the merged support. This is
+/// exactly what the distribution-based matcher needs — no general LP
+/// solver is required in this step (the ILP appears only in its final
+/// cluster-selection step).
+
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace valentine {
+
+/// A weighted point mass.
+struct MassPoint {
+  double position;
+  double mass;
+};
+
+/// EMD between two discrete 1-D distributions with equal total mass
+/// (each is normalized internally). Returns 0 for two empty inputs and
+/// +inf-like large value when exactly one is empty.
+double EmdPointMasses(std::vector<MassPoint> a, std::vector<MassPoint> b);
+
+/// EMD between two quantile histograms, computed on a domain normalized
+/// to [0, 1] by the joint min/max so columns with different scales remain
+/// comparable (mirrors the matcher's normalization).
+double EmdBetweenHistograms(const QuantileHistogram& a,
+                            const QuantileHistogram& b);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_STATS_EMD_H_

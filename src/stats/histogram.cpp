@@ -1,0 +1,87 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+namespace valentine {
+
+QuantileHistogram QuantileHistogram::Build(std::vector<double> data,
+                                           size_t num_bins) {
+  QuantileHistogram h;
+  if (data.empty() || num_bins == 0) return h;
+  std::sort(data.begin(), data.end());
+  h.min_ = data.front();
+  h.max_ = data.back();
+  const size_t n = data.size();
+  const size_t bins = std::min(num_bins, n);
+  h.centers_.reserve(bins);
+  h.masses_.reserve(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    size_t lo = b * n / bins;
+    size_t hi = (b + 1) * n / bins;
+    if (hi <= lo) continue;
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += data[i];
+    h.centers_.push_back(sum / static_cast<double>(hi - lo));
+    h.masses_.push_back(static_cast<double>(hi - lo) /
+                        static_cast<double>(n));
+  }
+  return h;
+}
+
+namespace {
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+}  // namespace
+
+namespace {
+/// Recognizes "YYYY-MM-DD" (optionally followed by a time suffix) and
+/// returns its ordinal position on the timeline; dates are a numeric
+/// domain for distribution comparison, not opaque strings.
+bool ParseIsoDatePrefix(const std::string& s, double* out) {
+  if (s.size() < 10) return false;
+  auto digit = [&](size_t i) {
+    return s[i] >= '0' && s[i] <= '9';
+  };
+  if (!(digit(0) && digit(1) && digit(2) && digit(3) && s[4] == '-' &&
+        digit(5) && digit(6) && s[7] == '-' && digit(8) && digit(9))) {
+    return false;
+  }
+  if (s.size() > 10 && s[10] != ' ' && s[10] != 'T') return false;
+  int year = (s[0] - '0') * 1000 + (s[1] - '0') * 100 + (s[2] - '0') * 10 +
+             (s[3] - '0');
+  int month = (s[5] - '0') * 10 + (s[6] - '0');
+  int day = (s[8] - '0') * 10 + (s[9] - '0');
+  *out = year * 372.0 + (month - 1) * 31.0 + (day - 1);
+  return true;
+}
+}  // namespace
+
+double ValueToPoint(const std::string& value) {
+  if (!value.empty()) {
+    double date_point;
+    if (ParseIsoDatePrefix(value, &date_point)) return date_point;
+    const char* begin = value.c_str();
+    char* end = nullptr;
+    double d = std::strtod(begin, &end);
+    if (end == begin + value.size()) return d;
+  }
+  // Non-numeric: deterministic point in [0, 1e6).
+  return static_cast<double>(Fnv1a(value) % 1000000ULL);
+}
+
+std::vector<double> ValuesToPoints(const std::vector<std::string>& values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const auto& v : values) out.push_back(ValueToPoint(v));
+  return out;
+}
+
+}  // namespace valentine

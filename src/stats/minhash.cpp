@@ -1,0 +1,47 @@
+#include "stats/minhash.h"
+
+#include <limits>
+
+namespace valentine {
+
+namespace {
+uint64_t Fnv1a64(const std::string& s, uint64_t seed) {
+  uint64_t hash = 1469598103934665603ULL ^ (seed * 0x9e3779b97f4a7c15ULL);
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  // Final avalanche so per-seed hash families are well mixed.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdULL;
+  hash ^= hash >> 33;
+  return hash;
+}
+}  // namespace
+
+MinHashSignature MinHashSignature::Build(
+    const std::unordered_set<std::string>& set, size_t num_hashes) {
+  MinHashSignature sig;
+  sig.mins_.assign(num_hashes, std::numeric_limits<uint64_t>::max());
+  sig.empty_set_ = set.empty();
+  for (const std::string& s : set) {
+    for (size_t h = 0; h < num_hashes; ++h) {
+      uint64_t v = Fnv1a64(s, h);
+      if (v < sig.mins_[h]) sig.mins_[h] = v;
+    }
+  }
+  return sig;
+}
+
+double MinHashSignature::EstimateJaccard(const MinHashSignature& other) const {
+  if (empty_set_ && other.empty_set_) return 1.0;
+  if (empty_set_ || other.empty_set_) return 0.0;
+  if (mins_.size() != other.mins_.size() || mins_.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < mins_.size(); ++i) {
+    if (mins_[i] == other.mins_[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(mins_.size());
+}
+
+}  // namespace valentine

@@ -1,0 +1,40 @@
+#ifndef VALENTINE_STATS_MINHASH_H_
+#define VALENTINE_STATS_MINHASH_H_
+
+/// \file minhash.h
+/// MinHash signatures for fast Jaccard estimation over value sets.
+/// SemProp's syntactic matcher filters column pairs by estimated set
+/// overlap (its `minh.threshold` parameter) before the semantic stage.
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace valentine {
+
+/// \brief A fixed-width MinHash signature of a string set.
+class MinHashSignature {
+ public:
+  /// Builds a signature with `num_hashes` permutations (seeded
+  /// deterministically from the permutation index).
+  static MinHashSignature Build(const std::unordered_set<std::string>& set,
+                                size_t num_hashes = 128);
+
+  /// Estimated Jaccard similarity: fraction of agreeing slots.
+  double EstimateJaccard(const MinHashSignature& other) const;
+
+  size_t size() const { return mins_.size(); }
+  bool empty_set() const { return empty_set_; }
+
+  /// Raw per-permutation minima (used by LSH banding).
+  const std::vector<uint64_t>& mins() const { return mins_; }
+
+ private:
+  std::vector<uint64_t> mins_;
+  bool empty_set_ = true;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_STATS_MINHASH_H_

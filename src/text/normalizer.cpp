@@ -1,0 +1,175 @@
+#include "text/normalizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace valentine {
+
+namespace {
+
+const char* kMonths[] = {"january",   "february", "march",    "april",
+                         "may",       "june",     "july",     "august",
+                         "september", "october",  "november", "december"};
+
+/// Recognizes "March 12, 1956" (case-insensitive, comma optional) and
+/// rewrites it to "1956-03-12". Returns false when not a long-form date.
+bool TryNormalizeLongDate(const std::string& lower, std::string* out) {
+  size_t month = 0;
+  size_t month_len = 0;
+  for (size_t m = 0; m < 12; ++m) {
+    size_t len = std::string(kMonths[m]).size();
+    if (lower.compare(0, len, kMonths[m]) == 0) {
+      month = m + 1;
+      month_len = len;
+      break;
+    }
+  }
+  if (month == 0) return false;
+  size_t i = month_len;
+  while (i < lower.size() && lower[i] == ' ') ++i;
+  size_t day = 0;
+  size_t day_digits = 0;
+  while (i < lower.size() && std::isdigit(static_cast<unsigned char>(lower[i]))) {
+    day = day * 10 + static_cast<size_t>(lower[i] - '0');
+    ++i;
+    ++day_digits;
+  }
+  if (day_digits == 0 || day == 0 || day > 31) return false;
+  if (i < lower.size() && lower[i] == ',') ++i;
+  while (i < lower.size() && lower[i] == ' ') ++i;
+  size_t year = 0;
+  size_t year_digits = 0;
+  while (i < lower.size() && std::isdigit(static_cast<unsigned char>(lower[i]))) {
+    year = year * 10 + static_cast<size_t>(lower[i] - '0');
+    ++i;
+    ++year_digits;
+  }
+  if (year_digits != 4 || i != lower.size()) return false;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04zu-%02zu-%02zu", year, month, day);
+  *out = buf;
+  return true;
+}
+
+std::string StripUrlDecoration(const std::string& s) {
+  std::string out = s;
+  for (const char* prefix : {"https://", "http://"}) {
+    size_t len = std::string(prefix).size();
+    if (out.compare(0, len, prefix) == 0) {
+      out = out.substr(len);
+      break;
+    }
+  }
+  if (out.compare(0, 4, "www.") == 0) out = out.substr(4);
+  if (!out.empty() && out.back() == '/') out.pop_back();
+  return out;
+}
+
+std::string SortListValue(const std::string& s) {
+  if (s.find("; ") == std::string::npos) return s;
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (true) {
+    size_t sep = s.find("; ", pos);
+    if (sep == std::string::npos) {
+      parts.push_back(s.substr(pos));
+      break;
+    }
+    parts.push_back(s.substr(pos, sep - pos));
+    pos = sep + 2;
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string joined;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) joined += "; ";
+    joined += parts[i];
+  }
+  return joined;
+}
+
+}  // namespace
+
+std::string NormalizeValue(const std::string& value,
+                           const NormalizeOptions& options) {
+  std::string s = value;
+  if (options.sort_list_values) s = SortListValue(s);
+  if (options.casefold) {
+    for (char& c : s) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (options.strip_url_decoration) s = StripUrlDecoration(s);
+  if (options.normalize_dates) {
+    std::string date;
+    if (TryNormalizeLongDate(s, &date)) return date;
+  }
+  if (options.strip_punctuation) {
+    std::string kept;
+    kept.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '.': case ',': case ';': case ':': case '!': case '?':
+        case '\'': case '"': case '(': case ')':
+          break;
+        default:
+          kept.push_back(c);
+      }
+    }
+    s = std::move(kept);
+  }
+  if (options.collapse_whitespace) {
+    std::string collapsed;
+    collapsed.reserve(s.size());
+    bool in_space = false;
+    for (char c : s) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        in_space = true;
+        continue;
+      }
+      if (in_space && !collapsed.empty()) collapsed.push_back(' ');
+      in_space = false;
+      collapsed.push_back(c);
+    }
+    s = std::move(collapsed);
+  }
+  if (options.sort_tokens && s.find(' ') != std::string::npos) {
+    std::vector<std::string> tokens;
+    size_t pos = 0;
+    while (pos < s.size()) {
+      size_t sep = s.find(' ', pos);
+      if (sep == std::string::npos) sep = s.size();
+      if (sep > pos) tokens.push_back(s.substr(pos, sep - pos));
+      pos = sep + 1;
+    }
+    std::sort(tokens.begin(), tokens.end());
+    std::string joined;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) joined += " ";
+      joined += tokens[i];
+    }
+    s = std::move(joined);
+  }
+  return s;
+}
+
+Table NormalizeTable(const Table& table, const NormalizeOptions& options) {
+  Table out(table.name());
+  for (const Column& c : table.columns()) {
+    Column normalized(c.name(), c.type());
+    normalized.Reserve(c.size());
+    for (const Value& v : c.values()) {
+      if (v.is_null() || v.kind() != DataType::kString) {
+        normalized.Append(v);
+      } else {
+        normalized.Append(
+            Value::String(NormalizeValue(v.string_value(), options)));
+      }
+    }
+    (void)out.AddColumn(std::move(normalized));
+  }
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,86 @@
+#include "text/stemmer.h"
+
+namespace valentine {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+/// True if the stem (after removing `drop` chars) still contains a vowel.
+bool StemHasVowel(const std::string& s, size_t drop) {
+  for (size_t i = 0; i + drop < s.size(); ++i) {
+    if (IsVowel(s[i])) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string StemToken(const std::string& token) {
+  if (token.size() <= 3) return token;
+  std::string s = token;
+
+  // Step 1a: plurals.
+  if (EndsWith(s, "sses")) {
+    s.resize(s.size() - 2);
+  } else if (EndsWith(s, "ies")) {
+    s.resize(s.size() - 3);
+    s += "y";
+  } else if (EndsWith(s, "ss")) {
+    // keep
+  } else if (EndsWith(s, "s") && s.size() > 3) {
+    s.resize(s.size() - 1);
+  }
+
+  // Step 1b: -ed / -ing.
+  if (EndsWith(s, "ing") && s.size() > 5 && StemHasVowel(s, 3)) {
+    s.resize(s.size() - 3);
+    if (!s.empty() && s.size() >= 2 && s[s.size() - 1] == s[s.size() - 2] &&
+        !IsVowel(s.back())) {
+      s.resize(s.size() - 1);  // running -> run
+    }
+  } else if (EndsWith(s, "ed") && s.size() > 4 && StemHasVowel(s, 2)) {
+    s.resize(s.size() - 2);
+    if (s.size() >= 2 && s[s.size() - 1] == s[s.size() - 2] &&
+        !IsVowel(s.back())) {
+      s.resize(s.size() - 1);  // stopped -> stop
+    }
+  }
+
+  // Derivational endings common in schema vocabulary.
+  struct Rule {
+    const char* suffix;
+    const char* replacement;
+    size_t min_len;
+  };
+  static const Rule kRules[] = {
+      {"ization", "ize", 9}, {"ational", "ate", 9}, {"fulness", "ful", 9},
+      {"iveness", "ive", 9}, {"ation", "ate", 7},   {"alism", "al", 7},
+      {"ment", "", 7},       {"ness", "", 7},       {"tion", "t", 6},
+  };
+  for (const Rule& rule : kRules) {
+    std::string suffix = rule.suffix;
+    if (s.size() >= rule.min_len && EndsWith(s, suffix)) {
+      s.resize(s.size() - suffix.size());
+      s += rule.replacement;
+      break;
+    }
+  }
+  return s;
+}
+
+std::vector<std::string> StemTokens(const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(StemToken(t));
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,23 @@
+#ifndef VALENTINE_TEXT_STEMMER_H_
+#define VALENTINE_TEXT_STEMMER_H_
+
+/// \file stemmer.h
+/// A light English suffix-stripping stemmer (Porter-style steps 1a/1b/
+/// derivational endings). Cupid and COMA stem name tokens before
+/// thesaurus lookup so "addresses" matches "address" and "owning"
+/// matches "own".
+
+#include <string>
+#include <vector>
+
+namespace valentine {
+
+/// Stems one lowercase token.
+std::string StemToken(const std::string& token);
+
+/// Stems each token of a list.
+std::vector<std::string> StemTokens(const std::vector<std::string>& tokens);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_TEXT_STEMMER_H_

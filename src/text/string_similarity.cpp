@@ -1,0 +1,260 @@
+#include "text/string_similarity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace valentine {
+
+size_t LevenshteinDistance(const std::string& a, const std::string& b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  const size_t n = b.size();
+  std::vector<size_t> prev(n + 1), cur(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= n; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double LevenshteinSimilarity(const std::string& a, const std::string& b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+double JaroSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t match_window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+  std::vector<bool> a_matched(la, false), b_matched(lb, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = (i > match_window) ? i - match_window : 0;
+    size_t hi = std::min(lb, i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  double m = static_cast<double>(matches);
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(const std::string& a, const std::string& b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+std::vector<std::string> CharNGrams(const std::string& s, size_t n) {
+  std::string padded(n - 1, '#');
+  padded += s;
+  padded.append(n - 1, '#');
+  std::vector<std::string> grams;
+  if (padded.size() < n) return grams;
+  grams.reserve(padded.size() - n + 1);
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, n));
+  }
+  return grams;
+}
+
+double TrigramSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ga = CharNGrams(a, 3);
+  auto gb = CharNGrams(b, 3);
+  if (ga.empty() || gb.empty()) return 0.0;
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& g : ga) ++counts[g];
+  size_t common = 0;
+  for (const auto& g : gb) {
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++common;
+    }
+  }
+  return 2.0 * common / static_cast<double>(ga.size() + gb.size());
+}
+
+double JaccardSimilarity(const std::unordered_set<std::string>& a,
+                         const std::unordered_set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = (a.size() <= b.size()) ? a : b;
+  const auto& large = (a.size() <= b.size()) ? b : a;
+  size_t inter = 0;
+  for (const auto& s : small) {
+    if (large.count(s)) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size() - inter);
+}
+
+double Containment(const std::unordered_set<std::string>& a,
+                   const std::unordered_set<std::string>& b) {
+  if (a.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& s : a) {
+    if (b.count(s)) ++inter;
+  }
+  return static_cast<double>(inter) / static_cast<double>(a.size());
+}
+
+double FuzzyJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b, double max_distance) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // Resolve exact matches cheaply first; pair off leftovers fuzzily.
+  std::unordered_map<std::string, size_t> b_counts;
+  for (const auto& s : b) ++b_counts[s];
+  std::vector<std::string> a_left;
+  size_t matched = 0;
+  for (const auto& s : a) {
+    auto it = b_counts.find(s);
+    if (it != b_counts.end() && it->second > 0) {
+      --it->second;
+      ++matched;
+    } else {
+      a_left.push_back(s);
+    }
+  }
+  std::vector<std::string> b_left;
+  for (const auto& [s, count] : b_counts) {
+    for (size_t i = 0; i < count; ++i) b_left.push_back(s);
+  }
+  std::vector<bool> b_used(b_left.size(), false);
+  if (max_distance > 0.0) {
+    for (const auto& s : a_left) {
+      for (size_t j = 0; j < b_left.size(); ++j) {
+        if (b_used[j]) continue;
+        size_t max_len = std::max(s.size(), b_left[j].size());
+        if (max_len == 0) continue;
+        // Length prefilter: the edit distance is at least the length
+        // difference, so such pairs can never clear the threshold.
+        size_t min_len = std::min(s.size(), b_left[j].size());
+        if (static_cast<double>(max_len - min_len) >
+            max_distance * static_cast<double>(max_len)) {
+          continue;
+        }
+        double norm = static_cast<double>(
+                          LevenshteinDistance(s, b_left[j])) /
+                      static_cast<double>(max_len);
+        if (norm <= max_distance) {
+          b_used[j] = true;
+          ++matched;
+          break;
+        }
+      }
+    }
+  }
+  size_t uni = a.size() + b.size() - matched;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(matched) / static_cast<double>(uni);
+}
+
+size_t LongestCommonSubstring(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+        best = std::max(best, cur[j]);
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+std::string Soundex(const std::string& word) {
+  auto code_of = [](char c) -> char {
+    switch (c) {
+      case 'b': case 'f': case 'p': case 'v': return '1';
+      case 'c': case 'g': case 'j': case 'k': case 'q': case 's':
+      case 'x': case 'z': return '2';
+      case 'd': case 't': return '3';
+      case 'l': return '4';
+      case 'm': case 'n': return '5';
+      case 'r': return '6';
+      default: return '0';  // vowels + h/w/y drop
+    }
+  };
+  std::string letters;
+  for (char raw : word) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      letters.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  if (letters.empty()) return "0000";
+  std::string out(1, static_cast<char>(std::toupper(
+                         static_cast<unsigned char>(letters[0]))));
+  char prev_code = code_of(letters[0]);
+  for (size_t i = 1; i < letters.size() && out.size() < 4; ++i) {
+    char c = letters[i];
+    char code = code_of(c);
+    // 'h' and 'w' are transparent: they do not reset the previous code.
+    if (c == 'h' || c == 'w') continue;
+    if (code != '0' && code != prev_code) out.push_back(code);
+    prev_code = code;
+  }
+  while (out.size() < 4) out.push_back('0');
+  return out;
+}
+
+double SoundexSimilarity(const std::string& a, const std::string& b) {
+  std::string sa = Soundex(a);
+  std::string sb = Soundex(b);
+  if (sa == sb) return 1.0;
+  if (sa[0] == sb[0] && sa[1] == sb[1]) return 0.5;
+  return 0.0;
+}
+
+double BestMatchAverage(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b,
+                        double (*sim)(const std::string&,
+                                      const std::string&)) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto one_way = [&](const std::vector<std::string>& xs,
+                     const std::vector<std::string>& ys) {
+    double total = 0.0;
+    for (const auto& x : xs) {
+      double best = 0.0;
+      for (const auto& y : ys) best = std::max(best, sim(x, y));
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  return 0.5 * (one_way(a, b) + one_way(b, a));
+}
+
+}  // namespace valentine

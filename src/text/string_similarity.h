@@ -1,0 +1,72 @@
+#ifndef VALENTINE_TEXT_STRING_SIMILARITY_H_
+#define VALENTINE_TEXT_STRING_SIMILARITY_H_
+
+/// \file string_similarity.h
+/// String distance/similarity measures used across the matchers:
+/// Levenshtein (Similarity Flooding init, Jaccard-Levenshtein baseline),
+/// trigram similarity (COMA name matcher), Jaro-Winkler (Cupid linguistic
+/// matching), and set-overlap measures.
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace valentine {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(const std::string& a, const std::string& b);
+
+/// 1 - distance / max(len); 1.0 for two empty strings.
+double LevenshteinSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro-Winkler with standard prefix scaling (p = 0.1, max prefix 4).
+double JaroWinklerSimilarity(const std::string& a, const std::string& b);
+
+/// Character n-grams of a string (padded with '#' at both ends as COMA
+/// does, so short names still produce grams). n >= 1.
+std::vector<std::string> CharNGrams(const std::string& s, size_t n);
+
+/// Dice coefficient over character trigram multiset intersection.
+double TrigramSimilarity(const std::string& a, const std::string& b);
+
+/// Jaccard similarity of two string sets: |A ∩ B| / |A ∪ B|; 1.0 when
+/// both are empty.
+double JaccardSimilarity(const std::unordered_set<std::string>& a,
+                         const std::unordered_set<std::string>& b);
+
+/// Containment of a in b: |A ∩ B| / |A|; 0.0 when a is empty.
+double Containment(const std::unordered_set<std::string>& a,
+                   const std::unordered_set<std::string>& b);
+
+/// Fuzzy Jaccard: values match when normalized Levenshtein distance
+/// (distance / max len) is at most `max_distance`. This is the core of
+/// the paper's Jaccard-Levenshtein baseline; exact matches are resolved
+/// via hashing and only leftovers pay the quadratic comparison.
+double FuzzyJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b, double max_distance);
+
+/// Length of the longest common substring.
+size_t LongestCommonSubstring(const std::string& a, const std::string& b);
+
+/// American Soundex code of a word ("Robert" -> "R163"); empty input
+/// yields "0000". Classic phonetic matcher from COMA's name library.
+std::string Soundex(const std::string& word);
+
+/// 1.0 when the Soundex codes agree, else 0.0 (with a 0.5 credit for a
+/// shared leading letter + first digit).
+double SoundexSimilarity(const std::string& a, const std::string& b);
+
+/// Monge-Elkan-style best-match average of `sim` over token lists, made
+/// symmetric by averaging both directions. Used by Cupid's linguistic
+/// matcher over name tokens.
+double BestMatchAverage(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b,
+                        double (*sim)(const std::string&,
+                                      const std::string&));
+
+}  // namespace valentine
+
+#endif  // VALENTINE_TEXT_STRING_SIMILARITY_H_

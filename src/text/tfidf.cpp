@@ -1,0 +1,97 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace valentine {
+
+size_t TfIdfModel::AddDocument(const std::vector<std::string>& tokens) {
+  std::unordered_map<std::string, double> counts;
+  for (const auto& t : tokens) counts[t] += 1.0;
+  for (const auto& [term, count] : counts) {
+    document_frequency_[term] += 1.0;
+  }
+  term_counts_.push_back(std::move(counts));
+  finalized_ = false;
+  return term_counts_.size() - 1;
+}
+
+void TfIdfModel::Finalize() { finalized_ = true; }
+
+TfIdfVector TfIdfModel::VectorOf(size_t index) const {
+  TfIdfVector out;
+  if (index >= term_counts_.size()) return out;
+  const auto& counts = term_counts_[index];
+  double total = 0.0;
+  for (const auto& [term, count] : counts) total += count;
+  if (total <= 0.0) return out;
+  const double n_docs = static_cast<double>(term_counts_.size());
+  for (const auto& [term, count] : counts) {
+    double tf = count / total;
+    double df = document_frequency_.at(term);
+    double idf = std::log((n_docs + 1.0) / (df + 1.0)) + 1.0;
+    out[term] = tf * idf;
+  }
+  return out;
+}
+
+double TfIdfModel::Cosine(const TfIdfVector& a, const TfIdfVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const TfIdfVector& small = (a.size() <= b.size()) ? a : b;
+  const TfIdfVector& large = (a.size() <= b.size()) ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, weight] : small) {
+    auto it = large.find(term);
+    if (it != large.end()) dot += weight * it->second;
+  }
+  if (dot <= 0.0) return 0.0;
+  double na = 0.0;
+  for (const auto& [term, weight] : a) na += weight * weight;
+  double nb = 0.0;
+  for (const auto& [term, weight] : b) nb += weight * weight;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<std::string> ColumnTokens(const Column& column,
+                                      size_t max_values) {
+  std::vector<std::string> tokens;
+  size_t taken = 0;
+  for (const Value& v : column.values()) {
+    if (v.is_null()) continue;
+    if (max_values > 0 && taken >= max_values) break;
+    ++taken;
+    for (auto& t : TokenizeText(v.AsString())) {
+      tokens.push_back(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::vector<double>> TfIdfColumnSimilarity(
+    const Table& source, const Table& target, size_t max_values) {
+  TfIdfModel model;
+  for (const Column& c : source.columns()) {
+    model.AddDocument(ColumnTokens(c, max_values));
+  }
+  for (const Column& c : target.columns()) {
+    model.AddDocument(ColumnTokens(c, max_values));
+  }
+  model.Finalize();
+
+  const size_t ns = source.num_columns();
+  const size_t nt = target.num_columns();
+  std::vector<TfIdfVector> src_vecs(ns), tgt_vecs(nt);
+  for (size_t i = 0; i < ns; ++i) src_vecs[i] = model.VectorOf(i);
+  for (size_t j = 0; j < nt; ++j) tgt_vecs[j] = model.VectorOf(ns + j);
+
+  std::vector<std::vector<double>> sim(ns, std::vector<double>(nt, 0.0));
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      sim[i][j] = TfIdfModel::Cosine(src_vecs[i], tgt_vecs[j]);
+    }
+  }
+  return sim;
+}
+
+}  // namespace valentine

@@ -1,0 +1,58 @@
+#ifndef VALENTINE_TEXT_TFIDF_H_
+#define VALENTINE_TEXT_TFIDF_H_
+
+/// \file tfidf.h
+/// TF-IDF token vectors over column contents. Treating each column as a
+/// document over its value tokens gives an instance matcher that is
+/// robust to value-level noise (typos change few tokens) and discounts
+/// tokens that appear in every column — another first-line matcher in
+/// the COMA style (its instance extension used comparable content
+/// features).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/table.h"
+
+namespace valentine {
+
+/// Sparse token-weight vector of one document (column).
+using TfIdfVector = std::unordered_map<std::string, double>;
+
+/// \brief A TF-IDF model over a corpus of "documents".
+class TfIdfModel {
+ public:
+  /// Adds one document (bag of tokens); returns its index.
+  size_t AddDocument(const std::vector<std::string>& tokens);
+
+  /// Finalizes IDF weights; call after all documents are added.
+  void Finalize();
+
+  size_t num_documents() const { return term_counts_.size(); }
+
+  /// The TF-IDF vector of document `index` (Finalize() required).
+  TfIdfVector VectorOf(size_t index) const;
+
+  /// Cosine similarity of two sparse vectors.
+  static double Cosine(const TfIdfVector& a, const TfIdfVector& b);
+
+ private:
+  std::vector<std::unordered_map<std::string, double>> term_counts_;
+  std::unordered_map<std::string, double> document_frequency_;
+  bool finalized_ = false;
+};
+
+/// Tokenizes a column's non-null values (lowercased word tokens).
+std::vector<std::string> ColumnTokens(const Column& column,
+                                      size_t max_values = 1000);
+
+/// Convenience: TF-IDF cosine between every column pair of two tables,
+/// with the IDF corpus being the union of both tables' columns.
+/// Result[i][j] is the similarity of source column i and target column j.
+std::vector<std::vector<double>> TfIdfColumnSimilarity(
+    const Table& source, const Table& target, size_t max_values = 1000);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_TEXT_TFIDF_H_

@@ -1,0 +1,78 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace valentine {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> TokenizeIdentifier(const std::string& name) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(ToLower(cur));
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(name[i]);
+    if (!std::isalnum(c)) {
+      flush();
+      continue;
+    }
+    if (!cur.empty()) {
+      unsigned char prev = static_cast<unsigned char>(cur.back());
+      bool digit_boundary = std::isdigit(c) != std::isdigit(prev);
+      bool hump = std::isupper(c) && std::islower(prev);
+      // "HTTPServer" -> "http", "server": upper run followed by lower.
+      bool acronym_end = std::islower(c) && std::isupper(prev) &&
+                         cur.size() > 1 &&
+                         std::isupper(static_cast<unsigned char>(
+                             cur[cur.size() - 2]));
+      if (digit_boundary || hump) {
+        flush();
+      } else if (acronym_end) {
+        char last = cur.back();
+        cur.pop_back();
+        flush();
+        cur.push_back(last);
+      }
+    }
+    cur.push_back(static_cast<char>(c));
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> TokenizeText(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens,
+                       const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += sep;
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,31 @@
+#ifndef VALENTINE_TEXT_TOKENIZER_H_
+#define VALENTINE_TEXT_TOKENIZER_H_
+
+/// \file tokenizer.h
+/// Identifier and value tokenization. Schema-based matchers (Cupid, COMA)
+/// normalize attribute names into token lists: split on underscores,
+/// hyphens, whitespace, digit boundaries, and camelCase humps, then
+/// lowercase.
+
+#include <string>
+#include <vector>
+
+namespace valentine {
+
+/// Lowercases ASCII characters in place-copy.
+std::string ToLower(const std::string& s);
+
+/// Splits an identifier like "custAddressLine_1" into
+/// {"cust", "address", "line", "1"}.
+std::vector<std::string> TokenizeIdentifier(const std::string& name);
+
+/// Splits free text on non-alphanumeric runs and lowercases.
+std::vector<std::string> TokenizeText(const std::string& text);
+
+/// Joins tokens with the given separator.
+std::string JoinTokens(const std::vector<std::string>& tokens,
+                       const std::string& sep = " ");
+
+}  // namespace valentine
+
+#endif  // VALENTINE_TEXT_TOKENIZER_H_

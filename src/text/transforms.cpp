@@ -1,0 +1,61 @@
+#include "text/transforms.h"
+
+#include <cctype>
+
+#include "text/tokenizer.h"
+
+namespace valentine {
+
+std::string PrefixWithTable(const std::string& column_name,
+                            const std::string& table_name) {
+  return table_name + "_" + column_name;
+}
+
+std::string AbbreviateName(const std::string& name, size_t keep) {
+  // Real-world abbreviations concatenate: "address_line1" -> "addlin1".
+  // The missing separators are a large part of what makes abbreviated
+  // schemata hard for token-based matchers.
+  auto tokens = TokenizeIdentifier(name);
+  std::string out;
+  for (const std::string& t : tokens) {
+    out += t.size() <= keep ? t : t.substr(0, keep);
+  }
+  return out.empty() ? name : out;
+}
+
+std::string DropVowels(const std::string& name) {
+  auto tokens = TokenizeIdentifier(name);
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += "_";
+    const std::string& t = tokens[i];
+    for (size_t j = 0; j < t.size(); ++j) {
+      char c = t[j];
+      bool vowel = c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+      if (j == 0 || !vowel || std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(c);
+      }
+    }
+  }
+  return out.empty() ? name : out;
+}
+
+std::string ApplySchemaNoiseRule(const std::string& column_name,
+                                 const std::string& table_name,
+                                 int rule_index) {
+  switch (rule_index % 6) {
+    case 0: return PrefixWithTable(column_name, table_name);
+    case 1: return AbbreviateName(column_name);
+    case 2: return DropVowels(column_name);
+    // Composed rules: the paper applies "a combination of three
+    // transformation rules".
+    case 3:
+      return PrefixWithTable(AbbreviateName(column_name), table_name);
+    case 4:
+      return PrefixWithTable(DropVowels(column_name), table_name);
+    default:
+      return AbbreviateName(DropVowels(column_name));
+  }
+}
+
+}  // namespace valentine

@@ -1,0 +1,34 @@
+#ifndef VALENTINE_TEXT_TRANSFORMS_H_
+#define VALENTINE_TEXT_TRANSFORMS_H_
+
+/// \file transforms.h
+/// Schema-noise transformation rules from the paper (Section IV):
+/// (i) prefix column names with the table name, (ii) abbreviate, and
+/// (iii) drop vowels. The fabricator composes these to produce "noisy
+/// schemata" variants of split tables.
+
+#include <string>
+
+namespace valentine {
+
+/// "name" + table "clients" -> "clients_name".
+std::string PrefixWithTable(const std::string& column_name,
+                            const std::string& table_name);
+
+/// Abbreviates each token to its first `keep` characters:
+/// "address_line" -> "addr_lin" (keep=4 -> "addr_line"? no: per-token).
+std::string AbbreviateName(const std::string& name, size_t keep = 3);
+
+/// Removes vowels except leading characters of each token:
+/// "customer_age" -> "cstmr_g" (leading vowel of a token is kept).
+std::string DropVowels(const std::string& name);
+
+/// Applies the composed "noisy schema" rule used by the fabricator for a
+/// given column: rule index selects among prefix / abbreviate / vowels.
+std::string ApplySchemaNoiseRule(const std::string& column_name,
+                                 const std::string& table_name,
+                                 int rule_index);
+
+}  // namespace valentine
+
+#endif  // VALENTINE_TEXT_TRANSFORMS_H_

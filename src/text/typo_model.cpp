@@ -1,0 +1,71 @@
+#include "text/typo_model.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace valentine {
+
+std::string TypoModel::KeyboardNeighbors(char c) {
+  static const std::unordered_map<char, std::string> kNeighbors = {
+      {'q', "wa"},    {'w', "qes"},   {'e', "wrd"},  {'r', "etf"},
+      {'t', "ryg"},   {'y', "tuh"},   {'u', "yij"},  {'i', "uok"},
+      {'o', "ipl"},   {'p', "ol"},    {'a', "qsz"},  {'s', "awdx"},
+      {'d', "sefc"},  {'f', "drgv"},  {'g', "fthb"}, {'h', "gyjn"},
+      {'j', "hukm"},  {'k', "jil"},   {'l', "kop"},  {'z', "asx"},
+      {'x', "zsdc"},  {'c', "xdfv"},  {'v', "cfgb"}, {'b', "vghn"},
+      {'n', "bhjm"},  {'m', "njk"},   {'0', "9"},    {'1', "2"},
+      {'2', "13"},    {'3', "24"},    {'4', "35"},   {'5', "46"},
+      {'6', "57"},    {'7', "68"},    {'8', "79"},   {'9', "80"},
+  };
+  auto it = kNeighbors.find(static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c))));
+  return it == kNeighbors.end() ? std::string() : it->second;
+}
+
+std::string TypoModel::Perturb(const std::string& s, Rng* rng) const {
+  if (s.empty() || typo_rate_ <= 0.0) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (!rng->Bernoulli(typo_rate_)) {
+      out.push_back(c);
+      continue;
+    }
+    switch (rng->Index(4)) {
+      case 0: {  // Substitute with a keyboard neighbour.
+        std::string neighbors = KeyboardNeighbors(c);
+        if (neighbors.empty()) {
+          out.push_back(c);
+        } else {
+          char repl = neighbors[rng->Index(neighbors.size())];
+          bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
+          out.push_back(upper ? static_cast<char>(std::toupper(
+                                    static_cast<unsigned char>(repl)))
+                              : repl);
+        }
+        break;
+      }
+      case 1:  // Drop the character.
+        break;
+      case 2:  // Duplicate it.
+        out.push_back(c);
+        out.push_back(c);
+        break;
+      default:  // Transpose with the next character.
+        if (i + 1 < s.size()) {
+          out.push_back(s[i + 1]);
+          out.push_back(c);
+          ++i;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  // Never return an empty perturbation of a non-empty string.
+  if (out.empty()) out.push_back(s[0]);
+  return out;
+}
+
+}  // namespace valentine

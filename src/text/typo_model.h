@@ -1,0 +1,37 @@
+#ifndef VALENTINE_TEXT_TYPO_MODEL_H_
+#define VALENTINE_TEXT_TYPO_MODEL_H_
+
+/// \file typo_model.h
+/// Keyboard-proximity typo injection (paper Section IV, "Noise in Data"):
+/// string instances are perturbed with random typos where substituted
+/// characters are drawn from QWERTY-adjacent keys, plus occasional
+/// transpositions, drops, and duplications — the same perturbation family
+/// eTuner uses.
+
+#include <string>
+
+#include "core/rng.h"
+
+namespace valentine {
+
+/// \brief Injects realistic typos into strings.
+class TypoModel {
+ public:
+  /// \param typo_rate probability that any given character position
+  ///   receives a typo (0 disables).
+  explicit TypoModel(double typo_rate = 0.1) : typo_rate_(typo_rate) {}
+
+  /// Returns a perturbed copy of `s` (possibly unchanged for short or
+  /// lucky inputs). Deterministic given the Rng state.
+  std::string Perturb(const std::string& s, Rng* rng) const;
+
+  /// QWERTY neighbours of a lowercase letter or digit ("" if unknown).
+  static std::string KeyboardNeighbors(char c);
+
+ private:
+  double typo_rate_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_TEXT_TYPO_MODEL_H_

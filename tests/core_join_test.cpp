@@ -1,0 +1,172 @@
+#include "core/join.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+Table MakeLeft() {
+  Table t("orders");
+  Column id("customer_id", DataType::kString);
+  Column amount("amount", DataType::kInt64);
+  for (auto& [k, v] : std::vector<std::pair<std::string, int64_t>>{
+           {"c1", 10}, {"c2", 20}, {"c3", 30}, {"cX", 40}}) {
+    id.Append(Value::String(k));
+    amount.Append(Value::Int(v));
+  }
+  EXPECT_TRUE(t.AddColumn(std::move(id)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(amount)).ok());
+  return t;
+}
+
+Table MakeRight() {
+  Table t("customers");
+  Column id("id", DataType::kString);
+  Column city("city", DataType::kString);
+  for (auto& [k, v] : std::vector<std::pair<std::string, std::string>>{
+           {"c1", "boston"}, {"c2", "denver"}, {"c3", "austin"}}) {
+    id.Append(Value::String(k));
+    city.Append(Value::String(v));
+  }
+  EXPECT_TRUE(t.AddColumn(std::move(id)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(city)).ok());
+  return t;
+}
+
+TEST(HashJoinTest, InnerJoinMatchesRows) {
+  auto joined = HashJoin(MakeLeft(), "customer_id", MakeRight(), "id");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 3u);  // cX has no partner
+  EXPECT_EQ(joined->num_columns(), 3u);  // customer_id, amount, city
+  auto city = joined->FindColumn("city");
+  ASSERT_NE(city, nullptr);
+  EXPECT_EQ((*city)[0].AsString(), "boston");
+  EXPECT_EQ((*city)[2].AsString(), "austin");
+}
+
+TEST(HashJoinTest, LeftJoinPadsWithNulls) {
+  JoinOptions opt;
+  opt.type = JoinType::kLeft;
+  auto joined = HashJoin(MakeLeft(), "customer_id", MakeRight(), "id", opt);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 4u);
+  const Column* city = joined->FindColumn("city");
+  ASSERT_NE(city, nullptr);
+  EXPECT_TRUE((*city)[3].is_null());  // cX unmatched
+}
+
+TEST(HashJoinTest, MissingColumnsReported) {
+  EXPECT_EQ(HashJoin(MakeLeft(), "nope", MakeRight(), "id").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(HashJoin(MakeLeft(), "customer_id", MakeRight(), "nope")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  Table left("l");
+  Column k("k", DataType::kString);
+  k.Append(Value::Null());
+  k.Append(Value::String("a"));
+  ASSERT_TRUE(left.AddColumn(std::move(k)).ok());
+  Table right("r");
+  Column rk("k2", DataType::kString);
+  rk.Append(Value::Null());
+  rk.Append(Value::String("a"));
+  Column payload("p", DataType::kInt64);
+  payload.Append(Value::Int(1));
+  payload.Append(Value::Int(2));
+  ASSERT_TRUE(right.AddColumn(std::move(rk)).ok());
+  ASSERT_TRUE(right.AddColumn(std::move(payload)).ok());
+  auto joined = HashJoin(left, "k", right, "k2");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 1u);
+  EXPECT_EQ((*joined->FindColumn("p"))[0].int_value(), 2);
+}
+
+TEST(HashJoinTest, NameCollisionPrefixed) {
+  Table left("l");
+  Column k("k", DataType::kString);
+  Column shared("name", DataType::kString);
+  k.Append(Value::String("x"));
+  shared.Append(Value::String("left_value"));
+  ASSERT_TRUE(left.AddColumn(std::move(k)).ok());
+  ASSERT_TRUE(left.AddColumn(std::move(shared)).ok());
+  Table right("r");
+  Column rk("k", DataType::kString);
+  Column rshared("name", DataType::kString);
+  rk.Append(Value::String("x"));
+  rshared.Append(Value::String("right_value"));
+  ASSERT_TRUE(right.AddColumn(std::move(rk)).ok());
+  ASSERT_TRUE(right.AddColumn(std::move(rshared)).ok());
+  auto joined = HashJoin(left, "k", right, "k");
+  ASSERT_TRUE(joined.ok());
+  ASSERT_NE(joined->FindColumn("right_name"), nullptr);
+  EXPECT_EQ((*joined->FindColumn("right_name"))[0].AsString(),
+            "right_value");
+}
+
+TEST(HashJoinTest, DuplicateRightKeysFirstWins) {
+  Table left("l");
+  Column k("k", DataType::kString);
+  k.Append(Value::String("dup"));
+  ASSERT_TRUE(left.AddColumn(std::move(k)).ok());
+  Table right("r");
+  Column rk("k2", DataType::kString);
+  rk.Append(Value::String("dup"));
+  rk.Append(Value::String("dup"));
+  Column payload("p", DataType::kInt64);
+  payload.Append(Value::Int(1));
+  payload.Append(Value::Int(2));
+  ASSERT_TRUE(right.AddColumn(std::move(rk)).ok());
+  ASSERT_TRUE(right.AddColumn(std::move(payload)).ok());
+  auto joined = HashJoin(left, "k", right, "k2");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 1u);
+  EXPECT_EQ((*joined->FindColumn("p"))[0].int_value(), 1);
+}
+
+TEST(UnionAllTest, AppendsRowsWithAlignment) {
+  Table top("t");
+  Column a("name", DataType::kString);
+  a.Append(Value::String("ann"));
+  ASSERT_TRUE(top.AddColumn(std::move(a)).ok());
+  Table bottom("b");
+  Column b("full_name", DataType::kString);
+  b.Append(Value::String("bob"));
+  b.Append(Value::String("cid"));
+  ASSERT_TRUE(bottom.AddColumn(std::move(b)).ok());
+
+  auto merged = UnionAll(top, bottom, {{"name", "full_name"}});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rows(), 3u);
+  EXPECT_EQ(merged->column(0).name(), "name");
+  EXPECT_EQ(merged->column(0)[2].AsString(), "cid");
+}
+
+TEST(UnionAllTest, TypeWidening) {
+  Table top("t");
+  Column a("v", DataType::kInt64);
+  a.Append(Value::Int(1));
+  ASSERT_TRUE(top.AddColumn(std::move(a)).ok());
+  Table bottom("b");
+  Column b("v2", DataType::kString);
+  b.Append(Value::String("x"));
+  ASSERT_TRUE(bottom.AddColumn(std::move(b)).ok());
+  auto merged = UnionAll(top, bottom, {{"v", "v2"}});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->column(0).type(), DataType::kString);
+}
+
+TEST(UnionAllTest, ErrorsOnMissingColumns) {
+  Table t("t");
+  Column c("c", DataType::kString);
+  c.Append(Value::String("v"));
+  ASSERT_TRUE(t.AddColumn(std::move(c)).ok());
+  EXPECT_FALSE(UnionAll(t, t, {{"c", "nope"}}).ok());
+  EXPECT_FALSE(UnionAll(t, t, {}).ok());
+}
+
+}  // namespace
+}  // namespace valentine

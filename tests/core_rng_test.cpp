@@ -1,0 +1,143 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace valentine {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values of a tiny range get hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    double d = rng.UniformDouble(5.0, 6.0);
+    EXPECT_GE(d, 5.0);
+    EXPECT_LT(d, 6.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(8);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(100.0, 5.0);
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(12);
+  auto sample = rng.SampleIndices(20, 7);
+  EXPECT_EQ(sample.size(), 7u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 7u);
+  for (size_t s : sample) EXPECT_LT(s, 20u);
+}
+
+TEST(RngTest, SampleAllIndices) {
+  Rng rng(13);
+  auto sample = rng.SampleIndices(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, PickReturnsMember) {
+  Rng rng(14);
+  std::vector<std::string> pool = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& p = rng.Pick(pool);
+    EXPECT_TRUE(p == "a" || p == "b" || p == "c");
+  }
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(15);
+  Rng b(15);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.Next(), fb.Next());
+  }
+}
+
+}  // namespace
+}  // namespace valentine

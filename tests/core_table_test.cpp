@@ -1,0 +1,142 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+Column MakeIntColumn(const std::string& name, std::vector<int64_t> values) {
+  Column c(name, DataType::kInt64);
+  for (int64_t v : values) c.Append(Value::Int(v));
+  return c;
+}
+
+Table MakeTestTable() {
+  Table t("people");
+  EXPECT_TRUE(t.AddColumn(MakeIntColumn("id", {1, 2, 3})).ok());
+  Column name("name", DataType::kString);
+  name.Append(Value::String("ann"));
+  name.Append(Value::String("bob"));
+  name.Append(Value::String("cid"));
+  EXPECT_TRUE(t.AddColumn(std::move(name)).ok());
+  EXPECT_TRUE(t.AddColumn(MakeIntColumn("age", {30, 40, 50})).ok());
+  return t;
+}
+
+TEST(TableTest, EmptyTable) {
+  Table t("empty");
+  EXPECT_EQ(t.num_columns(), 0u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.name(), "empty");
+}
+
+TEST(TableTest, AddColumnRejectsLengthMismatch) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1, 2})).ok());
+  Status s = t.AddColumn(MakeIntColumn("b", {1, 2, 3}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_columns(), 1u);
+}
+
+TEST(TableTest, ColumnLookup) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(*t.ColumnIndex("name"), 1u);
+  EXPECT_FALSE(t.ColumnIndex("missing").has_value());
+  ASSERT_NE(t.FindColumn("age"), nullptr);
+  EXPECT_EQ(t.FindColumn("age")->name(), "age");
+  EXPECT_EQ(t.FindColumn("missing"), nullptr);
+}
+
+TEST(TableTest, ColumnNamesInOrder) {
+  Table t = MakeTestTable();
+  std::vector<std::string> expected = {"id", "name", "age"};
+  EXPECT_EQ(t.ColumnNames(), expected);
+}
+
+TEST(TableTest, ProjectSelectsAndReorders) {
+  Table t = MakeTestTable();
+  Table p = t.Project({2, 0});
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name(), "age");
+  EXPECT_EQ(p.column(1).name(), "id");
+  EXPECT_EQ(p.num_rows(), 3u);
+}
+
+TEST(TableTest, TakeRowsSelectsAndReorders) {
+  Table t = MakeTestTable();
+  Table r = t.TakeRows({2, 0});
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.column(0)[0].int_value(), 3);
+  EXPECT_EQ(r.column(0)[1].int_value(), 1);
+}
+
+TEST(TableTest, SliceRows) {
+  Table t = MakeTestTable();
+  Table s = t.SliceRows(1, 3);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.column(1)[0].AsString(), "bob");
+}
+
+TEST(TableTest, RenameColumn) {
+  Table t = MakeTestTable();
+  EXPECT_TRUE(t.RenameColumn(1, "full_name").ok());
+  EXPECT_EQ(t.column(1).name(), "full_name");
+  EXPECT_EQ(t.RenameColumn(99, "x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, Describe) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(t.Describe(), "people(cols=3, rows=3)");
+}
+
+TEST(ColumnRefTest, OrderingAndToString) {
+  ColumnRef a{"t1", "ca"};
+  ColumnRef b{"t1", "cb"};
+  ColumnRef c{"t2", "ca"};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "t1.ca");
+  EXPECT_EQ(a, (ColumnRef{"t1", "ca"}));
+}
+
+TEST(ColumnTest, NullCountAndDistinct) {
+  Column c("x", DataType::kString);
+  c.Append(Value::String("a"));
+  c.Append(Value::Null());
+  c.Append(Value::String("a"));
+  c.Append(Value::String("b"));
+  EXPECT_EQ(c.NullCount(), 1u);
+  EXPECT_EQ(c.NonNullStrings().size(), 3u);
+  std::vector<std::string> expected = {"a", "b"};
+  EXPECT_EQ(c.DistinctStrings(), expected);
+  EXPECT_EQ(c.DistinctStringSet().size(), 2u);
+}
+
+TEST(ColumnTest, NumericValuesAndFraction) {
+  Column c("x", DataType::kString);
+  c.Append(Value::String("1.5"));
+  c.Append(Value::String("abc"));
+  c.Append(Value::Int(2));
+  c.Append(Value::Null());
+  EXPECT_EQ(c.NumericValues().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.NumericFraction(), 2.0 / 3.0);
+}
+
+TEST(ColumnTest, NumericFractionEmptyColumn) {
+  Column c("x", DataType::kString);
+  EXPECT_DOUBLE_EQ(c.NumericFraction(), 0.0);
+}
+
+TEST(ColumnTest, TakeRows) {
+  Column c = MakeIntColumn("x", {10, 20, 30});
+  Column t = c.TakeRows({2, 2, 0});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].int_value(), 30);
+  EXPECT_EQ(t[1].int_value(), 30);
+  EXPECT_EQ(t[2].int_value(), 10);
+  EXPECT_EQ(t.name(), "x");
+  EXPECT_EQ(t.type(), DataType::kInt64);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,91 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), DataType::kNull);
+  EXPECT_EQ(v.AsString(), "");
+  EXPECT_FALSE(v.TryFloat().has_value());
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(-17);
+  EXPECT_EQ(v.kind(), DataType::kInt64);
+  EXPECT_EQ(v.int_value(), -17);
+  EXPECT_EQ(v.AsString(), "-17");
+  EXPECT_DOUBLE_EQ(*v.TryFloat(), -17.0);
+}
+
+TEST(ValueTest, FloatRendersRoundTrip) {
+  Value v = Value::Float(2.5);
+  EXPECT_EQ(v.kind(), DataType::kFloat64);
+  EXPECT_EQ(v.AsString(), "2.5");
+  EXPECT_DOUBLE_EQ(*v.TryFloat(), 2.5);
+}
+
+TEST(ValueTest, BoolAsNumber) {
+  EXPECT_DOUBLE_EQ(*Value::Bool(true).TryFloat(), 1.0);
+  EXPECT_DOUBLE_EQ(*Value::Bool(false).TryFloat(), 0.0);
+  EXPECT_EQ(Value::Bool(true).AsString(), "true");
+}
+
+TEST(ValueTest, StringNumericParsing) {
+  EXPECT_DOUBLE_EQ(*Value::String("3.75").TryFloat(), 3.75);
+  EXPECT_DOUBLE_EQ(*Value::String("-12").TryFloat(), -12.0);
+  EXPECT_FALSE(Value::String("12abc").TryFloat().has_value());
+  EXPECT_FALSE(Value::String("").TryFloat().has_value());
+  EXPECT_FALSE(Value::String("hello").TryFloat().has_value());
+}
+
+TEST(ValueTest, StringWithTrailingSpacesParses) {
+  EXPECT_DOUBLE_EQ(*Value::String("5 ").TryFloat(), 5.0);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Float(3.0));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ParseCellTest, PrefersIntThenFloatThenBoolThenString) {
+  EXPECT_EQ(ParseCell("42").kind(), DataType::kInt64);
+  EXPECT_EQ(ParseCell("42.5").kind(), DataType::kFloat64);
+  EXPECT_EQ(ParseCell("true").kind(), DataType::kBool);
+  EXPECT_EQ(ParseCell("FALSE").kind(), DataType::kBool);
+  EXPECT_EQ(ParseCell("abc").kind(), DataType::kString);
+  EXPECT_EQ(ParseCell("").kind(), DataType::kNull);
+}
+
+TEST(ParseCellTest, ZeroPaddedNumbersStayStrings) {
+  // "007" is an identifier; parsing to int 7 would lose the padding.
+  Value v = ParseCell("007");
+  EXPECT_EQ(v.kind(), DataType::kString);
+  EXPECT_EQ(v.AsString(), "007");
+  // Plain zero and decimals below one still parse numerically.
+  EXPECT_EQ(ParseCell("0").kind(), DataType::kInt64);
+  EXPECT_EQ(ParseCell("0.5").kind(), DataType::kFloat64);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+  EXPECT_STREQ(DataTypeName(DataType::kDate), "date");
+}
+
+TEST(DataTypeTest, Compatibility) {
+  EXPECT_TRUE(TypesCompatible(DataType::kInt64, DataType::kFloat64));
+  EXPECT_TRUE(TypesCompatible(DataType::kString, DataType::kDate));
+  EXPECT_TRUE(TypesCompatible(DataType::kBool, DataType::kInt64));
+  EXPECT_FALSE(TypesCompatible(DataType::kInt64, DataType::kString));
+  EXPECT_TRUE(TypesCompatible(DataType::kNull, DataType::kString));
+  EXPECT_TRUE(TypesCompatible(DataType::kString, DataType::kString));
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "datasets/chembl.h"
+#include "datasets/ing.h"
+#include "datasets/magellan.h"
+#include "datasets/opendata.h"
+#include "datasets/synthetic.h"
+#include "datasets/tpcdi.h"
+#include "datasets/wikidata.h"
+
+namespace valentine {
+namespace {
+
+TEST(SyntheticBuilderTest, ColumnGeneratorsProduceDeclaredShapes) {
+  SyntheticTableBuilder b("t", 50, 1);
+  b.AddIdColumn("id", 10)
+      .AddPrefixedIdColumn("code", "X")
+      .AddCategorical("city", vocab::Cities())
+      .AddUniformInt("n", 5, 9)
+      .AddGaussianInt("g", 100, 10, 0)
+      .AddGaussianFloat("f", 1.0, 0.1)
+      .AddDateColumn("d", 2000, 2001)
+      .AddPatternColumn("p", "Ad-a")
+      .AddTextColumn("txt", vocab::Words(), 2, 4)
+      .AddPersonNameColumn("person")
+      .AddFlagColumn("flag", 0.5);
+  Table t = b.Build();
+  EXPECT_EQ(t.num_columns(), 11u);
+  EXPECT_EQ(t.num_rows(), 50u);
+  EXPECT_EQ(t.column(0)[0].int_value(), 10);
+  EXPECT_EQ(t.column(0)[49].int_value(), 59);
+  EXPECT_EQ(t.column(1)[0].AsString(), "X00001");
+  for (size_t i = 0; i < 50; ++i) {
+    int64_t n = t.column(3)[i].int_value();
+    EXPECT_GE(n, 5);
+    EXPECT_LE(n, 9);
+    std::string p = t.column(7)[i].AsString();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_TRUE(isupper(static_cast<unsigned char>(p[0])));
+    EXPECT_TRUE(isdigit(static_cast<unsigned char>(p[1])));
+    EXPECT_EQ(p[2], '-');
+    EXPECT_TRUE(islower(static_cast<unsigned char>(p[3])));
+    std::string flag = t.column(10)[i].AsString();
+    EXPECT_TRUE(flag == "Y" || flag == "N");
+  }
+}
+
+TEST(SyntheticBuilderTest, WithNullsInjects) {
+  SyntheticTableBuilder b("t", 400, 2);
+  b.AddCategorical("c", vocab::Cities()).WithNulls("c", 0.3);
+  Table t = b.Build();
+  size_t nulls = t.column(0).NullCount();
+  EXPECT_GT(nulls, 60u);
+  EXPECT_LT(nulls, 200u);
+}
+
+TEST(SyntheticBuilderTest, DeterministicUnderSeed) {
+  auto make = [] {
+    SyntheticTableBuilder b("t", 20, 42);
+    b.AddCategorical("c", vocab::Words()).AddUniformInt("n", 0, 100);
+    return b.Build();
+  };
+  Table t1 = make();
+  Table t2 = make();
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(t1.column(0)[i] == t2.column(0)[i]);
+    EXPECT_TRUE(t1.column(1)[i] == t2.column(1)[i]);
+  }
+}
+
+TEST(TpcdiTest, MatchesPublishedShape) {
+  Table t = MakeTpcdiProspect(150, 7);
+  EXPECT_EQ(t.num_columns(), 22u);  // Prospect has 22 attributes
+  EXPECT_EQ(t.num_rows(), 150u);
+  EXPECT_NE(t.FindColumn("income"), nullptr);
+  EXPECT_NE(t.FindColumn("credit_rating"), nullptr);
+  EXPECT_EQ(t.FindColumn("income")->type(), DataType::kInt64);
+}
+
+TEST(OpenDataTest, MatchesPublishedShape) {
+  Table t = MakeOpenDataTable(100, 7);
+  EXPECT_EQ(t.num_columns(), 51u);  // paper: up to 51 columns
+  EXPECT_EQ(t.num_rows(), 100u);
+  EXPECT_NE(t.FindColumn("permit_number"), nullptr);
+  // Sparse columns exist (nulls present).
+  EXPECT_GT(t.FindColumn("architect_firm")->NullCount(), 0u);
+}
+
+TEST(ChemblTest, MatchesPublishedShape) {
+  Table t = MakeChemblAssays(100, 7);
+  EXPECT_EQ(t.num_columns(), 23u);  // paper: up to 23 columns
+  EXPECT_NE(t.FindColumn("assay_organism"), nullptr);
+  EXPECT_NE(t.FindColumn("chembl_id"), nullptr);
+}
+
+TEST(WikidataTest, BaseTableShape) {
+  Table t = MakeWikidataSingersBase(80, 7);
+  EXPECT_EQ(t.num_columns(), 20u);  // paper: twenty columns
+  EXPECT_EQ(t.num_rows(), 80u);
+  EXPECT_NE(t.FindColumn("artist"), nullptr);
+  EXPECT_NE(t.FindColumn("partner"), nullptr);
+}
+
+TEST(WikidataTest, FourScenarioPairs) {
+  auto pairs = MakeWikidataPairs(120, 7);
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0].scenario, Scenario::kUnionable);
+  EXPECT_EQ(pairs[1].scenario, Scenario::kViewUnionable);
+  EXPECT_EQ(pairs[2].scenario, Scenario::kJoinable);
+  EXPECT_EQ(pairs[3].scenario, Scenario::kSemanticallyJoinable);
+  for (const auto& p : pairs) {
+    EXPECT_GE(p.ground_truth.size(), 1u) << p.id;
+    for (const auto& gt : p.ground_truth) {
+      EXPECT_TRUE(p.source.ColumnIndex(gt.source_column).has_value())
+          << p.id << " " << gt.source_column;
+      EXPECT_TRUE(p.target.ColumnIndex(gt.target_column).has_value())
+          << p.id << " " << gt.target_column;
+    }
+  }
+}
+
+TEST(WikidataTest, ColumnNamesVaryBetweenSides) {
+  auto pairs = MakeWikidataPairs(60, 7);
+  const DatasetPair& u = pairs[0];
+  // partner -> spouse, as the paper highlights.
+  EXPECT_TRUE(u.source.ColumnIndex("partner").has_value());
+  EXPECT_TRUE(u.target.ColumnIndex("spouse").has_value());
+  EXPECT_FALSE(u.target.ColumnIndex("partner").has_value());
+}
+
+TEST(WikidataTest, AlternativeEncodingsApplied) {
+  auto pairs = MakeWikidataPairs(60, 7);
+  const DatasetPair& u = pairs[0];
+  // Citizenship encodings differ ("United States of America" vs "USA").
+  const Column* src = u.source.FindColumn("citizenship");
+  const Column* tgt = u.target.FindColumn("nationality");
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(tgt, nullptr);
+  EXPECT_EQ((*src)[0].AsString(), "United States of America");
+  EXPECT_EQ((*tgt)[0].AsString(), "USA");
+}
+
+TEST(MagellanTest, SevenUnionablePairs) {
+  auto pairs = MakeMagellanPairs(60, 7);
+  ASSERT_EQ(pairs.size(), 7u);
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.scenario, Scenario::kUnionable) << p.id;
+    // Same attribute names on both sides (paper §V-B).
+    EXPECT_EQ(p.source.ColumnNames(), p.target.ColumnNames()) << p.id;
+    EXPECT_EQ(p.ground_truth.size(), p.source.num_columns());
+    EXPECT_GE(p.source.num_columns(), 3u);
+    EXPECT_LE(p.source.num_columns(), 7u);  // paper: 3-7 columns
+  }
+}
+
+TEST(MagellanTest, DiscrepanciesPresent) {
+  auto pairs = MakeMagellanPairs(200, 7);
+  // Some target-side strings should differ from any source value
+  // (typos/case jitter), hurting naive overlap methods.
+  const DatasetPair& p = pairs[0];
+  auto src_set = p.source.column(0).DistinctStringSet();
+  size_t missing = 0;
+  for (const auto& v : p.target.column(0).DistinctStrings()) {
+    if (!src_set.count(v)) ++missing;
+  }
+  EXPECT_GT(missing, 0u);
+}
+
+TEST(IngTest, Pair1Shape) {
+  DatasetPair p = MakeIngPair1(120, 11);
+  EXPECT_EQ(p.source.num_columns(), 33u);  // paper: 33 columns
+  EXPECT_EQ(p.target.num_columns(), 16u);  // paper: 16 columns
+  EXPECT_EQ(p.ground_truth.size(), 14u);   // implied by 0.714 = 10/14
+  EXPECT_NE(p.source.num_rows(), p.target.num_rows());
+  for (const auto& gt : p.ground_truth) {
+    EXPECT_TRUE(p.source.ColumnIndex(gt.source_column).has_value())
+        << gt.source_column;
+    EXPECT_TRUE(p.target.ColumnIndex(gt.target_column).has_value())
+        << gt.target_column;
+  }
+}
+
+TEST(IngTest, Pair2ShapeAndNmGroundTruth) {
+  DatasetPair p = MakeIngPair2(120, 12);
+  EXPECT_EQ(p.source.num_columns(), 59u);  // paper: 59 columns
+  EXPECT_EQ(p.target.num_columns(), 25u);  // paper: 25 columns
+  // n-m: some target column appears in multiple ground-truth entries.
+  std::unordered_map<std::string, int> target_counts;
+  for (const auto& gt : p.ground_truth) {
+    ++target_counts[gt.target_column];
+    EXPECT_TRUE(p.source.ColumnIndex(gt.source_column).has_value())
+        << gt.source_column;
+    EXPECT_TRUE(p.target.ColumnIndex(gt.target_column).has_value())
+        << gt.target_column;
+  }
+  bool has_multi = false;
+  for (const auto& [col, count] : target_counts) {
+    if (count > 1) has_multi = true;
+  }
+  EXPECT_TRUE(has_multi);
+}
+
+TEST(IngTest, MatchingColumnsShareValuePools) {
+  DatasetPair p = MakeIngPair1(200, 11);
+  const Column* a = p.source.FindColumn("sprint_id");
+  const Column* b = p.target.FindColumn("sprintid");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  auto sa = a->DistinctStringSet();
+  size_t shared = 0;
+  for (const auto& v : b->DistinctStrings()) shared += sa.count(v);
+  EXPECT_GT(shared, sa.size() / 2);  // heavy overlap by construction
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,214 @@
+#include "fabrication/fabricator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/tpcdi.h"
+
+namespace valentine {
+namespace {
+
+Table SmallOriginal() { return MakeTpcdiProspect(120, 1); }
+
+TEST(FabricatorTest, RejectsDegenerateInputs) {
+  Table one_col("t");
+  Column c("only", DataType::kInt64);
+  c.Append(Value::Int(1));
+  ASSERT_TRUE(one_col.AddColumn(std::move(c)).ok());
+  FabricationOptions opt;
+  EXPECT_FALSE(FabricateDatasetPair(one_col, opt).ok());
+
+  Table empty_rows("t");
+  ASSERT_TRUE(empty_rows.AddColumn(Column("a", DataType::kInt64)).ok());
+  ASSERT_TRUE(empty_rows.AddColumn(Column("b", DataType::kInt64)).ok());
+  EXPECT_FALSE(FabricateDatasetPair(empty_rows, opt).ok());
+}
+
+TEST(FabricatorTest, UnionableKeepsAllColumnsBothSides) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kUnionable;
+  opt.row_overlap = 0.5;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->source.num_columns(), original.num_columns());
+  EXPECT_EQ(pair->target.num_columns(), original.num_columns());
+  EXPECT_EQ(pair->ground_truth.size(), original.num_columns());
+  EXPECT_LT(pair->source.num_rows(), original.num_rows());
+}
+
+TEST(FabricatorTest, ViewUnionableHasNoRowOverlapAndSharedSubset) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kViewUnionable;
+  opt.column_overlap = 0.5;
+  opt.row_overlap = 0.9;  // must be ignored (forced to 0)
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->source.num_rows() + pair->target.num_rows(),
+            original.num_rows());
+  EXPECT_LT(pair->ground_truth.size(), original.num_columns());
+  EXPECT_GE(pair->ground_truth.size(), 1u);
+  // Both shards smaller than the original column-wise.
+  EXPECT_LT(pair->source.num_columns(), original.num_columns());
+  EXPECT_LT(pair->target.num_columns(), original.num_columns());
+}
+
+TEST(FabricatorTest, JoinableKeepsAllRowsByDefault) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kJoinable;
+  opt.column_overlap = 0.3;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->source.num_rows(), original.num_rows());
+  EXPECT_EQ(pair->target.num_rows(), original.num_rows());
+}
+
+TEST(FabricatorTest, JoinableHorizontalVariantSplitsRows) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kJoinable;
+  opt.joinable_horizontal_variant = true;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_LT(pair->source.num_rows(), original.num_rows());
+}
+
+TEST(FabricatorTest, JoinableIgnoresInstanceNoiseFlag) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kJoinable;
+  opt.noisy_instances = true;  // must be forced off for "classical" join
+  opt.column_overlap = 1.0;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NE(pair->id.find("_verbatimInst"), std::string::npos);
+  // Shared columns carry identical values row-for-row.
+  const Column* src_col = pair->source.FindColumn("age");
+  const Column* tgt_col = pair->target.FindColumn("age");
+  if (src_col != nullptr && tgt_col != nullptr) {
+    for (size_t i = 0; i < src_col->size(); ++i) {
+      EXPECT_TRUE((*src_col)[i] == (*tgt_col)[i]);
+    }
+  }
+}
+
+TEST(FabricatorTest, SemanticallyJoinableForcesNoise) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kSemanticallyJoinable;
+  opt.noisy_instances = false;  // must be forced ON
+  opt.column_overlap = 1.0;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NE(pair->id.find("_noisyInst"), std::string::npos);
+  // At least one shared cell must differ from the source side.
+  bool any_diff = false;
+  for (const auto& gt : pair->ground_truth) {
+    const Column* s = pair->source.FindColumn(gt.source_column);
+    const Column* t = pair->target.FindColumn(gt.target_column);
+    ASSERT_NE(s, nullptr);
+    ASSERT_NE(t, nullptr);
+    for (size_t i = 0; i < std::min(s->size(), t->size()); ++i) {
+      if (!((*s)[i] == (*t)[i])) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FabricatorTest, SchemaNoiseRenamesTargetAndGroundTruthTracks) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kUnionable;
+  opt.noisy_schema = true;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  size_t renamed = 0;
+  for (const auto& gt : pair->ground_truth) {
+    EXPECT_NE(pair->source.ColumnIndex(gt.source_column), std::nullopt);
+    EXPECT_NE(pair->target.ColumnIndex(gt.target_column), std::nullopt);
+    if (gt.source_column != gt.target_column) ++renamed;
+  }
+  EXPECT_GT(renamed, original.num_columns() / 2);
+}
+
+TEST(FabricatorTest, DeterministicUnderSeed) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kViewUnionable;
+  opt.noisy_schema = true;
+  opt.seed = 99;
+  auto p1 = FabricateDatasetPair(original, opt);
+  auto p2 = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->source.ColumnNames(), p2->source.ColumnNames());
+  EXPECT_EQ(p1->target.ColumnNames(), p2->target.ColumnNames());
+  EXPECT_EQ(p1->ground_truth.size(), p2->ground_truth.size());
+}
+
+TEST(FabricatorTest, IdEncodesConfiguration) {
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = Scenario::kUnionable;
+  opt.noisy_schema = true;
+  opt.noisy_instances = true;
+  opt.seed = 5;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NE(pair->id.find("Unionable"), std::string::npos);
+  EXPECT_NE(pair->id.find("_noisySchema"), std::string::npos);
+  EXPECT_NE(pair->id.find("_noisyInst"), std::string::npos);
+  EXPECT_NE(pair->id.find("_s5"), std::string::npos);
+}
+
+TEST(ScenarioNameTest, AllNamed) {
+  EXPECT_STREQ(ScenarioName(Scenario::kUnionable), "Unionable");
+  EXPECT_STREQ(ScenarioName(Scenario::kViewUnionable), "View-Unionable");
+  EXPECT_STREQ(ScenarioName(Scenario::kJoinable), "Joinable");
+  EXPECT_STREQ(ScenarioName(Scenario::kSemanticallyJoinable),
+               "Semantically-Joinable");
+}
+
+// Property sweep: for every scenario and overlap, ground truth is
+// non-empty and references existing columns on both sides.
+class FabricatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Scenario, double, bool>> {};
+
+TEST_P(FabricatorPropertyTest, GroundTruthConsistent) {
+  auto [scenario, overlap, noisy] = GetParam();
+  Table original = SmallOriginal();
+  FabricationOptions opt;
+  opt.scenario = scenario;
+  opt.row_overlap = overlap;
+  opt.column_overlap = overlap;
+  opt.noisy_schema = noisy;
+  opt.noisy_instances = noisy;
+  opt.seed = 3;
+  auto pair = FabricateDatasetPair(original, opt);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_GE(pair->ground_truth.size(), 1u);
+  std::set<std::string> seen;
+  for (const auto& gt : pair->ground_truth) {
+    EXPECT_TRUE(pair->source.ColumnIndex(gt.source_column).has_value())
+        << gt.source_column;
+    EXPECT_TRUE(pair->target.ColumnIndex(gt.target_column).has_value())
+        << gt.target_column;
+    EXPECT_TRUE(seen.insert(gt.source_column + "->" + gt.target_column)
+                    .second);  // no duplicate entries
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, FabricatorPropertyTest,
+    ::testing::Combine(::testing::Values(Scenario::kUnionable,
+                                         Scenario::kViewUnionable,
+                                         Scenario::kJoinable,
+                                         Scenario::kSemanticallyJoinable),
+                       ::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace valentine

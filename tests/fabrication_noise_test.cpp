@@ -1,0 +1,167 @@
+#include "fabrication/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "text/transforms.h"
+#include "text/typo_model.h"
+
+namespace valentine {
+namespace {
+
+TEST(TypoModelTest, ZeroRateIsIdentity) {
+  Rng rng(1);
+  TypoModel model(0.0);
+  EXPECT_EQ(model.Perturb("hello world", &rng), "hello world");
+}
+
+TEST(TypoModelTest, HighRateChangesMostStrings) {
+  Rng rng(2);
+  TypoModel model(0.5);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (model.Perturb("representative", &rng) != "representative") ++changed;
+  }
+  EXPECT_GT(changed, 90);
+}
+
+TEST(TypoModelTest, NeverReturnsEmptyForNonEmpty) {
+  Rng rng(3);
+  TypoModel model(1.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(model.Perturb("a", &rng).empty());
+  }
+}
+
+TEST(TypoModelTest, KeyboardNeighborsSane) {
+  EXPECT_NE(TypoModel::KeyboardNeighbors('a').find('s'), std::string::npos);
+  EXPECT_NE(TypoModel::KeyboardNeighbors('Q').find('w'), std::string::npos);
+  EXPECT_TRUE(TypoModel::KeyboardNeighbors('!').empty());
+}
+
+TEST(TypoModelTest, DeterministicUnderSeed) {
+  TypoModel model(0.3);
+  Rng r1(7);
+  Rng r2(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(model.Perturb("customer_address", &r1),
+              model.Perturb("customer_address", &r2));
+  }
+}
+
+TEST(InstanceNoiseTest, StringColumnsGetTypos) {
+  Column c("text", DataType::kString);
+  for (int i = 0; i < 200; ++i) {
+    c.Append(Value::String("representative_value_" + std::to_string(i)));
+  }
+  Column original = c;
+  Rng rng(4);
+  InstanceNoiseOptions opt;
+  opt.cell_rate = 0.5;
+  AddInstanceNoise(&c, opt, &rng);
+  size_t changed = 0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (!(c[i] == original[i])) ++changed;
+  }
+  EXPECT_GT(changed, 50u);
+  EXPECT_LT(changed, 180u);
+}
+
+TEST(InstanceNoiseTest, NumericColumnsPerturbedByDistribution) {
+  Column c("nums", DataType::kInt64);
+  Rng gen(5);
+  for (int i = 0; i < 500; ++i) {
+    c.Append(Value::Int(gen.UniformInt(1000, 2000)));
+  }
+  NumericStats before = ComputeNumericStats(c.NumericValues());
+  Rng rng(6);
+  InstanceNoiseOptions opt;
+  opt.cell_rate = 1.0;
+  opt.numeric_sigma_scale = 0.1;
+  AddInstanceNoise(&c, opt, &rng);
+  NumericStats after = ComputeNumericStats(c.NumericValues());
+  // Distribution-shaped noise: the mean moves little relative to sigma.
+  EXPECT_NEAR(after.mean, before.mean, before.stddev * 0.2);
+  // Values stay integers.
+  for (const Value& v : c.values()) {
+    EXPECT_EQ(v.kind(), DataType::kInt64);
+  }
+}
+
+TEST(InstanceNoiseTest, NullsLeftAlone) {
+  Column c("x", DataType::kString);
+  c.Append(Value::Null());
+  c.Append(Value::String("abc"));
+  Rng rng(7);
+  InstanceNoiseOptions opt;
+  opt.cell_rate = 1.0;
+  AddInstanceNoise(&c, opt, &rng);
+  EXPECT_TRUE(c[0].is_null());
+}
+
+TEST(InstanceNoiseTest, ZeroRateIdentity) {
+  Column c("x", DataType::kString);
+  c.Append(Value::String("abc"));
+  Column original = c;
+  Rng rng(8);
+  InstanceNoiseOptions opt;
+  opt.cell_rate = 0.0;
+  AddInstanceNoise(&c, opt, &rng);
+  EXPECT_TRUE(c[0] == original[0]);
+}
+
+TEST(SchemaNoiseTransformsTest, Rules) {
+  EXPECT_EQ(PrefixWithTable("name", "clients"), "clients_name");
+  EXPECT_EQ(AbbreviateName("address_line1"), "addlin1");
+  EXPECT_EQ(DropVowels("customer_age"), "cstmr_ag");
+  // Leading vowels are kept.
+  EXPECT_EQ(DropVowels("income"), "incm");
+}
+
+TEST(SchemaNoiseTransformsTest, ComposedRules) {
+  std::string r3 = ApplySchemaNoiseRule("address_line", "t", 3);
+  EXPECT_EQ(r3, "t_addlin");
+  std::string r4 = ApplySchemaNoiseRule("address_line", "t", 4);
+  EXPECT_EQ(r4, "t_addrss_ln");
+}
+
+TEST(SchemaNoiseTest, RenamesEveryColumnUniquely) {
+  Table t("orders");
+  for (const char* name : {"id", "customer", "total", "customer_id"}) {
+    Column c(name, DataType::kString);
+    c.Append(Value::String("v"));
+    ASSERT_TRUE(t.AddColumn(std::move(c)).ok());
+  }
+  Rng rng(9);
+  auto mapping = AddSchemaNoise(&t, &rng);
+  ASSERT_EQ(mapping.size(), 4u);
+  std::unordered_set<std::string> new_names;
+  for (const auto& [old_name, new_name] : mapping) {
+    EXPECT_NE(old_name, new_name);
+    EXPECT_TRUE(new_names.insert(new_name).second) << new_name;
+  }
+  // The table's live names agree with the mapping.
+  for (size_t i = 0; i < t.num_columns(); ++i) {
+    EXPECT_EQ(t.column(i).name(), mapping[i].second);
+  }
+}
+
+TEST(SchemaNoiseTest, DeterministicUnderSeed) {
+  auto make = [] {
+    Table t("x");
+    Column c("customer_address", DataType::kString);
+    c.Append(Value::String("v"));
+    (void)t.AddColumn(std::move(c));
+    return t;
+  };
+  Table t1 = make();
+  Table t2 = make();
+  Rng r1(10);
+  Rng r2(10);
+  AddSchemaNoise(&t1, &r1);
+  AddSchemaNoise(&t2, &r2);
+  EXPECT_EQ(t1.column(0).name(), t2.column(0).name());
+}
+
+}  // namespace
+}  // namespace valentine

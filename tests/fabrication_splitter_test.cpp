@@ -1,0 +1,134 @@
+#include "fabrication/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace valentine {
+namespace {
+
+size_t CountShared(const std::vector<size_t>& a,
+                   const std::vector<size_t>& b) {
+  std::set<size_t> sa(a.begin(), a.end());
+  size_t shared = 0;
+  for (size_t x : b) shared += sa.count(x);
+  return shared;
+}
+
+TEST(SplitRowsTest, ZeroOverlapDisjoint) {
+  Rng rng(1);
+  auto split = SplitRowsWithOverlap(100, 0.0, &rng);
+  EXPECT_EQ(split.overlap_count, 0u);
+  EXPECT_EQ(CountShared(split.rows_a, split.rows_b), 0u);
+  EXPECT_EQ(split.rows_a.size() + split.rows_b.size(), 100u);
+}
+
+TEST(SplitRowsTest, FullOverlapIdentical) {
+  Rng rng(2);
+  auto split = SplitRowsWithOverlap(50, 1.0, &rng);
+  EXPECT_EQ(split.rows_a.size(), 50u);
+  EXPECT_EQ(split.rows_b.size(), 50u);
+  EXPECT_EQ(CountShared(split.rows_a, split.rows_b), 50u);
+}
+
+TEST(SplitRowsTest, PartialOverlapCounts) {
+  Rng rng(3);
+  auto split = SplitRowsWithOverlap(100, 0.4, &rng);
+  EXPECT_EQ(split.overlap_count, 40u);
+  EXPECT_EQ(CountShared(split.rows_a, split.rows_b), 40u);
+  // Non-shared rows split evenly: 30 each.
+  EXPECT_EQ(split.rows_a.size(), 70u);
+  EXPECT_EQ(split.rows_b.size(), 70u);
+}
+
+TEST(SplitRowsTest, AllIndicesValidAndSorted) {
+  Rng rng(4);
+  auto split = SplitRowsWithOverlap(30, 0.5, &rng);
+  for (size_t r : split.rows_a) EXPECT_LT(r, 30u);
+  EXPECT_TRUE(std::is_sorted(split.rows_a.begin(), split.rows_a.end()));
+  EXPECT_TRUE(std::is_sorted(split.rows_b.begin(), split.rows_b.end()));
+}
+
+TEST(SplitRowsTest, EmptyInput) {
+  Rng rng(5);
+  auto split = SplitRowsWithOverlap(0, 0.5, &rng);
+  EXPECT_TRUE(split.rows_a.empty());
+  EXPECT_TRUE(split.rows_b.empty());
+}
+
+TEST(SplitRowsTest, SingleRowBothSidesNonEmpty) {
+  Rng rng(6);
+  auto split = SplitRowsWithOverlap(1, 0.0, &rng);
+  EXPECT_FALSE(split.rows_a.empty());
+  EXPECT_FALSE(split.rows_b.empty());
+}
+
+TEST(SplitRowsTest, OverlapClamped) {
+  Rng rng(7);
+  auto split = SplitRowsWithOverlap(10, 2.5, &rng);
+  EXPECT_EQ(split.overlap_count, 10u);
+}
+
+TEST(SplitColumnsTest, SharedSubsetOfBoth) {
+  Rng rng(8);
+  auto split = SplitColumnsWithOverlap(10, 0.3, &rng);
+  EXPECT_EQ(split.shared.size(), 3u);
+  for (size_t s : split.shared) {
+    EXPECT_TRUE(std::count(split.cols_a.begin(), split.cols_a.end(), s));
+    EXPECT_TRUE(std::count(split.cols_b.begin(), split.cols_b.end(), s));
+  }
+}
+
+TEST(SplitColumnsTest, NonSharedColumnsPartitioned) {
+  Rng rng(9);
+  auto split = SplitColumnsWithOverlap(10, 0.4, &rng);
+  // Each non-shared column appears in exactly one shard.
+  for (size_t c = 0; c < 10; ++c) {
+    bool in_shared = std::count(split.shared.begin(), split.shared.end(), c);
+    size_t occurrences =
+        std::count(split.cols_a.begin(), split.cols_a.end(), c) +
+        std::count(split.cols_b.begin(), split.cols_b.end(), c);
+    EXPECT_EQ(occurrences, in_shared ? 2u : 1u) << c;
+  }
+}
+
+TEST(SplitColumnsTest, AtLeastOneSharedColumn) {
+  Rng rng(10);
+  auto split = SplitColumnsWithOverlap(10, 0.0, &rng);
+  EXPECT_EQ(split.shared.size(), 1u);
+}
+
+TEST(SplitColumnsTest, FullOverlap) {
+  Rng rng(11);
+  auto split = SplitColumnsWithOverlap(6, 1.0, &rng);
+  EXPECT_EQ(split.shared.size(), 6u);
+  EXPECT_EQ(split.cols_a.size(), 6u);
+  EXPECT_EQ(split.cols_b.size(), 6u);
+}
+
+TEST(SplitColumnsTest, OrderPreserved) {
+  Rng rng(12);
+  auto split = SplitColumnsWithOverlap(12, 0.5, &rng);
+  EXPECT_TRUE(std::is_sorted(split.cols_a.begin(), split.cols_a.end()));
+  EXPECT_TRUE(std::is_sorted(split.cols_b.begin(), split.cols_b.end()));
+}
+
+// Property sweep: overlap accounting is exact for every overlap level.
+class SplitOverlapPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitOverlapPropertyTest, RowOverlapExact) {
+  double overlap = GetParam();
+  Rng rng(13);
+  auto split = SplitRowsWithOverlap(200, overlap, &rng);
+  size_t expected = static_cast<size_t>(std::llround(overlap * 200));
+  EXPECT_EQ(CountShared(split.rows_a, split.rows_b), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, SplitOverlapPropertyTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,93 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(DigraphTest, AddNodesAndEdges) {
+  Digraph g;
+  NodeId a = g.AddNode("a", "table");
+  NodeId b = g.AddNode("b", "column");
+  EXPECT_EQ(g.num_nodes(), 2u);
+  g.AddEdge(a, b, "column");
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.name(a), "a");
+  EXPECT_EQ(g.kind(b), "column");
+}
+
+TEST(DigraphTest, OutAndInEdges) {
+  Digraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(a, b, "x");
+  g.AddEdge(a, c, "y");
+  ASSERT_EQ(g.OutEdges(a).size(), 2u);
+  EXPECT_EQ(g.OutEdges(a)[0].label, "x");
+  EXPECT_EQ(g.OutEdges(a)[0].target, b);
+  ASSERT_EQ(g.InEdges(c).size(), 1u);
+  EXPECT_EQ(g.InEdges(c)[0].target, a);
+  EXPECT_TRUE(g.OutEdges(b).empty());
+}
+
+TEST(DigraphTest, GetOrAddNodeDeduplicates) {
+  Digraph g;
+  NodeId a = g.GetOrAddNode("x", "value");
+  NodeId b = g.GetOrAddNode("x", "value");
+  EXPECT_EQ(a, b);
+  NodeId c = g.GetOrAddNode("x", "cid");  // different kind -> new node
+  EXPECT_NE(a, c);
+  NodeId d = g.GetOrAddNode("y", "value");
+  EXPECT_NE(a, d);
+  EXPECT_EQ(g.num_nodes(), 3u);
+}
+
+TEST(DigraphTest, GetOrAddDistinguishesKindNameBoundary) {
+  Digraph g;
+  // ("ab", "c") must differ from ("a", "bc").
+  NodeId a = g.GetOrAddNode("ab", "c");
+  NodeId b = g.GetOrAddNode("a", "bc");
+  EXPECT_NE(a, b);
+}
+
+TEST(DigraphTest, NeighborsBothDirections) {
+  Digraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(a, b, "x");
+  g.AddEdge(c, a, "y");
+  auto n = g.Neighbors(a);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0], b);
+  EXPECT_EQ(n[1], c);
+}
+
+TEST(DigraphTest, DegreeWithLabel) {
+  Digraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(a, b, "t");
+  g.AddEdge(a, c, "t");
+  g.AddEdge(a, b, "u");
+  EXPECT_EQ(g.OutDegreeWithLabel(a, "t"), 2u);
+  EXPECT_EQ(g.OutDegreeWithLabel(a, "u"), 1u);
+  EXPECT_EQ(g.OutDegreeWithLabel(a, "v"), 0u);
+  EXPECT_EQ(g.InDegreeWithLabel(b, "t"), 1u);
+  EXPECT_EQ(g.InDegreeWithLabel(b, "u"), 1u);
+}
+
+TEST(DigraphTest, MultiEdgesAllowed) {
+  Digraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(a, b, "x");
+  g.AddEdge(a, b, "x");
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegreeWithLabel(a, "x"), 2u);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,98 @@
+#include "harness/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/tpcdi.h"
+#include "io/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace valentine {
+namespace {
+
+CampaignOptions SmallCampaign() {
+  CampaignOptions opt;
+  opt.suite.row_overlaps = {0.5};
+  opt.suite.column_overlaps = {0.5};
+  opt.suite.schema_noise_variants = false;
+  opt.suite.instance_noise_variants = false;
+  opt.num_threads = 2;
+  return opt;
+}
+
+TEST(CampaignTest, RunsAllFamiliesAndAccounts) {
+  std::vector<Table> sources = {MakeTpcdiProspect(50, 81)};
+  std::vector<MethodFamily> families = {SimilarityFloodingFamily(),
+                                        JaccardLevenshteinFamily()};
+  CampaignReport report = RunCampaign(sources, families, SmallCampaign());
+  EXPECT_EQ(report.num_pairs, 6u);
+  EXPECT_EQ(report.num_configurations, 6u);  // 1 SF + 5 JL
+  EXPECT_EQ(report.num_experiments, 36u);
+  ASSERT_EQ(report.families.size(), 2u);
+  for (const auto& fr : report.families) {
+    EXPECT_EQ(fr.outcomes.size(), 6u);
+    EXPECT_FALSE(fr.by_scenario.empty());
+    EXPECT_GT(fr.avg_runtime_ms, 0.0);
+  }
+}
+
+TEST(CampaignTest, FamilyFilterRestricts) {
+  std::vector<Table> sources = {MakeTpcdiProspect(40, 82)};
+  std::vector<MethodFamily> families = {SimilarityFloodingFamily(),
+                                        JaccardLevenshteinFamily()};
+  CampaignOptions opt = SmallCampaign();
+  opt.family_filter = {"SimilarityFlooding"};
+  CampaignReport report = RunCampaign(sources, families, opt);
+  ASSERT_EQ(report.families.size(), 1u);
+  EXPECT_EQ(report.families[0].family, "SimilarityFlooding");
+  EXPECT_EQ(report.num_configurations, 1u);
+}
+
+TEST(CampaignTest, MultipleSourcesConcatenateSuites) {
+  std::vector<Table> sources = {MakeTpcdiProspect(40, 83),
+                                MakeTpcdiProspect(40, 84)};
+  CampaignReport report = RunCampaign(
+      sources, {SimilarityFloodingFamily()}, SmallCampaign());
+  EXPECT_EQ(report.num_pairs, 12u);
+}
+
+TEST(CampaignTest, EmptySuiteSafe) {
+  CampaignReport report =
+      RunCampaignOnSuite({}, {SimilarityFloodingFamily()}, {});
+  EXPECT_EQ(report.num_pairs, 0u);
+  ASSERT_EQ(report.families.size(), 1u);
+  EXPECT_TRUE(report.families[0].outcomes.empty());
+}
+
+TEST(CsvDirectoryTest, LoadsAllCsvFiles) {
+  namespace fs = std::filesystem;
+  std::string dir = ::testing::TempDir() + "/valentine_repo_test";
+  fs::create_directories(dir);
+  Table t1("a");
+  Column c1("x", DataType::kInt64);
+  c1.Append(Value::Int(1));
+  ASSERT_TRUE(t1.AddColumn(std::move(c1)).ok());
+  ASSERT_TRUE(WriteCsvFile(t1, dir + "/alpha.csv").ok());
+  ASSERT_TRUE(WriteCsvFile(t1, dir + "/beta.csv").ok());
+  {
+    std::FILE* f = std::fopen((dir + "/ignored.txt").c_str(), "w");
+    std::fputs("not a csv", f);
+    std::fclose(f);
+  }
+  auto tables = ReadCsvDirectory(dir);
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->size(), 2u);
+  EXPECT_EQ((*tables)[0].name(), "alpha");  // deterministic (sorted)
+  EXPECT_EQ((*tables)[1].name(), "beta");
+  fs::remove_all(dir);
+}
+
+TEST(CsvDirectoryTest, MissingDirectoryIsIOError) {
+  auto tables = ReadCsvDirectory("/nonexistent/repo");
+  EXPECT_FALSE(tables.ok());
+  EXPECT_EQ(tables.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace valentine

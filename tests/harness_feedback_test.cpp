@@ -1,0 +1,120 @@
+#include "harness/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/tpcdi.h"
+#include "matchers/coma.h"
+#include "metrics/metrics.h"
+
+namespace valentine {
+namespace {
+
+MatchResult MakeRanking() {
+  MatchResult r;
+  r.Add({"s", "a"}, {"t", "x"}, 0.9);
+  r.Add({"s", "b"}, {"t", "y"}, 0.8);
+  r.Add({"s", "a"}, {"t", "y"}, 0.7);
+  r.Add({"s", "c"}, {"t", "z"}, 0.6);
+  r.Sort();
+  return r;
+}
+
+TEST(FeedbackSessionTest, ConfirmPinsToTop) {
+  FeedbackSession session;
+  session.Confirm("c", "z");
+  MatchResult out = session.Apply(MakeRanking());
+  EXPECT_EQ(out[0].source.column, "c");
+  EXPECT_DOUBLE_EQ(out[0].score, 1.0);
+}
+
+TEST(FeedbackSessionTest, RejectRemoves) {
+  FeedbackSession session;
+  session.Reject("a", "x");
+  MatchResult out = session.Apply(MakeRanking());
+  for (const Match& m : out.matches()) {
+    EXPECT_FALSE(m.source.column == "a" && m.target.column == "x");
+  }
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(FeedbackSessionTest, ExclusiveConfirmationConsumesEndpoints) {
+  FeedbackSession session;
+  session.Confirm("a", "x");
+  MatchResult out = session.Apply(MakeRanking(), /*exclusive=*/true);
+  // (a, y) competes with the confirmed (a, x) and must disappear.
+  for (const Match& m : out.matches()) {
+    if (m.source.column == "a") {
+      EXPECT_EQ(m.target.column, "x");
+    }
+  }
+  EXPECT_EQ(out.size(), 3u);  // (a,x) + (b,y) + (c,z)
+}
+
+TEST(FeedbackSessionTest, NonExclusiveKeepsCompetitors) {
+  FeedbackSession session;
+  session.Confirm("a", "x");
+  MatchResult out = session.Apply(MakeRanking(), /*exclusive=*/false);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(FeedbackSessionTest, ConfirmOverridesEarlierReject) {
+  FeedbackSession session;
+  session.Reject("a", "x");
+  session.Confirm("a", "x");
+  EXPECT_TRUE(session.IsConfirmed("a", "x"));
+  EXPECT_FALSE(session.IsRejected("a", "x"));
+  EXPECT_EQ(session.num_rejected(), 0u);
+}
+
+TEST(FeedbackSessionTest, ConfirmedPairAbsentFromRankingStillAppears) {
+  FeedbackSession session;
+  session.Confirm("ghost", "phantom");
+  MatchResult out = session.Apply(MakeRanking());
+  EXPECT_EQ(out[0].source.column, "ghost");
+}
+
+TEST(SimulateReviewTest, LabelsTopUnlabeledPairs) {
+  std::vector<GroundTruthEntry> gt = {{"a", "x"}, {"b", "y"}};
+  FeedbackSession session;
+  size_t labeled = SimulateReviewRound(MakeRanking(), gt, 2, &session);
+  EXPECT_EQ(labeled, 2u);
+  EXPECT_TRUE(session.IsConfirmed("a", "x"));
+  EXPECT_TRUE(session.IsConfirmed("b", "y"));
+  // A second round skips already-labeled pairs.
+  labeled = SimulateReviewRound(MakeRanking(), gt, 2, &session);
+  EXPECT_EQ(labeled, 2u);
+  EXPECT_TRUE(session.IsRejected("a", "y"));
+  EXPECT_TRUE(session.IsRejected("c", "z"));
+}
+
+TEST(SimulateReviewTest, FeedbackMonotonicallyImprovesRecall) {
+  // End-to-end oracle loop on a fabricated noisy pair: each review
+  // round must not decrease Recall@|GT| (the §IX human-in-the-loop
+  // workflow).
+  Table original = MakeTpcdiProspect(80, 61);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kUnionable;
+  fab.noisy_schema = true;
+  fab.seed = 19;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+
+  ComaOptions copt;
+  copt.selection = ComaSelection::kAll;
+  ComaMatcher matcher(copt);
+  MatchResult base = matcher.Match(pair.source, pair.target);
+
+  FeedbackSession session;
+  double prev = RecallAtGroundTruth(base, pair.ground_truth);
+  for (int round = 0; round < 5; ++round) {
+    MatchResult current = session.Apply(base);
+    SimulateReviewRound(current, pair.ground_truth, 5, &session);
+    double recall =
+        RecallAtGroundTruth(session.Apply(base), pair.ground_truth);
+    EXPECT_GE(recall, prev - 1e-9) << "round " << round;
+    prev = recall;
+  }
+  EXPECT_GT(prev, RecallAtGroundTruth(base, pair.ground_truth));
+}
+
+}  // namespace
+}  // namespace valentine

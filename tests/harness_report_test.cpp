@@ -1,0 +1,82 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(PrintTableTest, AlignsColumnsAndBorders) {
+  testing::internal::CaptureStdout();
+  PrintTable({"name", "value"}, {{"alpha", "1"}, {"longer_name", "22"}});
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha       | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| longer_name | 22    |"), std::string::npos);
+  // Border lines present (top + below-header + bottom).
+  size_t separator_lines = out[0] == '+' ? 1 : 0;
+  size_t pos = 0;
+  while ((pos = out.find("\n+", pos)) != std::string::npos) {
+    ++separator_lines;
+    pos += 2;
+  }
+  EXPECT_EQ(separator_lines, 3u);
+}
+
+TEST(PrintTableTest, ShortRowsPadded) {
+  testing::internal::CaptureStdout();
+  PrintTable({"a", "b", "c"}, {{"only"}});
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(PrintScenarioStatsTest, OneRowPerScenario) {
+  std::vector<ScenarioStats> stats;
+  ScenarioStats s;
+  s.scenario = Scenario::kUnionable;
+  s.recall.min = 0.2;
+  s.recall.median = 0.5;
+  s.recall.max = 0.9;
+  s.recall.count = 7;
+  stats.push_back(s);
+  s.scenario = Scenario::kJoinable;
+  stats.push_back(s);
+
+  testing::internal::CaptureStdout();
+  PrintScenarioStats("TestMethod", stats);
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("TestMethod"), std::string::npos);
+  EXPECT_NE(out.find("Unionable"), std::string::npos);
+  EXPECT_NE(out.find("Joinable"), std::string::npos);
+  EXPECT_NE(out.find("med=0.50"), std::string::npos);
+  EXPECT_NE(out.find("(n=7)"), std::string::npos);
+}
+
+TEST(RenderWhiskerTest, MarkersOrdered) {
+  Summary s;
+  s.min = 0.25;
+  s.median = 0.5;
+  s.max = 0.75;
+  std::string bar = RenderWhisker(s, 41);
+  size_t lo = bar.find('|');
+  size_t mid = bar.find('o');
+  size_t hi = bar.rfind('|');
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+  // Dashes connect the whiskers.
+  for (size_t i = lo + 1; i < mid; ++i) {
+    EXPECT_TRUE(bar[i] == '-' || bar[i] == 'o') << bar;
+  }
+}
+
+TEST(RenderWhiskerTest, ClampsOutOfRangeValues) {
+  Summary s;
+  s.min = -0.5;
+  s.median = 0.5;
+  s.max = 1.5;
+  std::string bar = RenderWhisker(s, 21);
+  EXPECT_EQ(bar[1], '|');                 // clamped to left edge
+  EXPECT_EQ(bar[bar.size() - 2], '|');    // clamped to right edge
+}
+
+}  // namespace
+}  // namespace valentine

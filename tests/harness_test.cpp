@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "datasets/chembl.h"
+#include "datasets/tpcdi.h"
+#include "harness/experiment.h"
+#include "harness/param_grid.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "matchers/jaccard_levenshtein.h"
+
+namespace valentine {
+namespace {
+
+TEST(ParamGridTest, TableIICounts) {
+  EXPECT_EQ(CupidFamily().grid.size(), 96u);
+  EXPECT_EQ(SimilarityFloodingFamily().grid.size(), 1u);
+  EXPECT_EQ(ComaFamily().grid.size(), 2u);
+  EXPECT_EQ(DistributionFamily1().grid.size(), 9u);
+  EXPECT_EQ(DistributionFamily2().grid.size(), 9u);
+  Ontology efo = MakeEfoLikeOntology();
+  EXPECT_EQ(SemPropFamily(&efo).grid.size(), 12u);
+  EXPECT_EQ(EmbdiFamily().grid.size(), 1u);
+  EXPECT_EQ(JaccardLevenshteinFamily().grid.size(), 5u);
+}
+
+TEST(ParamGridTest, TotalIs135WithOntology) {
+  Ontology efo = MakeEfoLikeOntology();
+  EXPECT_EQ(TotalConfigurations(AllFamilies(&efo)), 135u);
+}
+
+TEST(ParamGridTest, WithoutOntologySemPropExcluded) {
+  EXPECT_EQ(TotalConfigurations(AllFamilies(nullptr)), 123u);
+}
+
+TEST(ParamGridTest, DescriptionsNonEmptyAndUniqueWithinFamily) {
+  for (const auto& family : AllFamilies(nullptr)) {
+    std::unordered_set<std::string> seen;
+    for (const auto& cm : family.grid) {
+      EXPECT_FALSE(cm.description.empty()) << family.name;
+      EXPECT_TRUE(seen.insert(cm.description).second)
+          << family.name << ": " << cm.description;
+      ASSERT_NE(cm.matcher, nullptr);
+    }
+  }
+}
+
+DatasetPair SmallPair() {
+  Table original = MakeTpcdiProspect(80, 3);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kUnionable;
+  fab.row_overlap = 0.8;
+  fab.seed = 17;
+  return FabricateDatasetPair(original, fab).ValueOrDie();
+}
+
+TEST(ExperimentTest, ProducesScoredResult) {
+  DatasetPair pair = SmallPair();
+  JaccardLevenshteinMatcher m;
+  ExperimentResult r = RunExperiment(m, "th=0.5", pair);
+  EXPECT_EQ(r.method, "JaccardLevenshtein");
+  EXPECT_EQ(r.config, "th=0.5");
+  EXPECT_EQ(r.pair_id, pair.id);
+  EXPECT_EQ(r.ground_truth_size, pair.ground_truth.size());
+  EXPECT_GE(r.recall_at_gt, 0.0);
+  EXPECT_LE(r.recall_at_gt, 1.0);
+  EXPECT_GT(r.runtime_ms, 0.0);
+}
+
+TEST(RunnerTest, SuiteCoversAllScenariosAndVariants) {
+  Table original = MakeTpcdiProspect(60, 4);
+  PairSuiteOptions opt;
+  opt.row_overlaps = {0.5};
+  opt.column_overlaps = {0.5};
+  auto suite = BuildFabricatedSuite(original, opt);
+  // unionable 1x2x2 + view-union 1x2x2 + join 1x2x2 + semjoin 1x2x2 = 16.
+  EXPECT_EQ(suite.size(), 16u);
+  size_t per_scenario[4] = {0, 0, 0, 0};
+  for (const auto& p : suite) {
+    ++per_scenario[static_cast<int>(p.scenario)];
+  }
+  for (size_t count : per_scenario) EXPECT_EQ(count, 4u);
+}
+
+TEST(RunnerTest, SuiteWithoutNoiseVariantsSmaller) {
+  Table original = MakeTpcdiProspect(60, 4);
+  PairSuiteOptions opt;
+  opt.row_overlaps = {0.5};
+  opt.column_overlaps = {0.5};
+  opt.schema_noise_variants = false;
+  opt.instance_noise_variants = false;
+  auto suite = BuildFabricatedSuite(original, opt);
+  // One unionable + one view-unionable + two (semantically-)joinable
+  // each (vertical-only and horizontal-variant splits).
+  EXPECT_EQ(suite.size(), 6u);
+}
+
+TEST(RunnerTest, BestOfGridPicksMaxRecall) {
+  DatasetPair pair = SmallPair();
+  MethodFamily family = JaccardLevenshteinFamily();
+  FamilyPairOutcome out = RunFamilyOnPair(family, pair);
+  EXPECT_EQ(out.runs, family.grid.size());
+  EXPECT_FALSE(out.best_config.empty());
+  // best_recall is indeed the max over configs.
+  double max_recall = 0.0;
+  for (const auto& cm : family.grid) {
+    ExperimentResult r = RunExperiment(*cm.matcher, cm.description, pair);
+    max_recall = std::max(max_recall, r.recall_at_gt);
+  }
+  EXPECT_DOUBLE_EQ(out.best_recall, max_recall);
+}
+
+TEST(RunnerTest, AggregateByScenarioBuckets) {
+  std::vector<FamilyPairOutcome> outcomes;
+  FamilyPairOutcome a;
+  a.scenario = Scenario::kUnionable;
+  a.best_recall = 0.4;
+  outcomes.push_back(a);
+  a.best_recall = 0.6;
+  outcomes.push_back(a);
+  a.scenario = Scenario::kJoinable;
+  a.best_recall = 1.0;
+  outcomes.push_back(a);
+  auto stats = AggregateByScenario(outcomes);
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& st : stats) {
+    if (st.scenario == Scenario::kUnionable) {
+      EXPECT_DOUBLE_EQ(st.recall.median, 0.5);
+      EXPECT_EQ(st.recall.count, 2u);
+    } else {
+      EXPECT_DOUBLE_EQ(st.recall.median, 1.0);
+    }
+  }
+}
+
+TEST(RunnerTest, AverageRuntimeMsPerRun) {
+  std::vector<FamilyPairOutcome> outcomes(2);
+  outcomes[0].total_ms = 10.0;
+  outcomes[0].runs = 2;
+  outcomes[1].total_ms = 20.0;
+  outcomes[1].runs = 3;
+  EXPECT_DOUBLE_EQ(AverageRuntimeMsPerRun(outcomes), 6.0);
+  EXPECT_DOUBLE_EQ(AverageRuntimeMsPerRun({}), 0.0);
+}
+
+TEST(ReportTest, RenderWhiskerPlacesMarkers) {
+  Summary s;
+  s.min = 0.0;
+  s.median = 0.5;
+  s.max = 1.0;
+  std::string bar = RenderWhisker(s, 21);
+  // 23 chars total with brackets.
+  EXPECT_EQ(bar.size(), 23u);
+  EXPECT_EQ(bar.front(), '[');
+  EXPECT_EQ(bar.back(), ']');
+  EXPECT_EQ(bar[1], '|');       // min at left edge
+  EXPECT_EQ(bar[11], 'o');      // median centered
+  EXPECT_EQ(bar[21], '|');      // max at right edge
+}
+
+TEST(ReportTest, RenderWhiskerDegenerate) {
+  Summary s;
+  s.min = s.median = s.max = 1.0;
+  std::string bar = RenderWhisker(s, 10);
+  EXPECT_EQ(bar[bar.size() - 2], 'o');  // all markers collapse at max
+}
+
+TEST(ReportTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+}  // namespace
+}  // namespace valentine

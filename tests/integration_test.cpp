@@ -1,0 +1,167 @@
+// End-to-end integration tests: the full Valentine pipeline — generate
+// source tables, fabricate scenario pairs, run matchers, score with
+// Recall@|GT| — plus cross-module invariants the paper's findings
+// depend on.
+
+#include <gtest/gtest.h>
+
+#include "datasets/magellan.h"
+#include "datasets/tpcdi.h"
+#include "datasets/wikidata.h"
+#include "harness/runner.h"
+#include "io/csv.h"
+#include "matchers/coma.h"
+#include "matchers/cupid.h"
+#include "matchers/distribution_based.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "matchers/similarity_flooding.h"
+#include "metrics/metrics.h"
+
+namespace valentine {
+namespace {
+
+double Recall(const ColumnMatcher& m, const DatasetPair& p) {
+  return RecallAtGroundTruth(m.Match(p.source, p.target), p.ground_truth);
+}
+
+TEST(IntegrationTest, VerbatimUnionablePairIsEasyForEveryone) {
+  Table original = MakeTpcdiProspect(150, 21);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kUnionable;
+  fab.row_overlap = 0.7;
+  fab.seed = 1;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+
+  EXPECT_GE(Recall(CupidMatcher(), pair), 0.9);
+  EXPECT_GE(Recall(SimilarityFloodingMatcher(), pair), 0.9);
+  EXPECT_GE(Recall(ComaMatcher(), pair), 0.9);
+}
+
+TEST(IntegrationTest, NoisySchemataHurtSchemaBasedMethods) {
+  Table original = MakeTpcdiProspect(150, 22);
+  FabricationOptions verbatim;
+  verbatim.scenario = Scenario::kUnionable;
+  verbatim.seed = 2;
+  FabricationOptions noisy = verbatim;
+  noisy.noisy_schema = true;
+  DatasetPair p_verbatim = FabricateDatasetPair(original, verbatim).ValueOrDie();
+  DatasetPair p_noisy = FabricateDatasetPair(original, noisy).ValueOrDie();
+
+  CupidMatcher cupid;
+  EXPECT_GT(Recall(cupid, p_verbatim), Recall(cupid, p_noisy));
+}
+
+TEST(IntegrationTest, InstanceMethodsUnaffectedBySchemaNoise) {
+  Table original = MakeTpcdiProspect(150, 23);
+  FabricationOptions noisy;
+  noisy.scenario = Scenario::kJoinable;
+  noisy.column_overlap = 0.5;
+  noisy.noisy_schema = true;
+  noisy.seed = 3;
+  DatasetPair pair = FabricateDatasetPair(original, noisy).ValueOrDie();
+  JaccardLevenshteinOptions o;
+  o.max_distinct_values = 100;
+  EXPECT_GE(Recall(JaccardLevenshteinMatcher(o), pair), 0.9);
+  EXPECT_GE(Recall(DistributionBasedMatcher(), pair), 0.9);
+}
+
+TEST(IntegrationTest, JoinableEasierThanSemanticallyJoinableForInstances) {
+  Table original = MakeTpcdiProspect(200, 24);
+  FabricationOptions join;
+  join.scenario = Scenario::kJoinable;
+  join.column_overlap = 0.5;
+  join.seed = 4;
+  FabricationOptions sem = join;
+  sem.scenario = Scenario::kSemanticallyJoinable;
+  DatasetPair p_join = FabricateDatasetPair(original, join).ValueOrDie();
+  DatasetPair p_sem = FabricateDatasetPair(original, sem).ValueOrDie();
+
+  JaccardLevenshteinOptions o;
+  o.threshold = 0.0;  // strict equality: semantic noise must hurt
+  o.max_distinct_values = 100;
+  JaccardLevenshteinMatcher jl(o);
+  EXPECT_GE(Recall(jl, p_join), Recall(jl, p_sem));
+}
+
+TEST(IntegrationTest, FullGridRunOnOnePairProducesBoundedRecalls) {
+  Table original = MakeTpcdiProspect(60, 25);
+  PairSuiteOptions opt;
+  opt.row_overlaps = {0.5};
+  opt.column_overlaps = {0.5};
+  opt.schema_noise_variants = false;
+  opt.instance_noise_variants = false;
+  auto suite = BuildFabricatedSuite(original, opt);
+  ASSERT_EQ(suite.size(), 6u);
+  for (const MethodFamily& family :
+       {SimilarityFloodingFamily(), ComaFamily()}) {
+    for (const auto& outcome : RunFamilyOnSuite(family, suite)) {
+      EXPECT_GE(outcome.best_recall, 0.0);
+      EXPECT_LE(outcome.best_recall, 1.0);
+      EXPECT_EQ(outcome.family, family.name);
+    }
+  }
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesMatcherBehaviour) {
+  // Fabricate, serialize both shards to CSV, reload, and verify the
+  // matcher ranking is unchanged — the suite's persistence path.
+  Table original = MakeTpcdiProspect(80, 26);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kUnionable;
+  fab.seed = 6;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+
+  auto src2 = ReadCsvString(WriteCsvString(pair.source), pair.source.name());
+  auto tgt2 = ReadCsvString(WriteCsvString(pair.target), pair.target.name());
+  ASSERT_TRUE(src2.ok());
+  ASSERT_TRUE(tgt2.ok());
+
+  JaccardLevenshteinOptions o;
+  o.max_distinct_values = 100;
+  JaccardLevenshteinMatcher m(o);
+  MatchResult before = m.Match(pair.source, pair.target);
+  MatchResult after = m.Match(*src2, *tgt2);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].source.column, after[i].source.column);
+    EXPECT_EQ(before[i].target.column, after[i].target.column);
+    EXPECT_NEAR(before[i].score, after[i].score, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, WikidataInstanceBeatsSchemaOnUnionable) {
+  // Fig. 7's headline: instance-based methods beat schema-based ones on
+  // the curated pairs, whose column names differ but values overlap.
+  auto pairs = MakeWikidataPairs(150, 7);
+  const DatasetPair& unionable = pairs[0];
+  ComaOptions inst;
+  inst.strategy = ComaStrategy::kInstances;
+  double instance_recall = Recall(ComaMatcher(inst), unionable);
+  double schema_recall = Recall(SimilarityFloodingMatcher(), unionable);
+  EXPECT_GE(instance_recall, schema_recall);
+}
+
+TEST(IntegrationTest, MagellanSchemaMethodsPerfect) {
+  // Table III: identical attribute names -> schema-based methods 1.0.
+  auto pairs = MakeMagellanPairs(80, 9);
+  ComaMatcher coma_schema;
+  for (const auto& p : pairs) {
+    EXPECT_DOUBLE_EQ(Recall(coma_schema, p), 1.0) << p.id;
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  auto run_once = [] {
+    Table original = MakeTpcdiProspect(60, 31);
+    FabricationOptions fab;
+    fab.scenario = Scenario::kViewUnionable;
+    fab.noisy_schema = true;
+    fab.seed = 8;
+    DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+    return Recall(ComaMatcher(), pair);
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,149 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace valentine {
+namespace {
+
+TEST(CsvReadTest, SimpleWithHeaderAndTypes) {
+  auto r = ReadCsvString("id,name,score\n1,ann,2.5\n2,bob,3.0\n", "t");
+  ASSERT_TRUE(r.ok());
+  const Table& t = *r;
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).type(), DataType::kInt64);
+  EXPECT_EQ(t.column(1).type(), DataType::kString);
+  EXPECT_EQ(t.column(2).type(), DataType::kFloat64);
+  EXPECT_EQ(t.column(1)[1].AsString(), "bob");
+}
+
+TEST(CsvReadTest, QuotedFieldsWithCommasAndNewlines) {
+  auto r = ReadCsvString(
+      "a,b\n\"x,y\",\"line1\nline2\"\n\"quote\"\"inside\",plain\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->column(0)[0].AsString(), "x,y");
+  EXPECT_EQ(r->column(1)[0].AsString(), "line1\nline2");
+  EXPECT_EQ(r->column(0)[1].AsString(), "quote\"inside");
+}
+
+TEST(CsvReadTest, EmptyCellsBecomeNulls) {
+  auto r = ReadCsvString("a,b\n1,\n,2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->column(1)[0].is_null());
+  EXPECT_TRUE(r->column(0)[1].is_null());
+}
+
+TEST(CsvReadTest, CrlfTolerated) {
+  auto r = ReadCsvString("a,b\r\n1,2\r\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->column(1)[0].int_value(), 2);
+}
+
+TEST(CsvReadTest, NoTrailingNewline) {
+  auto r = ReadCsvString("a\n1", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
+TEST(CsvReadTest, RaggedRowsRejected) {
+  auto r = ReadCsvString("a,b\n1\n", "t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, UnterminatedQuoteRejected) {
+  auto r = ReadCsvString("a\n\"broken\n", "t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvReadTest, NoHeaderOption) {
+  CsvReadOptions opt;
+  opt.has_header = false;
+  auto r = ReadCsvString("1,2\n3,4\n", "t", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).name(), "col0");
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, NoTypeInference) {
+  CsvReadOptions opt;
+  opt.infer_types = false;
+  auto r = ReadCsvString("a\n42\n", "t", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0)[0].kind(), DataType::kString);
+}
+
+TEST(CsvReadTest, MixedIntFloatWidensToFloat) {
+  auto r = ReadCsvString("a\n1\n2.5\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).type(), DataType::kFloat64);
+}
+
+TEST(CsvReadTest, MixedNumberStringWidensToString) {
+  auto r = ReadCsvString("a\n1\nabc\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).type(), DataType::kString);
+}
+
+TEST(CsvReadTest, SemicolonDelimiter) {
+  CsvReadOptions opt;
+  opt.delimiter = ';';
+  auto r = ReadCsvString("a;b\n1;2\n", "t", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 2u);
+}
+
+TEST(CsvReadTest, EmptyInput) {
+  auto r = ReadCsvString("", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 0u);
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  Table t("t");
+  Column a("col,a", DataType::kString);
+  a.Append(Value::String("plain"));
+  a.Append(Value::String("with,comma"));
+  a.Append(Value::String("with\"quote"));
+  ASSERT_TRUE(t.AddColumn(std::move(a)).ok());
+  Column b("b", DataType::kInt64);
+  b.Append(Value::Int(1));
+  b.Append(Value::Int(2));
+  b.Append(Value::Null());
+  ASSERT_TRUE(t.AddColumn(std::move(b)).ok());
+
+  std::string csv = WriteCsvString(t);
+  auto r = ReadCsvString(csv, "t2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->column(0).name(), "col,a");
+  EXPECT_EQ(r->column(0)[1].AsString(), "with,comma");
+  EXPECT_EQ(r->column(0)[2].AsString(), "with\"quote");
+  EXPECT_TRUE(r->column(1)[2].is_null());
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  Table t("t");
+  Column a("x", DataType::kInt64);
+  a.Append(Value::Int(7));
+  ASSERT_TRUE(t.AddColumn(std::move(a)).ok());
+  std::string path = ::testing::TempDir() + "/valentine_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto r = ReadCsvFile(path, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0)[0].int_value(), 7);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/nope.csv", "t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,120 @@
+#include "knowledge/cooc_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "matchers/embdi.h"
+#include "metrics/metrics.h"
+
+namespace valentine {
+namespace {
+
+std::vector<std::vector<std::string>> TopicCorpus() {
+  std::vector<std::vector<std::string>> sentences;
+  for (int i = 0; i < 150; ++i) {
+    sentences.push_back({"cat", "dog", "pet", "fur", "cat", "dog"});
+    sentences.push_back({"sql", "table", "query", "index", "sql", "table"});
+  }
+  return sentences;
+}
+
+TEST(CoocEmbeddingTest, BuildsVocabulary) {
+  CoocOptions o;
+  o.dimensions = 16;
+  CoocEmbedding model(o);
+  model.Train(TopicCorpus());
+  EXPECT_EQ(model.vocab_size(), 8u);
+  EXPECT_NE(model.Vector("cat"), nullptr);
+  EXPECT_EQ(model.Vector("banana"), nullptr);
+  EXPECT_EQ(model.Vector("cat")->size(), 16u);
+}
+
+TEST(CoocEmbeddingTest, CooccurringWordsCloser) {
+  CoocOptions o;
+  o.dimensions = 32;
+  CoocEmbedding model(o);
+  model.Train(TopicCorpus());
+  double within = CosineSimilarity(*model.Vector("cat"), *model.Vector("dog"));
+  double across = CosineSimilarity(*model.Vector("cat"), *model.Vector("sql"));
+  EXPECT_GT(within, across);
+}
+
+TEST(CoocEmbeddingTest, Deterministic) {
+  auto corpus = TopicCorpus();
+  CoocOptions o;
+  o.dimensions = 16;
+  CoocEmbedding m1(o);
+  CoocEmbedding m2(o);
+  m1.Train(corpus);
+  m2.Train(corpus);
+  EXPECT_EQ(*m1.Vector("cat"), *m2.Vector("cat"));
+}
+
+TEST(CoocEmbeddingTest, VectorsUnitNorm) {
+  CoocEmbedding model;
+  model.Train(TopicCorpus());
+  double norm = 0.0;
+  for (float x : *model.Vector("pet")) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(CoocEmbeddingTest, MinCountFilters) {
+  CoocOptions o;
+  o.min_count = 5;
+  CoocEmbedding model(o);
+  model.Train({{"frequent", "frequent", "frequent", "frequent", "frequent",
+                "rare"}});
+  EXPECT_NE(model.Vector("frequent"), nullptr);
+  EXPECT_EQ(model.Vector("rare"), nullptr);
+}
+
+TEST(CoocEmbeddingTest, EmptyCorpusSafe) {
+  CoocEmbedding model;
+  model.Train({});
+  EXPECT_EQ(model.vocab_size(), 0u);
+}
+
+TEST(EmbdiPpmiTest, PpmiTrainingProducesComparableMatcher) {
+  // Both trainers must solve the easy shared-pool case.
+  Rng rng(3);
+  auto make = [&](const std::string& name, const std::string& c1,
+                  const std::string& c2) {
+    Table t(name);
+    for (const std::string& col : {c1, c2}) {
+      Column c(col, DataType::kString);
+      for (int r = 0; r < 60; ++r) {
+        c.Append(Value::String("pool_" + col.substr(col.size() - 1) + "_" +
+                               std::to_string(rng.Index(10))));
+      }
+      (void)t.AddColumn(std::move(c));
+    }
+    return t;
+  };
+  // Column name suffix determines the pool: a/x share, b/y share.
+  Table src = make("s", "col_a", "col_b");
+  Table tgt = make("t", "col2_a", "col2_b");
+
+  for (EmbdiTraining training :
+       {EmbdiTraining::kWord2Vec, EmbdiTraining::kPpmi}) {
+    EmbdiOptions o;
+    o.training = training;
+    o.max_rows = 60;
+    o.walks_per_node = 2;
+    o.sentence_length = 15;
+    o.dimensions = 24;
+    o.epochs = 3;
+    MatchResult r = EmbdiMatcher(o).Match(src, tgt);
+    ASSERT_EQ(r.size(), 4u);
+    double correct = 0.0;
+    double crossed = 0.0;
+    for (const Match& m : r.matches()) {
+      bool ok = m.source.column.back() == m.target.column.back();
+      (ok ? correct : crossed) += m.score;
+    }
+    EXPECT_GT(correct, crossed)
+        << (training == EmbdiTraining::kWord2Vec ? "word2vec" : "ppmi");
+  }
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,88 @@
+#include "knowledge/hash_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace valentine {
+namespace {
+
+TEST(CosineSimilarityTest, BasicCases) {
+  Embedding a = {1.0f, 0.0f};
+  Embedding b = {0.0f, 1.0f};
+  Embedding c = {2.0f, 0.0f};
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0, 1e-6);
+}
+
+TEST(CosineSimilarityTest, ZeroAndMismatched) {
+  Embedding zero = {0.0f, 0.0f};
+  Embedding a = {1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, a), 0.0);
+  Embedding longer = {1.0f, 1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, longer), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 0.0);
+}
+
+TEST(HashEmbedderTest, Deterministic) {
+  HashEmbedder e1(32, 7);
+  HashEmbedder e2(32, 7);
+  EXPECT_EQ(e1.EmbedWord("protein"), e2.EmbedWord("protein"));
+}
+
+TEST(HashEmbedderTest, SeedChangesVectors) {
+  HashEmbedder e1(32, 7);
+  HashEmbedder e2(32, 8);
+  EXPECT_NE(e1.EmbedWord("protein"), e2.EmbedWord("protein"));
+}
+
+TEST(HashEmbedderTest, WordVectorsAreUnitNorm) {
+  HashEmbedder e(64);
+  Embedding v = e.EmbedWord("organism");
+  double norm = 0.0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-5);
+}
+
+TEST(HashEmbedderTest, EmptyWordIsZero) {
+  HashEmbedder e(16);
+  Embedding v = e.EmbedWord("");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(HashEmbedderTest, OrthographicSimilarityCaptured) {
+  // Shared trigrams pull orthographically similar words together; this
+  // is the designed behaviour (and the designed *failure* for purely
+  // semantic relations — see semprop.h).
+  HashEmbedder e(64);
+  double close = CosineSimilarity(e.EmbedWord("organism"),
+                                  e.EmbedWord("organisms"));
+  double far = CosineSimilarity(e.EmbedWord("organism"),
+                                e.EmbedWord("spreadsheet"));
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, 0.5);
+}
+
+TEST(HashEmbedderTest, CaseInsensitive) {
+  HashEmbedder e(32);
+  EXPECT_EQ(e.EmbedWord("Assay"), e.EmbedWord("assay"));
+}
+
+TEST(HashEmbedderTest, TextIsMeanOfTokens) {
+  HashEmbedder e(32);
+  Embedding one = e.EmbedText("assay");
+  Embedding same_twice = e.EmbedText("assay assay");
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_NEAR(one[i], same_twice[i], 1e-6);
+  }
+}
+
+TEST(HashEmbedderTest, EmptyTextIsZero) {
+  HashEmbedder e(16);
+  Embedding v = e.EmbedText("  ...  ");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,78 @@
+#include "knowledge/thesaurus.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(ThesaurusTest, SynonymLookup) {
+  Thesaurus t;
+  t.AddSynonymSet({"car", "vehicle", "automobile"});
+  EXPECT_TRUE(t.AreSynonyms("car", "vehicle"));
+  EXPECT_TRUE(t.AreSynonyms("vehicle", "automobile"));
+  EXPECT_FALSE(t.AreSynonyms("car", "boat"));
+  EXPECT_TRUE(t.AreSynonyms("boat", "boat"));  // identity always true
+}
+
+TEST(ThesaurusTest, MergingOverlappingSets) {
+  Thesaurus t;
+  t.AddSynonymSet({"a", "b"});
+  t.AddSynonymSet({"b", "c"});
+  EXPECT_TRUE(t.AreSynonyms("a", "c"));
+  EXPECT_EQ(t.num_synonym_sets(), 1u);
+}
+
+TEST(ThesaurusTest, AbbreviationExpansion) {
+  Thesaurus t;
+  t.AddAbbreviation("addr", "address");
+  EXPECT_EQ(t.Expand("addr"), "address");
+  EXPECT_EQ(t.Expand("unknown"), "unknown");
+}
+
+TEST(ThesaurusTest, HypernymRelatedness) {
+  Thesaurus t;
+  t.AddSynonymSet({"address", "location"});
+  t.AddHypernym("city", "address");
+  t.AddHypernym("zip", "address");
+  EXPECT_DOUBLE_EQ(t.Relatedness("city", "address"), 0.8);
+  EXPECT_DOUBLE_EQ(t.Relatedness("city", "location"), 0.8);  // via synonym
+  EXPECT_DOUBLE_EQ(t.Relatedness("city", "zip"), 0.8);  // shared parent
+  EXPECT_DOUBLE_EQ(t.Relatedness("city", "banana"), 0.0);
+}
+
+TEST(ThesaurusTest, SynonymRelatednessIsOne) {
+  Thesaurus t;
+  t.AddSynonymSet({"income", "salary"});
+  EXPECT_DOUBLE_EQ(t.Relatedness("income", "salary"), 1.0);
+  EXPECT_DOUBLE_EQ(t.Relatedness("income", "income"), 1.0);
+}
+
+TEST(ThesaurusTest, SynonymsListIncludesSelf) {
+  Thesaurus t;
+  t.AddSynonymSet({"x", "y"});
+  auto syns = t.Synonyms("x");
+  EXPECT_EQ(syns.size(), 2u);
+  EXPECT_TRUE(t.Synonyms("nope").empty());
+}
+
+TEST(DefaultThesaurusTest, CoversCoreSchemaVocabulary) {
+  const Thesaurus& t = Thesaurus::Default();
+  EXPECT_TRUE(t.AreSynonyms("client", "customer"));
+  EXPECT_TRUE(t.AreSynonyms("income", "salary"));
+  EXPECT_TRUE(t.AreSynonyms("phone", "telephone"));
+  EXPECT_TRUE(t.AreSynonyms("spouse", "partner"));
+  EXPECT_TRUE(t.AreSynonyms("gender", "sex"));
+  EXPECT_EQ(t.Expand("dob"), "birthdate");
+  EXPECT_EQ(t.Expand("cntr"), "country");
+  EXPECT_GT(t.Relatedness("city", "address"), 0.5);
+}
+
+TEST(DefaultThesaurusTest, CaseNormalizedStorage) {
+  // Default() registers words lowercase; lookups are raw tokens, which
+  // the matchers lowercase during tokenization.
+  const Thesaurus& t = Thesaurus::Default();
+  EXPECT_TRUE(t.AreSynonyms("country", "nation"));
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,95 @@
+#include "knowledge/word2vec.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+// Two "topics" whose words only co-occur within their topic; embeddings
+// should separate them.
+std::vector<std::vector<std::string>> TopicCorpus() {
+  std::vector<std::vector<std::string>> sentences;
+  for (int i = 0; i < 120; ++i) {
+    sentences.push_back({"cat", "dog", "pet", "fur", "cat", "dog"});
+    sentences.push_back({"sql", "table", "query", "index", "sql", "table"});
+  }
+  return sentences;
+}
+
+TEST(Word2VecTest, BuildsVocabulary) {
+  Word2VecOptions o;
+  o.dimensions = 16;
+  o.epochs = 1;
+  Word2Vec model(o);
+  model.Train(TopicCorpus());
+  EXPECT_EQ(model.vocab_size(), 8u);
+  EXPECT_NE(model.Vector("cat"), nullptr);
+  EXPECT_EQ(model.Vector("banana"), nullptr);
+}
+
+TEST(Word2VecTest, VectorDimensions) {
+  Word2VecOptions o;
+  o.dimensions = 24;
+  o.epochs = 1;
+  Word2Vec model(o);
+  model.Train(TopicCorpus());
+  EXPECT_EQ(model.Vector("dog")->size(), 24u);
+}
+
+TEST(Word2VecTest, CooccurringWordsCloserThanCrossTopic) {
+  Word2VecOptions o;
+  o.dimensions = 32;
+  o.epochs = 8;
+  o.seed = 5;
+  Word2Vec model(o);
+  model.Train(TopicCorpus());
+  double within =
+      CosineSimilarity(*model.Vector("cat"), *model.Vector("dog"));
+  double across =
+      CosineSimilarity(*model.Vector("cat"), *model.Vector("sql"));
+  EXPECT_GT(within, across);
+}
+
+TEST(Word2VecTest, DeterministicUnderSeed) {
+  auto corpus = TopicCorpus();
+  Word2VecOptions o;
+  o.dimensions = 16;
+  o.epochs = 2;
+  o.seed = 11;
+  Word2Vec m1(o);
+  Word2Vec m2(o);
+  m1.Train(corpus);
+  m2.Train(corpus);
+  EXPECT_EQ(*m1.Vector("cat"), *m2.Vector("cat"));
+}
+
+TEST(Word2VecTest, MinCountFiltersRareWords) {
+  std::vector<std::vector<std::string>> corpus = {
+      {"common", "common", "common", "rare"},
+      {"common", "common", "common"},
+  };
+  Word2VecOptions o;
+  o.min_count = 2;
+  o.dimensions = 8;
+  o.epochs = 1;
+  Word2Vec model(o);
+  model.Train(corpus);
+  EXPECT_NE(model.Vector("common"), nullptr);
+  EXPECT_EQ(model.Vector("rare"), nullptr);
+}
+
+TEST(Word2VecTest, EmptyCorpusIsSafe) {
+  Word2Vec model;
+  model.Train({});
+  EXPECT_EQ(model.vocab_size(), 0u);
+  EXPECT_EQ(model.Vector("x"), nullptr);
+}
+
+TEST(Word2VecTest, SingleWordCorpusIsSafe) {
+  Word2Vec model;
+  model.Train({{"only"}});
+  EXPECT_EQ(model.vocab_size(), 1u);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,207 @@
+// Tests for COMA's combination machinery: aggregation, direction, and
+// selection strategies over the first-line matcher scores.
+
+#include <gtest/gtest.h>
+
+#include "matchers/coma.h"
+
+namespace valentine {
+namespace {
+
+Table MakeTable(const std::string& name,
+                std::vector<std::pair<std::string,
+                                      std::vector<std::string>>> cols) {
+  Table t(name);
+  for (auto& [col_name, values] : cols) {
+    Column c(col_name, DataType::kString);
+    for (auto& v : values) c.Append(Value::String(std::move(v)));
+    EXPECT_TRUE(t.AddColumn(std::move(c)).ok());
+  }
+  return t;
+}
+
+TEST(ComaAggregationTest, StrategiesOrdered) {
+  std::vector<ComaComponentScore> scores = {
+      {"a", 0.2, 1.0}, {"b", 0.8, 3.0}, {"c", 0.5, 1.0}};
+  double mx = ComaMatcher::Aggregate(scores, ComaAggregation::kMax);
+  double mn = ComaMatcher::Aggregate(scores, ComaAggregation::kMin);
+  double avg = ComaMatcher::Aggregate(scores, ComaAggregation::kAverage);
+  double wavg = ComaMatcher::Aggregate(scores, ComaAggregation::kWeighted);
+  EXPECT_DOUBLE_EQ(mx, 0.8);
+  EXPECT_DOUBLE_EQ(mn, 0.2);
+  EXPECT_DOUBLE_EQ(avg, 0.5);
+  EXPECT_NEAR(wavg, (0.2 + 0.8 * 3 + 0.5) / 5.0, 1e-12);
+  EXPECT_LE(mn, avg);
+  EXPECT_LE(avg, mx);
+  // The weighted mean leans toward the heavy component.
+  EXPECT_GT(wavg, avg);
+}
+
+TEST(ComaAggregationTest, EmptyScores) {
+  EXPECT_DOUBLE_EQ(ComaMatcher::Aggregate({}, ComaAggregation::kWeighted),
+                   0.0);
+}
+
+TEST(ComaComponentScoresTest, BreakdownCoversAllSchemaMatchers) {
+  ComaMatcher m;
+  Column a("customer_name", DataType::kString);
+  Column b("client_name", DataType::kString);
+  auto scores = m.SchemaComponentScores("s", a, "t", b);
+  ASSERT_EQ(scores.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& s : scores) {
+    names.insert(s.matcher);
+    EXPECT_GE(s.score, 0.0);
+    EXPECT_LE(s.score, 1.0);
+    EXPECT_GT(s.weight, 0.0);
+  }
+  EXPECT_TRUE(names.count("name_trigram"));
+  EXPECT_TRUE(names.count("name_synonym"));
+  EXPECT_TRUE(names.count("data_type"));
+  EXPECT_TRUE(names.count("name_affix"));
+}
+
+ComaOptions BaseOptions() {
+  ComaOptions opt;
+  opt.selection = ComaSelection::kAll;
+  return opt;
+}
+
+TEST(ComaSelectionTest, AllKeepsEveryPair) {
+  Table src = MakeTable("s", {{"a", {"1"}}, {"b", {"2"}}});
+  Table tgt = MakeTable("t", {{"x", {"3"}}, {"y", {"4"}}});
+  ComaOptions opt = BaseOptions();
+  EXPECT_EQ(ComaMatcher(opt).Match(src, tgt).size(), 4u);
+}
+
+TEST(ComaSelectionTest, OneToOneKeepsAtMostMinDim) {
+  Table src = MakeTable("s", {{"a", {"1"}}, {"b", {"2"}}, {"c", {"3"}}});
+  Table tgt = MakeTable("t", {{"x", {"4"}}, {"y", {"5"}}});
+  ComaOptions opt;
+  opt.selection = ComaSelection::kOneToOne;
+  MatchResult r = ComaMatcher(opt).Match(src, tgt);
+  EXPECT_LE(r.size(), 2u);
+  // Endpoints unique.
+  std::set<std::string> srcs, tgts;
+  for (const Match& m : r.matches()) {
+    EXPECT_TRUE(srcs.insert(m.source.column).second);
+    EXPECT_TRUE(tgts.insert(m.target.column).second);
+  }
+}
+
+TEST(ComaSelectionTest, MaxNForwardLimitsPerSourceColumn) {
+  // Target names have strictly decreasing similarity to "alpha", so the
+  // MaxN cut is unambiguous (equal scores are all kept by design).
+  Table src = MakeTable("s", {{"alpha", {"1"}}});
+  Table tgt = MakeTable("t", {{"alpha", {"2"}}, {"alpra", {"3"}},
+                              {"zzzz", {"4"}}});
+  ComaOptions opt;
+  opt.selection = ComaSelection::kMaxN;
+  opt.direction = ComaDirection::kForward;
+  opt.max_n = 2;
+  MatchResult r = ComaMatcher(opt).Match(src, tgt);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].target.column, "alpha");
+  EXPECT_EQ(r[1].target.column, "alpra");
+}
+
+TEST(ComaSelectionTest, MaxNBackwardLimitsPerTargetColumn) {
+  Table src = MakeTable("s", {{"alpha", {"1"}}, {"alpra", {"2"}},
+                              {"zzzz", {"3"}}});
+  Table tgt = MakeTable("t", {{"alpha", {"4"}}});
+  ComaOptions opt;
+  opt.selection = ComaSelection::kMaxN;
+  opt.direction = ComaDirection::kBackward;
+  opt.max_n = 1;
+  MatchResult r = ComaMatcher(opt).Match(src, tgt);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].source.column, "alpha");
+}
+
+TEST(ComaSelectionTest, BothIsIntersectionOfDirections) {
+  Table src = MakeTable("s", {{"aa", {"1"}}, {"bb", {"2"}}});
+  Table tgt = MakeTable("t", {{"aa", {"3"}}, {"cc", {"4"}}});
+  ComaOptions both;
+  both.selection = ComaSelection::kMaxN;
+  both.direction = ComaDirection::kBoth;
+  both.max_n = 1;
+  ComaOptions fwd = both;
+  fwd.direction = ComaDirection::kForward;
+  ComaOptions bwd = both;
+  bwd.direction = ComaDirection::kBackward;
+  size_t n_both = ComaMatcher(both).Match(src, tgt).size();
+  size_t n_fwd = ComaMatcher(fwd).Match(src, tgt).size();
+  size_t n_bwd = ComaMatcher(bwd).Match(src, tgt).size();
+  EXPECT_LE(n_both, std::min(n_fwd, n_bwd));
+  EXPECT_GE(n_both, 1u);  // aa <-> aa survives both directions
+}
+
+TEST(ComaSelectionTest, MaxDeltaKeepsNearBest) {
+  // "aa" matches "aa" perfectly; "ab" is nearly as good for "aa".
+  Table src = MakeTable("s", {{"aa", {"1"}}});
+  Table tgt = MakeTable("t", {{"aa", {"2"}}, {"ab", {"3"}}, {"zz", {"4"}}});
+  ComaOptions tight;
+  tight.selection = ComaSelection::kMaxDelta;
+  tight.direction = ComaDirection::kForward;
+  tight.delta = 0.0;
+  ComaOptions loose = tight;
+  loose.delta = 0.75;
+  size_t n_tight = ComaMatcher(tight).Match(src, tgt).size();
+  size_t n_loose = ComaMatcher(loose).Match(src, tgt).size();
+  EXPECT_EQ(n_tight, 1u);
+  EXPECT_GT(n_loose, n_tight);
+}
+
+TEST(ComaSelectionTest, ThresholdAppliesBeforeSelection) {
+  Table src = MakeTable("s", {{"alpha", {"1"}}});
+  Table tgt = MakeTable("t", {{"omega", {"2"}}});
+  ComaOptions opt = BaseOptions();
+  opt.threshold = 0.99;
+  EXPECT_TRUE(ComaMatcher(opt).Match(src, tgt).empty());
+}
+
+TEST(ComaDirectionTest, NmGroundTruthNeedsNonOneToOneSelection) {
+  // Three source columns all correspond to one target column (the ING#2
+  // situation): OneToOne keeps one, MaxN-backward keeps several.
+  Table src = MakeTable("s", {{"owner_team", {"p", "q"}},
+                              {"support_team", {"p", "q"}},
+                              {"devops_team", {"p", "q"}}});
+  Table tgt = MakeTable("t", {{"team_key", {"p", "q"}}});
+  ComaOptions one;
+  one.strategy = ComaStrategy::kInstances;
+  one.selection = ComaSelection::kOneToOne;
+  ComaOptions many;
+  many.strategy = ComaStrategy::kInstances;
+  many.selection = ComaSelection::kMaxN;
+  many.direction = ComaDirection::kBackward;
+  many.max_n = 3;
+  EXPECT_EQ(ComaMatcher(one).Match(src, tgt).size(), 1u);
+  EXPECT_EQ(ComaMatcher(many).Match(src, tgt).size(), 3u);
+}
+
+// Aggregation strategies all yield bounded, complete score matrices.
+class ComaAggregationSweep
+    : public ::testing::TestWithParam<ComaAggregation> {};
+
+TEST_P(ComaAggregationSweep, BoundedScores) {
+  Table src = MakeTable("s", {{"city", {"a", "b"}}, {"income", {"1", "2"}}});
+  Table tgt = MakeTable("t", {{"town", {"a", "c"}}, {"salary", {"1", "3"}}});
+  ComaOptions opt;
+  opt.aggregation = GetParam();
+  opt.selection = ComaSelection::kAll;
+  MatchResult r = ComaMatcher(opt).Match(src, tgt);
+  EXPECT_EQ(r.size(), 4u);
+  for (const Match& m : r.matches()) {
+    EXPECT_GE(m.score, 0.0);
+    EXPECT_LE(m.score, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Aggregations, ComaAggregationSweep,
+                         ::testing::Values(ComaAggregation::kMax,
+                                           ComaAggregation::kMin,
+                                           ComaAggregation::kAverage,
+                                           ComaAggregation::kWeighted));
+
+}  // namespace
+}  // namespace valentine

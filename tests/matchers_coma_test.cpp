@@ -1,0 +1,127 @@
+#include "matchers/coma.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+Table MakeValuedTable(const std::string& name,
+                      std::vector<std::pair<std::string,
+                                            std::vector<std::string>>> cols) {
+  Table t(name);
+  for (auto& [col_name, values] : cols) {
+    Column c(col_name, DataType::kString);
+    for (auto& v : values) c.Append(Value::String(std::move(v)));
+    EXPECT_TRUE(t.AddColumn(std::move(c)).ok());
+  }
+  return t;
+}
+
+TEST(ComaTest, SchemaStrategyMatchesIdenticalNames) {
+  Table src = MakeValuedTable("s", {{"city", {"a", "b"}},
+                                    {"income", {"1", "2"}}});
+  Table tgt = MakeValuedTable("t", {{"city", {"x", "y"}},
+                                    {"income", {"3", "4"}}});
+  ComaMatcher m;  // schema strategy default
+  MatchResult r = m.Match(src, tgt);
+  EXPECT_EQ(r[0].source.column, r[0].target.column);
+  EXPECT_GT(r[0].score, 0.8);
+}
+
+TEST(ComaTest, InstanceStrategyUsesValueOverlap) {
+  // Names are unhelpful on purpose; values decide.
+  Table src = MakeValuedTable("s", {{"colA", {"apple", "pear", "plum"}},
+                                    {"colB", {"red", "blue", "green"}}});
+  Table tgt = MakeValuedTable("t", {{"colX", {"apple", "pear", "kiwi"}},
+                                    {"colY", {"cyan", "teal", "pink"}}});
+  ComaOptions opt;
+  opt.strategy = ComaStrategy::kInstances;
+  MatchResult r = ComaMatcher(opt).Match(src, tgt);
+  EXPECT_EQ(r[0].source.column, "colA");
+  EXPECT_EQ(r[0].target.column, "colX");
+}
+
+TEST(ComaTest, ThresholdFiltersPairs) {
+  Table src = MakeValuedTable("s", {{"alpha", {"1"}}});
+  Table tgt = MakeValuedTable("t", {{"omega", {"2"}}});
+  ComaOptions opt;
+  opt.threshold = 0.99;
+  MatchResult r = ComaMatcher(opt).Match(src, tgt);
+  EXPECT_TRUE(r.empty());
+  opt.threshold = 0.0;
+  EXPECT_EQ(ComaMatcher(opt).Match(src, tgt).size(), 1u);
+}
+
+TEST(ComaTest, NameTrigramSim) {
+  ComaMatcher m;
+  EXPECT_DOUBLE_EQ(m.NameTrigramSim("same", "same"), 1.0);
+  EXPECT_GT(m.NameTrigramSim("customer_name", "customer_nm"), 0.5);
+  EXPECT_LT(m.NameTrigramSim("abc", "xyz"), 0.1);
+}
+
+TEST(ComaTest, NameSynonymSimUsesThesaurus) {
+  ComaMatcher m;
+  EXPECT_GT(m.NameSynonymSim("income", "salary"), 0.9);
+  EXPECT_GT(m.NameSynonymSim("client_id", "customer_id"), 0.9);
+  EXPECT_LT(m.NameSynonymSim("income", "genre"), 0.3);
+}
+
+TEST(ComaTest, NameSynonymSimHandlesPlurals) {
+  ComaMatcher m;
+  EXPECT_GT(m.NameSynonymSim("addresses", "address"), 0.9);
+}
+
+TEST(ComaTest, NameAffixSimHandlesPrefixesAndAbbreviations) {
+  EXPECT_DOUBLE_EQ(
+      ComaMatcher::NameAffixSim("permits_permit_type", "permit_type"), 1.0);
+  EXPECT_GT(ComaMatcher::NameAffixSim("addr_line", "addrline"), 0.99);
+  EXPECT_LT(ComaMatcher::NameAffixSim("abc", "xyz"), 0.5);
+  EXPECT_DOUBLE_EQ(ComaMatcher::NameAffixSim("", "x"), 0.0);
+}
+
+TEST(ComaTest, DataTypeSim) {
+  EXPECT_DOUBLE_EQ(ComaMatcher::DataTypeSim(DataType::kInt64,
+                                            DataType::kInt64), 1.0);
+  EXPECT_DOUBLE_EQ(ComaMatcher::DataTypeSim(DataType::kInt64,
+                                            DataType::kFloat64), 0.7);
+  EXPECT_DOUBLE_EQ(ComaMatcher::DataTypeSim(DataType::kInt64,
+                                            DataType::kString), 0.0);
+}
+
+TEST(ComaTest, NamesAndCategoriesPerStrategy) {
+  ComaOptions schema_opt;
+  schema_opt.strategy = ComaStrategy::kSchema;
+  ComaMatcher schema(schema_opt);
+  EXPECT_EQ(schema.Name(), "COMA-Schema");
+  EXPECT_EQ(schema.Category(), MatcherCategory::kSchemaBased);
+
+  ComaOptions inst_opt;
+  inst_opt.strategy = ComaStrategy::kInstances;
+  ComaMatcher inst(inst_opt);
+  EXPECT_EQ(inst.Name(), "COMA-Instances");
+  EXPECT_EQ(inst.Category(), MatcherCategory::kInstanceBased);
+  EXPECT_GT(inst.Capabilities().size(), schema.Capabilities().size());
+}
+
+TEST(ComaTest, NumericColumnsComparedByStats) {
+  // Two numeric columns with near-identical distributions but disjoint
+  // values should still be related by the instance profile matcher.
+  Column a("m1", DataType::kInt64);
+  Column b("m2", DataType::kInt64);
+  for (int i = 0; i < 100; ++i) {
+    a.Append(Value::Int(1000 + i * 2));      // evens
+    b.Append(Value::Int(1001 + i * 2));      // odds, same range/moments
+  }
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(std::move(a)).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(std::move(b)).ok());
+  ComaOptions opt;
+  opt.strategy = ComaStrategy::kInstances;
+  MatchResult r = ComaMatcher(opt).Match(src, tgt);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_GT(r[0].score, 0.3);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,175 @@
+#include "matchers/distribution_based.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace valentine {
+namespace {
+
+Column MakeIntColumn(const std::string& name, std::vector<int64_t> values) {
+  Column c(name, DataType::kInt64);
+  for (int64_t v : values) c.Append(Value::Int(v));
+  return c;
+}
+
+TEST(ClusterSelectionTest, EmptyGraph) {
+  EXPECT_TRUE(SolveClusterSelection(0, {}, 10).empty());
+}
+
+TEST(ClusterSelectionTest, ExactSolverGroupsPositivePairs) {
+  // 0-1 strongly attract, 2 repels both: expect {0,1} | {2}.
+  std::vector<std::vector<double>> w(3, std::vector<double>(3, -1.0));
+  w[0][1] = 1.0;
+  auto assign = SolveClusterSelection(3, w, 10);
+  EXPECT_EQ(assign[0], assign[1]);
+  EXPECT_NE(assign[0], assign[2]);
+}
+
+TEST(ClusterSelectionTest, ExactSolverSplitsNegativeEdges) {
+  std::vector<std::vector<double>> w(2, std::vector<double>(2, 0.0));
+  w[0][1] = -0.5;
+  auto assign = SolveClusterSelection(2, w, 10);
+  EXPECT_NE(assign[0], assign[1]);
+}
+
+TEST(ClusterSelectionTest, ExactChoosesBestOfConflictingMerges) {
+  // 0-1 weight 1.0, 1-2 weight 0.8, 0-2 weight -2.0: merging all three
+  // costs -0.2, so the best partition keeps only the 0-1 edge.
+  std::vector<std::vector<double>> w(3, std::vector<double>(3, 0.0));
+  w[0][1] = 1.0;
+  w[1][2] = 0.8;
+  w[0][2] = -2.0;
+  auto assign = SolveClusterSelection(3, w, 10);
+  EXPECT_EQ(assign[0], assign[1]);
+  EXPECT_NE(assign[2], assign[0]);
+}
+
+TEST(ClusterSelectionTest, GreedyMatchesExactOnEasyInstance) {
+  std::vector<std::vector<double>> w(4, std::vector<double>(4, -0.5));
+  w[0][1] = 1.0;
+  w[2][3] = 1.0;
+  auto exact = SolveClusterSelection(4, w, 10);
+  auto greedy = SolveClusterSelection(4, w, 0);  // force greedy
+  EXPECT_EQ(exact[0] == exact[1], greedy[0] == greedy[1]);
+  EXPECT_EQ(exact[2] == exact[3], greedy[2] == greedy[3]);
+  EXPECT_NE(greedy[0], greedy[2]);
+}
+
+TEST(DistributionBasedTest, IdenticalColumnsMatch) {
+  Rng rng(1);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.UniformInt(0, 100));
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(MakeIntColumn("x", values)).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(MakeIntColumn("y", values)).ok());
+  MatchResult r = DistributionBasedMatcher().Match(src, tgt);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].source.column, "x");
+  EXPECT_GT(r[0].score, 0.9);
+}
+
+TEST(DistributionBasedTest, DisjointDistributionsRejected) {
+  std::vector<int64_t> low, high;
+  for (int i = 0; i < 200; ++i) {
+    low.push_back(i % 50);
+    high.push_back(100000 + i % 50);
+  }
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(MakeIntColumn("low", low)).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(MakeIntColumn("high", high)).ok());
+  MatchResult r = DistributionBasedMatcher().Match(src, tgt);
+  EXPECT_TRUE(r.empty());  // phase 1 EMD too large
+}
+
+TEST(DistributionBasedTest, SimilarDistributionNoOverlapKilledByPhase2) {
+  // Same range, zero intersection: phase 1 passes, phase 2 must prune
+  // (intersection is empty).
+  std::vector<int64_t> evens, odds;
+  for (int i = 0; i < 500; ++i) {
+    evens.push_back(2 * i);
+    odds.push_back(2 * i + 1);
+  }
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(MakeIntColumn("evens", evens)).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(MakeIntColumn("odds", odds)).ok());
+  MatchResult r = DistributionBasedMatcher().Match(src, tgt);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(DistributionBasedTest, LooserThresholdsFindMore) {
+  // Perturbed copy: strict thresholds may reject, loose ones accept.
+  Rng rng(2);
+  std::vector<int64_t> base, shifted;
+  for (int i = 0; i < 300; ++i) {
+    int64_t v = rng.UniformInt(0, 1000);
+    base.push_back(v);
+    shifted.push_back(v + (i % 10 == 0 ? 150 : 0));  // 10% shifted
+  }
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(MakeIntColumn("a", base)).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(MakeIntColumn("b", shifted)).ok());
+
+  DistributionBasedOptions strict;
+  strict.phase1_threshold = 0.001;
+  strict.phase2_threshold = 0.001;
+  DistributionBasedOptions loose;
+  loose.phase1_threshold = 0.5;
+  loose.phase2_threshold = 0.5;
+  size_t strict_count = DistributionBasedMatcher(strict).Match(src, tgt).size();
+  size_t loose_count = DistributionBasedMatcher(loose).Match(src, tgt).size();
+  EXPECT_GE(loose_count, strict_count);
+  EXPECT_EQ(loose_count, 1u);
+}
+
+TEST(DistributionBasedTest, StringColumnsViaHashedPoints) {
+  Column a("names_a", DataType::kString);
+  Column b("names_b", DataType::kString);
+  for (int i = 0; i < 100; ++i) {
+    std::string v = "name_" + std::to_string(i % 30);
+    a.Append(Value::String(v));
+    b.Append(Value::String(v));
+  }
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(std::move(a)).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(std::move(b)).ok());
+  MatchResult r = DistributionBasedMatcher().Match(src, tgt);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_GT(r[0].score, 0.9);
+}
+
+TEST(DistributionBasedTest, MultiColumnDisambiguation) {
+  Rng rng(3);
+  std::vector<int64_t> ages, incomes;
+  for (int i = 0; i < 400; ++i) {
+    ages.push_back(rng.UniformInt(18, 90));
+    incomes.push_back(rng.UniformInt(20000, 150000));
+  }
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(MakeIntColumn("age", ages)).ok());
+  ASSERT_TRUE(src.AddColumn(MakeIntColumn("income", incomes)).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(MakeIntColumn("years", ages)).ok());
+  ASSERT_TRUE(tgt.AddColumn(MakeIntColumn("pay", incomes)).ok());
+  MatchResult r = DistributionBasedMatcher().Match(src, tgt);
+  ASSERT_EQ(r.size(), 2u);
+  for (const Match& m : r.matches()) {
+    bool correct = (m.source.column == "age" && m.target.column == "years") ||
+                   (m.source.column == "income" && m.target.column == "pay");
+    EXPECT_TRUE(correct) << m.source.column << " -> " << m.target.column;
+  }
+}
+
+TEST(DistributionBasedTest, MetadataDeclared) {
+  DistributionBasedMatcher m;
+  EXPECT_EQ(m.Name(), "DistributionBased");
+  EXPECT_EQ(m.Category(), MatcherCategory::kInstanceBased);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,151 @@
+// Tests for the rank-fusion ensemble — the paper's §IX recommendation
+// ("composing state-of-the-art matching methods should be the preferred
+// way in dataset discovery").
+
+#include "matchers/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/tpcdi.h"
+#include "fabrication/fabricator.h"
+#include "matchers/coma.h"
+#include "matchers/cupid.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "metrics/metrics.h"
+
+namespace valentine {
+namespace {
+
+Table MakeValued(const std::string& name,
+                 std::vector<std::pair<std::string,
+                                       std::vector<std::string>>> cols) {
+  Table t(name);
+  for (auto& [col_name, values] : cols) {
+    Column c(col_name, DataType::kString);
+    for (auto& v : values) c.Append(Value::String(std::move(v)));
+    EXPECT_TRUE(t.AddColumn(std::move(c)).ok());
+  }
+  return t;
+}
+
+std::vector<MatcherPtr> TwoMembers() {
+  std::vector<MatcherPtr> members;
+  members.push_back(std::make_unique<CupidMatcher>());
+  members.push_back(std::make_unique<JaccardLevenshteinMatcher>());
+  return members;
+}
+
+TEST(EnsembleTest, NameAndCapabilitiesUnionMembers) {
+  EnsembleMatcher e(TwoMembers());
+  EXPECT_EQ(e.Name(), "Ensemble(Cupid+JaccardLevenshtein)");
+  EXPECT_EQ(e.Category(), MatcherCategory::kHybrid);  // schema + instance
+  auto caps = e.Capabilities();
+  bool has_attr = false;
+  bool has_value = false;
+  for (MatchType t : caps) {
+    has_attr = has_attr || t == MatchType::kAttributeOverlap;
+    has_value = has_value || t == MatchType::kValueOverlap;
+  }
+  EXPECT_TRUE(has_attr);
+  EXPECT_TRUE(has_value);
+  EXPECT_EQ(e.num_members(), 2u);
+}
+
+TEST(EnsembleTest, AgreedTopPairWins) {
+  // Name AND values agree on (city, town): both members rank it first,
+  // so every fusion strategy must keep it on top.
+  Table src = MakeValued("s", {{"city", {"boston", "denver"}},
+                               {"zzz", {"1", "2"}}});
+  Table tgt = MakeValued("t", {{"city", {"boston", "denver"}},
+                               {"qqq", {"7", "8"}}});
+  for (FusionStrategy fusion :
+       {FusionStrategy::kReciprocalRank, FusionStrategy::kBorda,
+        FusionStrategy::kScoreAverage}) {
+    EnsembleOptions opt;
+    opt.fusion = fusion;
+    EnsembleMatcher e(TwoMembers(), opt);
+    MatchResult r = e.Match(src, tgt);
+    ASSERT_FALSE(r.empty());
+    EXPECT_EQ(r[0].source.column, "city");
+    EXPECT_EQ(r[0].target.column, "city");
+    for (const Match& m : r.matches()) {
+      EXPECT_GE(m.score, 0.0);
+      EXPECT_LE(m.score, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(EnsembleTest, FusionRescuesDisagreement) {
+  // Schema evidence and instance evidence each nail a different column;
+  // the fused ranking must place BOTH true pairs above the false ones.
+  Table src = MakeValued("s", {
+      // same name, disjoint values -> only Cupid gets it
+      {"income", {"100", "200", "300"}},
+      // unhelpful name, shared values -> only JL gets it
+      {"colA", {"apple", "pear", "plum"}}});
+  Table tgt = MakeValued("t", {
+      {"income", {"910", "920", "930"}},
+      {"zq", {"apple", "pear", "plum"}}});
+  EnsembleMatcher e(TwoMembers());
+  MatchResult r = e.Match(src, tgt);
+  std::vector<GroundTruthEntry> gt = {{"income", "income"}, {"colA", "zq"}};
+  EXPECT_DOUBLE_EQ(RecallAtGroundTruth(r, gt), 1.0);
+}
+
+TEST(EnsembleTest, AtLeastAsGoodAsWorstMemberOnFabricatedPair) {
+  Table original = MakeTpcdiProspect(120, 95);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kUnionable;
+  fab.noisy_schema = true;
+  fab.noisy_instances = true;
+  fab.seed = 33;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+
+  JaccardLevenshteinOptions jo;
+  jo.max_distinct_values = 100;
+  double jl = RecallAtGroundTruth(
+      JaccardLevenshteinMatcher(jo).Match(pair.source, pair.target),
+      pair.ground_truth);
+  double cupid = RecallAtGroundTruth(
+      CupidMatcher().Match(pair.source, pair.target), pair.ground_truth);
+
+  std::vector<MatcherPtr> members;
+  members.push_back(std::make_unique<CupidMatcher>());
+  members.push_back(std::make_unique<JaccardLevenshteinMatcher>(jo));
+  EnsembleMatcher e(std::move(members));
+  double fused = RecallAtGroundTruth(e.Match(pair.source, pair.target),
+                                     pair.ground_truth);
+  EXPECT_GE(fused, std::min(jl, cupid));
+}
+
+TEST(EnsembleTest, DefaultEnsembleWorks) {
+  MatcherPtr e = MakeDefaultEnsemble();
+  EXPECT_EQ(e->Category(), MatcherCategory::kInstanceBased);
+  Table original = MakeTpcdiProspect(100, 96);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kJoinable;
+  fab.column_overlap = 0.5;
+  fab.seed = 34;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+  double recall = RecallAtGroundTruth(e->Match(pair.source, pair.target),
+                                      pair.ground_truth);
+  EXPECT_GE(recall, 0.9);
+}
+
+TEST(EnsembleTest, SingleMemberIsIdentityRanking) {
+  Table src = MakeValued("s", {{"a", {"x", "y"}}, {"b", {"1", "2"}}});
+  Table tgt = MakeValued("t", {{"a", {"x", "y"}}, {"b", {"1", "2"}}});
+  std::vector<MatcherPtr> members;
+  members.push_back(std::make_unique<JaccardLevenshteinMatcher>());
+  EnsembleMatcher e(std::move(members));
+  MatchResult fused = e.Match(src, tgt);
+  MatchResult direct = JaccardLevenshteinMatcher().Match(src, tgt);
+  ASSERT_EQ(fused.size(), direct.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i].source.column, direct[i].source.column) << i;
+    EXPECT_EQ(fused[i].target.column, direct[i].target.column) << i;
+  }
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,105 @@
+#include "matchers/jaccard_levenshtein.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+Column MakeStringColumn(const std::string& name,
+                        std::vector<std::string> values) {
+  Column c(name, DataType::kString);
+  for (auto& v : values) c.Append(Value::String(std::move(v)));
+  return c;
+}
+
+Table TwoColumnTable(const std::string& name, Column a, Column b) {
+  Table t(name);
+  EXPECT_TRUE(t.AddColumn(std::move(a)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(b)).ok());
+  return t;
+}
+
+TEST(JaccardLevenshteinTest, RanksOverlappingColumnFirst) {
+  Table src = TwoColumnTable(
+      "src", MakeStringColumn("fruit", {"apple", "pear", "plum"}),
+      MakeStringColumn("city", {"boston", "denver", "austin"}));
+  Table tgt = TwoColumnTable(
+      "tgt", MakeStringColumn("f", {"apple", "pear", "kiwi"}),
+      MakeStringColumn("c", {"boston", "miami", "dallas"}));
+
+  JaccardLevenshteinMatcher m;
+  MatchResult r = m.Match(src, tgt);
+  ASSERT_EQ(r.size(), 4u);
+  // fruit-f overlap 2/4 = 0.5 is the top match.
+  EXPECT_EQ(r[0].source.column, "fruit");
+  EXPECT_EQ(r[0].target.column, "f");
+  EXPECT_DOUBLE_EQ(r[0].score, 0.5);
+}
+
+TEST(JaccardLevenshteinTest, FuzzyThresholdMatters) {
+  Table src = TwoColumnTable("src",
+                             MakeStringColumn("a", {"johnson", "smith"}),
+                             MakeStringColumn("b", {"x", "y"}));
+  Table tgt = TwoColumnTable("tgt",
+                             MakeStringColumn("a2", {"jhonson", "smiht"}),
+                             MakeStringColumn("b2", {"q", "r"}));
+  JaccardLevenshteinOptions strict;
+  strict.threshold = 0.0;
+  EXPECT_DOUBLE_EQ(JaccardLevenshteinMatcher(strict).Match(src, tgt)[0].score,
+                   0.0);
+  JaccardLevenshteinOptions fuzzy;
+  fuzzy.threshold = 0.5;
+  MatchResult r = JaccardLevenshteinMatcher(fuzzy).Match(src, tgt);
+  EXPECT_EQ(r[0].source.column, "a");
+  EXPECT_DOUBLE_EQ(r[0].score, 1.0);
+}
+
+TEST(JaccardLevenshteinTest, AllPairsReturned) {
+  Table src = TwoColumnTable("src", MakeStringColumn("a", {"1"}),
+                             MakeStringColumn("b", {"2"}));
+  Table tgt = TwoColumnTable("tgt", MakeStringColumn("c", {"3"}),
+                             MakeStringColumn("d", {"4"}));
+  MatchResult r = JaccardLevenshteinMatcher().Match(src, tgt);
+  EXPECT_EQ(r.size(), 4u);  // the baseline ranks every pair
+}
+
+TEST(JaccardLevenshteinTest, DistinctCapRespected) {
+  Column big("big", DataType::kString);
+  for (int i = 0; i < 100; ++i) big.Append(Value::Int(i));
+  Table src("src");
+  ASSERT_TRUE(src.AddColumn(std::move(big)).ok());
+  Table tgt = src;
+  tgt.set_name("tgt");
+  JaccardLevenshteinOptions opt;
+  opt.max_distinct_values = 10;
+  opt.threshold = 0.0;
+  MatchResult r = JaccardLevenshteinMatcher(opt).Match(src, tgt);
+  // With the cap, both sides keep the same first 10 distinct values.
+  EXPECT_DOUBLE_EQ(r[0].score, 1.0);
+}
+
+TEST(JaccardLevenshteinTest, NullsIgnored) {
+  Column a("a", DataType::kString);
+  a.Append(Value::String("x"));
+  a.Append(Value::Null());
+  Table src("src");
+  ASSERT_TRUE(src.AddColumn(std::move(a)).ok());
+  Column b("b", DataType::kString);
+  b.Append(Value::String("x"));
+  b.Append(Value::String("x"));
+  Table tgt("tgt");
+  ASSERT_TRUE(tgt.AddColumn(std::move(b)).ok());
+  MatchResult r = JaccardLevenshteinMatcher().Match(src, tgt);
+  EXPECT_DOUBLE_EQ(r[0].score, 1.0);  // distinct sets both {"x"}
+}
+
+TEST(JaccardLevenshteinTest, MetadataDeclared) {
+  JaccardLevenshteinMatcher m;
+  EXPECT_EQ(m.Name(), "JaccardLevenshtein");
+  EXPECT_EQ(m.Category(), MatcherCategory::kInstanceBased);
+  ASSERT_EQ(m.Capabilities().size(), 1u);
+  EXPECT_EQ(m.Capabilities()[0], MatchType::kValueOverlap);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,86 @@
+#include "matchers/match_result.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+MatchResult MakeResult() {
+  MatchResult r;
+  r.Add({"s", "a"}, {"t", "x"}, 0.5);
+  r.Add({"s", "b"}, {"t", "y"}, 0.9);
+  r.Add({"s", "c"}, {"t", "z"}, 0.1);
+  return r;
+}
+
+TEST(MatchResultTest, SortDescending) {
+  MatchResult r = MakeResult();
+  r.Sort();
+  EXPECT_DOUBLE_EQ(r[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(r[1].score, 0.5);
+  EXPECT_DOUBLE_EQ(r[2].score, 0.1);
+}
+
+TEST(MatchResultTest, SortTiesDeterministic) {
+  MatchResult r;
+  r.Add({"s", "b"}, {"t", "y"}, 0.5);
+  r.Add({"s", "a"}, {"t", "x"}, 0.5);
+  r.Add({"s", "a"}, {"t", "w"}, 0.5);
+  r.Sort();
+  EXPECT_EQ(r[0].source.column, "a");
+  EXPECT_EQ(r[0].target.column, "w");
+  EXPECT_EQ(r[1].target.column, "x");
+  EXPECT_EQ(r[2].source.column, "b");
+}
+
+TEST(MatchResultTest, TopK) {
+  MatchResult r = MakeResult();
+  r.Sort();
+  auto top = r.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.9);
+  auto all = r.TopK(100);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(r.TopK(0).empty());
+}
+
+TEST(MatchResultTest, FilterBelow) {
+  MatchResult r = MakeResult();
+  r.FilterBelow(0.5);
+  EXPECT_EQ(r.size(), 2u);
+  for (const Match& m : r.matches()) EXPECT_GE(m.score, 0.5);
+}
+
+TEST(MatchResultTest, FilterBelowKeepsEqual) {
+  MatchResult r;
+  r.Add({"s", "a"}, {"t", "x"}, 0.5);
+  r.FilterBelow(0.5);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(MatchResultTest, ToStringTruncates) {
+  MatchResult r = MakeResult();
+  r.Sort();
+  std::string s = r.ToString(2);
+  EXPECT_NE(s.find("s.b -> t.y"), std::string::npos);
+  EXPECT_NE(s.find("(1 more)"), std::string::npos);
+}
+
+TEST(MatchResultTest, EmptyResult) {
+  MatchResult r;
+  EXPECT_TRUE(r.empty());
+  r.Sort();
+  EXPECT_TRUE(r.TopK(5).empty());
+  EXPECT_EQ(r.ToString(), "");
+}
+
+TEST(MatchTest, SamePair) {
+  Match a{{"s", "a"}, {"t", "x"}, 0.1};
+  Match b{{"s", "a"}, {"t", "x"}, 0.9};
+  Match c{{"s", "a"}, {"t", "y"}, 0.1};
+  EXPECT_TRUE(a.SamePair(b));
+  EXPECT_FALSE(a.SamePair(c));
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,195 @@
+// Cross-matcher property suite: invariants every ColumnMatcher must
+// uphold on every relatedness scenario — output sorted by descending
+// score, scores bounded, no out-of-schema columns, determinism across
+// invocations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/tpcdi.h"
+#include "fabrication/fabricator.h"
+#include "matchers/coma.h"
+#include "matchers/cupid.h"
+#include "matchers/distribution_based.h"
+#include "matchers/embdi.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "matchers/semprop.h"
+#include "matchers/similarity_flooding.h"
+
+namespace valentine {
+namespace {
+
+enum class Method {
+  kCupid,
+  kSimilarityFlooding,
+  kComaSchema,
+  kComaInstances,
+  kDistribution,
+  kSemProp,
+  kEmbdi,
+  kJaccardLevenshtein,
+};
+
+MatcherPtr MakeMatcher(Method method) {
+  switch (method) {
+    case Method::kCupid:
+      return std::make_unique<CupidMatcher>();
+    case Method::kSimilarityFlooding:
+      return std::make_unique<SimilarityFloodingMatcher>();
+    case Method::kComaSchema:
+      return std::make_unique<ComaMatcher>();
+    case Method::kComaInstances: {
+      ComaOptions o;
+      o.strategy = ComaStrategy::kInstances;
+      return std::make_unique<ComaMatcher>(o);
+    }
+    case Method::kDistribution:
+      return std::make_unique<DistributionBasedMatcher>();
+    case Method::kSemProp:
+      return std::make_unique<SemPropMatcher>(nullptr);
+    case Method::kEmbdi: {
+      EmbdiOptions o;
+      o.max_rows = 40;
+      o.walks_per_node = 1;
+      o.sentence_length = 10;
+      o.dimensions = 16;
+      o.epochs = 1;
+      return std::make_unique<EmbdiMatcher>(o);
+    }
+    case Method::kJaccardLevenshtein: {
+      JaccardLevenshteinOptions o;
+      o.max_distinct_values = 50;
+      return std::make_unique<JaccardLevenshteinMatcher>(o);
+    }
+  }
+  return nullptr;
+}
+
+class MatcherPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Method, Scenario>> {};
+
+TEST_P(MatcherPropertyTest, RankingInvariants) {
+  auto [method, scenario] = GetParam();
+  Table original = MakeTpcdiProspect(50, 13);
+  FabricationOptions fab;
+  fab.scenario = scenario;
+  fab.row_overlap = 0.5;
+  fab.column_overlap = 0.5;
+  fab.noisy_schema = true;
+  fab.seed = 31;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+
+  MatcherPtr matcher = MakeMatcher(method);
+  MatchResult result = matcher->Match(pair.source, pair.target);
+
+  // Bounded size: at most one entry per column pair.
+  EXPECT_LE(result.size(),
+            pair.source.num_columns() * pair.target.num_columns());
+
+  // Sorted descending; scores bounded; endpoints exist.
+  for (size_t i = 0; i < result.size(); ++i) {
+    const Match& m = result[i];
+    if (i > 0) {
+      EXPECT_LE(m.score, result[i - 1].score + 1e-12);
+    }
+    EXPECT_GE(m.score, -1e-9);
+    EXPECT_LE(m.score, 1.0 + 1e-9);
+    EXPECT_TRUE(pair.source.ColumnIndex(m.source.column).has_value())
+        << m.source.column;
+    EXPECT_TRUE(pair.target.ColumnIndex(m.target.column).has_value())
+        << m.target.column;
+    EXPECT_EQ(m.source.table, pair.source.name());
+    EXPECT_EQ(m.target.table, pair.target.name());
+  }
+
+  // No duplicate pairs in the ranking.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const Match& m : result.matches()) {
+    EXPECT_TRUE(seen.emplace(m.source.column, m.target.column).second)
+        << m.source.column << "->" << m.target.column;
+  }
+
+  // Deterministic: a second run produces the identical ranking.
+  MatcherPtr matcher2 = MakeMatcher(method);
+  MatchResult again = matcher2->Match(pair.source, pair.target);
+  ASSERT_EQ(result.size(), again.size());
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i].source.column, again[i].source.column) << i;
+    EXPECT_EQ(result[i].target.column, again[i].target.column) << i;
+    EXPECT_DOUBLE_EQ(result[i].score, again[i].score) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAllScenarios, MatcherPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(Method::kCupid, Method::kSimilarityFlooding,
+                          Method::kComaSchema, Method::kComaInstances,
+                          Method::kDistribution, Method::kSemProp,
+                          Method::kEmbdi, Method::kJaccardLevenshtein),
+        ::testing::Values(Scenario::kUnionable, Scenario::kViewUnionable,
+                          Scenario::kJoinable,
+                          Scenario::kSemanticallyJoinable)));
+
+// Failure-injection: matchers must survive degenerate tables.
+class MatcherEdgeCaseTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MatcherEdgeCaseTest, AllNullColumns) {
+  Table src("s");
+  Column a("a", DataType::kString);
+  Column b("b", DataType::kInt64);
+  for (int i = 0; i < 10; ++i) {
+    a.Append(Value::Null());
+    b.Append(Value::Null());
+  }
+  ASSERT_TRUE(src.AddColumn(std::move(a)).ok());
+  ASSERT_TRUE(src.AddColumn(std::move(b)).ok());
+  Table tgt = src;
+  tgt.set_name("t");
+  MatcherPtr matcher = MakeMatcher(GetParam());
+  MatchResult r = matcher->Match(src, tgt);  // must not crash
+  for (const Match& m : r.matches()) {
+    EXPECT_GE(m.score, -1e-9);
+  }
+}
+
+TEST_P(MatcherEdgeCaseTest, SingleRowSingleColumn) {
+  Table src("s");
+  Column a("only_column", DataType::kString);
+  a.Append(Value::String("x"));
+  ASSERT_TRUE(src.AddColumn(std::move(a)).ok());
+  Table tgt = src;
+  tgt.set_name("t");
+  MatcherPtr matcher = MakeMatcher(GetParam());
+  MatchResult r = matcher->Match(src, tgt);
+  EXPECT_LE(r.size(), 1u);
+}
+
+TEST_P(MatcherEdgeCaseTest, WeirdCharactersInNamesAndValues) {
+  Table src("s");
+  Column a("col,with\"quote", DataType::kString);
+  a.Append(Value::String("v,1"));
+  a.Append(Value::String("line\nbreak"));
+  a.Append(Value::String(""));
+  ASSERT_TRUE(src.AddColumn(std::move(a)).ok());
+  Table tgt("t");
+  Column b("UPPER_case-Col", DataType::kString);
+  b.Append(Value::String("v,1"));
+  b.Append(Value::String("other"));
+  b.Append(Value::String("third"));
+  ASSERT_TRUE(tgt.AddColumn(std::move(b)).ok());
+  MatcherPtr matcher = MakeMatcher(GetParam());
+  MatchResult r = matcher->Match(src, tgt);  // must not crash
+  EXPECT_LE(r.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MatcherEdgeCaseTest,
+    ::testing::Values(Method::kCupid, Method::kSimilarityFlooding,
+                      Method::kComaSchema, Method::kComaInstances,
+                      Method::kDistribution, Method::kSemProp,
+                      Method::kEmbdi, Method::kJaccardLevenshtein));
+
+}  // namespace
+}  // namespace valentine

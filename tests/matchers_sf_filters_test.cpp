@@ -1,0 +1,120 @@
+// Tests for Similarity Flooding's post-flooding filters (stable
+// marriage, perfectionist) from the original SF paper.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matchers/similarity_flooding.h"
+
+namespace valentine {
+namespace {
+
+Table MakeTable(const std::string& name,
+                std::vector<std::pair<std::string, DataType>> cols) {
+  Table t(name);
+  for (auto& [col_name, type] : cols) {
+    Column c(col_name, type);
+    c.Append(Value::String("v"));
+    EXPECT_TRUE(t.AddColumn(std::move(c)).ok());
+  }
+  return t;
+}
+
+Table Src() {
+  return MakeTable("s", {{"customer", DataType::kString},
+                         {"amount", DataType::kFloat64},
+                         {"created", DataType::kDate}});
+}
+Table Tgt() {
+  return MakeTable("t", {{"customer", DataType::kString},
+                         {"amount", DataType::kFloat64},
+                         {"created", DataType::kDate}});
+}
+
+TEST(SfFilterTest, NoneRanksEveryPair) {
+  SimilarityFloodingOptions opt;
+  opt.filter = SfFilter::kNone;
+  MatchResult r = SimilarityFloodingMatcher(opt).Match(Src(), Tgt());
+  EXPECT_EQ(r.size(), 9u);
+}
+
+TEST(SfFilterTest, StableMarriageIsOneToOne) {
+  SimilarityFloodingOptions opt;
+  opt.filter = SfFilter::kStableMarriage;
+  MatchResult r = SimilarityFloodingMatcher(opt).Match(Src(), Tgt());
+  EXPECT_EQ(r.size(), 3u);
+  std::set<std::string> srcs, tgts;
+  for (const Match& m : r.matches()) {
+    EXPECT_TRUE(srcs.insert(m.source.column).second);
+    EXPECT_TRUE(tgts.insert(m.target.column).second);
+    // Identical schemata: the stable assignment is the identity.
+    EXPECT_EQ(m.source.column, m.target.column);
+  }
+}
+
+TEST(SfFilterTest, StableMarriageHasNoBlockingPair) {
+  SimilarityFloodingOptions none;
+  none.filter = SfFilter::kNone;
+  MatchResult all = SimilarityFloodingMatcher(none).Match(Src(), Tgt());
+  auto sim = [&](const std::string& s, const std::string& t) {
+    for (const Match& m : all.matches()) {
+      if (m.source.column == s && m.target.column == t) return m.score;
+    }
+    return 0.0;
+  };
+  SimilarityFloodingOptions opt;
+  opt.filter = SfFilter::kStableMarriage;
+  MatchResult r = SimilarityFloodingMatcher(opt).Match(Src(), Tgt());
+  // No two selected pairs (s1,t1),(s2,t2) where both s1 prefers t2 and
+  // t2 prefers s1 (classic stability check).
+  for (const Match& m1 : r.matches()) {
+    for (const Match& m2 : r.matches()) {
+      if (m1.SamePair(m2)) continue;
+      bool s1_prefers_t2 =
+          sim(m1.source.column, m2.target.column) > m1.score;
+      bool t2_prefers_s1 =
+          sim(m1.source.column, m2.target.column) > m2.score;
+      EXPECT_FALSE(s1_prefers_t2 && t2_prefers_s1)
+          << m1.source.column << " & " << m2.target.column;
+    }
+  }
+}
+
+TEST(SfFilterTest, StableMarriageUnevenSides) {
+  Table src = MakeTable("s", {{"a", DataType::kString},
+                              {"b", DataType::kInt64},
+                              {"c", DataType::kFloat64},
+                              {"d", DataType::kDate}});
+  Table tgt = MakeTable("t", {{"a", DataType::kString},
+                              {"b", DataType::kInt64}});
+  SimilarityFloodingOptions opt;
+  opt.filter = SfFilter::kStableMarriage;
+  MatchResult r = SimilarityFloodingMatcher(opt).Match(src, tgt);
+  EXPECT_EQ(r.size(), 2u);  // bounded by the smaller side
+}
+
+TEST(SfFilterTest, PerfectionistSubsetOfStable) {
+  SimilarityFloodingOptions perf;
+  perf.filter = SfFilter::kPerfectionist;
+  MatchResult r = SimilarityFloodingMatcher(perf).Match(Src(), Tgt());
+  EXPECT_LE(r.size(), 3u);
+  for (const Match& m : r.matches()) {
+    EXPECT_EQ(m.source.column, m.target.column);
+  }
+}
+
+TEST(SfFilterTest, PerfectionistOnAmbiguousSchemaIsSelective) {
+  // Two near-identical source columns compete for one target: the
+  // perfectionist filter keeps at most one of them.
+  Table src = MakeTable("s", {{"name_1", DataType::kString},
+                              {"name_2", DataType::kString}});
+  Table tgt = MakeTable("t", {{"name_1", DataType::kString}});
+  SimilarityFloodingOptions perf;
+  perf.filter = SfFilter::kPerfectionist;
+  MatchResult r = SimilarityFloodingMatcher(perf).Match(src, tgt);
+  EXPECT_LE(r.size(), 1u);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,118 @@
+#include "matchers/similarity_flooding.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+Table MakeTable(const std::string& name,
+                std::vector<std::pair<std::string, DataType>> cols) {
+  Table t(name);
+  for (auto& [col_name, type] : cols) {
+    Column c(col_name, type);
+    c.Append(Value::String("v"));
+    EXPECT_TRUE(t.AddColumn(std::move(c)).ok());
+  }
+  return t;
+}
+
+TEST(SimilarityFloodingTest, IdenticalSchemataMatchPerfectly) {
+  Table src = MakeTable("s", {{"id", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"price", DataType::kFloat64}});
+  Table tgt = MakeTable("t", {{"id", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"price", DataType::kFloat64}});
+  MatchResult r = SimilarityFloodingMatcher().Match(src, tgt);
+  ASSERT_EQ(r.size(), 9u);
+  // The three identity pairs must rank in the top three.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r[i].source.column, r[i].target.column) << i;
+  }
+}
+
+TEST(SimilarityFloodingTest, TypeStructureHelpsDisambiguation) {
+  // Names are unhelpful; types disambiguate through flooding.
+  Table src = MakeTable("s", {{"aaa", DataType::kInt64},
+                              {"bbb", DataType::kString}});
+  Table tgt = MakeTable("t", {{"xxx", DataType::kInt64},
+                              {"yyy", DataType::kString}});
+  MatchResult r = SimilarityFloodingMatcher().Match(src, tgt);
+  double same_type_score = 0.0;
+  double cross_type_score = 0.0;
+  for (const Match& m : r.matches()) {
+    bool same_type = (m.source.column == "aaa") == (m.target.column == "xxx");
+    if (same_type) {
+      same_type_score += m.score;
+    } else {
+      cross_type_score += m.score;
+    }
+  }
+  EXPECT_GT(same_type_score, cross_type_score);
+}
+
+TEST(SimilarityFloodingTest, ScoresNormalizedToUnitMax) {
+  Table src = MakeTable("s", {{"alpha", DataType::kString},
+                              {"beta", DataType::kInt64}});
+  Table tgt = MakeTable("t", {{"alpha", DataType::kString},
+                              {"gamma", DataType::kInt64}});
+  MatchResult r = SimilarityFloodingMatcher().Match(src, tgt);
+  for (const Match& m : r.matches()) {
+    EXPECT_GE(m.score, 0.0);
+    EXPECT_LE(m.score, 1.0 + 1e-9);
+  }
+}
+
+TEST(SimilarityFloodingTest, ConvergesWithinIterationBudget) {
+  SimilarityFloodingOptions opt;
+  opt.max_iterations = 500;
+  opt.epsilon = 1e-8;
+  Table src = MakeTable("s", {{"a", DataType::kInt64},
+                              {"b", DataType::kString},
+                              {"c", DataType::kFloat64},
+                              {"d", DataType::kDate}});
+  Table tgt = src;
+  tgt.set_name("t");
+  MatchResult r = SimilarityFloodingMatcher(opt).Match(src, tgt);
+  EXPECT_EQ(r.size(), 16u);
+  EXPECT_EQ(r[0].source.column, r[0].target.column);
+}
+
+// All four fixpoint formulae produce valid rankings.
+class SfFormulaTest : public ::testing::TestWithParam<SfFormula> {};
+
+TEST_P(SfFormulaTest, ProducesCompleteBoundedRanking) {
+  SimilarityFloodingOptions opt;
+  opt.formula = GetParam();
+  Table src = MakeTable("s", {{"customer", DataType::kString},
+                              {"amount", DataType::kFloat64}});
+  Table tgt = MakeTable("t", {{"client", DataType::kString},
+                              {"total", DataType::kFloat64}});
+  MatchResult r = SimilarityFloodingMatcher(opt).Match(src, tgt);
+  EXPECT_EQ(r.size(), 4u);
+  for (const Match& m : r.matches()) {
+    EXPECT_GE(m.score, 0.0);
+    EXPECT_LE(m.score, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formulae, SfFormulaTest,
+                         ::testing::Values(SfFormula::kBasic, SfFormula::kA,
+                                           SfFormula::kB, SfFormula::kC));
+
+TEST(SimilarityFloodingTest, SingleColumnTables) {
+  Table src = MakeTable("s", {{"only", DataType::kString}});
+  Table tgt = MakeTable("t", {{"only", DataType::kString}});
+  MatchResult r = SimilarityFloodingMatcher().Match(src, tgt);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_GT(r[0].score, 0.5);
+}
+
+TEST(SimilarityFloodingTest, MetadataDeclared) {
+  SimilarityFloodingMatcher m;
+  EXPECT_EQ(m.Name(), "SimilarityFlooding");
+  EXPECT_EQ(m.Category(), MatcherCategory::kSchemaBased);
+}
+
+}  // namespace
+}  // namespace valentine

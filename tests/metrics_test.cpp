@@ -1,0 +1,130 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+std::vector<GroundTruthEntry> Gt() {
+  return {{"a", "x"}, {"b", "y"}};
+}
+
+MatchResult Ranked(std::vector<std::tuple<std::string, std::string, double>>
+                       entries) {
+  MatchResult r;
+  for (auto& [s, t, score] : entries) {
+    r.Add({"src", s}, {"tgt", t}, score);
+  }
+  r.Sort();
+  return r;
+}
+
+TEST(MatchesGroundTruthTest, ColumnNameComparison) {
+  Match m{{"src", "a"}, {"tgt", "x"}, 1.0};
+  EXPECT_TRUE(MatchesGroundTruth(m, Gt()));
+  Match wrong{{"src", "a"}, {"tgt", "y"}, 1.0};
+  EXPECT_FALSE(MatchesGroundTruth(wrong, Gt()));
+}
+
+TEST(RecallAtGroundTruthTest, PerfectRanking) {
+  auto r = Ranked({{"a", "x", 0.9}, {"b", "y", 0.8}, {"a", "y", 0.1}});
+  EXPECT_DOUBLE_EQ(RecallAtGroundTruth(r, Gt()), 1.0);
+}
+
+TEST(RecallAtGroundTruthTest, HalfInTopK) {
+  // Only one of the two relevant pairs is in the top 2.
+  auto r = Ranked({{"a", "x", 0.9}, {"a", "y", 0.8}, {"b", "y", 0.1}});
+  EXPECT_DOUBLE_EQ(RecallAtGroundTruth(r, Gt()), 0.5);
+}
+
+TEST(RecallAtGroundTruthTest, EmptyGroundTruthIsZero) {
+  auto r = Ranked({{"a", "x", 0.9}});
+  EXPECT_DOUBLE_EQ(RecallAtGroundTruth(r, {}), 0.0);
+}
+
+TEST(RecallAtGroundTruthTest, ShortResultList) {
+  auto r = Ranked({{"a", "x", 0.9}});  // fewer results than |GT|
+  EXPECT_DOUBLE_EQ(RecallAtGroundTruth(r, Gt()), 0.5);
+}
+
+TEST(RecallAtKTest, EqualsPrecisionAtKWhenKIsGtSize) {
+  // The paper's §II-C note: Recall@k == Precision@k at k=|GT| when the
+  // result has at least k entries.
+  auto r = Ranked({{"a", "x", 0.9}, {"a", "y", 0.8}, {"b", "y", 0.7}});
+  EXPECT_DOUBLE_EQ(RecallAtK(r, Gt(), 2), PrecisionAtK(r, Gt(), 2));
+}
+
+TEST(PrecisionAtKTest, DividesByActualListLength) {
+  auto r = Ranked({{"a", "x", 0.9}});
+  // Precision@2 over a 1-element list: 1/1.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, Gt(), 2), 1.0);
+  // Recall@2 divides by k: 1/2.
+  EXPECT_DOUBLE_EQ(RecallAtK(r, Gt(), 2), 0.5);
+}
+
+TEST(MapTest, PerfectRankingIsOne) {
+  auto r = Ranked({{"a", "x", 0.9}, {"b", "y", 0.8}, {"a", "y", 0.1}});
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(r, Gt()), 1.0);
+}
+
+TEST(MapTest, LateRelevantLowersMap) {
+  auto r = Ranked({{"a", "y", 0.9}, {"a", "x", 0.8}, {"b", "y", 0.7}});
+  // AP = (1/2 + 2/3) / 2.
+  EXPECT_NEAR(MeanAveragePrecision(r, Gt()), (0.5 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(MapTest, EmptyGt) {
+  auto r = Ranked({{"a", "x", 0.9}});
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(r, {}), 0.0);
+}
+
+TEST(OneToOneTest, GreedySelection) {
+  auto r = Ranked({{"a", "x", 0.9},
+                   {"a", "y", 0.85},   // skipped: a used
+                   {"b", "y", 0.8},
+                   {"c", "z", 0.1}});  // below threshold
+  OneToOneMetrics m = OneToOneFromRanking(r, Gt(), 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(OneToOneTest, FalsePositivesLowerPrecision) {
+  std::vector<GroundTruthEntry> gt = {{"a", "x"}};
+  auto r = Ranked({{"b", "y", 0.9}, {"a", "x", 0.8}});
+  OneToOneMetrics m = OneToOneFromRanking(r, gt, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(OneToOneTest, EmptySelection) {
+  auto r = Ranked({{"a", "x", 0.1}});
+  OneToOneMetrics m = OneToOneFromRanking(r, Gt(), 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(SummarizeTest, Basic) {
+  Summary s = Summarize({0.4, 0.1, 0.9, 0.5});
+  EXPECT_DOUBLE_EQ(s.min, 0.1);
+  EXPECT_DOUBLE_EQ(s.max, 0.9);
+  EXPECT_DOUBLE_EQ(s.median, 0.45);
+  EXPECT_NEAR(s.mean, 0.475, 1e-12);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(SummarizeTest, OddCountMedian) {
+  Summary s = Summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(SummarizeTest, Empty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,186 @@
+// Tests for the scaling module: Lazo coupled estimation, the MinHash-LSH
+// domain index, and the approximate overlap matcher (paper §IX's
+// "approximations for better scaling").
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "datasets/tpcdi.h"
+#include "fabrication/fabricator.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "metrics/metrics.h"
+#include "scaling/approximate_matcher.h"
+#include "scaling/lsh_index.h"
+#include "text/string_similarity.h"
+
+namespace valentine {
+namespace {
+
+std::unordered_set<std::string> MakeSet(int lo, int hi) {
+  std::unordered_set<std::string> s;
+  for (int i = lo; i < hi; ++i) s.insert("item_" + std::to_string(i));
+  return s;
+}
+
+TEST(LazoTest, IdenticalSets) {
+  auto sketch = LazoSketch::Build(MakeSet(0, 500), 128);
+  LazoEstimate est = EstimateLazo(sketch, sketch);
+  EXPECT_DOUBLE_EQ(est.jaccard, 1.0);
+  EXPECT_NEAR(est.containment_a_in_b, 1.0, 1e-9);
+  EXPECT_NEAR(est.intersection_size, 500.0, 1e-6);
+}
+
+TEST(LazoTest, DisjointSets) {
+  auto a = LazoSketch::Build(MakeSet(0, 300), 128);
+  auto b = LazoSketch::Build(MakeSet(1000, 1300), 128);
+  LazoEstimate est = EstimateLazo(a, b);
+  EXPECT_LT(est.jaccard, 0.05);
+  EXPECT_LT(est.containment_a_in_b, 0.1);
+}
+
+TEST(LazoTest, AsymmetricContainment) {
+  // A (100 items) fully contained in B (1000 items).
+  auto a = LazoSketch::Build(MakeSet(0, 100), 256);
+  auto b = LazoSketch::Build(MakeSet(0, 1000), 256);
+  LazoEstimate est = EstimateLazo(a, b);
+  // True J = 0.1, C(A in B) = 1.0, C(B in A) = 0.1.
+  EXPECT_NEAR(est.jaccard, 0.1, 0.05);
+  EXPECT_GT(est.containment_a_in_b, 0.6);
+  EXPECT_LT(est.containment_b_in_a, 0.2);
+}
+
+TEST(LazoTest, EstimatesTrackTruthAcrossOverlaps) {
+  for (int overlap : {50, 100, 150}) {
+    auto sa = MakeSet(0, 200);
+    auto sb = MakeSet(200 - overlap, 400 - overlap);
+    double truth = JaccardSimilarity(sa, sb);
+    LazoEstimate est = EstimateLazo(LazoSketch::Build(sa, 256),
+                                    LazoSketch::Build(sb, 256));
+    EXPECT_NEAR(est.jaccard, truth, 0.1) << overlap;
+    double true_containment = Containment(sa, sb);
+    EXPECT_NEAR(est.containment_a_in_b, true_containment, 0.15) << overlap;
+  }
+}
+
+TEST(LazoTest, EmptySets) {
+  auto empty = LazoSketch::Build({}, 64);
+  auto full = LazoSketch::Build(MakeSet(0, 10), 64);
+  EXPECT_DOUBLE_EQ(EstimateLazo(empty, empty).jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(EstimateLazo(empty, full).jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(EstimateLazo(empty, full).containment_a_in_b, 0.0);
+}
+
+TEST(LazoTest, IntersectionCappedBySmallerSet) {
+  auto a = LazoSketch::Build(MakeSet(0, 10), 64);
+  auto b = LazoSketch::Build(MakeSet(0, 10000), 64);
+  LazoEstimate est = EstimateLazo(a, b);
+  EXPECT_LE(est.intersection_size, 10.0);
+  EXPECT_LE(est.containment_a_in_b, 1.0);
+}
+
+TEST(LshIndexTest, FindsNearDuplicates) {
+  LshIndex index;
+  index.Add("dup", MakeSet(0, 500));
+  index.Add("half", MakeSet(250, 750));
+  index.Add("far", MakeSet(5000, 5500));
+  auto results = index.QueryJaccard(MakeSet(0, 500), 0.5);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].first, "dup");
+  EXPECT_GT(results[0].second, 0.9);
+}
+
+TEST(LshIndexTest, PrunesDistantSets) {
+  LshIndex index;
+  for (int k = 0; k < 50; ++k) {
+    index.Add("set" + std::to_string(k), MakeSet(k * 1000, k * 1000 + 400));
+  }
+  // A query overlapping only set0 should not produce ~50 candidates.
+  auto candidates = index.Candidates(MakeSet(0, 400));
+  EXPECT_LT(candidates.size(), 10u);
+  bool found = false;
+  for (const auto& c : candidates) found = found || c == "set0";
+  EXPECT_TRUE(found);
+}
+
+TEST(LshIndexTest, ContainmentQueryFindsSuperset) {
+  LshIndex index;
+  index.Add("superset", MakeSet(0, 2000));
+  index.Add("unrelated", MakeSet(9000, 9300));
+  // Small query fully contained in "superset": J is only ~0.1 but
+  // containment is ~1.0.
+  auto results = index.QueryContainment(MakeSet(0, 200), 0.5);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].first, "superset");
+}
+
+TEST(LshIndexTest, SizeTracksAdds) {
+  LshIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  index.Add("a", MakeSet(0, 10));
+  index.Add("b", MakeSet(0, 10));
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(ApproximateMatcherTest, AgreesWithExactOnEasyPair) {
+  Table original = MakeTpcdiProspect(200, 51);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kJoinable;
+  fab.column_overlap = 0.5;
+  fab.seed = 9;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+
+  ApproximateOverlapOptions opt;
+  opt.estimate_all_pairs = true;
+  ApproximateOverlapMatcher approx(opt);
+  double approx_recall = RecallAtGroundTruth(
+      approx.Match(pair.source, pair.target), pair.ground_truth);
+
+  JaccardLevenshteinOptions exact_opt;
+  exact_opt.threshold = 0.0;
+  exact_opt.max_distinct_values = 0;
+  JaccardLevenshteinMatcher exact(exact_opt);
+  double exact_recall = RecallAtGroundTruth(
+      exact.Match(pair.source, pair.target), pair.ground_truth);
+
+  EXPECT_GE(approx_recall, exact_recall - 0.15);
+  EXPECT_GE(approx_recall, 0.8);
+}
+
+TEST(ApproximateMatcherTest, LshPruningStillFindsStrongMatches) {
+  Table original = MakeTpcdiProspect(200, 52);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kUnionable;
+  fab.row_overlap = 0.8;
+  fab.seed = 10;
+  DatasetPair pair = FabricateDatasetPair(original, fab).ValueOrDie();
+
+  ApproximateOverlapOptions opt;  // LSH pruning on
+  ApproximateOverlapMatcher approx(opt);
+  double recall = RecallAtGroundTruth(
+      approx.Match(pair.source, pair.target), pair.ground_truth);
+  EXPECT_GE(recall, 0.6);
+}
+
+TEST(ApproximateMatcherTest, MinJaccardFilters) {
+  Table src("s");
+  Column a("a", DataType::kString);
+  for (int i = 0; i < 50; ++i) a.Append(Value::Int(i));
+  ASSERT_TRUE(src.AddColumn(std::move(a)).ok());
+  Table tgt("t");
+  Column b("b", DataType::kString);
+  for (int i = 1000; i < 1050; ++i) b.Append(Value::Int(i));
+  ASSERT_TRUE(tgt.AddColumn(std::move(b)).ok());
+  ApproximateOverlapOptions opt;
+  opt.min_jaccard = 0.5;
+  opt.estimate_all_pairs = true;
+  EXPECT_TRUE(ApproximateOverlapMatcher(opt).Match(src, tgt).empty());
+}
+
+TEST(ApproximateMatcherTest, MetadataDeclared) {
+  ApproximateOverlapMatcher m;
+  EXPECT_EQ(m.Name(), "ApproxOverlap");
+  EXPECT_EQ(m.Category(), MatcherCategory::kInstanceBased);
+}
+
+}  // namespace
+}  // namespace valentine

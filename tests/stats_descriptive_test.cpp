@@ -1,0 +1,97 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(NumericStatsTest, KnownSample) {
+  NumericStats s = ComputeNumericStats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.118, 1e-3);
+}
+
+TEST(NumericStatsTest, OddMedian) {
+  NumericStats s = ComputeNumericStats({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(NumericStatsTest, Empty) {
+  NumericStats s = ComputeNumericStats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(TextProfileTest, CountsCharacterClasses) {
+  Column c("x", DataType::kString);
+  c.Append(Value::String("ab1 "));   // 2 alpha, 1 digit, 1 space
+  c.Append(Value::String("cd2 "));
+  c.Append(Value::Null());
+  TextProfile p = ComputeTextProfile(c);
+  EXPECT_EQ(p.count, 2u);
+  EXPECT_DOUBLE_EQ(p.mean_length, 4.0);
+  EXPECT_DOUBLE_EQ(p.digit_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(p.alpha_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(p.space_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(p.distinct_ratio, 1.0);
+}
+
+TEST(TextProfileTest, DistinctRatioWithDuplicates) {
+  Column c("x", DataType::kString);
+  c.Append(Value::String("a"));
+  c.Append(Value::String("a"));
+  c.Append(Value::String("b"));
+  c.Append(Value::String("a"));
+  TextProfile p = ComputeTextProfile(c);
+  EXPECT_DOUBLE_EQ(p.distinct_ratio, 0.5);
+}
+
+TEST(TextProfileTest, EmptyColumn) {
+  Column c("x", DataType::kString);
+  TextProfile p = ComputeTextProfile(c);
+  EXPECT_EQ(p.count, 0u);
+}
+
+TEST(NumericStatsSimilarityTest, IdenticalIsOne) {
+  NumericStats s = ComputeNumericStats({1, 2, 3, 4, 5});
+  EXPECT_NEAR(NumericStatsSimilarity(s, s), 1.0, 1e-9);
+}
+
+TEST(NumericStatsSimilarityTest, DisjointRangesLow) {
+  NumericStats a = ComputeNumericStats({1, 2, 3});
+  NumericStats b = ComputeNumericStats({1000, 2000, 3000});
+  EXPECT_LT(NumericStatsSimilarity(a, b), 0.3);
+}
+
+TEST(NumericStatsSimilarityTest, EmptyIsZero) {
+  NumericStats a = ComputeNumericStats({1, 2});
+  NumericStats empty;
+  EXPECT_DOUBLE_EQ(NumericStatsSimilarity(a, empty), 0.0);
+}
+
+TEST(TextProfileSimilarityTest, IdenticalColumnsNearOne) {
+  Column c("x", DataType::kString);
+  c.Append(Value::String("hello world"));
+  c.Append(Value::String("foo bar 12"));
+  TextProfile p = ComputeTextProfile(c);
+  EXPECT_NEAR(TextProfileSimilarity(p, p), 1.0, 1e-9);
+}
+
+TEST(TextProfileSimilarityTest, DifferentShapesLower) {
+  Column a("a", DataType::kString);
+  a.Append(Value::String("xy"));
+  a.Append(Value::String("zw"));
+  Column b("b", DataType::kString);
+  b.Append(Value::String("12345678901234567890"));
+  b.Append(Value::String("09876543210987654321"));
+  double sim = TextProfileSimilarity(ComputeTextProfile(a),
+                                     ComputeTextProfile(b));
+  EXPECT_LT(sim, 0.7);
+}
+
+}  // namespace
+}  // namespace valentine

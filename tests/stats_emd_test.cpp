@@ -1,0 +1,126 @@
+#include "stats/emd.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/rng.h"
+
+namespace valentine {
+namespace {
+
+TEST(EmdTest, IdenticalDistributionsZero) {
+  std::vector<MassPoint> a = {{0.0, 0.5}, {1.0, 0.5}};
+  EXPECT_NEAR(EmdPointMasses(a, a), 0.0, 1e-12);
+}
+
+TEST(EmdTest, SimpleShift) {
+  // All mass at 0 vs all mass at 1: EMD = 1.
+  std::vector<MassPoint> a = {{0.0, 1.0}};
+  std::vector<MassPoint> b = {{1.0, 1.0}};
+  EXPECT_NEAR(EmdPointMasses(a, b), 1.0, 1e-12);
+}
+
+TEST(EmdTest, HalfMassMoved) {
+  // {0:0.5, 1:0.5} vs {0:1.0}: move 0.5 mass across distance 1.
+  std::vector<MassPoint> a = {{0.0, 0.5}, {1.0, 0.5}};
+  std::vector<MassPoint> b = {{0.0, 1.0}};
+  EXPECT_NEAR(EmdPointMasses(a, b), 0.5, 1e-12);
+}
+
+TEST(EmdTest, NormalizesMass) {
+  // Unnormalized masses produce the same result.
+  std::vector<MassPoint> a = {{0.0, 5.0}};
+  std::vector<MassPoint> b = {{1.0, 20.0}};
+  EXPECT_NEAR(EmdPointMasses(a, b), 1.0, 1e-12);
+}
+
+TEST(EmdTest, Symmetric) {
+  std::vector<MassPoint> a = {{0.0, 0.3}, {2.0, 0.7}};
+  std::vector<MassPoint> b = {{1.0, 1.0}};
+  EXPECT_NEAR(EmdPointMasses(a, b), EmdPointMasses(b, a), 1e-12);
+}
+
+TEST(EmdTest, TriangleLikeCase) {
+  // {0:1} vs {0:0.5, 2:0.5}: move 0.5 over distance 2 -> 1.0.
+  std::vector<MassPoint> a = {{0.0, 1.0}};
+  std::vector<MassPoint> b = {{0.0, 0.5}, {2.0, 0.5}};
+  EXPECT_NEAR(EmdPointMasses(a, b), 1.0, 1e-12);
+}
+
+TEST(EmdTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(EmdPointMasses({}, {}), 0.0);
+  std::vector<MassPoint> a = {{0.0, 1.0}};
+  EXPECT_EQ(EmdPointMasses(a, {}), std::numeric_limits<double>::max());
+}
+
+TEST(EmdHistogramTest, IdenticalHistogramsZero) {
+  std::vector<double> data;
+  for (int i = 0; i < 500; ++i) data.push_back(i % 37);
+  auto h = QuantileHistogram::Build(data, 16);
+  EXPECT_NEAR(EmdBetweenHistograms(h, h), 0.0, 1e-12);
+}
+
+TEST(EmdHistogramTest, ShiftedDistributionsPositive) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(i);
+    b.push_back(i + 400);
+  }
+  auto ha = QuantileHistogram::Build(a, 16);
+  auto hb = QuantileHistogram::Build(b, 16);
+  double emd = EmdBetweenHistograms(ha, hb);
+  EXPECT_GT(emd, 0.1);
+  EXPECT_LE(emd, 1.0);  // domain normalized to [0, 1]
+}
+
+TEST(EmdHistogramTest, ScaleInvarianceOfNormalizedDomain) {
+  // The same relative shapes at different absolute scales give the same
+  // normalized EMD.
+  std::vector<double> a1, b1, a2, b2;
+  for (int i = 0; i < 100; ++i) {
+    a1.push_back(i);
+    b1.push_back(i + 50);
+    a2.push_back(i * 1000.0);
+    b2.push_back((i + 50) * 1000.0);
+  }
+  double emd_small = EmdBetweenHistograms(QuantileHistogram::Build(a1, 8),
+                                          QuantileHistogram::Build(b1, 8));
+  double emd_large = EmdBetweenHistograms(QuantileHistogram::Build(a2, 8),
+                                          QuantileHistogram::Build(b2, 8));
+  EXPECT_NEAR(emd_small, emd_large, 1e-9);
+}
+
+TEST(EmdHistogramTest, EmptyVsNonEmpty) {
+  auto empty = QuantileHistogram::Build({}, 8);
+  auto full = QuantileHistogram::Build({1.0, 2.0}, 8);
+  EXPECT_DOUBLE_EQ(EmdBetweenHistograms(empty, empty), 0.0);
+  EXPECT_EQ(EmdBetweenHistograms(empty, full),
+            std::numeric_limits<double>::max());
+}
+
+// Property sweep: EMD is a metric-like quantity — non-negative,
+// symmetric, zero on identity — across several generated distributions.
+class EmdPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmdPropertyTest, MetricProperties) {
+  int seed = GetParam();
+  Rng rng(seed);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.Gaussian(seed * 10.0, 5.0 + seed));
+    b.push_back(rng.UniformDouble(0.0, 100.0));
+  }
+  auto ha = QuantileHistogram::Build(a, 16);
+  auto hb = QuantileHistogram::Build(b, 16);
+  double ab = EmdBetweenHistograms(ha, hb);
+  double ba = EmdBetweenHistograms(hb, ha);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  EXPECT_NEAR(EmdBetweenHistograms(ha, ha), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmdPropertyTest, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,88 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(QuantileHistogramTest, EmptyData) {
+  auto h = QuantileHistogram::Build({}, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.num_bins(), 0u);
+}
+
+TEST(QuantileHistogramTest, ZeroBins) {
+  auto h = QuantileHistogram::Build({1.0, 2.0}, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(QuantileHistogramTest, MassesSumToOne) {
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(i * 0.5);
+  auto h = QuantileHistogram::Build(data, 16);
+  EXPECT_EQ(h.num_bins(), 16u);
+  double total = 0.0;
+  for (size_t i = 0; i < h.num_bins(); ++i) total += h.mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(QuantileHistogramTest, EquiDepthOnUniformData) {
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<double>(i));
+  auto h = QuantileHistogram::Build(data, 4);
+  ASSERT_EQ(h.num_bins(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(h.mass(i), 0.25, 1e-9);
+  // Centers increase.
+  for (size_t i = 1; i < 4; ++i) EXPECT_GT(h.center(i), h.center(i - 1));
+}
+
+TEST(QuantileHistogramTest, FewerValuesThanBins) {
+  auto h = QuantileHistogram::Build({5.0, 7.0}, 10);
+  EXPECT_EQ(h.num_bins(), 2u);
+  EXPECT_DOUBLE_EQ(h.min_value(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 7.0);
+}
+
+TEST(QuantileHistogramTest, SingleValue) {
+  auto h = QuantileHistogram::Build({3.0}, 8);
+  ASSERT_EQ(h.num_bins(), 1u);
+  EXPECT_DOUBLE_EQ(h.center(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.mass(0), 1.0);
+}
+
+TEST(QuantileHistogramTest, UnsortedInputHandled) {
+  auto h = QuantileHistogram::Build({9.0, 1.0, 5.0}, 3);
+  EXPECT_DOUBLE_EQ(h.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 9.0);
+}
+
+TEST(ValueToPointTest, NumericStringsMapToValue) {
+  EXPECT_DOUBLE_EQ(ValueToPoint("42"), 42.0);
+  EXPECT_DOUBLE_EQ(ValueToPoint("-3.5"), -3.5);
+}
+
+TEST(ValueToPointTest, NonNumericDeterministicAndBounded) {
+  double p1 = ValueToPoint("hello");
+  double p2 = ValueToPoint("hello");
+  EXPECT_DOUBLE_EQ(p1, p2);
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LT(p1, 1e6);
+  EXPECT_NE(ValueToPoint("hello"), ValueToPoint("world"));
+}
+
+TEST(ValueToPointTest, PartialNumberIsHashed) {
+  // "12abc" is not fully numeric, so it gets the hash treatment.
+  double p = ValueToPoint("12abc");
+  EXPECT_GE(p, 0.0);
+  EXPECT_LT(p, 1e6);
+}
+
+TEST(ValuesToPointsTest, MapsAll) {
+  auto pts = ValuesToPoints({"1", "2", "x"});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0], 1.0);
+  EXPECT_DOUBLE_EQ(pts[1], 2.0);
+}
+
+}  // namespace
+}  // namespace valentine

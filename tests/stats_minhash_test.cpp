@@ -1,0 +1,77 @@
+#include "stats/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include "text/string_similarity.h"
+
+namespace valentine {
+namespace {
+
+std::unordered_set<std::string> MakeSet(int lo, int hi) {
+  std::unordered_set<std::string> s;
+  for (int i = lo; i < hi; ++i) s.insert("v" + std::to_string(i));
+  return s;
+}
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  auto set = MakeSet(0, 100);
+  auto sig_a = MinHashSignature::Build(set, 64);
+  auto sig_b = MinHashSignature::Build(set, 64);
+  EXPECT_DOUBLE_EQ(sig_a.EstimateJaccard(sig_b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  auto sig_a = MinHashSignature::Build(MakeSet(0, 200), 128);
+  auto sig_b = MinHashSignature::Build(MakeSet(1000, 1200), 128);
+  EXPECT_LT(sig_a.EstimateJaccard(sig_b), 0.05);
+}
+
+TEST(MinHashTest, EstimateTracksTrueJaccard) {
+  // |A ∩ B| = 100, |A ∪ B| = 300 -> J = 1/3.
+  auto a = MakeSet(0, 200);
+  auto b = MakeSet(100, 300);
+  double truth = JaccardSimilarity(a, b);
+  auto sig_a = MinHashSignature::Build(a, 256);
+  auto sig_b = MinHashSignature::Build(b, 256);
+  EXPECT_NEAR(sig_a.EstimateJaccard(sig_b), truth, 0.08);
+}
+
+TEST(MinHashTest, EmptySets) {
+  auto empty = MinHashSignature::Build({}, 64);
+  auto full = MinHashSignature::Build(MakeSet(0, 10), 64);
+  EXPECT_DOUBLE_EQ(empty.EstimateJaccard(empty), 1.0);
+  EXPECT_DOUBLE_EQ(empty.EstimateJaccard(full), 0.0);
+  EXPECT_TRUE(empty.empty_set());
+  EXPECT_FALSE(full.empty_set());
+}
+
+TEST(MinHashTest, SignatureSize) {
+  auto sig = MinHashSignature::Build(MakeSet(0, 10), 32);
+  EXPECT_EQ(sig.size(), 32u);
+}
+
+TEST(MinHashTest, MismatchedSizesGiveZero) {
+  auto a = MinHashSignature::Build(MakeSet(0, 10), 32);
+  auto b = MinHashSignature::Build(MakeSet(0, 10), 64);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b), 0.0);
+}
+
+// Property sweep over overlap fractions: the estimate must be monotone
+// in expectation and stay within a loose tolerance band.
+class MinHashAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashAccuracyTest, EstimateWithinTolerance) {
+  int overlap = GetParam();  // percent of 200 elements shared
+  auto a = MakeSet(0, 200);
+  auto b = MakeSet(200 - 2 * overlap, 400 - 2 * overlap);
+  double truth = JaccardSimilarity(a, b);
+  auto sig_a = MinHashSignature::Build(a, 256);
+  auto sig_b = MinHashSignature::Build(b, 256);
+  EXPECT_NEAR(sig_a.EstimateJaccard(sig_b), truth, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, MinHashAccuracyTest,
+                         ::testing::Values(0, 10, 25, 50, 75, 90, 100));
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,113 @@
+#include "text/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/wikidata.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "metrics/metrics.h"
+
+namespace valentine {
+namespace {
+
+TEST(NormalizeValueTest, CasefoldAndWhitespace) {
+  EXPECT_EQ(NormalizeValue("  Elvis   PRESLEY "), "elvis presley");
+}
+
+TEST(NormalizeValueTest, PunctuationStripped) {
+  EXPECT_EQ(NormalizeValue("Presley, Elvis."), "presley elvis");
+}
+
+TEST(NormalizeValueTest, LongDateToIso) {
+  EXPECT_EQ(NormalizeValue("March 12, 1956"), "1956-03-12");
+  EXPECT_EQ(NormalizeValue("march 5 2001"), "2001-03-05");
+  EXPECT_EQ(NormalizeValue("December 31, 1999"), "1999-12-31");
+}
+
+TEST(NormalizeValueTest, NonDatesUntouchedByDateRule) {
+  EXPECT_EQ(NormalizeValue("mayhem 12"), "mayhem 12");
+  EXPECT_EQ(NormalizeValue("March of the penguins"),
+            "march of the penguins");
+}
+
+TEST(NormalizeValueTest, UrlDecorationStripped) {
+  // Scheme and "www." go first; the later punctuation pass also drops
+  // the dots — what matters is that both encodings land on one form.
+  EXPECT_EQ(NormalizeValue("https://www.elvis.com/"),
+            NormalizeValue("elvis.com"));
+  EXPECT_EQ(NormalizeValue("http://example.org"),
+            NormalizeValue("example.org"));
+  EXPECT_EQ(NormalizeValue("www.plain.net"), NormalizeValue("plain.net"));
+  NormalizeOptions keep_punct;
+  keep_punct.strip_punctuation = false;
+  EXPECT_EQ(NormalizeValue("https://www.elvis.com/", keep_punct),
+            "elvis.com");
+}
+
+TEST(NormalizeValueTest, ListValuesSorted) {
+  // Differently-ordered lists canonicalize identically.
+  EXPECT_EQ(NormalizeValue("Zoe Q; Adam B; Mia K"),
+            NormalizeValue("Adam B; Mia K; Zoe Q"));
+  NormalizeOptions keep_punct;
+  keep_punct.strip_punctuation = false;
+  EXPECT_EQ(NormalizeValue("Zoe Q; Adam B; Mia K", keep_punct),
+            "adam b; mia k; zoe q");
+}
+
+TEST(NormalizeValueTest, OptionsDisable) {
+  NormalizeOptions opt;
+  opt.casefold = false;
+  opt.strip_punctuation = false;
+  EXPECT_EQ(NormalizeValue("Hello, World", opt), "Hello, World");
+}
+
+TEST(NormalizeValueTest, IsoDatesStayIso) {
+  EXPECT_EQ(NormalizeValue("1956-03-12"), "1956-03-12");
+}
+
+TEST(NormalizeTableTest, OnlyStringCellsTouched) {
+  Table t("t");
+  Column s("s", DataType::kString);
+  s.Append(Value::String("ABC"));
+  s.Append(Value::Null());
+  Column n("n", DataType::kInt64);
+  n.Append(Value::Int(5));
+  n.Append(Value::Int(6));
+  ASSERT_TRUE(t.AddColumn(std::move(s)).ok());
+  ASSERT_TRUE(t.AddColumn(std::move(n)).ok());
+  Table out = NormalizeTable(t);
+  EXPECT_EQ(out.column(0)[0].AsString(), "abc");
+  EXPECT_TRUE(out.column(0)[1].is_null());
+  EXPECT_EQ(out.column(1)[0].int_value(), 5);
+}
+
+TEST(NormalizingMatcherTest, RecoversSemanticJoinRecall) {
+  // The WikiData semantically-joinable pair encodes six columns
+  // differently; normalization recovers part of the value overlap, so
+  // the baseline must not get worse and should typically improve.
+  auto pairs = MakeWikidataPairs(200, 7);
+  const DatasetPair& sem = pairs[3];
+  ASSERT_EQ(sem.scenario, Scenario::kSemanticallyJoinable);
+
+  JaccardLevenshteinOptions o;
+  o.threshold = 0.0;  // strict equality isolates the encoding gap
+  o.max_distinct_values = 150;
+  double plain = RecallAtGroundTruth(
+      JaccardLevenshteinMatcher(o).Match(sem.source, sem.target),
+      sem.ground_truth);
+  NormalizingMatcher normalized(
+      std::make_unique<JaccardLevenshteinMatcher>(o));
+  double with_norm = RecallAtGroundTruth(
+      normalized.Match(sem.source, sem.target), sem.ground_truth);
+  EXPECT_GE(with_norm, plain);
+}
+
+TEST(NormalizingMatcherTest, DelegatesMetadata) {
+  NormalizingMatcher m(std::make_unique<JaccardLevenshteinMatcher>());
+  EXPECT_EQ(m.Name(), "Normalized(JaccardLevenshtein)");
+  EXPECT_EQ(m.Category(), MatcherCategory::kInstanceBased);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,55 @@
+#include "text/stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(StemmerTest, Plurals) {
+  EXPECT_EQ(StemToken("addresses"), "address");
+  EXPECT_EQ(StemToken("cities"), "city");
+  EXPECT_EQ(StemToken("cars"), "car");
+  EXPECT_EQ(StemToken("class"), "class");  // -ss untouched
+}
+
+TEST(StemmerTest, IngAndEd) {
+  EXPECT_EQ(StemToken("owning"), "own");
+  EXPECT_EQ(StemToken("running"), "run");
+  EXPECT_EQ(StemToken("stopped"), "stop");
+  EXPECT_EQ(StemToken("rated"), "rat");  // crude but deterministic
+}
+
+TEST(StemmerTest, ShortTokensUntouched) {
+  EXPECT_EQ(StemToken("id"), "id");
+  EXPECT_EQ(StemToken("age"), "age");
+  EXPECT_EQ(StemToken("js"), "js");
+}
+
+TEST(StemmerTest, IngWithoutVowelStemKept) {
+  // "string" minus "ing" leaves "str" (no vowel): keep intact.
+  EXPECT_EQ(StemToken("string"), "string");
+}
+
+TEST(StemmerTest, DerivationalEndings) {
+  EXPECT_EQ(StemToken("organization"), "organize");
+  EXPECT_EQ(StemToken("payment"), "pay");
+  EXPECT_EQ(StemToken("darkness"), "dark");
+}
+
+TEST(StemmerTest, StemTokensMapsAll) {
+  auto out = StemTokens({"addresses", "cities"});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "address");
+  EXPECT_EQ(out[1], "city");
+}
+
+TEST(StemmerTest, IdempotentOnCommonSchemaWords) {
+  for (const char* w : {"name", "city", "state", "country", "income",
+                        "status", "team", "genre"}) {
+    std::string once = StemToken(w);
+    EXPECT_EQ(StemToken(once), once) << w;
+  }
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,169 @@
+#include "text/string_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("sunday", "saturday"),
+            LevenshteinDistance("saturday", "sunday"));
+}
+
+TEST(LevenshteinSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  double s = LevenshteinSimilarity("abcd", "abce");
+  EXPECT_DOUBLE_EQ(s, 0.75);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.7667, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jaro = JaroSimilarity("prefixed", "prefixes");
+  double jw = JaroWinklerSimilarity("prefixed", "prefixes");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+}
+
+TEST(JaroWinklerTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+}
+
+TEST(CharNGramsTest, PaddedTrigrams) {
+  auto grams = CharNGrams("ab", 3);
+  // "##ab##" -> {"##a", "#ab", "ab#", "b##"}
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams[0], "##a");
+  EXPECT_EQ(grams[3], "b##");
+}
+
+TEST(CharNGramsTest, Unigrams) {
+  auto grams = CharNGrams("abc", 1);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[1], "b");
+}
+
+TEST(TrigramTest, Bounds) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("abc", "xyz"), 0.0);
+  double s = TrigramSimilarity("night", "nacht");
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(JaccardTest, SetOverlap) {
+  std::unordered_set<std::string> a = {"x", "y", "z"};
+  std::unordered_set<std::string> b = {"y", "z", "w"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, {}), 0.0);
+}
+
+TEST(ContainmentTest, Asymmetric) {
+  std::unordered_set<std::string> a = {"x", "y"};
+  std::unordered_set<std::string> b = {"x", "y", "z", "w"};
+  EXPECT_DOUBLE_EQ(Containment(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Containment(b, a), 0.5);
+  EXPECT_DOUBLE_EQ(Containment({}, b), 0.0);
+}
+
+TEST(FuzzyJaccardTest, ExactMatchesOnly) {
+  std::vector<std::string> a = {"apple", "pear", "plum"};
+  std::vector<std::string> b = {"apple", "pear", "kiwi"};
+  // threshold 0: only exact matches, jaccard = 2/4.
+  EXPECT_DOUBLE_EQ(FuzzyJaccard(a, b, 0.0), 0.5);
+}
+
+TEST(FuzzyJaccardTest, FuzzyMatchesCount) {
+  std::vector<std::string> a = {"apple"};
+  std::vector<std::string> b = {"aple"};  // distance 1, max len 5 -> 0.2
+  EXPECT_DOUBLE_EQ(FuzzyJaccard(a, b, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FuzzyJaccard(a, b, 0.25), 1.0);
+}
+
+TEST(FuzzyJaccardTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(FuzzyJaccard({}, {}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyJaccard({"a"}, {}, 0.5), 0.0);
+}
+
+TEST(FuzzyJaccardTest, DuplicatesHandledAsMultiset) {
+  std::vector<std::string> a = {"x", "x"};
+  std::vector<std::string> b = {"x"};
+  // matched = 1, union = 2 + 1 - 1 = 2.
+  EXPECT_DOUBLE_EQ(FuzzyJaccard(a, b, 0.0), 0.5);
+}
+
+TEST(FuzzyJaccardTest, LengthPrefilterDoesNotChangeSemantics) {
+  // "ab" vs "abcdef": length diff 4 / max 6 = 0.67 > 0.3 -> prunable,
+  // and indeed real distance 4/6 = 0.67 > 0.3.
+  EXPECT_DOUBLE_EQ(FuzzyJaccard({"ab"}, {"abcdef"}, 0.3), 0.0);
+  // Within threshold it still matches.
+  EXPECT_DOUBLE_EQ(FuzzyJaccard({"abcde"}, {"abcdef"}, 0.3), 1.0);
+}
+
+TEST(LongestCommonSubstringTest, Basic) {
+  EXPECT_EQ(LongestCommonSubstring("abcdef", "zcdefz"), 4u);
+  EXPECT_EQ(LongestCommonSubstring("abc", "xyz"), 0u);
+  EXPECT_EQ(LongestCommonSubstring("", "abc"), 0u);
+  EXPECT_EQ(LongestCommonSubstring("same", "same"), 4u);
+}
+
+TEST(BestMatchAverageTest, SymmetricAndBounded) {
+  std::vector<std::string> a = {"customer", "name"};
+  std::vector<std::string> b = {"name", "customer"};
+  double s = BestMatchAverage(a, b, &JaroWinklerSimilarity);
+  EXPECT_DOUBLE_EQ(s, 1.0);
+  EXPECT_DOUBLE_EQ(BestMatchAverage({}, {}, &JaroWinklerSimilarity), 1.0);
+  EXPECT_DOUBLE_EQ(BestMatchAverage(a, {}, &JaroWinklerSimilarity), 0.0);
+}
+
+// Property sweep: similarity functions stay within [0, 1] and are
+// symmetric over a corpus of tricky strings.
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(SimilarityPropertyTest, BoundedAndSymmetric) {
+  auto [sa, sb] = GetParam();
+  std::string a(sa), b(sb);
+  for (auto* fn : {&LevenshteinSimilarity, &JaroSimilarity,
+                   &JaroWinklerSimilarity, &TrigramSimilarity}) {
+    double ab = fn(a, b);
+    double ba = fn(b, a);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_NEAR(ab, ba, 1e-12) << a << " vs " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrickyStrings, SimilarityPropertyTest,
+    ::testing::Values(std::make_pair("", ""), std::make_pair("a", ""),
+                      std::make_pair("a", "a"), std::make_pair("ab", "ba"),
+                      std::make_pair("aaaa", "aa"),
+                      std::make_pair("column_name", "columnname"),
+                      std::make_pair("x", "yyyyyyyyyyyyyyyy"),
+                      std::make_pair("ADDRESS", "address"),
+                      std::make_pair("123", "321")));
+
+}  // namespace
+}  // namespace valentine

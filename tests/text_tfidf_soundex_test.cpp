@@ -1,0 +1,158 @@
+// Tests for the TF-IDF column matcher substrate and the Soundex
+// phonetic matcher.
+
+#include <gtest/gtest.h>
+
+#include "matchers/coma.h"
+#include "text/string_similarity.h"
+#include "text/tfidf.h"
+
+namespace valentine {
+namespace {
+
+TEST(SoundexTest, ClassicCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // h is transparent
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, EdgeCases) {
+  EXPECT_EQ(Soundex(""), "0000");
+  EXPECT_EQ(Soundex("123"), "0000");
+  EXPECT_EQ(Soundex("A"), "A000");
+  EXPECT_EQ(Soundex("robert"), Soundex("ROBERT"));
+}
+
+TEST(SoundexSimilarityTest, Scores) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Robert", "Rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Smith", "Waters"), 0.0);
+  // Shared first letter + first digit earns partial credit.
+  double partial = SoundexSimilarity("Robert", "Roberts");
+  EXPECT_GE(partial, 0.5);
+}
+
+TEST(TfIdfModelTest, IdenticalDocumentsCosineOne) {
+  TfIdfModel model;
+  size_t a = model.AddDocument({"red", "green", "blue"});
+  size_t b = model.AddDocument({"red", "green", "blue"});
+  model.Finalize();
+  EXPECT_NEAR(TfIdfModel::Cosine(model.VectorOf(a), model.VectorOf(b)), 1.0,
+              1e-9);
+}
+
+TEST(TfIdfModelTest, DisjointDocumentsCosineZero) {
+  TfIdfModel model;
+  size_t a = model.AddDocument({"red", "green"});
+  size_t b = model.AddDocument({"sql", "index"});
+  model.Finalize();
+  EXPECT_DOUBLE_EQ(TfIdfModel::Cosine(model.VectorOf(a), model.VectorOf(b)),
+                   0.0);
+}
+
+TEST(TfIdfModelTest, CommonTermsDiscounted) {
+  // "the" appears in every document; "zebra" only in two. The shared
+  // rare term must contribute more than the shared ubiquitous term.
+  TfIdfModel model;
+  size_t a = model.AddDocument({"the", "zebra"});
+  size_t b = model.AddDocument({"the", "zebra"});
+  size_t c = model.AddDocument({"the", "apple"});
+  size_t d = model.AddDocument({"the", "pear"});
+  model.Finalize();
+  double rare_pair = TfIdfModel::Cosine(model.VectorOf(a), model.VectorOf(b));
+  double common_pair =
+      TfIdfModel::Cosine(model.VectorOf(c), model.VectorOf(d));
+  EXPECT_GT(rare_pair, common_pair);
+}
+
+TEST(TfIdfModelTest, EmptyDocumentSafe) {
+  TfIdfModel model;
+  size_t a = model.AddDocument({});
+  size_t b = model.AddDocument({"x"});
+  model.Finalize();
+  EXPECT_DOUBLE_EQ(TfIdfModel::Cosine(model.VectorOf(a), model.VectorOf(b)),
+                   0.0);
+}
+
+Column MakeColumn(const std::string& name,
+                  std::vector<std::string> values) {
+  Column c(name, DataType::kString);
+  for (auto& v : values) c.Append(Value::String(std::move(v)));
+  return c;
+}
+
+TEST(TfIdfColumnTest, MatchingColumnsScoreHigher) {
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(MakeColumn("desc", {"fix login bug",
+                                                "deploy payments"})).ok());
+  ASSERT_TRUE(src.AddColumn(MakeColumn("team", {"alpha squad",
+                                                "beta squad"})).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(MakeColumn("summary", {"fix login crash",
+                                                   "deploy payments"})).ok());
+  ASSERT_TRUE(tgt.AddColumn(MakeColumn("squad", {"alpha squad",
+                                                 "gamma squad"})).ok());
+  auto sim = TfIdfColumnSimilarity(src, tgt);
+  EXPECT_GT(sim[0][0], sim[0][1]);  // desc ~ summary
+  EXPECT_GT(sim[1][1], sim[1][0]);  // team ~ squad
+}
+
+TEST(TfIdfColumnTest, NoisyValuesStillOverlapOnTokens) {
+  // Whole-value equality fails, token overlap survives.
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(
+      MakeColumn("a", {"john smith boston", "mary jones denver"})).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(
+      MakeColumn("b", {"smith john (boston)", "jones mary - denver"})).ok());
+  auto sim = TfIdfColumnSimilarity(src, tgt);
+  EXPECT_GT(sim[0][0], 0.9);
+}
+
+TEST(ComaOptionalComponentsTest, FlagsAddComponents) {
+  // Soundex keeps the initial letter, so pick phonetic twins that share
+  // it ("robert"/"rupert", "name"/"naim").
+  Column a("robert_name", DataType::kString);
+  a.Append(Value::String("x"));
+  Column b("rupert_naim", DataType::kString);
+  b.Append(Value::String("x"));
+  ComaOptions opt;
+  opt.use_soundex = true;
+  ComaMatcher with_soundex(opt);
+  auto scores = with_soundex.SchemaComponentScores("s", a, "t", b);
+  bool has_soundex = false;
+  for (const auto& s : scores) {
+    if (std::string(s.matcher) == "name_soundex") {
+      has_soundex = true;
+      EXPECT_GT(s.score, 0.9);  // phonetically identical
+    }
+  }
+  EXPECT_TRUE(has_soundex);
+
+  ComaMatcher without{};
+  EXPECT_EQ(without.SchemaComponentScores("s", a, "t", b).size(),
+            scores.size() - 1);
+}
+
+TEST(ComaOptionalComponentsTest, TfIdfHelpsNoisyInstances) {
+  Table src("s");
+  ASSERT_TRUE(src.AddColumn(
+      MakeColumn("c1", {"john smith boston ma", "mary jones denver co",
+                        "ann brown austin tx"})).ok());
+  Table tgt("t");
+  ASSERT_TRUE(tgt.AddColumn(
+      MakeColumn("z9", {"smith, john - boston ma", "jones, mary - denver co",
+                        "brown, ann - austin tx"})).ok());
+  ComaOptions plain;
+  plain.strategy = ComaStrategy::kInstances;
+  ComaOptions tfidf = plain;
+  tfidf.use_tfidf_tokens = true;
+  double s_plain = ComaMatcher(plain).Match(src, tgt)[0].score;
+  double s_tfidf = ComaMatcher(tfidf).Match(src, tgt)[0].score;
+  EXPECT_GT(s_tfidf, s_plain);
+}
+
+}  // namespace
+}  // namespace valentine

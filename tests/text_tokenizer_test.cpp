@@ -1,0 +1,62 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(TokenizeIdentifierTest, SnakeCase) {
+  EXPECT_EQ(TokenizeIdentifier("customer_address"),
+            (Tokens{"customer", "address"}));
+}
+
+TEST(TokenizeIdentifierTest, CamelCase) {
+  EXPECT_EQ(TokenizeIdentifier("custAddressLine"),
+            (Tokens{"cust", "address", "line"}));
+}
+
+TEST(TokenizeIdentifierTest, DigitBoundaries) {
+  EXPECT_EQ(TokenizeIdentifier("addressLine1"),
+            (Tokens{"address", "line", "1"}));
+  EXPECT_EQ(TokenizeIdentifier("line1b"), (Tokens{"line", "1", "b"}));
+}
+
+TEST(TokenizeIdentifierTest, AcronymRun) {
+  EXPECT_EQ(TokenizeIdentifier("HTTPServer"), (Tokens{"http", "server"}));
+}
+
+TEST(TokenizeIdentifierTest, MixedSeparators) {
+  EXPECT_EQ(TokenizeIdentifier("owner-team name"),
+            (Tokens{"owner", "team", "name"}));
+}
+
+TEST(TokenizeIdentifierTest, Empty) {
+  EXPECT_TRUE(TokenizeIdentifier("").empty());
+  EXPECT_TRUE(TokenizeIdentifier("___").empty());
+}
+
+TEST(TokenizeIdentifierTest, Lowercases) {
+  EXPECT_EQ(TokenizeIdentifier("NAME"), (Tokens{"name"}));
+}
+
+TEST(TokenizeTextTest, PunctuationAndCase) {
+  EXPECT_EQ(TokenizeText("Hello, World! 42"),
+            (Tokens{"hello", "world", "42"}));
+  EXPECT_TRUE(TokenizeText("...").empty());
+  EXPECT_TRUE(TokenizeText("").empty());
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD_42"), "mixed_42");
+}
+
+TEST(JoinTokensTest, Separators) {
+  EXPECT_EQ(JoinTokens({"a", "b", "c"}), "a b c");
+  EXPECT_EQ(JoinTokens({"a", "b"}, "_"), "a_b");
+  EXPECT_EQ(JoinTokens({}), "");
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,84 @@
+// Dedicated tests for the schema-noise transformation rules (paper §IV):
+// table-name prefixing, abbreviation, vowel dropping, and their
+// compositions.
+
+#include "text/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "text/tokenizer.h"
+
+namespace valentine {
+namespace {
+
+TEST(PrefixRuleTest, Basic) {
+  EXPECT_EQ(PrefixWithTable("name", "clients"), "clients_name");
+  EXPECT_EQ(PrefixWithTable("a_b", "t"), "t_a_b");
+}
+
+TEST(AbbreviateRuleTest, TruncatesAndConcatenates) {
+  EXPECT_EQ(AbbreviateName("address_line1"), "addlin1");
+  EXPECT_EQ(AbbreviateName("customer"), "cus");
+  EXPECT_EQ(AbbreviateName("id"), "id");  // short tokens untouched
+  EXPECT_EQ(AbbreviateName("postal_code", 4), "postcode");
+}
+
+TEST(AbbreviateRuleTest, EmptyAndDegenerate) {
+  EXPECT_EQ(AbbreviateName(""), "");
+  EXPECT_EQ(AbbreviateName("___"), "___");  // no tokens -> unchanged
+}
+
+TEST(DropVowelsRuleTest, KeepsLeadingAndConsonants) {
+  EXPECT_EQ(DropVowels("income"), "incm");
+  EXPECT_EQ(DropVowels("area"), "ar");  // leading vowel kept
+  EXPECT_EQ(DropVowels("xyz"), "xyz");
+  EXPECT_EQ(DropVowels("line1"), "ln_1");  // digits kept, token split
+}
+
+TEST(ComposedRulesTest, AllSixRulesDistinctWhereExpected) {
+  const std::string name = "customer_address";
+  const std::string table = "orders";
+  std::set<std::string> outputs;
+  for (int rule = 0; rule < 6; ++rule) {
+    std::string out = ApplySchemaNoiseRule(name, table, rule);
+    EXPECT_FALSE(out.empty()) << rule;
+    outputs.insert(out);
+  }
+  // All six rules give different surface forms for a rich enough name.
+  EXPECT_EQ(outputs.size(), 6u);
+}
+
+TEST(ComposedRulesTest, RuleIndexWraps) {
+  EXPECT_EQ(ApplySchemaNoiseRule("a_b", "t", 0),
+            ApplySchemaNoiseRule("a_b", "t", 6));
+}
+
+// Property sweep: every rule output is a usable identifier — non-empty,
+// deterministic, and tokenizable.
+class TransformPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(TransformPropertyTest, OutputsAreUsableIdentifiers) {
+  auto [name, rule] = GetParam();
+  std::string out1 = ApplySchemaNoiseRule(name, "tbl", rule);
+  std::string out2 = ApplySchemaNoiseRule(name, "tbl", rule);
+  EXPECT_EQ(out1, out2);
+  EXPECT_FALSE(out1.empty());
+  EXPECT_FALSE(TokenizeIdentifier(out1).empty());
+  for (char c : out1) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+        << out1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamesAndRules, TransformPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("income", "customer_address", "addressLine1",
+                          "NET_WORTH", "a", "sprint_number"),
+        ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace valentine
