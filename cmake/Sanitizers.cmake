@@ -1,0 +1,48 @@
+# Sanitizer instrumentation for the whole build.
+#
+# Drive via the VALENTINE_SANITIZE cache variable — a semicolon list of
+# sanitizer names understood by the toolchain, e.g.
+#
+#   cmake -B build/tsan -DVALENTINE_SANITIZE=thread
+#   cmake -B build/asan -DVALENTINE_SANITIZE=address;undefined
+#
+# Normally this is set through CMakePresets.json (`asan-ubsan`, `tsan`).
+# Include this module before any add_subdirectory so every target in the
+# tree (library, tests, tools) is built instrumented; sanitizers that mix
+# instrumented and uninstrumented objects lose coverage (TSan) or crash
+# at startup (ASan interceptors).
+#
+# The presets pair this with CMAKE_BUILD_TYPE=Sanitize: a dedicated
+# config whose flags we own here, so neither Release's -O3 (inlines away
+# stack frames in reports) nor Debug's -O0 (3-20x sanitizer slowdown on
+# top of instrumentation) leaks in.
+
+set(VALENTINE_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers to build with (e.g. address;undefined or thread)")
+
+# Flags for the custom 'Sanitize' build type: light optimization so the
+# suite finishes, full debug info so reports have file:line.
+set(CMAKE_C_FLAGS_SANITIZE "-O1 -g" CACHE STRING
+    "C flags used by the Sanitize build type")
+set(CMAKE_CXX_FLAGS_SANITIZE "-O1 -g" CACHE STRING
+    "C++ flags used by the Sanitize build type")
+mark_as_advanced(CMAKE_C_FLAGS_SANITIZE CMAKE_CXX_FLAGS_SANITIZE)
+
+if(VALENTINE_SANITIZE)
+  if("thread" IN_LIST VALENTINE_SANITIZE AND
+     ("address" IN_LIST VALENTINE_SANITIZE OR "leak" IN_LIST VALENTINE_SANITIZE))
+    message(FATAL_ERROR
+        "VALENTINE_SANITIZE: 'thread' cannot be combined with 'address'/'leak' "
+        "(incompatible runtimes); configure separate build trees instead.")
+  endif()
+
+  list(JOIN VALENTINE_SANITIZE "," _valentine_fsan)
+  set(_valentine_san_flags
+      -fsanitize=${_valentine_fsan}
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  add_compile_options(${_valentine_san_flags})
+  add_link_options(-fsanitize=${_valentine_fsan})
+
+  message(STATUS "Sanitizers enabled: ${_valentine_fsan}")
+endif()

@@ -29,7 +29,11 @@ enum class StatusCode {
 /// Cheap to copy in the OK case (no allocation). Use the static factories:
 ///
 ///     if (rows == 0) return Status::InvalidArgument("table has no rows");
-class Status {
+///
+/// [[nodiscard]] on the class makes every discarded Status return a
+/// compiler warning (fatal under -Werror=unused-result, which the build
+/// enables); discard deliberately with a commented (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -82,7 +86,7 @@ class Status {
 ///     if (!r.ok()) return r.status();
 ///     Table t = std::move(r).ValueOrDie();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -31,36 +31,37 @@ struct MethodFamily {
 
 /// Cupid: leaf_w_struct, w_struct in {0, 0.2, 0.4, 0.6}, th_accept in
 /// {0.3 .. 0.8 step 0.1} -> 96 configurations.
-MethodFamily CupidFamily();
+[[nodiscard]] MethodFamily CupidFamily();
 
 /// Similarity Flooding: inverse_average coefficients, formula C -> 1.
-MethodFamily SimilarityFloodingFamily();
+[[nodiscard]] MethodFamily SimilarityFloodingFamily();
 
 /// COMA: strategy in {schema, instances}, threshold 0 -> 2.
-MethodFamily ComaFamily();
+[[nodiscard]] MethodFamily ComaFamily();
 /// The schema-only and instance-only halves, reported separately in the
 /// paper's figures.
-MethodFamily ComaSchemaFamily();
-MethodFamily ComaInstancesFamily();
+[[nodiscard]] MethodFamily ComaSchemaFamily();
+[[nodiscard]] MethodFamily ComaInstancesFamily();
 
 /// Dist#1: phase thresholds in {0.1, 0.15, 0.2}^2 -> 9.
-MethodFamily DistributionFamily1();
+[[nodiscard]] MethodFamily DistributionFamily1();
 /// Dist#2: phase thresholds in {0.3, 0.4, 0.5}^2 -> 9.
-MethodFamily DistributionFamily2();
+[[nodiscard]] MethodFamily DistributionFamily2();
 
 /// SemProp: minhash {0.2, 0.3} x semantic {0.4, 0.5, 0.6} x coherence
 /// {0.2, 0.4} -> 12. The ontology may be nullptr (syntactic-only mode).
-MethodFamily SemPropFamily(const Ontology* ontology);
+[[nodiscard]] MethodFamily SemPropFamily(const Ontology* ontology);
 
 /// EmbDI: word2vec with the Table II fixed hyperparameters -> 1.
-MethodFamily EmbdiFamily();
+[[nodiscard]] MethodFamily EmbdiFamily();
 
 /// Jaccard-Levenshtein: threshold {0.4 .. 0.8 step 0.1} -> 5.
-MethodFamily JaccardLevenshteinFamily();
+[[nodiscard]] MethodFamily JaccardLevenshteinFamily();
 
 /// All families in paper order (SemProp included only when an ontology
 /// is supplied, mirroring §VII-A3).
-std::vector<MethodFamily> AllFamilies(const Ontology* ontology = nullptr);
+[[nodiscard]] std::vector<MethodFamily> AllFamilies(
+    const Ontology* ontology = nullptr);
 
 /// Total configuration count across all families (= 135 with ontology).
 size_t TotalConfigurations(const std::vector<MethodFamily>& families);

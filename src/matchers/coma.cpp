@@ -264,16 +264,15 @@ MatchResult ComaMatcher::Match(const Table& source,
                        std::vector<NumericStats>* nums,
                        std::vector<double>* numfracs) {
       for (const Column& c : t.columns()) {
-        std::unordered_set<std::string> set = c.DistinctStringSet();
+        // Cap in first-seen row order, never by iterating the unordered
+        // set: hash order would make the kept subset — and the Jaccard
+        // scores built on it — nondeterministic across runs/platforms.
+        std::vector<std::string> distinct = c.DistinctStrings();
         if (options_.max_distinct_values > 0 &&
-            set.size() > options_.max_distinct_values) {
-          std::unordered_set<std::string> capped;
-          for (const auto& v : set) {
-            capped.insert(v);
-            if (capped.size() >= options_.max_distinct_values) break;
-          }
-          set = std::move(capped);
+            distinct.size() > options_.max_distinct_values) {
+          distinct.resize(options_.max_distinct_values);
         }
+        std::unordered_set<std::string> set(distinct.begin(), distinct.end());
         sets->push_back(std::move(set));
         profs->push_back(ComputeTextProfile(c));
         nums->push_back(ComputeNumericStats(c.NumericValues()));

@@ -118,7 +118,8 @@ class ComaMatcher : public ColumnMatcher {
     }
     return caps;
   }
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const override;
 
   /// The full per-matcher score breakdown for one column pair (schema
   /// part only — instance matchers need the whole columns). Exposed for

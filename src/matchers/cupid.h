@@ -49,7 +49,8 @@ class CupidMatcher : public ColumnMatcher {
     return {MatchType::kAttributeOverlap, MatchType::kSemanticOverlap,
             MatchType::kDataType};
   }
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const override;
 
   /// Linguistic similarity between two attribute names (exposed for
   /// tests and ablations): tokenize, expand, stem, thesaurus + string

@@ -46,7 +46,8 @@ class DistributionBasedMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kValueOverlap, MatchType::kDistribution};
   }
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const override;
 
  private:
   DistributionBasedOptions options_;

@@ -45,7 +45,8 @@ class EnsembleMatcher : public ColumnMatcher {
   std::string Name() const override;
   MatcherCategory Category() const override;
   std::vector<MatchType> Capabilities() const override;
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const override;
 
   size_t num_members() const { return members_.size(); }
 
@@ -57,7 +58,7 @@ class EnsembleMatcher : public ColumnMatcher {
 /// The suite's recommended default ensemble: COMA (instances) + the
 /// distribution-based matcher + the Jaccard-Levenshtein baseline — the
 /// three winners across the paper's data sources.
-MatcherPtr MakeDefaultEnsemble(EnsembleOptions options = {});
+[[nodiscard]] MatcherPtr MakeDefaultEnsemble(EnsembleOptions options = {});
 
 }  // namespace valentine
 

@@ -34,7 +34,8 @@ class JaccardLevenshteinMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kValueOverlap};
   }
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const override;
 
  private:
   JaccardLevenshteinOptions options_;

@@ -55,9 +55,11 @@ class ColumnMatcher {
   /// The Table I capability row for this method.
   virtual std::vector<MatchType> Capabilities() const = 0;
 
-  /// Computes the ranked match list for the pair of tables.
-  virtual MatchResult Match(const Table& source,
-                            const Table& target) const = 0;
+  /// Computes the ranked match list for the pair of tables. Computing a
+  /// match is pure and (for some matchers) expensive; discarding the
+  /// result is always a bug, hence [[nodiscard]].
+  [[nodiscard]] virtual MatchResult Match(const Table& source,
+                                          const Table& target) const = 0;
 };
 
 /// Convenience owning handle.

@@ -79,16 +79,14 @@ MatchResult SemPropMatcher::Match(const Table& source,
   // --- Syntactic stage for pairs the semantic matcher did not relate:
   // MinHash-estimated Jaccard over value sets. ---
   auto capped_set = [&](const Column& c) {
-    std::unordered_set<std::string> set = c.DistinctStringSet();
-    if (options_.max_values > 0 && set.size() > options_.max_values) {
-      std::unordered_set<std::string> capped;
-      for (const auto& v : set) {
-        capped.insert(v);
-        if (capped.size() >= options_.max_values) break;
-      }
-      return capped;
+    // Cap in first-seen row order, never by iterating the unordered set:
+    // hash order would make the kept subset — and the MinHash Jaccard
+    // estimates built on it — nondeterministic across runs/platforms.
+    std::vector<std::string> distinct = c.DistinctStrings();
+    if (options_.max_values > 0 && distinct.size() > options_.max_values) {
+      distinct.resize(options_.max_values);
     }
-    return set;
+    return std::unordered_set<std::string>(distinct.begin(), distinct.end());
   };
   std::vector<MinHashSignature> src_sigs;
   std::vector<MinHashSignature> tgt_sigs;

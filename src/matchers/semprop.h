@@ -54,7 +54,8 @@ class SemPropMatcher : public ColumnMatcher {
     return {MatchType::kAttributeOverlap, MatchType::kValueOverlap,
             MatchType::kEmbeddings};
   }
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const override;
 
   /// Best ontology class link for a name: (class index, cosine), or
   /// (npos, 0) when nothing clears the semantic threshold.

@@ -56,7 +56,8 @@ class SimilarityFloodingMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kAttributeOverlap, MatchType::kDataType};
   }
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const override;
 
  private:
   SimilarityFloodingOptions options_;

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Sequential acceptance run for the sanitizer matrix (1-CPU box).
+cd /root/repo || exit 1
+log() { echo "=== $* ($(date +%H:%M:%S)) ==="; }
+
+log "release: configure"
+cmake --preset release || exit 1
+log "release: build"
+cmake --build --preset release -j1 || exit 1
+log "release: lint target"
+cmake --build build --target lint || exit 1
+log "release: ctest"
+ctest --preset release || exit 1
+
+log "tsan: configure"
+cmake --preset tsan || exit 1
+log "tsan: build"
+cmake --build --preset tsan -j1 || exit 1
+log "tsan: ctest -L tsan"
+ctest --preset tsan -L tsan || exit 1
+
+log "asan-ubsan: configure"
+cmake --preset asan-ubsan || exit 1
+log "asan-ubsan: build"
+cmake --build --preset asan-ubsan -j1 || exit 1
+log "asan-ubsan: ctest"
+ctest --preset asan-ubsan || exit 1
+
+log "ALL GREEN"
