@@ -1,0 +1,34 @@
+#include "core/deadline.h"
+
+#include <limits>
+
+namespace valentine {
+
+double Deadline::remaining_ms() const {
+  if (!at_.has_value()) return std::numeric_limits<double>::infinity();
+  auto now = std::chrono::steady_clock::now();
+  if (now >= *at_) return 0.0;
+  return std::chrono::duration<double, std::milli>(*at_ - now).count();
+}
+
+Status MatchContext::Check(const char* where) const {
+  if (cancel != nullptr && cancel->cancelled()) {
+    std::string msg = "cancelled";
+    if (where != nullptr && where[0] != '\0') {
+      msg += " at ";
+      msg += where;
+    }
+    return Status::Cancelled(std::move(msg));
+  }
+  if (deadline.expired()) {
+    std::string msg = "deadline exceeded";
+    if (where != nullptr && where[0] != '\0') {
+      msg += " at ";
+      msg += where;
+    }
+    return Status::DeadlineExceeded(std::move(msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace valentine

@@ -16,6 +16,16 @@ uint64_t SplitMix64(uint64_t* state) {
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
+uint64_t DeterministicSeed(const std::string& key) {
+  // FNV-1a, 64-bit: stable across platforms and standard libraries.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);

@@ -13,10 +13,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace valentine {
+
+/// Platform-stable 64-bit hash of a string key (FNV-1a), for deriving
+/// deterministic seeds from experiment identifiers. std::hash is
+/// implementation-defined, so it is banned from seed derivation; this is
+/// the one spelling journals, retry backoff, and fault plans agree on.
+uint64_t DeterministicSeed(const std::string& key);
 
 /// \brief Deterministic xoshiro256** PRNG with convenience samplers.
 class Rng {

@@ -2,8 +2,7 @@
 
 namespace valentine {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk: return "OK";
     case StatusCode::kInvalidArgument: return "InvalidArgument";
@@ -12,14 +11,30 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kParseError: return "ParseError";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }
-}  // namespace
+
+std::optional<StatusCode> StatusCodeFromName(const std::string& name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kIOError,      StatusCode::kParseError,
+      StatusCode::kInternal,     StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,    StatusCode::kResourceExhausted,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return std::nullopt;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

@@ -22,7 +22,19 @@ enum class StatusCode {
   kIOError,
   kParseError,
   kInternal,
+  kDeadlineExceeded,    ///< a steady-clock time budget ran out
+  kCancelled,           ///< a CancellationToken fired
+  kResourceExhausted,   ///< a bounded resource (memory, quota) ran dry
 };
+
+/// Stable machine-readable name of a code ("DeadlineExceeded", ...).
+/// This is the spelling serialized into journals and JSON reports, so
+/// failure taxonomies are greppable; it must never change for existing
+/// codes.
+const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName; std::nullopt for unknown spellings.
+std::optional<StatusCode> StatusCodeFromName(const std::string& name);
 
 /// \brief Outcome of a fallible operation: OK, or an error code + message.
 ///
@@ -57,6 +69,21 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Generic factory for code-driven construction (journal replay, fault
+  /// plans). kOk yields an OK status and drops the message.
+  static Status WithCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
   }
 
   /// True when the operation succeeded.

@@ -1,7 +1,10 @@
 #include "harness/campaign.h"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 
+#include "harness/journal.h"
 #include "harness/parallel.h"
 
 namespace valentine {
@@ -9,6 +12,22 @@ namespace valentine {
 CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
                                   const std::vector<MethodFamily>& families,
                                   const CampaignOptions& options) {
+  // Journal plumbing: load the resume index first (so completed triples
+  // are skipped), then open the same file for appending new outcomes.
+  std::optional<JournalIndex> completed;
+  std::optional<OutcomeJournal> journal;
+  FamilyRunContext run;
+  run.policy = options.policy;
+  if (!options.journal_path.empty()) {
+    Result<JournalIndex> loaded = JournalIndex::Load(options.journal_path);
+    if (loaded.ok()) {
+      completed = std::move(loaded).ValueOrDie();
+      run.completed = &*completed;
+    }
+    journal.emplace(options.journal_path);
+    run.journal = &*journal;
+  }
+
   CampaignReport report;
   report.num_pairs = suite.size();
   for (const MethodFamily& family : families) {
@@ -22,9 +41,19 @@ CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
     CampaignFamilyReport fr;
     fr.family = family.name;
     fr.outcomes =
-        RunFamilyOnSuiteParallel(family, suite, options.num_threads);
+        RunFamilyOnSuiteParallel(family, suite, options.num_threads, run);
     fr.by_scenario = AggregateByScenario(fr.outcomes);
     fr.avg_runtime_ms = AverageRuntimeMsPerRun(fr.outcomes);
+    std::map<StatusCode, size_t> taxonomy;
+    for (const FamilyPairOutcome& o : fr.outcomes) {
+      fr.failed_experiments += o.failed_runs;
+      fr.retry_attempts += o.retries;
+      for (const auto& [code, count] : o.failure_counts) {
+        taxonomy[code] += count;
+      }
+    }
+    fr.failure_taxonomy.assign(taxonomy.begin(), taxonomy.end());
+    report.failed_experiments += fr.failed_experiments;
     report.num_experiments += family.grid.size() * suite.size();
     report.families.push_back(std::move(fr));
   }

@@ -22,6 +22,15 @@ struct CampaignOptions {
   size_t num_threads = 0;
   /// When non-empty, only families whose name appears here run.
   std::vector<std::string> family_filter;
+  /// Per-experiment deadlines / retries / backoff (default: legacy
+  /// behaviour — no budget, no retries).
+  ExecutionPolicy policy;
+  /// When non-empty, experiments are journaled to this JSONL path and
+  /// a killed campaign resumes from it: completed (family, pair,
+  /// config) triples — including quarantined failures — are replayed,
+  /// and the final report is byte-identical to an uninterrupted run
+  /// (modulo wall-clock runtime fields).
+  std::string journal_path;
 };
 
 /// Aggregated results of one family over the campaign suite.
@@ -30,6 +39,10 @@ struct CampaignFamilyReport {
   std::vector<ScenarioStats> by_scenario;
   double avg_runtime_ms = 0.0;
   std::vector<FamilyPairOutcome> outcomes;
+  size_t failed_experiments = 0;  ///< terminal non-OK configurations
+  size_t retry_attempts = 0;      ///< attempts beyond the first, summed
+  /// Failure taxonomy over the whole family, sorted by code.
+  std::vector<std::pair<StatusCode, size_t>> failure_taxonomy;
 };
 
 /// Full campaign output.
@@ -37,6 +50,7 @@ struct CampaignReport {
   size_t num_pairs = 0;
   size_t num_configurations = 0;
   size_t num_experiments = 0;
+  size_t failed_experiments = 0;
   std::vector<CampaignFamilyReport> families;
 };
 

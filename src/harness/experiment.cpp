@@ -9,6 +9,13 @@ namespace valentine {
 ExperimentResult RunExperiment(const ColumnMatcher& matcher,
                                const std::string& config,
                                const DatasetPair& pair) {
+  return RunExperiment(matcher, config, pair, MatchContext());
+}
+
+ExperimentResult RunExperiment(const ColumnMatcher& matcher,
+                               const std::string& config,
+                               const DatasetPair& pair,
+                               const MatchContext& context) {
   ExperimentResult result;
   result.pair_id = pair.id;
   result.scenario = pair.scenario;
@@ -17,13 +24,20 @@ ExperimentResult RunExperiment(const ColumnMatcher& matcher,
   result.ground_truth_size = pair.ground_truth.size();
 
   auto start = std::chrono::steady_clock::now();
-  MatchResult matches = matcher.Match(pair.source, pair.target);
+  Result<MatchResult> matches = matcher.Match(pair.source, pair.target,
+                                              context);
   auto end = std::chrono::steady_clock::now();
   result.runtime_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
 
-  result.recall_at_gt = RecallAtGroundTruth(matches, pair.ground_truth);
-  result.map = MeanAveragePrecision(matches, pair.ground_truth);
+  if (!matches.ok()) {
+    result.code = matches.status().code();
+    result.error = matches.status().message();
+    return result;
+  }
+  MatchResult ranked = std::move(matches).ValueOrDie();
+  result.recall_at_gt = RecallAtGroundTruth(ranked, pair.ground_truth);
+  result.map = MeanAveragePrecision(ranked, pair.ground_truth);
   return result;
 }
 

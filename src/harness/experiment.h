@@ -23,12 +23,27 @@ struct ExperimentResult {
   double map = 0.0;          ///< mean average precision (extra diagnostics)
   double runtime_ms = 0.0;
   size_t ground_truth_size = 0;
+  /// Final status of the run: kOk for a scored experiment, otherwise
+  /// the terminal failure code (recall/map are 0 in that case).
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  /// Attempts consumed (1 without retries; retry loops accumulate).
+  size_t attempts = 1;
 };
 
 /// Runs one matcher configuration on one pair and scores it.
 ExperimentResult RunExperiment(const ColumnMatcher& matcher,
                                const std::string& config,
                                const DatasetPair& pair);
+
+/// Budget-aware variant: the context's deadline/token is threaded into
+/// the matcher; a kDeadlineExceeded / kCancelled abort is reported via
+/// `code` + `error` instead of a score. runtime_ms still measures the
+/// (partial) wall-clock spent.
+ExperimentResult RunExperiment(const ColumnMatcher& matcher,
+                               const std::string& config,
+                               const DatasetPair& pair,
+                               const MatchContext& context);
 
 }  // namespace valentine
 

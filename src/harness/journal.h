@@ -1,0 +1,98 @@
+#ifndef VALENTINE_HARNESS_JOURNAL_H_
+#define VALENTINE_HARNESS_JOURNAL_H_
+
+/// \file journal.h
+/// Append-only JSONL outcome journal for crash-resumable campaigns.
+/// Every finished experiment (one configuration on one pair, including
+/// terminal failures after the retry budget) is appended as one JSON
+/// line and flushed, so a campaign killed mid-flight loses at most the
+/// experiments that were in progress. On restart the journal is loaded
+/// into a JournalIndex and completed (family, pair, config) triples are
+/// replayed from it instead of re-executed; the resumed campaign's
+/// report is byte-identical (modulo wall-clock runtime fields) to an
+/// uninterrupted run.
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/status.h"
+
+namespace valentine {
+
+/// One journaled experiment outcome. `code` is kOk for successful runs;
+/// terminal failures record the final StatusCode and message after the
+/// retry budget was exhausted (the quarantine record: resume never
+/// re-attempts such a triple).
+struct JournalEntry {
+  std::string family;
+  std::string pair_id;
+  std::string config;
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  double recall_at_gt = 0.0;
+  double map = 0.0;
+  double runtime_ms = 0.0;
+  size_t attempts = 1;
+};
+
+/// The unique key of an experiment within a campaign.
+std::string JournalKey(const std::string& family, const std::string& pair_id,
+                       const std::string& config);
+
+/// Serializes one entry as a single JSON line (no trailing newline).
+/// Doubles use %.17g so values round-trip exactly — a resumed campaign
+/// must reproduce recalls bit-for-bit or tie-breaks could flip.
+std::string SerializeJournalEntry(const JournalEntry& entry);
+
+/// Parses one JSONL line; nullopt when the line is malformed (e.g. the
+/// torn final line of a killed process).
+std::optional<JournalEntry> ParseJournalEntry(const std::string& line);
+
+/// \brief Thread-safe append-only JSONL writer. Each Append writes one
+/// line and flushes; errors latch into status() instead of throwing so
+/// a full disk degrades the journal, never the campaign.
+class OutcomeJournal {
+ public:
+  explicit OutcomeJournal(const std::string& path);
+  OutcomeJournal(const OutcomeJournal&) = delete;
+  OutcomeJournal& operator=(const OutcomeJournal&) = delete;
+
+  void Append(const JournalEntry& entry);
+
+  /// First error encountered (open or write); OK while healthy.
+  Status status() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  mutable std::mutex mutex_;
+  Status status_;
+};
+
+/// \brief Read-only index over a journal file, keyed by
+/// (family, pair_id, config).
+class JournalIndex {
+ public:
+  /// Loads a journal. A missing file yields an empty index (fresh run);
+  /// a torn final line is tolerated (parsing stops at the first
+  /// malformed line). Later duplicates win, matching append order.
+  static Result<JournalIndex> Load(const std::string& path);
+
+  const JournalEntry* Find(const std::string& family,
+                           const std::string& pair_id,
+                           const std::string& config) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, JournalEntry> entries_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_HARNESS_JOURNAL_H_

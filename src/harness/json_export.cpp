@@ -47,7 +47,10 @@ std::string ToJson(const ExperimentResult& result) {
   out += "\"map\":" + JsonNumber(result.map) + ",";
   out += "\"runtime_ms\":" + JsonNumber(result.runtime_ms) + ",";
   out += "\"ground_truth_size\":" +
-         std::to_string(result.ground_truth_size);
+         std::to_string(result.ground_truth_size) + ",";
+  out += "\"code\":\"" + std::string(StatusCodeName(result.code)) + "\",";
+  out += "\"error\":\"" + JsonEscape(result.error) + "\",";
+  out += "\"attempts\":" + std::to_string(result.attempts);
   out += "}";
   return out;
 }
@@ -75,6 +78,24 @@ std::string ToJson(const MatchResult& result) {
   return out;
 }
 
+namespace {
+
+/// Failure taxonomy as a JSON object keyed by stable code name. The
+/// input is sorted by code, so the serialization is deterministic.
+std::string FailuresToJson(
+    const std::vector<std::pair<StatusCode, size_t>>& failures) {
+  std::string out = "{";
+  for (size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + std::string(StatusCodeName(failures[i].first)) +
+           "\":" + std::to_string(failures[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 std::string ToJson(const std::vector<FamilyPairOutcome>& outcomes) {
   std::string out = "[";
   for (size_t i = 0; i < outcomes.size(); ++i) {
@@ -86,9 +107,55 @@ std::string ToJson(const std::vector<FamilyPairOutcome>& outcomes) {
            JsonNumber(o.best_recall) + ",\"best_config\":\"" +
            JsonEscape(o.best_config) + "\",\"total_ms\":" +
            JsonNumber(o.total_ms) + ",\"runs\":" + std::to_string(o.runs) +
-           "}";
+           ",\"failed_runs\":" + std::to_string(o.failed_runs) +
+           ",\"retries\":" + std::to_string(o.retries) +
+           ",\"failures\":" + FailuresToJson(o.failure_counts) + "}";
   }
   out += "]";
+  return out;
+}
+
+std::string ToJson(const CampaignFamilyReport& report) {
+  std::string out = "{";
+  out += "\"family\":\"" + JsonEscape(report.family) + "\",";
+  out += "\"avg_runtime_ms\":" + JsonNumber(report.avg_runtime_ms) + ",";
+  out += "\"failed_experiments\":" +
+         std::to_string(report.failed_experiments) + ",";
+  out += "\"retry_attempts\":" + std::to_string(report.retry_attempts) + ",";
+  out += "\"failure_taxonomy\":" + FailuresToJson(report.failure_taxonomy) +
+         ",";
+  out += "\"by_scenario\":[";
+  for (size_t i = 0; i < report.by_scenario.size(); ++i) {
+    if (i > 0) out += ",";
+    const ScenarioStats& s = report.by_scenario[i];
+    out += "{\"scenario\":\"" + std::string(ScenarioName(s.scenario)) +
+           "\",\"min\":" + JsonNumber(s.recall.min) +
+           ",\"median\":" + JsonNumber(s.recall.median) +
+           ",\"max\":" + JsonNumber(s.recall.max) +
+           ",\"mean\":" + JsonNumber(s.recall.mean) +
+           ",\"count\":" + std::to_string(s.recall.count) + "}";
+  }
+  out += "],";
+  out += "\"outcomes\":" + ToJson(report.outcomes);
+  out += "}";
+  return out;
+}
+
+std::string ToJson(const CampaignReport& report) {
+  std::string out = "{";
+  out += "\"num_pairs\":" + std::to_string(report.num_pairs) + ",";
+  out += "\"num_configurations\":" +
+         std::to_string(report.num_configurations) + ",";
+  out += "\"num_experiments\":" + std::to_string(report.num_experiments) +
+         ",";
+  out += "\"failed_experiments\":" +
+         std::to_string(report.failed_experiments) + ",";
+  out += "\"families\":[";
+  for (size_t i = 0; i < report.families.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ToJson(report.families[i]);
+  }
+  out += "]}";
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "harness/campaign.h"
 #include "harness/experiment.h"
 #include "harness/runner.h"
 #include "matchers/match_result.h"
@@ -31,6 +32,15 @@ std::string ToJson(const MatchResult& result);
 
 /// Best-of-grid outcomes as a JSON array.
 std::string ToJson(const std::vector<FamilyPairOutcome>& outcomes);
+
+/// One family's campaign aggregate (scenario stats, failure taxonomy,
+/// outcomes) as a JSON object.
+std::string ToJson(const CampaignFamilyReport& report);
+
+/// A full campaign report as one JSON object. With wall-clock runtime
+/// fields zeroed, a resumed campaign serializes byte-identically to an
+/// uninterrupted one — the crash-resume determinism contract.
+std::string ToJson(const CampaignReport& report);
 
 /// Writes any of the above to a file.
 Status WriteJsonFile(const std::string& json, const std::string& path);

@@ -8,11 +8,18 @@ namespace valentine {
 std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
     const MethodFamily& family, const std::vector<DatasetPair>& suite,
     size_t num_threads) {
+  return RunFamilyOnSuiteParallel(family, suite, num_threads,
+                                  FamilyRunContext());
+}
+
+std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads, const FamilyRunContext& run) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads = std::min(num_threads, suite.size());
-  if (num_threads <= 1) return RunFamilyOnSuite(family, suite);
+  if (num_threads <= 1) return RunFamilyOnSuite(family, suite, run);
 
   std::vector<FamilyPairOutcome> outcomes(suite.size());
   std::atomic<size_t> next{0};
@@ -20,7 +27,7 @@ std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
     while (true) {
       size_t i = next.fetch_add(1);
       if (i >= suite.size()) return;
-      outcomes[i] = RunFamilyOnPair(family, suite[i]);
+      outcomes[i] = RunFamilyOnPair(family, suite[i], run);
     }
   };
   std::vector<std::thread> threads;

@@ -26,6 +26,15 @@ std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
     const MethodFamily& family, const std::vector<DatasetPair>& suite,
     size_t num_threads = 0);
 
+/// Fault-tolerant variant: per-experiment deadlines, retries, journal
+/// replay/append (see FamilyRunContext). The journal is internally
+/// synchronized, so workers append concurrently; line order in the
+/// journal is nondeterministic but the resume index — and therefore
+/// the report — is order-insensitive.
+std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads, const FamilyRunContext& run);
+
 }  // namespace valentine
 
 #endif  // VALENTINE_HARNESS_PARALLEL_H_

@@ -1,8 +1,10 @@
 #include "harness/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
+#include "core/rng.h"
 #include "metrics/metrics.h"
 
 namespace valentine {
@@ -77,30 +79,149 @@ std::vector<DatasetPair> BuildFabricatedSuite(
   return suite;
 }
 
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double BackoffDelayMs(const ExecutionPolicy& policy, const std::string& key,
+                      size_t attempt) {
+  if (attempt == 0) return 0.0;
+  double exp = policy.backoff_base_ms *
+               std::pow(2.0, static_cast<double>(attempt - 1));
+  double capped = std::min(policy.backoff_max_ms, exp);
+  // Deterministic jitter in [0.5, 1): same (seed, key, attempt) always
+  // yields the same delay, so schedules are reproducible in tests and
+  // across resumed campaigns.
+  Rng rng(policy.backoff_seed ^ DeterministicSeed(key) ^ attempt);
+  return capped * (0.5 + 0.5 * rng.UniformDouble());
+}
+
+namespace {
+
+/// Runs one configuration under the policy: a fresh per-attempt
+/// deadline, bounded retries for transient codes, runtime accumulated
+/// across attempts.
+ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
+                                         const std::string& config,
+                                         const DatasetPair& pair,
+                                         const std::string& family_name,
+                                         const ExecutionPolicy& policy) {
+  const std::string key = JournalKey(family_name, pair.id, config);
+  const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
+  ExperimentResult result;
+  double total_runtime_ms = 0.0;
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    MatchContext context;
+    if (policy.budget_ms > 0.0) {
+      context.deadline = Deadline::AfterMs(policy.budget_ms);
+    }
+    context.cancel = policy.cancel;
+    context.trace_id = key;
+    result = RunExperiment(matcher, config, pair, context);
+    total_runtime_ms += result.runtime_ms;
+    result.attempts = attempt;
+    if (result.code == StatusCode::kOk ||
+        !IsRetryableStatus(Status::WithCode(result.code, result.error)) ||
+        attempt == max_attempts) {
+      break;
+    }
+    double delay_ms = BackoffDelayMs(policy, key, attempt);
+    if (policy.backoff_wait) policy.backoff_wait(delay_ms);
+  }
+  result.runtime_ms = total_runtime_ms;
+  return result;
+}
+
+ExperimentResult ReplayJournalEntry(const JournalEntry& entry,
+                                    const ColumnMatcher& matcher,
+                                    const DatasetPair& pair) {
+  ExperimentResult result;
+  result.pair_id = entry.pair_id;
+  result.scenario = pair.scenario;
+  result.method = matcher.Name();
+  result.config = entry.config;
+  result.recall_at_gt = entry.recall_at_gt;
+  result.map = entry.map;
+  result.runtime_ms = entry.runtime_ms;
+  result.ground_truth_size = pair.ground_truth.size();
+  result.code = entry.code;
+  result.error = entry.error;
+  result.attempts = entry.attempts;
+  return result;
+}
+
+}  // namespace
+
 FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
                                   const DatasetPair& pair) {
+  return RunFamilyOnPair(family, pair, FamilyRunContext());
+}
+
+FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
+                                  const DatasetPair& pair,
+                                  const FamilyRunContext& run) {
   FamilyPairOutcome out;
   out.family = family.name;
   out.pair_id = pair.id;
   out.scenario = pair.scenario;
+  std::map<StatusCode, size_t> failures;
   for (const ConfiguredMatcher& cm : family.grid) {
-    ExperimentResult r = RunExperiment(*cm.matcher, cm.description, pair);
+    ExperimentResult r;
+    const JournalEntry* done =
+        run.completed == nullptr
+            ? nullptr
+            : run.completed->Find(family.name, pair.id, cm.description);
+    if (done != nullptr) {
+      // Crash resume: replay the journaled outcome (including
+      // quarantined failures — they are never re-attempted).
+      r = ReplayJournalEntry(*done, *cm.matcher, pair);
+    } else {
+      r = RunExperimentWithPolicy(*cm.matcher, cm.description, pair,
+                                  family.name, run.policy);
+      if (run.journal != nullptr) {
+        run.journal->Append({family.name, pair.id, cm.description, r.code,
+                             r.error, r.recall_at_gt, r.map, r.runtime_ms,
+                             r.attempts});
+      }
+    }
     out.total_ms += r.runtime_ms;
     ++out.runs;
-    if (r.recall_at_gt > out.best_recall || out.best_config.empty()) {
-      out.best_recall = r.recall_at_gt;
-      out.best_config = cm.description;
+    out.retries += r.attempts - 1;
+    if (r.code == StatusCode::kOk) {
+      // Only successful runs compete for best-of-grid; a failed config
+      // must not claim the tie-break slot a successful one would get.
+      if (r.recall_at_gt > out.best_recall || out.best_config.empty()) {
+        out.best_recall = r.recall_at_gt;
+        out.best_config = cm.description;
+      }
+    } else {
+      ++out.failed_runs;
+      ++failures[r.code];
     }
   }
+  out.failure_counts.assign(failures.begin(), failures.end());
   return out;
 }
 
 std::vector<FamilyPairOutcome> RunFamilyOnSuite(
     const MethodFamily& family, const std::vector<DatasetPair>& suite) {
+  return RunFamilyOnSuite(family, suite, FamilyRunContext());
+}
+
+std::vector<FamilyPairOutcome> RunFamilyOnSuite(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    const FamilyRunContext& run) {
   std::vector<FamilyPairOutcome> outcomes;
   outcomes.reserve(suite.size());
   for (const DatasetPair& pair : suite) {
-    outcomes.push_back(RunFamilyOnPair(family, pair));
+    outcomes.push_back(RunFamilyOnPair(family, pair, run));
   }
   return outcomes;
 }

@@ -7,10 +7,15 @@
 /// configuration of every method family on every pair, and aggregate
 /// Recall@|GT| per scenario (min / median / max, as in the box plots).
 
+#include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/deadline.h"
 #include "fabrication/fabricator.h"
 #include "harness/experiment.h"
+#include "harness/journal.h"
 #include "harness/param_grid.h"
 #include "metrics/metrics.h"
 
@@ -35,6 +40,41 @@ struct PairSuiteOptions {
 std::vector<DatasetPair> BuildFabricatedSuite(const Table& original,
                                               const PairSuiteOptions& options);
 
+/// Fault-tolerance knobs for experiment execution. The defaults are the
+/// legacy behaviour: no budget, no retries, no journal.
+struct ExecutionPolicy {
+  /// Per-attempt wall-clock budget (ms); 0 disables the deadline.
+  double budget_ms = 0.0;
+  /// Total attempts per experiment (>= 1). Retries apply only to codes
+  /// IsRetryableStatus accepts — a deadline overrun would just overrun
+  /// again, so it is terminal.
+  size_t max_attempts = 1;
+  /// Exponential backoff: delay = min(max, base * 2^(attempt-1)),
+  /// jittered deterministically from (seed, experiment key, attempt).
+  double backoff_base_ms = 10.0;
+  double backoff_max_ms = 1000.0;
+  uint64_t backoff_seed = 42;
+  /// Invoked with the computed delay before each retry. The default is
+  /// a no-op: library code never sleeps (the delay stays observable and
+  /// testable); embedders that talk to rate-limited backends can plug a
+  /// real wait here.
+  std::function<void(double delay_ms)> backoff_wait;
+  /// Cooperative cancellation shared by every experiment.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// True for failures worth retrying (transient classes: kInternal,
+/// kIOError, kResourceExhausted). Deterministic failures and budget
+/// overruns are terminal.
+bool IsRetryableStatus(const Status& status);
+
+/// The backoff delay (ms) before retry number `attempt` (1-based count
+/// of failures so far) of the experiment identified by `key`. Pure
+/// function of (policy, key, attempt): campaign reruns compute the
+/// identical schedule.
+double BackoffDelayMs(const ExecutionPolicy& policy, const std::string& key,
+                      size_t attempt);
+
 /// Best-of-grid outcome of one method family on one pair (the paper's
 /// grid search "operates each algorithm under optimal conditions").
 struct FamilyPairOutcome {
@@ -45,6 +85,21 @@ struct FamilyPairOutcome {
   std::string best_config;
   double total_ms = 0.0;    ///< summed over all grid configurations
   size_t runs = 0;
+  size_t failed_runs = 0;   ///< configurations whose final status != kOk
+  size_t retries = 0;       ///< extra attempts beyond the first, summed
+  /// Failure taxonomy: (code, count) for every non-OK terminal status,
+  /// sorted by code so serialization is deterministic.
+  std::vector<std::pair<StatusCode, size_t>> failure_counts;
+};
+
+/// Shared execution state for a family run: the policy plus optional
+/// journal plumbing. `completed` entries are replayed instead of
+/// executed (crash resume); finished experiments are appended to
+/// `journal` when set. Both pointers are borrowed.
+struct FamilyRunContext {
+  ExecutionPolicy policy;
+  OutcomeJournal* journal = nullptr;
+  const JournalIndex* completed = nullptr;
 };
 
 /// Runs every configuration of the family on the pair; keeps the best
@@ -52,9 +107,22 @@ struct FamilyPairOutcome {
 FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
                                   const DatasetPair& pair);
 
+/// Fault-tolerant variant: applies the policy's deadline/retry budget
+/// per configuration, replays journaled results, and records failures
+/// in the outcome's taxonomy instead of aborting. Failed configurations
+/// never update best_recall/best_config.
+FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
+                                  const DatasetPair& pair,
+                                  const FamilyRunContext& run);
+
 /// Runs the family over a whole suite.
 std::vector<FamilyPairOutcome> RunFamilyOnSuite(
     const MethodFamily& family, const std::vector<DatasetPair>& suite);
+
+/// Fault-tolerant suite run (see the pair-level overload).
+std::vector<FamilyPairOutcome> RunFamilyOnSuite(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    const FamilyRunContext& run);
 
 /// Per-scenario recall distribution of a batch of outcomes.
 struct ScenarioStats {

@@ -87,8 +87,15 @@ void Word2Vec::TrainPair(size_t center, size_t context, double lr, Rng* rng) {
 }
 
 void Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences) {
+  // A default-constructed context never expires, so this cannot fail.
+  (void)TrainWithContext(sentences, MatchContext());
+}
+
+Status Word2Vec::TrainWithContext(
+    const std::vector<std::vector<std::string>>& sentences,
+    const MatchContext& context) {
   BuildVocab(sentences);
-  if (vocab_.empty() || unigram_table_.empty()) return;
+  if (vocab_.empty() || unigram_table_.empty()) return Status::OK();
   InitWeights();
   Rng rng(options_.seed ^ 0xabcdef12345ULL);
 
@@ -100,6 +107,7 @@ void Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences) {
 
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
     for (const auto& sentence : sentences) {
+      VALENTINE_RETURN_NOT_OK(context.Check("word2vec epoch"));
       // Map to vocab ids once per sentence.
       std::vector<size_t> ids;
       ids.reserve(sentence.size());
@@ -121,6 +129,7 @@ void Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences) {
       }
     }
   }
+  return Status::OK();
 }
 
 const Embedding* Word2Vec::Vector(const std::string& word) const {

@@ -246,8 +246,9 @@ std::vector<std::pair<size_t, size_t>> SelectPairs(
 
 }  // namespace
 
-MatchResult ComaMatcher::Match(const Table& source,
-                               const Table& target) const {
+Result<MatchResult> ComaMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   const size_t ns = source.num_columns();
   const size_t nt = target.num_columns();
   const bool instances = options_.strategy == ComaStrategy::kInstances;
@@ -293,6 +294,7 @@ MatchResult ComaMatcher::Match(const Table& source,
   // Aggregated similarity matrix over all first-line matchers.
   std::vector<std::vector<double>> combined(ns, std::vector<double>(nt, 0.0));
   for (size_t i = 0; i < ns; ++i) {
+    VALENTINE_RETURN_NOT_OK(context.Check("coma matcher library sweep"));
     const Column& a = source.column(i);
     for (size_t j = 0; j < nt; ++j) {
       const Column& b = target.column(j);

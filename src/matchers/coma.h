@@ -118,8 +118,9 @@ class ComaMatcher : public ColumnMatcher {
     }
     return caps;
   }
-  [[nodiscard]] MatchResult Match(const Table& source,
-                                  const Table& target) const override;
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override;
 
   /// The full per-matcher score breakdown for one column pair (schema
   /// part only — instance matchers need the whole columns). Exposed for

@@ -67,14 +67,19 @@ double CupidMatcher::LinguisticSimilarity(const std::string& a,
   return sim;
 }
 
-MatchResult CupidMatcher::Match(const Table& source,
-                                const Table& target) const {
+Result<MatchResult> CupidMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   const size_t ns = source.num_columns();
   const size_t nt = target.num_columns();
 
   // --- Linguistic matching over leaves (columns). ---
+  // The memoized traversal dominates runtime on wide schemas; one check
+  // per matrix row keeps cancellation latency proportional to a single
+  // row of thesaurus lookups.
   std::vector<std::vector<double>> lsim(ns, std::vector<double>(nt, 0.0));
   for (size_t i = 0; i < ns; ++i) {
+    VALENTINE_RETURN_NOT_OK(context.Check("cupid linguistic matching"));
     for (size_t j = 0; j < nt; ++j) {
       lsim[i][j] = LinguisticSimilarity(source.column(i).name(),
                                         target.column(j).name());

@@ -49,8 +49,9 @@ class CupidMatcher : public ColumnMatcher {
     return {MatchType::kAttributeOverlap, MatchType::kSemanticOverlap,
             MatchType::kDataType};
   }
-  [[nodiscard]] MatchResult Match(const Table& source,
-                                  const Table& target) const override;
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override;
 
   /// Linguistic similarity between two attribute names (exposed for
   /// tests and ablations): tokenize, expand, stem, thesaurus + string

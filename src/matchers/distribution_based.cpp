@@ -98,8 +98,9 @@ std::vector<size_t> SolveClusterSelection(
   return GreedyPartition(n, weight);
 }
 
-MatchResult DistributionBasedMatcher::Match(const Table& source,
-                                            const Table& target) const {
+Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   const size_t ns = source.num_columns();
   const size_t nt = target.num_columns();
   const size_t n = ns + nt;
@@ -134,6 +135,9 @@ MatchResult DistributionBasedMatcher::Match(const Table& source,
   };
   std::vector<Link> links;
   for (size_t i = 0; i < ns; ++i) {
+    // One check per source column bounds cancellation latency to a row
+    // of EMD computations (the phase-1/phase-2 sweep dominates runtime).
+    VALENTINE_RETURN_NOT_OK(context.Check("distribution-based EMD sweep"));
     for (size_t j = 0; j < nt; ++j) {
       double emd1 = EmdBetweenHistograms(hists[i], hists[ns + j]);
       if (emd1 > options_.phase1_threshold) continue;

@@ -39,8 +39,9 @@ void AddTableToGraph(const Table& table, const std::string& prefix,
 
 }  // namespace
 
-MatchResult EmbdiMatcher::Match(const Table& source,
-                                const Table& target) const {
+Result<MatchResult> EmbdiMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   Digraph g;
   AddTableToGraph(source, "A", options_.max_rows, &g);
   AddTableToGraph(target, "B", options_.max_rows, &g);
@@ -50,6 +51,7 @@ MatchResult EmbdiMatcher::Match(const Table& source,
   std::vector<std::vector<std::string>> sentences;
   sentences.reserve(g.num_nodes() * options_.walks_per_node);
   for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    VALENTINE_RETURN_NOT_OK(context.Check("embdi random walks"));
     for (size_t w = 0; w < options_.walks_per_node; ++w) {
       std::vector<std::string> sentence;
       sentence.reserve(options_.sentence_length);
@@ -75,7 +77,7 @@ MatchResult EmbdiMatcher::Match(const Table& source,
     w2v.epochs = options_.epochs;
     w2v.seed = options_.seed;
     w2v_model = Word2Vec(w2v);
-    w2v_model.Train(sentences);
+    VALENTINE_RETURN_NOT_OK(w2v_model.TrainWithContext(sentences, context));
     lookup = [&w2v_model](const std::string& w) {
       return w2v_model.Vector(w);
     };
@@ -85,6 +87,7 @@ MatchResult EmbdiMatcher::Match(const Table& source,
     cooc.window = options_.window_size;
     cooc.seed = options_.seed;
     cooc_model = CoocEmbedding(cooc);
+    VALENTINE_RETURN_NOT_OK(context.Check("embdi cooc training"));
     cooc_model.Train(sentences);
     lookup = [&cooc_model](const std::string& w) {
       return cooc_model.Vector(w);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "matchers/coma.h"
 #include "matchers/distribution_based.h"
@@ -47,8 +48,9 @@ std::vector<MatchType> EnsembleMatcher::Capabilities() const {
   return caps;
 }
 
-MatchResult EnsembleMatcher::Match(const Table& source,
-                                   const Table& target) const {
+Result<MatchResult> EnsembleMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   using PairKey = std::pair<std::string, std::string>;
   struct Fused {
     ColumnRef source_ref;
@@ -59,7 +61,13 @@ MatchResult EnsembleMatcher::Match(const Table& source,
   std::map<PairKey, Fused> fused;
 
   for (const auto& member : members_) {
-    MatchResult ranked = member->Match(source, target);
+    // Members inherit the shared budget: the first one to exceed it
+    // fails the whole ensemble (a partial fusion would silently rank
+    // from fewer voters).
+    Result<MatchResult> member_result =
+        member->Match(source, target, context);
+    if (!member_result.ok()) return member_result.status();
+    MatchResult ranked = std::move(member_result).ValueOrDie();
     for (size_t rank = 0; rank < ranked.size(); ++rank) {
       // "struct Match" disambiguates from the Match() member function.
       const struct Match& m = ranked[rank];

@@ -45,8 +45,9 @@ class EnsembleMatcher : public ColumnMatcher {
   std::string Name() const override;
   MatcherCategory Category() const override;
   std::vector<MatchType> Capabilities() const override;
-  [[nodiscard]] MatchResult Match(const Table& source,
-                                  const Table& target) const override;
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override;
 
   size_t num_members() const { return members_.size(); }
 

@@ -1,0 +1,57 @@
+#include "matchers/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/rng.h"
+
+namespace valentine {
+
+FaultInjectingMatcher::FaultInjectingMatcher(
+    std::shared_ptr<const ColumnMatcher> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  // An OK "failure" would silently disable injection; coerce it.
+  if (plan_.code == StatusCode::kOk) plan_.code = StatusCode::kInternal;
+}
+
+Result<MatchResult> FaultInjectingMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
+  const std::string key = context.trace_id.empty()
+                              ? source.name() + "\x1f" + target.name()
+                              : context.trace_id;
+  size_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    attempt = ++attempts_[key];
+  }
+
+  if (plan_.hang_ms > 0.0) {
+    // Cooperative "hang": busy-poll the context instead of sleeping, so
+    // a deadline or cancellation interrupts it the way it interrupts a
+    // real hot loop (and library code stays free of wall-clock sleeps).
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double, std::milli>(plan_.hang_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      VALENTINE_RETURN_NOT_OK(context.Check("injected hang"));
+      std::this_thread::yield();
+    }
+  }
+
+  bool fail = plan_.always_fail || attempt <= plan_.fail_first;
+  if (!fail && plan_.fail_probability > 0.0) {
+    Rng rng(plan_.seed ^ DeterministicSeed(key) ^ attempt);
+    fail = rng.UniformDouble() < plan_.fail_probability;
+  }
+  if (fail) return Status::WithCode(plan_.code, plan_.message);
+  return inner_->Match(source, target, context);
+}
+
+size_t FaultInjectingMatcher::AttemptsFor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = attempts_.find(key);
+  return it == attempts_.end() ? 0 : it->second;
+}
+
+}  // namespace valentine

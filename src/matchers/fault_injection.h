@@ -1,0 +1,79 @@
+#ifndef VALENTINE_MATCHERS_FAULT_INJECTION_H_
+#define VALENTINE_MATCHERS_FAULT_INJECTION_H_
+
+/// \file fault_injection.h
+/// Deterministic fault injection for exercising the harness's
+/// fault-tolerance machinery (retries, deadlines, quarantine, journal
+/// resume). A FaultInjectingMatcher wraps any matcher and fails, hangs,
+/// or degrades according to a seeded FaultPlan; every decision is a
+/// pure function of (plan, experiment key, attempt number), so stress
+/// runs reproduce bit-for-bit regardless of thread interleaving.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matchers/matcher.h"
+
+namespace valentine {
+
+/// What the decorator injects. Combinations compose: a plan with
+/// fail_first = 2 and hang_ms = 5 hangs 5 ms on every call and fails
+/// the first two attempts of each experiment.
+struct FaultPlan {
+  /// Fail this many initial attempts per experiment, then succeed
+  /// ("flaky dependency that recovers").
+  size_t fail_first = 0;
+  /// Every attempt fails ("permanently broken configuration").
+  bool always_fail = false;
+  /// Code injected failures carry (kOk is coerced to kInternal).
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+  /// Busy-wait this long before delegating ("hung computation"). The
+  /// wait polls the MatchContext, so deadlines and cancellation cut it
+  /// short — exactly the cooperative-interruption path under test.
+  double hang_ms = 0.0;
+  /// Independent per-attempt failure probability, derived from
+  /// (seed, key, attempt) — deterministic across runs and threads.
+  double fail_probability = 0.0;
+  uint64_t seed = 7;
+};
+
+/// \brief Decorator injecting deterministic faults around any matcher.
+///
+/// Attempts are counted per experiment key — the context's trace_id
+/// when the harness set one (the stable (family, pair, config) triple),
+/// else the source/target table names. Counting by trace_id matters:
+/// fabricated table names repeat across pairs, so name-keyed counters
+/// would couple unrelated experiments and make fail-N-then-succeed
+/// order-dependent under parallel execution.
+class FaultInjectingMatcher : public ColumnMatcher {
+ public:
+  FaultInjectingMatcher(std::shared_ptr<const ColumnMatcher> inner,
+                        FaultPlan plan);
+
+  std::string Name() const override { return inner_->Name(); }
+  MatcherCategory Category() const override { return inner_->Category(); }
+  std::vector<MatchType> Capabilities() const override {
+    return inner_->Capabilities();
+  }
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override;
+
+  /// Attempts observed so far for an experiment key (testing hook).
+  size_t AttemptsFor(const std::string& key) const;
+
+ private:
+  std::shared_ptr<const ColumnMatcher> inner_;
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, size_t> attempts_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_MATCHERS_FAULT_INJECTION_H_

@@ -4,8 +4,9 @@
 
 namespace valentine {
 
-MatchResult JaccardLevenshteinMatcher::Match(const Table& source,
-                                             const Table& target) const {
+Result<MatchResult> JaccardLevenshteinMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   // Pre-extract (and cap) distinct values once per column.
   auto extract = [&](const Table& t) {
     std::vector<std::vector<std::string>> cols;
@@ -25,6 +26,9 @@ MatchResult JaccardLevenshteinMatcher::Match(const Table& source,
 
   MatchResult result;
   for (size_t i = 0; i < source.num_columns(); ++i) {
+    // Each row of the matrix is a batch of fuzzy set intersections —
+    // the quadratic hot loop — so the budget check lives here.
+    VALENTINE_RETURN_NOT_OK(context.Check("fuzzy-jaccard column sweep"));
     for (size_t j = 0; j < target.num_columns(); ++j) {
       double sim = FuzzyJaccard(src_vals[i], tgt_vals[j], options_.threshold);
       result.Add({source.name(), source.column(i).name()},

@@ -1,6 +1,18 @@
 #include "matchers/matcher.h"
 
+#include <utility>
+
 namespace valentine {
+
+MatchResult ColumnMatcher::Match(const Table& source,
+                                 const Table& target) const {
+  Result<MatchResult> result = MatchWithContext(source, target, {});
+  // An unbounded default context never expires and is never cancelled,
+  // so only injected faults can land here; the infallible legacy
+  // contract maps them to "no matches found".
+  if (!result.ok()) return MatchResult();
+  return std::move(result).ValueOrDie();
+}
 
 const char* MatchTypeName(MatchType type) {
   switch (type) {

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.h"
+#include "core/status.h"
 #include "core/table.h"
 #include "matchers/match_result.h"
 
@@ -42,6 +44,14 @@ const char* MatcherCategoryName(MatcherCategory category);
 /// A matcher scores column correspondences between a source and a target
 /// table and returns them as a ranked list (never a thresholded 1-1 set —
 /// selection is the caller's concern).
+///
+/// Non-virtual-interface shape: callers use Match(); implementations
+/// override MatchWithContext(). The context threads a cooperative
+/// deadline and cancellation token through the computation — iterative
+/// matchers (Similarity Flooding fixpoints, EmbDI word2vec epochs, Cupid
+/// memoized traversal, distribution-based EMD sweeps) check it at
+/// iteration boundaries and return kDeadlineExceeded / kCancelled
+/// instead of running unbounded.
 class ColumnMatcher {
  public:
   virtual ~ColumnMatcher() = default;
@@ -55,11 +65,28 @@ class ColumnMatcher {
   /// The Table I capability row for this method.
   virtual std::vector<MatchType> Capabilities() const = 0;
 
-  /// Computes the ranked match list for the pair of tables. Computing a
-  /// match is pure and (for some matchers) expensive; discarding the
-  /// result is always a bug, hence [[nodiscard]].
-  [[nodiscard]] virtual MatchResult Match(const Table& source,
-                                          const Table& target) const = 0;
+  /// Computes the ranked match list for the pair of tables under an
+  /// unbounded context. Computing a match is pure and (for some
+  /// matchers) expensive; discarding the result is always a bug, hence
+  /// [[nodiscard]]. Built-in matchers cannot fail without a deadline or
+  /// token, so this overload stays infallible; a fault-injecting
+  /// decorator that errors anyway yields an empty result here.
+  [[nodiscard]] MatchResult Match(const Table& source,
+                                  const Table& target) const;
+
+  /// Budgeted/cancellable entry point: the ranked match list, or
+  /// kDeadlineExceeded / kCancelled when the context fired mid-run.
+  [[nodiscard]] Result<MatchResult> Match(const Table& source,
+                                          const Table& target,
+                                          const MatchContext& context) const {
+    return MatchWithContext(source, target, context);
+  }
+
+  /// The hook every method implements. Check `context` at iteration
+  /// boundaries of any loop whose trip count depends on the data.
+  [[nodiscard]] virtual Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const = 0;
 };
 
 /// Convenience owning handle.

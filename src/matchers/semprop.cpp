@@ -28,8 +28,9 @@ std::pair<size_t, double> SemPropMatcher::LinkToOntology(
   return {best_class, best_sim};
 }
 
-MatchResult SemPropMatcher::Match(const Table& source,
-                                  const Table& target) const {
+Result<MatchResult> SemPropMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   constexpr size_t kNoLink = static_cast<size_t>(-1);
   const size_t ns = source.num_columns();
   const size_t nt = target.num_columns();
@@ -38,9 +39,11 @@ MatchResult SemPropMatcher::Match(const Table& source,
   std::vector<std::pair<size_t, double>> src_links(ns, {kNoLink, 0.0});
   std::vector<std::pair<size_t, double>> tgt_links(nt, {kNoLink, 0.0});
   for (size_t i = 0; i < ns; ++i) {
+    VALENTINE_RETURN_NOT_OK(context.Check("semprop ontology linking"));
     src_links[i] = LinkToOntology(source.column(i).name());
   }
   for (size_t j = 0; j < nt; ++j) {
+    VALENTINE_RETURN_NOT_OK(context.Check("semprop ontology linking"));
     tgt_links[j] = LinkToOntology(target.column(j).name());
   }
 

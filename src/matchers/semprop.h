@@ -54,8 +54,9 @@ class SemPropMatcher : public ColumnMatcher {
     return {MatchType::kAttributeOverlap, MatchType::kValueOverlap,
             MatchType::kEmbeddings};
   }
-  [[nodiscard]] MatchResult Match(const Table& source,
-                                  const Table& target) const override;
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override;
 
   /// Best ontology class link for a name: (class index, cosine), or
   /// (npos, 0) when nothing clears the semantic threshold.

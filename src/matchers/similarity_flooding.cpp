@@ -41,8 +41,9 @@ double InitialSimilarity(const Digraph& a, NodeId na, const Digraph& b,
 
 }  // namespace
 
-MatchResult SimilarityFloodingMatcher::Match(const Table& source,
-                                             const Table& target) const {
+Result<MatchResult> SimilarityFloodingMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   Digraph ga = BuildSchemaGraph(source);
   Digraph gb = BuildSchemaGraph(target);
   const size_t na = ga.num_nodes();
@@ -95,6 +96,7 @@ MatchResult SimilarityFloodingMatcher::Match(const Table& source,
   std::vector<double> next(n_pairs, 0.0);
   std::vector<double> basis(n_pairs, 0.0);
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    VALENTINE_RETURN_NOT_OK(context.Check("similarity-flooding fixpoint"));
     // Propagation input depends on the formula.
     switch (options_.formula) {
       case SfFormula::kBasic:

@@ -56,8 +56,9 @@ class SimilarityFloodingMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kAttributeOverlap, MatchType::kDataType};
   }
-  [[nodiscard]] MatchResult Match(const Table& source,
-                                  const Table& target) const override;
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override;
 
  private:
   SimilarityFloodingOptions options_;

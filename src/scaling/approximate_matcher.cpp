@@ -2,8 +2,9 @@
 
 namespace valentine {
 
-MatchResult ApproximateOverlapMatcher::Match(const Table& source,
-                                             const Table& target) const {
+Result<MatchResult> ApproximateOverlapMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
   const size_t sig_size = options_.lsh.bands * options_.lsh.rows_per_band;
 
   // Sketch every column once.
@@ -22,6 +23,7 @@ MatchResult ApproximateOverlapMatcher::Match(const Table& source,
           LazoSketch::Build(c.DistinctStringSet(), sig_size));
     }
     for (size_t i = 0; i < source.num_columns(); ++i) {
+      VALENTINE_RETURN_NOT_OK(context.Check("lazo all-pairs estimation"));
       for (size_t j = 0; j < target.num_columns(); ++j) {
         LazoEstimate est = EstimateLazo(src_sketches[i], tgt_sketches[j]);
         if (est.jaccard >= options_.min_jaccard) {
@@ -40,6 +42,7 @@ MatchResult ApproximateOverlapMatcher::Match(const Table& source,
     index.Add(c.name(), c.DistinctStringSet());
   }
   for (size_t i = 0; i < source.num_columns(); ++i) {
+    VALENTINE_RETURN_NOT_OK(context.Check("lsh pruned query"));
     const Column& c = source.column(i);
     for (const auto& [key, jaccard] :
          index.QueryJaccard(c.DistinctStringSet(), options_.min_jaccard)) {

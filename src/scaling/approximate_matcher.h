@@ -38,7 +38,9 @@ class ApproximateOverlapMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kValueOverlap};
   }
-  MatchResult Match(const Table& source, const Table& target) const override;
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override;
 
  private:
   ApproximateOverlapOptions options_;

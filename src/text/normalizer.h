@@ -53,9 +53,12 @@ class NormalizingMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return inner_->Capabilities();
   }
-  MatchResult Match(const Table& source, const Table& target) const override {
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override {
+    VALENTINE_RETURN_NOT_OK(context.Check("value normalization"));
     return inner_->Match(NormalizeTable(source, options_),
-                         NormalizeTable(target, options_));
+                         NormalizeTable(target, options_), context);
   }
 
  private:

@@ -31,6 +31,53 @@ TEST(StatusTest, AllErrorCodesDistinct) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, CodeNameRoundTripsEveryCode) {
+  const StatusCode all[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kOutOfRange,
+      StatusCode::kIOError,
+      StatusCode::kParseError,
+      StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,
+      StatusCode::kResourceExhausted,
+  };
+  for (StatusCode code : all) {
+    const char* name = StatusCodeName(code);
+    ASSERT_NE(name, nullptr);
+    auto parsed = StatusCodeFromName(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+  }
+  EXPECT_FALSE(StatusCodeFromName("NoSuchCode").has_value());
+  EXPECT_FALSE(StatusCodeFromName("").has_value());
+}
+
+TEST(StatusTest, ToStringUsesMachineReadableName) {
+  EXPECT_EQ(Status::DeadlineExceeded("budget gone").ToString(),
+            "DeadlineExceeded: budget gone");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::ResourceExhausted("oom").ToString(),
+            "ResourceExhausted: oom");
+}
+
+TEST(StatusTest, WithCodeFactory) {
+  Status s = Status::WithCode(StatusCode::kIOError, "disk");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk");
+  // kOk drops the message and yields a plain OK status.
+  Status ok = Status::WithCode(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.message().empty());
 }
 
 TEST(StatusTest, Equality) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "datasets/tpcdi.h"
+#include "harness/json_export.h"
 #include "io/csv.h"
 
 #include <cstdio>
@@ -63,6 +64,37 @@ TEST(CampaignTest, EmptySuiteSafe) {
   EXPECT_EQ(report.num_pairs, 0u);
   ASSERT_EQ(report.families.size(), 1u);
   EXPECT_TRUE(report.families[0].outcomes.empty());
+}
+
+TEST(CampaignTest, EmptyFamilyListYieldsEmptyDeterministicReport) {
+  std::vector<Table> sources = {MakeTpcdiProspect(30, 85)};
+  CampaignReport report = RunCampaign(sources, {}, SmallCampaign());
+  EXPECT_GT(report.num_pairs, 0u);  // the suite is still fabricated
+  EXPECT_EQ(report.num_configurations, 0u);
+  EXPECT_EQ(report.num_experiments, 0u);
+  EXPECT_EQ(report.failed_experiments, 0u);
+  EXPECT_TRUE(report.families.empty());
+  // Two runs serialize identically — nothing time-dependent leaks in.
+  CampaignReport again = RunCampaign(sources, {}, SmallCampaign());
+  EXPECT_EQ(ToJson(report), ToJson(again));
+}
+
+TEST(CampaignTest, FilterMatchingNothingIsSafe) {
+  std::vector<Table> sources = {MakeTpcdiProspect(30, 86)};
+  CampaignOptions opt = SmallCampaign();
+  opt.family_filter = {"NoSuchFamily"};
+  CampaignReport report =
+      RunCampaign(sources, {SimilarityFloodingFamily()}, opt);
+  EXPECT_TRUE(report.families.empty());
+  EXPECT_EQ(report.num_configurations, 0u);
+  EXPECT_EQ(report.num_experiments, 0u);
+}
+
+TEST(CampaignTest, EmptySuiteAndEmptyFamiliesSafe) {
+  CampaignReport report = RunCampaignOnSuite({}, {}, {});
+  EXPECT_EQ(report.num_pairs, 0u);
+  EXPECT_EQ(report.num_experiments, 0u);
+  EXPECT_TRUE(report.families.empty());
 }
 
 TEST(CsvDirectoryTest, LoadsAllCsvFiles) {

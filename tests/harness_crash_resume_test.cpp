@@ -1,0 +1,136 @@
+// End-to-end crash-resume contract: a campaign SIGKILLed mid-flight is
+// resumed from its outcome journal and produces a final report
+// byte-identical (modulo wall-clock fields) to an uninterrupted run.
+// The kill is a real one — fork(), run the campaign in the child with a
+// decorator that raises SIGKILL after N successful matches, then resume
+// in the parent against whatever the torn journal holds.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/tpcdi.h"
+#include "harness/campaign.h"
+#include "harness/journal.h"
+#include "harness/json_export.h"
+#include "matchers/matcher.h"
+
+namespace valentine {
+namespace {
+
+std::vector<DatasetPair> SmallSuite() {
+  Table original = MakeTpcdiProspect(25, 4242);
+  PairSuiteOptions opt;
+  opt.row_overlaps = {0.5};
+  opt.column_overlaps = {0.5};
+  opt.schema_noise_variants = false;
+  opt.instance_noise_variants = false;
+  return BuildFabricatedSuite(original, opt);
+}
+
+MethodFamily SmallFamily() {
+  MethodFamily family = JaccardLevenshteinFamily();
+  family.grid.resize(2);
+  return family;
+}
+
+std::string CanonicalCampaignJson(CampaignReport report) {
+  for (auto& family : report.families) {
+    family.avg_runtime_ms = 0.0;
+    for (auto& outcome : family.outcomes) outcome.total_ms = 0.0;
+  }
+  return ToJson(report);
+}
+
+/// Delegates until `budget` successful matches have been spent, then
+/// raises SIGKILL — the hardest kill there is: no destructors, no
+/// flushes beyond what the journal already forced line-by-line.
+class KillAfterMatcher : public ColumnMatcher {
+ public:
+  KillAfterMatcher(std::shared_ptr<const ColumnMatcher> inner,
+                   std::shared_ptr<std::atomic<int>> budget)
+      : inner_(std::move(inner)), budget_(std::move(budget)) {}
+
+  std::string Name() const override { return inner_->Name(); }
+  MatcherCategory Category() const override { return inner_->Category(); }
+  std::vector<MatchType> Capabilities() const override {
+    return inner_->Capabilities();
+  }
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override {
+    if (budget_->fetch_sub(1) <= 0) {
+      raise(SIGKILL);
+    }
+    return inner_->Match(source, target, context);
+  }
+
+ private:
+  std::shared_ptr<const ColumnMatcher> inner_;
+  std::shared_ptr<std::atomic<int>> budget_;
+};
+
+MethodFamily KillAfter(const MethodFamily& base, int budget) {
+  auto shared_budget = std::make_shared<std::atomic<int>>(budget);
+  MethodFamily wrapped{base.name, {}};
+  for (const ConfiguredMatcher& cm : base.grid) {
+    wrapped.grid.push_back(
+        {cm.description,
+         std::make_shared<KillAfterMatcher>(cm.matcher, shared_budget)});
+  }
+  return wrapped;
+}
+
+TEST(CrashResumeTest, SigkilledCampaignResumesToByteIdenticalReport) {
+  std::vector<DatasetPair> suite = SmallSuite();
+
+  // The reference: an uninterrupted, journal-free run.
+  CampaignOptions plain;
+  plain.num_threads = 2;
+  std::string expected =
+      CanonicalCampaignJson(RunCampaignOnSuite(suite, {SmallFamily()}, plain));
+
+  std::string journal_path = ::testing::TempDir() + "valentine_crash_" +
+                             std::to_string(getpid()) + ".jsonl";
+  std::remove(journal_path.c_str());
+  CampaignOptions journaled = plain;
+  journaled.journal_path = journal_path;
+
+  pid_t child = fork();
+  ASSERT_NE(child, -1) << "fork failed";
+  if (child == 0) {
+    // In the child: die after 5 successful matches, mid-campaign.
+    (void)RunCampaignOnSuite(suite, {KillAfter(SmallFamily(), 5)}, journaled);
+    _exit(0);  // unreachable when the kill fires
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus)) << "child was expected to die mid-run";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // The journal holds a strict subset of the campaign (and possibly a
+  // torn final line).
+  auto index = JournalIndex::Load(journal_path);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->size(), 0u);
+  EXPECT_LT(index->size(), 12u * 2u);  // pairs x configs
+
+  // Resume in the parent: completed triples replay, the rest execute.
+  CampaignReport resumed =
+      RunCampaignOnSuite(suite, {SmallFamily()}, journaled);
+  EXPECT_EQ(CanonicalCampaignJson(resumed), expected);
+  std::remove(journal_path.c_str());
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,168 @@
+#include "matchers/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/column.h"
+#include "core/table.h"
+#include "core/value.h"
+#include "matchers/jaccard_levenshtein.h"
+
+namespace valentine {
+namespace {
+
+Table SmallTable(const std::string& name) {
+  Table t(name);
+  Column a("customer_id", DataType::kInt64);
+  Column b("city", DataType::kString);
+  for (int i = 0; i < 5; ++i) {
+    a.Append(Value::Int(i));
+    b.Append(Value::String("city_" + std::to_string(i)));
+  }
+  EXPECT_TRUE(t.AddColumn(std::move(a)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(b)).ok());
+  return t;
+}
+
+std::shared_ptr<const ColumnMatcher> Inner() {
+  return std::make_shared<JaccardLevenshteinMatcher>();
+}
+
+TEST(FaultInjectionTest, NoPlanDelegatesTransparently) {
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  FaultInjectingMatcher faulty(Inner(), FaultPlan{});
+  JaccardLevenshteinMatcher plain;
+
+  Result<MatchResult> got = faulty.Match(s, t, MatchContext());
+  ASSERT_TRUE(got.ok());
+  MatchResult expected = plain.Match(s, t);
+  ASSERT_EQ(got->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*got)[i].score, expected[i].score);
+  }
+  EXPECT_EQ(faulty.Name(), plain.Name());
+  EXPECT_EQ(faulty.Category(), plain.Category());
+}
+
+TEST(FaultInjectionTest, FailNThenSucceed) {
+  FaultPlan plan;
+  plan.fail_first = 2;
+  plan.code = StatusCode::kIOError;
+  plan.message = "flaky backend";
+  FaultInjectingMatcher faulty(Inner(), plan);
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  MatchContext ctx;
+  ctx.trace_id = "fam\x1f"
+                 "pair\x1f"
+                 "config";
+
+  Result<MatchResult> first = faulty.Match(s, t, ctx);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(first.status().message(), "flaky backend");
+  Result<MatchResult> second = faulty.Match(s, t, ctx);
+  ASSERT_FALSE(second.ok());
+  Result<MatchResult> third = faulty.Match(s, t, ctx);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(faulty.AttemptsFor(ctx.trace_id), 3u);
+}
+
+TEST(FaultInjectionTest, AttemptsKeyedOnTraceIdNotTableNames) {
+  // Two experiments over the *same* tables (the fabricated-suite
+  // reality: table names repeat across pairs) must fail independently.
+  FaultPlan plan;
+  plan.fail_first = 1;
+  FaultInjectingMatcher faulty(Inner(), plan);
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  MatchContext exp_a;
+  exp_a.trace_id = "fam\x1fpair_a\x1f" "cfg";
+  MatchContext exp_b;
+  exp_b.trace_id = "fam\x1fpair_b\x1f" "cfg";
+
+  EXPECT_FALSE(faulty.Match(s, t, exp_a).ok());  // a's first attempt
+  EXPECT_FALSE(faulty.Match(s, t, exp_b).ok());  // b's first attempt
+  EXPECT_TRUE(faulty.Match(s, t, exp_a).ok());   // a recovered
+  EXPECT_TRUE(faulty.Match(s, t, exp_b).ok());   // b recovered
+}
+
+TEST(FaultInjectionTest, AlwaysFailNeverRecovers) {
+  FaultPlan plan;
+  plan.always_fail = true;
+  FaultInjectingMatcher faulty(Inner(), plan);
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  for (int i = 0; i < 4; ++i) {
+    Result<MatchResult> r = faulty.Match(s, t, MatchContext());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  }
+}
+
+TEST(FaultInjectionTest, OkFailureCodeIsCoercedToInternal) {
+  FaultPlan plan;
+  plan.always_fail = true;
+  plan.code = StatusCode::kOk;  // nonsensical; must not disable faults
+  FaultInjectingMatcher faulty(Inner(), plan);
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  Result<MatchResult> r = faulty.Match(s, t, MatchContext());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(FaultInjectionTest, HangIsInterruptedByDeadline) {
+  FaultPlan plan;
+  plan.hang_ms = 60000.0;  // a minute-long hang...
+  FaultInjectingMatcher faulty(Inner(), plan);
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  MatchContext ctx;
+  ctx.deadline = Deadline::AfterMs(5.0);  // ...cut to 5 ms
+  Result<MatchResult> r = faulty.Match(s, t, ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultInjectionTest, HangIsInterruptedByCancellation) {
+  FaultPlan plan;
+  plan.hang_ms = 60000.0;
+  FaultInjectingMatcher faulty(Inner(), plan);
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  CancellationToken token;
+  token.Cancel();
+  MatchContext ctx;
+  ctx.cancel = &token;
+  Result<MatchResult> r = faulty.Match(s, t, ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(FaultInjectionTest, ProbabilisticFaultsAreDeterministic) {
+  FaultPlan plan;
+  plan.fail_probability = 0.5;
+  plan.seed = 99;
+  Table s = SmallTable("s");
+  Table t = SmallTable("t");
+  // Two decorator instances replay the identical fault sequence for the
+  // identical key sequence — the property the soak driver relies on.
+  auto run = [&](FaultInjectingMatcher& m) {
+    std::vector<bool> oks;
+    for (int i = 0; i < 16; ++i) {
+      MatchContext ctx;
+      ctx.trace_id = "exp_" + std::to_string(i % 4);  // 4 attempts each
+      oks.push_back(m.Match(s, t, ctx).ok());
+    }
+    return oks;
+  };
+  FaultInjectingMatcher first(Inner(), plan);
+  FaultInjectingMatcher second(Inner(), plan);
+  EXPECT_EQ(run(first), run(second));
+}
+
+}  // namespace
+}  // namespace valentine

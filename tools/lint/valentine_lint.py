@@ -26,6 +26,14 @@ machine-checks the repo-wide invariants that protect it:
                         with quotes, never angle brackets; a .cpp under
                         src/ includes its own header first (catches
                         headers that are not self-contained).
+  wallclock-time        std::chrono::system_clock and thread sleeps
+                        (sleep_for / sleep_until) in src/ library code.
+                        Deadlines must use the steady clock (wall clocks
+                        jump under NTP and break Deadline math), and
+                        library code must never block the calling
+                        thread — waits are cooperative (Deadline /
+                        CancellationToken polling) or delegated to the
+                        embedder via ExecutionPolicy::backoff_wait.
 
 Usage:
   tools/lint/valentine_lint.py            # lint the default tree
@@ -259,6 +267,30 @@ def check_ignored_status(path: Path, rel: str, text: str,
 
 
 # --------------------------------------------------------------------------
+# Rule: wallclock-time
+# --------------------------------------------------------------------------
+
+WALLCLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"),
+     "std::chrono::system_clock is wall-clock time (jumps under NTP); "
+     "use std::chrono::steady_clock / valentine::Deadline"),
+    (re.compile(r"\bsleep_(?:for|until)\s*\("),
+     "library code must not sleep; poll MatchContext::Check for "
+     "cooperative waits or route delays through "
+     "ExecutionPolicy::backoff_wait"),
+]
+
+
+def check_wallclock_time(path: Path, rel: str, text: str, out: list):
+    if not rel.startswith("src/"):
+        return
+    for lineno, raw, code in iter_code_lines(text):
+        for pattern, message in WALLCLOCK_PATTERNS:
+            if pattern.search(code) and not allowed(raw, "wallclock-time"):
+                out.append(Violation(path, lineno, "wallclock-time", message))
+
+
+# --------------------------------------------------------------------------
 # Rule: header-guard
 # --------------------------------------------------------------------------
 
@@ -334,7 +366,7 @@ def check_include_hygiene(path: Path, rel: str, text: str,
 # --------------------------------------------------------------------------
 
 RULES = ("forbidden-random", "unordered-iteration", "ignored-status",
-         "header-guard", "include-hygiene")
+         "header-guard", "include-hygiene", "wallclock-time")
 
 
 def gather_files(args_paths):
@@ -396,6 +428,7 @@ def main(argv=None) -> int:
         check_ignored_status(path, rel, text, status_fns, violations)
         check_header_guard(path, rel, text, violations)
         check_include_hygiene(path, rel, text, project_headers, violations)
+        check_wallclock_time(path, rel, text, violations)
 
     for v in violations:
         print(v)
