@@ -84,6 +84,8 @@ class CancellationToken {
   std::atomic<bool> cancelled_{false};
 };
 
+class TableProfile;  // stats/column_profile.h
+
 /// \brief Per-call execution context threaded through ColumnMatcher::Match.
 ///
 /// Carries the time budget, an optional cancellation token, and a stable
@@ -96,6 +98,14 @@ struct MatchContext {
   const CancellationToken* cancel = nullptr;
   /// Stable experiment identifier, independent of scheduling order.
   std::string trace_id;
+  /// Precomputed column profiles of the two tables being matched
+  /// (stats/column_profile.h), or nullptr when the caller has none.
+  /// Borrowed; must outlive the Match call. Matchers that consume a
+  /// profile verify artifact compatibility (caps, bins, hash counts)
+  /// and fall back to inline extraction otherwise, so a profiled call
+  /// returns byte-identical results to an unprofiled one.
+  const TableProfile* source_profile = nullptr;
+  const TableProfile* target_profile = nullptr;
 
   /// kCancelled when the token fired, kDeadlineExceeded when the budget
   /// ran out, OK otherwise. `where` names the checkpoint for the error

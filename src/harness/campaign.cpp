@@ -27,6 +27,15 @@ CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
     journal.emplace(options.journal_path);
     run.journal = &*journal;
   }
+  // One profile cache for the whole campaign: the first family to touch
+  // a table pays the profiling cost, every later configuration and
+  // family reuses the artifacts. Scoped to this call — the cache borrows
+  // the suite's tables.
+  std::optional<ProfileCache> profiles;
+  if (options.use_profile_cache) {
+    profiles.emplace(options.profile_spec);
+    run.profiles = &*profiles;
+  }
 
   CampaignReport report;
   report.num_pairs = suite.size();
@@ -40,8 +49,8 @@ CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
     report.num_configurations += family.grid.size();
     CampaignFamilyReport fr;
     fr.family = family.name;
-    fr.outcomes =
-        RunFamilyOnSuiteParallel(family, suite, options.num_threads, run);
+    fr.outcomes = RunFamilyOnSuiteParallel(family, suite, options.num_threads,
+                                           run, options.granularity);
     fr.by_scenario = AggregateByScenario(fr.outcomes);
     fr.avg_runtime_ms = AverageRuntimeMsPerRun(fr.outcomes);
     std::map<StatusCode, size_t> taxonomy;

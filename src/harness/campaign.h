@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/parallel.h"
 #include "harness/param_grid.h"
 #include "harness/runner.h"
 
@@ -31,6 +32,20 @@ struct CampaignOptions {
   /// and the final report is byte-identical to an uninterrupted run
   /// (modulo wall-clock runtime fields).
   std::string journal_path;
+  /// Share one ProfileCache across every family and configuration of
+  /// the campaign, so per-column artifacts (distinct values, sets,
+  /// histograms, MinHash sketches, text/numeric stats) are computed
+  /// once per table instead of once per experiment. Reports are
+  /// byte-identical either way (modulo wall-clock runtime fields).
+  bool use_profile_cache = true;
+  /// Artifact parameters for the shared cache; the defaults match the
+  /// matcher defaults, which is what makes the artifacts servable.
+  ProfileSpec profile_spec;
+  /// Work slicing for the thread pool: kConfig (the default) also
+  /// parallelizes the grid inside each pair, so small suites with wide
+  /// grids saturate the cores. Either value yields byte-identical
+  /// reports.
+  ParallelGranularity granularity = ParallelGranularity::kConfig;
 };
 
 /// Aggregated results of one family over the campaign suite.

@@ -15,12 +15,15 @@ std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
 std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
     const MethodFamily& family, const std::vector<DatasetPair>& suite,
     size_t num_threads, const FamilyRunContext& run) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, suite.size());
-  if (num_threads <= 1) return RunFamilyOnSuite(family, suite, run);
+  return RunFamilyOnSuiteParallel(family, suite, num_threads, run,
+                                  ParallelGranularity::kPair);
+}
 
+namespace {
+
+std::vector<FamilyPairOutcome> RunPairGranularity(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads, const FamilyRunContext& run) {
   std::vector<FamilyPairOutcome> outcomes(suite.size());
   std::atomic<size_t> next{0};
   auto worker = [&] {
@@ -35,6 +38,59 @@ std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
   for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
   for (auto& t : threads) t.join();
   return outcomes;
+}
+
+std::vector<FamilyPairOutcome> RunConfigGranularity(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads, const FamilyRunContext& run) {
+  const size_t num_configs = family.grid.size();
+  const size_t total = suite.size() * num_configs;
+  // Per-experiment results land at their flattened (pair, config) index;
+  // workers share nothing else, so any interleaving produces the same
+  // matrix. The fold below walks it in deterministic order.
+  std::vector<std::vector<ExperimentResult>> results(suite.size());
+  for (auto& row : results) row.resize(num_configs);
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t w = next.fetch_add(1);
+      if (w >= total) return;
+      size_t pair_index = w / num_configs;
+      size_t config_index = w % num_configs;
+      results[pair_index][config_index] =
+          RunConfigOnPair(family, config_index, suite[pair_index], run);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  std::vector<FamilyPairOutcome> outcomes;
+  outcomes.reserve(suite.size());
+  for (size_t i = 0; i < suite.size(); ++i) {
+    outcomes.push_back(ReducePairOutcome(family, suite[i], results[i]));
+  }
+  return outcomes;
+}
+
+}  // namespace
+
+std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads, const FamilyRunContext& run,
+    ParallelGranularity granularity) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const size_t max_useful = granularity == ParallelGranularity::kConfig
+                                ? suite.size() * family.grid.size()
+                                : suite.size();
+  num_threads = std::min(num_threads, max_useful);
+  if (num_threads <= 1) return RunFamilyOnSuite(family, suite, run);
+  return granularity == ParallelGranularity::kConfig
+             ? RunConfigGranularity(family, suite, num_threads, run)
+             : RunPairGranularity(family, suite, num_threads, run);
 }
 
 }  // namespace valentine

@@ -35,6 +35,26 @@ std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
     const MethodFamily& family, const std::vector<DatasetPair>& suite,
     size_t num_threads, const FamilyRunContext& run);
 
+/// How work is sliced across the thread pool.
+enum class ParallelGranularity {
+  /// One work item per dataset pair (the legacy slicing): cannot use
+  /// more threads than there are pairs.
+  kPair,
+  /// One work item per (pair, grid configuration): a small suite with a
+  /// wide grid still saturates every core. Per-config results land at
+  /// their (pair, config) index and are folded with ReducePairOutcome
+  /// in grid order, so the outcome vector is byte-identical to kPair's
+  /// and to the sequential runner's.
+  kConfig,
+};
+
+/// Granularity-selecting variant. kPair reproduces the 4-argument
+/// overload exactly; kConfig additionally parallelizes inside each pair.
+std::vector<FamilyPairOutcome> RunFamilyOnSuiteParallel(
+    const MethodFamily& family, const std::vector<DatasetPair>& suite,
+    size_t num_threads, const FamilyRunContext& run,
+    ParallelGranularity granularity);
+
 }  // namespace valentine
 
 #endif  // VALENTINE_HARNESS_PARALLEL_H_

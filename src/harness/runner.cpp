@@ -107,12 +107,14 @@ namespace {
 
 /// Runs one configuration under the policy: a fresh per-attempt
 /// deadline, bounded retries for transient codes, runtime accumulated
-/// across attempts.
+/// across attempts. `source_profile` / `target_profile` may be null.
 ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
                                          const std::string& config,
                                          const DatasetPair& pair,
                                          const std::string& family_name,
-                                         const ExecutionPolicy& policy) {
+                                         const ExecutionPolicy& policy,
+                                         const TableProfile* source_profile,
+                                         const TableProfile* target_profile) {
   const std::string key = JournalKey(family_name, pair.id, config);
   const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
   ExperimentResult result;
@@ -124,6 +126,8 @@ ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
     }
     context.cancel = policy.cancel;
     context.trace_id = key;
+    context.source_profile = source_profile;
+    context.target_profile = target_profile;
     result = RunExperiment(matcher, config, pair, context);
     total_runtime_ms += result.runtime_ms;
     result.attempts = attempt;
@@ -164,33 +168,48 @@ FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
   return RunFamilyOnPair(family, pair, FamilyRunContext());
 }
 
-FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
-                                  const DatasetPair& pair,
-                                  const FamilyRunContext& run) {
+ExperimentResult RunConfigOnPair(const MethodFamily& family,
+                                 size_t config_index, const DatasetPair& pair,
+                                 const FamilyRunContext& run) {
+  const ConfiguredMatcher& cm = family.grid[config_index];
+  const JournalEntry* done =
+      run.completed == nullptr
+          ? nullptr
+          : run.completed->Find(family.name, pair.id, cm.description);
+  if (done != nullptr) {
+    // Crash resume: replay the journaled outcome (including
+    // quarantined failures — they are never re-attempted).
+    return ReplayJournalEntry(*done, *cm.matcher, pair);
+  }
+  // Resolve shared profiles for the pair's tables (built once per table
+  // across the whole cache lifetime). The cache owns the profiles; the
+  // shared_ptrs here only pin them for the duration of the call.
+  std::shared_ptr<const TableProfile> source_profile, target_profile;
+  if (run.profiles != nullptr) {
+    source_profile = run.profiles->GetOrBuild(pair.source);
+    target_profile = run.profiles->GetOrBuild(pair.target);
+  }
+  ExperimentResult r = RunExperimentWithPolicy(
+      *cm.matcher, cm.description, pair, family.name, run.policy,
+      source_profile.get(), target_profile.get());
+  if (run.journal != nullptr) {
+    run.journal->Append({family.name, pair.id, cm.description, r.code,
+                         r.error, r.recall_at_gt, r.map, r.runtime_ms,
+                         r.attempts});
+  }
+  return r;
+}
+
+FamilyPairOutcome ReducePairOutcome(
+    const MethodFamily& family, const DatasetPair& pair,
+    const std::vector<ExperimentResult>& results) {
   FamilyPairOutcome out;
   out.family = family.name;
   out.pair_id = pair.id;
   out.scenario = pair.scenario;
   std::map<StatusCode, size_t> failures;
-  for (const ConfiguredMatcher& cm : family.grid) {
-    ExperimentResult r;
-    const JournalEntry* done =
-        run.completed == nullptr
-            ? nullptr
-            : run.completed->Find(family.name, pair.id, cm.description);
-    if (done != nullptr) {
-      // Crash resume: replay the journaled outcome (including
-      // quarantined failures — they are never re-attempted).
-      r = ReplayJournalEntry(*done, *cm.matcher, pair);
-    } else {
-      r = RunExperimentWithPolicy(*cm.matcher, cm.description, pair,
-                                  family.name, run.policy);
-      if (run.journal != nullptr) {
-        run.journal->Append({family.name, pair.id, cm.description, r.code,
-                             r.error, r.recall_at_gt, r.map, r.runtime_ms,
-                             r.attempts});
-      }
-    }
+  for (size_t c = 0; c < results.size(); ++c) {
+    const ExperimentResult& r = results[c];
     out.total_ms += r.runtime_ms;
     ++out.runs;
     out.retries += r.attempts - 1;
@@ -199,7 +218,7 @@ FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
       // must not claim the tie-break slot a successful one would get.
       if (r.recall_at_gt > out.best_recall || out.best_config.empty()) {
         out.best_recall = r.recall_at_gt;
-        out.best_config = cm.description;
+        out.best_config = family.grid[c].description;
       }
     } else {
       ++out.failed_runs;
@@ -208,6 +227,17 @@ FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
   }
   out.failure_counts.assign(failures.begin(), failures.end());
   return out;
+}
+
+FamilyPairOutcome RunFamilyOnPair(const MethodFamily& family,
+                                  const DatasetPair& pair,
+                                  const FamilyRunContext& run) {
+  std::vector<ExperimentResult> results;
+  results.reserve(family.grid.size());
+  for (size_t c = 0; c < family.grid.size(); ++c) {
+    results.push_back(RunConfigOnPair(family, c, pair, run));
+  }
+  return ReducePairOutcome(family, pair, results);
 }
 
 std::vector<FamilyPairOutcome> RunFamilyOnSuite(

@@ -18,6 +18,7 @@
 #include "harness/journal.h"
 #include "harness/param_grid.h"
 #include "metrics/metrics.h"
+#include "stats/column_profile.h"
 
 namespace valentine {
 
@@ -95,12 +96,35 @@ struct FamilyPairOutcome {
 /// Shared execution state for a family run: the policy plus optional
 /// journal plumbing. `completed` entries are replayed instead of
 /// executed (crash resume); finished experiments are appended to
-/// `journal` when set. Both pointers are borrowed.
+/// `journal` when set. All pointers are borrowed.
 struct FamilyRunContext {
   ExecutionPolicy policy;
   OutcomeJournal* journal = nullptr;
   const JournalIndex* completed = nullptr;
+  /// Shared column-profile cache: when set, each pair's table profiles
+  /// are resolved (built once, then reused across configurations,
+  /// families, and threads) and attached to every MatchContext. Results
+  /// are byte-identical with or without a cache — profiles only change
+  /// where artifacts are computed, never what they contain.
+  ProfileCache* profiles = nullptr;
 };
+
+/// Runs one grid configuration of the family on the pair under the run
+/// context: journaled results are replayed (crash resume), everything
+/// else executes under the policy and is appended to the journal. This
+/// is the parallel unit of ParallelGranularity::kConfig; it is safe to
+/// call concurrently for distinct (pair, config) work items.
+ExperimentResult RunConfigOnPair(const MethodFamily& family,
+                                 size_t config_index, const DatasetPair& pair,
+                                 const FamilyRunContext& run);
+
+/// Deterministic fold of the per-configuration results (in grid order)
+/// into the best-of-grid outcome. Pure function of its inputs, so any
+/// execution order that lands results at their grid index reproduces
+/// the sequential outcome bit-for-bit.
+FamilyPairOutcome ReducePairOutcome(const MethodFamily& family,
+                                    const DatasetPair& pair,
+                                    const std::vector<ExperimentResult>& results);
 
 /// Runs every configuration of the family on the pair; keeps the best
 /// recall and accumulates runtime.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "stats/column_profile.h"
 #include "stats/descriptive.h"
 #include "text/stemmer.h"
 #include "text/string_similarity.h"
@@ -86,14 +87,22 @@ double ComaMatcher::DataTypeSim(DataType a, DataType b) {
 std::vector<ComaComponentScore> ComaMatcher::SchemaComponentScores(
     const std::string& source_table, const Column& a,
     const std::string& target_table, const Column& b) const {
+  return SchemaComponentScoresWithTokens(
+      source_table, a, TokenizeIdentifier(a.name()), target_table, b,
+      TokenizeIdentifier(b.name()));
+}
+
+std::vector<ComaComponentScore> ComaMatcher::SchemaComponentScoresWithTokens(
+    const std::string& source_table, const Column& a,
+    const std::vector<std::string>& a_tokens, const std::string& target_table,
+    const Column& b, const std::vector<std::string>& b_tokens) const {
   std::vector<ComaComponentScore> scores;
   scores.push_back({"name_trigram", NameTrigramSim(a.name(), b.name()), 1.5});
   scores.push_back({"name_synonym", NameSynonymSim(a.name(), b.name()), 2.0});
   // Token-level edit-distance measure (COMA's Name matcher combines
   // several string measures, not only n-grams).
   scores.push_back({"name_token_edit",
-                    BestMatchAverage(TokenizeIdentifier(a.name()),
-                                     TokenizeIdentifier(b.name()),
+                    BestMatchAverage(a_tokens, b_tokens,
                                      &JaroWinklerSimilarity),
                     2.0});
   scores.push_back({"name_path",
@@ -104,8 +113,7 @@ std::vector<ComaComponentScore> ComaMatcher::SchemaComponentScores(
   scores.push_back({"data_type", DataTypeSim(a.type(), b.type()), 1.0});
   if (options_.use_soundex) {
     scores.push_back({"name_soundex",
-                      BestMatchAverage(TokenizeIdentifier(a.name()),
-                                       TokenizeIdentifier(b.name()),
+                      BestMatchAverage(a_tokens, b_tokens,
                                        &SoundexSimilarity),
                       0.5});
   }
@@ -253,18 +261,58 @@ Result<MatchResult> ComaMatcher::MatchWithContext(
   const size_t nt = target.num_columns();
   const bool instances = options_.strategy == ComaStrategy::kInstances;
 
-  // Precompute instance features once per column.
-  std::vector<std::unordered_set<std::string>> src_sets, tgt_sets;
+  // Identifier tokens once per column (the name_token_edit / soundex
+  // matchers used to retokenize per pair), served from the table profile
+  // when one is attached — tokenization has no cap, so profile tokens
+  // are always exact.
+  auto name_tokens = [](const Table& t, const TableProfile* tp) {
+    std::vector<std::vector<std::string>> tokens;
+    tokens.reserve(t.num_columns());
+    const bool served = tp != nullptr && tp->Matches(t);
+    for (size_t i = 0; i < t.num_columns(); ++i) {
+      tokens.push_back(served ? tp->column(i).name_tokens()
+                              : TokenizeIdentifier(t.column(i).name()));
+    }
+    return tokens;
+  };
+  std::vector<std::vector<std::string>> src_tokens =
+      name_tokens(source, context.source_profile);
+  std::vector<std::vector<std::string>> tgt_tokens =
+      name_tokens(target, context.target_profile);
+
+  // Precompute instance features once per column. Value sets are used
+  // by pointer so profile-served columns pay no copy; `owned` backs the
+  // inline-extracted ones.
+  std::vector<const std::unordered_set<std::string>*> src_sets, tgt_sets;
+  std::vector<std::unordered_set<std::string>> src_owned, tgt_owned;
   std::vector<TextProfile> src_prof, tgt_prof;
   std::vector<NumericStats> src_num, tgt_num;
   std::vector<double> src_numfrac, tgt_numfrac;
   if (instances) {
-    auto profile = [&](const Table& t,
-                       std::vector<std::unordered_set<std::string>>* sets,
+    auto profile = [&](const Table& t, const TableProfile* tp,
+                       std::vector<const std::unordered_set<std::string>*>*
+                           sets,
+                       std::vector<std::unordered_set<std::string>>* owned,
                        std::vector<TextProfile>* profs,
                        std::vector<NumericStats>* nums,
                        std::vector<double>* numfracs) {
+      const bool served = tp != nullptr && tp->Matches(t);
+      owned->resize(t.num_columns());
+      size_t idx = 0;
       for (const Column& c : t.columns()) {
+        const ColumnProfile* cp = served ? &tp->column(idx) : nullptr;
+        if (cp != nullptr &&
+            cp->CapsEquivalent(options_.max_distinct_values,
+                               tp->spec().set_cap)) {
+          // The profile set was built from the same first-seen-order
+          // prefix this matcher would cap to, so it is the same set.
+          sets->push_back(&cp->distinct_set());
+          profs->push_back(cp->text_profile());
+          nums->push_back(cp->numeric_stats());
+          numfracs->push_back(cp->numeric_fraction());
+          ++idx;
+          continue;
+        }
         // Cap in first-seen row order, never by iterating the unordered
         // set: hash order would make the kept subset — and the Jaccard
         // scores built on it — nondeterministic across runs/platforms.
@@ -273,15 +321,23 @@ Result<MatchResult> ComaMatcher::MatchWithContext(
             distinct.size() > options_.max_distinct_values) {
           distinct.resize(options_.max_distinct_values);
         }
-        std::unordered_set<std::string> set(distinct.begin(), distinct.end());
-        sets->push_back(std::move(set));
-        profs->push_back(ComputeTextProfile(c));
-        nums->push_back(ComputeNumericStats(c.NumericValues()));
-        numfracs->push_back(c.NumericFraction());
+        (*owned)[idx] = std::unordered_set<std::string>(distinct.begin(),
+                                                        distinct.end());
+        sets->push_back(&(*owned)[idx]);
+        profs->push_back(cp != nullptr ? cp->text_profile()
+                                       : ComputeTextProfile(c));
+        nums->push_back(cp != nullptr
+                            ? cp->numeric_stats()
+                            : ComputeNumericStats(c.NumericValues()));
+        numfracs->push_back(cp != nullptr ? cp->numeric_fraction()
+                                          : c.NumericFraction());
+        ++idx;
       }
     };
-    profile(source, &src_sets, &src_prof, &src_num, &src_numfrac);
-    profile(target, &tgt_sets, &tgt_prof, &tgt_num, &tgt_numfrac);
+    profile(source, context.source_profile, &src_sets, &src_owned, &src_prof,
+            &src_num, &src_numfrac);
+    profile(target, context.target_profile, &tgt_sets, &tgt_owned, &tgt_prof,
+            &tgt_num, &tgt_numfrac);
   }
 
   // Optional TF-IDF token matcher (whole-matrix computation).
@@ -298,11 +354,11 @@ Result<MatchResult> ComaMatcher::MatchWithContext(
     const Column& a = source.column(i);
     for (size_t j = 0; j < nt; ++j) {
       const Column& b = target.column(j);
-      std::vector<ComaComponentScore> scores =
-          SchemaComponentScores(source.name(), a, target.name(), b);
+      std::vector<ComaComponentScore> scores = SchemaComponentScoresWithTokens(
+          source.name(), a, src_tokens[i], target.name(), b, tgt_tokens[j]);
       if (instances) {
         scores.push_back({"value_overlap",
-                          JaccardSimilarity(src_sets[i], tgt_sets[j]), 3.0});
+                          JaccardSimilarity(*src_sets[i], *tgt_sets[j]), 3.0});
         // Profile matcher: numeric columns compare moments, textual
         // columns compare character profiles.
         double prof_sim;

@@ -146,6 +146,16 @@ class ComaMatcher : public ColumnMatcher {
                           ComaAggregation aggregation);
 
  private:
+  /// SchemaComponentScores with the two columns' identifier tokens
+  /// precomputed by the caller: one tokenization per column per Match
+  /// call (or zero when a table profile supplies them) instead of two
+  /// per column pair. Produces exactly the public overload's scores.
+  std::vector<ComaComponentScore> SchemaComponentScoresWithTokens(
+      const std::string& source_table, const Column& a,
+      const std::vector<std::string>& a_tokens,
+      const std::string& target_table, const Column& b,
+      const std::vector<std::string>& b_tokens) const;
+
   ComaOptions options_;
   const Thesaurus* thesaurus_;
 };

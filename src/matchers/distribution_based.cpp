@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_set>
 
+#include "stats/column_profile.h"
 #include "stats/emd.h"
 #include "stats/histogram.h"
 
@@ -106,22 +108,63 @@ Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
   const size_t n = ns + nt;
 
   // Distinct value sets and quantile histograms for every column of
-  // both tables (the method clusters the union of attributes).
-  std::vector<std::vector<std::string>> values(n);
-  std::vector<QuantileHistogram> hists(n);
-  auto load = [&](const Table& t, size_t offset) {
+  // both tables (the method clusters the union of attributes). Both are
+  // served from the table profiles when the profile artifacts were built
+  // over exactly the value prefix this configuration would cap to (same
+  // first-seen order, same bin count) — otherwise extracted inline.
+  // `values` and `hists` point either into a profile or into the
+  // `*_owned` backing stores.
+  std::vector<const std::vector<std::string>*> values(n);
+  std::vector<std::vector<std::string>> values_owned(n);
+  std::vector<const QuantileHistogram*> hists(n);
+  std::vector<QuantileHistogram> hists_owned(n);
+  auto load = [&](const Table& t, const TableProfile* tp, size_t offset) {
+    const bool served = tp != nullptr && tp->Matches(t);
     for (size_t c = 0; c < t.num_columns(); ++c) {
-      std::vector<std::string> vals = t.column(c).DistinctStrings();
-      if (options_.max_values > 0 && vals.size() > options_.max_values) {
-        vals.resize(options_.max_values);
+      const size_t k = offset + c;
+      const ColumnProfile* cp = served ? &tp->column(c) : nullptr;
+      if (cp != nullptr && cp->CanServeDistinctPrefix(options_.max_values)) {
+        size_t len = cp->DistinctPrefixLength(options_.max_values);
+        if (len == cp->distinct().size()) {
+          values[k] = &cp->distinct();
+        } else {
+          values_owned[k].assign(cp->distinct().begin(),
+                                 cp->distinct().begin() + len);
+          values[k] = &values_owned[k];
+        }
+      } else {
+        std::vector<std::string> vals = t.column(c).DistinctStrings();
+        if (options_.max_values > 0 && vals.size() > options_.max_values) {
+          vals.resize(options_.max_values);
+        }
+        values_owned[k] = std::move(vals);
+        values[k] = &values_owned[k];
       }
-      hists[offset + c] =
-          QuantileHistogram::Build(ValuesToPoints(vals), options_.num_bins);
-      values[offset + c] = std::move(vals);
+      if (cp != nullptr && tp->spec().num_bins == options_.num_bins &&
+          cp->CapsEquivalent(options_.max_values, tp->spec().histogram_cap)) {
+        hists[k] = &cp->histogram();
+      } else {
+        hists_owned[k] = QuantileHistogram::Build(ValuesToPoints(*values[k]),
+                                                  options_.num_bins);
+        hists[k] = &hists_owned[k];
+      }
     }
   };
-  load(source, 0);
-  load(target, ns);
+  load(source, context.source_profile, 0);
+  load(target, context.target_profile, ns);
+
+  // Phase-2 needs each target column's values as a set; build each at
+  // most once (it used to be rebuilt for every surviving (i, j) pair)
+  // and only for columns phase 1 actually reaches.
+  std::vector<std::unordered_set<std::string>> tgt_sets(nt);
+  std::vector<bool> tgt_set_built(nt, false);
+  auto target_set = [&](size_t j) -> const std::unordered_set<std::string>& {
+    if (!tgt_set_built[j]) {
+      tgt_sets[j].insert(values[ns + j]->begin(), values[ns + j]->end());
+      tgt_set_built[j] = true;
+    }
+    return tgt_sets[j];
+  };
 
   // --- Phase 1: full-set EMD under θ1 over cross-table pairs. ---
   // Signed weights for the final partition: surviving links positive,
@@ -139,14 +182,13 @@ Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
     // of EMD computations (the phase-1/phase-2 sweep dominates runtime).
     VALENTINE_RETURN_NOT_OK(context.Check("distribution-based EMD sweep"));
     for (size_t j = 0; j < nt; ++j) {
-      double emd1 = EmdBetweenHistograms(hists[i], hists[ns + j]);
+      double emd1 = EmdBetweenHistograms(*hists[i], *hists[ns + j]);
       if (emd1 > options_.phase1_threshold) continue;
 
       // --- Phase 2: intersection EMD under θ2. ---
-      std::unordered_set<std::string> set_b(values[ns + j].begin(),
-                                            values[ns + j].end());
+      const std::unordered_set<std::string>& set_b = target_set(j);
       std::vector<std::string> inter;
-      for (const auto& v : values[i]) {
+      for (const auto& v : *values[i]) {
         if (set_b.count(v)) inter.push_back(v);
       }
       double emd2;
@@ -155,8 +197,8 @@ Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
       } else {
         QuantileHistogram hi =
             QuantileHistogram::Build(ValuesToPoints(inter), options_.num_bins);
-        emd2 = std::max(EmdBetweenHistograms(hists[i], hi),
-                        EmdBetweenHistograms(hists[ns + j], hi));
+        emd2 = std::max(EmdBetweenHistograms(*hists[i], hi),
+                        EmdBetweenHistograms(*hists[ns + j], hi));
       }
       if (emd2 > options_.phase2_threshold) continue;
       double score = 1.0 / (1.0 + emd2);

@@ -1,28 +1,96 @@
 #include "matchers/jaccard_levenshtein.h"
 
+#include <algorithm>
+
+#include "stats/column_profile.h"
 #include "text/string_similarity.h"
 
 namespace valentine {
 
+namespace {
+
+/// Capped distinct-value lists for every column, served from the table
+/// profile when its stored list covers the requested prefix (the profile
+/// list and the inline extraction start from the same first-seen order,
+/// so a served prefix is bit-identical to extracting) and extracted
+/// inline otherwise. `views[i]` points either into the profile or into
+/// `owned[i]`.
+struct ColumnValues {
+  std::vector<const std::vector<std::string>*> views;
+  std::vector<std::vector<std::string>> owned;
+};
+
+ColumnValues ExtractValues(const Table& t, const TableProfile* profile,
+                           size_t cap) {
+  ColumnValues out;
+  const size_t n = t.num_columns();
+  out.views.resize(n);
+  out.owned.resize(n);
+  const bool served = profile != nullptr && profile->Matches(t);
+  for (size_t i = 0; i < n; ++i) {
+    if (served) {
+      const ColumnProfile& p = profile->column(i);
+      if (p.CanServeDistinctPrefix(cap)) {
+        size_t len = p.DistinctPrefixLength(cap);
+        if (len == p.distinct().size()) {
+          out.views[i] = &p.distinct();
+        } else {
+          out.owned[i].assign(p.distinct().begin(),
+                              p.distinct().begin() + len);
+          out.views[i] = &out.owned[i];
+        }
+        continue;
+      }
+    }
+    std::vector<std::string> vals = t.column(i).DistinctStrings();
+    if (cap > 0 && vals.size() > cap) vals.resize(cap);
+    out.owned[i] = std::move(vals);
+    out.views[i] = &out.owned[i];
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<MatchResult> JaccardLevenshteinMatcher::MatchWithContext(
     const Table& source, const Table& target,
     const MatchContext& context) const {
-  // Pre-extract (and cap) distinct values once per column.
-  auto extract = [&](const Table& t) {
-    std::vector<std::vector<std::string>> cols;
-    cols.reserve(t.num_columns());
-    for (const Column& c : t.columns()) {
-      std::vector<std::string> vals = c.DistinctStrings();
-      if (options_.max_distinct_values > 0 &&
-          vals.size() > options_.max_distinct_values) {
-        vals.resize(options_.max_distinct_values);
+  ColumnValues src = ExtractValues(source, context.source_profile,
+                                   options_.max_distinct_values);
+  ColumnValues tgt = ExtractValues(target, context.target_profile,
+                                   options_.max_distinct_values);
+
+  // MinHash sketches for the opt-in prune: reuse the profile sketch when
+  // it was built over exactly our value set, else build from the lists
+  // in hand. Either way the sketch is a pure function of the set, so
+  // pruning decisions do not depend on whether a cache was attached.
+  const bool pruning = options_.prune_below > 0.0;
+  const size_t sketch_hashes = ProfileSpec().minhash_hashes;
+  std::vector<MinHashSignature> src_sigs, tgt_sigs;
+  if (pruning) {
+    auto sketch = [&](const Table& t, const TableProfile* profile,
+                      const ColumnValues& vals,
+                      std::vector<MinHashSignature>* sigs) {
+      const bool served = profile != nullptr && profile->Matches(t);
+      sigs->reserve(t.num_columns());
+      for (size_t i = 0; i < t.num_columns(); ++i) {
+        if (served) {
+          const ColumnProfile& p = profile->column(i);
+          if (p.CapsEquivalent(options_.max_distinct_values,
+                               profile->spec().set_cap) &&
+              p.minhash().size() == sketch_hashes) {
+            sigs->push_back(p.minhash());
+            continue;
+          }
+        }
+        std::unordered_set<std::string> set(vals.views[i]->begin(),
+                                            vals.views[i]->end());
+        sigs->push_back(MinHashSignature::Build(set, sketch_hashes));
       }
-      cols.push_back(std::move(vals));
-    }
-    return cols;
-  };
-  auto src_vals = extract(source);
-  auto tgt_vals = extract(target);
+    };
+    sketch(source, context.source_profile, src, &src_sigs);
+    sketch(target, context.target_profile, tgt, &tgt_sigs);
+  }
 
   MatchResult result;
   for (size_t i = 0; i < source.num_columns(); ++i) {
@@ -30,7 +98,17 @@ Result<MatchResult> JaccardLevenshteinMatcher::MatchWithContext(
     // the quadratic hot loop — so the budget check lives here.
     VALENTINE_RETURN_NOT_OK(context.Check("fuzzy-jaccard column sweep"));
     for (size_t j = 0; j < target.num_columns(); ++j) {
-      double sim = FuzzyJaccard(src_vals[i], tgt_vals[j], options_.threshold);
+      const std::vector<std::string>& a = *src.views[i];
+      const std::vector<std::string>& b = *tgt.views[j];
+      if (pruning && !a.empty() && !b.empty()) {
+        // Exact bound: matched <= min(|A|,|B|), union >= max(|A|,|B|).
+        double ratio = static_cast<double>(std::min(a.size(), b.size())) /
+                       static_cast<double>(std::max(a.size(), b.size()));
+        if (ratio < options_.prune_below) continue;
+        double est = src_sigs[i].EstimateJaccard(tgt_sigs[j]);
+        if (est + options_.prune_slack < options_.prune_below) continue;
+      }
+      double sim = FuzzyJaccard(a, b, options_.threshold, options_.kernel);
       result.Add({source.name(), source.column(i).name()},
                  {target.name(), target.column(j).name()}, sim);
     }

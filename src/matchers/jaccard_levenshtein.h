@@ -8,6 +8,7 @@
 /// their normalized Levenshtein distance is below a threshold.
 
 #include "matchers/matcher.h"
+#include "text/string_similarity.h"
 
 namespace valentine {
 
@@ -19,6 +20,22 @@ struct JaccardLevenshteinOptions {
   /// Cap on distinct values compared per column (keeps the quadratic
   /// fuzzy stage tractable; 0 = unlimited).
   size_t max_distinct_values = 500;
+  /// Edit-distance kernel for the fuzzy stage. Both kernels score
+  /// identically; kNaive is the pre-optimization reference kept for the
+  /// bench A/B and equivalence tests.
+  LevenshteinKernel kernel = LevenshteinKernel::kBanded;
+  /// Candidate pruning (off at 0): column pairs whose fuzzy-Jaccard
+  /// score cannot reach this threshold are skipped and never added to
+  /// the result. The size-ratio bound min(|A|,|B|)/max(|A|,|B|) is a
+  /// provable upper bound on the score, so that prune is exact; the
+  /// MinHash estimate (used only when both profiles are available and
+  /// cap-compatible) is probabilistic and softened by `prune_slack`.
+  /// Pruning changes result *contents* (absent pairs), not scores, and
+  /// is therefore opt-in — the default campaign path never prunes.
+  double prune_below = 0.0;
+  /// Safety margin subtracted before the MinHash prune fires: skip only
+  /// when estimate + prune_slack < prune_below.
+  double prune_slack = 0.15;
 };
 
 /// \brief Fuzzy-Jaccard value-overlap baseline matcher.

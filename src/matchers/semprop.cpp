@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stats/column_profile.h"
 #include "stats/minhash.h"
 #include "text/tokenizer.h"
 
@@ -91,18 +92,30 @@ Result<MatchResult> SemPropMatcher::MatchWithContext(
     }
     return std::unordered_set<std::string>(distinct.begin(), distinct.end());
   };
-  std::vector<MinHashSignature> src_sigs;
-  std::vector<MinHashSignature> tgt_sigs;
-  src_sigs.reserve(ns);
-  tgt_sigs.reserve(nt);
-  for (size_t i = 0; i < ns; ++i) {
-    src_sigs.push_back(MinHashSignature::Build(capped_set(source.column(i)),
+  // Signatures come from the table profile when it sketched the same
+  // value set with the same number of permutations (MinHash is a pure
+  // function of the set, so a served signature is bit-identical to one
+  // built here); otherwise they are built inline as before.
+  auto signatures = [&](const Table& t, const TableProfile* tp) {
+    std::vector<MinHashSignature> sigs;
+    sigs.reserve(t.num_columns());
+    const bool served = tp != nullptr && tp->Matches(t) &&
+                        tp->spec().minhash_hashes == options_.minhash_hashes;
+    for (size_t i = 0; i < t.num_columns(); ++i) {
+      if (served && tp->column(i).CapsEquivalent(options_.max_values,
+                                                 tp->spec().set_cap)) {
+        sigs.push_back(tp->column(i).minhash());
+      } else {
+        sigs.push_back(MinHashSignature::Build(capped_set(t.column(i)),
                                                options_.minhash_hashes));
-  }
-  for (size_t j = 0; j < nt; ++j) {
-    tgt_sigs.push_back(MinHashSignature::Build(capped_set(target.column(j)),
-                                               options_.minhash_hashes));
-  }
+      }
+    }
+    return sigs;
+  };
+  std::vector<MinHashSignature> src_sigs =
+      signatures(source, context.source_profile);
+  std::vector<MinHashSignature> tgt_sigs =
+      signatures(target, context.target_profile);
 
   MatchResult result;
   for (size_t i = 0; i < ns; ++i) {

@@ -24,7 +24,9 @@ MinHashSignature MinHashSignature::Build(
   MinHashSignature sig;
   sig.mins_.assign(num_hashes, std::numeric_limits<uint64_t>::max());
   sig.empty_set_ = set.empty();
-  for (const std::string& s : set) {
+  // Per-slot min is commutative: any iteration order yields the same
+  // signature.
+  for (const std::string& s : set) {  // lint:allow(unordered-iteration)
     for (size_t h = 0; h < num_hashes; ++h) {
       uint64_t v = Fnv1a64(s, h);
       if (v < sig.mins_[h]) sig.mins_[h] = v;

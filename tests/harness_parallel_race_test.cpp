@@ -141,5 +141,48 @@ INSTANTIATE_TEST_SUITE_P(
              (threads == 0 ? std::string("hw") : std::to_string(threads));
     });
 
+// kConfig granularity slices work per (pair, configuration) and folds
+// per-config results with ReducePairOutcome; the fold — and therefore
+// the bytes — must still match the sequential runner. A shared
+// ProfileCache rides along so TSan also sees concurrent GetOrBuild and
+// concurrent artifact reads.
+class ConfigGranularityDeterminismTest
+    : public ::testing::TestWithParam<RaceParam> {};
+
+TEST_P(ConfigGranularityDeterminismTest, ConfigSlicingMatchesSequentialBytes) {
+  const auto& [family_name, num_threads] = GetParam();
+  const std::string& expected = SequentialBaseline(family_name);
+  ASSERT_FALSE(SharedSuite().empty());
+
+  MethodFamily family = MakeFamily(family_name);
+  ProfileCache cache;
+  FamilyRunContext run;
+  run.profiles = &cache;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto outcomes =
+        RunFamilyOnSuiteParallel(family, SharedSuite(), num_threads, run,
+                                 ParallelGranularity::kConfig);
+    EXPECT_EQ(CanonicalJson(std::move(outcomes)), expected)
+        << family_name << " diverged from sequential under kConfig with "
+        << (num_threads == 0 ? std::string("hardware") :
+                               std::to_string(num_threads))
+        << " threads (repeat " << repeat << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesConfigGranularity, ConfigGranularityDeterminismTest,
+    ::testing::Combine(
+        ::testing::Values("Cupid", "SimilarityFlooding", "COMA",
+                          "Distribution", "SemProp", "EmbDI",
+                          "JaccardLevenshtein"),
+        // Two counts keep the sanitizer cycle bounded; 0 = hardware.
+        ::testing::Values<size_t>(2, 0)),
+    [](const ::testing::TestParamInfo<RaceParam>& info) {
+      size_t threads = std::get<1>(info.param);
+      return std::get<0>(info.param) + "_t" +
+             (threads == 0 ? std::string("hw") : std::to_string(threads));
+    });
+
 }  // namespace
 }  // namespace valentine

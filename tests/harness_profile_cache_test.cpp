@@ -1,0 +1,186 @@
+// Byte-identity contract of the shared ProfileCache (runner.h,
+// campaign.h): attaching profiles to a family run changes where
+// per-column artifacts are computed, never what they contain, so
+// canonical outcomes must be bit-for-bit identical with and without a
+// cache — for every family, and at campaign level across every
+// (use_profile_cache, granularity) combination. Runs under TSan with the
+// cache shared across worker threads.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datasets/tpcdi.h"
+#include "harness/campaign.h"
+#include "harness/json_export.h"
+#include "harness/parallel.h"
+#include "matchers/embdi.h"
+
+namespace valentine {
+namespace {
+
+std::string CanonicalJson(std::vector<FamilyPairOutcome> outcomes) {
+  for (auto& o : outcomes) o.total_ms = 0.0;
+  return ToJson(outcomes);
+}
+
+// Wall-clock fields legitimately vary; everything else must not.
+std::string CanonicalJson(CampaignReport report) {
+  for (auto& fr : report.families) {
+    fr.avg_runtime_ms = 0.0;
+    for (auto& o : fr.outcomes) o.total_ms = 0.0;
+  }
+  return ToJson(report);
+}
+
+MethodFamily Truncate(MethodFamily family, size_t n) {
+  if (family.grid.size() > n) family.grid.resize(n);
+  return family;
+}
+
+Ontology ProfileTestOntology() {
+  Ontology o;
+  size_t root = o.AddClass("root", {"entity"});
+  o.AddSubclass(root, "person", {"person", "customer", "prospect"});
+  o.AddSubclass(root, "address", {"address", "city", "country"});
+  return o;
+}
+
+MethodFamily MakeFamily(const std::string& name) {
+  if (name == "Cupid") return Truncate(CupidFamily(), 2);
+  if (name == "SimilarityFlooding") return SimilarityFloodingFamily();
+  if (name == "COMA") return ComaFamily();
+  if (name == "Distribution") return Truncate(DistributionFamily1(), 2);
+  if (name == "SemProp") {
+    static const Ontology kOntology = ProfileTestOntology();
+    return Truncate(SemPropFamily(&kOntology), 2);
+  }
+  if (name == "EmbDI") {
+    EmbdiOptions opt;
+    opt.dimensions = 8;
+    opt.walks_per_node = 1;
+    opt.epochs = 1;
+    opt.sentence_length = 20;
+    opt.max_rows = 40;
+    MethodFamily family{"EmbDI", {}};
+    family.grid.push_back(
+        {"word2vec tiny", std::make_shared<EmbdiMatcher>(opt)});
+    return family;
+  }
+  if (name == "JaccardLevenshtein") return Truncate(JaccardLevenshteinFamily(), 2);
+  ADD_FAILURE() << "unknown family " << name;
+  return {};
+}
+
+const std::vector<DatasetPair>& SharedSuite() {
+  static const std::vector<DatasetPair> kSuite = [] {
+    Table original = MakeTpcdiProspect(30, 99);
+    PairSuiteOptions opt;
+    opt.row_overlaps = {0.5};
+    opt.column_overlaps = {0.5};
+    opt.instance_noise_variants = false;
+    return BuildFabricatedSuite(original, opt);
+  }();
+  return kSuite;
+}
+
+class ProfileCacheFamilyTest : public ::testing::TestWithParam<std::string> {};
+
+// Every family: cached == uncached, bit for bit. Instance-based families
+// actually consume the artifacts; schema-based ones must simply ignore
+// them unchanged.
+TEST_P(ProfileCacheFamilyTest, CachedRunMatchesUncachedBytes) {
+  const std::string family_name = GetParam();
+  MethodFamily family = MakeFamily(family_name);
+  ASSERT_FALSE(SharedSuite().empty());
+
+  const std::string uncached =
+      CanonicalJson(RunFamilyOnSuite(family, SharedSuite()));
+
+  ProfileCache cache;
+  FamilyRunContext run;
+  run.profiles = &cache;
+  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
+            uncached)
+      << family_name << " diverged when served from the profile cache";
+  EXPECT_GT(cache.size(), 0u) << "cache was never consulted";
+
+  // A warm cache (second pass over the same tables) must also agree.
+  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
+            uncached)
+      << family_name << " diverged on a warm cache";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ProfileCacheFamilyTest,
+    ::testing::Values("Cupid", "SimilarityFlooding", "COMA", "Distribution",
+                      "SemProp", "EmbDI", "JaccardLevenshtein"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// Campaign level: the report is byte-identical across every combination
+// of profile caching and work-slicing granularity, threaded or not.
+TEST(ProfileCacheCampaignTest, ReportInvariantUnderCacheAndGranularity) {
+  std::vector<MethodFamily> families = {
+      MakeFamily("JaccardLevenshtein"),
+      MakeFamily("Distribution"),
+      MakeFamily("COMA"),
+  };
+
+  CampaignOptions baseline;
+  baseline.num_threads = 1;
+  baseline.use_profile_cache = false;
+  baseline.granularity = ParallelGranularity::kPair;
+  const std::string expected =
+      CanonicalJson(RunCampaignOnSuite(SharedSuite(), families, baseline));
+
+  for (bool use_cache : {false, true}) {
+    for (ParallelGranularity granularity :
+         {ParallelGranularity::kPair, ParallelGranularity::kConfig}) {
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{0}}) {
+        CampaignOptions options;
+        options.num_threads = threads;
+        options.use_profile_cache = use_cache;
+        options.granularity = granularity;
+        EXPECT_EQ(CanonicalJson(
+                      RunCampaignOnSuite(SharedSuite(), families, options)),
+                  expected)
+            << "cache=" << use_cache << " granularity="
+            << (granularity == ParallelGranularity::kConfig ? "config"
+                                                            : "pair")
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// A non-default spec only changes artifact parameters the matchers
+// reject via CapsEquivalent/parameter checks — they fall back to inline
+// extraction, so even a deliberately mismatched cache cannot change the
+// report.
+TEST(ProfileCacheCampaignTest, MismatchedSpecFallsBackToInline) {
+  std::vector<MethodFamily> families = {MakeFamily("JaccardLevenshtein"),
+                                        MakeFamily("SemProp")};
+
+  CampaignOptions baseline;
+  baseline.num_threads = 1;
+  baseline.use_profile_cache = false;
+  const std::string expected =
+      CanonicalJson(RunCampaignOnSuite(SharedSuite(), families, baseline));
+
+  CampaignOptions mismatched;
+  mismatched.num_threads = 1;
+  mismatched.use_profile_cache = true;
+  mismatched.profile_spec.set_cap = 3;       // far below any matcher cap
+  mismatched.profile_spec.distinct_cap = 5;  // truncated storage
+  mismatched.profile_spec.minhash_hashes = 8;
+  EXPECT_EQ(CanonicalJson(
+                RunCampaignOnSuite(SharedSuite(), families, mismatched)),
+            expected);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,5 +1,6 @@
 #include "text/string_similarity.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 namespace valentine {
@@ -61,6 +62,31 @@ TEST(CharNGramsTest, Unigrams) {
   EXPECT_EQ(grams[1], "b");
 }
 
+TEST(CharNGramsTest, ZeroNYieldsNoGrams) {
+  // Regression: n == 0 used to compute std::string(n - 1, '#') with an
+  // unsigned underflow. It must simply produce no grams.
+  EXPECT_TRUE(CharNGrams("abc", 0).empty());
+  EXPECT_TRUE(CharNGrams("", 0).empty());
+}
+
+TEST(CharNGramsTest, EmptyString) {
+  // "" padded to "####" for n == 3 -> {"###", "###"}.
+  auto grams = CharNGrams("", 3);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "###");
+  EXPECT_EQ(grams[1], "###");
+  // Unigrams of the empty string: nothing to emit.
+  EXPECT_TRUE(CharNGrams("", 1).empty());
+}
+
+TEST(CharNGramsTest, AllPadCharacters) {
+  // Input consisting of the pad character itself still round-trips:
+  // "##" padded to "######" -> 4 trigrams, all "###".
+  auto grams = CharNGrams("##", 3);
+  ASSERT_EQ(grams.size(), 4u);
+  for (const auto& g : grams) EXPECT_EQ(g, "###");
+}
+
 TEST(TrigramTest, Bounds) {
   EXPECT_DOUBLE_EQ(TrigramSimilarity("", ""), 1.0);
   EXPECT_DOUBLE_EQ(TrigramSimilarity("abc", "abc"), 1.0);
@@ -119,6 +145,91 @@ TEST(FuzzyJaccardTest, LengthPrefilterDoesNotChangeSemantics) {
   EXPECT_DOUBLE_EQ(FuzzyJaccard({"ab"}, {"abcdef"}, 0.3), 0.0);
   // Within threshold it still matches.
   EXPECT_DOUBLE_EQ(FuzzyJaccard({"abcde"}, {"abcdef"}, 0.3), 1.0);
+}
+
+TEST(FuzzyJaccardTest, PermutedDuplicateInputsScoreIdentically) {
+  // Regression for the order-dependence bug: the leftover list for `b`
+  // was rebuilt by iterating an unordered_map, so inputs containing
+  // duplicates could score differently depending on hash order. The
+  // score must be a pure function of the multisets, i.e. identical
+  // under any permutation of either input.
+  //
+  // Crafted so greedy pairing is contention-heavy: "abcd" fuzzy-matches
+  // both "abcx" and "abcy", duplicates included.
+  std::vector<std::string> a = {"abcd", "abcd", "qqqq", "abcx"};
+  std::vector<std::string> b = {"abcx", "abcy", "abcx", "zzzz"};
+  const double threshold = 0.25;  // distance 1 over length 4 matches
+
+  std::vector<std::string> pa = a;
+  std::sort(pa.begin(), pa.end());
+  const double reference = FuzzyJaccard(a, b, threshold);
+  do {
+    std::vector<std::string> pb = b;
+    std::sort(pb.begin(), pb.end());
+    do {
+      EXPECT_DOUBLE_EQ(FuzzyJaccard(pa, pb, threshold), reference)
+          << "a permuted as {" << pa[0] << "," << pa[1] << "," << pa[2]
+          << "," << pa[3] << "}, b permuted as {" << pb[0] << "," << pb[1]
+          << "," << pb[2] << "," << pb[3] << "}";
+    } while (std::next_permutation(pb.begin(), pb.end()));
+  } while (std::next_permutation(pa.begin(), pa.end()));
+}
+
+TEST(FuzzyJaccardTest, KernelsAgree) {
+  // The banded kernel must reproduce the naive kernel's score exactly,
+  // including at thresholds where float rounding of max_distance *
+  // max_len is adversarial (0.3 * 10 < 3.0 in binary floating point).
+  const std::vector<std::vector<std::string>> corpora = {
+      {},
+      {"apple", "pear", "plum", "aple", "peer"},
+      {"customer_id", "customerid", "cust_id", "custid"},
+      {"aaaaaaaaaa", "aaaaaaabbb", "bbbbbbbbbb"},
+      {"x", "xy", "xyz", "xyzw", ""},
+      {"same", "same", "same"},
+  };
+  const double thresholds[] = {0.0, 0.2, 0.25, 0.3, 0.5, 0.8, 1.0};
+  for (const auto& a : corpora) {
+    for (const auto& b : corpora) {
+      for (double t : thresholds) {
+        EXPECT_DOUBLE_EQ(
+            FuzzyJaccard(a, b, t, LevenshteinKernel::kBanded),
+            FuzzyJaccard(a, b, t, LevenshteinKernel::kNaive))
+            << "threshold " << t;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinWithinTest, ExactWhenWithinBound) {
+  // Against the reference full-matrix distance: for every pair in the
+  // corpus and every cutoff, LevenshteinWithin returns the exact
+  // distance when d <= max_dist and something larger otherwise.
+  const std::vector<std::string> corpus = {
+      "",      "a",       "ab",         "ba",        "kitten",
+      "sitting", "saturday", "sunday",   "aaaa",      "aa",
+      "column_name", "columnname", "ADDRESS", "address", "abcdefgh"};
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      const size_t d = LevenshteinDistance(a, b);
+      const size_t limit = std::max(a.size(), b.size()) + 2;
+      for (size_t k = 0; k <= limit; ++k) {
+        const size_t got = LevenshteinWithin(a, b, k);
+        if (d <= k) {
+          EXPECT_EQ(got, d) << '"' << a << "\" vs \"" << b
+                            << "\" max_dist " << k;
+        } else {
+          EXPECT_GT(got, k) << '"' << a << "\" vs \"" << b
+                            << "\" max_dist " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(LevenshteinWithinTest, ZeroBudgetIsEqualityTest) {
+  EXPECT_EQ(LevenshteinWithin("same", "same", 0), 0u);
+  EXPECT_GT(LevenshteinWithin("same", "sane", 0), 0u);
+  EXPECT_EQ(LevenshteinWithin("", "", 0), 0u);
 }
 
 TEST(LongestCommonSubstringTest, Basic) {

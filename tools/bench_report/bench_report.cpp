@@ -1,0 +1,341 @@
+// A/B benchmark for the shared ProfileCache and the early-exit
+// similarity kernels, reproducing the Table IV runtime story: what do
+// the instance-based families cost per experiment before and after the
+// optimization, on identical inputs, with byte-identical reports?
+//
+//   baseline   no profile cache; Jaccard-Levenshtein on the full-matrix
+//              kNaive kernel (the pre-optimization code path).
+//   optimized  one ProfileCache shared across all families (artifacts
+//              built once per table, profile build time reported
+//              separately) and the default banded kernel.
+//
+// The tool *asserts* the canonical reports of the two modes are
+// byte-identical (and that kConfig-granularity parallel execution
+// reproduces sequential bytes) and exits 1 on any divergence — the
+// speedup numbers are only meaningful if the scores did not move.
+// Micro-kernel timings (full-matrix vs banded Levenshtein, naive vs
+// banded FuzzyJaccard) are appended for the kernel-level view.
+//
+// Usage: bench_report [--rows N] [--out PATH] [--smoke]
+//   --rows N   rows per generated source table (default 300)
+//   --out P    output JSON path (default BENCH_table4.json)
+//   --smoke    CI-sized run: 80 rows, trimmed micro iterations
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rng.h"
+#include "harness/json_export.h"
+#include "harness/parallel.h"
+#include "knowledge/ontology.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "text/string_similarity.h"
+
+namespace valentine {
+namespace {
+
+struct Options {
+  size_t rows = 300;
+  std::string out = "BENCH_table4.json";
+  bool smoke = false;
+};
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string CanonicalJson(std::vector<FamilyPairOutcome> outcomes) {
+  for (auto& o : outcomes) o.total_ms = 0.0;
+  return ToJson(outcomes);
+}
+
+Ontology BenchOntology() {
+  Ontology o;
+  size_t root = o.AddClass("root", {"entity"});
+  o.AddSubclass(root, "person", {"person", "customer", "prospect"});
+  o.AddSubclass(root, "address", {"address", "city", "country"});
+  o.AddSubclass(root, "finance", {"income", "credit", "value"});
+  return o;
+}
+
+// The Jaccard-Levenshtein grid on the reference kernel: the exact code
+// path the matcher ran before the banded kernel landed.
+MethodFamily NaiveKernelJaccardLevenshteinFamily() {
+  MethodFamily family{"JaccardLevenshtein", {}};
+  for (double th : {0.4, 0.5, 0.6, 0.7, 0.8}) {
+    JaccardLevenshteinOptions opt;
+    opt.threshold = th;
+    opt.kernel = LevenshteinKernel::kNaive;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "th=%.1f", th);
+    family.grid.push_back(
+        {buf, std::make_shared<JaccardLevenshteinMatcher>(opt)});
+  }
+  return family;
+}
+
+struct FamilyAB {
+  std::string name;
+  size_t configs = 0;
+  double baseline_ms = 0.0;
+  double optimized_ms = 0.0;
+  bool reports_identical = false;
+};
+
+struct MicroResult {
+  std::string name;
+  double reference_ns = 0.0;
+  double optimized_ns = 0.0;
+};
+
+// Deterministic corpus of realistic column values: shared prefixes
+// (codes), varying suffixes, some pure numbers — the string shapes the
+// fabricated datasets produce.
+std::vector<std::string> MicroCorpus(size_t n, uint64_t seed) {
+  static const char* kPrefixes[] = {"cust_", "ACC-", "2024-", "item",
+                                    "", "val_"};
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string s = kPrefixes[rng.Index(6)];
+    size_t len = 4 + rng.Index(10);
+    for (size_t k = 0; k < len; ++k) {
+      s.push_back(static_cast<char>('0' + rng.Index(36) % 10 +
+                                    (rng.Bernoulli(0.5) ? 0 : 'a' - '0')));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+MicroResult MicroLevenshtein(size_t iters) {
+  auto corpus = MicroCorpus(256, 7);
+  MicroResult r;
+  r.name = "levenshtein_full_vs_banded";
+  volatile size_t sink = 0;  // keep the kernels from being optimized out
+  double t0 = NowMs();
+  for (size_t it = 0; it < iters; ++it) {
+    const auto& a = corpus[it % corpus.size()];
+    const auto& b = corpus[(it * 7 + 1) % corpus.size()];
+    sink += LevenshteinDistance(a, b);
+  }
+  double t1 = NowMs();
+  for (size_t it = 0; it < iters; ++it) {
+    const auto& a = corpus[it % corpus.size()];
+    const auto& b = corpus[(it * 7 + 1) % corpus.size()];
+    size_t bound = std::max(a.size(), b.size()) / 4 + 1;
+    sink += LevenshteinWithin(a, b, bound);
+  }
+  double t2 = NowMs();
+  (void)sink;
+  r.reference_ns = (t1 - t0) * 1e6 / static_cast<double>(iters);
+  r.optimized_ns = (t2 - t1) * 1e6 / static_cast<double>(iters);
+  return r;
+}
+
+MicroResult MicroFuzzyJaccard(size_t iters) {
+  auto a = MicroCorpus(200, 11);
+  auto b = MicroCorpus(200, 13);
+  MicroResult r;
+  r.name = "fuzzy_jaccard_naive_vs_banded";
+  volatile double sink = 0.0;
+  double t0 = NowMs();
+  for (size_t it = 0; it < iters; ++it) {
+    sink += FuzzyJaccard(a, b, 0.25, LevenshteinKernel::kNaive);
+  }
+  double t1 = NowMs();
+  for (size_t it = 0; it < iters; ++it) {
+    sink += FuzzyJaccard(a, b, 0.25, LevenshteinKernel::kBanded);
+  }
+  double t2 = NowMs();
+  (void)sink;
+  r.reference_ns = (t1 - t0) * 1e6 / static_cast<double>(iters);
+  r.optimized_ns = (t2 - t1) * 1e6 / static_cast<double>(iters);
+  return r;
+}
+
+void AppendKV(std::string& json, const char* key, double value,
+              bool comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.3f%s", key, value,
+                comma ? ", " : "");
+  json += buf;
+}
+
+int Run(const Options& options) {
+  PairSuiteOptions suite_opt;
+  suite_opt.row_overlaps = {0.5};
+  suite_opt.column_overlaps = {0.5};
+  suite_opt.schema_noise_variants = false;
+  suite_opt.instance_noise_variants = false;
+  suite_opt.seed = 4;
+  const auto suite = bench::MakeCombinedSuite(suite_opt, options.rows);
+  std::fprintf(stderr, "bench_report: %zu pairs at %zu rows\n", suite.size(),
+               options.rows);
+
+  static const Ontology kOntology = BenchOntology();
+  struct FamilyPair {
+    MethodFamily baseline;
+    MethodFamily optimized;
+  };
+  std::vector<FamilyPair> families;
+  families.push_back({NaiveKernelJaccardLevenshteinFamily(),
+                      JaccardLevenshteinFamily()});
+  families.push_back({DistributionFamily1(), DistributionFamily1()});
+  families.push_back({ComaInstancesFamily(), ComaInstancesFamily()});
+  families.push_back({SemPropFamily(&kOntology), SemPropFamily(&kOntology)});
+
+  // Baseline pass: no cache, per-experiment inline extraction.
+  std::vector<FamilyAB> results;
+  std::vector<std::string> baseline_reports;
+  for (const auto& fp : families) {
+    FamilyAB ab;
+    ab.name = fp.baseline.name;
+    ab.configs = fp.baseline.grid.size();
+    double t0 = NowMs();
+    auto outcomes = RunFamilyOnSuite(fp.baseline, suite);
+    ab.baseline_ms = NowMs() - t0;
+    baseline_reports.push_back(CanonicalJson(std::move(outcomes)));
+    results.push_back(ab);
+    std::fprintf(stderr, "  baseline  %-20s %8.1f ms\n", ab.name.c_str(),
+                 ab.baseline_ms);
+  }
+
+  // Optimized pass: profiles built once per table up front (timed
+  // separately — every family and configuration amortizes this cost),
+  // then each family served from the warm cache.
+  ProfileCache cache;
+  double t0 = NowMs();
+  for (const auto& pair : suite) {
+    (void)cache.GetOrBuild(pair.source);
+    (void)cache.GetOrBuild(pair.target);
+  }
+  const double profile_build_ms = NowMs() - t0;
+  std::fprintf(stderr, "  profile build %8.1f ms (%zu tables)\n",
+               profile_build_ms, cache.size());
+
+  FamilyRunContext run;
+  run.profiles = &cache;
+  bool all_identical = true;
+  for (size_t i = 0; i < families.size(); ++i) {
+    double f0 = NowMs();
+    auto outcomes = RunFamilyOnSuite(families[i].optimized, suite, run);
+    results[i].optimized_ms = NowMs() - f0;
+    results[i].reports_identical =
+        CanonicalJson(std::move(outcomes)) == baseline_reports[i];
+    all_identical = all_identical && results[i].reports_identical;
+    std::fprintf(stderr, "  optimized %-20s %8.1f ms (%.2fx)%s\n",
+                 results[i].name.c_str(), results[i].optimized_ms,
+                 results[i].baseline_ms / results[i].optimized_ms,
+                 results[i].reports_identical ? "" : "  REPORT DIVERGED");
+  }
+
+  // Determinism cross-check: intra-pair (kConfig) parallel execution
+  // with the shared cache must reproduce the baseline bytes too.
+  bool parallel_identical = true;
+  for (size_t i = 0; i < families.size(); ++i) {
+    auto outcomes = RunFamilyOnSuiteParallel(
+        families[i].optimized, suite, 2, run, ParallelGranularity::kConfig);
+    parallel_identical = parallel_identical &&
+                         CanonicalJson(std::move(outcomes)) ==
+                             baseline_reports[i];
+  }
+
+  const size_t micro_iters = options.smoke ? 2000 : 20000;
+  const size_t fuzzy_iters = options.smoke ? 5 : 30;
+  std::vector<MicroResult> micro;
+  micro.push_back(MicroLevenshtein(micro_iters));
+  micro.push_back(MicroFuzzyJaccard(fuzzy_iters));
+
+  double baseline_total = 0.0, optimized_total = 0.0;
+  for (const auto& ab : results) {
+    baseline_total += ab.baseline_ms;
+    optimized_total += ab.optimized_ms;
+  }
+
+  std::string json = "{\n  \"benchmark\": \"instance_based_profile_cache_ab\",\n";
+  json += "  \"rows\": " + std::to_string(options.rows) + ",\n";
+  json += "  \"pairs\": " + std::to_string(suite.size()) + ",\n  ";
+  AppendKV(json, "profile_build_ms", profile_build_ms, false);
+  json += ",\n  \"families\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& ab = results[i];
+    json += "    {\"name\": \"" + ab.name + "\", \"configs\": " +
+            std::to_string(ab.configs) + ", ";
+    AppendKV(json, "baseline_ms", ab.baseline_ms);
+    AppendKV(json, "optimized_ms", ab.optimized_ms);
+    AppendKV(json, "speedup", ab.baseline_ms / ab.optimized_ms);
+    json += std::string("\"reports_identical\": ") +
+            (ab.reports_identical ? "true" : "false") + "}";
+    json += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"total\": {";
+  AppendKV(json, "baseline_ms", baseline_total);
+  AppendKV(json, "optimized_ms_including_profile_build",
+           optimized_total + profile_build_ms);
+  AppendKV(json, "speedup",
+           baseline_total / (optimized_total + profile_build_ms), false);
+  json += "},\n  \"determinism\": {\"cache_reports_identical\": ";
+  json += all_identical ? "true" : "false";
+  json += ", \"parallel_config_reports_identical\": ";
+  json += parallel_identical ? "true" : "false";
+  json += "},\n  \"microkernels\": [\n";
+  for (size_t i = 0; i < micro.size(); ++i) {
+    json += "    {\"name\": \"" + micro[i].name + "\", ";
+    AppendKV(json, "reference_ns_per_op", micro[i].reference_ns);
+    AppendKV(json, "optimized_ns_per_op", micro[i].optimized_ns);
+    AppendKV(json, "speedup", micro[i].reference_ns / micro[i].optimized_ns,
+             false);
+    json += (i + 1 < micro.size()) ? "},\n" : "}\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(options.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n",
+                 options.out.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench_report: wrote %s\n", options.out.c_str());
+
+  if (!all_identical || !parallel_identical) {
+    std::fprintf(stderr,
+                 "bench_report: FAIL — optimized reports diverged from "
+                 "baseline bytes\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace valentine
+
+int main(int argc, char** argv) {
+  valentine::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      options.rows = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+      options.rows = 80;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--rows N] [--out PATH] [--smoke]\n");
+      return 2;
+    }
+  }
+  return valentine::Run(options);
+}

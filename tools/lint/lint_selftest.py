@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Self-test for valentine_lint.
+
+The linter guards the suite's byte-identity contract, so it needs its own
+regression net: a rule that silently stops firing is worse than no rule.
+Each case runs valentine_lint.main() in-process against a deliberately
+violating fixture (via --pretend-rel, so path-scoped rules see the path
+they are scoped to) and asserts both the exit status and the rule id in
+the output. Exit status: 0 all cases pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import valentine_lint  # noqa: E402
+
+TESTDATA = Path(__file__).resolve().parent / "testdata"
+
+FAILURES = []
+
+
+def run_lint(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        status = valentine_lint.main(argv)
+    return status, out.getvalue() + err.getvalue()
+
+
+def expect(name, argv, want_status, want_substring=None):
+    status, output = run_lint(argv)
+    if status != want_status:
+        FAILURES.append(f"{name}: exit {status}, wanted {want_status}\n"
+                        f"{output}")
+        return
+    if want_substring and want_substring not in output:
+        FAILURES.append(f"{name}: output lacks {want_substring!r}\n{output}")
+
+
+def main() -> int:
+    fixture = str(TESTDATA / "fuzzy_jaccard_hash_order.cpp")
+
+    # The bug class this PR fixed: leftover emission by unordered_map
+    # iteration inside src/text/ must be flagged...
+    expect("old-fuzzyjaccard-pattern-flagged",
+           ["--pretend-rel", "src/text/string_similarity.cpp", fixture],
+           1, "unordered-iteration")
+    # ...and in the other order-sensitive trees.
+    expect("flagged-under-matchers",
+           ["--pretend-rel", "src/matchers/some_matcher.cpp", fixture],
+           1, "unordered-iteration")
+    expect("flagged-under-stats",
+           ["--pretend-rel", "src/stats/some_stat.cpp", fixture],
+           1, "unordered-iteration")
+
+    # Outside the order-sensitive scope the same code is legal (hash
+    # order feeding a set/count is fine; the rule targets ranked paths).
+    expect("ignored-outside-scope",
+           ["--pretend-rel", "src/harness/report_helper.cpp", fixture], 0)
+
+    # Fixtures never leak into a default tree scan: the real tree must
+    # still lint clean with the deliberately bad file present.
+    expect("default-tree-clean", [], 0)
+
+    # Guard the guard: --pretend-rel refuses multi-file invocations.
+    expect("pretend-rel-single-file",
+           ["--pretend-rel", "src/text/x.cpp", fixture, fixture], 2)
+
+    if FAILURES:
+        for f in FAILURES:
+            print(f"lint_selftest FAIL {f}", file=sys.stderr)
+        return 1
+    print("lint_selftest: OK (6 cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

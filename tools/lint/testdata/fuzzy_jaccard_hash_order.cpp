@@ -1,0 +1,27 @@
+// Lint self-test fixture: the order-dependence bug class the
+// unordered-iteration rule exists to catch, reduced from the original
+// FuzzyJaccard implementation. The leftover list for `b` is emitted by
+// iterating an unordered_map, so the greedy pairing downstream — and
+// every score built on it — depends on hash iteration order. The rule
+// must flag the range-for over `b_counts` when this file is treated as
+// living under src/text/ (see lint_selftest.py); it must stay out of
+// default tree scans.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace valentine_lint_fixture {
+
+std::vector<std::string> LeftoversInHashOrder(
+    const std::vector<std::string>& b,
+    std::unordered_map<std::string, size_t>& b_counts) {
+  std::vector<std::string> b_left;
+  for (const auto& [s, count] : b_counts) {
+    for (size_t k = 0; k < count; ++k) b_left.push_back(s);
+  }
+  (void)b;
+  return b_left;
+}
+
+}  // namespace valentine_lint_fixture

@@ -165,7 +165,11 @@ def check_forbidden_random(path: Path, rel: str, text: str, out: list):
 
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*(\w+)\s*[;={(,)]")
-ORDER_SENSITIVE_PREFIXES = ("src/matchers/",)
+# src/text/ and src/stats/ are in scope because their outputs feed ranked
+# scores directly (the FuzzyJaccard leftover-pairing bug lived in
+# src/text/): greedy/sequential reductions there are just as
+# order-sensitive as the matchers themselves.
+ORDER_SENSITIVE_PREFIXES = ("src/matchers/", "src/text/", "src/stats/")
 ORDER_SENSITIVE_FILES = {"src/harness/json_export.h", "src/harness/json_export.cpp"}
 
 
@@ -369,6 +373,11 @@ RULES = ("forbidden-random", "unordered-iteration", "ignored-status",
          "header-guard", "include-hygiene", "wallclock-time")
 
 
+# Deliberately-violating fixtures for the lint self-test; never part of
+# a default tree scan.
+TESTDATA_DIR = REPO_ROOT / "tools" / "lint" / "testdata"
+
+
 def gather_files(args_paths):
     if args_paths:
         files = []
@@ -384,6 +393,7 @@ def gather_files(args_paths):
             root = REPO_ROOT / d
             if root.is_dir():
                 files.extend(sorted(root.rglob("*")))
+        files = [f for f in files if TESTDATA_DIR not in f.parents]
     return [f for f in files if f.suffix in CPP_SUFFIXES and f.is_file()]
 
 
@@ -392,6 +402,11 @@ def main(argv=None) -> int:
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: repo tree)")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument(
+        "--pretend-rel", metavar="REL",
+        help="lint the single given file as if it lived at repo-relative "
+             "path REL (the self-test uses this to run fixtures through "
+             "path-scoped rules)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -402,6 +417,10 @@ def main(argv=None) -> int:
     files = gather_files(args.paths)
     if not files:
         print("valentine_lint: no C++ files to lint", file=sys.stderr)
+        return 2
+    if args.pretend_rel and len(files) != 1:
+        print("valentine_lint: --pretend-rel requires exactly one file",
+              file=sys.stderr)
         return 2
 
     # Status-returning names and project-header paths come from the full
@@ -414,10 +433,13 @@ def main(argv=None) -> int:
 
     violations = []
     for path in files:
-        try:
-            rel = str(path.relative_to(REPO_ROOT))
-        except ValueError:
-            rel = str(path)
+        if args.pretend_rel:
+            rel = args.pretend_rel
+        else:
+            try:
+                rel = str(path.relative_to(REPO_ROOT))
+            except ValueError:
+                rel = str(path)
         try:
             text = path.read_text(encoding="utf-8", errors="replace")
         except OSError as e:
