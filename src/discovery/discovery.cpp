@@ -39,7 +39,29 @@ Status DiscoveryEngine::AddTable(Table table) {
                       c.DistinctStringSet());
   }
   tables_.push_back(std::move(table));
+  // Growing the vector may relocate every table; cached artifacts
+  // borrow that storage, so they must be rebuilt on next query.
+  artifacts_.Clear();
   return Status::OK();
+}
+
+MatchResult DiscoveryEngine::ScoreAgainstRepository(
+    const PreparedTable* prepared_query, const Table& query,
+    const Table& candidate) const {
+  if (prepared_query != nullptr) {
+    PreparedTablePtr prepared_candidate = artifacts_.GetOrPrepare(
+        matcher(), candidate, /*profile=*/nullptr, MatchContext());
+    if (prepared_candidate != nullptr) {
+      Result<MatchResult> scored = matcher().Score(
+          *prepared_query, *prepared_candidate, MatchContext());
+      // Built-in matchers cannot fail under an unbounded context; an
+      // injected decorator that errors anyway degrades to the empty
+      // result, exactly like the infallible Match overload.
+      if (scored.ok()) return std::move(scored).ValueOrDie();
+      return MatchResult();
+    }
+  }
+  return matcher().Match(query, candidate);
 }
 
 std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
@@ -55,11 +77,18 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
     }
   }
 
+  // Prepare the query once; every candidate scores against it. The
+  // query is caller-owned and transient, so its artifact is built
+  // inline rather than cached.
+  Result<PreparedTablePtr> prepared_query =
+      matcher().Prepare(query, /*profile=*/nullptr, MatchContext());
+
   // Verify candidates with the matcher; table score = best column match.
   std::vector<DiscoveryResult> results;
   for (const Table& t : tables_) {
     if (!candidate_tables.count(t.name())) continue;
-    MatchResult ranked = matcher().Match(query, t);
+    MatchResult ranked = ScoreAgainstRepository(
+        prepared_query.ok() ? prepared_query->get() : nullptr, query, t);
     DiscoveryResult r;
     r.table_name = t.name();
     if (!ranked.empty()) {
@@ -79,9 +108,12 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
 
 std::vector<DiscoveryResult> DiscoveryEngine::FindUnionable(
     const Table& query, size_t k) const {
+  Result<PreparedTablePtr> prepared_query =
+      matcher().Prepare(query, /*profile=*/nullptr, MatchContext());
   std::vector<DiscoveryResult> results;
   for (const Table& t : tables_) {
-    MatchResult ranked = matcher().Match(query, t);
+    MatchResult ranked = ScoreAgainstRepository(
+        prepared_query.ok() ? prepared_query->get() : nullptr, query, t);
     // Union score: mean of the best per-query-column matches, over the
     // strongest `union_evidence_columns` columns.
     std::map<std::string, Match> best_per_column;

@@ -19,6 +19,7 @@
 
 #include "core/status.h"
 #include "core/table.h"
+#include "matchers/artifact_cache.h"
 #include "matchers/matcher.h"
 #include "scaling/lsh_index.h"
 
@@ -46,6 +47,17 @@ struct DiscoveryOptions {
 };
 
 /// \brief A searchable repository of tables.
+///
+/// Query cost model: a Find* call prepares the query table once and
+/// scores it against per-repository-table artifacts that are built on
+/// first use and cached across calls — O(prepare + N·score) instead of
+/// the monolithic O(N·(prepare + score)). Results are byte-identical to
+/// the monolithic path (the matcher pipeline contract).
+///
+/// Thread-safety: concurrent FindJoinable/FindUnionable calls on a
+/// const engine are safe (the artifact cache is internally
+/// synchronized, the matcher is const). AddTable mutates the
+/// repository and must not run concurrently with any other call.
 class DiscoveryEngine {
  public:
   explicit DiscoveryEngine(DiscoveryOptions options = {});
@@ -75,9 +87,23 @@ class DiscoveryEngine {
  private:
   const ColumnMatcher& matcher() const;
 
+  /// Scores the query against one repository table: the prepared fast
+  /// path when both artifacts resolved, the monolithic matcher
+  /// otherwise. Mirrors the infallible Match overload (errors — only
+  /// possible via an injected decorator — yield an empty result).
+  MatchResult ScoreAgainstRepository(const PreparedTable* prepared_query,
+                                     const Table& query,
+                                     const Table& candidate) const;
+
   DiscoveryOptions options_;
   std::vector<Table> tables_;
   LshIndex column_index_;  ///< keys are "<table>\x1f<column>"
+  /// Per-repository-table prepared artifacts, built lazily by Find*
+  /// calls and shared across them. Mutable because caching is not
+  /// observable through results; its internal mutex is what makes
+  /// concurrent const queries safe. Invalidated by AddTable (artifacts
+  /// borrow table storage, which may move when the repository grows).
+  mutable ArtifactCache artifacts_;
 };
 
 }  // namespace valentine

@@ -36,6 +36,15 @@ CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
     profiles.emplace(options.profile_spec);
     run.profiles = &*profiles;
   }
+  // One artifact cache for the whole campaign: each (table, family,
+  // prepare-key) artifact is built once; configurations that only sweep
+  // score-stage parameters share it. Scoped to this call — artifacts
+  // borrow the suite's tables.
+  std::optional<ArtifactCache> artifacts;
+  if (options.use_artifact_cache) {
+    artifacts.emplace();
+    run.artifacts = &*artifacts;
+  }
 
   CampaignReport report;
   report.num_pairs = suite.size();
@@ -65,6 +74,12 @@ CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
     report.failed_experiments += fr.failed_experiments;
     report.num_experiments += family.grid.size() * suite.size();
     report.families.push_back(std::move(fr));
+  }
+  if (artifacts.has_value()) {
+    for (const auto& [family, stats] : artifacts->StatsSnapshot()) {
+      report.artifact_cache_stats.push_back(
+          {family, stats.hits, stats.misses, stats.builds});
+    }
   }
   return report;
 }

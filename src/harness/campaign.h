@@ -46,6 +46,12 @@ struct CampaignOptions {
   /// grids saturate the cores. Either value yields byte-identical
   /// reports.
   ParallelGranularity granularity = ParallelGranularity::kConfig;
+  /// Share one prepared-table ArtifactCache across every family and
+  /// configuration of the campaign: each (table, family, prepare-key)
+  /// artifact is built once and all configurations sharing the key
+  /// score against it. Reports are byte-identical either way (modulo
+  /// wall-clock runtime fields and the cache-stats diagnostics).
+  bool use_artifact_cache = true;
 };
 
 /// Aggregated results of one family over the campaign suite.
@@ -60,6 +66,15 @@ struct CampaignFamilyReport {
   std::vector<std::pair<StatusCode, size_t>> failure_taxonomy;
 };
 
+/// Per-family artifact-cache counters for one campaign (diagnostics:
+/// like runtime fields, excluded from the byte-identity contract).
+struct ArtifactCacheStats {
+  std::string family;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t builds = 0;
+};
+
 /// Full campaign output.
 struct CampaignReport {
   size_t num_pairs = 0;
@@ -67,6 +82,9 @@ struct CampaignReport {
   size_t num_experiments = 0;
   size_t failed_experiments = 0;
   std::vector<CampaignFamilyReport> families;
+  /// Artifact-cache counters, sorted by family name; empty when the
+  /// campaign ran with use_artifact_cache = false.
+  std::vector<ArtifactCacheStats> artifact_cache_stats;
 };
 
 /// Fabricates the suite from every source table and runs the families.

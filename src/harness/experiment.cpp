@@ -16,6 +16,15 @@ ExperimentResult RunExperiment(const ColumnMatcher& matcher,
                                const std::string& config,
                                const DatasetPair& pair,
                                const MatchContext& context) {
+  return RunExperiment(matcher, config, pair, context, nullptr, nullptr);
+}
+
+ExperimentResult RunExperiment(const ColumnMatcher& matcher,
+                               const std::string& config,
+                               const DatasetPair& pair,
+                               const MatchContext& context,
+                               const PreparedTable* prepared_source,
+                               const PreparedTable* prepared_target) {
   ExperimentResult result;
   result.pair_id = pair.id;
   result.scenario = pair.scenario;
@@ -24,8 +33,10 @@ ExperimentResult RunExperiment(const ColumnMatcher& matcher,
   result.ground_truth_size = pair.ground_truth.size();
 
   auto start = std::chrono::steady_clock::now();
-  Result<MatchResult> matches = matcher.Match(pair.source, pair.target,
-                                              context);
+  Result<MatchResult> matches =
+      (prepared_source != nullptr && prepared_target != nullptr)
+          ? matcher.Score(*prepared_source, *prepared_target, context)
+          : matcher.Match(pair.source, pair.target, context);
   auto end = std::chrono::steady_clock::now();
   result.runtime_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

@@ -114,7 +114,9 @@ ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
                                          const std::string& family_name,
                                          const ExecutionPolicy& policy,
                                          const TableProfile* source_profile,
-                                         const TableProfile* target_profile) {
+                                         const TableProfile* target_profile,
+                                         const PreparedTable* prepared_source,
+                                         const PreparedTable* prepared_target) {
   const std::string key = JournalKey(family_name, pair.id, config);
   const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
   ExperimentResult result;
@@ -128,7 +130,8 @@ ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
     context.trace_id = key;
     context.source_profile = source_profile;
     context.target_profile = target_profile;
-    result = RunExperiment(matcher, config, pair, context);
+    result = RunExperiment(matcher, config, pair, context, prepared_source,
+                           prepared_target);
     total_runtime_ms += result.runtime_ms;
     result.attempts = attempt;
     if (result.code == StatusCode::kOk ||
@@ -189,9 +192,28 @@ ExperimentResult RunConfigOnPair(const MethodFamily& family,
     source_profile = run.profiles->GetOrBuild(pair.source);
     target_profile = run.profiles->GetOrBuild(pair.target);
   }
+  // Resolve shared prepared artifacts (built once per (table, family,
+  // prepare-key) across configurations and threads). Prepare runs under
+  // the policy's cancellation token but outside the per-attempt
+  // deadline; a null return (failed Prepare) degrades to the monolithic
+  // path so the failure is reported per-configuration as before.
+  PreparedTablePtr prepared_source, prepared_target;
+  if (run.artifacts != nullptr) {
+    MatchContext prepare_context;
+    prepare_context.cancel = run.policy.cancel;
+    prepare_context.trace_id =
+        JournalKey(family.name, pair.id, cm.description) + "#prepare";
+    prepare_context.source_profile = source_profile.get();
+    prepare_context.target_profile = target_profile.get();
+    prepared_source = run.artifacts->GetOrPrepare(
+        *cm.matcher, pair.source, source_profile.get(), prepare_context);
+    prepared_target = run.artifacts->GetOrPrepare(
+        *cm.matcher, pair.target, target_profile.get(), prepare_context);
+  }
   ExperimentResult r = RunExperimentWithPolicy(
       *cm.matcher, cm.description, pair, family.name, run.policy,
-      source_profile.get(), target_profile.get());
+      source_profile.get(), target_profile.get(), prepared_source.get(),
+      prepared_target.get());
   if (run.journal != nullptr) {
     run.journal->Append({family.name, pair.id, cm.description, r.code,
                          r.error, r.recall_at_gt, r.map, r.runtime_ms,

@@ -17,6 +17,7 @@
 #include "harness/experiment.h"
 #include "harness/journal.h"
 #include "harness/param_grid.h"
+#include "matchers/artifact_cache.h"
 #include "metrics/metrics.h"
 #include "stats/column_profile.h"
 
@@ -107,6 +108,15 @@ struct FamilyRunContext {
   /// are byte-identical with or without a cache — profiles only change
   /// where artifacts are computed, never what they contain.
   ProfileCache* profiles = nullptr;
+  /// Shared prepared-table artifact cache: when set, each (table,
+  /// family, prepare-key) artifact is built once and every
+  /// configuration sharing the key scores against it (Prepare runs
+  /// outside the per-attempt deadline, under the policy's cancellation
+  /// token only). Results are byte-identical with or without a cache —
+  /// Score accepts only own-family same-key artifacts and re-prepares
+  /// inline otherwise. A failed Prepare falls back to the monolithic
+  /// path so the failure surfaces through the same status taxonomy.
+  ArtifactCache* artifacts = nullptr;
 };
 
 /// Runs one grid configuration of the family on the pair under the run

@@ -1,7 +1,10 @@
 #include "knowledge/cooc_embedding.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace valentine {
 
@@ -82,7 +85,15 @@ void CoocEmbedding::Train(
                      0x9e3779b97f4a7c15ULL * (d + 1));
     return (h & 1) ? 1.0f : -1.0f;
   };
-  for (const auto& [key, count] : pair_counts) {
+  // Accumulation order matters: the += below sums floats, which is not
+  // associative, so hash-order iteration would make the vectors (and
+  // every score derived from them) platform-dependent. Sort by key.
+  std::vector<std::pair<uint64_t, double>> sorted_pairs(
+      pair_counts.begin(),  // lint:allow(unordered-iteration) sorted below
+      pair_counts.end());
+  std::sort(sorted_pairs.begin(), sorted_pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, count] : sorted_pairs) {
     size_t center = static_cast<size_t>(key >> 32);
     size_t context = static_cast<size_t>(key & 0xffffffffULL);
     double p_pair = count / total_pairs;

@@ -36,6 +36,24 @@ std::optional<size_t> Ontology::HierarchyDistance(size_t a, size_t b) const {
   return std::nullopt;
 }
 
+uint64_t Ontology::Fingerprint() const {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xFF;  // terminator so concatenated fields cannot alias
+    h *= 1099511628211ULL;
+  };
+  for (const OntologyClass& c : classes_) {
+    mix(c.name);
+    for (const std::string& label : c.labels) mix(label);
+    mix(c.parent ? std::to_string(*c.parent) : "-");
+  }
+  return h;
+}
+
 std::vector<std::pair<size_t, std::string>> Ontology::AllLabels() const {
   std::vector<std::pair<size_t, std::string>> out;
   for (size_t i = 0; i < classes_.size(); ++i) {

@@ -11,6 +11,7 @@
 /// EFO ontology shipped with ChEMBL; the ChEMBL dataset generator here
 /// fabricates an EFO-like ontology covering its column semantics.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +45,12 @@ class Ontology {
 
   /// All labels of all classes, as (class index, label) pairs.
   std::vector<std::pair<size_t, std::string>> AllLabels() const;
+
+  /// Deterministic content hash (FNV-1a over classes, labels, and
+  /// parent edges, in insertion order). Two ontologies with equal
+  /// fingerprints link names identically, so matcher PrepareKeys embed
+  /// this to keep per-table artifacts keyed by knowledge-base content.
+  uint64_t Fingerprint() const;
 
  private:
   std::vector<size_t> AncestorsOf(size_t i) const;

@@ -1,5 +1,8 @@
 #include "knowledge/thesaurus.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "text/tokenizer.h"
 
 namespace valentine {
@@ -66,6 +69,38 @@ std::vector<std::string> Thesaurus::Synonyms(const std::string& word) const {
   auto it = word_to_set_.find(word);
   if (it == word_to_set_.end()) return {};
   return sets_[it->second];
+}
+
+uint64_t Thesaurus::Fingerprint() const {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xFF;  // terminator so concatenated fields cannot alias
+    h *= 1099511628211ULL;
+  };
+  for (const auto& set : sets_) {
+    for (const std::string& w : set) mix(w);
+    mix(";");
+  }
+  // The maps are iterated only to collect entries, which are sorted
+  // before hashing — the fingerprint is independent of hash order.
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (const auto& [k, v] : hypernym_) {  // lint:allow(unordered-iteration)
+    entries.emplace_back("h:" + k, v);
+  }
+  for (const auto& [k, v] :
+       abbreviations_) {  // lint:allow(unordered-iteration)
+    entries.emplace_back("a:" + k, v);
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [k, v] : entries) {
+    mix(k);
+    mix(v);
+  }
+  return h;
 }
 
 const Thesaurus& Thesaurus::Default() {

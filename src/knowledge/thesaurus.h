@@ -10,6 +10,7 @@
 /// vocabulary of this suite's dataset generators, which exercises the
 /// same lookup / expansion / relatedness code paths.
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +49,12 @@ class Thesaurus {
   std::vector<std::string> Synonyms(const std::string& word) const;
 
   size_t num_synonym_sets() const { return sets_.size(); }
+
+  /// Deterministic content hash (synonym sets in insertion order;
+  /// hypernym and abbreviation entries sorted before hashing). Matcher
+  /// PrepareKeys embed this so artifacts derived through thesaurus
+  /// lookups stay keyed by knowledge-base content.
+  uint64_t Fingerprint() const;
 
  private:
   std::vector<std::vector<std::string>> sets_;

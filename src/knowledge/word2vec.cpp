@@ -13,11 +13,16 @@ void Word2Vec::BuildVocab(
   for (const auto& sentence : sentences) {
     for (const auto& word : sentence) ++raw_counts[word];
   }
-  for (const auto& [word, count] : raw_counts) {
-    if (count >= options_.min_count) {
-      vocab_[word] = index_to_word_.size();
-      index_to_word_.push_back(word);
-      counts_.push_back(count);
+  // Assign word ids in first-appearance corpus order, not hash order:
+  // ids seed the unigram table and every trained vector, so hash-order
+  // assignment would make results platform-dependent.
+  for (const auto& sentence : sentences) {
+    for (const auto& word : sentence) {
+      if (raw_counts[word] < options_.min_count) continue;
+      if (vocab_.emplace(word, index_to_word_.size()).second) {
+        index_to_word_.push_back(word);
+        counts_.push_back(raw_counts[word]);
+      }
     }
   }
   // Unigram table with the standard 3/4-power smoothing.

@@ -1,0 +1,96 @@
+#ifndef VALENTINE_MATCHERS_ARTIFACT_CACHE_H_
+#define VALENTINE_MATCHERS_ARTIFACT_CACHE_H_
+
+/// \file artifact_cache.h
+/// Build-once, serve-many cache of per-table matcher artifacts — the
+/// generalization of `stats::ProfileCache` from one artifact kind
+/// (column profiles) to every family's Prepare output. A campaign
+/// prepares each suite table once per (family, prepare key) instead of
+/// once per (pair, config); a DiscoveryEngine prepares each repository
+/// table once across all queries.
+///
+/// Keying: unlike ProfileCache (which keys by table address and is the
+/// single sanctioned pointer-keyed cache — see the `pointer-cache-key`
+/// lint rule), entries here are keyed by *value*: a content fingerprint
+/// of the table plus the table name, the family name, and the matcher's
+/// PrepareKey(). Value keys make hits well-defined across table copies
+/// and make the cache immune to allocator address reuse.
+///
+/// Contract (same as PR 3's profile cache): a cache hit must be
+/// byte-identical to an inline Prepare, and every consumer falls back to
+/// the inline path unconditionally when the cache declines (build
+/// failure, family mismatch) — the cache can change wall-clock time,
+/// never report bytes. Artifacts borrow their tables, so the cache must
+/// not outlive the tables it was fed (the ProfileCache lifetime rule).
+///
+/// Thread safety: GetOrPrepare is safe for concurrent callers. Builds
+/// run outside the lock (Prepare can be expensive); when two threads
+/// race to build the same key, the first insert wins and the loser's
+/// artifact is discarded. Stats counters are aggregate observability
+/// (hit/miss/build totals can vary with thread interleaving) and are
+/// excluded from the byte-identity contract, like wall-clock fields.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/table.h"
+#include "matchers/matcher.h"
+#include "matchers/prepared.h"
+
+namespace valentine {
+
+/// FNV-1a content fingerprint of a table: name, column names, declared
+/// types, row count, and every cell (nulls distinguished from empty
+/// strings). Deterministic across runs and platforms; collisions are
+/// astronomically unlikely at suite scale but would only ever serve a
+/// same-family artifact, whose Score fallback keeps results sane.
+uint64_t TableContentFingerprint(const Table& table);
+
+/// \brief Mutex-guarded build-once cache of PreparedTable artifacts.
+class ArtifactCache {
+ public:
+  ArtifactCache() = default;
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Per-family observability counters.
+  struct FamilyStats {
+    uint64_t hits = 0;    ///< lookups served from the cache
+    uint64_t misses = 0;  ///< lookups that found no entry
+    uint64_t builds = 0;  ///< Prepare executions (>= inserted entries)
+  };
+
+  /// Returns the cached artifact for (table, matcher family, prepare
+  /// key), building it with `matcher.Prepare(table, profile, context)`
+  /// on first use. Returns nullptr when Prepare fails — the caller must
+  /// then fall back to the monolithic Match path (never treat nullptr
+  /// as "no matches").
+  PreparedTablePtr GetOrPrepare(const ColumnMatcher& matcher,
+                                const Table& table,
+                                const TableProfile* profile,
+                                const MatchContext& context);
+
+  /// Snapshot of per-family stats, keyed by family Name() (sorted, so
+  /// iteration order is deterministic for reports).
+  std::map<std::string, FamilyStats> StatsSnapshot() const;
+
+  /// Number of distinct artifacts currently held.
+  size_t size() const;
+
+  /// Drops all entries and stats.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  /// Value-based key: fingerprint + table name + family + prepare key,
+  /// composed with 0x1f separators (none of which occur in hex digits;
+  /// names pass through a length prefix to stay unambiguous).
+  std::map<std::string, PreparedTablePtr> map_;
+  std::map<std::string, FamilyStats> stats_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_MATCHERS_ARTIFACT_CACHE_H_

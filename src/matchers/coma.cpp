@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "stats/column_profile.h"
 #include "stats/descriptive.h"
@@ -252,120 +254,131 @@ std::vector<std::pair<size_t, size_t>> SelectPairs(
   return out;
 }
 
+/// Per-table artifact: identifier tokens always; the instance strategy
+/// adds capped value sets, text profiles, numeric stats, and numeric
+/// fractions. Thesaurus-dependent name similarity happens at score time,
+/// so the artifact needs no knowledge-base fingerprint.
+struct ComaPrepared : PreparedTable {
+  using PreparedTable::PreparedTable;
+  std::vector<std::vector<std::string>> name_tokens;
+  std::vector<std::unordered_set<std::string>> sets;
+  std::vector<TextProfile> text;
+  std::vector<NumericStats> nums;
+  std::vector<double> numfrac;
+};
+
 }  // namespace
 
-Result<MatchResult> ComaMatcher::MatchWithContext(
-    const Table& source, const Table& target,
-    const MatchContext& context) const {
-  const size_t ns = source.num_columns();
-  const size_t nt = target.num_columns();
+std::string ComaMatcher::PrepareKey() const {
   const bool instances = options_.strategy == ComaStrategy::kInstances;
+  return "cap=" + std::to_string(options_.max_distinct_values) +
+         ";instances=" + (instances ? "1" : "0");
+}
+
+Result<PreparedTablePtr> ComaMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
+    const MatchContext& context) const {
+  VALENTINE_RETURN_NOT_OK(context.Check("coma prepare"));
+  auto prepared = std::make_shared<ComaPrepared>(&table, Name(), PrepareKey());
+  const size_t n = table.num_columns();
+  const bool served = profile != nullptr && profile->Matches(table);
 
   // Identifier tokens once per column (the name_token_edit / soundex
   // matchers used to retokenize per pair), served from the table profile
   // when one is attached — tokenization has no cap, so profile tokens
   // are always exact.
-  auto name_tokens = [](const Table& t, const TableProfile* tp) {
-    std::vector<std::vector<std::string>> tokens;
-    tokens.reserve(t.num_columns());
-    const bool served = tp != nullptr && tp->Matches(t);
-    for (size_t i = 0; i < t.num_columns(); ++i) {
-      tokens.push_back(served ? tp->column(i).name_tokens()
-                              : TokenizeIdentifier(t.column(i).name()));
-    }
-    return tokens;
-  };
-  std::vector<std::vector<std::string>> src_tokens =
-      name_tokens(source, context.source_profile);
-  std::vector<std::vector<std::string>> tgt_tokens =
-      name_tokens(target, context.target_profile);
-
-  // Precompute instance features once per column. Value sets are used
-  // by pointer so profile-served columns pay no copy; `owned` backs the
-  // inline-extracted ones.
-  std::vector<const std::unordered_set<std::string>*> src_sets, tgt_sets;
-  std::vector<std::unordered_set<std::string>> src_owned, tgt_owned;
-  std::vector<TextProfile> src_prof, tgt_prof;
-  std::vector<NumericStats> src_num, tgt_num;
-  std::vector<double> src_numfrac, tgt_numfrac;
-  if (instances) {
-    auto profile = [&](const Table& t, const TableProfile* tp,
-                       std::vector<const std::unordered_set<std::string>*>*
-                           sets,
-                       std::vector<std::unordered_set<std::string>>* owned,
-                       std::vector<TextProfile>* profs,
-                       std::vector<NumericStats>* nums,
-                       std::vector<double>* numfracs) {
-      const bool served = tp != nullptr && tp->Matches(t);
-      owned->resize(t.num_columns());
-      size_t idx = 0;
-      for (const Column& c : t.columns()) {
-        const ColumnProfile* cp = served ? &tp->column(idx) : nullptr;
-        if (cp != nullptr &&
-            cp->CapsEquivalent(options_.max_distinct_values,
-                               tp->spec().set_cap)) {
-          // The profile set was built from the same first-seen-order
-          // prefix this matcher would cap to, so it is the same set.
-          sets->push_back(&cp->distinct_set());
-          profs->push_back(cp->text_profile());
-          nums->push_back(cp->numeric_stats());
-          numfracs->push_back(cp->numeric_fraction());
-          ++idx;
-          continue;
-        }
-        // Cap in first-seen row order, never by iterating the unordered
-        // set: hash order would make the kept subset — and the Jaccard
-        // scores built on it — nondeterministic across runs/platforms.
-        std::vector<std::string> distinct = c.DistinctStrings();
-        if (options_.max_distinct_values > 0 &&
-            distinct.size() > options_.max_distinct_values) {
-          distinct.resize(options_.max_distinct_values);
-        }
-        (*owned)[idx] = std::unordered_set<std::string>(distinct.begin(),
-                                                        distinct.end());
-        sets->push_back(&(*owned)[idx]);
-        profs->push_back(cp != nullptr ? cp->text_profile()
-                                       : ComputeTextProfile(c));
-        nums->push_back(cp != nullptr
-                            ? cp->numeric_stats()
-                            : ComputeNumericStats(c.NumericValues()));
-        numfracs->push_back(cp != nullptr ? cp->numeric_fraction()
-                                          : c.NumericFraction());
-        ++idx;
-      }
-    };
-    profile(source, context.source_profile, &src_sets, &src_owned, &src_prof,
-            &src_num, &src_numfrac);
-    profile(target, context.target_profile, &tgt_sets, &tgt_owned, &tgt_prof,
-            &tgt_num, &tgt_numfrac);
+  prepared->name_tokens.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    prepared->name_tokens.push_back(
+        served ? profile->column(i).name_tokens()
+               : TokenizeIdentifier(table.column(i).name()));
   }
 
-  // Optional TF-IDF token matcher (whole-matrix computation).
+  if (options_.strategy == ComaStrategy::kInstances) {
+    prepared->sets.resize(n);
+    size_t idx = 0;
+    for (const Column& c : table.columns()) {
+      const ColumnProfile* cp = served ? &profile->column(idx) : nullptr;
+      if (cp != nullptr &&
+          cp->CapsEquivalent(options_.max_distinct_values,
+                             profile->spec().set_cap)) {
+        // The profile set was built from the same first-seen-order
+        // prefix this matcher would cap to, so it is the same set.
+        prepared->sets[idx] = cp->distinct_set();
+        prepared->text.push_back(cp->text_profile());
+        prepared->nums.push_back(cp->numeric_stats());
+        prepared->numfrac.push_back(cp->numeric_fraction());
+        ++idx;
+        continue;
+      }
+      // Cap in first-seen row order, never by iterating the unordered
+      // set: hash order would make the kept subset — and the Jaccard
+      // scores built on it — nondeterministic across runs/platforms.
+      std::vector<std::string> distinct = c.DistinctStrings();
+      if (options_.max_distinct_values > 0 &&
+          distinct.size() > options_.max_distinct_values) {
+        distinct.resize(options_.max_distinct_values);
+      }
+      prepared->sets[idx] =
+          std::unordered_set<std::string>(distinct.begin(), distinct.end());
+      prepared->text.push_back(cp != nullptr ? cp->text_profile()
+                                             : ComputeTextProfile(c));
+      prepared->nums.push_back(cp != nullptr
+                                   ? cp->numeric_stats()
+                                   : ComputeNumericStats(c.NumericValues()));
+      prepared->numfrac.push_back(cp != nullptr ? cp->numeric_fraction()
+                                                : c.NumericFraction());
+      ++idx;
+    }
+  }
+  return PreparedTablePtr(std::move(prepared));
+}
+
+Result<MatchResult> ComaMatcher::Score(const PreparedTable& source,
+                                       const PreparedTable& target,
+                                       const MatchContext& context) const {
+  const auto* src = dynamic_cast<const ComaPrepared*>(&source);
+  const auto* tgt = dynamic_cast<const ComaPrepared*>(&target);
+  if (src == nullptr || tgt == nullptr ||
+      src->prepare_key() != PrepareKey() ||
+      tgt->prepare_key() != PrepareKey()) {
+    return MatchWithContext(source.table(), target.table(), context);
+  }
+
+  const Table& source_table = src->table();
+  const Table& target_table = tgt->table();
+  const size_t ns = source_table.num_columns();
+  const size_t nt = target_table.num_columns();
+  const bool instances = options_.strategy == ComaStrategy::kInstances;
+
+  // Optional TF-IDF token matcher (whole-matrix computation over both
+  // tables at once — inherently pair-level, so it stays in Score).
   std::vector<std::vector<double>> tfidf_sim;
   if (instances && options_.use_tfidf_tokens) {
-    tfidf_sim =
-        TfIdfColumnSimilarity(source, target, options_.max_distinct_values);
+    tfidf_sim = TfIdfColumnSimilarity(source_table, target_table,
+                                      options_.max_distinct_values);
   }
 
   // Aggregated similarity matrix over all first-line matchers.
   std::vector<std::vector<double>> combined(ns, std::vector<double>(nt, 0.0));
   for (size_t i = 0; i < ns; ++i) {
     VALENTINE_RETURN_NOT_OK(context.Check("coma matcher library sweep"));
-    const Column& a = source.column(i);
+    const Column& a = source_table.column(i);
     for (size_t j = 0; j < nt; ++j) {
-      const Column& b = target.column(j);
+      const Column& b = target_table.column(j);
       std::vector<ComaComponentScore> scores = SchemaComponentScoresWithTokens(
-          source.name(), a, src_tokens[i], target.name(), b, tgt_tokens[j]);
+          source_table.name(), a, src->name_tokens[i], target_table.name(), b,
+          tgt->name_tokens[j]);
       if (instances) {
         scores.push_back({"value_overlap",
-                          JaccardSimilarity(*src_sets[i], *tgt_sets[j]), 3.0});
+                          JaccardSimilarity(src->sets[i], tgt->sets[j]), 3.0});
         // Profile matcher: numeric columns compare moments, textual
         // columns compare character profiles.
         double prof_sim;
-        if (src_numfrac[i] > 0.9 && tgt_numfrac[j] > 0.9) {
-          prof_sim = NumericStatsSimilarity(src_num[i], tgt_num[j]);
+        if (src->numfrac[i] > 0.9 && tgt->numfrac[j] > 0.9) {
+          prof_sim = NumericStatsSimilarity(src->nums[i], tgt->nums[j]);
         } else {
-          prof_sim = TextProfileSimilarity(src_prof[i], tgt_prof[j]);
+          prof_sim = TextProfileSimilarity(src->text[i], tgt->text[j]);
         }
         scores.push_back({"instance_profile", prof_sim, 1.5});
         if (options_.use_tfidf_tokens) {
@@ -378,8 +391,9 @@ Result<MatchResult> ComaMatcher::MatchWithContext(
 
   MatchResult result;
   for (const auto& [i, j] : SelectPairs(combined, options_)) {
-    result.Add({source.name(), source.column(i).name()},
-               {target.name(), target.column(j).name()}, combined[i][j]);
+    result.Add({source_table.name(), source_table.column(i).name()},
+               {target_table.name(), target_table.column(j).name()},
+               combined[i][j]);
   }
   result.Sort();
   return result;

@@ -118,8 +118,16 @@ class ComaMatcher : public ColumnMatcher {
     }
     return caps;
   }
-  [[nodiscard]] Result<MatchResult> MatchWithContext(
-      const Table& source, const Table& target,
+  /// Artifact: identifier tokens per column; the instance strategy adds
+  /// capped value sets, text profiles, numeric stats, and numeric
+  /// fractions. Thesaurus lookups happen at score time, so the artifact
+  /// is knowledge-base independent.
+  std::string PrepareKey() const override;
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const override;
+  [[nodiscard]] Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
       const MatchContext& context) const override;
 
   /// The full per-matcher score breakdown for one column pair (schema

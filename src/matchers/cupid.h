@@ -49,8 +49,16 @@ class CupidMatcher : public ColumnMatcher {
     return {MatchType::kAttributeOverlap, MatchType::kSemanticOverlap,
             MatchType::kDataType};
   }
-  [[nodiscard]] Result<MatchResult> MatchWithContext(
-      const Table& source, const Table& target,
+  /// Artifact: normalized (tokenized, abbreviation-expanded, stemmed)
+  /// name tokens per column plus the table name's tokens. Keyed on the
+  /// thesaurus fingerprint; every TreeMatch parameter is score-stage,
+  /// so the whole Cupid grid shares one artifact per table.
+  std::string PrepareKey() const override;
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const override;
+  [[nodiscard]] Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
       const MatchContext& context) const override;
 
   /// Linguistic similarity between two attribute names (exposed for

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 
 #include "stats/column_profile.h"
 #include "stats/emd.h"
@@ -100,67 +102,89 @@ std::vector<size_t> SolveClusterSelection(
   return GreedyPartition(n, weight);
 }
 
-Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
-    const Table& source, const Table& target,
+namespace {
+
+/// Per-table artifact: capped distinct-value lists and quantile
+/// histograms per column — the per-table halves of the phase-1/phase-2
+/// EMD sweep. Intersection sets stay in Score (pair-dependent).
+struct DistPrepared : PreparedTable {
+  using PreparedTable::PreparedTable;
+  std::vector<std::vector<std::string>> values;
+  std::vector<QuantileHistogram> hists;
+};
+
+}  // namespace
+
+std::string DistributionBasedMatcher::PrepareKey() const {
+  // θ1/θ2 and the solver limit are score-stage; the artifact depends on
+  // the value cap and the histogram resolution.
+  return "cap=" + std::to_string(options_.max_values) +
+         ";bins=" + std::to_string(options_.num_bins);
+}
+
+Result<PreparedTablePtr> DistributionBasedMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
     const MatchContext& context) const {
-  const size_t ns = source.num_columns();
-  const size_t nt = target.num_columns();
+  VALENTINE_RETURN_NOT_OK(context.Check("distribution-based prepare"));
+  auto prepared = std::make_shared<DistPrepared>(&table, Name(), PrepareKey());
+  const size_t n = table.num_columns();
+  prepared->values.resize(n);
+  prepared->hists.resize(n);
+
+  // Distinct value lists and quantile histograms are served from the
+  // table profile when the profile artifacts were built over exactly the
+  // value prefix this configuration would cap to (same first-seen order,
+  // same bin count) — otherwise extracted inline.
+  const bool served = profile != nullptr && profile->Matches(table);
+  for (size_t c = 0; c < n; ++c) {
+    const ColumnProfile* cp = served ? &profile->column(c) : nullptr;
+    if (cp != nullptr && cp->CanServeDistinctPrefix(options_.max_values)) {
+      size_t len = cp->DistinctPrefixLength(options_.max_values);
+      prepared->values[c].assign(cp->distinct().begin(),
+                                 cp->distinct().begin() + len);
+    } else {
+      std::vector<std::string> vals = table.column(c).DistinctStrings();
+      if (options_.max_values > 0 && vals.size() > options_.max_values) {
+        vals.resize(options_.max_values);
+      }
+      prepared->values[c] = std::move(vals);
+    }
+    if (cp != nullptr && profile->spec().num_bins == options_.num_bins &&
+        cp->CapsEquivalent(options_.max_values,
+                           profile->spec().histogram_cap)) {
+      prepared->hists[c] = cp->histogram();
+    } else {
+      prepared->hists[c] = QuantileHistogram::Build(
+          ValuesToPoints(prepared->values[c]), options_.num_bins);
+    }
+  }
+  return PreparedTablePtr(std::move(prepared));
+}
+
+Result<MatchResult> DistributionBasedMatcher::Score(
+    const PreparedTable& source, const PreparedTable& target,
+    const MatchContext& context) const {
+  const auto* src = dynamic_cast<const DistPrepared*>(&source);
+  const auto* tgt = dynamic_cast<const DistPrepared*>(&target);
+  if (src == nullptr || tgt == nullptr ||
+      src->prepare_key() != PrepareKey() ||
+      tgt->prepare_key() != PrepareKey()) {
+    return MatchWithContext(source.table(), target.table(), context);
+  }
+
+  const Table& source_table = src->table();
+  const Table& target_table = tgt->table();
+  const size_t ns = src->values.size();
+  const size_t nt = tgt->values.size();
   const size_t n = ns + nt;
 
-  // Distinct value sets and quantile histograms for every column of
-  // both tables (the method clusters the union of attributes). Both are
-  // served from the table profiles when the profile artifacts were built
-  // over exactly the value prefix this configuration would cap to (same
-  // first-seen order, same bin count) — otherwise extracted inline.
-  // `values` and `hists` point either into a profile or into the
-  // `*_owned` backing stores.
-  std::vector<const std::vector<std::string>*> values(n);
-  std::vector<std::vector<std::string>> values_owned(n);
-  std::vector<const QuantileHistogram*> hists(n);
-  std::vector<QuantileHistogram> hists_owned(n);
-  auto load = [&](const Table& t, const TableProfile* tp, size_t offset) {
-    const bool served = tp != nullptr && tp->Matches(t);
-    for (size_t c = 0; c < t.num_columns(); ++c) {
-      const size_t k = offset + c;
-      const ColumnProfile* cp = served ? &tp->column(c) : nullptr;
-      if (cp != nullptr && cp->CanServeDistinctPrefix(options_.max_values)) {
-        size_t len = cp->DistinctPrefixLength(options_.max_values);
-        if (len == cp->distinct().size()) {
-          values[k] = &cp->distinct();
-        } else {
-          values_owned[k].assign(cp->distinct().begin(),
-                                 cp->distinct().begin() + len);
-          values[k] = &values_owned[k];
-        }
-      } else {
-        std::vector<std::string> vals = t.column(c).DistinctStrings();
-        if (options_.max_values > 0 && vals.size() > options_.max_values) {
-          vals.resize(options_.max_values);
-        }
-        values_owned[k] = std::move(vals);
-        values[k] = &values_owned[k];
-      }
-      if (cp != nullptr && tp->spec().num_bins == options_.num_bins &&
-          cp->CapsEquivalent(options_.max_values, tp->spec().histogram_cap)) {
-        hists[k] = &cp->histogram();
-      } else {
-        hists_owned[k] = QuantileHistogram::Build(ValuesToPoints(*values[k]),
-                                                  options_.num_bins);
-        hists[k] = &hists_owned[k];
-      }
-    }
-  };
-  load(source, context.source_profile, 0);
-  load(target, context.target_profile, ns);
-
   // Phase-2 needs each target column's values as a set; build each at
-  // most once (it used to be rebuilt for every surviving (i, j) pair)
-  // and only for columns phase 1 actually reaches.
+  // most once and only for columns phase 1 actually reaches.
   std::vector<std::unordered_set<std::string>> tgt_sets(nt);
   std::vector<bool> tgt_set_built(nt, false);
   auto target_set = [&](size_t j) -> const std::unordered_set<std::string>& {
     if (!tgt_set_built[j]) {
-      tgt_sets[j].insert(values[ns + j]->begin(), values[ns + j]->end());
+      tgt_sets[j].insert(tgt->values[j].begin(), tgt->values[j].end());
       tgt_set_built[j] = true;
     }
     return tgt_sets[j];
@@ -170,7 +194,8 @@ Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
   // Signed weights for the final partition: surviving links positive,
   // everything else mildly repulsive so blocks stay clique-like.
   constexpr double kNonEdgePenalty = -0.25;
-  std::vector<std::vector<double>> weight(n, std::vector<double>(n, kNonEdgePenalty));
+  std::vector<std::vector<double>> weight(
+      n, std::vector<double>(n, kNonEdgePenalty));
   struct Link {
     size_t a;
     size_t b;
@@ -182,13 +207,13 @@ Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
     // of EMD computations (the phase-1/phase-2 sweep dominates runtime).
     VALENTINE_RETURN_NOT_OK(context.Check("distribution-based EMD sweep"));
     for (size_t j = 0; j < nt; ++j) {
-      double emd1 = EmdBetweenHistograms(*hists[i], *hists[ns + j]);
+      double emd1 = EmdBetweenHistograms(src->hists[i], tgt->hists[j]);
       if (emd1 > options_.phase1_threshold) continue;
 
       // --- Phase 2: intersection EMD under θ2. ---
       const std::unordered_set<std::string>& set_b = target_set(j);
       std::vector<std::string> inter;
-      for (const auto& v : *values[i]) {
+      for (const auto& v : src->values[i]) {
         if (set_b.count(v)) inter.push_back(v);
       }
       double emd2;
@@ -197,8 +222,8 @@ Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
       } else {
         QuantileHistogram hi =
             QuantileHistogram::Build(ValuesToPoints(inter), options_.num_bins);
-        emd2 = std::max(EmdBetweenHistograms(*hists[i], hi),
-                        EmdBetweenHistograms(*hists[ns + j], hi));
+        emd2 = std::max(EmdBetweenHistograms(src->hists[i], hi),
+                        EmdBetweenHistograms(tgt->hists[j], hi));
       }
       if (emd2 > options_.phase2_threshold) continue;
       double score = 1.0 / (1.0 + emd2);
@@ -214,8 +239,8 @@ Result<MatchResult> DistributionBasedMatcher::MatchWithContext(
   MatchResult result;
   for (const Link& link : links) {
     if (assign[link.a] != assign[link.b]) continue;
-    result.Add({source.name(), source.column(link.a).name()},
-               {target.name(), target.column(link.b - ns).name()},
+    result.Add({source_table.name(), source_table.column(link.a).name()},
+               {target_table.name(), target_table.column(link.b - ns).name()},
                link.score);
   }
   result.Sort();

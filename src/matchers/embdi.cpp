@@ -1,8 +1,9 @@
 #include "matchers/embdi.h"
 
 #include <algorithm>
-
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include "graph/digraph.h"
 #include "knowledge/cooc_embedding.h"
@@ -12,39 +13,86 @@ namespace valentine {
 
 namespace {
 
-/// Adds one table to the shared EmbDI graph. CID/RID tokens are
-/// namespaced by table; value tokens are shared across tables.
-void AddTableToGraph(const Table& table, const std::string& prefix,
-                     size_t max_rows, Digraph* g) {
-  size_t rows = table.num_rows();
-  if (max_rows > 0) rows = std::min(rows, max_rows);
+/// Per-table artifact: everything the joint-graph build reads from a
+/// table, in the order it reads it. Replaying a fragment into a Digraph
+/// reproduces the exact GetOrAddNode insertion order of the original
+/// single-pass build, so node ids — and therefore walks and training —
+/// are byte-identical to the monolithic path.
+struct EmbdiPrepared : PreparedTable {
+  using PreparedTable::PreparedTable;
+  std::vector<std::string> column_names;
+  /// One entry per sampled row: the non-null cells as
+  /// (column index, rendered value), in column order.
+  std::vector<std::vector<std::pair<size_t, std::string>>> rows;
+};
+
+/// Replays one table fragment into the shared EmbDI graph. CID/RID
+/// tokens are namespaced by table; value tokens are shared across
+/// tables. Mirrors the original AddTableToGraph loop structure exactly.
+void AddFragmentToGraph(const EmbdiPrepared& frag, const std::string& prefix,
+                        Digraph* g) {
   std::vector<NodeId> cids;
-  cids.reserve(table.num_columns());
-  for (const Column& c : table.columns()) {
-    cids.push_back(
-        g->GetOrAddNode("cid__" + prefix + "__" + c.name(), "cid"));
+  cids.reserve(frag.column_names.size());
+  for (const std::string& name : frag.column_names) {
+    cids.push_back(g->GetOrAddNode("cid__" + prefix + "__" + name, "cid"));
   }
-  for (size_t r = 0; r < rows; ++r) {
+  for (size_t r = 0; r < frag.rows.size(); ++r) {
     NodeId rid =
         g->GetOrAddNode("rid__" + prefix + "__" + std::to_string(r), "rid");
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      const Value& v = table.column(c)[r];
-      if (v.is_null()) continue;
-      NodeId val = g->GetOrAddNode("tt__" + v.AsString(), "value");
+    for (const auto& cell : frag.rows[r]) {
+      NodeId val = g->GetOrAddNode("tt__" + cell.second, "value");
       g->AddEdge(rid, val, "cell");
-      g->AddEdge(val, cids[c], "attr");
+      g->AddEdge(val, cids[cell.first], "attr");
     }
   }
 }
 
 }  // namespace
 
-Result<MatchResult> EmbdiMatcher::MatchWithContext(
-    const Table& source, const Table& target,
+std::string EmbdiMatcher::PrepareKey() const {
+  // Only the row cap shapes the fragment; trainer, dimensions, walks,
+  // and seed all act on the joint graph in Score.
+  return "rows=" + std::to_string(options_.max_rows);
+}
+
+Result<PreparedTablePtr> EmbdiMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
     const MatchContext& context) const {
+  (void)profile;  // raw row replay: value profiles hold capped distincts
+  VALENTINE_RETURN_NOT_OK(context.Check("embdi prepare"));
+  auto prepared =
+      std::make_shared<EmbdiPrepared>(&table, Name(), PrepareKey());
+  prepared->column_names.reserve(table.num_columns());
+  for (const Column& c : table.columns()) {
+    prepared->column_names.push_back(c.name());
+  }
+  size_t rows = table.num_rows();
+  if (options_.max_rows > 0) rows = std::min(rows, options_.max_rows);
+  prepared->rows.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& v = table.column(c)[r];
+      if (v.is_null()) continue;
+      prepared->rows[r].emplace_back(c, v.AsString());
+    }
+  }
+  return PreparedTablePtr(std::move(prepared));
+}
+
+Result<MatchResult> EmbdiMatcher::Score(const PreparedTable& source,
+                                        const PreparedTable& target,
+                                        const MatchContext& context) const {
+  const auto* src = dynamic_cast<const EmbdiPrepared*>(&source);
+  const auto* tgt = dynamic_cast<const EmbdiPrepared*>(&target);
+  if (src == nullptr || tgt == nullptr ||
+      src->prepare_key() != PrepareKey() ||
+      tgt->prepare_key() != PrepareKey()) {
+    return MatchWithContext(source.table(), target.table(), context);
+  }
+
   Digraph g;
-  AddTableToGraph(source, "A", options_.max_rows, &g);
-  AddTableToGraph(target, "B", options_.max_rows, &g);
+  AddFragmentToGraph(*src, "A", &g);
+  AddFragmentToGraph(*tgt, "B", &g);
 
   // --- Sentence generation via uniform random walks. ---
   Rng rng(options_.seed);
@@ -95,17 +143,19 @@ Result<MatchResult> EmbdiMatcher::MatchWithContext(
   }
 
   // --- Match CIDs across tables by cosine similarity. ---
+  const Table& source_table = src->table();
+  const Table& target_table = tgt->table();
   MatchResult result;
-  for (const Column& a : source.columns()) {
-    const Embedding* va = lookup("cid__A__" + a.name());
-    for (const Column& b : target.columns()) {
-      const Embedding* vb = lookup("cid__B__" + b.name());
+  for (const std::string& a : src->column_names) {
+    const Embedding* va = lookup("cid__A__" + a);
+    for (const std::string& b : tgt->column_names) {
+      const Embedding* vb = lookup("cid__B__" + b);
       double sim = 0.0;
       if (va != nullptr && vb != nullptr) {
         // Negative cosine means "unrelated", not "anti-related".
         sim = std::max(0.0, CosineSimilarity(*va, *vb));
       }
-      result.Add({source.name(), a.name()}, {target.name(), b.name()}, sim);
+      result.Add({source_table.name(), a}, {target_table.name(), b}, sim);
     }
   }
   result.Sort();

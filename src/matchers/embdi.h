@@ -51,8 +51,18 @@ class EmbdiMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kEmbeddings};
   }
-  [[nodiscard]] Result<MatchResult> MatchWithContext(
-      const Table& source, const Table& target,
+  /// Artifact: a prefix-free replay fragment (column names plus the
+  /// non-null cells of the sampled rows). The joint graph, walks, and
+  /// training are inherently pair-level, so they stay in Score; the
+  /// fragment exists so each table's rows are extracted once and the
+  /// replay reproduces the exact node-insertion order of the monolithic
+  /// build. Keyed on the row cap; every other option is score-stage.
+  std::string PrepareKey() const override;
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const override;
+  [[nodiscard]] Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
       const MatchContext& context) const override;
 
  private:

@@ -48,9 +48,54 @@ std::vector<MatchType> EnsembleMatcher::Capabilities() const {
   return caps;
 }
 
-Result<MatchResult> EnsembleMatcher::MatchWithContext(
-    const Table& source, const Table& target,
+namespace {
+
+/// Per-table artifact: each member's artifact for the same table, in
+/// member order. Built so an ensemble shares per-member prepare work
+/// across pairs exactly like its members would standalone.
+struct EnsemblePrepared : PreparedTable {
+  using PreparedTable::PreparedTable;
+  std::vector<PreparedTablePtr> members;
+};
+
+}  // namespace
+
+std::string EnsembleMatcher::PrepareKey() const {
+  // Fusion strategy and rrf_k are score-stage; the artifact depends on
+  // the member lineup and each member's own prepare-relevant options.
+  std::string key;
+  for (const auto& m : members_) {
+    key += m->Name() + "{" + m->PrepareKey() + "}";
+  }
+  return key;
+}
+
+Result<PreparedTablePtr> EnsembleMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
     const MatchContext& context) const {
+  auto prepared =
+      std::make_shared<EnsemblePrepared>(&table, Name(), PrepareKey());
+  prepared->members.reserve(members_.size());
+  for (const auto& member : members_) {
+    Result<PreparedTablePtr> artifact =
+        member->Prepare(table, profile, context);
+    VALENTINE_RETURN_NOT_OK(artifact.status());
+    prepared->members.push_back(std::move(*artifact));
+  }
+  return PreparedTablePtr(std::move(prepared));
+}
+
+Result<MatchResult> EnsembleMatcher::Score(const PreparedTable& source,
+                                           const PreparedTable& target,
+                                           const MatchContext& context) const {
+  const auto* src = dynamic_cast<const EnsemblePrepared*>(&source);
+  const auto* tgt = dynamic_cast<const EnsemblePrepared*>(&target);
+  if (src == nullptr || tgt == nullptr ||
+      src->prepare_key() != PrepareKey() ||
+      tgt->prepare_key() != PrepareKey()) {
+    return MatchWithContext(source.table(), target.table(), context);
+  }
+
   using PairKey = std::pair<std::string, std::string>;
   struct Fused {
     ColumnRef source_ref;
@@ -60,12 +105,12 @@ Result<MatchResult> EnsembleMatcher::MatchWithContext(
   };
   std::map<PairKey, Fused> fused;
 
-  for (const auto& member : members_) {
+  for (size_t mi = 0; mi < members_.size(); ++mi) {
     // Members inherit the shared budget: the first one to exceed it
     // fails the whole ensemble (a partial fusion would silently rank
     // from fewer voters).
-    Result<MatchResult> member_result =
-        member->Match(source, target, context);
+    Result<MatchResult> member_result = members_[mi]->Score(
+        *src->members[mi], *tgt->members[mi], context);
     if (!member_result.ok()) return member_result.status();
     MatchResult ranked = std::move(member_result).ValueOrDie();
     for (size_t rank = 0; rank < ranked.size(); ++rank) {

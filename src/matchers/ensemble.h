@@ -45,8 +45,15 @@ class EnsembleMatcher : public ColumnMatcher {
   std::string Name() const override;
   MatcherCategory Category() const override;
   std::vector<MatchType> Capabilities() const override;
-  [[nodiscard]] Result<MatchResult> MatchWithContext(
-      const Table& source, const Table& target,
+  /// Artifact: one member artifact per member, in member order. The key
+  /// concatenates every member's name and prepare key, so an ensemble
+  /// artifact is only served to an ensemble with the same member lineup.
+  std::string PrepareKey() const override;
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const override;
+  [[nodiscard]] Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
       const MatchContext& context) const override;
 
   size_t num_members() const { return members_.size(); }

@@ -1,6 +1,8 @@
 #include "matchers/jaccard_levenshtein.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "stats/column_profile.h"
 #include "text/string_similarity.h"
@@ -50,67 +52,95 @@ ColumnValues ExtractValues(const Table& t, const TableProfile* profile,
   return out;
 }
 
+/// Per-table artifact: owned capped distinct lists, plus MinHash
+/// sketches when the opt-in prune needs them.
+struct JlPrepared : PreparedTable {
+  using PreparedTable::PreparedTable;
+  std::vector<std::vector<std::string>> values;
+  std::vector<MinHashSignature> sigs;  ///< empty unless pruning
+};
+
 }  // namespace
 
-Result<MatchResult> JaccardLevenshteinMatcher::MatchWithContext(
-    const Table& source, const Table& target,
+std::string JaccardLevenshteinMatcher::PrepareKey() const {
+  // threshold / kernel / prune thresholds are score-stage; the artifact
+  // depends only on the value cap and on whether sketches are needed.
+  return "cap=" + std::to_string(options_.max_distinct_values) +
+         ";sketch=" + (options_.prune_below > 0.0 ? "1" : "0");
+}
+
+Result<PreparedTablePtr> JaccardLevenshteinMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
     const MatchContext& context) const {
-  ColumnValues src = ExtractValues(source, context.source_profile,
-                                   options_.max_distinct_values);
-  ColumnValues tgt = ExtractValues(target, context.target_profile,
-                                   options_.max_distinct_values);
+  VALENTINE_RETURN_NOT_OK(context.Check("jaccard-levenshtein prepare"));
+  auto prepared = std::make_shared<JlPrepared>(&table, Name(), PrepareKey());
+  const size_t n = table.num_columns();
+  ColumnValues vals =
+      ExtractValues(table, profile, options_.max_distinct_values);
+  prepared->values.resize(n);
+  for (size_t i = 0; i < n; ++i) prepared->values[i] = *vals.views[i];
 
   // MinHash sketches for the opt-in prune: reuse the profile sketch when
   // it was built over exactly our value set, else build from the lists
   // in hand. Either way the sketch is a pure function of the set, so
   // pruning decisions do not depend on whether a cache was attached.
-  const bool pruning = options_.prune_below > 0.0;
-  const size_t sketch_hashes = ProfileSpec().minhash_hashes;
-  std::vector<MinHashSignature> src_sigs, tgt_sigs;
-  if (pruning) {
-    auto sketch = [&](const Table& t, const TableProfile* profile,
-                      const ColumnValues& vals,
-                      std::vector<MinHashSignature>* sigs) {
-      const bool served = profile != nullptr && profile->Matches(t);
-      sigs->reserve(t.num_columns());
-      for (size_t i = 0; i < t.num_columns(); ++i) {
-        if (served) {
-          const ColumnProfile& p = profile->column(i);
-          if (p.CapsEquivalent(options_.max_distinct_values,
-                               profile->spec().set_cap) &&
-              p.minhash().size() == sketch_hashes) {
-            sigs->push_back(p.minhash());
-            continue;
-          }
+  if (options_.prune_below > 0.0) {
+    const size_t sketch_hashes = ProfileSpec().minhash_hashes;
+    const bool served = profile != nullptr && profile->Matches(table);
+    prepared->sigs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (served) {
+        const ColumnProfile& p = profile->column(i);
+        if (p.CapsEquivalent(options_.max_distinct_values,
+                             profile->spec().set_cap) &&
+            p.minhash().size() == sketch_hashes) {
+          prepared->sigs.push_back(p.minhash());
+          continue;
         }
-        std::unordered_set<std::string> set(vals.views[i]->begin(),
-                                            vals.views[i]->end());
-        sigs->push_back(MinHashSignature::Build(set, sketch_hashes));
       }
-    };
-    sketch(source, context.source_profile, src, &src_sigs);
-    sketch(target, context.target_profile, tgt, &tgt_sigs);
+      std::unordered_set<std::string> set(prepared->values[i].begin(),
+                                          prepared->values[i].end());
+      prepared->sigs.push_back(MinHashSignature::Build(set, sketch_hashes));
+    }
+  }
+  return PreparedTablePtr(std::move(prepared));
+}
+
+Result<MatchResult> JaccardLevenshteinMatcher::Score(
+    const PreparedTable& source, const PreparedTable& target,
+    const MatchContext& context) const {
+  const auto* src = dynamic_cast<const JlPrepared*>(&source);
+  const auto* tgt = dynamic_cast<const JlPrepared*>(&target);
+  if (src == nullptr || tgt == nullptr ||
+      src->prepare_key() != PrepareKey() ||
+      tgt->prepare_key() != PrepareKey()) {
+    // Foreign or stale artifact: re-prepare inline (the compose default)
+    // so cached and uncached paths stay byte-identical.
+    return MatchWithContext(source.table(), target.table(), context);
   }
 
+  const Table& source_table = src->table();
+  const Table& target_table = tgt->table();
+  const bool pruning = options_.prune_below > 0.0;
   MatchResult result;
-  for (size_t i = 0; i < source.num_columns(); ++i) {
+  for (size_t i = 0; i < src->values.size(); ++i) {
     // Each row of the matrix is a batch of fuzzy set intersections —
     // the quadratic hot loop — so the budget check lives here.
     VALENTINE_RETURN_NOT_OK(context.Check("fuzzy-jaccard column sweep"));
-    for (size_t j = 0; j < target.num_columns(); ++j) {
-      const std::vector<std::string>& a = *src.views[i];
-      const std::vector<std::string>& b = *tgt.views[j];
+    for (size_t j = 0; j < tgt->values.size(); ++j) {
+      const std::vector<std::string>& a = src->values[i];
+      const std::vector<std::string>& b = tgt->values[j];
       if (pruning && !a.empty() && !b.empty()) {
         // Exact bound: matched <= min(|A|,|B|), union >= max(|A|,|B|).
         double ratio = static_cast<double>(std::min(a.size(), b.size())) /
                        static_cast<double>(std::max(a.size(), b.size()));
         if (ratio < options_.prune_below) continue;
-        double est = src_sigs[i].EstimateJaccard(tgt_sigs[j]);
+        double est = src->sigs[i].EstimateJaccard(tgt->sigs[j]);
         if (est + options_.prune_slack < options_.prune_below) continue;
       }
       double sim = FuzzyJaccard(a, b, options_.threshold, options_.kernel);
-      result.Add({source.name(), source.column(i).name()},
-                 {target.name(), target.column(j).name()}, sim);
+      result.Add({source_table.name(), source_table.column(i).name()},
+                 {target_table.name(), target_table.column(j).name()}, sim);
     }
   }
   result.Sort();

@@ -51,8 +51,15 @@ class JaccardLevenshteinMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kValueOverlap};
   }
-  [[nodiscard]] Result<MatchResult> MatchWithContext(
-      const Table& source, const Table& target,
+  /// Artifact: capped distinct-value lists (+ MinHash sketches when the
+  /// opt-in prune is on). The threshold/kernel sweep shares one
+  /// artifact per table.
+  std::string PrepareKey() const override;
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const override;
+  [[nodiscard]] Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
       const MatchContext& context) const override;
 
  private:

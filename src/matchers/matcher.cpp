@@ -14,6 +14,39 @@ MatchResult ColumnMatcher::Match(const Table& source,
   return std::move(result).ValueOrDie();
 }
 
+Result<PreparedTablePtr> ColumnMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
+    const MatchContext& context) const {
+  (void)profile;  // the state-less default artifact has nothing to serve
+  VALENTINE_RETURN_NOT_OK(context.Check("prepare"));
+  return PreparedTablePtr(
+      std::make_shared<const PreparedTable>(&table, Name(), PrepareKey()));
+}
+
+Result<MatchResult> ColumnMatcher::Score(const PreparedTable& source,
+                                         const PreparedTable& target,
+                                         const MatchContext& context) const {
+  // Monolithic matchers (decorators, approximate matchers) have no
+  // separable prepare stage: scoring a prepared pair is just matching
+  // the underlying tables.
+  return MatchWithContext(source.table(), target.table(), context);
+}
+
+Result<MatchResult> ColumnMatcher::MatchWithContext(
+    const Table& source, const Table& target,
+    const MatchContext& context) const {
+  // Pipelined matchers match by composing their two stages. The
+  // context's profiles (when a ProfileCache supplied them) accelerate
+  // Prepare without changing its artifact.
+  Result<PreparedTablePtr> prepared_source =
+      Prepare(source, context.source_profile, context);
+  VALENTINE_RETURN_NOT_OK(prepared_source.status());
+  Result<PreparedTablePtr> prepared_target =
+      Prepare(target, context.target_profile, context);
+  VALENTINE_RETURN_NOT_OK(prepared_target.status());
+  return Score(**prepared_source, **prepared_target, context);
+}
+
 const char* MatchTypeName(MatchType type) {
   switch (type) {
     case MatchType::kAttributeOverlap: return "Attribute Overlap";

@@ -13,6 +13,7 @@
 #include "core/status.h"
 #include "core/table.h"
 #include "matchers/match_result.h"
+#include "matchers/prepared.h"
 
 namespace valentine {
 
@@ -52,6 +53,18 @@ const char* MatcherCategoryName(MatcherCategory category);
 /// memoized traversal, distribution-based EMD sweeps) check it at
 /// iteration boundaries and return kDeadlineExceeded / kCancelled
 /// instead of running unbounded.
+///
+/// Two-stage pipeline: matching factors into `Prepare(table) ->
+/// PreparedTable` (per-table, pair-independent) and `Score(prepared,
+/// prepared) -> MatchResult` (pair-dependent), with MatchWithContext as
+/// their composition. The three virtuals have mutually-recursive
+/// defaults — Prepare wraps the raw table, Score degrades to
+/// MatchWithContext, MatchWithContext composes Prepare+Score — so a
+/// subclass MUST override either MatchWithContext (monolithic matcher,
+/// e.g. a decorator) or Score (pipelined matcher; usually Prepare too).
+/// Overriding neither recurses forever. The seven paper families are
+/// pipelined; Prepare+Score must be byte-identical to MatchWithContext
+/// for any artifact built with the same PrepareKey().
 class ColumnMatcher {
  public:
   virtual ~ColumnMatcher() = default;
@@ -82,11 +95,43 @@ class ColumnMatcher {
     return MatchWithContext(source, target, context);
   }
 
-  /// The hook every method implements. Check `context` at iteration
-  /// boundaries of any loop whose trip count depends on the data.
+  /// Encodes the option subset that affects Prepare's artifact (value
+  /// caps, token/embedding dimensions, knowledge-base fingerprints —
+  /// not score-stage thresholds). Two matcher instances with equal
+  /// Name() and PrepareKey() build interchangeable artifacts, so a
+  /// config grid that only sweeps score parameters shares one artifact
+  /// per table. The empty default means "artifact depends on nothing
+  /// but the table".
+  virtual std::string PrepareKey() const { return ""; }
+
+  /// Stage 1: builds this family's immutable per-table artifact.
+  /// `profile` is an optional precomputed column profile for `table`
+  /// (from stats::ProfileCache); passing one must not change the
+  /// artifact's content, only the cost of building it (the PR 3 serving
+  /// contract). The default wraps the table in a state-less artifact,
+  /// which the default Score degrades to the monolithic path.
+  [[nodiscard]] virtual Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const;
+
+  /// Stage 2: scores a prepared pair. Implementations accept only
+  /// artifacts of their own dynamic type whose prepare_key() equals the
+  /// current PrepareKey(), and fall back to re-preparing inline from
+  /// `source.table()` / `target.table()` otherwise — a foreign or stale
+  /// artifact costs time, never bytes. The default delegates to
+  /// MatchWithContext on the underlying tables.
+  [[nodiscard]] virtual Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
+      const MatchContext& context) const;
+
+  /// The monolithic hook: ranked matches for a raw table pair. Check
+  /// `context` at iteration boundaries of any loop whose trip count
+  /// depends on the data. The default composes Prepare (with the
+  /// context's profiles) and Score; monolithic matchers override it
+  /// directly.
   [[nodiscard]] virtual Result<MatchResult> MatchWithContext(
       const Table& source, const Table& target,
-      const MatchContext& context) const = 0;
+      const MatchContext& context) const;
 };
 
 /// Convenience owning handle.

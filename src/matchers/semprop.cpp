@@ -1,6 +1,8 @@
 #include "matchers/semprop.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "stats/column_profile.h"
 #include "stats/minhash.h"
@@ -29,59 +31,49 @@ std::pair<size_t, double> SemPropMatcher::LinkToOntology(
   return {best_class, best_sim};
 }
 
-Result<MatchResult> SemPropMatcher::MatchWithContext(
-    const Table& source, const Table& target,
+namespace {
+
+/// Per-table artifact: the expensive embedding-based ontology links and
+/// the MinHash signatures. Coherence is recomputed from the links at
+/// score time (it is a cheap fold over one vector).
+struct SemPropPrepared : PreparedTable {
+  using PreparedTable::PreparedTable;
+  std::vector<std::pair<size_t, double>> links;
+  std::vector<MinHashSignature> sigs;
+};
+
+}  // namespace
+
+std::string SemPropMatcher::PrepareKey() const {
+  // Links depend on the ontology content, the embedder dimension (seed
+  // is fixed), and the semantic threshold; signatures depend on the
+  // value cap and permutation count. The remaining options are
+  // score-stage.
+  return "ont=" +
+         (ontology_ != nullptr ? std::to_string(ontology_->Fingerprint())
+                               : "none") +
+         ";dim=" + std::to_string(options_.embedding_dim) +
+         ";sem=" + std::to_string(options_.semantic_threshold) +
+         ";cap=" + std::to_string(options_.max_values) +
+         ";hashes=" + std::to_string(options_.minhash_hashes);
+}
+
+Result<PreparedTablePtr> SemPropMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
     const MatchContext& context) const {
-  constexpr size_t kNoLink = static_cast<size_t>(-1);
-  const size_t ns = source.num_columns();
-  const size_t nt = target.num_columns();
+  auto prepared =
+      std::make_shared<SemPropPrepared>(&table, Name(), PrepareKey());
+  const size_t n = table.num_columns();
 
   // --- Semantic stage: link every column name to an ontology class. ---
-  std::vector<std::pair<size_t, double>> src_links(ns, {kNoLink, 0.0});
-  std::vector<std::pair<size_t, double>> tgt_links(nt, {kNoLink, 0.0});
-  for (size_t i = 0; i < ns; ++i) {
+  constexpr size_t kNoLink = static_cast<size_t>(-1);
+  prepared->links.assign(n, {kNoLink, 0.0});
+  for (size_t i = 0; i < n; ++i) {
     VALENTINE_RETURN_NOT_OK(context.Check("semprop ontology linking"));
-    src_links[i] = LinkToOntology(source.column(i).name());
-  }
-  for (size_t j = 0; j < nt; ++j) {
-    VALENTINE_RETURN_NOT_OK(context.Check("semprop ontology linking"));
-    tgt_links[j] = LinkToOntology(target.column(j).name());
+    prepared->links[i] = LinkToOntology(table.column(i).name());
   }
 
-  // Coherent-group score per table: the fraction of linked columns.
-  // A table whose links are scattered/absent gets its semantic matches
-  // suppressed (below the coherence threshold the links are untrusted).
-  auto coherence = [&](const std::vector<std::pair<size_t, double>>& links) {
-    if (links.empty()) return 0.0;
-    size_t linked = 0;
-    for (const auto& [cls, sim] : links) {
-      if (cls != kNoLink) ++linked;
-    }
-    return static_cast<double>(linked) / static_cast<double>(links.size());
-  };
-  bool coherent = coherence(src_links) >= options_.coherent_group_threshold &&
-                  coherence(tgt_links) >= options_.coherent_group_threshold;
-
-  std::vector<std::vector<double>> sem_score(ns, std::vector<double>(nt, 0.0));
-  if (coherent && ontology_ != nullptr) {
-    for (size_t i = 0; i < ns; ++i) {
-      if (src_links[i].first == kNoLink) continue;
-      for (size_t j = 0; j < nt; ++j) {
-        if (tgt_links[j].first == kNoLink) continue;
-        auto dist = ontology_->HierarchyDistance(src_links[i].first,
-                                                 tgt_links[j].first);
-        if (!dist || *dist > options_.max_class_distance) continue;
-        double link_strength =
-            0.5 * (src_links[i].second + tgt_links[j].second);
-        // Nearby-but-not-identical classes relate more weakly.
-        double decay = 1.0 / (1.0 + static_cast<double>(*dist));
-        sem_score[i][j] = link_strength * decay;
-      }
-    }
-  }
-
-  // --- Syntactic stage for pairs the semantic matcher did not relate:
-  // MinHash-estimated Jaccard over value sets. ---
+  // --- Syntactic stage inputs: MinHash signatures over value sets. ---
   auto capped_set = [&](const Column& c) {
     // Cap in first-seen row order, never by iterating the unordered set:
     // hash order would make the kept subset — and the MinHash Jaccard
@@ -96,41 +88,87 @@ Result<MatchResult> SemPropMatcher::MatchWithContext(
   // value set with the same number of permutations (MinHash is a pure
   // function of the set, so a served signature is bit-identical to one
   // built here); otherwise they are built inline as before.
-  auto signatures = [&](const Table& t, const TableProfile* tp) {
-    std::vector<MinHashSignature> sigs;
-    sigs.reserve(t.num_columns());
-    const bool served = tp != nullptr && tp->Matches(t) &&
-                        tp->spec().minhash_hashes == options_.minhash_hashes;
-    for (size_t i = 0; i < t.num_columns(); ++i) {
-      if (served && tp->column(i).CapsEquivalent(options_.max_values,
-                                                 tp->spec().set_cap)) {
-        sigs.push_back(tp->column(i).minhash());
-      } else {
-        sigs.push_back(MinHashSignature::Build(capped_set(t.column(i)),
-                                               options_.minhash_hashes));
+  const bool served = profile != nullptr && profile->Matches(table) &&
+                      profile->spec().minhash_hashes ==
+                          options_.minhash_hashes;
+  prepared->sigs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (served && profile->column(i).CapsEquivalent(options_.max_values,
+                                                    profile->spec().set_cap)) {
+      prepared->sigs.push_back(profile->column(i).minhash());
+    } else {
+      prepared->sigs.push_back(MinHashSignature::Build(
+          capped_set(table.column(i)), options_.minhash_hashes));
+    }
+  }
+  return PreparedTablePtr(std::move(prepared));
+}
+
+Result<MatchResult> SemPropMatcher::Score(const PreparedTable& source,
+                                          const PreparedTable& target,
+                                          const MatchContext& context) const {
+  const auto* src = dynamic_cast<const SemPropPrepared*>(&source);
+  const auto* tgt = dynamic_cast<const SemPropPrepared*>(&target);
+  if (src == nullptr || tgt == nullptr ||
+      src->prepare_key() != PrepareKey() ||
+      tgt->prepare_key() != PrepareKey()) {
+    return MatchWithContext(source.table(), target.table(), context);
+  }
+  VALENTINE_RETURN_NOT_OK(context.Check("semprop score"));
+
+  constexpr size_t kNoLink = static_cast<size_t>(-1);
+  const Table& source_table = src->table();
+  const Table& target_table = tgt->table();
+  const size_t ns = src->links.size();
+  const size_t nt = tgt->links.size();
+
+  // Coherent-group score per table: the fraction of linked columns.
+  // A table whose links are scattered/absent gets its semantic matches
+  // suppressed (below the coherence threshold the links are untrusted).
+  auto coherence = [&](const std::vector<std::pair<size_t, double>>& links) {
+    if (links.empty()) return 0.0;
+    size_t linked = 0;
+    for (const auto& [cls, sim] : links) {
+      if (cls != kNoLink) ++linked;
+    }
+    return static_cast<double>(linked) / static_cast<double>(links.size());
+  };
+  bool coherent = coherence(src->links) >= options_.coherent_group_threshold &&
+                  coherence(tgt->links) >= options_.coherent_group_threshold;
+
+  std::vector<std::vector<double>> sem_score(ns, std::vector<double>(nt, 0.0));
+  if (coherent && ontology_ != nullptr) {
+    for (size_t i = 0; i < ns; ++i) {
+      if (src->links[i].first == kNoLink) continue;
+      for (size_t j = 0; j < nt; ++j) {
+        if (tgt->links[j].first == kNoLink) continue;
+        auto dist = ontology_->HierarchyDistance(src->links[i].first,
+                                                 tgt->links[j].first);
+        if (!dist || *dist > options_.max_class_distance) continue;
+        double link_strength =
+            0.5 * (src->links[i].second + tgt->links[j].second);
+        // Nearby-but-not-identical classes relate more weakly.
+        double decay = 1.0 / (1.0 + static_cast<double>(*dist));
+        sem_score[i][j] = link_strength * decay;
       }
     }
-    return sigs;
-  };
-  std::vector<MinHashSignature> src_sigs =
-      signatures(source, context.source_profile);
-  std::vector<MinHashSignature> tgt_sigs =
-      signatures(target, context.target_profile);
+  }
 
   MatchResult result;
   for (size_t i = 0; i < ns; ++i) {
     for (size_t j = 0; j < nt; ++j) {
       double score = sem_score[i][j];
       if (score <= 0.0) {
-        double jac = src_sigs[i].EstimateJaccard(tgt_sigs[j]);
+        double jac = src->sigs[i].EstimateJaccard(tgt->sigs[j]);
         if (jac >= options_.minhash_threshold) {
           // Syntactic matches rank below semantic ones, as in Aurum.
           score = 0.5 * jac;
         }
       }
       if (score > 0.0) {
-        result.Add({source.name(), source.column(i).name()},
-                   {target.name(), target.column(j).name()}, score);
+        result.Add({source_table.name(), source_table.column(i).name()},
+                   {target_table.name(), target_table.column(j).name()},
+                   score);
       }
     }
   }

@@ -54,8 +54,15 @@ class SemPropMatcher : public ColumnMatcher {
     return {MatchType::kAttributeOverlap, MatchType::kValueOverlap,
             MatchType::kEmbeddings};
   }
-  [[nodiscard]] Result<MatchResult> MatchWithContext(
-      const Table& source, const Table& target,
+  /// Artifact: per-column ontology links (the expensive embedding
+  /// sweep) and MinHash signatures. Keyed on the ontology fingerprint —
+  /// links are a function of the knowledge base, not just the table.
+  std::string PrepareKey() const override;
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const override;
+  [[nodiscard]] Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
       const MatchContext& context) const override;
 
   /// Best ontology class link for a name: (class index, cosine), or

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "graph/digraph.h"
 #include "text/string_similarity.h"
@@ -39,13 +41,45 @@ double InitialSimilarity(const Digraph& a, NodeId na, const Digraph& b,
   return LevenshteinSimilarity(ToLower(a.name(na)), ToLower(b.name(nb)));
 }
 
+/// Per-table artifact: the schema digraph (a value type, so the
+/// artifact owns its copy outright).
+struct SfPrepared : PreparedTable {
+  using PreparedTable::PreparedTable;
+  Digraph graph;
+};
+
 }  // namespace
 
-Result<MatchResult> SimilarityFloodingMatcher::MatchWithContext(
-    const Table& source, const Table& target,
+std::string SimilarityFloodingMatcher::PrepareKey() const {
+  // The schema graph depends only on the table; every option is
+  // score-stage.
+  return "";
+}
+
+Result<PreparedTablePtr> SimilarityFloodingMatcher::Prepare(
+    const Table& table, const TableProfile* profile,
     const MatchContext& context) const {
-  Digraph ga = BuildSchemaGraph(source);
-  Digraph gb = BuildSchemaGraph(target);
+  (void)profile;  // schema-only: nothing a value profile could serve
+  VALENTINE_RETURN_NOT_OK(context.Check("similarity-flooding prepare"));
+  auto prepared = std::make_shared<SfPrepared>(&table, Name(), PrepareKey());
+  prepared->graph = BuildSchemaGraph(table);
+  return PreparedTablePtr(std::move(prepared));
+}
+
+Result<MatchResult> SimilarityFloodingMatcher::Score(
+    const PreparedTable& source, const PreparedTable& target,
+    const MatchContext& context) const {
+  const auto* src = dynamic_cast<const SfPrepared*>(&source);
+  const auto* tgt = dynamic_cast<const SfPrepared*>(&target);
+  if (src == nullptr || tgt == nullptr ||
+      src->prepare_key() != PrepareKey() ||
+      tgt->prepare_key() != PrepareKey()) {
+    return MatchWithContext(source.table(), target.table(), context);
+  }
+  const Table& source_table = src->table();
+  const Table& target_table = tgt->table();
+  const Digraph& ga = src->graph;
+  const Digraph& gb = tgt->graph;
   const size_t na = ga.num_nodes();
   const size_t nb = gb.num_nodes();
   const size_t n_pairs = na * nb;
@@ -152,8 +186,8 @@ Result<MatchResult> SimilarityFloodingMatcher::MatchWithContext(
 
   MatchResult result;
   auto add_pair = [&](size_t si, size_t tj) {
-    result.Add({source.name(), ga.name(src_cols[si])},
-               {target.name(), gb.name(tgt_cols[tj])}, sim_of(si, tj));
+    result.Add({source_table.name(), ga.name(src_cols[si])},
+               {target_table.name(), gb.name(tgt_cols[tj])}, sim_of(si, tj));
   };
 
   switch (options_.filter) {

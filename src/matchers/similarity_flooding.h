@@ -56,8 +56,14 @@ class SimilarityFloodingMatcher : public ColumnMatcher {
   std::vector<MatchType> Capabilities() const override {
     return {MatchType::kAttributeOverlap, MatchType::kDataType};
   }
-  [[nodiscard]] Result<MatchResult> MatchWithContext(
-      const Table& source, const Table& target,
+  /// Artifact: the per-table schema digraph. Formula, filter, and
+  /// fixpoint controls are all score-stage, so the key is constant.
+  std::string PrepareKey() const override;
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table& table, const TableProfile* profile,
+      const MatchContext& context) const override;
+  [[nodiscard]] Result<MatchResult> Score(
+      const PreparedTable& source, const PreparedTable& target,
       const MatchContext& context) const override;
 
  private:

@@ -48,6 +48,9 @@ std::string CanonicalCampaignJson(CampaignReport report) {
     family.avg_runtime_ms = 0.0;
     for (auto& outcome : family.outcomes) outcome.total_ms = 0.0;
   }
+  // Replayed triples skip Prepare entirely, so cache counters differ
+  // between a resumed and an uninterrupted campaign by design.
+  report.artifact_cache_stats.clear();
   return ToJson(report);
 }
 

@@ -174,6 +174,9 @@ std::string CanonicalCampaignJson(CampaignReport report) {
     family.avg_runtime_ms = 0.0;
     for (auto& outcome : family.outcomes) outcome.total_ms = 0.0;
   }
+  // Replayed triples never reach Prepare, so artifact-cache counters
+  // legitimately differ between fresh and resumed campaigns.
+  report.artifact_cache_stats.clear();
   return ToJson(report);
 }
 

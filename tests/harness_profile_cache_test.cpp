@@ -26,12 +26,16 @@ std::string CanonicalJson(std::vector<FamilyPairOutcome> outcomes) {
   return ToJson(outcomes);
 }
 
-// Wall-clock fields legitimately vary; everything else must not.
+// Wall-clock fields legitimately vary; everything else must not. The
+// artifact-cache hit/miss split depends on thread interleaving (two
+// threads can race to the same miss), so it is diagnostics, not part of
+// the byte-identity contract.
 std::string CanonicalJson(CampaignReport report) {
   for (auto& fr : report.families) {
     fr.avg_runtime_ms = 0.0;
     for (auto& o : fr.outcomes) o.total_ms = 0.0;
   }
+  report.artifact_cache_stats.clear();
   return ToJson(report);
 }
 
@@ -111,6 +115,18 @@ TEST_P(ProfileCacheFamilyTest, CachedRunMatchesUncachedBytes) {
   EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
             uncached)
       << family_name << " diverged on a warm cache";
+
+  // Prepared-artifact fast path: profile cache + artifact cache stacked
+  // must still match the monolithic bytes, cold and warm.
+  ArtifactCache artifacts;
+  run.artifacts = &artifacts;
+  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
+            uncached)
+      << family_name << " diverged when scored from cached artifacts";
+  EXPECT_GT(artifacts.size(), 0u) << "artifact cache was never consulted";
+  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
+            uncached)
+      << family_name << " diverged on warm artifacts";
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -133,25 +149,30 @@ TEST(ProfileCacheCampaignTest, ReportInvariantUnderCacheAndGranularity) {
   CampaignOptions baseline;
   baseline.num_threads = 1;
   baseline.use_profile_cache = false;
+  baseline.use_artifact_cache = false;
   baseline.granularity = ParallelGranularity::kPair;
   const std::string expected =
       CanonicalJson(RunCampaignOnSuite(SharedSuite(), families, baseline));
 
   for (bool use_cache : {false, true}) {
-    for (ParallelGranularity granularity :
-         {ParallelGranularity::kPair, ParallelGranularity::kConfig}) {
-      for (size_t threads : {size_t{1}, size_t{2}, size_t{0}}) {
-        CampaignOptions options;
-        options.num_threads = threads;
-        options.use_profile_cache = use_cache;
-        options.granularity = granularity;
-        EXPECT_EQ(CanonicalJson(
-                      RunCampaignOnSuite(SharedSuite(), families, options)),
-                  expected)
-            << "cache=" << use_cache << " granularity="
-            << (granularity == ParallelGranularity::kConfig ? "config"
-                                                            : "pair")
-            << " threads=" << threads;
+    for (bool use_artifacts : {false, true}) {
+      for (ParallelGranularity granularity :
+           {ParallelGranularity::kPair, ParallelGranularity::kConfig}) {
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{0}}) {
+          CampaignOptions options;
+          options.num_threads = threads;
+          options.use_profile_cache = use_cache;
+          options.use_artifact_cache = use_artifacts;
+          options.granularity = granularity;
+          EXPECT_EQ(CanonicalJson(
+                        RunCampaignOnSuite(SharedSuite(), families, options)),
+                    expected)
+              << "cache=" << use_cache << " artifacts=" << use_artifacts
+              << " granularity="
+              << (granularity == ParallelGranularity::kConfig ? "config"
+                                                              : "pair")
+              << " threads=" << threads;
+        }
       }
     }
   }
@@ -180,6 +201,36 @@ TEST(ProfileCacheCampaignTest, MismatchedSpecFallsBackToInline) {
   EXPECT_EQ(CanonicalJson(
                 RunCampaignOnSuite(SharedSuite(), families, mismatched)),
             expected);
+}
+
+// The per-family artifact-cache counters ride along with the campaign
+// report (diagnostics, not part of the byte-identity contract): present
+// and exported when the cache is on, empty when it is off.
+TEST(ProfileCacheCampaignTest, ArtifactCacheStatsExported) {
+  std::vector<MethodFamily> families = {MakeFamily("JaccardLevenshtein"),
+                                        MakeFamily("Distribution")};
+
+  CampaignOptions options;
+  options.num_threads = 1;
+  CampaignReport report = RunCampaignOnSuite(SharedSuite(), families, options);
+  ASSERT_EQ(report.artifact_cache_stats.size(), families.size());
+  for (const ArtifactCacheStats& s : report.artifact_cache_stats) {
+    // Each table is prepared once per family (miss+build), then every
+    // further configuration of the grid is served from the cache.
+    EXPECT_GT(s.misses, 0u) << s.family;
+    EXPECT_EQ(s.builds, s.misses) << s.family;
+    EXPECT_GT(s.hits, 0u) << s.family;
+  }
+  const std::string json = ToJson(report);
+  EXPECT_NE(json.find("\"artifact_cache\":[{\"family\":"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":"), std::string::npos);
+
+  CampaignOptions cache_off;
+  cache_off.num_threads = 1;
+  cache_off.use_artifact_cache = false;
+  CampaignReport off = RunCampaignOnSuite(SharedSuite(), families, cache_off);
+  EXPECT_TRUE(off.artifact_cache_stats.empty());
+  EXPECT_NE(ToJson(off).find("\"artifact_cache\":[]"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,289 @@
+// Byte-identity contract of the two-stage matcher pipeline (matcher.h):
+// for every family and every grid configuration, Prepare(src) +
+// Prepare(tgt) + Score must produce the same serialized MatchResult as
+// the monolithic Match — and Score must degrade gracefully (identical
+// bytes, by re-preparing inline) when handed foreign or stale artifacts.
+// Also covers the ArtifactCache: build-once semantics, value keying,
+// failure propagation, stats counters, and concurrent GetOrPrepare
+// (tsan-labeled).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/tpcdi.h"
+#include "fabrication/fabricator.h"
+#include "harness/json_export.h"
+#include "harness/param_grid.h"
+#include "matchers/artifact_cache.h"
+#include "matchers/ensemble.h"
+#include "matchers/jaccard_levenshtein.h"
+#include "matchers/matcher.h"
+#include "matchers/similarity_flooding.h"
+
+namespace valentine {
+namespace {
+
+Ontology TestOntology() {
+  Ontology o;
+  size_t root = o.AddClass("root", {"entity"});
+  o.AddSubclass(root, "person", {"person", "customer", "prospect"});
+  o.AddSubclass(root, "address", {"address", "city", "country"});
+  return o;
+}
+
+/// One fabricated pair shared by every test: realistic column overlap
+/// plus schema noise, so instance- and schema-based families both have
+/// signal to disagree on if the pipeline were subtly wrong.
+const DatasetPair& SharedPair() {
+  static const DatasetPair kPair = [] {
+    Table original = MakeTpcdiProspect(40, 123);
+    FabricationOptions fab;
+    fab.scenario = Scenario::kViewUnionable;
+    fab.column_overlap = 0.5;
+    fab.noisy_schema = true;
+    fab.seed = 7;
+    return FabricateDatasetPair(original, fab).ValueOrDie();
+  }();
+  return kPair;
+}
+
+MethodFamily Truncate(MethodFamily family, size_t n) {
+  if (family.grid.size() > n) family.grid.resize(n);
+  return family;
+}
+
+std::vector<MethodFamily> AllTestFamilies() {
+  static const Ontology kOntology = TestOntology();
+  std::vector<MethodFamily> families;
+  families.push_back(Truncate(CupidFamily(), 3));
+  families.push_back(SimilarityFloodingFamily());
+  families.push_back(ComaFamily());
+  families.push_back(Truncate(DistributionFamily1(), 3));
+  families.push_back(Truncate(SemPropFamily(&kOntology), 3));
+  families.push_back(EmbdiFamily());
+  families.push_back(Truncate(JaccardLevenshteinFamily(), 3));
+  MethodFamily ensemble{"Ensemble", {}};
+  ensemble.grid.push_back({"default", MakeDefaultEnsemble()});
+  families.push_back(std::move(ensemble));
+  return families;
+}
+
+class PrepareScoreFamilyTest : public ::testing::TestWithParam<size_t> {};
+
+// Prepare + Score == Match, bit for bit, for every configuration.
+TEST_P(PrepareScoreFamilyTest, PipelineMatchesMonolithicBytes) {
+  const MethodFamily family = AllTestFamilies()[GetParam()];
+  const DatasetPair& pair = SharedPair();
+  for (const ConfiguredMatcher& cm : family.grid) {
+    const ColumnMatcher& m = *cm.matcher;
+    const std::string expected = ToJson(m.Match(pair.source, pair.target));
+
+    MatchContext context;
+    Result<PreparedTablePtr> ps = m.Prepare(pair.source, nullptr, context);
+    Result<PreparedTablePtr> pt = m.Prepare(pair.target, nullptr, context);
+    ASSERT_TRUE(ps.ok()) << family.name << " " << cm.description;
+    ASSERT_TRUE(pt.ok()) << family.name << " " << cm.description;
+    Result<MatchResult> scored = m.Score(**ps, **pt, context);
+    ASSERT_TRUE(scored.ok()) << family.name << " " << cm.description;
+    EXPECT_EQ(ToJson(*scored), expected)
+        << family.name << " " << cm.description
+        << " diverged on the prepared fast path";
+
+    // Artifacts are reusable: scoring again must not consume state.
+    Result<MatchResult> again = m.Score(**ps, **pt, context);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(ToJson(*again), expected)
+        << family.name << " " << cm.description
+        << " diverged on artifact reuse";
+  }
+}
+
+// A foreign artifact (wrong dynamic type / wrong prepare key) must cost
+// time, never bytes: Score re-prepares inline and matches Match.
+TEST_P(PrepareScoreFamilyTest, ForeignArtifactFallsBackToIdenticalBytes) {
+  const MethodFamily family = AllTestFamilies()[GetParam()];
+  const DatasetPair& pair = SharedPair();
+  const ColumnMatcher& m = *family.grid[0].matcher;
+  const std::string expected = ToJson(m.Match(pair.source, pair.target));
+
+  // Base-class artifacts: right tables, wrong dynamic type.
+  auto foreign_src = std::make_shared<const PreparedTable>(
+      &pair.source, "Foreign", "not-a-real-key");
+  auto foreign_tgt = std::make_shared<const PreparedTable>(
+      &pair.target, "Foreign", "not-a-real-key");
+  MatchContext context;
+  Result<MatchResult> scored = m.Score(*foreign_src, *foreign_tgt, context);
+  ASSERT_TRUE(scored.ok()) << family.name;
+  EXPECT_EQ(ToJson(*scored), expected)
+      << family.name << " changed bytes on a foreign artifact";
+
+  // Mixed: one genuine artifact, one foreign — still a clean fallback.
+  Result<PreparedTablePtr> genuine = m.Prepare(pair.source, nullptr, context);
+  ASSERT_TRUE(genuine.ok());
+  Result<MatchResult> mixed = m.Score(**genuine, *foreign_tgt, context);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(ToJson(*mixed), expected)
+      << family.name << " changed bytes on a mixed artifact pair";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, PrepareScoreFamilyTest,
+    ::testing::Range<size_t>(0, 8),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = AllTestFamilies()[info.param].name;
+      // Family names can carry non-identifier characters ("Dist#1").
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- ArtifactCache unit coverage. ---
+
+TEST(ArtifactCacheTest, BuildOnceThenServe) {
+  Table table = MakeTpcdiProspect(25, 5);
+  JaccardLevenshteinMatcher matcher;
+  ArtifactCache cache;
+  MatchContext context;
+
+  PreparedTablePtr first =
+      cache.GetOrPrepare(matcher, table, nullptr, context);
+  ASSERT_NE(first, nullptr);
+  PreparedTablePtr second =
+      cache.GetOrPrepare(matcher, table, nullptr, context);
+  EXPECT_EQ(first.get(), second.get()) << "second lookup rebuilt";
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto stats = cache.StatsSnapshot();
+  ASSERT_EQ(stats.count(matcher.Name()), 1u);
+  EXPECT_EQ(stats[matcher.Name()].hits, 1u);
+  EXPECT_EQ(stats[matcher.Name()].misses, 1u);
+  EXPECT_EQ(stats[matcher.Name()].builds, 1u);
+}
+
+TEST(ArtifactCacheTest, ValueKeyingServesTableCopies) {
+  // Same content at a different address must hit (value keys, not the
+  // pointer keys ProfileCache uses).
+  Table original = MakeTpcdiProspect(25, 5);
+  Table copy = original;
+  JaccardLevenshteinMatcher matcher;
+  ArtifactCache cache;
+  MatchContext context;
+
+  PreparedTablePtr a = cache.GetOrPrepare(matcher, original, nullptr, context);
+  PreparedTablePtr b = cache.GetOrPrepare(matcher, copy, nullptr, context);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same content, different name: distinct entry.
+  Table renamed = original;
+  renamed.set_name("renamed");
+  PreparedTablePtr c = cache.GetOrPrepare(matcher, renamed, nullptr, context);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(c.get(), a.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ArtifactCacheTest, PrepareKeyAndFamilySeparateEntries) {
+  Table table = MakeTpcdiProspect(25, 5);
+  JaccardLevenshteinOptions small;
+  small.max_distinct_values = 10;
+  JaccardLevenshteinOptions large;
+  large.max_distinct_values = 500;
+  JaccardLevenshteinMatcher jl_small(small);
+  JaccardLevenshteinMatcher jl_large(large);
+  ArtifactCache cache;
+  MatchContext context;
+
+  PreparedTablePtr a = cache.GetOrPrepare(jl_small, table, nullptr, context);
+  PreparedTablePtr b = cache.GetOrPrepare(jl_large, table, nullptr, context);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get()) << "different prepare keys shared an entry";
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Same table, another family: a third entry under its own stats row.
+  SimilarityFloodingMatcher sf;
+  PreparedTablePtr c = cache.GetOrPrepare(sf, table, nullptr, context);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+  auto stats = cache.StatsSnapshot();
+  EXPECT_EQ(stats.count("JaccardLevenshtein"), 1u);
+  EXPECT_EQ(stats.count("SimilarityFlooding"), 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.StatsSnapshot().empty());
+}
+
+/// Matcher whose Prepare always fails: exercises the nullptr contract.
+class FailingPrepareMatcher : public ColumnMatcher {
+ public:
+  std::string Name() const override { return "FailingPrepare"; }
+  MatcherCategory Category() const override {
+    return MatcherCategory::kSchemaBased;
+  }
+  std::vector<MatchType> Capabilities() const override { return {}; }
+  [[nodiscard]] Result<PreparedTablePtr> Prepare(
+      const Table&, const TableProfile*, const MatchContext&) const override {
+    return Status::Internal("prepare always fails");
+  }
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table&, const Table&, const MatchContext&) const override {
+    return MatchResult();
+  }
+};
+
+TEST(ArtifactCacheTest, FailedPrepareReturnsNullAndIsNotCached) {
+  Table table = MakeTpcdiProspect(25, 5);
+  FailingPrepareMatcher matcher;
+  ArtifactCache cache;
+  MatchContext context;
+
+  EXPECT_EQ(cache.GetOrPrepare(matcher, table, nullptr, context), nullptr);
+  EXPECT_EQ(cache.GetOrPrepare(matcher, table, nullptr, context), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  auto stats = cache.StatsSnapshot();
+  EXPECT_EQ(stats["FailingPrepare"].misses, 2u);
+  EXPECT_EQ(stats["FailingPrepare"].builds, 2u);
+  EXPECT_EQ(stats["FailingPrepare"].hits, 0u);
+}
+
+// Concurrent GetOrPrepare over shared keys: every caller lands on one
+// artifact per key and scoring from it matches the sequential bytes.
+// Runs under TSan via the tsan ctest label.
+TEST(ArtifactCacheTest, ConcurrentGetOrPrepareIsSafeAndDeterministic) {
+  const DatasetPair& pair = SharedPair();
+  JaccardLevenshteinMatcher matcher;
+  const std::string expected = ToJson(matcher.Match(pair.source, pair.target));
+
+  ArtifactCache cache;
+  constexpr size_t kThreads = 8;
+  std::vector<std::string> jsons(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MatchContext context;
+      PreparedTablePtr ps =
+          cache.GetOrPrepare(matcher, pair.source, nullptr, context);
+      PreparedTablePtr pt =
+          cache.GetOrPrepare(matcher, pair.target, nullptr, context);
+      if (ps == nullptr || pt == nullptr) return;  // leaves jsons[t] empty
+      Result<MatchResult> scored = matcher.Score(*ps, *pt, context);
+      if (scored.ok()) jsons[t] = ToJson(*scored);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.size(), 2u);
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(jsons[t], expected) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace valentine

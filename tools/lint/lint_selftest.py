@@ -56,11 +56,33 @@ def main() -> int:
     expect("flagged-under-stats",
            ["--pretend-rel", "src/stats/some_stat.cpp", fixture],
            1, "unordered-iteration")
+    expect("flagged-under-discovery",
+           ["--pretend-rel", "src/discovery/engine_helper.cpp", fixture],
+           1, "unordered-iteration")
+    expect("flagged-under-knowledge",
+           ["--pretend-rel", "src/knowledge/thesaurus_helper.cpp", fixture],
+           1, "unordered-iteration")
 
     # Outside the order-sensitive scope the same code is legal (hash
     # order feeding a set/count is fine; the rule targets ranked paths).
     expect("ignored-outside-scope",
            ["--pretend-rel", "src/harness/report_helper.cpp", fixture], 0)
+
+    # Pointer-keyed caches are rejected in src/ library code; the one
+    # lint:allow'd line in the fixture must not count, hence exactly 3.
+    pointer_fixture = str(TESTDATA / "pointer_keyed_cache.cpp")
+    expect("pointer-cache-key-flagged",
+           ["--pretend-rel", "src/harness/prepared_registry.cpp",
+            pointer_fixture],
+           1, "pointer-cache-key")
+    expect("pointer-cache-key-allow-respected",
+           ["--pretend-rel", "src/harness/prepared_registry.cpp",
+            pointer_fixture],
+           1, "3 violation(s)")
+    # ...but the sanctioned stats::ProfileCache location is exempt.
+    expect("pointer-cache-key-profile-cache-exempt",
+           ["--pretend-rel", "src/stats/column_profile.cpp",
+            pointer_fixture], 0)
 
     # Fixtures never leak into a default tree scan: the real tree must
     # still lint clean with the deliberately bad file present.
@@ -74,7 +96,7 @@ def main() -> int:
         for f in FAILURES:
             print(f"lint_selftest FAIL {f}", file=sys.stderr)
         return 1
-    print("lint_selftest: OK (6 cases)")
+    print("lint_selftest: OK (11 cases)")
     return 0
 
 

@@ -12,10 +12,10 @@ machine-checks the repo-wide invariants that protect it:
                         All randomness must flow through the seeded Rng.
   unordered-iteration   Iteration over std::unordered_map/unordered_set
                         in ranked-output / serialization paths
-                        (src/matchers/, src/harness/json_export.*).
-                        Hash-order iteration silently reorders equal-score
-                        matches and serialized records between platforms
-                        and runs.
+                        (src/matchers/, src/discovery/, src/knowledge/,
+                        src/harness/json_export.*). Hash-order iteration
+                        silently reorders equal-score matches and
+                        serialized records between platforms and runs.
   ignored-status        Statement-level calls to functions returning
                         Status/Result<T> whose value is discarded.
                         (Backstop for compilers/configs where the
@@ -26,6 +26,12 @@ machine-checks the repo-wide invariants that protect it:
                         with quotes, never angle brackets; a .cpp under
                         src/ includes its own header first (catches
                         headers that are not self-contained).
+  pointer-cache-key     std::map/std::unordered_map keyed on a pointer
+                        type in src/ library code, outside the sanctioned
+                        stats::ProfileCache (src/stats/column_profile.*).
+                        Address keys go stale when the pointee's storage
+                        moves or is recycled; caches must key on content
+                        (cf. matchers::ArtifactCache).
   wallclock-time        std::chrono::system_clock and thread sleeps
                         (sleep_for / sleep_until) in src/ library code.
                         Deadlines must use the steady clock (wall clocks
@@ -168,8 +174,11 @@ UNORDERED_DECL_RE = re.compile(
 # src/text/ and src/stats/ are in scope because their outputs feed ranked
 # scores directly (the FuzzyJaccard leftover-pairing bug lived in
 # src/text/): greedy/sequential reductions there are just as
-# order-sensitive as the matchers themselves.
-ORDER_SENSITIVE_PREFIXES = ("src/matchers/", "src/text/", "src/stats/")
+# order-sensitive as the matchers themselves. src/discovery/ ranks
+# repository tables and src/knowledge/ feeds matcher scores through the
+# thesaurus, so hash-order iteration there reorders results the same way.
+ORDER_SENSITIVE_PREFIXES = ("src/matchers/", "src/text/", "src/stats/",
+                            "src/discovery/", "src/knowledge/")
 ORDER_SENSITIVE_FILES = {"src/harness/json_export.h", "src/harness/json_export.cpp"}
 
 
@@ -268,6 +277,39 @@ def check_ignored_status(path: Path, rel: str, text: str,
             f"return value of {m.group(1)}() (Status/Result) is discarded; "
             f"check it, propagate with VALENTINE_RETURN_NOT_OK, or cast to "
             f"(void) with a comment"))
+
+
+# --------------------------------------------------------------------------
+# Rule: pointer-cache-key
+# --------------------------------------------------------------------------
+
+POINTER_KEY_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:unordered_)?(?:multi)?map\s*<\s*(?:const\s+)?"
+    r"[\w:]+\s*(?:const\s*)?\*")
+
+# The one sanctioned pointer-keyed cache: stats::ProfileCache keys on the
+# Table's address by design — the harness guarantees every profiled table
+# outlives the campaign, and the serving-predicate tests pin down its
+# aliasing semantics. Everything else must key on content (fingerprint +
+# name + prepare key, cf. src/matchers/artifact_cache.*): an address key
+# silently ties a cache entry to storage that can move (vector growth) or
+# be reused (allocator recycling), producing stale hits.
+POINTER_KEY_EXEMPT = {"src/stats/column_profile.h",
+                      "src/stats/column_profile.cpp"}
+
+
+def check_pointer_cache_key(path: Path, rel: str, text: str, out: list):
+    if not rel.startswith("src/") or rel in POINTER_KEY_EXEMPT:
+        return
+    for lineno, raw, code in iter_code_lines(text):
+        if POINTER_KEY_RE.search(code) and not allowed(raw, "pointer-cache-key"):
+            out.append(Violation(
+                path, lineno, "pointer-cache-key",
+                "pointer-keyed map: keying on an object's address ties the "
+                "entry to storage that can move or be recycled; key on "
+                "content instead (table fingerprint + name, see "
+                "src/matchers/artifact_cache.h) or justify with "
+                "// lint:allow(pointer-cache-key)"))
 
 
 # --------------------------------------------------------------------------
@@ -370,7 +412,8 @@ def check_include_hygiene(path: Path, rel: str, text: str,
 # --------------------------------------------------------------------------
 
 RULES = ("forbidden-random", "unordered-iteration", "ignored-status",
-         "header-guard", "include-hygiene", "wallclock-time")
+         "header-guard", "include-hygiene", "wallclock-time",
+         "pointer-cache-key")
 
 
 # Deliberately-violating fixtures for the lint self-test; never part of
@@ -451,6 +494,7 @@ def main(argv=None) -> int:
         check_header_guard(path, rel, text, violations)
         check_include_hygiene(path, rel, text, project_headers, violations)
         check_wallclock_time(path, rel, text, violations)
+        check_pointer_cache_key(path, rel, text, violations)
 
     for v in violations:
         print(v)
