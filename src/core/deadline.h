@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -85,6 +86,8 @@ class CancellationToken {
 };
 
 class TableProfile;  // stats/column_profile.h
+class Clock;         // obs/clock.h
+class Tracer;        // obs/trace.h
 
 /// \brief Per-call execution context threaded through ColumnMatcher::Match.
 ///
@@ -106,6 +109,15 @@ struct MatchContext {
   /// returns byte-identical results to an unprofiled one.
   const TableProfile* source_profile = nullptr;
   const TableProfile* target_profile = nullptr;
+  /// Injectable timing source for *measurements* (obs/clock.h); nullptr
+  /// = process steady clock. Deadlines above stay on the real steady
+  /// clock regardless — a fake clock must not disable time budgets.
+  const Clock* clock = nullptr;
+  /// Span sink (obs/trace.h); nullptr = tracing off. `parent_span` is
+  /// the enclosing span id (0 = root) under which callees nest their
+  /// spans using `trace_id` as the trace key.
+  Tracer* tracer = nullptr;
+  uint64_t parent_span = 0;
 
   /// kCancelled when the token fired, kDeadlineExceeded when the budget
   /// ran out, OK otherwise. `where` names the checkpoint for the error

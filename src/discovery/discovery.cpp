@@ -45,15 +45,31 @@ Status DiscoveryEngine::AddTable(Table table) {
   return Status::OK();
 }
 
+MatchContext DiscoveryEngine::ObsContext(const std::string& trace_id,
+                                         uint64_t parent_span) const {
+  MatchContext context;
+  context.trace_id = trace_id;
+  context.clock = options_.clock;
+  context.tracer = options_.tracer;
+  context.parent_span = parent_span;
+  return context;
+}
+
 MatchResult DiscoveryEngine::ScoreAgainstRepository(
     const PreparedTable* prepared_query, const Table& query,
-    const Table& candidate) const {
+    const Table& candidate, const std::string& trace_id,
+    uint64_t parent_span) const {
   if (prepared_query != nullptr) {
     PreparedTablePtr prepared_candidate = artifacts_.GetOrPrepare(
-        matcher(), candidate, /*profile=*/nullptr, MatchContext());
+        matcher(), candidate, /*profile=*/nullptr,
+        ObsContext(trace_id, parent_span));
     if (prepared_candidate != nullptr) {
-      Result<MatchResult> scored = matcher().Score(
-          *prepared_query, *prepared_candidate, MatchContext());
+      SpanScope score_span(options_.tracer, trace_id, "score",
+                           candidate.name(), parent_span);
+      score_span.Attr("path", "prepared");
+      Result<MatchResult> scored =
+          matcher().Score(*prepared_query, *prepared_candidate,
+                          ObsContext(trace_id, score_span.id()));
       // Built-in matchers cannot fail under an unbounded context; an
       // injected decorator that errors anyway degrades to the empty
       // result, exactly like the infallible Match overload.
@@ -61,11 +77,27 @@ MatchResult DiscoveryEngine::ScoreAgainstRepository(
       return MatchResult();
     }
   }
-  return matcher().Match(query, candidate);
+  SpanScope score_span(options_.tracer, trace_id, "score", candidate.name(),
+                       parent_span);
+  score_span.Attr("path", "monolithic");
+  Result<MatchResult> matched = matcher().Match(
+      query, candidate, ObsContext(trace_id, score_span.id()));
+  if (matched.ok()) return std::move(matched).ValueOrDie();
+  return MatchResult();
 }
 
 std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
     const Table& query, size_t k) const {
+  const std::string trace_id = "discovery/" + query.name();
+  SpanScope query_span(options_.tracer, trace_id, "query", query.name());
+  query_span.Attr("mode", "joinable");
+  query_span.Attr("k", std::to_string(k));
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->CounterFor("valentine_discovery_queries_total",
+                     {{"mode", "joinable"}})
+        ->Increment();
+  }
   // Nominate candidate tables: for every query column, probe the
   // containment index and credit the owning table.
   std::set<std::string> candidate_tables;
@@ -80,15 +112,16 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
   // Prepare the query once; every candidate scores against it. The
   // query is caller-owned and transient, so its artifact is built
   // inline rather than cached.
-  Result<PreparedTablePtr> prepared_query =
-      matcher().Prepare(query, /*profile=*/nullptr, MatchContext());
+  Result<PreparedTablePtr> prepared_query = matcher().Prepare(
+      query, /*profile=*/nullptr, ObsContext(trace_id, query_span.id()));
 
   // Verify candidates with the matcher; table score = best column match.
   std::vector<DiscoveryResult> results;
   for (const Table& t : tables_) {
     if (!candidate_tables.count(t.name())) continue;
     MatchResult ranked = ScoreAgainstRepository(
-        prepared_query.ok() ? prepared_query->get() : nullptr, query, t);
+        prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
+        trace_id, query_span.id());
     DiscoveryResult r;
     r.table_name = t.name();
     if (!ranked.empty()) {
@@ -108,12 +141,23 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
 
 std::vector<DiscoveryResult> DiscoveryEngine::FindUnionable(
     const Table& query, size_t k) const {
-  Result<PreparedTablePtr> prepared_query =
-      matcher().Prepare(query, /*profile=*/nullptr, MatchContext());
+  const std::string trace_id = "discovery/" + query.name();
+  SpanScope query_span(options_.tracer, trace_id, "query", query.name());
+  query_span.Attr("mode", "unionable");
+  query_span.Attr("k", std::to_string(k));
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->CounterFor("valentine_discovery_queries_total",
+                     {{"mode", "unionable"}})
+        ->Increment();
+  }
+  Result<PreparedTablePtr> prepared_query = matcher().Prepare(
+      query, /*profile=*/nullptr, ObsContext(trace_id, query_span.id()));
   std::vector<DiscoveryResult> results;
   for (const Table& t : tables_) {
     MatchResult ranked = ScoreAgainstRepository(
-        prepared_query.ok() ? prepared_query->get() : nullptr, query, t);
+        prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
+        trace_id, query_span.id());
     // Union score: mean of the best per-query-column matches, over the
     // strongest `union_evidence_columns` columns.
     std::map<std::string, Match> best_per_column;

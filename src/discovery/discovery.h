@@ -13,6 +13,7 @@
 ///  * FindUnionable — tables whose schema aligns column-for-column with
 ///    the query (scored by the mean of the best per-column matches).
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,9 @@
 #include "core/table.h"
 #include "matchers/artifact_cache.h"
 #include "matchers/matcher.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scaling/lsh_index.h"
 
 namespace valentine {
@@ -44,6 +48,14 @@ struct DiscoveryOptions {
   double min_containment = 0.3;
   /// How many column matches contribute to a table's union score.
   size_t union_evidence_columns = 3;
+  /// Observability (obs/), all optional and borrowed: each Find* call
+  /// emits a "query" span (trace id "discovery/<query table>") with the
+  /// candidate scoring and artifact builds nested under it, and bumps
+  /// valentine_discovery_queries_total{mode}. Results are byte-identical
+  /// with or without them.
+  const Clock* clock = nullptr;
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief A searchable repository of tables.
@@ -93,7 +105,13 @@ class DiscoveryEngine {
   /// possible via an injected decorator — yield an empty result).
   MatchResult ScoreAgainstRepository(const PreparedTable* prepared_query,
                                      const Table& query,
-                                     const Table& candidate) const;
+                                     const Table& candidate,
+                                     const std::string& trace_id,
+                                     uint64_t parent_span) const;
+
+  /// A MatchContext carrying this engine's observability plumbing.
+  MatchContext ObsContext(const std::string& trace_id,
+                          uint64_t parent_span) const;
 
   DiscoveryOptions options_;
   std::vector<Table> tables_;

@@ -9,15 +9,54 @@
 
 namespace valentine {
 
+namespace {
+
+/// Registers the # HELP strings once per campaign registry.
+void RegisterHelp(MetricsRegistry& metrics) {
+  metrics.SetHelp("valentine_experiments_total",
+                  "Experiments executed (journal replays excluded).");
+  metrics.SetHelp("valentine_experiments_replayed_total",
+                  "Experiments replayed from the crash-resume journal.");
+  metrics.SetHelp("valentine_experiment_failures_total",
+                  "Terminal non-OK experiment outcomes by status code.");
+  metrics.SetHelp("valentine_experiment_retries_total",
+                  "Extra attempts beyond the first, summed.");
+  metrics.SetHelp("valentine_experiment_runtime_ms",
+                  "Per-experiment runtime (ms), summed over attempts.");
+  metrics.SetHelp("valentine_artifact_cache_hits_total",
+                  "Prepared-table artifact cache hits.");
+  metrics.SetHelp("valentine_artifact_cache_misses_total",
+                  "Prepared-table artifact cache misses.");
+  metrics.SetHelp("valentine_artifact_cache_builds_total",
+                  "Prepared-table artifact builds (including failed ones).");
+  metrics.SetHelp("valentine_profile_cache_hits_total",
+                  "Column-profile cache hits.");
+  metrics.SetHelp("valentine_profile_cache_builds_total",
+                  "Column-profile cache builds.");
+}
+
+}  // namespace
+
 CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
                                   const std::vector<MethodFamily>& families,
                                   const CampaignOptions& options) {
+  // The campaign always aggregates into a fresh registry of its own:
+  // the report's failure taxonomy is derived from it, and only at the
+  // end is it merged into the caller's registry — so one long-lived
+  // registry can span many campaigns without double-counting reports.
+  MetricsRegistry metrics;
+  RegisterHelp(metrics);
+  SpanScope campaign_span(options.tracer, "campaign", "campaign", "campaign");
+
   // Journal plumbing: load the resume index first (so completed triples
   // are skipped), then open the same file for appending new outcomes.
   std::optional<JournalIndex> completed;
   std::optional<OutcomeJournal> journal;
   FamilyRunContext run;
   run.policy = options.policy;
+  run.clock = options.clock;
+  run.tracer = options.tracer;
+  run.metrics = &metrics;
   if (!options.journal_path.empty()) {
     Result<JournalIndex> loaded = JournalIndex::Load(options.journal_path);
     if (loaded.ok()) {
@@ -55,6 +94,9 @@ CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
                   family.name) == options.family_filter.end()) {
       continue;
     }
+    SpanScope family_span(options.tracer, "campaign", "family", family.name,
+                          campaign_span.id());
+    run.parent_span = family_span.id();
     report.num_configurations += family.grid.size();
     CampaignFamilyReport fr;
     fr.family = family.name;
@@ -62,25 +104,70 @@ CampaignReport RunCampaignOnSuite(const std::vector<DatasetPair>& suite,
                                            run, options.granularity);
     fr.by_scenario = AggregateByScenario(fr.outcomes);
     fr.avg_runtime_ms = AverageRuntimeMsPerRun(fr.outcomes);
-    std::map<StatusCode, size_t> taxonomy;
+    // Failures and retries flow through the registry: the outcomes'
+    // deterministic per-pair counts are accumulated as labelled
+    // counters, and the report's taxonomy is read back from them — the
+    // registry is the source of truth, the report a deterministic view.
     for (const FamilyPairOutcome& o : fr.outcomes) {
       fr.failed_experiments += o.failed_runs;
       fr.retry_attempts += o.retries;
+      if (o.retries > 0) {
+        metrics
+            .CounterFor("valentine_experiment_retries_total",
+                        {{"family", family.name}})
+            ->Increment(o.retries);
+      }
       for (const auto& [code, count] : o.failure_counts) {
-        taxonomy[code] += count;
+        metrics
+            .CounterFor("valentine_experiment_failures_total",
+                        {{"family", family.name},
+                         {"code", StatusCodeName(code)}})
+            ->Increment(count);
       }
     }
-    fr.failure_taxonomy.assign(taxonomy.begin(), taxonomy.end());
+    for (const MetricsRegistry::CounterSample& sample :
+         metrics.CounterSamples()) {
+      if (sample.name != "valentine_experiment_failures_total") continue;
+      std::string code_name, family_name;
+      for (const auto& [key, value] : sample.labels) {
+        if (key == "code") code_name = value;
+        if (key == "family") family_name = value;
+      }
+      if (family_name != family.name) continue;
+      std::optional<StatusCode> code = StatusCodeFromName(code_name);
+      if (code.has_value()) {
+        fr.failure_taxonomy.emplace_back(*code, sample.value);
+      }
+    }
+    std::sort(fr.failure_taxonomy.begin(), fr.failure_taxonomy.end());
+    family_span.Attr("pairs", std::to_string(suite.size()));
+    family_span.Attr("configs", std::to_string(family.grid.size()));
     report.failed_experiments += fr.failed_experiments;
     report.num_experiments += family.grid.size() * suite.size();
     report.families.push_back(std::move(fr));
   }
+  // Artifact-cache counters are interleaving-dependent (which thread
+  // wins a build race varies), so they are exported only through the
+  // registry — the single exclusion point from the report byte-identity
+  // contract — never as report fields.
   if (artifacts.has_value()) {
     for (const auto& [family, stats] : artifacts->StatsSnapshot()) {
-      report.artifact_cache_stats.push_back(
-          {family, stats.hits, stats.misses, stats.builds});
+      metrics
+          .CounterFor("valentine_artifact_cache_hits_total",
+                      {{"family", family}})
+          ->Increment(stats.hits);
+      metrics
+          .CounterFor("valentine_artifact_cache_misses_total",
+                      {{"family", family}})
+          ->Increment(stats.misses);
+      metrics
+          .CounterFor("valentine_artifact_cache_builds_total",
+                      {{"family", family}})
+          ->Increment(stats.builds);
     }
   }
+  campaign_span.End();
+  if (options.metrics != nullptr) options.metrics->MergeFrom(metrics);
   return report;
 }
 

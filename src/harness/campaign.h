@@ -52,6 +52,17 @@ struct CampaignOptions {
   /// score against it. Reports are byte-identical either way (modulo
   /// wall-clock runtime fields and the cache-stats diagnostics).
   bool use_artifact_cache = true;
+  /// Observability (obs/), all optional and borrowed. `clock` is the
+  /// timing source for every runtime measurement in the campaign
+  /// (inject a FakeClock for byte-reproducible reports); `tracer`
+  /// receives the campaign/family/experiment/attempt/prepare/score span
+  /// tree; `metrics` receives the campaign's counters and histograms
+  /// (merged in at the end, so one registry can span campaigns without
+  /// double-counting). The report is byte-identical with or without
+  /// them.
+  const Clock* clock = nullptr;
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregated results of one family over the campaign suite.
@@ -66,25 +77,18 @@ struct CampaignFamilyReport {
   std::vector<std::pair<StatusCode, size_t>> failure_taxonomy;
 };
 
-/// Per-family artifact-cache counters for one campaign (diagnostics:
-/// like runtime fields, excluded from the byte-identity contract).
-struct ArtifactCacheStats {
-  std::string family;
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t builds = 0;
-};
-
-/// Full campaign output.
+/// Full campaign output. Every field here is covered by the
+/// byte-identity contract (parallel == sequential == resumed, tracing
+/// on == off); interleaving-dependent diagnostics — cache hit/miss
+/// splits, runtime histograms — live on the MetricsRegistry instead
+/// (valentine_artifact_cache_*, valentine_profile_cache_*), the single
+/// exclusion point from that contract.
 struct CampaignReport {
   size_t num_pairs = 0;
   size_t num_configurations = 0;
   size_t num_experiments = 0;
   size_t failed_experiments = 0;
   std::vector<CampaignFamilyReport> families;
-  /// Artifact-cache counters, sorted by family name; empty when the
-  /// campaign ran with use_artifact_cache = false.
-  std::vector<ArtifactCacheStats> artifact_cache_stats;
 };
 
 /// Fabricates the suite from every source table and runs the families.

@@ -155,19 +155,11 @@ std::string ToJson(const CampaignReport& report) {
     if (i > 0) out += ",";
     out += ToJson(report.families[i]);
   }
-  out += "],";
-  // Diagnostics, like runtime_ms: hit/miss splits depend on thread
-  // interleaving, so byte-compare consumers canonicalize this away.
-  out += "\"artifact_cache\":[";
-  for (size_t i = 0; i < report.artifact_cache_stats.size(); ++i) {
-    if (i > 0) out += ",";
-    const ArtifactCacheStats& s = report.artifact_cache_stats[i];
-    out += "{\"family\":\"" + JsonEscape(s.family) +
-           "\",\"hits\":" + std::to_string(s.hits) +
-           ",\"misses\":" + std::to_string(s.misses) +
-           ",\"builds\":" + std::to_string(s.builds) + "}";
-  }
   out += "]}";
+  // Interleaving-dependent diagnostics (cache hit/miss splits, runtime
+  // histograms) are deliberately absent: they live on the
+  // MetricsRegistry and export via RenderPrometheusText/ToMetricsJson,
+  // keeping this report inside the byte-identity contract.
   return out;
 }
 

@@ -37,9 +37,10 @@ std::string ToJson(const std::vector<FamilyPairOutcome>& outcomes);
 /// outcomes) as a JSON object.
 std::string ToJson(const CampaignFamilyReport& report);
 
-/// A full campaign report as one JSON object. With wall-clock runtime
-/// fields zeroed, a resumed campaign serializes byte-identically to an
-/// uninterrupted one — the crash-resume determinism contract.
+/// A full campaign report as one JSON object. Under an injected
+/// FakeClock (CampaignOptions::clock) a resumed campaign serializes
+/// byte-identically to an uninterrupted one — the crash-resume
+/// determinism contract, with no post-hoc field scrubbing.
 std::string ToJson(const CampaignReport& report);
 
 /// Writes any of the above to a file.

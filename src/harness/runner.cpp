@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 
 #include "core/rng.h"
@@ -105,23 +106,39 @@ double BackoffDelayMs(const ExecutionPolicy& policy, const std::string& key,
 
 namespace {
 
+/// Renders a double attribute value without trailing noise (for span
+/// annotations like backoff delays).
+std::string FormatMsAttr(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", ms);
+  return buf;
+}
+
 /// Runs one configuration under the policy: a fresh per-attempt
 /// deadline, bounded retries for transient codes, runtime accumulated
 /// across attempts. `source_profile` / `target_profile` may be null.
+/// Each attempt gets an "attempt" span under `experiment_span`; retry
+/// waits are recorded as "backoff" point events.
 ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
                                          const std::string& config,
                                          const DatasetPair& pair,
                                          const std::string& family_name,
-                                         const ExecutionPolicy& policy,
+                                         const FamilyRunContext& run,
+                                         uint64_t experiment_span,
                                          const TableProfile* source_profile,
                                          const TableProfile* target_profile,
                                          const PreparedTable* prepared_source,
                                          const PreparedTable* prepared_target) {
+  const ExecutionPolicy& policy = run.policy;
   const std::string key = JournalKey(family_name, pair.id, config);
   const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
   ExperimentResult result;
   double total_runtime_ms = 0.0;
   for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    SpanScope attempt_span(run.tracer, key, "attempt",
+                           "attempt " + std::to_string(attempt),
+                           experiment_span);
+    attempt_span.Attr("attempt", std::to_string(attempt));
     MatchContext context;
     if (policy.budget_ms > 0.0) {
       context.deadline = Deadline::AfterMs(policy.budget_ms);
@@ -130,16 +147,26 @@ ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
     context.trace_id = key;
     context.source_profile = source_profile;
     context.target_profile = target_profile;
+    context.clock = run.clock;
+    context.tracer = run.tracer;
+    context.parent_span = attempt_span.id() != 0 ? attempt_span.id()
+                                                 : experiment_span;
     result = RunExperiment(matcher, config, pair, context, prepared_source,
                            prepared_target);
     total_runtime_ms += result.runtime_ms;
     result.attempts = attempt;
+    attempt_span.Attr("code", StatusCodeName(result.code));
+    attempt_span.End();
     if (result.code == StatusCode::kOk ||
         !IsRetryableStatus(Status::WithCode(result.code, result.error)) ||
         attempt == max_attempts) {
       break;
     }
     double delay_ms = BackoffDelayMs(policy, key, attempt);
+    if (run.tracer != nullptr) {
+      run.tracer->RecordEvent(key, "backoff", "backoff", experiment_span,
+                              {{"delay_ms", FormatMsAttr(delay_ms)}});
+    }
     if (policy.backoff_wait) policy.backoff_wait(delay_ms);
   }
   result.runtime_ms = total_runtime_ms;
@@ -175,6 +202,14 @@ ExperimentResult RunConfigOnPair(const MethodFamily& family,
                                  size_t config_index, const DatasetPair& pair,
                                  const FamilyRunContext& run) {
   const ConfiguredMatcher& cm = family.grid[config_index];
+  const std::string key = JournalKey(family.name, pair.id, cm.description);
+  // The experiment span's trace id IS the journal key, so traces join
+  // line-for-line with the crash-resume journal.
+  SpanScope experiment_span(run.tracer, key, "experiment", key,
+                            run.parent_span);
+  experiment_span.Attr("family", family.name);
+  experiment_span.Attr("pair", pair.id);
+  experiment_span.Attr("config", cm.description);
   const JournalEntry* done =
       run.completed == nullptr
           ? nullptr
@@ -182,6 +217,14 @@ ExperimentResult RunConfigOnPair(const MethodFamily& family,
   if (done != nullptr) {
     // Crash resume: replay the journaled outcome (including
     // quarantined failures — they are never re-attempted).
+    experiment_span.Attr("replayed", "true");
+    experiment_span.Attr("code", StatusCodeName(done->code));
+    if (run.metrics != nullptr) {
+      run.metrics
+          ->CounterFor("valentine_experiments_replayed_total",
+                       {{"family", family.name}})
+          ->Increment();
+    }
     return ReplayJournalEntry(*done, *cm.matcher, pair);
   }
   // Resolve shared profiles for the pair's tables (built once per table
@@ -189,8 +232,10 @@ ExperimentResult RunConfigOnPair(const MethodFamily& family,
   // shared_ptrs here only pin them for the duration of the call.
   std::shared_ptr<const TableProfile> source_profile, target_profile;
   if (run.profiles != nullptr) {
-    source_profile = run.profiles->GetOrBuild(pair.source);
-    target_profile = run.profiles->GetOrBuild(pair.target);
+    source_profile = run.profiles->GetOrBuild(
+        pair.source, run.tracer, key, experiment_span.id(), run.metrics);
+    target_profile = run.profiles->GetOrBuild(
+        pair.target, run.tracer, key, experiment_span.id(), run.metrics);
   }
   // Resolve shared prepared artifacts (built once per (table, family,
   // prepare-key) across configurations and threads). Prepare runs under
@@ -201,19 +246,31 @@ ExperimentResult RunConfigOnPair(const MethodFamily& family,
   if (run.artifacts != nullptr) {
     MatchContext prepare_context;
     prepare_context.cancel = run.policy.cancel;
-    prepare_context.trace_id =
-        JournalKey(family.name, pair.id, cm.description) + "#prepare";
+    prepare_context.trace_id = key + "#prepare";
     prepare_context.source_profile = source_profile.get();
     prepare_context.target_profile = target_profile.get();
+    prepare_context.clock = run.clock;
+    prepare_context.tracer = run.tracer;
+    prepare_context.parent_span = experiment_span.id();
     prepared_source = run.artifacts->GetOrPrepare(
         *cm.matcher, pair.source, source_profile.get(), prepare_context);
     prepared_target = run.artifacts->GetOrPrepare(
         *cm.matcher, pair.target, target_profile.get(), prepare_context);
   }
   ExperimentResult r = RunExperimentWithPolicy(
-      *cm.matcher, cm.description, pair, family.name, run.policy,
-      source_profile.get(), target_profile.get(), prepared_source.get(),
-      prepared_target.get());
+      *cm.matcher, cm.description, pair, family.name, run,
+      experiment_span.id(), source_profile.get(), target_profile.get(),
+      prepared_source.get(), prepared_target.get());
+  experiment_span.Attr("code", StatusCodeName(r.code));
+  experiment_span.Attr("attempts", std::to_string(r.attempts));
+  if (run.metrics != nullptr) {
+    run.metrics
+        ->CounterFor("valentine_experiments_total", {{"family", family.name}})
+        ->Increment();
+    Histogram* runtime = run.metrics->HistogramFor(
+        "valentine_experiment_runtime_ms", {{"family", family.name}});
+    if (runtime != nullptr) runtime->Observe(r.runtime_ms);
+  }
   if (run.journal != nullptr) {
     run.journal->Append({family.name, pair.id, cm.description, r.code,
                          r.error, r.recall_at_gt, r.map, r.runtime_ms,

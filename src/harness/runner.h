@@ -19,6 +19,9 @@
 #include "harness/param_grid.h"
 #include "matchers/artifact_cache.h"
 #include "metrics/metrics.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/column_profile.h"
 
 namespace valentine {
@@ -117,6 +120,18 @@ struct FamilyRunContext {
   /// inline otherwise. A failed Prepare falls back to the monolithic
   /// path so the failure surfaces through the same status taxonomy.
   ArtifactCache* artifacts = nullptr;
+  /// Observability (obs/): all optional, all borrowed. `clock` is the
+  /// timing source for runtime measurements (nullptr = steady clock);
+  /// `tracer` receives experiment/attempt/backoff/prepare/score spans;
+  /// `metrics` receives valentine_experiment* counters and the runtime
+  /// histogram. None of them changes any report field except the timing
+  /// values a fake clock makes deterministic.
+  const Clock* clock = nullptr;
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  /// Enclosing span id (typically the family span) experiment spans
+  /// parent onto; 0 = root.
+  uint64_t parent_span = 0;
 };
 
 /// Runs one grid configuration of the family on the pair under the run

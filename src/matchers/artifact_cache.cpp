@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace valentine {
 
 namespace {
@@ -77,8 +79,24 @@ PreparedTablePtr ArtifactCache::GetOrPrepare(const ColumnMatcher& matcher,
 
   // Build outside the lock: Prepare can be arbitrarily expensive, and
   // two concurrent builders are still correct (artifacts for equal keys
-  // are interchangeable by the Prepare determinism contract).
-  Result<PreparedTablePtr> built = matcher.Prepare(table, profile, context);
+  // are interchangeable by the Prepare determinism contract). The build
+  // is traced as cache-build > prepare under the caller's span; which
+  // config's trace hosts the build follows the first-miss race, so
+  // threaded traces place it nondeterministically (DESIGN.md §10).
+  SpanScope build_span(context.tracer, context.trace_id, "cache-build",
+                       family + "/" + table.name(), context.parent_span);
+  build_span.Attr("cache", "artifact");
+  SpanScope prepare_span(context.tracer, context.trace_id, "prepare",
+                         matcher.PrepareKey(), build_span.id());
+  MatchContext inner = context;
+  inner.parent_span = prepare_span.id() != 0 ? prepare_span.id()
+                                             : context.parent_span;
+  Result<PreparedTablePtr> built = matcher.Prepare(table, profile, inner);
+  prepare_span.Attr("code", StatusCodeName(built.ok()
+                                               ? StatusCode::kOk
+                                               : built.status().code()));
+  prepare_span.End();
+  build_span.End();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_[family].builds;

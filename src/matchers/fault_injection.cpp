@@ -1,10 +1,10 @@
 #include "matchers/fault_injection.h"
 
-#include <chrono>
 #include <thread>
 #include <utility>
 
 #include "core/rng.h"
+#include "obs/clock.h"
 
 namespace valentine {
 
@@ -31,9 +31,13 @@ Result<MatchResult> FaultInjectingMatcher::MatchWithContext(
     // Cooperative "hang": busy-poll the context instead of sleeping, so
     // a deadline or cancellation interrupts it the way it interrupts a
     // real hot loop (and library code stays free of wall-clock sleeps).
-    auto until = std::chrono::steady_clock::now() +
-                 std::chrono::duration<double, std::milli>(plan_.hang_ms);
-    while (std::chrono::steady_clock::now() < until) {
+    // Time is read through the injectable Clock; under a non-advancing
+    // FakeClock the loop spins until the (real steady-clock) deadline or
+    // cancellation fires, which is exactly what the tests rely on.
+    const Clock& clock = ClockOrSteady(context.clock);
+    const int64_t until_ns =
+        clock.NowNanos() + static_cast<int64_t>(plan_.hang_ms * 1e6);
+    while (clock.NowNanos() < until_ns) {
       VALENTINE_RETURN_NOT_OK(context.Check("injected hang"));
       std::this_thread::yield();
     }

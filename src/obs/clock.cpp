@@ -1,0 +1,25 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace valentine {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+const Clock* SteadyClockTimingSource() {
+  static const SteadyClock* kInstance = new SteadyClock();
+  return kInstance;
+}
+
+}  // namespace valentine

@@ -1,0 +1,320 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace valentine {
+
+namespace {
+
+/// Adds to an atomic double via CAS (fetch_add on atomic<double> is
+/// C++20 but not universally implemented).
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Serialized form used both as the series map key and in exposition:
+/// `{k1="v1",k2="v2"}`, empty string for no labels. Labels are already
+/// sorted by key, so equal label sets serialize identically.
+std::string SerializeLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Like SerializeLabels but with one extra label appended (for
+/// histogram `le` buckets).
+std::string SerializeLabelsWith(const MetricLabels& labels,
+                                const std::string& extra_key,
+                                const std::string& extra_value) {
+  MetricLabels all = labels;
+  all.emplace_back(extra_key, extra_value);
+  return SerializeLabels(all);
+}
+
+MetricLabels SortedLabels(const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // +Inf by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.bounds_ != bounds_) return;  // incompatible shapes: drop
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  AtomicAddDouble(sum_, other.sum());
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double>* kBuckets = new std::vector<double>{
+      0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
+  return *kBuckets;
+}
+
+Counter* MetricsRegistry::CounterFor(const std::string& name,
+                                     const MetricLabels& labels) {
+  MetricLabels sorted = SortedLabels(labels);
+  std::string key = SerializeLabels(sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = series_[name][key];
+  if (series.counter == nullptr) {
+    if (series.gauge != nullptr || series.histogram != nullptr) return nullptr;
+    series.kind = Kind::kCounter;
+    series.labels = std::move(sorted);
+    series.counter = std::make_unique<Counter>();
+  }
+  return series.counter.get();
+}
+
+Gauge* MetricsRegistry::GaugeFor(const std::string& name,
+                                 const MetricLabels& labels) {
+  MetricLabels sorted = SortedLabels(labels);
+  std::string key = SerializeLabels(sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = series_[name][key];
+  if (series.gauge == nullptr) {
+    if (series.counter != nullptr || series.histogram != nullptr) {
+      return nullptr;
+    }
+    series.kind = Kind::kGauge;
+    series.labels = std::move(sorted);
+    series.gauge = std::make_unique<Gauge>();
+  }
+  return series.gauge.get();
+}
+
+Histogram* MetricsRegistry::HistogramFor(const std::string& name,
+                                         const MetricLabels& labels,
+                                         const std::vector<double>& bounds) {
+  MetricLabels sorted = SortedLabels(labels);
+  std::string key = SerializeLabels(sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = series_[name][key];
+  if (series.histogram == nullptr) {
+    if (series.counter != nullptr || series.gauge != nullptr) return nullptr;
+    series.kind = Kind::kHistogram;
+    series.labels = std::move(sorted);
+    series.histogram = std::make_unique<Histogram>(bounds);
+  }
+  return series.histogram.get();
+}
+
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = help;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const MetricLabels& labels) const {
+  std::string key = SerializeLabels(SortedLabels(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto by_name = series_.find(name);
+  if (by_name == series_.end()) return 0;
+  auto it = by_name->second.find(key);
+  if (it == by_name->second.end() || it->second.counter == nullptr) return 0;
+  return it->second.counter->value();
+}
+
+std::vector<MetricsRegistry::CounterSample> MetricsRegistry::CounterSamples()
+    const {
+  std::vector<CounterSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, by_labels] : series_) {
+    for (const auto& [key, series] : by_labels) {
+      if (series.counter == nullptr) continue;
+      out.push_back({name, series.labels, series.counter->value()});
+    }
+  }
+  return out;  // series_ maps are ordered, so out is sorted already
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot `other` under its lock, then apply to this registry via the
+  // public accessors (which take our lock). Never hold both locks.
+  struct Snap {
+    std::string name;
+    Kind kind;
+    MetricLabels labels;
+    uint64_t counter_value = 0;
+    double gauge_value = 0;
+    const Histogram* histogram = nullptr;  // stable for other's lifetime
+  };
+  std::vector<Snap> snaps;
+  std::vector<std::pair<std::string, std::string>> helps;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, by_labels] : other.series_) {
+      for (const auto& [key, series] : by_labels) {
+        Snap snap;
+        snap.name = name;
+        snap.kind = series.kind;
+        snap.labels = series.labels;
+        if (series.counter != nullptr) {
+          snap.counter_value = series.counter->value();
+        } else if (series.gauge != nullptr) {
+          snap.gauge_value = series.gauge->value();
+        } else if (series.histogram != nullptr) {
+          snap.histogram = series.histogram.get();
+        }
+        snaps.push_back(std::move(snap));
+      }
+    }
+    helps.assign(other.help_.begin(), other.help_.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, help] : helps) {
+      if (help_.find(name) == help_.end()) help_[name] = std::move(help);
+    }
+  }
+  for (const Snap& snap : snaps) {
+    switch (snap.kind) {
+      case Kind::kCounter: {
+        Counter* c = CounterFor(snap.name, snap.labels);
+        if (c != nullptr && snap.counter_value > 0) {
+          c->Increment(snap.counter_value);
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        Gauge* g = GaugeFor(snap.name, snap.labels);
+        if (g != nullptr) g->Set(snap.gauge_value);
+        break;
+      }
+      case Kind::kHistogram: {
+        if (snap.histogram == nullptr) break;
+        Histogram* h =
+            HistogramFor(snap.name, snap.labels, snap.histogram->bounds());
+        if (h != nullptr) h->MergeFrom(*snap.histogram);
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, by_labels] : series_) {
+    if (by_labels.empty()) continue;
+    auto help_it = help_.find(name);
+    if (help_it != help_.end()) {
+      out += "# HELP " + name + " " + help_it->second + "\n";
+    }
+    switch (by_labels.begin()->second.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        break;
+    }
+    for (const auto& [key, series] : by_labels) {
+      if (series.counter != nullptr) {
+        out += name + key + " " + std::to_string(series.counter->value()) +
+               "\n";
+      } else if (series.gauge != nullptr) {
+        out += name + key + " " + FormatDouble(series.gauge->value()) + "\n";
+      } else if (series.histogram != nullptr) {
+        const Histogram& h = *series.histogram;
+        std::vector<uint64_t> counts = h.bucket_counts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          out += name + "_bucket" +
+                 SerializeLabelsWith(series.labels, "le",
+                                     FormatDouble(h.bounds()[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += counts[h.bounds().size()];
+        out += name + "_bucket" +
+               SerializeLabelsWith(series.labels, "le", "+Inf") + " " +
+               std::to_string(cumulative) + "\n";
+        out += name + "_sum" + key + " " + FormatDouble(h.sum()) + "\n";
+        out += name + "_count" + key + " " + std::to_string(h.count()) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,156 @@
+#ifndef VALENTINE_OBS_METRICS_H_
+#define VALENTINE_OBS_METRICS_H_
+
+/// \file metrics.h
+/// Counters, gauges, and fixed-bucket histograms with Prometheus text
+/// exposition.
+///
+/// Before this registry existed, operational counters grew ad-hoc: the
+/// artifact-cache hit/miss/build stats rode on `CampaignReport` as
+/// one-off fields and the failure taxonomy was re-aggregated with local
+/// `std::map`s in every layer. The registry is the one place such
+/// numbers live: the harness increments labelled series, the campaign's
+/// canonical report is derived from it where the values are
+/// deterministic (failure taxonomy), and everything interleaving-
+/// dependent (cache hit/miss splits, runtime histograms) is exported
+/// *only* here — the single exclusion point from the report
+/// byte-identity contract.
+///
+/// Determinism: export paths never iterate an unordered container —
+/// series live in a `std::map` keyed by (name, serialized labels), so
+/// `RenderPrometheusText()` is byte-stable given equal counter values
+/// (which a fake-clock single-threaded run guarantees).
+///
+/// Thread-safety: all methods are safe for concurrent callers; counter
+/// and histogram updates are atomic after the series is created.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace valentine {
+
+/// Label set of one series; sorted by key on registration.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram (Prometheus semantics: `le` upper
+/// bounds, implicit +Inf, cumulative on export).
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; an implicit +Inf bucket is
+  /// appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Per-bucket (non-cumulative) counts, +Inf last.
+  std::vector<uint64_t> bucket_counts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Adds another histogram's observations; bounds must match.
+  void MergeFrom(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets (milliseconds) for experiment runtimes.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// \brief Registry of named, labelled series.
+///
+/// Series handles returned by *For() are stable for the registry's
+/// lifetime; hot paths cache the pointer and update lock-free. A name
+/// must stick to one instrument kind (the kind of its first
+/// registration wins; a mismatched re-registration returns the existing
+/// series of that name only if kinds agree, nullptr otherwise).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* CounterFor(const std::string& name,
+                      const MetricLabels& labels = {});
+  Gauge* GaugeFor(const std::string& name, const MetricLabels& labels = {});
+  Histogram* HistogramFor(
+      const std::string& name, const MetricLabels& labels = {},
+      const std::vector<double>& bounds = DefaultLatencyBucketsMs());
+
+  /// Optional `# HELP` text for a metric name.
+  void SetHelp(const std::string& name, const std::string& help);
+
+  /// Current value of a counter series; 0 when absent.
+  uint64_t CounterValue(const std::string& name,
+                        const MetricLabels& labels = {}) const;
+
+  struct CounterSample {
+    std::string name;
+    MetricLabels labels;  ///< sorted by key
+    uint64_t value = 0;
+  };
+  /// All counter series, sorted by (name, serialized labels).
+  std::vector<CounterSample> CounterSamples() const;
+
+  /// Adds `other`'s counters and histogram observations into this
+  /// registry and overwrites gauges — campaign-scoped registries merge
+  /// into a long-lived one this way.
+  void MergeFrom(const MetricsRegistry& other);
+
+  /// Prometheus text exposition format, byte-deterministic given equal
+  /// series values: metric names sorted, series sorted by label string,
+  /// doubles rendered with %.17g.
+  std::string RenderPrometheusText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Kind kind;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  /// name -> (serialized labels -> series). Ordered maps: export paths
+  /// iterate them.
+  std::map<std::string, std::map<std::string, Series>> series_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_OBS_METRICS_H_

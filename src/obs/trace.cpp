@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace valentine {
+
+uint64_t DeriveSpanId(const std::string& trace_id, uint64_t seq) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  for (unsigned char c : trace_id) {
+    h ^= c;
+    h *= kPrime;
+  }
+  h ^= 0x1f;  // separator: ("a",1) must differ from ("a1",<none>)
+  h *= kPrime;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (seq >> (8 * i)) & 0xFF;
+    h *= kPrime;
+  }
+  return h == 0 ? 1 : h;  // 0 is the "no span" sentinel
+}
+
+uint64_t Tracer::StartSpan(const std::string& trace_id,
+                           const std::string& kind, const std::string& name,
+                           uint64_t parent_id) {
+  int64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = next_seq_[trace_id]++;
+  SpanRecord span;
+  span.trace_id = trace_id;
+  span.seq = seq;
+  span.span_id = DeriveSpanId(trace_id, seq);
+  span.parent_id = parent_id;
+  span.kind = kind;
+  span.name = name;
+  span.start_ns = now;
+  span.end_ns = now;
+  open_[span.span_id] = spans_.size();
+  spans_.push_back(std::move(span));
+  return spans_.back().span_id;
+}
+
+void Tracer::AddSpanAttribute(uint64_t span_id, const std::string& key,
+                              const std::string& value) {
+  if (span_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(span_id);
+  if (it == open_.end()) return;
+  spans_[it->second].attributes.emplace_back(key, value);
+}
+
+void Tracer::EndSpan(uint64_t span_id) {
+  if (span_id == 0) return;
+  int64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(span_id);
+  if (it == open_.end()) return;
+  spans_[it->second].end_ns = now;
+  open_.erase(it);
+}
+
+uint64_t Tracer::RecordEvent(
+    const std::string& trace_id, const std::string& kind,
+    const std::string& name, uint64_t parent_id,
+    const std::vector<std::pair<std::string, std::string>>& attributes) {
+  uint64_t id = StartSpan(trace_id, kind, name, parent_id);
+  for (const auto& [key, value] : attributes) {
+    AddSpanAttribute(id, key, value);
+  }
+  EndSpan(id);
+  return id;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+}  // namespace valentine

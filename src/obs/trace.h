@@ -1,0 +1,157 @@
+#ifndef VALENTINE_OBS_TRACE_H_
+#define VALENTINE_OBS_TRACE_H_
+
+/// \file trace.h
+/// Deterministic span-based tracing.
+///
+/// A campaign is a tree of timed operations — campaign → family →
+/// experiment → attempt → prepare/score, with cache builds and backoff
+/// waits hanging off it — and per-stage visibility is what makes the
+/// suite tunable (the paper's efficiency results are exactly such a
+/// breakdown). A `Tracer` records that tree as `SpanRecord`s.
+///
+/// Determinism contract (DESIGN.md §10): span ids carry no randomness
+/// and no addresses. Every span belongs to a trace (the harness uses
+/// the experiment's journal key as its trace id, so traces join with
+/// the crash-resume journal), gets the next per-trace sequence number,
+/// and derives its id as FNV-1a(trace_id, seq). Two runs that perform
+/// the same work produce the same ids; under a FakeClock the entire
+/// serialized trace is byte-identical run to run (single-threaded —
+/// with worker threads the *per-trace* spans are still deterministic,
+/// but cache-build spans land on whichever thread lost the build race).
+///
+/// Thread-safety: all Tracer methods are safe for concurrent callers;
+/// span timestamps come from the tracer's injected Clock.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace valentine {
+
+/// One completed (or still-open) span.
+struct SpanRecord {
+  std::string trace_id;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root; may point into another trace
+  std::string kind;        ///< taxonomy: "campaign", "experiment", ...
+  std::string name;
+  uint64_t seq = 0;        ///< per-trace sequence number (id source)
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  /// Insertion-ordered key/value annotations.
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Deterministic span id: FNV-1a over (trace_id, seq). Never 0.
+uint64_t DeriveSpanId(const std::string& trace_id, uint64_t seq);
+
+/// \brief Append-only span sink with deterministic ids.
+class Tracer {
+ public:
+  /// `clock` is borrowed; nullptr = process steady clock.
+  explicit Tracer(const Clock* clock = nullptr)
+      : clock_(&ClockOrSteady(clock)) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span and returns its id (never 0).
+  uint64_t StartSpan(const std::string& trace_id, const std::string& kind,
+                     const std::string& name, uint64_t parent_id = 0);
+
+  /// Annotates a still-open span; no-op once it ended (or for id 0).
+  void AddSpanAttribute(uint64_t span_id, const std::string& key,
+                        const std::string& value);
+
+  /// Closes a span, stamping its end time. No-op for id 0 or unknown ids.
+  void EndSpan(uint64_t span_id);
+
+  /// Records a zero-duration point event as a closed span; returns its id.
+  uint64_t RecordEvent(
+      const std::string& trace_id, const std::string& kind,
+      const std::string& name, uint64_t parent_id,
+      const std::vector<std::pair<std::string, std::string>>& attributes = {});
+
+  /// All spans recorded so far, sorted by (trace_id, seq) — an order
+  /// independent of thread interleaving. Still-open spans are reported
+  /// with end_ns = start_ns.
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t size() const;
+
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  /// Next sequence number per trace id (sorted map: deterministic and
+  /// never iterated on an export path anyway).
+  std::map<std::string, uint64_t> next_seq_;
+  /// Open span id -> index into spans_. Lookup only, never iterated.
+  std::unordered_map<uint64_t, size_t> open_;
+};
+
+/// \brief RAII span: starts on construction, ends on destruction.
+///
+/// Inert when constructed with a null tracer (id() == 0, every method a
+/// no-op), so call sites thread observability through unconditionally.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  SpanScope(Tracer* tracer, const std::string& trace_id,
+            const std::string& kind, const std::string& name,
+            uint64_t parent_id = 0)
+      : tracer_(tracer),
+        id_(tracer != nullptr
+                ? tracer->StartSpan(trace_id, kind, name, parent_id)
+                : 0) {}
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  SpanScope(SpanScope&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  SpanScope& operator=(SpanScope&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+
+  ~SpanScope() { End(); }
+
+  /// The span id to parent children on (0 when inert).
+  uint64_t id() const { return id_; }
+
+  void Attr(const std::string& key, const std::string& value) {
+    if (tracer_ != nullptr) tracer_->AddSpanAttribute(id_, key, value);
+  }
+
+  /// Ends the span early (idempotent; the destructor is then a no-op).
+  void End() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_OBS_TRACE_H_

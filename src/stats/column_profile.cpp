@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/string_similarity.h"
 #include "text/tokenizer.h"
 
@@ -96,6 +98,30 @@ std::shared_ptr<const TableProfile> ProfileCache::GetOrBuild(
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = map_.emplace(&table, std::move(built));
   return it->second;
+}
+
+std::shared_ptr<const TableProfile> ProfileCache::GetOrBuild(
+    const Table& table, Tracer* tracer, const std::string& trace_id,
+    uint64_t parent_span, MetricsRegistry* metrics) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(&table);
+    if (it != map_.end()) {
+      if (metrics != nullptr) {
+        metrics->CounterFor("valentine_profile_cache_hits_total")
+            ->Increment();
+      }
+      return it->second;
+    }
+  }
+  SpanScope build_span(tracer, trace_id, "cache-build",
+                       "profile/" + table.name(), parent_span);
+  build_span.Attr("cache", "profile");
+  std::shared_ptr<const TableProfile> result = GetOrBuild(table);
+  if (metrics != nullptr) {
+    metrics->CounterFor("valentine_profile_cache_builds_total")->Increment();
+  }
+  return result;
 }
 
 size_t ProfileCache::size() const {

@@ -25,6 +25,7 @@
 ///    Table's address, so the cache must not outlive the suite whose
 ///    tables it profiles.
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,9 @@
 #include "stats/minhash.h"
 
 namespace valentine {
+
+class Tracer;           // obs/trace.h
+class MetricsRegistry;  // obs/metrics.h
 
 /// Parameters the derived artifacts are built with. Defaults mirror the
 /// default options of the consuming matchers (COMA / SemProp value-set
@@ -173,6 +177,16 @@ class ProfileCache {
   /// the first insert wins and Build is deterministic, so either result
   /// is identical.
   std::shared_ptr<const TableProfile> GetOrBuild(const Table& table);
+
+  /// Observable variant: on a build (cache miss) emits a "cache-build"
+  /// span (attr cache="profile") under `parent_span` in `trace_id`, and
+  /// bumps valentine_profile_cache_{hits,builds}_total. All obs
+  /// arguments may be null; results are identical either way.
+  std::shared_ptr<const TableProfile> GetOrBuild(const Table& table,
+                                                 Tracer* tracer,
+                                                 const std::string& trace_id,
+                                                 uint64_t parent_span,
+                                                 MetricsRegistry* metrics);
 
   const ProfileSpec& spec() const { return spec_; }
   size_t size() const;

@@ -11,6 +11,7 @@
 #include "harness/json_export.h"
 #include "harness/parallel.h"
 #include "matchers/fault_injection.h"
+#include "obs/clock.h"
 
 namespace valentine {
 namespace {
@@ -42,9 +43,12 @@ MethodFamily Wrapped(const FaultPlan& plan) {
   return wrapped;
 }
 
-std::string CanonicalJson(std::vector<FamilyPairOutcome> outcomes) {
-  for (auto& o : outcomes) o.total_ms = 0.0;
-  return ToJson(outcomes);
+// Timing is measured on a shared non-advancing FakeClock, so timing
+// fields are deterministically zero and outcomes serialize to a
+// byte-comparable form without any field scrubbing.
+FakeClock& SharedFakeClock() {
+  static FakeClock clock;
+  return clock;
 }
 
 TEST(RetryPolicyTest, RetryableStatusClassification) {
@@ -209,11 +213,12 @@ TEST(HarnessFaultsConcurrencyTest, ParallelFaultRunMatchesSequential) {
   plan.fail_probability = 0.25;
   FamilyRunContext run;
   run.policy.max_attempts = 4;
+  run.clock = &SharedFakeClock();
   // Fresh decorators per run: attempt counters are per-instance state.
   std::string expected =
-      CanonicalJson(RunFamilyOnSuite(Wrapped(plan), suite, run));
+      ToJson(RunFamilyOnSuite(Wrapped(plan), suite, run));
   for (size_t threads : {2u, 4u, 8u}) {
-    std::string got = CanonicalJson(
+    std::string got = ToJson(
         RunFamilyOnSuiteParallel(Wrapped(plan), suite, threads, run));
     EXPECT_EQ(got, expected) << threads << " threads";
   }

@@ -12,6 +12,7 @@
 #include "harness/campaign.h"
 #include "harness/json_export.h"
 #include "matchers/fault_injection.h"
+#include "obs/clock.h"
 
 namespace valentine {
 namespace {
@@ -167,17 +168,21 @@ MethodFamily SmallFamily() {
   return family;
 }
 
-/// Zeroes the wall-clock fields; everything else must be byte-identical
-/// between a fresh run and a journal resume.
-std::string CanonicalCampaignJson(CampaignReport report) {
-  for (auto& family : report.families) {
-    family.avg_runtime_ms = 0.0;
-    for (auto& outcome : family.outcomes) outcome.total_ms = 0.0;
-  }
-  // Replayed triples never reach Prepare, so artifact-cache counters
-  // legitimately differ between fresh and resumed campaigns.
-  report.artifact_cache_stats.clear();
-  return ToJson(report);
+// Campaigns here run under a shared non-advancing FakeClock
+// (CampaignOptions::clock), so timing fields — including the journaled
+// runtime a resume replays — are deterministically zero and reports are
+// compared unmodified. Replayed triples never reach Prepare, so
+// artifact-cache counters legitimately differ between fresh and resumed
+// campaigns; those live on the MetricsRegistry, not the report.
+FakeClock& SharedFakeClock() {
+  static FakeClock clock;
+  return clock;
+}
+
+CampaignOptions ClockedOptions() {
+  CampaignOptions opt;
+  opt.clock = &SharedFakeClock();
+  return opt;
 }
 
 MethodFamily AlwaysFailing(const MethodFamily& base) {
@@ -195,7 +200,7 @@ MethodFamily AlwaysFailing(const MethodFamily& base) {
 
 TEST(CampaignResumeTest, CompleteJournalReplaysWithoutExecuting) {
   std::vector<DatasetPair> suite = SmallSuite();
-  CampaignOptions opt;
+  CampaignOptions opt = ClockedOptions();
   opt.num_threads = 2;
   opt.journal_path = TempPath("replay.jsonl");
 
@@ -207,17 +212,17 @@ TEST(CampaignResumeTest, CompleteJournalReplaysWithoutExecuting) {
   // never invoked a matcher.
   CampaignReport resumed =
       RunCampaignOnSuite(suite, {AlwaysFailing(SmallFamily())}, opt);
-  EXPECT_EQ(CanonicalCampaignJson(resumed), CanonicalCampaignJson(fresh));
+  EXPECT_EQ(ToJson(resumed), ToJson(fresh));
   std::remove(opt.journal_path.c_str());
 }
 
 TEST(CampaignResumeTest, PartialJournalResumesToIdenticalReport) {
   std::vector<DatasetPair> suite = SmallSuite();
-  CampaignOptions opt;
+  CampaignOptions opt = ClockedOptions();
   opt.num_threads = 1;  // deterministic journal line order for truncation
   opt.journal_path = TempPath("partial_full.jsonl");
   CampaignReport fresh = RunCampaignOnSuite(suite, {SmallFamily()}, opt);
-  std::string expected = CanonicalCampaignJson(fresh);
+  std::string expected = ToJson(fresh);
 
   // Keep only the first half of the journal, plus a torn final line —
   // the on-disk state after a mid-campaign SIGKILL.
@@ -238,12 +243,12 @@ TEST(CampaignResumeTest, PartialJournalResumesToIdenticalReport) {
 
   CampaignReport resumed =
       RunCampaignOnSuite(suite, {SmallFamily()}, resume_opt);
-  EXPECT_EQ(CanonicalCampaignJson(resumed), expected);
+  EXPECT_EQ(ToJson(resumed), expected);
 
   // The resumed journal is now itself complete: a third run replays it.
   CampaignReport replayed =
       RunCampaignOnSuite(suite, {AlwaysFailing(SmallFamily())}, resume_opt);
-  EXPECT_EQ(CanonicalCampaignJson(replayed), expected);
+  EXPECT_EQ(ToJson(replayed), expected);
   std::remove(opt.journal_path.c_str());
   std::remove(resume_opt.journal_path.c_str());
 }
@@ -252,7 +257,7 @@ TEST(CampaignResumeTest, QuarantinedFailuresAreNotReAttempted) {
   std::vector<DatasetPair> suite = SmallSuite();
   FaultPlan plan;
   plan.always_fail = true;
-  CampaignOptions opt;
+  CampaignOptions opt = ClockedOptions();
   opt.num_threads = 2;
   opt.policy.max_attempts = 2;
   opt.journal_path = TempPath("quarantine.jsonl");
@@ -265,7 +270,7 @@ TEST(CampaignResumeTest, QuarantinedFailuresAreNotReAttempted) {
   // retry counter proves no new attempts were spent.
   CampaignReport resumed =
       RunCampaignOnSuite(suite, {AlwaysFailing(SmallFamily())}, opt);
-  EXPECT_EQ(CanonicalCampaignJson(resumed), CanonicalCampaignJson(first));
+  EXPECT_EQ(ToJson(resumed), ToJson(first));
   ASSERT_EQ(resumed.families.size(), 1u);
   EXPECT_EQ(resumed.families[0].retry_attempts,
             first.families[0].retry_attempts);

@@ -17,15 +17,24 @@
 #include "harness/json_export.h"
 #include "harness/parallel.h"
 #include "matchers/embdi.h"
+#include "obs/clock.h"
 
 namespace valentine {
 namespace {
 
-// Wall-clock fields legitimately vary run-to-run; everything else must
-// not. Zeroing them makes ToJson a canonical byte-comparable form.
-std::string CanonicalJson(std::vector<FamilyPairOutcome> outcomes) {
-  for (auto& o : outcomes) o.total_ms = 0.0;
-  return ToJson(outcomes);
+// Every run measures time on a shared non-advancing FakeClock
+// (FamilyRunContext::clock), so timing fields are deterministically
+// zero and ToJson output is byte-comparable unmodified — the fake-clock
+// replacement for the old zero-out-total_ms canonicalization.
+FakeClock& SharedFakeClock() {
+  static FakeClock clock;
+  return clock;
+}
+
+FamilyRunContext ClockedRun() {
+  FamilyRunContext run;
+  run.clock = &SharedFakeClock();
+  return run;
 }
 
 // First `n` grid points of a family: full grids (Cupid alone has 96)
@@ -95,7 +104,8 @@ const std::string& SequentialBaseline(const std::string& family_name) {
     MethodFamily family = MakeFamily(family_name);
     it = baselines
              .emplace(family_name,
-                      CanonicalJson(RunFamilyOnSuite(family, SharedSuite())))
+                      ToJson(RunFamilyOnSuite(family, SharedSuite(),
+                                              ClockedRun())))
              .first;
   }
   return it->second;
@@ -115,9 +125,9 @@ TEST_P(ParallelDeterminismTest, ParallelMatchesSequentialBytes) {
   // and warm memo caches must not change results.
   MethodFamily family = MakeFamily(family_name);
   for (int repeat = 0; repeat < 3; ++repeat) {
-    auto outcomes =
-        RunFamilyOnSuiteParallel(family, SharedSuite(), num_threads);
-    EXPECT_EQ(CanonicalJson(std::move(outcomes)), expected)
+    auto outcomes = RunFamilyOnSuiteParallel(family, SharedSuite(),
+                                             num_threads, ClockedRun());
+    EXPECT_EQ(ToJson(std::move(outcomes)), expected)
         << family_name << " diverged from sequential with "
         << (num_threads == 0 ? std::string("hardware") :
                                std::to_string(num_threads))
@@ -156,13 +166,13 @@ TEST_P(ConfigGranularityDeterminismTest, ConfigSlicingMatchesSequentialBytes) {
 
   MethodFamily family = MakeFamily(family_name);
   ProfileCache cache;
-  FamilyRunContext run;
+  FamilyRunContext run = ClockedRun();
   run.profiles = &cache;
   for (int repeat = 0; repeat < 3; ++repeat) {
     auto outcomes =
         RunFamilyOnSuiteParallel(family, SharedSuite(), num_threads, run,
                                  ParallelGranularity::kConfig);
-    EXPECT_EQ(CanonicalJson(std::move(outcomes)), expected)
+    EXPECT_EQ(ToJson(std::move(outcomes)), expected)
         << family_name << " diverged from sequential under kConfig with "
         << (num_threads == 0 ? std::string("hardware") :
                                std::to_string(num_threads))

@@ -17,26 +17,27 @@
 #include "harness/json_export.h"
 #include "harness/parallel.h"
 #include "matchers/embdi.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace valentine {
 namespace {
 
-std::string CanonicalJson(std::vector<FamilyPairOutcome> outcomes) {
-  for (auto& o : outcomes) o.total_ms = 0.0;
-  return ToJson(outcomes);
+// Every run in this file measures time on a shared non-advancing
+// FakeClock, so timing fields are deterministically zero and reports /
+// outcome lists compare byte-for-byte unmodified — no field scrubbing.
+// The artifact-cache hit/miss split still depends on thread
+// interleaving, but it lives on the MetricsRegistry, outside the
+// byte-compared report.
+FakeClock& SharedFakeClock() {
+  static FakeClock clock;
+  return clock;
 }
 
-// Wall-clock fields legitimately vary; everything else must not. The
-// artifact-cache hit/miss split depends on thread interleaving (two
-// threads can race to the same miss), so it is diagnostics, not part of
-// the byte-identity contract.
-std::string CanonicalJson(CampaignReport report) {
-  for (auto& fr : report.families) {
-    fr.avg_runtime_ms = 0.0;
-    for (auto& o : fr.outcomes) o.total_ms = 0.0;
-  }
-  report.artifact_cache_stats.clear();
-  return ToJson(report);
+FamilyRunContext ClockedRun() {
+  FamilyRunContext run;
+  run.clock = &SharedFakeClock();
+  return run;
 }
 
 MethodFamily Truncate(MethodFamily family, size_t n) {
@@ -101,31 +102,27 @@ TEST_P(ProfileCacheFamilyTest, CachedRunMatchesUncachedBytes) {
   ASSERT_FALSE(SharedSuite().empty());
 
   const std::string uncached =
-      CanonicalJson(RunFamilyOnSuite(family, SharedSuite()));
+      ToJson(RunFamilyOnSuite(family, SharedSuite(), ClockedRun()));
 
   ProfileCache cache;
-  FamilyRunContext run;
+  FamilyRunContext run = ClockedRun();
   run.profiles = &cache;
-  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
-            uncached)
+  EXPECT_EQ(ToJson(RunFamilyOnSuite(family, SharedSuite(), run)), uncached)
       << family_name << " diverged when served from the profile cache";
   EXPECT_GT(cache.size(), 0u) << "cache was never consulted";
 
   // A warm cache (second pass over the same tables) must also agree.
-  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
-            uncached)
+  EXPECT_EQ(ToJson(RunFamilyOnSuite(family, SharedSuite(), run)), uncached)
       << family_name << " diverged on a warm cache";
 
   // Prepared-artifact fast path: profile cache + artifact cache stacked
   // must still match the monolithic bytes, cold and warm.
   ArtifactCache artifacts;
   run.artifacts = &artifacts;
-  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
-            uncached)
+  EXPECT_EQ(ToJson(RunFamilyOnSuite(family, SharedSuite(), run)), uncached)
       << family_name << " diverged when scored from cached artifacts";
   EXPECT_GT(artifacts.size(), 0u) << "artifact cache was never consulted";
-  EXPECT_EQ(CanonicalJson(RunFamilyOnSuite(family, SharedSuite(), run)),
-            uncached)
+  EXPECT_EQ(ToJson(RunFamilyOnSuite(family, SharedSuite(), run)), uncached)
       << family_name << " diverged on warm artifacts";
 }
 
@@ -148,11 +145,12 @@ TEST(ProfileCacheCampaignTest, ReportInvariantUnderCacheAndGranularity) {
 
   CampaignOptions baseline;
   baseline.num_threads = 1;
+  baseline.clock = &SharedFakeClock();
   baseline.use_profile_cache = false;
   baseline.use_artifact_cache = false;
   baseline.granularity = ParallelGranularity::kPair;
   const std::string expected =
-      CanonicalJson(RunCampaignOnSuite(SharedSuite(), families, baseline));
+      ToJson(RunCampaignOnSuite(SharedSuite(), families, baseline));
 
   for (bool use_cache : {false, true}) {
     for (bool use_artifacts : {false, true}) {
@@ -161,12 +159,13 @@ TEST(ProfileCacheCampaignTest, ReportInvariantUnderCacheAndGranularity) {
         for (size_t threads : {size_t{1}, size_t{2}, size_t{0}}) {
           CampaignOptions options;
           options.num_threads = threads;
+          options.clock = &SharedFakeClock();
           options.use_profile_cache = use_cache;
           options.use_artifact_cache = use_artifacts;
           options.granularity = granularity;
-          EXPECT_EQ(CanonicalJson(
-                        RunCampaignOnSuite(SharedSuite(), families, options)),
-                    expected)
+          EXPECT_EQ(
+              ToJson(RunCampaignOnSuite(SharedSuite(), families, options)),
+              expected)
               << "cache=" << use_cache << " artifacts=" << use_artifacts
               << " granularity="
               << (granularity == ParallelGranularity::kConfig ? "config"
@@ -188,49 +187,70 @@ TEST(ProfileCacheCampaignTest, MismatchedSpecFallsBackToInline) {
 
   CampaignOptions baseline;
   baseline.num_threads = 1;
+  baseline.clock = &SharedFakeClock();
   baseline.use_profile_cache = false;
   const std::string expected =
-      CanonicalJson(RunCampaignOnSuite(SharedSuite(), families, baseline));
+      ToJson(RunCampaignOnSuite(SharedSuite(), families, baseline));
 
   CampaignOptions mismatched;
   mismatched.num_threads = 1;
+  mismatched.clock = &SharedFakeClock();
   mismatched.use_profile_cache = true;
   mismatched.profile_spec.set_cap = 3;       // far below any matcher cap
   mismatched.profile_spec.distinct_cap = 5;  // truncated storage
   mismatched.profile_spec.minhash_hashes = 8;
-  EXPECT_EQ(CanonicalJson(
-                RunCampaignOnSuite(SharedSuite(), families, mismatched)),
+  EXPECT_EQ(ToJson(RunCampaignOnSuite(SharedSuite(), families, mismatched)),
             expected);
 }
 
-// The per-family artifact-cache counters ride along with the campaign
-// report (diagnostics, not part of the byte-identity contract): present
-// and exported when the cache is on, empty when it is off.
-TEST(ProfileCacheCampaignTest, ArtifactCacheStatsExported) {
+// The per-family artifact-cache counters live on the MetricsRegistry
+// (the single exclusion point from the byte-identity contract), never
+// on the report: present when the cache is on, absent when it is off,
+// and the report JSON carries no cache diagnostics either way.
+TEST(ProfileCacheCampaignTest, ArtifactCacheCountersOnMetricsRegistry) {
   std::vector<MethodFamily> families = {MakeFamily("JaccardLevenshtein"),
                                         MakeFamily("Distribution")};
 
+  MetricsRegistry metrics;
   CampaignOptions options;
   options.num_threads = 1;
+  options.clock = &SharedFakeClock();
+  options.metrics = &metrics;
   CampaignReport report = RunCampaignOnSuite(SharedSuite(), families, options);
-  ASSERT_EQ(report.artifact_cache_stats.size(), families.size());
-  for (const ArtifactCacheStats& s : report.artifact_cache_stats) {
+  for (const MethodFamily& family : families) {
     // Each table is prepared once per family (miss+build), then every
-    // further configuration of the grid is served from the cache.
-    EXPECT_GT(s.misses, 0u) << s.family;
-    EXPECT_EQ(s.builds, s.misses) << s.family;
-    EXPECT_GT(s.hits, 0u) << s.family;
+    // further configuration of the grid is served from the cache. The
+    // cache keys series by matcher Name(), not the (decoratable) family
+    // label, so resolve it from the grid.
+    const MetricLabels labels = {{"family", family.grid[0].matcher->Name()}};
+    uint64_t hits =
+        metrics.CounterValue("valentine_artifact_cache_hits_total", labels);
+    uint64_t misses =
+        metrics.CounterValue("valentine_artifact_cache_misses_total", labels);
+    uint64_t builds =
+        metrics.CounterValue("valentine_artifact_cache_builds_total", labels);
+    EXPECT_GT(misses, 0u) << family.name;
+    EXPECT_EQ(builds, misses) << family.name;
+    EXPECT_GT(hits, 0u) << family.name;
   }
-  const std::string json = ToJson(report);
-  EXPECT_NE(json.find("\"artifact_cache\":[{\"family\":"), std::string::npos);
-  EXPECT_NE(json.find("\"hits\":"), std::string::npos);
+  const std::string text = metrics.RenderPrometheusText();
+  EXPECT_NE(text.find("valentine_artifact_cache_hits_total{family="),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE valentine_artifact_cache_hits_total counter"),
+            std::string::npos);
+  // The report itself carries no cache diagnostics.
+  EXPECT_EQ(ToJson(report).find("artifact_cache"), std::string::npos);
 
+  MetricsRegistry off_metrics;
   CampaignOptions cache_off;
   cache_off.num_threads = 1;
+  cache_off.clock = &SharedFakeClock();
   cache_off.use_artifact_cache = false;
+  cache_off.metrics = &off_metrics;
   CampaignReport off = RunCampaignOnSuite(SharedSuite(), families, cache_off);
-  EXPECT_TRUE(off.artifact_cache_stats.empty());
-  EXPECT_NE(ToJson(off).find("\"artifact_cache\":[]"), std::string::npos);
+  EXPECT_EQ(off_metrics.RenderPrometheusText().find("valentine_artifact_cache"),
+            std::string::npos);
+  EXPECT_EQ(ToJson(off).find("artifact_cache"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+#ifndef VALENTINE_TESTS_JSON_MINI_H_
+#define VALENTINE_TESTS_JSON_MINI_H_
+
+// Minimal recursive-descent JSON parser for test assertions (schema
+// checks on exported traces/metrics). Supports the full JSON value
+// grammar the exporters emit: objects, arrays, strings with escapes,
+// numbers, true/false/null. Test-only — the library itself never parses
+// JSON with this.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace valentine {
+namespace json_mini {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  // Insertion order is irrelevant for the assertions; a map keeps
+  // lookups simple.
+  std::map<std::string, ValuePtr> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  const ValuePtr Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parses one complete JSON document; nullptr on any syntax error or
+  /// trailing garbage.
+  ValuePtr Parse() {
+    ValuePtr v = ParseValue();
+    SkipWs();
+    if (v == nullptr || pos_ != text_.size()) return nullptr;
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(const char* word) {
+    size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return nullptr;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't') {
+      if (!Literal("true")) return nullptr;
+      auto v = std::make_shared<Value>();
+      v->type = Value::Type::kBool;
+      v->boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!Literal("false")) return nullptr;
+      auto v = std::make_shared<Value>();
+      v->type = Value::Type::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      if (!Literal("null")) return nullptr;
+      return std::make_shared<Value>();
+    }
+    return ParseNumber();
+  }
+
+  ValuePtr ParseObject() {
+    if (!Consume('{')) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return v;
+    while (true) {
+      ValuePtr key = ParseString();
+      if (key == nullptr || !Consume(':')) return nullptr;
+      ValuePtr member = ParseValue();
+      if (member == nullptr) return nullptr;
+      v->object[key->string] = member;
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseArray() {
+    if (!Consume('[')) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return v;
+    while (true) {
+      ValuePtr element = ParseValue();
+      if (element == nullptr) return nullptr;
+      v->array.push_back(element);
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return nullptr;
+    ++pos_;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return nullptr;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v->string += '"'; break;
+          case '\\': v->string += '\\'; break;
+          case '/': v->string += '/'; break;
+          case 'b': v->string += '\b'; break;
+          case 'f': v->string += '\f'; break;
+          case 'n': v->string += '\n'; break;
+          case 'r': v->string += '\r'; break;
+          case 't': v->string += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return nullptr;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += h - '0';
+              else if (h >= 'a' && h <= 'f') code += 10 + (h - 'a');
+              else if (h >= 'A' && h <= 'F') code += 10 + (h - 'A');
+              else return nullptr;
+            }
+            // Exporters only emit \u00XX control escapes; map the rest
+            // through a replacement byte to stay total.
+            v->string += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return nullptr;
+        }
+      } else {
+        v->string += c;
+      }
+    }
+    return nullptr;  // unterminated
+  }
+
+  ValuePtr ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kNumber;
+    v->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                            nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline ValuePtr Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace json_mini
+}  // namespace valentine
+
+#endif  // VALENTINE_TESTS_JSON_MINI_H_

@@ -1,0 +1,82 @@
+#include "obs/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace valentine {
+namespace {
+
+TEST(FakeClockTest, NonAdvancingByDefault) {
+  FakeClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0);
+  EXPECT_EQ(clock.NowNanos(), 0);
+  EXPECT_EQ(clock.NowNanos(), 0);
+}
+
+TEST(FakeClockTest, StartsAtGivenOrigin) {
+  FakeClock clock(1'000'000);
+  EXPECT_EQ(clock.NowNanos(), 1'000'000);
+  EXPECT_EQ(clock.NowNanos(), 1'000'000);
+}
+
+TEST(FakeClockTest, AdvanceMovesTimeExactly) {
+  FakeClock clock;
+  clock.AdvanceNanos(500);
+  EXPECT_EQ(clock.NowNanos(), 500);
+  clock.AdvanceMs(2.5);
+  EXPECT_EQ(clock.NowNanos(), 500 + 2'500'000);
+}
+
+// The per-read step returns the *old* value then advances — N reads
+// yield 0, step, 2*step, ...
+TEST(FakeClockTest, PerReadStepReturnsValueBeforeAdvancing) {
+  FakeClock clock(0, 10);
+  EXPECT_EQ(clock.NowNanos(), 0);
+  EXPECT_EQ(clock.NowNanos(), 10);
+  EXPECT_EQ(clock.NowNanos(), 20);
+  clock.AdvanceNanos(100);
+  EXPECT_EQ(clock.NowNanos(), 130);
+}
+
+TEST(FakeClockTest, ElapsedMsConvertsNanoDeltas) {
+  EXPECT_EQ(ElapsedMs(0, 1'000'000), 1.0);
+  EXPECT_EQ(ElapsedMs(500'000, 500'000), 0.0);
+  EXPECT_EQ(ElapsedMs(0, 250'000), 0.25);
+}
+
+TEST(FakeClockTest, ConcurrentReadsAndAdvancesStayConsistent) {
+  FakeClock clock(0, 1);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) {
+        (void)clock.NowNanos();
+        clock.AdvanceNanos(2);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // 4 threads * 1000 * (1 per read + 2 per advance) = 12000 total.
+  EXPECT_EQ(clock.NowNanos(), 12000);
+}
+
+TEST(ClockOrSteadyTest, FallsBackToProcessSteadyClock) {
+  const Clock& steady = ClockOrSteady(nullptr);
+  EXPECT_EQ(&steady, SteadyClockTimingSource());
+  // The real clock is monotonic non-decreasing.
+  int64_t a = steady.NowNanos();
+  int64_t b = steady.NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockOrSteadyTest, UsesInjectedClockWhenPresent) {
+  FakeClock fake(42);
+  const Clock& clock = ClockOrSteady(&fake);
+  EXPECT_EQ(&clock, &fake);
+  EXPECT_EQ(clock.NowNanos(), 42);
+}
+
+}  // namespace
+}  // namespace valentine

@@ -1,0 +1,187 @@
+// Trace/journal correlation across a real crash: a campaign SIGKILLed
+// mid-flight is resumed with tracing on, and the resumed trace joins
+// the journal — every replayed (family, pair, config) triple appears as
+// an experiment span whose trace id IS its journal key, annotated
+// replayed=true and never executing a matcher. The resumed report stays
+// byte-identical to an uninterrupted run under the shared FakeClock.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/tpcdi.h"
+#include "harness/campaign.h"
+#include "harness/journal.h"
+#include "harness/json_export.h"
+#include "matchers/matcher.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace valentine {
+namespace {
+
+std::vector<DatasetPair> SmallSuite() {
+  Table original = MakeTpcdiProspect(25, 1717);
+  PairSuiteOptions opt;
+  opt.row_overlaps = {0.5};
+  opt.column_overlaps = {0.5};
+  opt.schema_noise_variants = false;
+  opt.instance_noise_variants = false;
+  return BuildFabricatedSuite(original, opt);
+}
+
+MethodFamily SmallFamily() {
+  MethodFamily family = JaccardLevenshteinFamily();
+  family.grid.resize(2);
+  return family;
+}
+
+/// Delegates until `budget` successful matches have been spent, then
+/// raises SIGKILL (same pattern as harness_crash_resume_test).
+class KillAfterMatcher : public ColumnMatcher {
+ public:
+  KillAfterMatcher(std::shared_ptr<const ColumnMatcher> inner,
+                   std::shared_ptr<std::atomic<int>> budget)
+      : inner_(std::move(inner)), budget_(std::move(budget)) {}
+
+  std::string Name() const override { return inner_->Name(); }
+  MatcherCategory Category() const override { return inner_->Category(); }
+  std::vector<MatchType> Capabilities() const override {
+    return inner_->Capabilities();
+  }
+  [[nodiscard]] Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override {
+    if (budget_->fetch_sub(1) <= 0) {
+      raise(SIGKILL);
+    }
+    return inner_->Match(source, target, context);
+  }
+
+ private:
+  std::shared_ptr<const ColumnMatcher> inner_;
+  std::shared_ptr<std::atomic<int>> budget_;
+};
+
+MethodFamily KillAfter(const MethodFamily& base, int budget) {
+  auto shared_budget = std::make_shared<std::atomic<int>>(budget);
+  MethodFamily wrapped{base.name, {}};
+  for (const ConfiguredMatcher& cm : base.grid) {
+    wrapped.grid.push_back(
+        {cm.description,
+         std::make_shared<KillAfterMatcher>(cm.matcher, shared_budget)});
+  }
+  return wrapped;
+}
+
+TEST(CrashTraceTest, ResumedTraceJoinsJournalAndMarksReplayedSpans) {
+  std::vector<DatasetPair> suite = SmallSuite();
+  FakeClock fake_clock;
+
+  // Reference: uninterrupted, journal-free, untraced.
+  CampaignOptions plain;
+  plain.num_threads = 2;
+  plain.clock = &fake_clock;
+  std::string expected =
+      ToJson(RunCampaignOnSuite(suite, {SmallFamily()}, plain));
+
+  std::string journal_path = ::testing::TempDir() + "valentine_crash_trace_" +
+                             std::to_string(getpid()) + ".jsonl";
+  std::remove(journal_path.c_str());
+  CampaignOptions journaled = plain;
+  journaled.journal_path = journal_path;
+
+  pid_t child = fork();
+  ASSERT_NE(child, -1) << "fork failed";
+  if (child == 0) {
+    (void)RunCampaignOnSuite(suite, {KillAfter(SmallFamily(), 5)}, journaled);
+    _exit(0);  // unreachable when the kill fires
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus)) << "child was expected to die mid-run";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Collect the surviving journal keys straight from the torn file (the
+  // same lines JournalIndex::Load will honor on resume).
+  std::set<std::string> journaled_keys;
+  {
+    std::ifstream in(journal_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::optional<JournalEntry> e = ParseJournalEntry(line);
+      if (!e.has_value()) break;  // torn final line
+      journaled_keys.insert(JournalKey(e->family, e->pair_id, e->config));
+    }
+  }
+  ASSERT_GT(journaled_keys.size(), 0u);
+
+  // Resume with full observability.
+  Tracer tracer(&fake_clock);
+  MetricsRegistry metrics;
+  CampaignOptions traced = journaled;
+  traced.tracer = &tracer;
+  traced.metrics = &metrics;
+  CampaignReport resumed =
+      RunCampaignOnSuite(suite, {SmallFamily()}, traced);
+  EXPECT_EQ(ToJson(resumed), expected);
+
+  // Every journaled triple surfaces as a replayed experiment span whose
+  // trace id is exactly its journal key — the trace/journal join.
+  std::map<std::string, bool> replayed_by_trace;  // trace id -> replayed
+  std::map<std::string, size_t> attempts_by_trace;
+  for (const SpanRecord& span : tracer.Snapshot()) {
+    if (span.kind == "experiment") {
+      bool replayed = false;
+      for (const auto& [key, value] : span.attributes) {
+        if (key == "replayed" && value == "true") replayed = true;
+      }
+      replayed_by_trace[span.trace_id] = replayed;
+    }
+    if (span.kind == "attempt") ++attempts_by_trace[span.trace_id];
+  }
+  ASSERT_EQ(replayed_by_trace.size(), resumed.num_experiments);
+  for (const std::string& key : journaled_keys) {
+    auto it = replayed_by_trace.find(key);
+    ASSERT_NE(it, replayed_by_trace.end()) << key;
+    EXPECT_TRUE(it->second) << key << " executed instead of replaying";
+    // Replayed triples never reach the attempt stage.
+    EXPECT_EQ(attempts_by_trace.count(key), 0u) << key;
+  }
+  // The rest of the campaign actually executed.
+  size_t executed = 0;
+  for (const auto& [trace_id, replayed] : replayed_by_trace) {
+    if (!replayed) {
+      ++executed;
+      EXPECT_GT(attempts_by_trace[trace_id], 0u) << trace_id;
+    }
+  }
+  EXPECT_EQ(executed + journaled_keys.size(), resumed.num_experiments);
+  EXPECT_GT(executed, 0u);
+
+  // The replay counter agrees with the journal.
+  EXPECT_EQ(metrics.CounterValue("valentine_experiments_replayed_total",
+                                 {{"family", "JaccardLevenshtein"}}),
+            journaled_keys.size());
+  EXPECT_EQ(metrics.CounterValue("valentine_experiments_total",
+                                 {{"family", "JaccardLevenshtein"}}),
+            executed);
+  std::remove(journal_path.c_str());
+}
+
+}  // namespace
+}  // namespace valentine

@@ -84,6 +84,27 @@ def main() -> int:
            ["--pretend-rel", "src/stats/column_profile.cpp",
             pointer_fixture], 0)
 
+    # Raw steady_clock::now() reads bypass the injectable Clock: flagged
+    # in ordinary src/ library code, with the lint:allow'd read excluded
+    # (hence exactly 2 findings)...
+    clock_fixture = str(TESTDATA / "raw_steady_clock.cpp")
+    expect("raw-steady-clock-flagged",
+           ["--pretend-rel", "src/harness/timing_helper.cpp", clock_fixture],
+           1, "wallclock-time")
+    expect("raw-steady-clock-allow-respected",
+           ["--pretend-rel", "src/harness/timing_helper.cpp", clock_fixture],
+           1, "2 violation(s)")
+    # ...but sanctioned inside the Clock abstraction and the Deadline
+    # machinery (which deliberately stays on the real steady clock).
+    expect("raw-steady-clock-obs-exempt",
+           ["--pretend-rel", "src/obs/clock.cpp", clock_fixture], 0)
+    expect("raw-steady-clock-deadline-exempt",
+           ["--pretend-rel", "src/core/deadline.cpp", clock_fixture], 0)
+    # Outside src/ the rule does not apply at all.
+    expect("raw-steady-clock-out-of-scope",
+           ["--pretend-rel", "tools/bench_report/bench_report.cpp",
+            clock_fixture], 0)
+
     # Fixtures never leak into a default tree scan: the real tree must
     # still lint clean with the deliberately bad file present.
     expect("default-tree-clean", [], 0)
@@ -96,7 +117,7 @@ def main() -> int:
         for f in FAILURES:
             print(f"lint_selftest FAIL {f}", file=sys.stderr)
         return 1
-    print("lint_selftest: OK (11 cases)")
+    print("lint_selftest: OK (16 cases)")
     return 0
 
 

@@ -1,0 +1,34 @@
+// Fixture for the wallclock-time rule's steady_clock::now() pattern:
+// raw monotonic-clock reads are fine inside src/obs/ (the Clock
+// abstraction) and src/core/deadline.* (real-time budgets), but
+// anywhere else in src/ they bypass the injectable valentine::Clock and
+// make timing fields nondeterministic. Deliberately violating; only
+// linted via --pretend-rel from lint_selftest.py. No sleeps, no
+// system_clock, and no includes at all (the self-test pretends this
+// file lives at several different paths, and any first include would
+// trip include-hygiene's own-header-first check under one of them), so
+// the exempt-path cases pass with zero findings.
+
+namespace valentine_lint_fixture {
+
+using int64_t = long long;
+
+int64_t MeasureStart() {
+  // BAD outside src/obs/ and src/core/deadline.*: raw monotonic read.
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+double MeasureElapsedMs(int64_t start_ns) {
+  // BAD: the matching end-read, same rule.
+  auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(t1.time_since_epoch().count() - start_ns) / 1e6;
+}
+
+int64_t SanctionedRead() {
+  // Justified reads stay allowed anywhere.
+  auto t = std::chrono::steady_clock::now();  // lint:allow(wallclock-time)
+  return t.time_since_epoch().count();
+}
+
+}  // namespace valentine_lint_fixture

@@ -13,9 +13,9 @@ machine-checks the repo-wide invariants that protect it:
   unordered-iteration   Iteration over std::unordered_map/unordered_set
                         in ranked-output / serialization paths
                         (src/matchers/, src/discovery/, src/knowledge/,
-                        src/harness/json_export.*). Hash-order iteration
-                        silently reorders equal-score matches and
-                        serialized records between platforms and runs.
+                        src/obs/, src/harness/json_export.*). Hash-order
+                        iteration silently reorders equal-score matches
+                        and serialized records between platforms/runs.
   ignored-status        Statement-level calls to functions returning
                         Status/Result<T> whose value is discarded.
                         (Backstop for compilers/configs where the
@@ -32,14 +32,18 @@ machine-checks the repo-wide invariants that protect it:
                         Address keys go stale when the pointee's storage
                         moves or is recycled; caches must key on content
                         (cf. matchers::ArtifactCache).
-  wallclock-time        std::chrono::system_clock and thread sleeps
-                        (sleep_for / sleep_until) in src/ library code.
-                        Deadlines must use the steady clock (wall clocks
-                        jump under NTP and break Deadline math), and
-                        library code must never block the calling
-                        thread — waits are cooperative (Deadline /
-                        CancellationToken polling) or delegated to the
-                        embedder via ExecutionPolicy::backoff_wait.
+  wallclock-time        std::chrono::system_clock, thread sleeps
+                        (sleep_for / sleep_until), and raw
+                        steady_clock::now() reads in src/ library code
+                        (the latter outside src/obs/ and
+                        src/core/deadline.*). Wall clocks jump under
+                        NTP and break Deadline math; library code must
+                        never block the calling thread (waits are
+                        cooperative or delegated via
+                        ExecutionPolicy::backoff_wait); and raw steady-
+                        clock measurements bypass the injectable
+                        valentine::Clock, making timing fields
+                        nondeterministic under test.
 
 Usage:
   tools/lint/valentine_lint.py            # lint the default tree
@@ -177,8 +181,11 @@ UNORDERED_DECL_RE = re.compile(
 # order-sensitive as the matchers themselves. src/discovery/ ranks
 # repository tables and src/knowledge/ feeds matcher scores through the
 # thesaurus, so hash-order iteration there reorders results the same way.
+# src/obs/ serializes traces and Prometheus text that must be
+# byte-reproducible under a FakeClock, so its export paths may never
+# iterate a hash container either.
 ORDER_SENSITIVE_PREFIXES = ("src/matchers/", "src/text/", "src/stats/",
-                            "src/discovery/", "src/knowledge/")
+                            "src/discovery/", "src/knowledge/", "src/obs/")
 ORDER_SENSITIVE_FILES = {"src/harness/json_export.h", "src/harness/json_export.cpp"}
 
 
@@ -316,14 +323,28 @@ def check_pointer_cache_key(path: Path, rel: str, text: str, out: list):
 # Rule: wallclock-time
 # --------------------------------------------------------------------------
 
+# (pattern, message, exempt prefixes). Raw steady-clock reads are only
+# sanctioned inside the Clock abstraction itself (src/obs/) and the
+# Deadline machinery (src/core/deadline.*), which deliberately stays on
+# the real steady clock so wall-clock budgets hold even under a
+# FakeClock; every *measurement* elsewhere must flow through an
+# injectable valentine::Clock or timing fields go nondeterministic and
+# tests are back to scrubbing them.
 WALLCLOCK_PATTERNS = [
     (re.compile(r"\bsystem_clock\b"),
      "std::chrono::system_clock is wall-clock time (jumps under NTP); "
-     "use std::chrono::steady_clock / valentine::Deadline"),
+     "use std::chrono::steady_clock / valentine::Deadline",
+     ()),
     (re.compile(r"\bsleep_(?:for|until)\s*\("),
      "library code must not sleep; poll MatchContext::Check for "
      "cooperative waits or route delays through "
-     "ExecutionPolicy::backoff_wait"),
+     "ExecutionPolicy::backoff_wait",
+     ()),
+    (re.compile(r"\bsteady_clock\s*::\s*now\s*\("),
+     "raw steady_clock::now() makes timing fields nondeterministic; "
+     "read time through an injectable valentine::Clock "
+     "(src/obs/clock.h) so tests can inject a FakeClock",
+     ("src/obs/", "src/core/deadline.")),
 ]
 
 
@@ -331,7 +352,9 @@ def check_wallclock_time(path: Path, rel: str, text: str, out: list):
     if not rel.startswith("src/"):
         return
     for lineno, raw, code in iter_code_lines(text):
-        for pattern, message in WALLCLOCK_PATTERNS:
+        for pattern, message, exempt_prefixes in WALLCLOCK_PATTERNS:
+            if any(rel.startswith(p) for p in exempt_prefixes):
+                continue
             if pattern.search(code) and not allowed(raw, "wallclock-time"):
                 out.append(Violation(path, lineno, "wallclock-time", message))
 

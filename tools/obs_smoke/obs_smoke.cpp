@@ -1,0 +1,171 @@
+// Observability smoke driver: runs a small traced campaign and writes
+// every export the obs layer produces, so CI (and humans) can check the
+// determinism contract end to end:
+//
+//   obs_smoke --fake-clock --threads 1 --trace-out a.json ...   # twice
+//   diff the two trace/metrics/report outputs byte-for-byte;
+//   obs_smoke --no-obs --report-out plain.json
+//   diff plain.json against a traced run's report — identical.
+//
+// With --fake-clock all timing flows from a non-advancing FakeClock, so
+// single-threaded runs serialize byte-identically; without it the real
+// steady clock produces a trace worth opening in chrome://tracing.
+//
+// Usage: obs_smoke [--rows N] [--threads N] [--fake-clock] [--no-obs]
+//                  [--trace-out PATH] [--trace-jsonl PATH]
+//                  [--metrics-out PATH] [--report-out PATH]
+//
+// Exits 0 on success, 1 when the campaign or a write failed, 2 on usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/tpcdi.h"
+#include "harness/campaign.h"
+#include "harness/json_export.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace valentine {
+namespace {
+
+struct SmokeOptions {
+  size_t rows = 25;
+  size_t threads = 1;
+  bool fake_clock = false;
+  bool no_obs = false;
+  std::string trace_out;
+  std::string trace_jsonl;
+  std::string metrics_out;
+  std::string report_out;
+};
+
+/// Two small families keep the run under a second while still covering
+/// prepare/score staging and cross-family metrics labels.
+std::vector<MethodFamily> SmokeFamilies() {
+  std::vector<MethodFamily> families;
+  MethodFamily jl = JaccardLevenshteinFamily();
+  if (jl.grid.size() > 2) jl.grid.resize(2);
+  families.push_back(std::move(jl));
+  MethodFamily dist = DistributionFamily1();
+  if (dist.grid.size() > 2) dist.grid.resize(2);
+  families.push_back(std::move(dist));
+  return families;
+}
+
+int WriteOrFail(const std::string& text, const std::string& path,
+                const char* what) {
+  if (path.empty()) return 0;
+  Status status = WriteTextFile(text, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "obs_smoke: writing %s to %s failed: %s\n", what,
+                 path.c_str(), status.message().c_str());
+    return 1;
+  }
+  std::printf("%s: %s (%zu bytes)\n", what, path.c_str(), text.size());
+  return 0;
+}
+
+int RunSmoke(const SmokeOptions& opt) {
+  Table original = MakeTpcdiProspect(opt.rows, 99);
+  PairSuiteOptions suite_opt;
+  suite_opt.row_overlaps = {0.5};
+  suite_opt.column_overlaps = {0.5};
+  suite_opt.schema_noise_variants = false;
+  suite_opt.instance_noise_variants = false;
+  std::vector<DatasetPair> suite = BuildFabricatedSuite(original, suite_opt);
+
+  FakeClock fake_clock;
+  Tracer tracer(opt.fake_clock ? &fake_clock : nullptr);
+  MetricsRegistry metrics;
+
+  CampaignOptions options;
+  options.num_threads = opt.threads;
+  if (opt.fake_clock) options.clock = &fake_clock;
+  if (!opt.no_obs) {
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+  }
+  CampaignReport report = RunCampaignOnSuite(suite, SmokeFamilies(), options);
+
+  std::set<std::string> kinds;
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  for (const SpanRecord& span : spans) kinds.insert(span.kind);
+  std::printf(
+      "campaign: %zu pairs, %zu experiments, %zu failed; %zu spans, "
+      "%zu span kinds\n",
+      report.num_pairs, report.num_experiments, report.failed_experiments,
+      spans.size(), kinds.size());
+
+  int failures = 0;
+  failures += WriteOrFail(ToJson(report), opt.report_out, "report");
+  if (!opt.no_obs) {
+    failures += WriteOrFail(ToChromeTraceJson(spans), opt.trace_out,
+                            "chrome trace");
+    failures += WriteOrFail(ToTraceJsonl(spans), opt.trace_jsonl,
+                            "trace jsonl");
+    failures += WriteOrFail(metrics.RenderPrometheusText(), opt.metrics_out,
+                            "metrics");
+  }
+  if (report.num_experiments == 0 || report.failed_experiments != 0) {
+    std::fprintf(stderr, "obs_smoke: unexpected campaign outcome\n");
+    return 1;
+  }
+  // A traced run must cover the span taxonomy the docs promise.
+  if (!opt.no_obs && kinds.size() < 5) {
+    std::fprintf(stderr, "obs_smoke: only %zu span kinds recorded\n",
+                 kinds.size());
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace valentine
+
+int main(int argc, char** argv) {
+  valentine::SmokeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--rows") == 0) {
+      opt.rows = std::strtoull(next("--rows"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opt.threads = std::strtoull(next("--threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fake-clock") == 0) {
+      opt.fake_clock = true;
+    } else if (std::strcmp(argv[i], "--no-obs") == 0) {
+      opt.no_obs = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      opt.trace_out = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--trace-jsonl") == 0) {
+      opt.trace_jsonl = next("--trace-jsonl");
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      opt.metrics_out = next("--metrics-out");
+    } else if (std::strcmp(argv[i], "--report-out") == 0) {
+      opt.report_out = next("--report-out");
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_smoke [--rows N] [--threads N] [--fake-clock] "
+                   "[--no-obs] [--trace-out PATH] [--trace-jsonl PATH] "
+                   "[--metrics-out PATH] [--report-out PATH]\n");
+      return 2;
+    }
+  }
+  if (opt.rows == 0) {
+    std::fprintf(stderr, "invalid smoke options\n");
+    return 2;
+  }
+  return valentine::RunSmoke(opt);
+}
