@@ -1,0 +1,109 @@
+#ifndef VALENTINE_CORE_MUTEX_H_
+#define VALENTINE_CORE_MUTEX_H_
+
+/// \file mutex.h
+/// The annotated mutex the whole library locks with.
+///
+/// valentine::Mutex wraps std::mutex with two layers of discipline the
+/// raw type cannot carry:
+///
+///  1. Clang capability annotations (thread_annotations.h): the class
+///     is a CAPABILITY, Lock/Unlock are ACQUIRE/RELEASE, so members
+///     declared GUARDED_BY(mu_) are compile-time-proven to be touched
+///     only under the lock (`clang-thread-safety` preset,
+///     `-Wthread-safety -Werror=thread-safety`).
+///  2. A debug-build lock-rank registry (lock_rank.h): every Mutex has
+///     a fixed per-subsystem rank, and acquisitions that invert the
+///     global order — or re-enter a held mutex — are reported at the
+///     exact offending call, on any toolchain. Release builds compile
+///     the checks out.
+///
+/// Library code must not use std::mutex / std::lock_guard directly
+/// (enforced by the `naked-mutex` lint rule); this header is the one
+/// sanctioned home of the raw primitives.
+
+#include <mutex>
+
+#include "core/lock_rank.h"
+#include "core/thread_annotations.h"
+
+/// Rank/self-deadlock checking is on wherever NDEBUG is off — debug and
+/// sanitizer builds (the Sanitize build type deliberately leaves NDEBUG
+/// unset). Define VALENTINE_FORCE_LOCK_RANK_CHECKS to keep the checks
+/// in an optimized build (e.g. a soak binary).
+#if !defined(NDEBUG) || defined(VALENTINE_FORCE_LOCK_RANK_CHECKS)
+#define VALENTINE_LOCK_RANK_CHECKS_ENABLED 1
+#else
+#define VALENTINE_LOCK_RANK_CHECKS_ENABLED 0
+#endif
+
+namespace valentine {
+
+/// \brief Annotated, rank-checked exclusive mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` is for violation diagnostics only and must outlive the
+  /// mutex (string literals do).
+  explicit Mutex(LockRank rank = LockRank::kUnranked,
+                 const char* name = "Mutex")
+      : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if VALENTINE_LOCK_RANK_CHECKS_ENABLED
+    LockRankTracker::CheckAcquire(this, rank_, name_);
+#endif
+    mu_.lock();
+#if VALENTINE_LOCK_RANK_CHECKS_ENABLED
+    LockRankTracker::Acquired(this, rank_, name_);
+#endif
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if VALENTINE_LOCK_RANK_CHECKS_ENABLED
+    LockRankTracker::Released(this);
+#endif
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+#if VALENTINE_LOCK_RANK_CHECKS_ENABLED
+    // A failed try-lock is legal at any rank, but a try-lock on a mutex
+    // this thread already holds is UB on std::mutex — check first.
+    LockRankTracker::CheckAcquire(this, rank_, name_);
+#endif
+    bool acquired = mu_.try_lock();
+#if VALENTINE_LOCK_RANK_CHECKS_ENABLED
+    if (acquired) LockRankTracker::Acquired(this, rank_, name_);
+#endif
+    return acquired;
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// \brief RAII critical section over a valentine::Mutex — the drop-in
+/// replacement for std::lock_guard (enforced by the naked-mutex lint
+/// rule). SCOPED_CAPABILITY lets the Clang analysis treat the guard's
+/// lifetime as the held region.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_CORE_MUTEX_H_

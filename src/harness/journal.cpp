@@ -159,7 +159,7 @@ OutcomeJournal::OutcomeJournal(const std::string& path)
 
 void OutcomeJournal::Append(const JournalEntry& entry) {
   std::string line = SerializeJournalEntry(entry);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!status_.ok()) return;
   out_ << line << '\n';
   out_.flush();
@@ -169,7 +169,7 @@ void OutcomeJournal::Append(const JournalEntry& entry) {
 }
 
 Status OutcomeJournal::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return status_;
 }
 

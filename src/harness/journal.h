@@ -13,12 +13,13 @@
 /// uninterrupted run.
 
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace valentine {
 
@@ -60,18 +61,18 @@ class OutcomeJournal {
   OutcomeJournal(const OutcomeJournal&) = delete;
   OutcomeJournal& operator=(const OutcomeJournal&) = delete;
 
-  void Append(const JournalEntry& entry);
+  void Append(const JournalEntry& entry) EXCLUDES(mutex_);
 
   /// First error encountered (open or write); OK while healthy.
-  Status status() const;
+  Status status() const EXCLUDES(mutex_);
 
   const std::string& path() const { return path_; }
 
  private:
-  std::string path_;
-  std::ofstream out_;
-  mutable std::mutex mutex_;
-  Status status_;
+  const std::string path_;  // lint:allow(guarded-by-coverage) immutable
+  mutable Mutex mutex_{LockRank::kJournal, "OutcomeJournal"};
+  std::ofstream out_ GUARDED_BY(mutex_);
+  Status status_ GUARDED_BY(mutex_);
 };
 
 /// \brief Read-only index over a journal file, keyed by

@@ -11,6 +11,14 @@
 /// ColumnMatcher::Match must be safe to call concurrently on one
 /// instance (all built-in matchers are; Cupid's memo cache is mutex
 /// guarded).
+///
+/// The runner itself holds no valentine::Mutex: work distribution is a
+/// single std::atomic<size_t> cursor (claim-by-fetch_add), and each
+/// outcome is written to its pair's pre-sized slot, so there is no
+/// shared mutable state for GUARDED_BY to name. Everything the workers
+/// *call into* — caches, journal, metrics, tracer — locks through the
+/// annotated layer (src/core/mutex.h, DESIGN.md §11), and those mutexes
+/// are leaf-level by rank, so workers can never deadlock each other.
 
 #include <cstddef>
 #include <vector>

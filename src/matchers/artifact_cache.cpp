@@ -68,7 +68,7 @@ PreparedTablePtr ArtifactCache::GetOrPrepare(const ColumnMatcher& matcher,
   key += matcher.PrepareKey();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_[family].hits;
@@ -98,7 +98,7 @@ PreparedTablePtr ArtifactCache::GetOrPrepare(const ColumnMatcher& matcher,
   prepare_span.End();
   build_span.End();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_[family].builds;
     if (!built.ok()) return nullptr;
     auto [it, inserted] = map_.emplace(std::move(key), *built);
@@ -109,17 +109,17 @@ PreparedTablePtr ArtifactCache::GetOrPrepare(const ColumnMatcher& matcher,
 
 std::map<std::string, ArtifactCache::FamilyStats> ArtifactCache::StatsSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 size_t ArtifactCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.size();
 }
 
 void ArtifactCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_.clear();
   stats_.clear();
 }

@@ -32,10 +32,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "core/mutex.h"
 #include "core/table.h"
+#include "core/thread_annotations.h"
 #include "matchers/matcher.h"
 #include "matchers/prepared.h"
 
@@ -70,25 +71,25 @@ class ArtifactCache {
   PreparedTablePtr GetOrPrepare(const ColumnMatcher& matcher,
                                 const Table& table,
                                 const TableProfile* profile,
-                                const MatchContext& context);
+                                const MatchContext& context) EXCLUDES(mu_);
 
   /// Snapshot of per-family stats, keyed by family Name() (sorted, so
   /// iteration order is deterministic for reports).
-  std::map<std::string, FamilyStats> StatsSnapshot() const;
+  std::map<std::string, FamilyStats> StatsSnapshot() const EXCLUDES(mu_);
 
   /// Number of distinct artifacts currently held.
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
 
   /// Drops all entries and stats.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kArtifactCache, "ArtifactCache"};
   /// Value-based key: fingerprint + table name + family + prepare key,
   /// composed with 0x1f separators (none of which occur in hex digits;
   /// names pass through a length prefix to stay unambiguous).
-  std::map<std::string, PreparedTablePtr> map_;
-  std::map<std::string, FamilyStats> stats_;
+  std::map<std::string, PreparedTablePtr> map_ GUARDED_BY(mu_);
+  std::map<std::string, FamilyStats> stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace valentine

@@ -74,7 +74,7 @@ double CupidMatcher::LinguisticSimilarity(const std::string& a,
                                           const std::string& b) const {
   std::string key = a + "\x1f" + b;
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(&cache_mutex_);
     if (auto it = lsim_cache_.find(key); it != lsim_cache_.end()) {
       return it->second;
     }
@@ -84,7 +84,7 @@ double CupidMatcher::LinguisticSimilarity(const std::string& a,
   if (ta.empty() || tb.empty()) return 0.0;
   double sim = LsimFromTokens(ta, tb, *thesaurus_);
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(&cache_mutex_);
     lsim_cache_.emplace(std::move(key), sim);
   }
   return sim;
@@ -136,7 +136,7 @@ Result<MatchResult> CupidMatcher::Score(const PreparedTable& source,
                          const std::vector<Tok>& tb) {
     std::string key = name_a + "\x1f" + name_b;
     {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      MutexLock lock(&cache_mutex_);
       if (auto it = lsim_cache_.find(key); it != lsim_cache_.end()) {
         return it->second;
       }
@@ -144,7 +144,7 @@ Result<MatchResult> CupidMatcher::Score(const PreparedTable& source,
     if (ta.empty() || tb.empty()) return 0.0;
     double sim = LsimFromTokens(ta, tb, *thesaurus_);
     {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      MutexLock lock(&cache_mutex_);
       lsim_cache_.emplace(std::move(key), sim);
     }
     return sim;

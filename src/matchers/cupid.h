@@ -13,9 +13,10 @@
 /// with a string-similarity fallback; the structural matcher runs the
 /// TreeMatch leaf/ancestor mutual-reinforcement loop.
 
-#include <mutex>
 #include <unordered_map>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "knowledge/thesaurus.h"
 #include "matchers/matcher.h"
 
@@ -71,14 +72,15 @@ class CupidMatcher : public ColumnMatcher {
   static double TypeCompatibility(DataType a, DataType b);
 
  private:
-  CupidOptions options_;
-  const Thesaurus* thesaurus_;
+  const CupidOptions options_;  // lint:allow(guarded-by-coverage) immutable
+  const Thesaurus* const thesaurus_;  // lint:allow(guarded-by-coverage) immutable
   /// Linguistic similarity is parameter-independent, so results are
   /// memoized per name pair (grid runs revisit the same names often).
   /// Guarded by cache_mutex_ so Match() is safe to call concurrently
   /// (the parallel runner shares matcher instances across threads).
-  mutable std::unordered_map<std::string, double> lsim_cache_;
-  mutable std::mutex cache_mutex_;
+  mutable Mutex cache_mutex_{LockRank::kCupidMemo, "CupidMatcher"};
+  mutable std::unordered_map<std::string, double> lsim_cache_
+      GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace valentine

@@ -23,7 +23,7 @@ Result<MatchResult> FaultInjectingMatcher::MatchWithContext(
                               : context.trace_id;
   size_t attempt;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     attempt = ++attempts_[key];
   }
 
@@ -53,7 +53,7 @@ Result<MatchResult> FaultInjectingMatcher::MatchWithContext(
 }
 
 size_t FaultInjectingMatcher::AttemptsFor(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = attempts_.find(key);
   return it == attempts_.end() ? 0 : it->second;
 }

@@ -11,11 +11,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "matchers/matcher.h"
 
 namespace valentine {
@@ -65,13 +66,15 @@ class FaultInjectingMatcher : public ColumnMatcher {
       const MatchContext& context) const override;
 
   /// Attempts observed so far for an experiment key (testing hook).
-  size_t AttemptsFor(const std::string& key) const;
+  size_t AttemptsFor(const std::string& key) const EXCLUDES(mutex_);
 
  private:
-  std::shared_ptr<const ColumnMatcher> inner_;
-  FaultPlan plan_;
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, size_t> attempts_;
+  // Both set in the constructor, immutable afterwards.
+  std::shared_ptr<const ColumnMatcher> inner_;  // lint:allow(guarded-by-coverage)
+  FaultPlan plan_;  // lint:allow(guarded-by-coverage)
+  mutable Mutex mutex_{LockRank::kFaultInjection, "FaultInjectingMatcher"};
+  mutable std::unordered_map<std::string, size_t> attempts_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace valentine

@@ -130,7 +130,7 @@ Counter* MetricsRegistry::CounterFor(const std::string& name,
                                      const MetricLabels& labels) {
   MetricLabels sorted = SortedLabels(labels);
   std::string key = SerializeLabels(sorted);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Series& series = series_[name][key];
   if (series.counter == nullptr) {
     if (series.gauge != nullptr || series.histogram != nullptr) return nullptr;
@@ -145,7 +145,7 @@ Gauge* MetricsRegistry::GaugeFor(const std::string& name,
                                  const MetricLabels& labels) {
   MetricLabels sorted = SortedLabels(labels);
   std::string key = SerializeLabels(sorted);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Series& series = series_[name][key];
   if (series.gauge == nullptr) {
     if (series.counter != nullptr || series.histogram != nullptr) {
@@ -163,7 +163,7 @@ Histogram* MetricsRegistry::HistogramFor(const std::string& name,
                                          const std::vector<double>& bounds) {
   MetricLabels sorted = SortedLabels(labels);
   std::string key = SerializeLabels(sorted);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Series& series = series_[name][key];
   if (series.histogram == nullptr) {
     if (series.counter != nullptr || series.gauge != nullptr) return nullptr;
@@ -176,14 +176,14 @@ Histogram* MetricsRegistry::HistogramFor(const std::string& name,
 
 void MetricsRegistry::SetHelp(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   help_[name] = help;
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name,
                                        const MetricLabels& labels) const {
   std::string key = SerializeLabels(SortedLabels(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto by_name = series_.find(name);
   if (by_name == series_.end()) return 0;
   auto it = by_name->second.find(key);
@@ -194,7 +194,7 @@ uint64_t MetricsRegistry::CounterValue(const std::string& name,
 std::vector<MetricsRegistry::CounterSample> MetricsRegistry::CounterSamples()
     const {
   std::vector<CounterSample> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, by_labels] : series_) {
     for (const auto& [key, series] : by_labels) {
       if (series.counter == nullptr) continue;
@@ -218,7 +218,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   std::vector<Snap> snaps;
   std::vector<std::pair<std::string, std::string>> helps;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     for (const auto& [name, by_labels] : other.series_) {
       for (const auto& [key, series] : by_labels) {
         Snap snap;
@@ -238,7 +238,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
     helps.assign(other.help_.begin(), other.help_.end());
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [name, help] : helps) {
       if (help_.find(name) == help_.end()) help_[name] = std::move(help);
     }
@@ -270,7 +270,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
 
 std::string MetricsRegistry::RenderPrometheusText() const {
   std::string out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, by_labels] : series_) {
     if (by_labels.empty()) continue;
     auto help_it = help_.find(name);

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace valentine {
 
@@ -103,18 +105,21 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* CounterFor(const std::string& name,
-                      const MetricLabels& labels = {});
-  Gauge* GaugeFor(const std::string& name, const MetricLabels& labels = {});
+                      const MetricLabels& labels = {}) EXCLUDES(mu_);
+  Gauge* GaugeFor(const std::string& name, const MetricLabels& labels = {})
+      EXCLUDES(mu_);
   Histogram* HistogramFor(
       const std::string& name, const MetricLabels& labels = {},
-      const std::vector<double>& bounds = DefaultLatencyBucketsMs());
+      const std::vector<double>& bounds = DefaultLatencyBucketsMs())
+      EXCLUDES(mu_);
 
   /// Optional `# HELP` text for a metric name.
-  void SetHelp(const std::string& name, const std::string& help);
+  void SetHelp(const std::string& name, const std::string& help)
+      EXCLUDES(mu_);
 
   /// Current value of a counter series; 0 when absent.
   uint64_t CounterValue(const std::string& name,
-                        const MetricLabels& labels = {}) const;
+                        const MetricLabels& labels = {}) const EXCLUDES(mu_);
 
   struct CounterSample {
     std::string name;
@@ -122,17 +127,21 @@ class MetricsRegistry {
     uint64_t value = 0;
   };
   /// All counter series, sorted by (name, serialized labels).
-  std::vector<CounterSample> CounterSamples() const;
+  std::vector<CounterSample> CounterSamples() const EXCLUDES(mu_);
 
   /// Adds `other`'s counters and histogram observations into this
   /// registry and overwrites gauges — campaign-scoped registries merge
-  /// into a long-lived one this way.
-  void MergeFrom(const MetricsRegistry& other);
+  /// into a long-lived one this way. Snapshots `other` under its lock,
+  /// then applies under ours: the two locks are never held together, so
+  /// same-rank acquisition is legal and A.MergeFrom(B) cannot deadlock
+  /// against a concurrent B.MergeFrom(A).
+  void MergeFrom(const MetricsRegistry& other)
+      EXCLUDES(mu_, other.mu_);
 
   /// Prometheus text exposition format, byte-deterministic given equal
   /// series values: metric names sorted, series sorted by label string,
   /// doubles rendered with %.17g.
-  std::string RenderPrometheusText() const;
+  std::string RenderPrometheusText() const EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -144,11 +153,14 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kMetrics, "MetricsRegistry"};
   /// name -> (serialized labels -> series). Ordered maps: export paths
-  /// iterate them.
-  std::map<std::string, std::map<std::string, Series>> series_;
-  std::map<std::string, std::string> help_;
+  /// iterate them. The maps are guarded; the Counter/Gauge/Histogram
+  /// objects they own are updated lock-free through stable pointers
+  /// (atomics), which is exactly why hot paths may cache the handles.
+  std::map<std::string, std::map<std::string, Series>> series_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ GUARDED_BY(mu_);
 };
 
 }  // namespace valentine

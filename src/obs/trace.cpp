@@ -24,7 +24,7 @@ uint64_t Tracer::StartSpan(const std::string& trace_id,
                            const std::string& kind, const std::string& name,
                            uint64_t parent_id) {
   int64_t now = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t seq = next_seq_[trace_id]++;
   SpanRecord span;
   span.trace_id = trace_id;
@@ -43,7 +43,7 @@ uint64_t Tracer::StartSpan(const std::string& trace_id,
 void Tracer::AddSpanAttribute(uint64_t span_id, const std::string& key,
                               const std::string& value) {
   if (span_id == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = open_.find(span_id);
   if (it == open_.end()) return;
   spans_[it->second].attributes.emplace_back(key, value);
@@ -52,7 +52,7 @@ void Tracer::AddSpanAttribute(uint64_t span_id, const std::string& key,
 void Tracer::EndSpan(uint64_t span_id) {
   if (span_id == 0) return;
   int64_t now = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = open_.find(span_id);
   if (it == open_.end()) return;
   spans_[it->second].end_ns = now;
@@ -74,7 +74,7 @@ uint64_t Tracer::RecordEvent(
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::vector<SpanRecord> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out = spans_;
   }
   std::sort(out.begin(), out.end(),
@@ -86,7 +86,7 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
 }
 
 size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_.size();
 }
 

@@ -25,12 +25,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "obs/clock.h"
 
 namespace valentine {
@@ -63,39 +64,41 @@ class Tracer {
 
   /// Opens a span and returns its id (never 0).
   uint64_t StartSpan(const std::string& trace_id, const std::string& kind,
-                     const std::string& name, uint64_t parent_id = 0);
+                     const std::string& name, uint64_t parent_id = 0)
+      EXCLUDES(mu_);
 
   /// Annotates a still-open span; no-op once it ended (or for id 0).
   void AddSpanAttribute(uint64_t span_id, const std::string& key,
-                        const std::string& value);
+                        const std::string& value) EXCLUDES(mu_);
 
   /// Closes a span, stamping its end time. No-op for id 0 or unknown ids.
-  void EndSpan(uint64_t span_id);
+  void EndSpan(uint64_t span_id) EXCLUDES(mu_);
 
   /// Records a zero-duration point event as a closed span; returns its id.
   uint64_t RecordEvent(
       const std::string& trace_id, const std::string& kind,
       const std::string& name, uint64_t parent_id,
-      const std::vector<std::pair<std::string, std::string>>& attributes = {});
+      const std::vector<std::pair<std::string, std::string>>& attributes = {})
+      EXCLUDES(mu_);
 
   /// All spans recorded so far, sorted by (trace_id, seq) — an order
   /// independent of thread interleaving. Still-open spans are reported
   /// with end_ns = start_ns.
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
 
   const Clock& clock() const { return *clock_; }
 
  private:
-  const Clock* clock_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  const Clock* const clock_;  // lint:allow(guarded-by-coverage) immutable
+  mutable Mutex mu_{LockRank::kTracer, "Tracer"};
+  std::vector<SpanRecord> spans_ GUARDED_BY(mu_);
   /// Next sequence number per trace id (sorted map: deterministic and
   /// never iterated on an export path anyway).
-  std::map<std::string, uint64_t> next_seq_;
+  std::map<std::string, uint64_t> next_seq_ GUARDED_BY(mu_);
   /// Open span id -> index into spans_. Lookup only, never iterated.
-  std::unordered_map<uint64_t, size_t> open_;
+  std::unordered_map<uint64_t, size_t> open_ GUARDED_BY(mu_);
 };
 
 /// \brief RAII span: starts on construction, ends on destruction.

@@ -87,7 +87,7 @@ TableProfile TableProfile::Build(const Table& table, const ProfileSpec& spec) {
 std::shared_ptr<const TableProfile> ProfileCache::GetOrBuild(
     const Table& table) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = map_.find(&table);
     if (it != map_.end()) return it->second;
   }
@@ -95,7 +95,7 @@ std::shared_ptr<const TableProfile> ProfileCache::GetOrBuild(
   // a racing duplicate build wastes work but cannot diverge.
   auto built = std::make_shared<const TableProfile>(
       TableProfile::Build(table, spec_));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto [it, inserted] = map_.emplace(&table, std::move(built));
   return it->second;
 }
@@ -103,16 +103,21 @@ std::shared_ptr<const TableProfile> ProfileCache::GetOrBuild(
 std::shared_ptr<const TableProfile> ProfileCache::GetOrBuild(
     const Table& table, Tracer* tracer, const std::string& trace_id,
     uint64_t parent_span, MetricsRegistry* metrics) {
+  std::shared_ptr<const TableProfile> hit;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = map_.find(&table);
-    if (it != map_.end()) {
-      if (metrics != nullptr) {
-        metrics->CounterFor("valentine_profile_cache_hits_total")
-            ->Increment();
-      }
-      return it->second;
+    if (it != map_.end()) hit = it->second;
+  }
+  if (hit != nullptr) {
+    // Counter bump deliberately outside the critical section: the
+    // registry takes its own lock, and cache locks stay leaf-level —
+    // no lock is ever acquired while a cache mutex is held (DESIGN.md
+    // §11 lock-rank table).
+    if (metrics != nullptr) {
+      metrics->CounterFor("valentine_profile_cache_hits_total")->Increment();
     }
+    return hit;
   }
   SpanScope build_span(tracer, trace_id, "cache-build",
                        "profile/" + table.name(), parent_span);
@@ -125,7 +130,7 @@ std::shared_ptr<const TableProfile> ProfileCache::GetOrBuild(
 }
 
 size_t ProfileCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return map_.size();
 }
 

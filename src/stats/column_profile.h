@@ -27,13 +27,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/table.h"
+#include "core/thread_annotations.h"
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
 #include "stats/minhash.h"
@@ -176,7 +177,8 @@ class ProfileCache {
   /// request. Concurrent callers for the same table may race to build;
   /// the first insert wins and Build is deterministic, so either result
   /// is identical.
-  std::shared_ptr<const TableProfile> GetOrBuild(const Table& table);
+  std::shared_ptr<const TableProfile> GetOrBuild(const Table& table)
+      EXCLUDES(mutex_);
 
   /// Observable variant: on a build (cache miss) emits a "cache-build"
   /// span (attr cache="profile") under `parent_span` in `trace_id`, and
@@ -186,15 +188,17 @@ class ProfileCache {
                                                  Tracer* tracer,
                                                  const std::string& trace_id,
                                                  uint64_t parent_span,
-                                                 MetricsRegistry* metrics);
+                                                 MetricsRegistry* metrics)
+      EXCLUDES(mutex_);
 
   const ProfileSpec& spec() const { return spec_; }
-  size_t size() const;
+  size_t size() const EXCLUDES(mutex_);
 
  private:
-  ProfileSpec spec_;
-  mutable std::mutex mutex_;
-  std::unordered_map<const Table*, std::shared_ptr<const TableProfile>> map_;
+  const ProfileSpec spec_;  // lint:allow(guarded-by-coverage) immutable
+  mutable Mutex mutex_{LockRank::kProfileCache, "ProfileCache"};
+  std::unordered_map<const Table*, std::shared_ptr<const TableProfile>> map_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace valentine

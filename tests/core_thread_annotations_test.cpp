@@ -1,0 +1,113 @@
+// Compile-test for core/thread_annotations.h: a class exercising every
+// macro in the header, written so that it is *annotation-correct* — it
+// must compile warning-free both where the macros are no-ops (GCC,
+// MSVC) and where they drive the real capability analysis (the
+// clang-thread-safety preset, -Wthread-safety -Werror=thread-safety).
+// The runtime assertions are secondary; the build succeeding on both
+// toolchains is the test. The mirror-image negative fixture
+// (tests/thread_safety_violation_fixture.cpp) proves the Clang build
+// would have *rejected* the discipline violations.
+#include "core/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/mutex.h"
+
+namespace valentine {
+namespace {
+
+class AnnotatedBox {
+ public:
+  AnnotatedBox() : boxed_(std::make_unique<int>(0)) {}
+
+  // The common public-method shape: acquires internally, so callers
+  // must not already hold the mutex.
+  void Set(int v) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    value_ = v;
+  }
+
+  int Get() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+  // Private-helper shape: caller holds the lock already.
+  void SetLocked(int v) REQUIRES(mu_) { value_ = v; }
+  int GetLocked() const REQUIRES_SHARED(mu_) { return value_; }
+
+  // Manual bracketing, for callers that need the lock across several
+  // calls; ACQUIRE/RELEASE keep the analysis aware of the hand-off.
+  void Acquire() ACQUIRE(mu_) { mu_.Lock(); }
+  void Release() RELEASE(mu_) { mu_.Unlock(); }
+  bool TryAcquire() TRY_ACQUIRE(true, mu_) { return mu_.TryLock(); }
+
+  // The guarded pointee: the unique_ptr itself is unguarded, the int it
+  // owns is not.
+  void SetBoxed(int v) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    *boxed_ = v;
+  }
+
+  Mutex* mutex() RETURN_CAPABILITY(mu_) { return &mu_; }
+
+  // Escape hatch, with the mandatory justification: single-threaded
+  // test-only accessor that deliberately skips the lock.
+  int UnsafeGet() const NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+ private:
+  mutable Mutex mu_{LockRank::kUnranked, "AnnotatedBox"};
+  int value_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<int> boxed_ PT_GUARDED_BY(mu_);
+};
+
+TEST(ThreadAnnotationsTest, AnnotatedClassBehaves) {
+  AnnotatedBox box;
+  box.Set(7);
+  EXPECT_EQ(box.Get(), 7);
+  box.SetBoxed(9);
+  EXPECT_EQ(box.UnsafeGet(), 7);
+}
+
+TEST(ThreadAnnotationsTest, ManualBracketingSatisfiesTheAnalysis) {
+  AnnotatedBox box;
+  box.Acquire();
+  box.SetLocked(3);
+  EXPECT_EQ(box.GetLocked(), 3);
+  box.Release();
+  EXPECT_EQ(box.Get(), 3);
+}
+
+TEST(ThreadAnnotationsTest, TryAcquireGuardsTheSuccessPath) {
+  AnnotatedBox box;
+  if (box.TryAcquire()) {
+    box.SetLocked(5);
+    box.Release();
+  }
+  EXPECT_EQ(box.Get(), 5);
+}
+
+TEST(ThreadAnnotationsTest, ReturnedCapabilityIsLockable) {
+  AnnotatedBox box;
+  {
+    MutexLock lock(box.mutex());
+  }
+  EXPECT_EQ(box.Get(), 0);
+}
+
+TEST(ThreadAnnotationsTest, MacrosExpandCleanlyOnThisToolchain) {
+  // If this TU compiled, every macro above expanded to something this
+  // compiler accepts — the actual assertion of this test. Record which
+  // mode we are in so test logs show what was exercised.
+#if defined(__clang__)
+  RecordProperty("thread_safety_analysis", "clang-capability-attributes");
+#else
+  RecordProperty("thread_safety_analysis", "no-op-expansion");
+#endif
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace valentine

@@ -105,6 +105,43 @@ def main() -> int:
            ["--pretend-rel", "tools/bench_report/bench_report.cpp",
             clock_fixture], 0)
 
+    # Raw std::mutex / std::lock_guard in src/ library code bypass the
+    # annotated valentine::Mutex layer: flagged everywhere in src/
+    # except the wrapper itself, with the lint:allow'd lock_guard
+    # excluded (hence exactly 4 findings: include, member, two guards).
+    naked_fixture = str(TESTDATA / "naked_mutex.cpp")
+    expect("naked-mutex-flagged",
+           ["--pretend-rel", "src/obs/some_registry.cpp", naked_fixture],
+           1, "naked-mutex")
+    expect("naked-mutex-allow-respected",
+           ["--pretend-rel", "src/obs/some_registry.cpp", naked_fixture],
+           1, "4 violation(s)")
+    # ...but src/core/mutex.* is the sanctioned home of the raw
+    # primitives, and code outside src/ (tests, tools) is out of scope.
+    expect("naked-mutex-wrapper-exempt",
+           ["--pretend-rel", "src/core/mutex.cpp", naked_fixture], 0)
+    expect("naked-mutex-out-of-scope",
+           ["--pretend-rel", "tools/bench_report/bench_report.cpp",
+            naked_fixture], 0)
+
+    # Members sharing a class with a Mutex must declare GUARDED_BY or
+    # opt out: exactly 2 findings — the annotated member, the
+    # lint:allow'd immutable, the atomic, and the static constexpr are
+    # all exempt, as is the multi-line declaration whose GUARDED_BY
+    # sits on a continuation line.
+    guarded_fixture = str(TESTDATA / "guarded_by_missing.cpp")
+    expect("guarded-by-coverage-flagged",
+           ["--pretend-rel", "src/stats/export_cache.cpp", guarded_fixture],
+           1, "guarded-by-coverage")
+    expect("guarded-by-coverage-exemptions-respected",
+           ["--pretend-rel", "src/stats/export_cache.cpp", guarded_fixture],
+           1, "2 violation(s)")
+    # Outside src/ the heuristic does not apply (tests may build ad-hoc
+    # scaffolding without annotations).
+    expect("guarded-by-coverage-out-of-scope",
+           ["--pretend-rel", "tests/export_cache_test.cpp",
+            guarded_fixture], 0)
+
     # Fixtures never leak into a default tree scan: the real tree must
     # still lint clean with the deliberately bad file present.
     expect("default-tree-clean", [], 0)
@@ -117,7 +154,7 @@ def main() -> int:
         for f in FAILURES:
             print(f"lint_selftest FAIL {f}", file=sys.stderr)
         return 1
-    print("lint_selftest: OK (16 cases)")
+    print("lint_selftest: OK (23 cases)")
     return 0
 
 

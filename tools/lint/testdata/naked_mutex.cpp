@@ -1,0 +1,41 @@
+// Deliberately-violating fixture for the naked-mutex rule: raw
+// standard-library locking primitives in src/ library code, which the
+// Clang capability analysis and the lock-rank registry cannot see.
+// Expected findings when linted as src/<anything outside core/mutex.*>:
+// 4 — the <mutex> include, the member, one lock_guard, one unique_lock
+// (the lint:allow'd lock_guard in Clear() is exempt). The same file
+// linted as src/core/mutex.cpp (the sanctioned wrapper) or outside
+// src/ is clean. names_ carries GUARDED_BY so this fixture stays
+// single-purpose (guarded-by-coverage-clean).
+#include "core/mutex.h"
+
+#include <mutex>  // finding 1: <mutex>-family include
+
+#include <string>
+#include <vector>
+
+namespace valentine {
+
+class BadRegistry {
+ public:
+  void Add(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);  // finding 3
+    names_.push_back(name);
+  }
+
+  size_t Size() const {
+    std::unique_lock<std::mutex> lock(mu_);  // finding 4
+    return names_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);  // lint:allow(naked-mutex) fixture
+    names_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;  // finding 2
+  std::vector<std::string> names_ GUARDED_BY(mu_);
+};
+
+}  // namespace valentine

@@ -32,6 +32,23 @@ machine-checks the repo-wide invariants that protect it:
                         Address keys go stale when the pointee's storage
                         moves or is recycled; caches must key on content
                         (cf. matchers::ArtifactCache).
+  naked-mutex           Raw std::mutex / std::lock_guard / std::unique_lock
+                        (and <mutex>-family includes) in src/ outside the
+                        sanctioned wrapper (src/core/mutex.*). Library
+                        code must lock through valentine::Mutex/MutexLock
+                        so the Clang capability analysis and the debug
+                        lock-rank registry both apply; a raw mutex is
+                        invisible to both.
+  guarded-by-coverage   A class that declares a valentine::Mutex (or raw
+                        std::mutex) member must annotate every sibling
+                        data member with GUARDED_BY/PT_GUARDED_BY — or
+                        explicitly opt it out with
+                        // lint:allow(guarded-by-coverage) plus a reason
+                        (immutable-after-construction members, typically).
+                        Heuristic companion to -Wthread-safety: GCC
+                        builds cannot run the analysis, but they can
+                        refuse unannotated shared state. static /
+                        constexpr / std::atomic members are exempt.
   wallclock-time        std::chrono::system_clock, thread sleeps
                         (sleep_for / sleep_until), and raw
                         steady_clock::now() reads in src/ library code
@@ -360,6 +377,138 @@ def check_wallclock_time(path: Path, rel: str, text: str, out: list):
 
 
 # --------------------------------------------------------------------------
+# Rule: naked-mutex
+# --------------------------------------------------------------------------
+
+# The one sanctioned home of the raw primitives: the annotated wrapper.
+# Everything else in src/ locks through valentine::Mutex/MutexLock, so
+# the Clang capability analysis (thread_annotations.h) and the debug
+# lock-rank registry (lock_rank.h) see every critical section.
+MUTEX_WRAPPER_FILES = {"src/core/mutex.h", "src/core/mutex.cpp"}
+
+NAKED_MUTEX_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*(?:recursive_|timed_|recursive_timed_|"
+                r"shared_)?mutex\b"),
+     "std::mutex"),
+    (re.compile(r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|"
+                r"shared_lock)\b"),
+     "std::lock_guard/unique_lock/scoped_lock"),
+    (re.compile(r"\bstd\s*::\s*condition_variable(?:_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"^\s*#\s*include\s+<(?:mutex|shared_mutex|"
+                r"condition_variable)>"),
+     "<mutex>-family include"),
+]
+
+
+def check_naked_mutex(path: Path, rel: str, text: str, out: list):
+    if not rel.startswith("src/") or rel in MUTEX_WRAPPER_FILES:
+        return
+    for lineno, raw, code in iter_code_lines(text):
+        for pattern, what in NAKED_MUTEX_PATTERNS:
+            if pattern.search(code) and not allowed(raw, "naked-mutex"):
+                out.append(Violation(
+                    path, lineno, "naked-mutex",
+                    f"{what} bypasses the annotated locking layer; use "
+                    f"valentine::Mutex / MutexLock (src/core/mutex.h) so "
+                    f"-Wthread-safety and the lock-rank registry cover "
+                    f"this critical section"))
+                break  # one finding per line is enough
+
+
+# --------------------------------------------------------------------------
+# Rule: guarded-by-coverage
+# --------------------------------------------------------------------------
+
+CLASS_OPEN_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?(?:class|struct)\b")
+ENUM_CLASS_RE = re.compile(r"^\s*enum\s+(?:class|struct)\b")
+# A valentine::Mutex (or raw std::mutex) data member.
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:valentine\s*::\s*)?(?:Mutex|std\s*::\s*mutex)\s+(\w+)\s*[;{=]")
+# A data member by the repo's trailing-underscore convention: an
+# identifier ending in '_' directly followed by ';', '=', '{' (brace
+# init), or a thread-safety annotation. Function declarations never
+# match: their names carry no trailing underscore and their parameter
+# lists put '(' right after the name.
+DATA_MEMBER_RE = re.compile(
+    r"\b(\w+_)\s*(?:;|=|\{|GUARDED_BY\s*\(|PT_GUARDED_BY\s*\()")
+GUARD_ANNOTATION_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\s*\(")
+
+
+def check_guarded_by_coverage(path: Path, rel: str, text: str, out: list):
+    if not rel.startswith("src/") or rel in MUTEX_WRAPPER_FILES:
+        return
+    # Statements: code lines joined until one ends with ';', '{' or '}'
+    # (multi-line member declarations carry their GUARDED_BY on a
+    # continuation line). Each statement keeps the raw lines so
+    # lint:allow anywhere in the declaration is honored.
+    statements = []  # (first_lineno, depth_at_start, code, [raw lines])
+    depth = 0
+    pending = None
+    for lineno, raw, code in iter_code_lines(text):
+        stripped = code.strip()
+        if not stripped and pending is None:
+            continue
+        if pending is None:
+            pending = [lineno, depth, stripped, [raw]]
+        else:
+            pending[2] += " " + stripped
+            pending[3].append(raw)
+        depth += code.count("{") - code.count("}")
+        if stripped.endswith((";", "{", "}")) or stripped.startswith("#"):
+            statements.append(tuple(pending))
+            pending = None
+    if pending is not None:
+        statements.append(tuple(pending))
+
+    # Class scopes: members live at start_depth + 1.
+    class_stack = []  # (member_depth, members: [(lineno, code, raws)],
+    #                    mutex names)
+    findings = []  # deferred: only reported for classes that own a mutex
+
+    def close_scope(scope):
+        member_depth, members, mutexes = scope
+        if not mutexes:
+            return
+        for lineno, code, raws in members:
+            m = DATA_MEMBER_RE.search(code)
+            if not m or m.group(1) in mutexes:
+                continue
+            if GUARD_ANNOTATION_RE.search(code):
+                continue
+            if re.search(r"\b(?:static|constexpr)\b", code):
+                continue
+            if re.search(r"\b(?:std\s*::\s*)?atomic\s*<", code):
+                continue
+            if any(allowed(r, "guarded-by-coverage") for r in raws):
+                continue
+            findings.append(Violation(
+                path, lineno, "guarded-by-coverage",
+                f"member '{m.group(1)}' sits next to mutex "
+                f"'{'/'.join(sorted(mutexes))}' but carries no "
+                f"GUARDED_BY/PT_GUARDED_BY annotation; annotate it, or "
+                f"opt out with // lint:allow(guarded-by-coverage) and a "
+                f"reason (e.g. immutable after construction)"))
+
+    for lineno, start_depth, code, raws in statements:
+        while class_stack and start_depth < class_stack[-1][0]:
+            close_scope(class_stack.pop())
+        if (CLASS_OPEN_RE.match(code) and not ENUM_CLASS_RE.match(code)
+                and code.rstrip().endswith("{")):
+            class_stack.append((start_depth + 1, [], set()))
+            continue
+        if class_stack and start_depth == class_stack[-1][0]:
+            mm = MUTEX_MEMBER_RE.search(code)
+            if mm:
+                class_stack[-1][2].add(mm.group(1))
+            elif code.endswith(";"):
+                class_stack[-1][1].append((lineno, code, raws))
+    while class_stack:
+        close_scope(class_stack.pop())
+    out.extend(findings)
+
+
+# --------------------------------------------------------------------------
 # Rule: header-guard
 # --------------------------------------------------------------------------
 
@@ -436,7 +585,7 @@ def check_include_hygiene(path: Path, rel: str, text: str,
 
 RULES = ("forbidden-random", "unordered-iteration", "ignored-status",
          "header-guard", "include-hygiene", "wallclock-time",
-         "pointer-cache-key")
+         "pointer-cache-key", "naked-mutex", "guarded-by-coverage")
 
 
 # Deliberately-violating fixtures for the lint self-test; never part of
@@ -518,6 +667,8 @@ def main(argv=None) -> int:
         check_include_hygiene(path, rel, text, project_headers, violations)
         check_wallclock_time(path, rel, text, violations)
         check_pointer_cache_key(path, rel, text, violations)
+        check_naked_mutex(path, rel, text, violations)
+        check_guarded_by_coverage(path, rel, text, violations)
 
     for v in violations:
         print(v)
