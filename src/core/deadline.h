@@ -36,16 +36,34 @@ class Deadline {
   /// Never expires (explicit spelling).
   static Deadline Never() { return Deadline(); }
 
-  /// Expires `budget` from now.
+  /// Expires `budget` from now. Non-positive budgets produce an
+  /// already-expired deadline (see AlreadyExpired) instead of doing
+  /// clock arithmetic: `now() + budget` with a large negative budget
+  /// overflows the time_point (UB that can wrap into the far future and
+  /// silently disable the deadline), and a zero budget would leave
+  /// expiry racing the clock's first tick. A request that arrives with
+  /// no budget left must fail deterministically before any work starts.
   static Deadline After(std::chrono::nanoseconds budget) {
+    if (budget <= std::chrono::nanoseconds::zero()) return AlreadyExpired();
     return Deadline(std::chrono::steady_clock::now() + budget);
   }
 
-  /// Expires `budget_ms` milliseconds from now. Non-positive budgets
-  /// produce an already-expired deadline.
+  /// Expires `budget_ms` milliseconds from now. Non-positive (and NaN)
+  /// budgets produce an already-expired deadline; sub-nanosecond
+  /// positive budgets round down to zero and are treated the same.
   static Deadline AfterMs(double budget_ms) {
+    if (!(budget_ms > 0.0)) return AlreadyExpired();
+    constexpr double kMaxMs = 9.0e12;  // ~104 days; caps the ns cast
+    double clamped = budget_ms < kMaxMs ? budget_ms : kMaxMs;
     return After(std::chrono::nanoseconds(
-        static_cast<int64_t>(budget_ms * 1e6)));
+        static_cast<int64_t>(clamped * 1e6)));
+  }
+
+  /// A deadline that has already passed: expired() is true from
+  /// construction onward, independent of clock reads or their
+  /// granularity.
+  static Deadline AlreadyExpired() {
+    return Deadline(std::chrono::steady_clock::time_point::min());
   }
 
   bool never_expires() const { return !at_.has_value(); }

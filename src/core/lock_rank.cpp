@@ -55,6 +55,12 @@ const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked:
       return "kUnranked";
+    case LockRank::kServeAdmission:
+      return "kServeAdmission";
+    case LockRank::kServeServer:
+      return "kServeServer";
+    case LockRank::kServeRegistry:
+      return "kServeRegistry";
     case LockRank::kJournal:
       return "kJournal";
     case LockRank::kFaultInjection:

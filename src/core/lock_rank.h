@@ -43,6 +43,9 @@ enum class LockRank : int {
   /// For mutexes with no cross-subsystem nesting story yet; prefer a
   /// real rank.
   kUnranked = 0,
+  kServeAdmission = 4,   ///< serve/admission.* (AdmissionQueue)
+  kServeServer = 5,      ///< serve/server.* (HttpServer lifecycle/in-flight)
+  kServeRegistry = 6,    ///< serve/service.* (DiscoveryService tables/engine)
   kJournal = 10,         ///< harness/journal.* (OutcomeJournal)
   kFaultInjection = 20,  ///< matchers/fault_injection.* attempt counters
   kArtifactCache = 30,   ///< matchers/artifact_cache.*

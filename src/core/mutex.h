@@ -22,6 +22,8 @@
 /// (enforced by the `naked-mutex` lint rule); this header is the one
 /// sanctioned home of the raw primitives.
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #include "core/lock_rank.h"
@@ -102,6 +104,53 @@ class SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* const mu_;
+};
+
+/// \brief Condition variable paired with valentine::Mutex — the one
+/// sanctioned blocking-wait primitive in library code (the naked-mutex
+/// lint rule bans raw std::condition_variable outside this header).
+///
+/// Waits release the mutex through its annotated Unlock and reacquire
+/// through Lock, so the lock-rank registry stays consistent across the
+/// sleep. The capability analysis cannot model a wait's
+/// release-and-reacquire, so the wait methods REQUIRE the mutex and
+/// opt their bodies out of the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` and blocks until notified (spurious
+  /// wakeups possible — always wait in a predicate loop), then
+  /// reacquires `*mu` before returning.
+  void Wait(Mutex* mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    LockAdapter adapter{mu};
+    cv_.wait(adapter);
+  }
+
+  /// Like Wait, but returns false if `timeout` elapsed without a
+  /// notification (the mutex is reacquired either way).
+  bool WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) REQUIRES(mu)
+      NO_THREAD_SAFETY_ANALYSIS {
+    LockAdapter adapter{mu};
+    return cv_.wait_for(adapter, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// BasicLockable view of a valentine::Mutex for std::condition_
+  /// variable_any; routes through Lock/Unlock so the rank tracker sees
+  /// the release/reacquire pair.
+  struct LockAdapter {
+    Mutex* mu;
+    void lock() NO_THREAD_SAFETY_ANALYSIS { mu->Lock(); }
+    void unlock() NO_THREAD_SAFETY_ANALYSIS { mu->Unlock(); }
+  };
+
+  std::condition_variable_any cv_;
 };
 
 }  // namespace valentine

@@ -45,51 +45,82 @@ Status DiscoveryEngine::AddTable(Table table) {
   return Status::OK();
 }
 
-MatchContext DiscoveryEngine::ObsContext(const std::string& trace_id,
+MatchContext DiscoveryEngine::ObsContext(const MatchContext& base,
+                                         const std::string& trace_id,
                                          uint64_t parent_span) const {
   MatchContext context;
+  context.deadline = base.deadline;
+  context.cancel = base.cancel;
+  context.source_profile = base.source_profile;
+  context.target_profile = base.target_profile;
   context.trace_id = trace_id;
-  context.clock = options_.clock;
+  context.clock = base.clock != nullptr ? base.clock : options_.clock;
   context.tracer = options_.tracer;
   context.parent_span = parent_span;
   return context;
 }
 
-MatchResult DiscoveryEngine::ScoreAgainstRepository(
+Result<MatchResult> DiscoveryEngine::ScoreAgainstRepository(
     const PreparedTable* prepared_query, const Table& query,
-    const Table& candidate, const std::string& trace_id,
-    uint64_t parent_span) const {
+    const Table& candidate, const MatchContext& base,
+    const std::string& trace_id, uint64_t parent_span) const {
   if (prepared_query != nullptr) {
     PreparedTablePtr prepared_candidate = artifacts_.GetOrPrepare(
         matcher(), candidate, /*profile=*/nullptr,
-        ObsContext(trace_id, parent_span));
+        ObsContext(base, trace_id, parent_span));
     if (prepared_candidate != nullptr) {
       SpanScope score_span(options_.tracer, trace_id, "score",
                            candidate.name(), parent_span);
       score_span.Attr("path", "prepared");
       Result<MatchResult> scored =
           matcher().Score(*prepared_query, *prepared_candidate,
-                          ObsContext(trace_id, score_span.id()));
-      // Built-in matchers cannot fail under an unbounded context; an
-      // injected decorator that errors anyway degrades to the empty
-      // result, exactly like the infallible Match overload.
-      if (scored.ok()) return std::move(scored).ValueOrDie();
+                          ObsContext(base, trace_id, score_span.id()));
+      if (scored.ok()) return scored;
+      // The request's budget/cancellation aborts the whole query; any
+      // other error (only possible via an injected decorator) degrades
+      // to the empty result, exactly like the infallible Match overload.
+      if (scored.status().code() == StatusCode::kDeadlineExceeded ||
+          scored.status().code() == StatusCode::kCancelled) {
+        return scored.status();
+      }
       return MatchResult();
     }
+    // A failed artifact build under a fired context must abort, not
+    // silently fall back to the slower monolithic path.
+    Status checked = base.Check("discovery/prepare");
+    if (!checked.ok()) return checked;
   }
   SpanScope score_span(options_.tracer, trace_id, "score", candidate.name(),
                        parent_span);
   score_span.Attr("path", "monolithic");
   Result<MatchResult> matched = matcher().Match(
-      query, candidate, ObsContext(trace_id, score_span.id()));
-  if (matched.ok()) return std::move(matched).ValueOrDie();
+      query, candidate, ObsContext(base, trace_id, score_span.id()));
+  if (matched.ok()) return matched;
+  if (matched.status().code() == StatusCode::kDeadlineExceeded ||
+      matched.status().code() == StatusCode::kCancelled) {
+    return matched.status();
+  }
   return MatchResult();
 }
 
 std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
     const Table& query, size_t k) const {
-  const std::string trace_id = "discovery/" + query.name();
-  SpanScope query_span(options_.tracer, trace_id, "query", query.name());
+  // An unbounded context cannot fail (built-in matchers are infallible
+  // without a deadline/token), so ValueOrDie is safe here.
+  return FindJoinable(query, k, MatchContext()).ValueOrDie();
+}
+
+std::vector<DiscoveryResult> DiscoveryEngine::FindUnionable(
+    const Table& query, size_t k) const {
+  return FindUnionable(query, k, MatchContext()).ValueOrDie();
+}
+
+Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindJoinable(
+    const Table& query, size_t k, const MatchContext& ctx) const {
+  const std::string trace_id =
+      ctx.trace_id.empty() ? "discovery/" + query.name() : ctx.trace_id;
+  SpanScope query_span(options_.tracer, trace_id, "query", query.name(),
+                       ctx.parent_span);
   query_span.Attr("mode", "joinable");
   query_span.Attr("k", std::to_string(k));
   if (options_.metrics != nullptr) {
@@ -98,6 +129,9 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
                      {{"mode", "joinable"}})
         ->Increment();
   }
+  // Fail fast: a request that arrives with its budget already spent (or
+  // cancelled) must do zero candidate work.
+  VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/joinable/start"));
   // Nominate candidate tables: for every query column, probe the
   // containment index and credit the owning table.
   std::set<std::string> candidate_tables;
@@ -113,15 +147,18 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
   // query is caller-owned and transient, so its artifact is built
   // inline rather than cached.
   Result<PreparedTablePtr> prepared_query = matcher().Prepare(
-      query, /*profile=*/nullptr, ObsContext(trace_id, query_span.id()));
+      query, /*profile=*/nullptr, ObsContext(ctx, trace_id, query_span.id()));
 
   // Verify candidates with the matcher; table score = best column match.
   std::vector<DiscoveryResult> results;
   for (const Table& t : tables_) {
     if (!candidate_tables.count(t.name())) continue;
-    MatchResult ranked = ScoreAgainstRepository(
+    VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/joinable/candidate"));
+    Result<MatchResult> scored = ScoreAgainstRepository(
         prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
-        trace_id, query_span.id());
+        ctx, trace_id, query_span.id());
+    if (!scored.ok()) return scored.status();
+    MatchResult ranked = std::move(scored).ValueOrDie();
     DiscoveryResult r;
     r.table_name = t.name();
     if (!ranked.empty()) {
@@ -139,10 +176,12 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
   return results;
 }
 
-std::vector<DiscoveryResult> DiscoveryEngine::FindUnionable(
-    const Table& query, size_t k) const {
-  const std::string trace_id = "discovery/" + query.name();
-  SpanScope query_span(options_.tracer, trace_id, "query", query.name());
+Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindUnionable(
+    const Table& query, size_t k, const MatchContext& ctx) const {
+  const std::string trace_id =
+      ctx.trace_id.empty() ? "discovery/" + query.name() : ctx.trace_id;
+  SpanScope query_span(options_.tracer, trace_id, "query", query.name(),
+                       ctx.parent_span);
   query_span.Attr("mode", "unionable");
   query_span.Attr("k", std::to_string(k));
   if (options_.metrics != nullptr) {
@@ -151,13 +190,17 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindUnionable(
                      {{"mode", "unionable"}})
         ->Increment();
   }
+  VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/unionable/start"));
   Result<PreparedTablePtr> prepared_query = matcher().Prepare(
-      query, /*profile=*/nullptr, ObsContext(trace_id, query_span.id()));
+      query, /*profile=*/nullptr, ObsContext(ctx, trace_id, query_span.id()));
   std::vector<DiscoveryResult> results;
   for (const Table& t : tables_) {
-    MatchResult ranked = ScoreAgainstRepository(
+    VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/unionable/candidate"));
+    Result<MatchResult> scored = ScoreAgainstRepository(
         prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
-        trace_id, query_span.id());
+        ctx, trace_id, query_span.id());
+    if (!scored.ok()) return scored.status();
+    MatchResult ranked = std::move(scored).ValueOrDie();
     // Union score: mean of the best per-query-column matches, over the
     // strongest `union_evidence_columns` columns.
     std::map<std::string, Match> best_per_column;

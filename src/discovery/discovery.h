@@ -96,21 +96,38 @@ class DiscoveryEngine {
   std::vector<DiscoveryResult> FindUnionable(const Table& query,
                                              size_t k) const;
 
+  /// Budgeted/cancellable variants — the serving boundary's entry
+  /// points. `ctx` threads a per-request Deadline and CancellationToken
+  /// into every candidate's Prepare/Score; the query fails fast with
+  /// kDeadlineExceeded/kCancelled (checked once before any work starts
+  /// — a request arriving with a spent budget does zero scoring — and
+  /// again between candidates). When ctx carries a trace id it replaces
+  /// the engine's default "discovery/<table>" id, so serving spans
+  /// parent correctly. An unbounded default-constructed ctx returns
+  /// byte-identical results to the infallible overloads.
+  Result<std::vector<DiscoveryResult>> FindJoinable(
+      const Table& query, size_t k, const MatchContext& ctx) const;
+  Result<std::vector<DiscoveryResult>> FindUnionable(
+      const Table& query, size_t k, const MatchContext& ctx) const;
+
  private:
   const ColumnMatcher& matcher() const;
 
   /// Scores the query against one repository table: the prepared fast
   /// path when both artifacts resolved, the monolithic matcher
-  /// otherwise. Mirrors the infallible Match overload (errors — only
-  /// possible via an injected decorator — yield an empty result).
-  MatchResult ScoreAgainstRepository(const PreparedTable* prepared_query,
-                                     const Table& query,
-                                     const Table& candidate,
-                                     const std::string& trace_id,
-                                     uint64_t parent_span) const;
+  /// otherwise. Deadline/cancellation failures propagate (the caller
+  /// aborts the query); any other matcher error — only possible via an
+  /// injected decorator — degrades to the empty result, mirroring the
+  /// infallible Match overload.
+  Result<MatchResult> ScoreAgainstRepository(
+      const PreparedTable* prepared_query, const Table& query,
+      const Table& candidate, const MatchContext& base,
+      const std::string& trace_id, uint64_t parent_span) const;
 
-  /// A MatchContext carrying this engine's observability plumbing.
-  MatchContext ObsContext(const std::string& trace_id,
+  /// A MatchContext carrying this engine's observability plumbing plus
+  /// `base`'s deadline/cancellation/profiles.
+  MatchContext ObsContext(const MatchContext& base,
+                          const std::string& trace_id,
                           uint64_t parent_span) const;
 
   DiscoveryOptions options_;

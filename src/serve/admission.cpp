@@ -1,0 +1,63 @@
+#include "serve/admission.h"
+
+namespace valentine {
+namespace serve {
+
+AdmissionQueue::AdmissionQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool AdmissionQueue::TryEnqueue(int fd) {
+  {
+    MutexLock lock(&mu_);
+    if (closed_ || queue_.size() >= capacity_) {
+      ++shed_total_;
+      return false;
+    }
+    queue_.push_back(fd);
+    ++admitted_total_;
+  }
+  cv_.NotifyOne();
+  return true;
+}
+
+std::optional<int> AdmissionQueue::Dequeue() {
+  MutexLock lock(&mu_);
+  while (queue_.empty() && !closed_) {
+    cv_.Wait(&mu_);
+  }
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  int fd = queue_.front();
+  queue_.pop_front();
+  return fd;
+}
+
+void AdmissionQueue::Close() {
+  {
+    MutexLock lock(&mu_);
+    closed_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+size_t AdmissionQueue::depth() const {
+  MutexLock lock(&mu_);
+  return queue_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  MutexLock lock(&mu_);
+  return closed_;
+}
+
+uint64_t AdmissionQueue::admitted_total() const {
+  MutexLock lock(&mu_);
+  return admitted_total_;
+}
+
+uint64_t AdmissionQueue::shed_total() const {
+  MutexLock lock(&mu_);
+  return shed_total_;
+}
+
+}  // namespace serve
+}  // namespace valentine

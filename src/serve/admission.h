@@ -1,0 +1,73 @@
+#ifndef VALENTINE_SERVE_ADMISSION_H_
+#define VALENTINE_SERVE_ADMISSION_H_
+
+/// \file admission.h
+/// Bounded admission queue — the server's overload valve.
+///
+/// The acceptor thread offers every accepted connection to this queue;
+/// worker threads drain it. When the queue is full the offer fails
+/// *immediately* (no blocking, no timeout ambiguity) and the acceptor
+/// sheds the connection with a 503 + Retry-After. That makes overload
+/// behavior deterministic: with W busy workers and a queue bound of Q,
+/// exactly the first Q further connections wait and every one after
+/// that is shed — the contract the overload tests pin down.
+///
+/// Close() flips the queue into drain mode: new offers are refused
+/// (shed), but already-admitted entries keep draining — an admitted
+/// request is never dropped, it either completes or is cancelled by the
+/// server's drain deadline. Dequeue returns nullopt only when the queue
+/// is closed AND empty, which is the worker exit condition.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace valentine {
+namespace serve {
+
+/// \brief Thread-safe bounded FIFO of accepted connection descriptors.
+class AdmissionQueue {
+ public:
+  /// `capacity` = max connections waiting for a worker (>= 1; 0 is
+  /// clamped to 1 — a queue that can hold nothing would shed even an
+  /// idle server's first connection).
+  explicit AdmissionQueue(size_t capacity);
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `fd` unless the queue is full or closed. Never blocks.
+  /// False means the caller must shed the connection.
+  bool TryEnqueue(int fd) EXCLUDES(mu_);
+
+  /// Blocks until an entry is available or the queue is closed and
+  /// empty (nullopt — the worker should exit).
+  std::optional<int> Dequeue() EXCLUDES(mu_);
+
+  /// Refuses all future enqueues and wakes every blocked Dequeue once
+  /// the backlog drains. Idempotent.
+  void Close() EXCLUDES(mu_);
+
+  size_t depth() const EXCLUDES(mu_);
+  bool closed() const EXCLUDES(mu_);
+
+  /// Totals over the queue's lifetime (admitted excludes shed).
+  uint64_t admitted_total() const EXCLUDES(mu_);
+  uint64_t shed_total() const EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_;  // lint:allow(guarded-by-coverage) immutable
+  mutable Mutex mu_{LockRank::kServeAdmission, "AdmissionQueue"};
+  CondVar cv_;  // lint:allow(guarded-by-coverage) internally synchronized
+  std::deque<int> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  uint64_t admitted_total_ GUARDED_BY(mu_) = 0;
+  uint64_t shed_total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace serve
+}  // namespace valentine
+
+#endif  // VALENTINE_SERVE_ADMISSION_H_

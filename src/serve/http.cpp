@@ -1,0 +1,304 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "serve/json.h"
+
+namespace valentine {
+namespace serve {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool IsTokenChar(char c) {
+  // RFC 7230 token characters, the subset worth accepting in methods
+  // and header names.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  return std::string_view("!#$%&'*+-.^_`|~").find(c) !=
+         std::string_view::npos;
+}
+
+}  // namespace
+
+std::string HttpRequest::Path() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::Header(const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return value;
+  }
+  return "";
+}
+
+bool HttpRequest::WantsClose() const {
+  std::string conn = ToLower(Header("connection"));
+  if (conn.find("close") != std::string::npos) return true;
+  if (version == "HTTP/1.0" && conn.find("keep-alive") == std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+HttpRequestParser::HttpRequestParser(HttpLimits limits)
+    : limits_(limits) {}
+
+void HttpRequestParser::Fail(int http_status, Status status) {
+  state_ = State::kError;
+  http_status_ = http_status;
+  error_ = std::move(status);
+}
+
+size_t HttpRequestParser::Consume(const char* data, size_t n) {
+  size_t consumed = 0;
+  while (consumed < n && state_ != State::kComplete &&
+         state_ != State::kError) {
+    if (state_ == State::kHeaders) {
+      // Append up to the header cap, scanning for the blank line.
+      size_t take = std::min(n - consumed,
+                             limits_.max_header_bytes + 4 -
+                                 std::min(header_buf_.size(),
+                                          limits_.max_header_bytes + 4));
+      if (take == 0) {
+        Fail(431, Status::ResourceExhausted(
+                      "request headers exceed " +
+                      std::to_string(limits_.max_header_bytes) + " bytes"));
+        break;
+      }
+      size_t scan_from = header_buf_.size() >= 3 ? header_buf_.size() - 3 : 0;
+      header_buf_.append(data + consumed, take);
+      consumed += take;
+      size_t end = header_buf_.find("\r\n\r\n", scan_from);
+      if (end == std::string::npos) {
+        if (header_buf_.size() > limits_.max_header_bytes) {
+          Fail(431, Status::ResourceExhausted(
+                        "request headers exceed " +
+                        std::to_string(limits_.max_header_bytes) + " bytes"));
+        }
+        continue;
+      }
+      // Bytes past the header block belong to the body (or the next
+      // pipelined request); give them back to the consume loop.
+      size_t extra = header_buf_.size() - (end + 4);
+      consumed -= extra;
+      header_buf_.resize(end + 4);
+      ParseHeaderBlock(end);
+      continue;
+    }
+    // kBody.
+    size_t want = body_expected_ - request_.body.size();
+    size_t take = std::min(want, n - consumed);
+    request_.body.append(data + consumed, take);
+    consumed += take;
+    if (request_.body.size() == body_expected_) state_ = State::kComplete;
+  }
+  return consumed;
+}
+
+void HttpRequestParser::ParseHeaderBlock(size_t block_end) {
+  const std::string& buf = header_buf_;
+  size_t line_end = buf.find("\r\n");
+  if (line_end == std::string::npos || line_end == 0) {
+    Fail(400, Status::ParseError("malformed request line"));
+    return;
+  }
+  std::string request_line = buf.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    Fail(400, Status::ParseError("malformed request line"));
+    return;
+  }
+  request_.method = request_line.substr(0, sp1);
+  request_.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = request_line.substr(sp2 + 1);
+  if (request_.method.empty() ||
+      !std::all_of(request_.method.begin(), request_.method.end(),
+                   IsTokenChar)) {
+    Fail(400, Status::ParseError("malformed method"));
+    return;
+  }
+  if (request_.target.empty() || request_.target[0] != '/') {
+    Fail(400, Status::ParseError("target must be origin-form"));
+    return;
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    Fail(505, Status::InvalidArgument("unsupported HTTP version '" +
+                                      request_.version + "'"));
+    return;
+  }
+
+  // Header fields.
+  size_t pos = line_end + 2;
+  while (pos < block_end) {
+    size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string::npos || eol > block_end) eol = block_end;
+    std::string line = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail(400, Status::ParseError("malformed header field"));
+      return;
+    }
+    std::string name = line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), IsTokenChar)) {
+      Fail(400, Status::ParseError("malformed header name"));
+      return;
+    }
+    request_.headers.emplace_back(ToLower(name), Trim(line.substr(colon + 1)));
+  }
+
+  // Body framing.
+  std::string te = ToLower(request_.Header("transfer-encoding"));
+  if (!te.empty() && te != "identity") {
+    Fail(501, Status::InvalidArgument("transfer-encoding '" + te +
+                                      "' not implemented"));
+    return;
+  }
+  std::string cl = request_.Header("content-length");
+  if (cl.empty()) {
+    body_expected_ = 0;
+    state_ = State::kComplete;
+    return;
+  }
+  if (cl.empty() || cl.size() > 12 ||
+      !std::all_of(cl.begin(), cl.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      })) {
+    Fail(400, Status::ParseError("malformed content-length"));
+    return;
+  }
+  uint64_t length = std::stoull(cl);
+  if (length > limits_.max_body_bytes) {
+    Fail(413, Status::ResourceExhausted(
+                  "request body of " + cl + " bytes exceeds limit of " +
+                  std::to_string(limits_.max_body_bytes)));
+    return;
+  }
+  body_expected_ = static_cast<size_t>(length);
+  request_.body.reserve(body_expected_);
+  state_ = body_expected_ == 0 ? State::kComplete : State::kBody;
+}
+
+void HttpRequestParser::Reset() {
+  state_ = State::kHeaders;
+  header_buf_.clear();
+  request_ = HttpRequest();
+  body_expected_ = 0;
+  error_ = Status::OK();
+  http_status_ = 0;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response,
+                              bool close_connection) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(HttpReasonPhrase(response.status));
+  out.append("\r\n");
+  if (!response.content_type.empty()) {
+    out.append("Content-Type: ");
+    out.append(response.content_type);
+    out.append("\r\n");
+  }
+  for (const auto& [name, value] : response.headers) {
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+    out.append("\r\n");
+  }
+  out.append("Content-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\n");
+  out.append(close_connection ? "Connection: close\r\n"
+                              : "Connection: keep-alive\r\n");
+  out.append("\r\n");
+  out.append(response.body);
+  return out;
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+      // Cancellation only happens server-side (drain); the client
+      // should retry against a healthy instance.
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+std::string JsonErrorEnvelope(const Status& status, int http_status) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(StatusCodeName(status.code())));
+  error.Set("http_status", JsonValue::Number(http_status));
+  error.Set("message", JsonValue::String(status.message()));
+  JsonValue root = JsonValue::Object();
+  root.Set("error", std::move(error));
+  return WriteJson(root);
+}
+
+HttpResponse ErrorResponse(const Status& status, int retry_after_s) {
+  HttpResponse response;
+  response.status = HttpStatusForCode(status.code());
+  response.body = JsonErrorEnvelope(status, response.status);
+  if (response.status == 503 && retry_after_s > 0) {
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(retry_after_s));
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace valentine

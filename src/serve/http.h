@@ -1,0 +1,142 @@
+#ifndef VALENTINE_SERVE_HTTP_H_
+#define VALENTINE_SERVE_HTTP_H_
+
+/// \file http.h
+/// From-scratch HTTP/1.1 message layer for the serving daemon: an
+/// incremental, bounded request parser and a response writer. No
+/// sockets here — the parser consumes byte chunks and the writer
+/// produces a byte string, so every robustness property (oversized
+/// rejection, torn-request detection, header limits) is unit-testable
+/// without I/O.
+///
+/// Robustness contract:
+///  * the parser never buffers more than `max_header_bytes` of headers
+///    or `max_body_bytes` of body — a slow-loris or oversized client
+///    costs bounded memory and gets a clean 431/413;
+///  * bodies require an explicit Content-Length (chunked encoding is
+///    rejected with 501 — a deliberate non-feature, not an oversight);
+///  * any malformed byte sequence lands in a terminal kError state with
+///    the HTTP status the connection should answer before closing.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace valentine {
+namespace serve {
+
+/// \brief One parsed request.
+struct HttpRequest {
+  std::string method;   ///< uppercase, e.g. "POST"
+  std::string target;   ///< origin-form, e.g. "/v1/tables?x=1"
+  std::string version;  ///< "HTTP/1.1"
+  /// Headers in arrival order, names lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Path part of the target (before any '?').
+  std::string Path() const;
+  /// First value of a (lower-case) header name; empty when absent.
+  std::string Header(const std::string& lower_name) const;
+  /// True when the client asked to close the connection ("connection:
+  /// close", or HTTP/1.0 without keep-alive).
+  bool WantsClose() const;
+};
+
+/// \brief Parser limits; defaults are production-sane.
+struct HttpLimits {
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+/// \brief Incremental request parser (one request at a time; Reset()
+/// between keep-alive requests).
+class HttpRequestParser {
+ public:
+  enum class State {
+    kHeaders,   ///< still accumulating the request line + headers
+    kBody,      ///< headers done, reading Content-Length body bytes
+    kComplete,  ///< request() is valid
+    kError,     ///< terminal; error_status()/http_status() describe why
+  };
+
+  explicit HttpRequestParser(HttpLimits limits = {});
+
+  /// Feeds `n` bytes; returns the number consumed (always `n` unless a
+  /// request completed or errored mid-chunk — the remainder belongs to
+  /// the next request of a pipelined client).
+  size_t Consume(const char* data, size_t n);
+
+  State state() const { return state_; }
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+
+  /// The parsed request; valid only when complete().
+  const HttpRequest& request() const { return request_; }
+
+  /// Why parsing failed (kParseError / kResourceExhausted / ...).
+  const Status& error_status() const { return error_; }
+  /// HTTP status code the connection should answer before closing
+  /// (400, 413, 431, 501, 505); 0 while not failed.
+  int http_status() const { return http_status_; }
+
+  /// Clears all state for the next request on a keep-alive connection.
+  void Reset();
+
+ private:
+  void Fail(int http_status, Status status);
+  /// Parses the buffered request line + headers once "\r\n\r\n" is seen.
+  void ParseHeaderBlock(size_t block_end);
+
+  HttpLimits limits_;
+  State state_ = State::kHeaders;
+  std::string header_buf_;
+  HttpRequest request_;
+  size_t body_expected_ = 0;
+  Status error_;
+  int http_status_ = 0;
+};
+
+/// \brief One response to serialize.
+struct HttpResponse {
+  int status = 200;
+  /// Extra headers in emission order (Content-Length, Connection, Date
+  /// are managed by the writer/server, not listed here).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes the server emits
+/// ("OK", "Service Unavailable", ...); "Unknown" otherwise.
+const char* HttpReasonPhrase(int status);
+
+/// Serializes a response (status line, headers, Content-Length, blank
+/// line, body). `close_connection` controls the Connection header.
+std::string SerializeResponse(const HttpResponse& response,
+                              bool close_connection);
+
+/// Maps a StatusCode onto the HTTP status the serving boundary answers:
+/// InvalidArgument/ParseError/OutOfRange→400, NotFound→404,
+/// ResourceExhausted→503, Cancelled→503, DeadlineExceeded→504,
+/// everything else→500.
+int HttpStatusForCode(StatusCode code);
+
+/// The machine-readable JSON error envelope:
+/// {"error":{"code":"<StatusCodeName>","http_status":N,"message":...}}.
+/// `code` round-trips through StatusCodeFromName, so clients can map
+/// envelopes back onto library status codes.
+std::string JsonErrorEnvelope(const Status& status, int http_status);
+
+/// Envelope response for a non-OK status (adds Retry-After for 503s
+/// when `retry_after_s` > 0).
+HttpResponse ErrorResponse(const Status& status, int retry_after_s = 0);
+
+}  // namespace serve
+}  // namespace valentine
+
+#endif  // VALENTINE_SERVE_HTTP_H_

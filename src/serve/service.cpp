@@ -1,0 +1,391 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace valentine {
+namespace serve {
+
+namespace {
+
+/// Inverse of DataTypeName; nullopt for unknown names.
+std::optional<DataType> DataTypeFromJsonName(const std::string& name) {
+  static const std::pair<const char*, DataType> kNames[] = {
+      {"null", DataType::kNull},       {"bool", DataType::kBool},
+      {"int64", DataType::kInt64},     {"float64", DataType::kFloat64},
+      {"string", DataType::kString},   {"date", DataType::kDate},
+  };
+  for (const auto& [n, t] : kNames) {
+    if (name == n) return t;
+  }
+  return std::nullopt;
+}
+
+Result<Value> CellFromJson(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      return Value::Null();
+    case JsonValue::Type::kBool:
+      return Value::Bool(v.bool_value());
+    case JsonValue::Type::kNumber: {
+      double d = v.number_value();
+      // Integral doubles inside the exactly-representable range decode
+      // as int64 so 1 round-trips as 1, not 1.0.
+      if (std::fabs(d) <= 9.0e15 && d == std::floor(d)) {
+        return Value::Int(static_cast<int64_t>(d));
+      }
+      return Value::Float(d);
+    }
+    case JsonValue::Type::kString:
+      return Value::String(v.string_value());
+    case JsonValue::Type::kArray:
+    case JsonValue::Type::kObject:
+      break;
+  }
+  return Status::InvalidArgument("column values must be JSON scalars");
+}
+
+DataType InferDeclaredType(const Column& column) {
+  for (const Value& v : column.values()) {
+    if (!v.is_null()) return v.kind();
+  }
+  return DataType::kString;
+}
+
+HttpResponse JsonResponse(int status, const JsonValue& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = WriteJson(body);
+  return response;
+}
+
+HttpResponse MethodNotAllowed(const std::string& method,
+                              const std::string& path) {
+  HttpResponse response;
+  response.status = 405;
+  response.body = JsonErrorEnvelope(
+      Status::InvalidArgument("method " + method + " not allowed for " + path),
+      405);
+  return response;
+}
+
+}  // namespace
+
+Result<Table> TableFromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("table must be a JSON object");
+  }
+  const JsonValue* name = value.Find("name");
+  if (name == nullptr || !name->is_string() || name->string_value().empty()) {
+    return Status::InvalidArgument("table requires a non-empty string 'name'");
+  }
+  const JsonValue* columns = value.Find("columns");
+  if (columns == nullptr || !columns->is_array()) {
+    return Status::InvalidArgument("table requires a 'columns' array");
+  }
+  Table table(name->string_value());
+  for (const JsonValue& col : columns->array_items()) {
+    if (!col.is_object()) {
+      return Status::InvalidArgument("each column must be a JSON object");
+    }
+    const JsonValue* col_name = col.Find("name");
+    if (col_name == nullptr || !col_name->is_string() ||
+        col_name->string_value().empty()) {
+      return Status::InvalidArgument(
+          "each column requires a non-empty string 'name'");
+    }
+    const JsonValue* values = col.Find("values");
+    if (values == nullptr || !values->is_array()) {
+      return Status::InvalidArgument("column '" + col_name->string_value() +
+                                     "' requires a 'values' array");
+    }
+    Column column(col_name->string_value(), DataType::kNull);
+    column.Reserve(values->array_items().size());
+    for (const JsonValue& cell : values->array_items()) {
+      Result<Value> decoded = CellFromJson(cell);
+      if (!decoded.ok()) {
+        return Status::InvalidArgument("column '" + col_name->string_value() +
+                                       "': " + decoded.status().message());
+      }
+      column.Append(std::move(decoded).ValueOrDie());
+    }
+    const JsonValue* type = col.Find("type");
+    if (type != nullptr) {
+      if (!type->is_string()) {
+        return Status::InvalidArgument("column 'type' must be a string");
+      }
+      std::optional<DataType> declared =
+          DataTypeFromJsonName(type->string_value());
+      if (!declared.has_value()) {
+        return Status::InvalidArgument("unknown column type '" +
+                                       type->string_value() + "'");
+      }
+      column.set_type(*declared);
+    } else {
+      column.set_type(InferDeclaredType(column));
+    }
+    VALENTINE_RETURN_NOT_OK(table.AddColumn(std::move(column)));
+  }
+  return table;
+}
+
+std::string RenderDiscoveryResults(
+    const std::string& query_table, const std::string& mode, size_t k,
+    const std::vector<DiscoveryResult>& results) {
+  JsonValue root = JsonValue::Object();
+  root.Set("query", JsonValue::String(query_table));
+  root.Set("mode", JsonValue::String(mode));
+  root.Set("k", JsonValue::Number(static_cast<double>(k)));
+  JsonValue items = JsonValue::Array();
+  for (const DiscoveryResult& r : results) {
+    JsonValue item = JsonValue::Object();
+    item.Set("table", JsonValue::String(r.table_name));
+    item.Set("score", JsonValue::Number(r.score));
+    JsonValue evidence = JsonValue::Array();
+    for (const Match& m : r.evidence) {
+      JsonValue e = JsonValue::Object();
+      e.Set("source", JsonValue::String(m.source.ToString()));
+      e.Set("target", JsonValue::String(m.target.ToString()));
+      e.Set("score", JsonValue::Number(m.score));
+      evidence.Append(std::move(e));
+    }
+    item.Set("evidence", std::move(evidence));
+    items.Append(std::move(item));
+  }
+  root.Set("results", std::move(items));
+  return WriteJson(root);
+}
+
+DiscoveryService::DiscoveryService(ServiceOptions options)
+    : options_(std::move(options)) {
+  MutexLock lock(&mu_);
+  // An empty repository cannot fail to build.
+  engine_ = BuildEngine({}).ValueOrDie();
+}
+
+Result<std::shared_ptr<const DiscoveryEngine>> DiscoveryService::BuildEngine(
+    const std::map<std::string, Table>& tables) const {
+  DiscoveryOptions opt;
+  if (options_.matcher_factory) opt.matcher = options_.matcher_factory();
+  opt.lsh = options_.lsh;
+  opt.min_containment = options_.min_containment;
+  opt.union_evidence_columns = options_.union_evidence_columns;
+  opt.clock = options_.clock;
+  opt.tracer = options_.tracer;
+  opt.metrics = options_.metrics;
+  auto engine = std::make_shared<DiscoveryEngine>(std::move(opt));
+  for (const auto& [name, table] : tables) {
+    VALENTINE_RETURN_NOT_OK(engine->AddTable(table));
+  }
+  return std::shared_ptr<const DiscoveryEngine>(std::move(engine));
+}
+
+Status DiscoveryService::RegisterTable(Table table) {
+  MutexLock lock(&mu_);
+  if (tables_.count(table.name()) != 0) {
+    return Status::InvalidArgument("duplicate table name '" + table.name() +
+                                   "'");
+  }
+  // Validate-then-commit: build the replacement engine first so a
+  // rejected table (e.g. zero columns) leaves the registry untouched.
+  std::map<std::string, Table> next = tables_;
+  std::string name = table.name();
+  next.emplace(std::move(name), std::move(table));
+  Result<std::shared_ptr<const DiscoveryEngine>> built = BuildEngine(next);
+  if (!built.ok()) return built.status();
+  tables_ = std::move(next);
+  engine_ = std::move(built).ValueOrDie();
+  if (options_.metrics != nullptr) {
+    options_.metrics->GaugeFor("valentine_serve_tables")
+        ->Set(static_cast<double>(tables_.size()));
+  }
+  return Status::OK();
+}
+
+Status DiscoveryService::UnregisterTable(const std::string& name) {
+  MutexLock lock(&mu_);
+  if (tables_.count(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  std::map<std::string, Table> next = tables_;
+  next.erase(name);
+  Result<std::shared_ptr<const DiscoveryEngine>> built = BuildEngine(next);
+  if (!built.ok()) return built.status();
+  tables_ = std::move(next);
+  engine_ = std::move(built).ValueOrDie();
+  if (options_.metrics != nullptr) {
+    options_.metrics->GaugeFor("valentine_serve_tables")
+        ->Set(static_cast<double>(tables_.size()));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const DiscoveryEngine> DiscoveryService::Snapshot() const {
+  MutexLock lock(&mu_);
+  return engine_;
+}
+
+size_t DiscoveryService::num_tables() const {
+  MutexLock lock(&mu_);
+  return tables_.size();
+}
+
+void DiscoveryService::CountRequest(const std::string& route,
+                                    int http_status) {
+  if (options_.metrics == nullptr) return;
+  options_.metrics
+      ->CounterFor("valentine_serve_requests_total",
+                   {{"code", std::to_string(http_status)}, {"route", route}})
+      ->Increment();
+}
+
+HttpResponse DiscoveryService::Handle(const HttpRequest& request,
+                                      const CancellationToken* cancel) {
+  const std::string path = request.Path();
+  if (path == "/healthz") {
+    if (request.method != "GET") return MethodNotAllowed(request.method, path);
+    HttpResponse r = HandleHealth();
+    CountRequest("healthz", r.status);
+    return r;
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") return MethodNotAllowed(request.method, path);
+    // Counted BEFORE rendering so the exposition includes this request —
+    // scrapes see a self-consistent requests_total.
+    CountRequest("metrics", 200);
+    return HandleMetrics();
+  }
+  if (path == "/v1/tables") {
+    if (request.method != "POST") return MethodNotAllowed(request.method, path);
+    HttpResponse r = HandleRegister(request);
+    CountRequest("register", r.status);
+    return r;
+  }
+  const std::string kTablePrefix = "/v1/tables/";
+  if (path.compare(0, kTablePrefix.size(), kTablePrefix) == 0) {
+    if (request.method != "DELETE") {
+      return MethodNotAllowed(request.method, path);
+    }
+    HttpResponse r = HandleUnregister(path.substr(kTablePrefix.size()));
+    CountRequest("unregister", r.status);
+    return r;
+  }
+  if (path == "/v1/discovery/joinable" || path == "/v1/discovery/unionable") {
+    if (request.method != "POST") return MethodNotAllowed(request.method, path);
+    const std::string mode =
+        path == "/v1/discovery/joinable" ? "joinable" : "unionable";
+    HttpResponse r = HandleDiscovery(request, mode, cancel);
+    CountRequest(mode, r.status);
+    return r;
+  }
+  HttpResponse r = ErrorResponse(Status::NotFound("no route for " + path));
+  CountRequest("unknown", r.status);
+  return r;
+}
+
+HttpResponse DiscoveryService::HandleHealth() {
+  JsonValue body = JsonValue::Object();
+  body.Set("status", JsonValue::String("ok"));
+  body.Set("tables", JsonValue::Number(static_cast<double>(num_tables())));
+  return JsonResponse(200, body);
+}
+
+HttpResponse DiscoveryService::HandleMetrics() {
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; version=0.0.4";
+  if (options_.metrics != nullptr) {
+    response.body = options_.metrics->RenderPrometheusText();
+  }
+  return response;
+}
+
+HttpResponse DiscoveryService::HandleRegister(const HttpRequest& request) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  Result<Table> table = TableFromJson(parsed.ValueOrDie());
+  if (!table.ok()) return ErrorResponse(table.status());
+  std::string name = table.ValueOrDie().name();
+  Status registered = RegisterTable(std::move(table).ValueOrDie());
+  if (!registered.ok()) return ErrorResponse(registered);
+  JsonValue body = JsonValue::Object();
+  body.Set("registered", JsonValue::String(name));
+  body.Set("tables", JsonValue::Number(static_cast<double>(num_tables())));
+  return JsonResponse(200, body);
+}
+
+HttpResponse DiscoveryService::HandleUnregister(const std::string& name) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return ErrorResponse(Status::NotFound("no table named '" + name + "'"));
+  }
+  Status removed = UnregisterTable(name);
+  if (!removed.ok()) return ErrorResponse(removed);
+  JsonValue body = JsonValue::Object();
+  body.Set("unregistered", JsonValue::String(name));
+  body.Set("tables", JsonValue::Number(static_cast<double>(num_tables())));
+  return JsonResponse(200, body);
+}
+
+HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
+                                               const std::string& mode,
+                                               const CancellationToken* cancel) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const JsonValue& body = parsed.ValueOrDie();
+  if (!body.is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request body must be a JSON object"));
+  }
+  const JsonValue* table_json = body.Find("table");
+  if (table_json == nullptr) {
+    return ErrorResponse(Status::InvalidArgument("missing 'table'"));
+  }
+  Result<Table> table = TableFromJson(*table_json);
+  if (!table.ok()) return ErrorResponse(table.status());
+
+  size_t k = 10;
+  if (const JsonValue* k_json = body.Find("k"); k_json != nullptr) {
+    if (!k_json->is_number() || !(k_json->number_value() >= 1.0)) {
+      return ErrorResponse(
+          Status::InvalidArgument("'k' must be a number >= 1"));
+    }
+    double bounded = std::min(k_json->number_value(), 10000.0);
+    k = static_cast<size_t>(bounded);
+  }
+
+  MatchContext ctx;
+  ctx.cancel = cancel;
+  if (const JsonValue* budget = body.Find("budget_ms"); budget != nullptr) {
+    if (!budget->is_number()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'budget_ms' must be a number"));
+    }
+    // Non-positive budgets become an already-expired deadline and fail
+    // the query with kDeadlineExceeded before any scoring (the
+    // contract tested at this boundary); oversized budgets clamp.
+    double budget_ms = std::min(budget->number_value(), options_.max_budget_ms);
+    ctx.deadline = Deadline::AfterMs(budget_ms);
+  }
+
+  std::shared_ptr<const DiscoveryEngine> engine = Snapshot();
+  Result<std::vector<DiscoveryResult>> found =
+      mode == "joinable"
+          ? engine->FindJoinable(table.ValueOrDie(), k, ctx)
+          : engine->FindUnionable(table.ValueOrDie(), k, ctx);
+  if (!found.ok()) {
+    // Cancellation means the server is draining: tell the client to
+    // retry elsewhere shortly.
+    return ErrorResponse(found.status(), /*retry_after_s=*/1);
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.body = RenderDiscoveryResults(table.ValueOrDie().name(), mode, k,
+                                         found.ValueOrDie());
+  return response;
+}
+
+}  // namespace serve
+}  // namespace valentine

@@ -1,0 +1,139 @@
+#ifndef VALENTINE_SERVE_SERVICE_H_
+#define VALENTINE_SERVE_SERVICE_H_
+
+/// \file service.h
+/// The HTTP-facing discovery service: request routing, JSON codecs, and
+/// a copy-on-write table registry over DiscoveryEngine.
+///
+/// Concurrency model: DiscoveryEngine supports concurrent const queries
+/// but AddTable is not safe against them, and the engine is
+/// non-copyable. The service therefore keeps the authoritative tables
+/// in a sorted map and rebuilds a fresh engine on every mutation,
+/// swapping it in as a `shared_ptr<const DiscoveryEngine>` snapshot.
+/// Queries grab the snapshot under a brief lock and then run entirely
+/// lock-free on an engine no mutation will ever touch; in-flight
+/// queries on a replaced snapshot keep it alive until they finish.
+/// Mutations are O(repository) — the right trade for a read-dominated
+/// discovery workload.
+///
+/// Byte-identity contract: responses are rendered by the same
+/// RenderDiscoveryResults used by the tests' direct-engine path, and
+/// engines are rebuilt from the name-sorted table map, so the ranking a
+/// client sees over HTTP is byte-identical to calling DiscoveryEngine
+/// directly on the same tables (results order by (score, name),
+/// independent of registration order).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/deadline.h"
+#include "core/mutex.h"
+#include "core/status.h"
+#include "core/table.h"
+#include "core/thread_annotations.h"
+#include "discovery/discovery.h"
+#include "obs/metrics.h"
+#include "serve/http.h"
+#include "serve/json.h"
+
+namespace valentine {
+namespace serve {
+
+/// Decodes a table from its JSON wire form:
+///   {"name": "t", "columns": [{"name": "c", "type": "string"?,
+///                              "values": [1, "a", null, true]}]}
+/// `type` is optional (inferred from the first non-null cell, string
+/// when all null). Cells must be JSON scalars; columns must be equal
+/// length. All violations yield kInvalidArgument.
+Result<Table> TableFromJson(const JsonValue& value);
+
+/// Canonical JSON body for a discovery response. This is THE rendering
+/// both the server and the byte-identity tests use: any drift between
+/// served results and a direct DiscoveryEngine call shows up as a byte
+/// diff, not a subtle float-formatting mismatch.
+std::string RenderDiscoveryResults(const std::string& query_table,
+                                   const std::string& mode, size_t k,
+                                   const std::vector<DiscoveryResult>& results);
+
+/// Configuration for DiscoveryService.
+struct ServiceOptions {
+  /// Produces the matcher for each rebuilt engine snapshot
+  /// (DiscoveryOptions::matcher is owning and engines are rebuilt per
+  /// mutation, so the service needs a factory, not an instance). Null
+  /// uses the engine's built-in default (COMA-Instances).
+  std::function<MatcherPtr()> matcher_factory;
+  /// Passed through to every rebuilt engine.
+  LshOptions lsh;
+  double min_containment = 0.3;
+  size_t union_evidence_columns = 3;
+  /// Borrowed observability; /metrics renders this registry and the
+  /// service bumps valentine_serve_requests_total{route,code} on it.
+  /// Optional.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  const Clock* clock = nullptr;
+  /// Largest accepted `budget_ms` (requests asking for more are
+  /// clamped, not rejected — a client cannot buy an unbounded request).
+  double max_budget_ms = 60000.0;
+};
+
+/// \brief Routes HTTP requests onto a copy-on-write DiscoveryEngine.
+///
+/// Thread-safe: Handle/RegisterTable/UnregisterTable may be called from
+/// any number of worker threads concurrently.
+class DiscoveryService {
+ public:
+  explicit DiscoveryService(ServiceOptions options = {});
+
+  DiscoveryService(const DiscoveryService&) = delete;
+  DiscoveryService& operator=(const DiscoveryService&) = delete;
+
+  /// Handles one parsed request and produces the full response.
+  /// `cancel` is the server's drain token (nullptr when standalone); it
+  /// is threaded into discovery queries so SIGTERM can cut in-flight
+  /// work off cooperatively.
+  HttpResponse Handle(const HttpRequest& request,
+                      const CancellationToken* cancel = nullptr)
+      EXCLUDES(mu_);
+
+  /// Registers a table (validates first, commits only on success).
+  Status RegisterTable(Table table) EXCLUDES(mu_);
+
+  /// Removes a table by name; kNotFound when absent.
+  Status UnregisterTable(const std::string& name) EXCLUDES(mu_);
+
+  /// Current engine snapshot (never null; empty engine at startup).
+  /// Queries on it stay valid across concurrent mutations.
+  std::shared_ptr<const DiscoveryEngine> Snapshot() const EXCLUDES(mu_);
+
+  size_t num_tables() const EXCLUDES(mu_);
+
+ private:
+  /// Builds an engine over `tables` (name-sorted map → deterministic
+  /// registration order). Fails if any table is rejected.
+  Result<std::shared_ptr<const DiscoveryEngine>> BuildEngine(
+      const std::map<std::string, Table>& tables) const;
+
+  /// Routing helpers; each returns the complete response.
+  HttpResponse HandleHealth() EXCLUDES(mu_);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleRegister(const HttpRequest& request) EXCLUDES(mu_);
+  HttpResponse HandleUnregister(const std::string& name) EXCLUDES(mu_);
+  HttpResponse HandleDiscovery(const HttpRequest& request,
+                               const std::string& mode,
+                               const CancellationToken* cancel) EXCLUDES(mu_);
+
+  void CountRequest(const std::string& route, int http_status);
+
+  ServiceOptions options_;  // lint:allow(guarded-by-coverage) immutable after construction
+  mutable Mutex mu_{LockRank::kServeRegistry, "DiscoveryService"};
+  std::map<std::string, Table> tables_ GUARDED_BY(mu_);
+  std::shared_ptr<const DiscoveryEngine> engine_ GUARDED_BY(mu_);
+};
+
+}  // namespace serve
+}  // namespace valentine
+
+#endif  // VALENTINE_SERVE_SERVICE_H_

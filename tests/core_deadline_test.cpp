@@ -24,6 +24,34 @@ TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
   EXPECT_EQ(Deadline::AfterMs(-5.0).remaining_ms(), 0.0);
 }
 
+// Regression: a huge negative budget used to feed `now() + budget`
+// directly, overflowing the steady_clock time_point — UB that could
+// wrap into the far future and silently disable the deadline. Every
+// non-positive (or non-numeric) budget must now take the
+// AlreadyExpired path and fail before any clock arithmetic.
+TEST(DeadlineTest, PathologicalBudgetsAreAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMs(-1e300).expired());
+  EXPECT_TRUE(Deadline::AfterMs(std::numeric_limits<double>::lowest())
+                  .expired());
+  EXPECT_TRUE(Deadline::AfterMs(std::numeric_limits<double>::quiet_NaN())
+                  .expired());
+  EXPECT_TRUE(Deadline::After(std::chrono::nanoseconds::min()).expired());
+  EXPECT_TRUE(Deadline::After(-std::chrono::hours(1)).expired());
+  // Sub-nanosecond positive budgets round down to zero: same path.
+  EXPECT_TRUE(Deadline::AfterMs(1e-9).expired());
+  // And the huge-positive end clamps instead of overflowing the cast.
+  Deadline far = Deadline::AfterMs(std::numeric_limits<double>::max());
+  EXPECT_FALSE(far.never_expires());
+  EXPECT_FALSE(far.expired());
+}
+
+TEST(DeadlineTest, AlreadyExpiredIsExpiredFromConstruction) {
+  Deadline d = Deadline::AlreadyExpired();
+  EXPECT_FALSE(d.never_expires());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0.0);
+}
+
 TEST(DeadlineTest, GenerousBudgetNotExpired) {
   Deadline d = Deadline::AfterMs(60000.0);
   EXPECT_FALSE(d.never_expires());

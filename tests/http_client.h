@@ -1,0 +1,174 @@
+#ifndef VALENTINE_TESTS_HTTP_CLIENT_H_
+#define VALENTINE_TESTS_HTTP_CLIENT_H_
+
+// Minimal blocking HTTP/1.1 client for exercising the serving daemon
+// from tests and stress tools. One request per connection
+// (Connection: close), response read to EOF — deliberately the
+// simplest client that can express every contract the server makes:
+// golden bodies, error envelopes, Retry-After on sheds, torn requests
+// (via SendRaw). Not a general client; never use it in src/.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace valentine {
+namespace serve {
+namespace testing {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lower-cased names
+  std::string body;
+
+  std::string Header(const std::string& lower_name) const {
+    for (const auto& [name, value] : headers) {
+      if (name == lower_name) return value;
+    }
+    return "";
+  }
+};
+
+namespace internal {
+
+inline int ConnectTo(const std::string& host, uint16_t port,
+                     int timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+inline bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline std::string RecvAll(int fd) {
+  std::string out;
+  char buf[8192];
+  while (true) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+inline Result<HttpClientResponse> ParseResponse(const std::string& raw) {
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::ParseError("no header terminator in response");
+  }
+  HttpClientResponse response;
+  size_t line_end = raw.find("\r\n");
+  std::string status_line = raw.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || status_line.size() < sp + 4) {
+    return Status::ParseError("malformed status line: " + status_line);
+  }
+  response.status = std::atoi(status_line.c_str() + sp + 1);
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    size_t eol = raw.find("\r\n", pos);
+    std::string line = raw.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    size_t vstart = line.find_first_not_of(" \t", colon + 1);
+    response.headers.emplace_back(
+        name, vstart == std::string::npos ? "" : line.substr(vstart));
+  }
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace internal
+
+/// Opens a raw connection and returns its fd (-1 on failure) WITHOUT
+/// sending anything — for occupying a server's admission queue in
+/// overload tests. Caller closes.
+inline int HttpConnect(const std::string& host, uint16_t port,
+                       int timeout_ms = 5000) {
+  return internal::ConnectTo(host, port, timeout_ms);
+}
+
+/// Sends `bytes` verbatim and returns everything the server answers
+/// before closing. For torn/oversized/malformed-request tests.
+inline Result<std::string> HttpSendRaw(const std::string& host, uint16_t port,
+                                       const std::string& bytes,
+                                       int timeout_ms = 5000) {
+  int fd = internal::ConnectTo(host, port, timeout_ms);
+  if (fd < 0) {
+    return Status::IOError("connect to " + host + ":" +
+                           std::to_string(port) + " failed");
+  }
+  if (!internal::SendAll(fd, bytes)) {
+    close(fd);
+    return Status::IOError("send failed");
+  }
+  std::string raw = internal::RecvAll(fd);
+  close(fd);
+  return raw;
+}
+
+/// One full request/response round trip (Connection: close).
+inline Result<HttpClientResponse> HttpFetch(
+    const std::string& host, uint16_t port, const std::string& method,
+    const std::string& target, const std::string& body = "",
+    int timeout_ms = 5000) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Connection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: application/json\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  Result<std::string> raw = HttpSendRaw(host, port, request, timeout_ms);
+  if (!raw.ok()) return raw.status();
+  return internal::ParseResponse(raw.ValueOrDie());
+}
+
+}  // namespace testing
+}  // namespace serve
+}  // namespace valentine
+
+#endif  // VALENTINE_TESTS_HTTP_CLIENT_H_

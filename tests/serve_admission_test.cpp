@@ -1,0 +1,136 @@
+// Tests for the bounded admission queue (serve/admission.h): the
+// capacity bound, shed accounting, and drain (Close) semantics that the
+// server's overload contract is built on.
+
+#include "serve/admission.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace valentine {
+namespace serve {
+namespace {
+
+TEST(ServeAdmission, AdmitsUpToCapacityThenSheds) {
+  AdmissionQueue q(3);
+  EXPECT_TRUE(q.TryEnqueue(10));
+  EXPECT_TRUE(q.TryEnqueue(11));
+  EXPECT_TRUE(q.TryEnqueue(12));
+  EXPECT_FALSE(q.TryEnqueue(13));  // full → shed
+  EXPECT_FALSE(q.TryEnqueue(14));
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.admitted_total(), 3u);
+  EXPECT_EQ(q.shed_total(), 2u);
+}
+
+TEST(ServeAdmission, DequeuePreservesFifoOrder) {
+  AdmissionQueue q(4);
+  ASSERT_TRUE(q.TryEnqueue(1));
+  ASSERT_TRUE(q.TryEnqueue(2));
+  ASSERT_TRUE(q.TryEnqueue(3));
+  EXPECT_EQ(q.Dequeue(), std::optional<int>(1));
+  EXPECT_EQ(q.Dequeue(), std::optional<int>(2));
+  // Space freed: admission works again.
+  EXPECT_TRUE(q.TryEnqueue(4));
+  EXPECT_EQ(q.Dequeue(), std::optional<int>(3));
+  EXPECT_EQ(q.Dequeue(), std::optional<int>(4));
+}
+
+TEST(ServeAdmission, ZeroCapacityClampsToOne) {
+  AdmissionQueue q(0);
+  EXPECT_TRUE(q.TryEnqueue(1));
+  EXPECT_FALSE(q.TryEnqueue(2));
+}
+
+TEST(ServeAdmission, CloseRefusesNewButDrainsExisting) {
+  AdmissionQueue q(4);
+  ASSERT_TRUE(q.TryEnqueue(7));
+  ASSERT_TRUE(q.TryEnqueue(8));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryEnqueue(9));  // refused, counted as shed
+  EXPECT_EQ(q.shed_total(), 1u);
+  // Admitted entries still drain — never dropped.
+  EXPECT_EQ(q.Dequeue(), std::optional<int>(7));
+  EXPECT_EQ(q.Dequeue(), std::optional<int>(8));
+  // Closed and empty → nullopt (worker exit signal).
+  EXPECT_EQ(q.Dequeue(), std::nullopt);
+}
+
+TEST(ServeAdmission, CloseIsIdempotent) {
+  AdmissionQueue q(1);
+  q.Close();
+  q.Close();
+  EXPECT_EQ(q.Dequeue(), std::nullopt);
+}
+
+TEST(ServeAdmission, BlockedDequeueWakesOnEnqueue) {
+  AdmissionQueue q(2);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    std::optional<int> fd = q.Dequeue();  // blocks until producer runs
+    got = fd.value_or(-2);
+  });
+  EXPECT_TRUE(q.TryEnqueue(42));
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(ServeAdmission, BlockedDequeueWakesOnClose) {
+  AdmissionQueue q(2);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(q.Dequeue(), std::nullopt);
+    returned = true;
+  });
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(ServeAdmission, ConcurrentProducersNeverExceedBound) {
+  constexpr size_t kCapacity = 4;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 50;
+  AdmissionQueue q(kCapacity);
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> consumed{0};
+
+  std::thread consumer([&] {
+    while (true) {
+      std::optional<int> fd = q.Dequeue();
+      if (!fd.has_value()) return;
+      ++consumed;
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.TryEnqueue(p * kPerProducer + i)) {
+          ++accepted;
+        } else {
+          ++shed;
+        }
+        EXPECT_LE(q.depth(), kCapacity);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  consumer.join();
+
+  EXPECT_EQ(accepted + shed,
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(consumed.load(), accepted.load());
+  EXPECT_EQ(q.admitted_total(), accepted.load());
+  EXPECT_EQ(q.shed_total(), shed.load());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace valentine

@@ -1,0 +1,223 @@
+// Tests for the HTTP message layer (serve/http.h): incremental parsing
+// under adversarial framing (byte-at-a-time, torn, oversized, pipelined)
+// and the response/error-envelope contract — all without sockets.
+
+#include "serve/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+
+namespace valentine {
+namespace serve {
+namespace {
+
+HttpRequestParser FeedAll(const std::string& bytes, HttpLimits limits = {}) {
+  HttpRequestParser parser(limits);
+  size_t used = parser.Consume(bytes.data(), bytes.size());
+  EXPECT_LE(used, bytes.size());
+  return parser;
+}
+
+TEST(ServeHttpParser, SimpleGet) {
+  HttpRequestParser p =
+      FeedAll("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().target, "/healthz");
+  EXPECT_EQ(p.request().version, "HTTP/1.1");
+  EXPECT_EQ(p.request().Header("host"), "x");
+  EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(ServeHttpParser, PostWithBody) {
+  HttpRequestParser p = FeedAll(
+      "POST /v1/tables HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"");
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().body, "{\"a\"");
+}
+
+TEST(ServeHttpParser, ByteAtATime) {
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 3\r\nA: b\r\n\r\nxyz";
+  HttpRequestParser p;
+  for (char c : wire) {
+    ASSERT_FALSE(p.failed());
+    EXPECT_EQ(p.Consume(&c, 1), 1u);
+  }
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().body, "xyz");
+  EXPECT_EQ(p.request().Header("a"), "b");
+}
+
+TEST(ServeHttpParser, PipelinedRequestsLeaveRemainder) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  HttpRequestParser p;
+  size_t used = p.Consume(wire.data(), wire.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().target, "/a");
+  ASSERT_LT(used, wire.size());
+  p.Reset();
+  size_t used2 = p.Consume(wire.data() + used, wire.size() - used);
+  EXPECT_EQ(used + used2, wire.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().target, "/b");
+}
+
+TEST(ServeHttpParser, HeaderNamesLowerCased) {
+  HttpRequestParser p = FeedAll(
+      "GET / HTTP/1.1\r\nX-MiXeD-CaSe: Value\r\n\r\n");
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().Header("x-mixed-case"), "Value");
+}
+
+TEST(ServeHttpParser, OversizedHeadersGet431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 128;
+  std::string wire = "GET / HTTP/1.1\r\nX-Big: " + std::string(500, 'a');
+  HttpRequestParser p = FeedAll(wire, limits);
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 431);
+  EXPECT_EQ(p.error_status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ServeHttpParser, OversizedBodyGets413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 10;
+  HttpRequestParser p = FeedAll(
+      "POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n", limits);
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 413);
+  EXPECT_EQ(p.error_status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ServeHttpParser, ChunkedEncodingGets501) {
+  HttpRequestParser p = FeedAll(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 501);
+}
+
+TEST(ServeHttpParser, BadVersionGets505) {
+  HttpRequestParser p = FeedAll("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 505);
+}
+
+TEST(ServeHttpParser, MalformedRequestsGet400) {
+  for (const char* wire : {
+           "GARBAGE\r\n\r\n",
+           "GET /\r\n\r\n",                                  // no version
+           "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",          // bad header
+           "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",         // empty name
+           "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", // bad length
+           "GET relative HTTP/1.1\r\n\r\n",                  // not origin-form
+       }) {
+    HttpRequestParser p = FeedAll(wire);
+    EXPECT_TRUE(p.failed()) << wire;
+    EXPECT_EQ(p.http_status(), 400) << wire;
+  }
+}
+
+TEST(ServeHttpParser, ResetClearsEverything) {
+  HttpRequestParser p = FeedAll("GARBAGE\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  p.Reset();
+  EXPECT_EQ(p.state(), HttpRequestParser::State::kHeaders);
+  const std::string ok = "GET /x HTTP/1.1\r\n\r\n";
+  p.Consume(ok.data(), ok.size());
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(ServeHttpRequest, WantsClose) {
+  HttpRequestParser keep = FeedAll("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(keep.request().WantsClose());
+  HttpRequestParser close = FeedAll(
+      "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_TRUE(close.request().WantsClose());
+  HttpRequestParser old = FeedAll("GET / HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(old.request().WantsClose());
+  HttpRequestParser old_keep = FeedAll(
+      "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  EXPECT_FALSE(old_keep.request().WantsClose());
+}
+
+TEST(ServeHttpResponse, SerializeGolden) {
+  HttpResponse r;
+  r.status = 200;
+  r.body = "{\"ok\":true}";
+  EXPECT_EQ(SerializeResponse(r, /*close_connection=*/true),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 11\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+            "{\"ok\":true}");
+}
+
+TEST(ServeHttpResponse, ExtraHeadersEmitted) {
+  HttpResponse r;
+  r.status = 503;
+  r.headers.emplace_back("Retry-After", "2");
+  std::string wire = SerializeResponse(r, false);
+  EXPECT_NE(wire.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+}
+
+TEST(ServeHttpStatusMapping, CoversServingCodes) {
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kParseError), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kResourceExhausted), 503);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kCancelled), 503);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInternal), 500);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kIOError), 500);
+}
+
+// The error envelope's `code` must survive a round trip through
+// StatusCodeFromName — that is what lets a client reconstruct the
+// library-level StatusCode from the wire.
+TEST(ServeHttpErrorEnvelope, CodeRoundTripsThroughStatusCodeFromName) {
+  for (StatusCode code : {
+           StatusCode::kInvalidArgument, StatusCode::kNotFound,
+           StatusCode::kParseError, StatusCode::kResourceExhausted,
+           StatusCode::kCancelled, StatusCode::kDeadlineExceeded,
+           StatusCode::kIOError, StatusCode::kInternal,
+       }) {
+    Status status = Status::WithCode(code, "boom");
+    int http = HttpStatusForCode(code);
+    Result<JsonValue> parsed = ParseJson(JsonErrorEnvelope(status, http));
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue* error = parsed.ValueOrDie().Find("error");
+    ASSERT_NE(error, nullptr);
+    std::optional<StatusCode> round =
+        StatusCodeFromName(error->Find("code")->string_value());
+    ASSERT_TRUE(round.has_value());
+    EXPECT_EQ(*round, code);
+    EXPECT_EQ(static_cast<int>(error->Find("http_status")->number_value()),
+              http);
+    EXPECT_EQ(error->Find("message")->string_value(), "boom");
+  }
+}
+
+TEST(ServeHttpErrorResponse, ShedCarriesRetryAfter) {
+  HttpResponse r = ErrorResponse(
+      Status::ResourceExhausted("queue full"), /*retry_after_s=*/3);
+  EXPECT_EQ(r.status, 503);
+  ASSERT_EQ(r.headers.size(), 1u);
+  EXPECT_EQ(r.headers[0].first, "Retry-After");
+  EXPECT_EQ(r.headers[0].second, "3");
+  // Non-503s never carry Retry-After, whatever the caller passes.
+  EXPECT_TRUE(
+      ErrorResponse(Status::NotFound("x"), /*retry_after_s=*/3)
+          .headers.empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace valentine

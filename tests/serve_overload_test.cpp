@@ -1,0 +1,123 @@
+// The deterministic overload contract (the tentpole's acceptance test):
+// with W workers parked and a queue bound of Q, exactly the next Q
+// connections wait and every one after that is shed as 503 +
+// Retry-After — while every admitted request completes with rankings
+// byte-identical to a directly-driven engine. Overload degrades
+// loudly and deterministically, never silently.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "http_client.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace valentine {
+namespace serve {
+namespace {
+
+using testing::BlockingMatcher;
+using testing::HttpClientResponse;
+using testing::HttpConnect;
+using testing::HttpFetch;
+using testing::MakeServeTable;
+using testing::ServeTableJson;
+
+TEST(ServeOverload, SheddingIsDeterministicAndAccounted) {
+  constexpr size_t kWorkers = 2;
+  constexpr size_t kQueue = 3;
+  constexpr size_t kExcess = 4;
+
+  std::atomic<bool> gate{false};
+  std::atomic<int> active{0};
+  ServiceOptions service_opt;
+  service_opt.matcher_factory = [&] {
+    return std::make_unique<BlockingMatcher>(&gate, &active);
+  };
+  DiscoveryService service(std::move(service_opt));
+  ASSERT_TRUE(service.RegisterTable(MakeServeTable("repo", 15, 3)).ok());
+
+  ServerOptions server_opt;
+  server_opt.workers = kWorkers;
+  server_opt.queue_capacity = kQueue;
+  server_opt.read_timeout_ms = 500;
+  HttpServer server(&service, server_opt);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  const uint64_t base_admitted = server.admitted_total();
+
+  // Phase 1: park every worker on a blocking discovery request.
+  const std::string body =
+      "{\"table\":" + ServeTableJson("q", 15, 5) + ",\"k\":5}";
+  std::vector<std::string> served_bodies(kWorkers);
+  std::vector<std::thread> parked;
+  for (size_t i = 0; i < kWorkers; ++i) {
+    parked.emplace_back([&, i] {
+      Result<HttpClientResponse> r = HttpFetch(
+          "127.0.0.1", port, "POST", "/v1/discovery/unionable", body,
+          /*timeout_ms=*/60000);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r.ValueOrDie().status, 200) << r.ValueOrDie().body;
+      served_bodies[i] = r.ValueOrDie().body;
+    });
+  }
+  while (active.load() < static_cast<int>(kWorkers)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Phase 2: fill the admission queue with idle connections.
+  std::vector<int> fillers;
+  for (size_t i = 0; i < kQueue; ++i) {
+    int fd = HttpConnect("127.0.0.1", port);
+    ASSERT_GE(fd, 0);
+    fillers.push_back(fd);
+  }
+  while (server.admitted_total() < base_admitted + kWorkers + kQueue) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.shed_total(), 0u);
+
+  // Phase 3: every further connection is shed, synchronously, with the
+  // full 503 contract — the parked workers never get involved.
+  for (size_t i = 0; i < kExcess; ++i) {
+    Result<HttpClientResponse> r =
+        HttpFetch("127.0.0.1", port, "GET", "/healthz");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.ValueOrDie().status, 503) << "excess connection " << i;
+    EXPECT_EQ(r.ValueOrDie().Header("retry-after"), "1");
+    EXPECT_NE(r.ValueOrDie().body.find("\"ResourceExhausted\""),
+              std::string::npos);
+  }
+  EXPECT_EQ(server.shed_total(), kExcess);
+  EXPECT_EQ(server.admitted_total(), base_admitted + kWorkers + kQueue);
+
+  // Phase 4: release the gate; the admitted requests complete with
+  // rankings byte-identical to a direct engine under the same matcher.
+  for (int fd : fillers) close(fd);
+  gate = true;
+  for (std::thread& t : parked) t.join();
+
+  DiscoveryOptions direct_opt;
+  direct_opt.matcher = std::make_unique<BlockingMatcher>(&gate, &active);
+  DiscoveryEngine direct(std::move(direct_opt));
+  ASSERT_TRUE(direct.AddTable(MakeServeTable("repo", 15, 3)).ok());
+  const std::string expected = RenderDiscoveryResults(
+      "q", "unionable", 5,
+      direct.FindUnionable(MakeServeTable("q", 15, 5), 5));
+  for (const std::string& served : served_bodies) {
+    EXPECT_EQ(served, expected);
+  }
+
+  // Final ledger: sheds stayed exactly at the excess count.
+  server.Shutdown(2000.0);
+  EXPECT_EQ(server.shed_total(), kExcess);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace valentine

@@ -1,0 +1,277 @@
+// Socket-level tests for the HTTP server (serve/server.h): the full
+// stack over real loopback connections — golden endpoints, wire-level
+// byte identity with a direct engine, robustness against malformed and
+// torn requests, keep-alive, and graceful drain with cooperative
+// cancellation.
+
+#include "serve/server.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "http_client.h"
+#include "serve_test_util.h"
+
+namespace valentine {
+namespace serve {
+namespace {
+
+using testing::BlockingMatcher;
+using testing::HttpClientResponse;
+using testing::HttpFetch;
+using testing::HttpSendRaw;
+using testing::MakeServeTable;
+using testing::ServeTableJson;
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServiceOptions service_opt = {},
+                   ServerOptions server_opt = {}) {
+    service_ = std::make_unique<DiscoveryService>(std::move(service_opt));
+    server_ = std::make_unique<HttpServer>(service_.get(), server_opt);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    port_ = server_->port();
+  }
+
+  Result<HttpClientResponse> Fetch(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "") {
+    return HttpFetch("127.0.0.1", port_, method, target, body,
+                     /*timeout_ms=*/30000);
+  }
+
+  std::unique_ptr<DiscoveryService> service_;
+  std::unique_ptr<HttpServer> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(ServeServerTest, HealthzOverTheWire) {
+  StartServer();
+  Result<HttpClientResponse> r = Fetch("GET", "/healthz");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().status, 200);
+  EXPECT_EQ(r.ValueOrDie().body, "{\"status\":\"ok\",\"tables\":0}");
+  EXPECT_EQ(r.ValueOrDie().Header("content-type"), "application/json");
+}
+
+TEST_F(ServeServerTest, FullLifecycleAndWireByteIdentity) {
+  StartServer();
+  // Register over HTTP; query over HTTP; compare bytes against a
+  // directly-driven engine rendered through the same canonical path.
+  ASSERT_EQ(
+      Fetch("POST", "/v1/tables", ServeTableJson("warehouse", 25, 2))
+          .ValueOrDie()
+          .status,
+      200);
+  ASSERT_EQ(
+      Fetch("POST", "/v1/tables", ServeTableJson("shipments", 25, 5))
+          .ValueOrDie()
+          .status,
+      200);
+
+  DiscoveryEngine direct;
+  ASSERT_TRUE(direct.AddTable(MakeServeTable("shipments", 25, 5)).ok());
+  ASSERT_TRUE(direct.AddTable(MakeServeTable("warehouse", 25, 2)).ok());
+  Table query = MakeServeTable("q", 25, 2);
+
+  for (const std::string mode : {"joinable", "unionable"}) {
+    Result<HttpClientResponse> served =
+        Fetch("POST", "/v1/discovery/" + mode,
+              "{\"table\":" + ServeTableJson("q", 25, 2) + ",\"k\":2}");
+    ASSERT_TRUE(served.ok());
+    ASSERT_EQ(served.ValueOrDie().status, 200) << served.ValueOrDie().body;
+    std::vector<DiscoveryResult> expected =
+        mode == "joinable" ? direct.FindJoinable(query, 2)
+                           : direct.FindUnionable(query, 2);
+    EXPECT_EQ(served.ValueOrDie().body,
+              RenderDiscoveryResults("q", mode, 2, expected))
+        << "mode=" << mode;
+  }
+  EXPECT_EQ(Fetch("DELETE", "/v1/tables/warehouse").ValueOrDie().status,
+            200);
+}
+
+TEST_F(ServeServerTest, ErrorEnvelopeRoundTripsOverTheWire) {
+  StartServer();
+  Result<HttpClientResponse> r = Fetch("GET", "/v1/no/such/route");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().status, 404);
+  Result<JsonValue> body = ParseJson(r.ValueOrDie().body);
+  ASSERT_TRUE(body.ok());
+  const JsonValue* error = body.ValueOrDie().Find("error");
+  ASSERT_NE(error, nullptr);
+  std::optional<StatusCode> code =
+      StatusCodeFromName(error->Find("code")->string_value());
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, StatusCode::kNotFound);
+}
+
+TEST_F(ServeServerTest, ZeroBudgetAnswers504OverTheWire) {
+  StartServer();
+  ASSERT_EQ(Fetch("POST", "/v1/tables", ServeTableJson("repo", 20, 3))
+                .ValueOrDie()
+                .status,
+            200);
+  Result<HttpClientResponse> r =
+      Fetch("POST", "/v1/discovery/joinable",
+            "{\"table\":" + ServeTableJson("q", 20, 3) +
+                ",\"budget_ms\":0}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().status, 504);
+  EXPECT_NE(r.ValueOrDie().body.find("\"DeadlineExceeded\""),
+            std::string::npos);
+}
+
+TEST_F(ServeServerTest, MalformedRequestsAnswerParserStatus) {
+  StartServer();
+  Result<std::string> raw =
+      HttpSendRaw("127.0.0.1", port_, "GARBAGE LINE\r\n\r\n");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw.ValueOrDie().find("HTTP/1.1 400 "), std::string::npos)
+      << raw.ValueOrDie();
+
+  Result<std::string> huge = HttpSendRaw(
+      "127.0.0.1", port_,
+      "POST /v1/tables HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_NE(huge.ValueOrDie().find("HTTP/1.1 413 "), std::string::npos)
+      << huge.ValueOrDie();
+}
+
+TEST_F(ServeServerTest, TornRequestAnswers408AndCloses) {
+  ServerOptions opt;
+  opt.read_timeout_ms = 200;  // keep the test fast
+  StartServer({}, opt);
+  // Promise 100 body bytes, send 3, go silent: the read timeout must
+  // surface as a 408, not a hung worker.
+  Result<std::string> raw = HttpSendRaw(
+      "127.0.0.1", port_,
+      "POST /v1/tables HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw.ValueOrDie().find("HTTP/1.1 408 "), std::string::npos)
+      << raw.ValueOrDie();
+  // And the server is still healthy for the next client.
+  EXPECT_EQ(Fetch("GET", "/healthz").ValueOrDie().status, 200);
+}
+
+TEST_F(ServeServerTest, KeepAliveServesSequentialRequests) {
+  StartServer();
+  const std::string two_gets =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  Result<std::string> raw = HttpSendRaw("127.0.0.1", port_, two_gets);
+  ASSERT_TRUE(raw.ok());
+  const std::string& wire = raw.ValueOrDie();
+  size_t first = wire.find("HTTP/1.1 200 OK");
+  ASSERT_NE(first, std::string::npos);
+  size_t second = wire.find("HTTP/1.1 200 OK", first + 1);
+  EXPECT_NE(second, std::string::npos)
+      << "second pipelined response missing:\n"
+      << wire;
+  EXPECT_NE(wire.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close"), std::string::npos);
+}
+
+TEST_F(ServeServerTest, ShedResponseCarriesRetryAfter) {
+  std::atomic<bool> gate{false};
+  std::atomic<int> active{0};
+  ServiceOptions service_opt;
+  service_opt.matcher_factory = [&] {
+    return std::make_unique<BlockingMatcher>(&gate, &active);
+  };
+  ServerOptions server_opt;
+  server_opt.workers = 1;
+  server_opt.queue_capacity = 1;
+  server_opt.read_timeout_ms = 500;
+  StartServer(std::move(service_opt), server_opt);
+  ASSERT_EQ(Fetch("POST", "/v1/tables", ServeTableJson("repo", 10, 3))
+                .ValueOrDie()
+                .status,
+            200);
+  const uint64_t base_admitted = server_->admitted_total();
+
+  // Occupy the single worker with a request that parks in the matcher.
+  const std::string body =
+      "{\"table\":" + ServeTableJson("q", 10, 5) + "}";
+  std::thread blocked([&] {
+    Result<HttpClientResponse> r =
+        Fetch("POST", "/v1/discovery/unionable", body);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie().status, 200);
+  });
+  while (active.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Fill the queue with an idle raw connection, then probe: the probe
+  // must be shed synchronously with 503 + Retry-After — no waiting on
+  // the parked worker.
+  int filler = testing::HttpConnect("127.0.0.1", port_);
+  ASSERT_GE(filler, 0);
+  while (server_->admitted_total() < base_admitted + 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Result<HttpClientResponse> shed = Fetch("GET", "/healthz");
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed.ValueOrDie().status, 503);
+  EXPECT_FALSE(shed.ValueOrDie().Header("retry-after").empty());
+  EXPECT_NE(shed.ValueOrDie().body.find("\"ResourceExhausted\""),
+            std::string::npos);
+  EXPECT_EQ(server_->shed_total(), 1u);
+
+  close(filler);
+  gate = true;
+  blocked.join();
+}
+
+TEST_F(ServeServerTest, DrainCancelsInFlightWorkAs503) {
+  std::atomic<bool> gate{false};
+  std::atomic<int> active{0};
+  ServiceOptions service_opt;
+  service_opt.matcher_factory = [&] {
+    return std::make_unique<BlockingMatcher>(&gate, &active);
+  };
+  StartServer(std::move(service_opt));
+  ASSERT_EQ(Fetch("POST", "/v1/tables", ServeTableJson("repo", 10, 3))
+                .ValueOrDie()
+                .status,
+            200);
+
+  std::thread victim([&] {
+    Result<HttpClientResponse> r =
+        Fetch("POST", "/v1/discovery/unionable",
+              "{\"table\":" + ServeTableJson("q", 10, 5) + "}");
+    // The drain must cut this request off with a *response*, not a
+    // dropped connection: 503 Cancelled, Retry-After set.
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.ValueOrDie().status, 503);
+    EXPECT_NE(r.ValueOrDie().body.find("\"Cancelled\""), std::string::npos);
+    EXPECT_FALSE(r.ValueOrDie().Header("retry-after").empty());
+  });
+  while (active.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Short drain budget: the parked matcher never finishes on its own,
+  // so Shutdown must cancel it cooperatively and still join cleanly.
+  server_->Shutdown(/*drain_ms=*/50.0);
+  victim.join();
+  EXPECT_FALSE(server_->running());
+  // The gate was never opened — completion came from cancellation.
+  EXPECT_EQ(active.load(), 0);
+}
+
+TEST_F(ServeServerTest, ShutdownWithIdleServerIsImmediate) {
+  StartServer();
+  server_->Shutdown(/*drain_ms=*/5000.0);
+  EXPECT_FALSE(server_->running());
+  // Idempotent.
+  server_->Shutdown(/*drain_ms=*/5000.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace valentine

@@ -1,0 +1,235 @@
+// Tests for the HTTP-facing discovery service (serve/service.h):
+// JSON↔Table codecs, routing, the copy-on-write registry, the
+// byte-identity contract against a directly-driven DiscoveryEngine,
+// and the zero-budget regression at the serving boundary.
+
+#include "serve/service.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve_test_util.h"
+
+namespace valentine {
+namespace serve {
+namespace {
+
+using testing::MakeServeTable;
+using testing::ServeTableJson;
+
+HttpRequest MakeRequest(const std::string& method, const std::string& target,
+                        const std::string& body = "") {
+  HttpRequest r;
+  r.method = method;
+  r.target = target;
+  r.version = "HTTP/1.1";
+  r.body = body;
+  return r;
+}
+
+TEST(ServeTableFromJson, DecodesTypedColumns) {
+  Result<JsonValue> doc = ParseJson(
+      "{\"name\":\"t\",\"columns\":["
+      "{\"name\":\"s\",\"type\":\"string\",\"values\":[\"a\",null,\"b\"]},"
+      "{\"name\":\"n\",\"values\":[1,2.5,3]}]}");
+  ASSERT_TRUE(doc.ok());
+  Result<Table> table = TableFromJson(doc.ValueOrDie());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const Table& t = table.ValueOrDie();
+  EXPECT_EQ(t.name(), "t");
+  ASSERT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.column(0).type(), DataType::kString);
+  EXPECT_EQ(t.column(0).NullCount(), 1u);
+  // Untyped column infers from the first non-null cell; integral JSON
+  // numbers decode as int64.
+  EXPECT_EQ(t.column(1).type(), DataType::kInt64);
+  EXPECT_EQ(t.column(1)[0].kind(), DataType::kInt64);
+  EXPECT_EQ(t.column(1)[1].kind(), DataType::kFloat64);
+}
+
+TEST(ServeTableFromJson, RejectsBadShapes) {
+  for (const char* doc : {
+           "[]",
+           "{\"columns\":[]}",                       // no name
+           "{\"name\":\"\",\"columns\":[]}",         // empty name
+           "{\"name\":\"t\"}",                       // no columns
+           "{\"name\":\"t\",\"columns\":[{}]}",      // column without name
+           "{\"name\":\"t\",\"columns\":[{\"name\":\"c\"}]}",  // no values
+           "{\"name\":\"t\",\"columns\":"
+           "[{\"name\":\"c\",\"values\":[[1]]}]}",   // nested cell
+           "{\"name\":\"t\",\"columns\":"
+           "[{\"name\":\"c\",\"type\":\"money\",\"values\":[]}]}",
+           "{\"name\":\"t\",\"columns\":["
+           "{\"name\":\"a\",\"values\":[1]},"
+           "{\"name\":\"b\",\"values\":[1,2]}]}",    // ragged lengths
+       }) {
+    Result<JsonValue> parsed = ParseJson(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    Result<Table> table = TableFromJson(parsed.ValueOrDie());
+    EXPECT_FALSE(table.ok()) << doc;
+    EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument) << doc;
+  }
+}
+
+TEST(ServeService, HealthzGolden) {
+  DiscoveryService service;
+  HttpResponse r = service.Handle(MakeRequest("GET", "/healthz"));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "{\"status\":\"ok\",\"tables\":0}");
+  ASSERT_TRUE(service.RegisterTable(MakeServeTable("t1", 10, 3)).ok());
+  EXPECT_EQ(service.Handle(MakeRequest("GET", "/healthz")).body,
+            "{\"status\":\"ok\",\"tables\":1}");
+}
+
+TEST(ServeService, MetricsEndpointRendersRegistry) {
+  MetricsRegistry metrics;
+  metrics.CounterFor("my_metric")->Increment(7);
+  ServiceOptions opt;
+  opt.metrics = &metrics;
+  DiscoveryService service(opt);
+  HttpResponse r = service.Handle(MakeRequest("GET", "/metrics"));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "text/plain; version=0.0.4");
+  EXPECT_NE(r.body.find("my_metric 7"), std::string::npos) << r.body;
+  // The scrape itself is counted, visible on the next scrape.
+  HttpResponse again = service.Handle(MakeRequest("GET", "/metrics"));
+  EXPECT_NE(again.body.find("valentine_serve_requests_total"),
+            std::string::npos);
+}
+
+TEST(ServeService, RegisterUnregisterLifecycle) {
+  DiscoveryService service;
+  HttpResponse created = service.Handle(
+      MakeRequest("POST", "/v1/tables", ServeTableJson("orders", 12, 3)));
+  EXPECT_EQ(created.status, 200);
+  EXPECT_EQ(created.body, "{\"registered\":\"orders\",\"tables\":1}");
+
+  HttpResponse dup = service.Handle(
+      MakeRequest("POST", "/v1/tables", ServeTableJson("orders", 12, 3)));
+  EXPECT_EQ(dup.status, 400);
+  EXPECT_NE(dup.body.find("\"InvalidArgument\""), std::string::npos);
+
+  HttpResponse gone = service.Handle(
+      MakeRequest("DELETE", "/v1/tables/orders"));
+  EXPECT_EQ(gone.status, 200);
+  EXPECT_EQ(gone.body, "{\"tables\":0,\"unregistered\":\"orders\"}");
+
+  HttpResponse missing = service.Handle(
+      MakeRequest("DELETE", "/v1/tables/orders"));
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("\"NotFound\""), std::string::npos);
+}
+
+TEST(ServeService, RoutingErrors) {
+  DiscoveryService service;
+  EXPECT_EQ(service.Handle(MakeRequest("GET", "/nope")).status, 404);
+  EXPECT_EQ(service.Handle(MakeRequest("POST", "/healthz")).status, 405);
+  EXPECT_EQ(service.Handle(MakeRequest("GET", "/v1/tables")).status, 405);
+  EXPECT_EQ(service.Handle(MakeRequest("PUT", "/v1/discovery/joinable"))
+                .status,
+            405);
+  EXPECT_EQ(
+      service.Handle(MakeRequest("POST", "/v1/tables", "{not json")).status,
+      400);
+}
+
+TEST(ServeService, DiscoveryMatchesDirectEngineByteForByte) {
+  // Same tables, two paths: the service's HTTP surface vs a hand-built
+  // DiscoveryEngine, both rendered through RenderDiscoveryResults.
+  DiscoveryService service;
+  DiscoveryEngine direct;
+  for (size_t i = 0; i < 4; ++i) {
+    Table t = MakeServeTable("table_" + std::to_string(i), 30, i + 2);
+    ASSERT_TRUE(service.RegisterTable(t).ok());
+    ASSERT_TRUE(direct.AddTable(std::move(t)).ok());
+  }
+  Table query = MakeServeTable("query_t", 30, 3);
+
+  for (const std::string mode : {"joinable", "unionable"}) {
+    HttpResponse served = service.Handle(MakeRequest(
+        "POST", "/v1/discovery/" + mode,
+        "{\"table\":" + ServeTableJson("query_t", 30, 3) + ",\"k\":3}"));
+    ASSERT_EQ(served.status, 200) << served.body;
+    std::vector<DiscoveryResult> expected =
+        mode == "joinable" ? direct.FindJoinable(query, 3)
+                           : direct.FindUnionable(query, 3);
+    EXPECT_EQ(served.body,
+              RenderDiscoveryResults("query_t", mode, 3, expected))
+        << "mode=" << mode;
+  }
+}
+
+// Regression (serving boundary): a request whose budget is already
+// spent must deterministically answer 504 kDeadlineExceeded having done
+// zero scoring — not race the clock into an occasional 200.
+TEST(ServeService, ZeroAndNegativeBudgetsAnswer504) {
+  DiscoveryService service;
+  ASSERT_TRUE(service.RegisterTable(MakeServeTable("repo", 20, 3)).ok());
+  for (const char* budget : {"0", "-1", "-1e300"}) {
+    HttpResponse r = service.Handle(MakeRequest(
+        "POST", "/v1/discovery/unionable",
+        "{\"table\":" + ServeTableJson("q", 20, 5) +
+            ",\"budget_ms\":" + budget + "}"));
+    EXPECT_EQ(r.status, 504) << "budget_ms=" << budget << ": " << r.body;
+    EXPECT_NE(r.body.find("\"DeadlineExceeded\""), std::string::npos)
+        << r.body;
+  }
+  // A sane budget on the same repository serves fine.
+  HttpResponse ok = service.Handle(MakeRequest(
+      "POST", "/v1/discovery/unionable",
+      "{\"table\":" + ServeTableJson("q", 20, 5) +
+          ",\"budget_ms\":30000}"));
+  EXPECT_EQ(ok.status, 200) << ok.body;
+}
+
+TEST(ServeService, DiscoveryRequestValidation) {
+  DiscoveryService service;
+  const std::string table = ServeTableJson("q", 5, 3);
+  EXPECT_EQ(service
+                .Handle(MakeRequest("POST", "/v1/discovery/joinable",
+                                    "{\"k\":3}"))
+                .status,
+            400);  // missing table
+  EXPECT_EQ(service
+                .Handle(MakeRequest("POST", "/v1/discovery/joinable",
+                                    "{\"table\":" + table +
+                                        ",\"k\":0}"))
+                .status,
+            400);  // k < 1
+  EXPECT_EQ(service
+                .Handle(MakeRequest("POST", "/v1/discovery/joinable",
+                                    "{\"table\":" + table +
+                                        ",\"k\":\"three\"}"))
+                .status,
+            400);  // k not a number
+  EXPECT_EQ(service
+                .Handle(MakeRequest("POST", "/v1/discovery/joinable",
+                                    "{\"table\":" + table +
+                                        ",\"budget_ms\":\"fast\"}"))
+                .status,
+            400);  // budget not a number
+}
+
+TEST(ServeService, SnapshotSurvivesConcurrentMutation) {
+  // A snapshot taken before a mutation keeps answering identically —
+  // the COW contract in miniature (single-threaded version; the racing
+  // version lives in serve_concurrency_test.cpp).
+  DiscoveryService service;
+  ASSERT_TRUE(service.RegisterTable(MakeServeTable("stable", 20, 3)).ok());
+  std::shared_ptr<const DiscoveryEngine> before = service.Snapshot();
+  Table query = MakeServeTable("q", 20, 5);
+  std::vector<DiscoveryResult> results_before =
+      before->FindUnionable(query, 5);
+  ASSERT_TRUE(service.RegisterTable(MakeServeTable("newcomer", 20, 7)).ok());
+  // The old snapshot is unaffected; a fresh one sees the new table.
+  EXPECT_EQ(RenderDiscoveryResults("q", "unionable", 5,
+                                   before->FindUnionable(query, 5)),
+            RenderDiscoveryResults("q", "unionable", 5, results_before));
+  EXPECT_EQ(service.Snapshot()->num_tables(), 2u);
+  EXPECT_EQ(before->num_tables(), 1u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace valentine

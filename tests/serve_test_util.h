@@ -1,0 +1,109 @@
+#ifndef VALENTINE_TESTS_SERVE_TEST_UTIL_H_
+#define VALENTINE_TESTS_SERVE_TEST_UTIL_H_
+
+// Shared fixtures for the serving tests: a deterministic blocking
+// matcher (for overload/drain sequencing) and small table builders.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/status.h"
+#include "core/table.h"
+#include "matchers/matcher.h"
+
+namespace valentine {
+namespace serve {
+namespace testing {
+
+/// A matcher that parks inside MatchWithContext until released (or the
+/// request's context fires), making "worker is busy" a test-controlled
+/// state instead of a timing accident. Score is constant so rankings
+/// stay deterministic.
+class BlockingMatcher : public ColumnMatcher {
+ public:
+  /// `gate` false = block; flip to true to release every waiter.
+  /// `active` counts matchers currently parked (for sequencing).
+  BlockingMatcher(std::atomic<bool>* gate, std::atomic<int>* active)
+      : gate_(gate), active_(active) {}
+
+  std::string Name() const override { return "BlockingTest"; }
+  MatcherCategory Category() const override {
+    return MatcherCategory::kSchemaBased;
+  }
+  std::vector<MatchType> Capabilities() const override {
+    return {MatchType::kAttributeOverlap};
+  }
+
+  Result<MatchResult> MatchWithContext(
+      const Table& source, const Table& target,
+      const MatchContext& context) const override {
+    ++*active_;
+    while (!gate_->load(std::memory_order_acquire)) {
+      Status check = context.Check("BlockingMatcher");
+      if (!check.ok()) {
+        --*active_;
+        return check;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    --*active_;
+    MatchResult result;
+    if (source.num_columns() > 0 && target.num_columns() > 0) {
+      // "struct Match" disambiguates from the Match() member function.
+      struct Match m;
+      m.source = {source.name(), source.column(0).name()};
+      m.target = {target.name(), target.column(0).name()};
+      m.score = 0.5;
+      result.Add(m);
+    }
+    result.Sort();
+    return result;
+  }
+
+ private:
+  std::atomic<bool>* gate_;
+  std::atomic<int>* active_;
+};
+
+/// A two-column table with overlapping string keys; `salt` varies the
+/// value set so distinct tables score differently.
+inline Table MakeServeTable(const std::string& name, size_t rows,
+                            size_t salt) {
+  Table t(name);
+  Column key("key", DataType::kString);
+  Column amount("amount", DataType::kInt64);
+  for (size_t i = 0; i < rows; ++i) {
+    key.Append(Value::String("id_" + std::to_string(i * salt % (rows * 2))));
+    amount.Append(Value::Int(static_cast<int64_t>(i)));
+  }
+  Status s1 = t.AddColumn(std::move(key));
+  Status s2 = t.AddColumn(std::move(amount));
+  (void)s1;
+  (void)s2;
+  return t;
+}
+
+/// The same table in the service's JSON wire form.
+inline std::string ServeTableJson(const std::string& name, size_t rows,
+                                  size_t salt) {
+  std::string keys, amounts;
+  for (size_t i = 0; i < rows; ++i) {
+    if (i > 0) {
+      keys += ",";
+      amounts += ",";
+    }
+    keys += "\"id_" + std::to_string(i * salt % (rows * 2)) + "\"";
+    amounts += std::to_string(i);
+  }
+  return "{\"name\":\"" + name +
+         "\",\"columns\":[{\"name\":\"key\",\"values\":[" + keys +
+         "]},{\"name\":\"amount\",\"values\":[" + amounts + "]}]}";
+}
+
+}  // namespace testing
+}  // namespace serve
+}  // namespace valentine
+
+#endif  // VALENTINE_TESTS_SERVE_TEST_UTIL_H_

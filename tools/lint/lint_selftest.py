@@ -62,6 +62,11 @@ def main() -> int:
     expect("flagged-under-knowledge",
            ["--pretend-rel", "src/knowledge/thesaurus_helper.cpp", fixture],
            1, "unordered-iteration")
+    # src/serve/ serializes responses whose bytes must match direct
+    # engine calls, so it sits in the order-sensitive scope too.
+    expect("flagged-under-serve",
+           ["--pretend-rel", "src/serve/responder.cpp", fixture],
+           1, "unordered-iteration")
 
     # Outside the order-sensitive scope the same code is legal (hash
     # order feeding a set/count is fine; the rule targets ranked paths).
@@ -100,6 +105,14 @@ def main() -> int:
            ["--pretend-rel", "src/obs/clock.cpp", clock_fixture], 0)
     expect("raw-steady-clock-deadline-exempt",
            ["--pretend-rel", "src/core/deadline.cpp", clock_fixture], 0)
+    # The serving event loop (src/serve/server.*) times live socket
+    # requests, which no injectable clock can witness — exempt. The
+    # rest of src/serve/ gets no such pass.
+    expect("raw-steady-clock-serve-event-loop-exempt",
+           ["--pretend-rel", "src/serve/server.cpp", clock_fixture], 0)
+    expect("raw-steady-clock-serve-service-not-exempt",
+           ["--pretend-rel", "src/serve/service.cpp", clock_fixture],
+           1, "wallclock-time")
     # Outside src/ the rule does not apply at all.
     expect("raw-steady-clock-out-of-scope",
            ["--pretend-rel", "tools/bench_report/bench_report.cpp",
@@ -154,7 +167,7 @@ def main() -> int:
         for f in FAILURES:
             print(f"lint_selftest FAIL {f}", file=sys.stderr)
         return 1
-    print("lint_selftest: OK (23 cases)")
+    print("lint_selftest: OK (26 cases)")
     return 0
 
 

@@ -200,9 +200,12 @@ UNORDERED_DECL_RE = re.compile(
 # thesaurus, so hash-order iteration there reorders results the same way.
 # src/obs/ serializes traces and Prometheus text that must be
 # byte-reproducible under a FakeClock, so its export paths may never
-# iterate a hash container either.
+# iterate a hash container either. src/serve/ serializes JSON responses
+# whose bytes are contractually identical to direct engine calls
+# (tests/serve_service_test.cpp pins this), so the same applies.
 ORDER_SENSITIVE_PREFIXES = ("src/matchers/", "src/text/", "src/stats/",
-                            "src/discovery/", "src/knowledge/", "src/obs/")
+                            "src/discovery/", "src/knowledge/", "src/obs/",
+                            "src/serve/")
 ORDER_SENSITIVE_FILES = {"src/harness/json_export.h", "src/harness/json_export.cpp"}
 
 
@@ -361,7 +364,11 @@ WALLCLOCK_PATTERNS = [
      "raw steady_clock::now() makes timing fields nondeterministic; "
      "read time through an injectable valentine::Clock "
      "(src/obs/clock.h) so tests can inject a FakeClock",
-     ("src/obs/", "src/core/deadline.")),
+     # src/serve/server.* is the socket event loop: it times live
+     # requests (socket + engine work of a real connection), which no
+     # injectable clock can witness — the measurement is inherently a
+     # property of this process, not of a simulated timeline.
+     ("src/obs/", "src/core/deadline.", "src/serve/server.")),
 ]
 
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Process-level lifecycle smoke for valentine_serve:
+#   1. start the daemon on an ephemeral port (--port-file handshake);
+#   2. probe the full API surface over real sockets (serve_stress --probe);
+#   3. SIGTERM it and assert: clean drain, exit code 0, metrics flushed.
+#
+# Usage: smoke_test.sh <valentine_serve-binary> <serve_stress-binary>
+set -u
+
+SERVE_BIN="${1:?usage: smoke_test.sh <valentine_serve> <serve_stress>}"
+STRESS_BIN="${2:?usage: smoke_test.sh <valentine_serve> <serve_stress>}"
+
+WORK_DIR="$(mktemp -d)"
+PORT_FILE="$WORK_DIR/port"
+METRICS_FILE="$WORK_DIR/metrics.prom"
+LOG_FILE="$WORK_DIR/serve.log"
+
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  [ -f "$LOG_FILE" ] && sed 's/^/serve_smoke:   log: /' "$LOG_FILE" >&2
+  exit 1
+}
+
+"$SERVE_BIN" --port 0 --port-file "$PORT_FILE" --workers 2 --queue 8 \
+  --drain-ms 2000 --metrics-out "$METRICS_FILE" >"$LOG_FILE" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the port-file handshake (daemon is accepting once it exists).
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "port file never appeared"
+PORT="$(cat "$PORT_FILE")"
+
+"$STRESS_BIN" --probe "127.0.0.1:$PORT" || fail "API probe failed"
+
+kill -TERM "$SERVER_PID" || fail "could not signal daemon"
+DRAIN_EXIT=0
+wait "$SERVER_PID" || DRAIN_EXIT=$?
+SERVER_PID=""
+[ "$DRAIN_EXIT" -eq 0 ] || fail "daemon exited $DRAIN_EXIT after SIGTERM"
+
+[ -s "$METRICS_FILE" ] || fail "metrics were not flushed on drain"
+grep -q "valentine_serve_requests_total" "$METRICS_FILE" ||
+  fail "flushed metrics lack valentine_serve_requests_total"
+
+echo "serve_smoke: PASS (port $PORT, drained cleanly, metrics flushed)"
+exit 0

@@ -1,0 +1,327 @@
+// Overload soak + probe client for the serving daemon.
+//
+// Default (soak) mode spins an in-process HttpServer with a deliberately
+// tiny worker pool and admission queue, fires N concurrent closed-loop
+// clients at it, and asserts the overload contract end to end:
+//
+//   * every response is 200 (served) or 503 (shed);
+//   * every 503 carries Retry-After;
+//   * valentine_serve_shed_total (scraped from /metrics) equals the
+//     number of 503s the clients actually observed — overload is
+//     *accounted*, not just survived;
+//   * admitted requests all complete (no hangs, no torn responses).
+//
+// --probe HOST:PORT instead runs a one-shot functional probe against an
+// externally started daemon (used by the smoke_test.sh SIGTERM drain
+// script): healthz, register, discovery, 404 envelope, malformed JSON.
+//
+// Exits 0 when every assertion holds, 1 otherwise, 2 on usage.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "tests/http_client.h"
+
+namespace valentine {
+namespace serve {
+namespace {
+
+using testing::HttpClientResponse;
+using testing::HttpFetch;
+
+struct StressOptions {
+  size_t clients = 16;
+  size_t requests = 5;
+  size_t workers = 1;
+  size_t queue = 2;
+  size_t rows = 200;
+  std::string mode = "unionable";
+  std::string probe_host;
+  uint16_t probe_port = 0;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--clients N] [--requests N] [--workers N] "
+               "[--queue N] [--rows N] [--mode joinable|unionable]\n"
+               "       %s --probe HOST:PORT\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::string TableJson(const std::string& name, size_t rows, size_t salt) {
+  std::string values_a, values_b;
+  for (size_t i = 0; i < rows; ++i) {
+    if (i > 0) {
+      values_a += ",";
+      values_b += ",";
+    }
+    values_a += "\"id_" + std::to_string(i * salt % (rows * 2)) + "\"";
+    values_b += std::to_string(i);
+  }
+  return "{\"name\":\"" + name +
+         "\",\"columns\":[{\"name\":\"key\",\"values\":[" + values_a +
+         "]},{\"name\":\"amount\",\"values\":[" + values_b + "]}]}";
+}
+
+uint64_t ScrapeCounter(const std::string& metrics_text,
+                       const std::string& name) {
+  size_t pos = metrics_text.find("\n" + name + " ");
+  if (pos == std::string::npos) {
+    if (metrics_text.compare(0, name.size() + 1, name + " ") == 0) {
+      pos = 0;
+    } else {
+      return 0;
+    }
+  } else {
+    pos += 1;
+  }
+  return std::strtoull(metrics_text.c_str() + pos + name.size() + 1, nullptr,
+                       10);
+}
+
+int RunSoak(const StressOptions& opt) {
+  MetricsRegistry metrics;
+  ServiceOptions service_opt;
+  service_opt.metrics = &metrics;
+  DiscoveryService service(service_opt);
+
+  // A repository table so discovery requests do real matcher work.
+  {
+    HttpRequest seed;
+    seed.method = "POST";
+    seed.target = "/v1/tables";
+    seed.body = TableJson("repo_orders", opt.rows, 3);
+    HttpResponse r = service.Handle(seed);
+    if (r.status != 200) {
+      std::fprintf(stderr, "serve_stress: seeding table failed: %s\n",
+                   r.body.c_str());
+      return 1;
+    }
+  }
+
+  ServerOptions server_opt;
+  server_opt.workers = opt.workers;
+  server_opt.queue_capacity = opt.queue;
+  server_opt.metrics = &metrics;
+  HttpServer server(&service, server_opt);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve_stress: %s\n", started.message().c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+
+  const std::string request_body = "{\"table\":" +
+                                   TableJson("probe_orders", opt.rows, 7) +
+                                   ",\"k\":5}";
+  const std::string target = "/v1/discovery/" + opt.mode;
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<uint64_t> contract_violations{0};
+  std::vector<std::thread> clients;
+  clients.reserve(opt.clients);
+  for (size_t c = 0; c < opt.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < opt.requests; ++r) {
+        Result<HttpClientResponse> got =
+            HttpFetch("127.0.0.1", port, "POST", target, request_body,
+                      /*timeout_ms=*/30000);
+        if (!got.ok()) {
+          std::fprintf(stderr, "serve_stress: client %zu: %s\n", c,
+                       got.status().message().c_str());
+          ++contract_violations;
+          continue;
+        }
+        const HttpClientResponse& response = got.ValueOrDie();
+        if (response.status == 200) {
+          ++ok_count;
+          if (response.body.find("\"results\":") == std::string::npos) {
+            std::fprintf(stderr,
+                         "serve_stress: 200 without results array\n");
+            ++contract_violations;
+          }
+        } else if (response.status == 503) {
+          ++shed_count;
+          if (response.Header("retry-after").empty()) {
+            std::fprintf(stderr,
+                         "serve_stress: 503 without Retry-After\n");
+            ++contract_violations;
+          }
+          if (response.body.find("\"ResourceExhausted\"") ==
+              std::string::npos) {
+            std::fprintf(
+                stderr,
+                "serve_stress: shed envelope lacks ResourceExhausted\n");
+            ++contract_violations;
+          }
+        } else {
+          std::fprintf(stderr, "serve_stress: unexpected status %d\n",
+                       response.status);
+          ++contract_violations;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Scrape the shed counter over the same HTTP surface (the soak is
+  // over, so this request cannot itself be shed).
+  Result<HttpClientResponse> scrape =
+      HttpFetch("127.0.0.1", port, "GET", "/metrics");
+  uint64_t metric_shed = 0;
+  if (scrape.ok() && scrape.ValueOrDie().status == 200) {
+    metric_shed =
+        ScrapeCounter(scrape.ValueOrDie().body, "valentine_serve_shed_total");
+  } else {
+    std::fprintf(stderr, "serve_stress: /metrics scrape failed\n");
+    ++contract_violations;
+  }
+  server.Shutdown(2000.0);
+
+  const uint64_t total = ok_count + shed_count;
+  const uint64_t expected =
+      static_cast<uint64_t>(opt.clients) * opt.requests;
+  std::printf(
+      "serve_stress: %llu requests: %llu served, %llu shed "
+      "(metric says %llu; server counted %llu)\n",
+      static_cast<unsigned long long>(expected),
+      static_cast<unsigned long long>(ok_count.load()),
+      static_cast<unsigned long long>(shed_count.load()),
+      static_cast<unsigned long long>(metric_shed),
+      static_cast<unsigned long long>(server.shed_total()));
+  int failures = 0;
+  if (contract_violations != 0) {
+    std::fprintf(stderr, "serve_stress: %llu contract violations\n",
+                 static_cast<unsigned long long>(contract_violations.load()));
+    ++failures;
+  }
+  if (total != expected) {
+    std::fprintf(stderr,
+                 "serve_stress: %llu responses for %llu requests — an "
+                 "admitted request was dropped\n",
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(expected));
+    ++failures;
+  }
+  if (metric_shed != shed_count) {
+    std::fprintf(stderr,
+                 "serve_stress: valentine_serve_shed_total=%llu but clients "
+                 "saw %llu 503s\n",
+                 static_cast<unsigned long long>(metric_shed),
+                 static_cast<unsigned long long>(shed_count.load()));
+    ++failures;
+  }
+  if (server.shed_total() != shed_count) {
+    std::fprintf(stderr, "serve_stress: queue shed_total=%llu != %llu\n",
+                 static_cast<unsigned long long>(server.shed_total()),
+                 static_cast<unsigned long long>(shed_count.load()));
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+#define PROBE_EXPECT(cond, what)                              \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      std::fprintf(stderr, "serve_stress probe: %s\n", what); \
+      return 1;                                               \
+    }                                                         \
+  } while (0)
+
+int RunProbe(const std::string& host, uint16_t port) {
+  Result<HttpClientResponse> health =
+      HttpFetch(host, port, "GET", "/healthz");
+  PROBE_EXPECT(health.ok() && health.ValueOrDie().status == 200,
+               "healthz not 200");
+  PROBE_EXPECT(health.ValueOrDie().body.find("\"status\":\"ok\"") !=
+                   std::string::npos,
+               "healthz body mismatch");
+
+  Result<HttpClientResponse> registered = HttpFetch(
+      host, port, "POST", "/v1/tables", TableJson("probe_table", 20, 3));
+  PROBE_EXPECT(registered.ok() && registered.ValueOrDie().status == 200,
+               "register not 200");
+
+  Result<HttpClientResponse> found =
+      HttpFetch(host, port, "POST", "/v1/discovery/unionable",
+                "{\"table\":" + TableJson("probe_q", 20, 7) + ",\"k\":3}");
+  PROBE_EXPECT(found.ok() && found.ValueOrDie().status == 200,
+               "unionable not 200");
+  PROBE_EXPECT(found.ValueOrDie().body.find("probe_table") !=
+                   std::string::npos,
+               "unionable did not rank the registered table");
+
+  Result<HttpClientResponse> missing =
+      HttpFetch(host, port, "GET", "/v1/nope");
+  PROBE_EXPECT(missing.ok() && missing.ValueOrDie().status == 404,
+               "unknown route not 404");
+  PROBE_EXPECT(missing.ValueOrDie().body.find("\"NotFound\"") !=
+                   std::string::npos,
+               "404 envelope lacks NotFound");
+
+  Result<HttpClientResponse> bad =
+      HttpFetch(host, port, "POST", "/v1/tables", "{not json");
+  PROBE_EXPECT(bad.ok() && bad.ValueOrDie().status == 400,
+               "malformed JSON not 400");
+
+  Result<HttpClientResponse> cleanup =
+      HttpFetch(host, port, "DELETE", "/v1/tables/probe_table");
+  PROBE_EXPECT(cleanup.ok() && cleanup.ValueOrDie().status == 200,
+               "unregister not 200");
+  std::printf("serve_stress: probe of %s:%u passed\n", host.c_str(), port);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  StressOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--clients" && (v = next())) {
+      opt.clients = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--requests" && (v = next())) {
+      opt.requests = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--workers" && (v = next())) {
+      opt.workers = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--queue" && (v = next())) {
+      opt.queue = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--rows" && (v = next())) {
+      opt.rows = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--mode" && (v = next())) {
+      opt.mode = v;
+    } else if (arg == "--probe" && (v = next())) {
+      std::string hp = v;
+      size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) return Usage(argv[0]);
+      opt.probe_host = hp.substr(0, colon);
+      opt.probe_port =
+          static_cast<uint16_t>(std::atoi(hp.c_str() + colon + 1));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opt.mode != "joinable" && opt.mode != "unionable") {
+    return Usage(argv[0]);
+  }
+  if (!opt.probe_host.empty()) return RunProbe(opt.probe_host, opt.probe_port);
+  return RunSoak(opt);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace valentine
+
+int main(int argc, char** argv) { return valentine::serve::Run(argc, argv); }
