@@ -1,0 +1,402 @@
+// Repository-scale A/B bench for the persistent discovery front-end:
+// fabricate a lake of N synthetic tables (N/10 families of 10 shards
+// sharing a family-private value pool and family-unique column-name
+// tokens), register them through the artifact store, and demonstrate
+//
+//   1. candidate-path top-k rankings byte-identical to the exhaustive
+//      scan (scores compared at full %.17g precision) — the LSH front
+//      end is a cost optimization, not a quality change;
+//   2. per-query scored-candidate count bounded by the family size,
+//      not the repository size (the candidates·score cost model);
+//   3. a cold restart over the same store directory re-registers every
+//      table from disk (store hits == N, builds == 0) and reproduces
+//      the exact ranking bytes without rebuilding a single sketch.
+//
+// The tool *asserts* 1 and 3 and exits 1 on any divergence; the timing
+// numbers are only meaningful if the rankings did not move.
+//
+// Usage: bench_repository [--tables N] [--out PATH] [--store DIR]
+//                         [--smoke]
+//   --tables N  lake size (default 10000; rounded down to families of 10)
+//   --out P     output JSON path (default BENCH_repository.json)
+//   --store D   artifact store directory (default: fresh temp dir; the
+//               directory is wiped at startup)
+//   --smoke     CI-sized run: 300 tables, 2 queries
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "discovery/discovery.h"
+#include "io/artifact_store.h"
+#include "obs/metrics.h"
+
+namespace valentine {
+namespace {
+
+constexpr size_t kFamilySize = 10;   // shards per family
+constexpr size_t kCoreValues = 32;   // pool values shared by all shards
+constexpr size_t kTailValues = 16;   // shard-private pool values
+constexpr size_t kTopK = 8;          // < kFamilySize, so ties at the
+                                     // family boundary cannot leak
+                                     // non-candidates into the top-k
+
+struct Options {
+  size_t tables = 10000;
+  size_t queries = 5;
+  std::string out = "BENCH_repository.json";
+  std::string store_dir;
+  bool smoke = false;
+};
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64: cheap deterministic value scrambler.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Pure-alpha base-26 word: family-unique column-name tokens must not
+// share substrings with other families' tokens or split at digits.
+std::string AlphaWord(uint64_t v, size_t len) {
+  std::string out(len, 'a');
+  for (size_t i = 0; i < len; ++i) {
+    out[len - 1 - i] = static_cast<char>('a' + v % 26);
+    v /= 26;
+  }
+  return out;
+}
+
+// Family-private pool value: fully scrambled alpha string, so values
+// from different families share no prefix or shape the instance
+// matcher could latch onto.
+std::string PoolValue(size_t family, uint64_t slot) {
+  return AlphaWord(Mix(family * 1000003ULL + slot), 12);
+}
+
+// Shard j of a family: every shard carries the family's core values
+// (pairwise containment kCore/(kCore+kTail) ≈ 0.67, comfortably above
+// min_containment) plus a private tail, per column.
+Table MakeShard(size_t family, size_t shard, const std::string& name) {
+  const std::string fword = AlphaWord(family, 5);
+  Table t(name);
+  for (size_t col = 0; col < 2; ++col) {
+    // Column name = one family-unique alpha token: the union name
+    // postings nominate exactly the family, never the whole lake.
+    Column c(fword + (col == 0 ? "key" : "val"), DataType::kString);
+    const uint64_t region = col * 500000ULL;
+    for (size_t i = 0; i < kCoreValues; ++i) {
+      c.Append(Value::String(PoolValue(family, region + i)));
+    }
+    for (size_t i = 0; i < kTailValues; ++i) {
+      c.Append(Value::String(
+          PoolValue(family, region + 1000 + shard * kTailValues + i)));
+    }
+    Status added = t.AddColumn(std::move(c));
+    if (!added.ok()) {
+      std::fprintf(stderr, "bench_repository: %s\n",
+                   added.message().c_str());
+      std::exit(1);
+    }
+  }
+  return t;
+}
+
+std::string ShardName(size_t family, size_t shard) {
+  return AlphaWord(family, 5) + "_shard_" + std::to_string(shard);
+}
+
+// Canonical ranking bytes: full-precision scores, so "identical" means
+// identical doubles, not identical rounding.
+std::string CanonicalRanking(const std::vector<DiscoveryResult>& results) {
+  std::string out;
+  char buf[64];
+  for (const DiscoveryResult& r : results) {
+    std::snprintf(buf, sizeof(buf), "=%.17g;", r.score);
+    out += r.table_name;
+    out += buf;
+  }
+  return out;
+}
+
+uint64_t ScoredCount(MetricsRegistry* metrics, const char* mode) {
+  return metrics
+      ->CounterFor("valentine_discovery_candidates_scored_total",
+                   {{"mode", mode}})
+      ->value();
+}
+
+uint64_t StoreCount(MetricsRegistry* metrics, const char* event) {
+  return metrics
+      ->CounterFor("valentine_discovery_store_total", {{"event", event}})
+      ->value();
+}
+
+struct QueryStats {
+  double total_ms = 0.0;
+  uint64_t scored = 0;  // candidates scored across all queries, both modes
+  std::vector<std::string> rankings;  // canonical bytes, join then union
+};
+
+// Runs the fixed query workload (one fresh shard per queried family)
+// and returns timing + canonical ranking bytes.
+QueryStats RunQueries(const DiscoveryEngine& engine, MetricsRegistry* metrics,
+                      size_t queries) {
+  QueryStats stats;
+  const uint64_t scored_before =
+      ScoredCount(metrics, "joinable") + ScoredCount(metrics, "unionable");
+  const double t0 = NowMs();
+  for (size_t q = 0; q < queries; ++q) {
+    // A fresh shard of family q: shares the family core, unseen tail.
+    Table query =
+        MakeShard(q, kFamilySize, "query_" + AlphaWord(q, 5));
+    stats.rankings.push_back(
+        CanonicalRanking(engine.FindJoinable(query, kTopK)));
+    stats.rankings.push_back(
+        CanonicalRanking(engine.FindUnionable(query, kTopK)));
+  }
+  stats.total_ms = NowMs() - t0;
+  stats.scored = ScoredCount(metrics, "joinable") +
+                 ScoredCount(metrics, "unionable") - scored_before;
+  return stats;
+}
+
+void AppendKV(std::string& json, const char* key, double value,
+              bool comma = true) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.3f%s", key, value,
+                comma ? ", " : "");
+  json += buf;
+}
+
+int Run(const Options& options) {
+  const size_t families = options.tables / kFamilySize;
+  const size_t tables = families * kFamilySize;
+  const size_t queries = std::min(options.queries, families);
+
+  std::string store_dir = options.store_dir;
+  if (store_dir.empty()) {
+    store_dir = (std::filesystem::temp_directory_path() /
+                 "valentine_bench_repository_store")
+                    .string();
+  }
+  std::filesystem::remove_all(store_dir);
+  std::fprintf(stderr,
+               "bench_repository: %zu tables (%zu families), %zu queries, "
+               "store %s\n",
+               tables, families, queries, store_dir.c_str());
+
+  // Phase 1: cold build — every artifact is derived and persisted.
+  ArtifactStore store(store_dir);
+  MetricsRegistry cold_metrics;
+  double build_ms = 0.0;
+  QueryStats lsh;
+  {
+    DiscoveryOptions opt;
+    opt.store = &store;
+    opt.metrics = &cold_metrics;
+    DiscoveryEngine engine(std::move(opt));
+    const double t0 = NowMs();
+    for (size_t f = 0; f < families; ++f) {
+      for (size_t s = 0; s < kFamilySize; ++s) {
+        Status added = engine.AddTable(MakeShard(f, s, ShardName(f, s)));
+        if (!added.ok()) {
+          std::fprintf(stderr, "bench_repository: AddTable: %s\n",
+                       added.message().c_str());
+          return 1;
+        }
+      }
+    }
+    build_ms = NowMs() - t0;
+    if (StoreCount(&cold_metrics, "build") != tables) {
+      std::fprintf(stderr,
+                   "bench_repository: FAIL — cold build expected %zu store "
+                   "builds, saw %llu\n",
+                   tables,
+                   static_cast<unsigned long long>(
+                       StoreCount(&cold_metrics, "build")));
+      return 1;
+    }
+
+    // Phase 2: LSH-path queries on the warm engine.
+    lsh = RunQueries(engine, &cold_metrics, queries);
+    std::fprintf(stderr,
+                 "  lsh        %8.1f ms (%llu candidates scored over %zu "
+                 "queries x 2 modes)\n",
+                 lsh.total_ms, static_cast<unsigned long long>(lsh.scored),
+                 queries);
+  }
+
+  // Phase 3: exhaustive reference — same store (registration is all
+  // hits), every table scored for every query.
+  MetricsRegistry exhaustive_metrics;
+  QueryStats exhaustive;
+  {
+    DiscoveryOptions opt;
+    opt.store = &store;
+    opt.metrics = &exhaustive_metrics;
+    opt.joinable_path = CandidatePath::kExhaustive;
+    opt.unionable_path = CandidatePath::kExhaustive;
+    DiscoveryEngine engine(std::move(opt));
+    for (size_t f = 0; f < families; ++f) {
+      for (size_t s = 0; s < kFamilySize; ++s) {
+        Status added = engine.AddTable(MakeShard(f, s, ShardName(f, s)));
+        if (!added.ok()) {
+          std::fprintf(stderr, "bench_repository: AddTable: %s\n",
+                       added.message().c_str());
+          return 1;
+        }
+      }
+    }
+    exhaustive = RunQueries(engine, &exhaustive_metrics, queries);
+    std::fprintf(stderr, "  exhaustive %8.1f ms (%llu candidates scored)\n",
+                 exhaustive.total_ms,
+                 static_cast<unsigned long long>(exhaustive.scored));
+  }
+
+  const bool ab_identical = lsh.rankings == exhaustive.rankings;
+  if (!ab_identical) {
+    for (size_t i = 0; i < lsh.rankings.size(); ++i) {
+      if (lsh.rankings[i] != exhaustive.rankings[i]) {
+        std::fprintf(stderr,
+                     "bench_repository: FAIL — ranking %zu diverged\n"
+                     "  lsh:        %s\n  exhaustive: %s\n",
+                     i, lsh.rankings[i].c_str(),
+                     exhaustive.rankings[i].c_str());
+      }
+    }
+  }
+  // The cost claim: the candidate path must score a small fraction of
+  // what the exhaustive path scores (family-sized, not lake-sized).
+  const bool cost_bounded = lsh.scored * 5 <= exhaustive.scored;
+
+  // Phase 4: cold restart — a fresh store object over the same
+  // directory (empty memory cache, disk only) and a fresh engine must
+  // register everything via store hits and reproduce the bytes.
+  MetricsRegistry restart_metrics;
+  double restart_ms = 0.0;
+  QueryStats restarted;
+  {
+    ArtifactStore restarted_store(store_dir);
+    DiscoveryOptions opt;
+    opt.store = &restarted_store;
+    opt.metrics = &restart_metrics;
+    DiscoveryEngine engine(std::move(opt));
+    const double t0 = NowMs();
+    for (size_t f = 0; f < families; ++f) {
+      for (size_t s = 0; s < kFamilySize; ++s) {
+        Status added = engine.AddTable(MakeShard(f, s, ShardName(f, s)));
+        if (!added.ok()) {
+          std::fprintf(stderr, "bench_repository: AddTable: %s\n",
+                       added.message().c_str());
+          return 1;
+        }
+      }
+    }
+    restart_ms = NowMs() - t0;
+    restarted = RunQueries(engine, &restart_metrics, queries);
+  }
+  const bool restart_all_hits =
+      StoreCount(&restart_metrics, "hit") == tables &&
+      StoreCount(&restart_metrics, "build") == 0;
+  const bool restart_identical = restarted.rankings == lsh.rankings;
+  std::fprintf(stderr,
+               "  cold build %8.1f ms, restart %8.1f ms (%.2fx, hits=%llu "
+               "builds=%llu)\n",
+               build_ms, restart_ms, build_ms / restart_ms,
+               static_cast<unsigned long long>(
+                   StoreCount(&restart_metrics, "hit")),
+               static_cast<unsigned long long>(
+                   StoreCount(&restart_metrics, "build")));
+
+  std::string json = "{\n  \"benchmark\": \"repository_candidate_path_ab\",\n";
+  json += "  \"tables\": " + std::to_string(tables) + ",\n";
+  json += "  \"families\": " + std::to_string(families) + ",\n";
+  json += "  \"queries\": " + std::to_string(queries) + ",\n";
+  json += "  \"top_k\": " + std::to_string(kTopK) + ",\n  \"query\": {";
+  AppendKV(json, "lsh_ms", lsh.total_ms);
+  AppendKV(json, "exhaustive_ms", exhaustive.total_ms);
+  AppendKV(json, "speedup", exhaustive.total_ms / lsh.total_ms, false);
+  json += "},\n  \"candidates_scored\": {\"lsh\": " +
+          std::to_string(lsh.scored) +
+          ", \"exhaustive\": " + std::to_string(exhaustive.scored) +
+          ", \"repository_fraction\": ";
+  char frac[32];
+  std::snprintf(frac, sizeof(frac), "%.4f",
+                static_cast<double>(lsh.scored) /
+                    static_cast<double>(exhaustive.scored));
+  json += frac;
+  json += "},\n  \"store\": {";
+  AppendKV(json, "cold_build_ms", build_ms);
+  AppendKV(json, "restart_ms", restart_ms);
+  AppendKV(json, "restart_speedup", build_ms / restart_ms, false);
+  json += ", \"restart_hits\": " +
+          std::to_string(StoreCount(&restart_metrics, "hit")) +
+          ", \"restart_builds\": " +
+          std::to_string(StoreCount(&restart_metrics, "build"));
+  json += "},\n  \"determinism\": {\"ab_rankings_identical\": ";
+  json += ab_identical ? "true" : "false";
+  json += ", \"cost_bounded_by_candidates\": ";
+  json += cost_bounded ? "true" : "false";
+  json += ", \"restart_rankings_identical\": ";
+  json += restart_identical ? "true" : "false";
+  json += "}\n}\n";
+
+  std::FILE* f = std::fopen(options.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_repository: cannot write %s\n",
+                 options.out.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench_repository: wrote %s\n", options.out.c_str());
+
+  if (!ab_identical || !restart_all_hits || !restart_identical ||
+      !cost_bounded) {
+    std::fprintf(
+        stderr,
+        "bench_repository: FAIL — ab_identical=%d restart_all_hits=%d "
+        "restart_identical=%d cost_bounded=%d\n",
+        ab_identical, restart_all_hits, restart_identical, cost_bounded);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace valentine
+
+int main(int argc, char** argv) {
+  valentine::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tables") == 0 && i + 1 < argc) {
+      options.tables = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      options.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+      options.tables = 300;
+      options.queries = 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_repository [--tables N] [--out PATH] "
+                   "[--store DIR] [--smoke]\n");
+      return 2;
+    }
+  }
+  return valentine::Run(options);
+}

@@ -65,6 +65,8 @@ const char* LockRankName(LockRank rank) {
       return "kJournal";
     case LockRank::kFaultInjection:
       return "kFaultInjection";
+    case LockRank::kArtifactStore:
+      return "kArtifactStore";
     case LockRank::kArtifactCache:
       return "kArtifactCache";
     case LockRank::kProfileCache:

@@ -48,6 +48,7 @@ enum class LockRank : int {
   kServeRegistry = 6,    ///< serve/service.* (DiscoveryService tables/engine)
   kJournal = 10,         ///< harness/journal.* (OutcomeJournal)
   kFaultInjection = 20,  ///< matchers/fault_injection.* attempt counters
+  kArtifactStore = 25,   ///< io/artifact_store.* (persistent discovery store)
   kArtifactCache = 30,   ///< matchers/artifact_cache.*
   kProfileCache = 40,    ///< stats/column_profile.* (ProfileCache)
   kCupidMemo = 50,       ///< matchers/cupid.* linguistic memo cache

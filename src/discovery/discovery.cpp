@@ -5,8 +5,33 @@
 #include <set>
 
 #include "matchers/coma.h"
+#include "text/tokenizer.h"
 
 namespace valentine {
+
+namespace {
+
+constexpr char kKeySeparator = '\x1f';
+
+/// A stored artifact substitutes for a fresh build only when it
+/// describes this exact table shape at this signature width (content
+/// fingerprints collide across renames: the fingerprint hashes the
+/// table name too, so a mismatch here means a foreign or stale file).
+bool ArtifactServesTable(const TableDiscoveryArtifact& artifact,
+                         const Table& table, size_t signature_size) {
+  if (artifact.signature_size != signature_size) return false;
+  if (artifact.columns.size() != table.num_columns()) return false;
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    if (artifact.columns[i].name != table.column(i).name()) return false;
+  }
+  if (artifact.has_profiles &&
+      artifact.profiles.size() != artifact.columns.size()) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 DiscoveryEngine::DiscoveryEngine(DiscoveryOptions options)
     : options_(std::move(options)), column_index_(options_.lsh) {}
@@ -23,10 +48,14 @@ const ColumnMatcher& DiscoveryEngine::matcher() const {
   return *kDefault;
 }
 
-Status DiscoveryEngine::AddTable(Table table) {
+Status DiscoveryEngine::ValidateTable(const Table& table) const {
   if (table.num_columns() == 0) {
     return Status::InvalidArgument("table '" + table.name() +
                                    "' has no columns");
+  }
+  if (table.name().find(kKeySeparator) != std::string::npos) {
+    return Status::InvalidArgument(
+        "table name contains reserved separator \\x1f");
   }
   for (const Table& existing : tables_) {
     if (existing.name() == table.name()) {
@@ -34,15 +63,143 @@ Status DiscoveryEngine::AddTable(Table table) {
                                      table.name() + "'");
     }
   }
+  std::set<std::string> seen_columns;
   for (const Column& c : table.columns()) {
-    column_index_.Add(table.name() + "\x1f" + c.name(),
-                      c.DistinctStringSet());
+    if (c.name().find(kKeySeparator) != std::string::npos) {
+      return Status::InvalidArgument(
+          "column name contains reserved separator \\x1f (table '" +
+          table.name() + "')");
+    }
+    if (!seen_columns.insert(c.name()).second) {
+      return Status::InvalidArgument("duplicate column name '" + c.name() +
+                                     "' in table '" + table.name() + "'");
+    }
   }
+  return Status::OK();
+}
+
+Status DiscoveryEngine::AddTable(Table table) {
+  // Validate-then-commit: nothing below can fail on a valid table, so a
+  // rejected registration leaves no partial index state behind.
+  VALENTINE_RETURN_NOT_OK(ValidateTable(table));
+
+  const size_t signature_size = column_index_.signature_size();
+  std::shared_ptr<const TableDiscoveryArtifact> artifact;
+  if (options_.store != nullptr) {
+    const uint64_t fingerprint = TableContentFingerprint(table);
+    auto loaded = options_.store->Get(fingerprint);
+    if (loaded.ok() &&
+        ArtifactServesTable(**loaded, table, signature_size)) {
+      artifact = *loaded;
+      if (options_.metrics != nullptr) {
+        options_.metrics
+            ->CounterFor("valentine_discovery_store_total",
+                         {{"event", "hit"}})
+            ->Increment();
+      }
+    } else {
+      artifact = std::make_shared<const TableDiscoveryArtifact>(
+          BuildDiscoveryArtifact(table, signature_size,
+                                 /*with_profiles=*/true, ProfileSpec{}));
+      Status persisted = options_.store->Put(artifact);
+      // A failed persist degrades to in-memory registration: queries
+      // stay correct, only the next cold start pays the rebuild.
+      if (options_.metrics != nullptr) {
+        options_.metrics
+            ->CounterFor("valentine_discovery_store_total",
+                         {{"event", persisted.ok() ? "build" : "put-error"}})
+            ->Increment();
+      }
+    }
+  }
+
+  if (artifact != nullptr) {
+    for (const ColumnDiscoveryArtifact& c : artifact->columns) {
+      VALENTINE_RETURN_NOT_OK(column_index_.AddSketch(
+          table.name() + kKeySeparator + c.name, c.sketch));
+    }
+  } else {
+    for (const Column& c : table.columns()) {
+      VALENTINE_RETURN_NOT_OK(column_index_.Add(
+          table.name() + kKeySeparator + c.name(), c.DistinctStringSet()));
+    }
+  }
+
+  // Store-loaded profiles only substitute for fresh builds under an
+  // identical spec; otherwise the matcher pipeline builds inline.
+  std::shared_ptr<const TableProfile> profile;
+  if (artifact != nullptr && artifact->has_profiles &&
+      ProfileSpecsEqual(artifact->profile_spec, ProfileSpec{})) {
+    profile = TableProfileFromArtifact(*artifact);
+  }
+
+  for (const Column& c : table.columns()) {
+    for (const std::string& token : TokenizeIdentifier(c.name())) {
+      name_token_tables_[token].insert(table.name());
+    }
+  }
+
   tables_.push_back(std::move(table));
+  table_profiles_.push_back(std::move(profile));
   // Growing the vector may relocate every table; cached artifacts
   // borrow that storage, so they must be rebuilt on next query.
   artifacts_.Clear();
   return Status::OK();
+}
+
+Status DiscoveryEngine::RemoveTable(const std::string& name) {
+  size_t index = tables_.size();
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name() == name) {
+      index = i;
+      break;
+    }
+  }
+  if (index == tables_.size()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  const Table& table = tables_[index];
+  for (const Column& c : table.columns()) {
+    VALENTINE_RETURN_NOT_OK(
+        column_index_.Remove(name + kKeySeparator + c.name()));
+  }
+  for (const Column& c : table.columns()) {
+    for (const std::string& token : TokenizeIdentifier(c.name())) {
+      auto it = name_token_tables_.find(token);
+      if (it == name_token_tables_.end()) continue;
+      it->second.erase(name);
+      if (it->second.empty()) name_token_tables_.erase(it);
+    }
+  }
+  tables_.erase(tables_.begin() + static_cast<ptrdiff_t>(index));
+  table_profiles_.erase(table_profiles_.begin() +
+                        static_cast<ptrdiff_t>(index));
+  // Erasing shifts every subsequent table; cached artifacts borrow that
+  // storage (same invalidation rule as AddTable).
+  artifacts_.Clear();
+  return Status::OK();
+}
+
+std::set<std::string> DiscoveryEngine::UnionCandidates(
+    const Table& query) const {
+  std::set<std::string> names;
+  for (const Column& c : query.columns()) {
+    // Slot-level probing (the recall end of the S-curve): unionable
+    // columns share values but rarely whole domains, so Jaccard
+    // banding's ~0.7 threshold would miss most of them.
+    for (const std::string& key :
+         column_index_.ContainmentCandidates(c.DistinctStringSet())) {
+      names.insert(key.substr(0, key.find(kKeySeparator)));
+    }
+    if (options_.union_name_candidates) {
+      for (const std::string& token : TokenizeIdentifier(c.name())) {
+        auto it = name_token_tables_.find(token);
+        if (it == name_token_tables_.end()) continue;
+        names.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+  return names;
 }
 
 MatchContext DiscoveryEngine::ObsContext(const MatchContext& base,
@@ -62,11 +219,12 @@ MatchContext DiscoveryEngine::ObsContext(const MatchContext& base,
 
 Result<MatchResult> DiscoveryEngine::ScoreAgainstRepository(
     const PreparedTable* prepared_query, const Table& query,
-    const Table& candidate, const MatchContext& base,
-    const std::string& trace_id, uint64_t parent_span) const {
+    const Table& candidate, const TableProfile* candidate_profile,
+    const MatchContext& base, const std::string& trace_id,
+    uint64_t parent_span) const {
   if (prepared_query != nullptr) {
     PreparedTablePtr prepared_candidate = artifacts_.GetOrPrepare(
-        matcher(), candidate, /*profile=*/nullptr,
+        matcher(), candidate, candidate_profile,
         ObsContext(base, trace_id, parent_span));
     if (prepared_candidate != nullptr) {
       SpanScope score_span(options_.tracer, trace_id, "score",
@@ -133,13 +291,18 @@ Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindJoinable(
   // cancelled) must do zero candidate work.
   VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/joinable/start"));
   // Nominate candidate tables: for every query column, probe the
-  // containment index and credit the owning table.
+  // containment index and credit the owning table. The exhaustive path
+  // nominates everything (the A/B reference).
   std::set<std::string> candidate_tables;
-  for (const Column& c : query.columns()) {
-    auto hits = column_index_.QueryContainment(c.DistinctStringSet(),
-                                               options_.min_containment);
-    for (const auto& [key, containment] : hits) {
-      candidate_tables.insert(key.substr(0, key.find('\x1f')));
+  if (options_.joinable_path == CandidatePath::kExhaustive) {
+    for (const Table& t : tables_) candidate_tables.insert(t.name());
+  } else {
+    for (const Column& c : query.columns()) {
+      auto hits = column_index_.QueryContainment(c.DistinctStringSet(),
+                                                 options_.min_containment);
+      for (const auto& [key, containment] : hits) {
+        candidate_tables.insert(key.substr(0, key.find(kKeySeparator)));
+      }
     }
   }
 
@@ -151,13 +314,16 @@ Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindJoinable(
 
   // Verify candidates with the matcher; table score = best column match.
   std::vector<DiscoveryResult> results;
-  for (const Table& t : tables_) {
+  size_t scored_count = 0;
+  for (size_t ti = 0; ti < tables_.size(); ++ti) {
+    const Table& t = tables_[ti];
     if (!candidate_tables.count(t.name())) continue;
     VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/joinable/candidate"));
     Result<MatchResult> scored = ScoreAgainstRepository(
         prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
-        ctx, trace_id, query_span.id());
+        table_profiles_[ti].get(), ctx, trace_id, query_span.id());
     if (!scored.ok()) return scored.status();
+    ++scored_count;
     MatchResult ranked = std::move(scored).ValueOrDie();
     DiscoveryResult r;
     r.table_name = t.name();
@@ -166,6 +332,13 @@ Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindJoinable(
       r.evidence = ranked.TopK(3);
     }
     results.push_back(std::move(r));
+  }
+  query_span.Attr("candidates_scored", std::to_string(scored_count));
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->CounterFor("valentine_discovery_candidates_scored_total",
+                     {{"mode", "joinable"}})
+        ->Increment(scored_count);
   }
   std::sort(results.begin(), results.end(),
             [](const DiscoveryResult& a, const DiscoveryResult& b) {
@@ -191,15 +364,26 @@ Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindUnionable(
         ->Increment();
   }
   VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/unionable/start"));
+  // Candidate nomination: unionable tables share value domains (LSH
+  // containment probes) or column vocabulary (name-token postings);
+  // the exhaustive path scores everything.
+  const bool exhaustive =
+      options_.unionable_path == CandidatePath::kExhaustive;
+  std::set<std::string> candidate_tables;
+  if (!exhaustive) candidate_tables = UnionCandidates(query);
   Result<PreparedTablePtr> prepared_query = matcher().Prepare(
       query, /*profile=*/nullptr, ObsContext(ctx, trace_id, query_span.id()));
   std::vector<DiscoveryResult> results;
-  for (const Table& t : tables_) {
+  size_t scored_count = 0;
+  for (size_t ti = 0; ti < tables_.size(); ++ti) {
+    const Table& t = tables_[ti];
+    if (!exhaustive && !candidate_tables.count(t.name())) continue;
     VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/unionable/candidate"));
     Result<MatchResult> scored = ScoreAgainstRepository(
         prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
-        ctx, trace_id, query_span.id());
+        table_profiles_[ti].get(), ctx, trace_id, query_span.id());
     if (!scored.ok()) return scored.status();
+    ++scored_count;
     MatchResult ranked = std::move(scored).ValueOrDie();
     // Union score: mean of the best per-query-column matches, over the
     // strongest `union_evidence_columns` columns.
@@ -233,6 +417,13 @@ Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindUnionable(
       r.score = (total / static_cast<double>(evidence_n)) * arity;
     }
     results.push_back(std::move(r));
+  }
+  query_span.Attr("candidates_scored", std::to_string(scored_count));
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->CounterFor("valentine_discovery_candidates_scored_total",
+                     {{"mode", "unionable"}})
+        ->Increment(scored_count);
   }
   std::sort(results.begin(), results.end(),
             [](const DiscoveryResult& a, const DiscoveryResult& b) {

@@ -14,18 +14,22 @@
 ///    the query (scored by the mean of the best per-column matches).
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
 #include "core/table.h"
+#include "io/artifact_store.h"
 #include "matchers/artifact_cache.h"
 #include "matchers/matcher.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scaling/lsh_index.h"
+#include "stats/column_profile.h"
 
 namespace valentine {
 
@@ -34,6 +38,19 @@ struct DiscoveryResult {
   std::string table_name;
   double score = 0.0;          ///< table-level relatedness
   std::vector<Match> evidence; ///< the column matches behind the score
+};
+
+/// How a Find* call nominates candidate tables before the matcher
+/// verifies and scores them.
+enum class CandidatePath {
+  /// Nominate through the LSH index (and, for unionable queries, the
+  /// column-name token postings): scoring cost is bounded by the
+  /// candidates actually nominated, not the repository size.
+  kLsh,
+  /// Score every repository table. The reference path the LSH path is
+  /// A/B-checked against (bench/bench_repository.cpp); also the right
+  /// choice for tiny repositories where candidate pruning buys nothing.
+  kExhaustive,
 };
 
 /// Engine configuration.
@@ -48,6 +65,22 @@ struct DiscoveryOptions {
   double min_containment = 0.3;
   /// How many column matches contribute to a table's union score.
   size_t union_evidence_columns = 3;
+  /// Candidate front-end per query mode. Both default to the LSH index;
+  /// kExhaustive restores the score-everything reference behaviour.
+  CandidatePath joinable_path = CandidatePath::kLsh;
+  CandidatePath unionable_path = CandidatePath::kLsh;
+  /// On the LSH unionable path, also nominate tables that share a
+  /// column-name token with the query. Value-disjoint but
+  /// schema-aligned tables (the unionable case the value-based index
+  /// cannot see) stay reachable.
+  bool union_name_candidates = true;
+  /// Optional persistent artifact store (borrowed; must outlive the
+  /// engine). When set, AddTable first consults the store by table
+  /// content fingerprint — a hit skips the sketch and profile builds
+  /// entirely — and persists freshly built artifacts write-through, so
+  /// the next process (or the next copy-on-write registry snapshot)
+  /// registers the same table without rebuilding anything.
+  ArtifactStore* store = nullptr;
   /// Observability (obs/), all optional and borrowed: each Find* call
   /// emits a "query" span (trace id "discovery/<query table>") with the
   /// candidate scoring and artifact builds nested under it, and bumps
@@ -68,8 +101,8 @@ struct DiscoveryOptions {
 ///
 /// Thread-safety: concurrent FindJoinable/FindUnionable calls on a
 /// const engine are safe (the artifact cache is internally
-/// synchronized, the matcher is const). AddTable mutates the
-/// repository and must not run concurrently with any other call.
+/// synchronized, the matcher is const). AddTable/RemoveTable mutate
+/// the repository and must not run concurrently with any other call.
 class DiscoveryEngine {
  public:
   explicit DiscoveryEngine(DiscoveryOptions options = {});
@@ -78,8 +111,19 @@ class DiscoveryEngine {
   DiscoveryEngine(const DiscoveryEngine&) = delete;
   DiscoveryEngine& operator=(const DiscoveryEngine&) = delete;
 
-  /// Registers a table; fails on duplicate names or empty tables.
+  /// Registers a table. Fails on duplicate table names, empty tables,
+  /// duplicate column names within the table, and names (table or
+  /// column) containing the reserved key separator '\x1f' — the engine
+  /// keys its column index as "<table>\x1f<column>", so an embedded
+  /// separator would let one table's keys impersonate another's.
+  /// With a store attached, sketches/profiles are loaded by content
+  /// fingerprint when possible and persisted when built fresh.
   Status AddTable(Table table);
+
+  /// Unregisters a table and erases its index postings; kNotFound when
+  /// absent. The persistent store keeps its artifact (it is keyed by
+  /// content, not by registration, and re-adding should stay free).
+  Status RemoveTable(const std::string& name);
 
   size_t num_tables() const { return tables_.size(); }
   const std::vector<Table>& tables() const { return tables_; }
@@ -90,9 +134,11 @@ class DiscoveryEngine {
   std::vector<DiscoveryResult> FindJoinable(const Table& query,
                                             size_t k) const;
 
-  /// Top-k unionable tables: every repository table is scored by the
-  /// mean of its `union_evidence_columns` best column matches against
-  /// the query (schema-alignment semantics, §III-A).
+  /// Top-k unionable tables, scored by the mean of each candidate's
+  /// `union_evidence_columns` best column matches against the query
+  /// (schema-alignment semantics, §III-A). Candidates come from the
+  /// LSH index + name-token postings by default; with
+  /// unionable_path = kExhaustive every repository table is scored.
   std::vector<DiscoveryResult> FindUnionable(const Table& query,
                                              size_t k) const;
 
@@ -113,16 +159,26 @@ class DiscoveryEngine {
  private:
   const ColumnMatcher& matcher() const;
 
+  /// Registration-time validation (see AddTable).
+  Status ValidateTable(const Table& table) const;
+
+  /// Candidate table names for a unionable query: per-column
+  /// containment probes plus (optionally) column-name token postings.
+  std::set<std::string> UnionCandidates(const Table& query) const;
+
   /// Scores the query against one repository table: the prepared fast
   /// path when both artifacts resolved, the monolithic matcher
-  /// otherwise. Deadline/cancellation failures propagate (the caller
-  /// aborts the query); any other matcher error — only possible via an
-  /// injected decorator — degrades to the empty result, mirroring the
-  /// infallible Match overload.
+  /// otherwise. `candidate_profile` (nullable) is the store-loaded
+  /// profile backing the candidate's Prepare. Deadline/cancellation
+  /// failures propagate (the caller aborts the query); any other
+  /// matcher error — only possible via an injected decorator —
+  /// degrades to the empty result, mirroring the infallible Match
+  /// overload.
   Result<MatchResult> ScoreAgainstRepository(
       const PreparedTable* prepared_query, const Table& query,
-      const Table& candidate, const MatchContext& base,
-      const std::string& trace_id, uint64_t parent_span) const;
+      const Table& candidate, const TableProfile* candidate_profile,
+      const MatchContext& base, const std::string& trace_id,
+      uint64_t parent_span) const;
 
   /// A MatchContext carrying this engine's observability plumbing plus
   /// `base`'s deadline/cancellation/profiles.
@@ -133,6 +189,14 @@ class DiscoveryEngine {
   DiscoveryOptions options_;
   std::vector<Table> tables_;
   LshIndex column_index_;  ///< keys are "<table>\x1f<column>"
+  /// Store-loaded per-table profiles, parallel to tables_ (nullptr when
+  /// no store is attached or the stored spec is incompatible). Profiles
+  /// own their data, so they survive tables_ relocation.
+  std::vector<std::shared_ptr<const TableProfile>> table_profiles_;
+  /// Column-name token -> names of tables owning such a column; the
+  /// value-blind half of unionable candidate nomination. Ordered
+  /// containers keep iteration deterministic.
+  std::map<std::string, std::set<std::string>> name_token_tables_;
   /// Per-repository-table prepared artifacts, built lazily by Find*
   /// calls and shared across them. Mutable because caching is not
   /// observable through results; its internal mutex is what makes

@@ -1,0 +1,144 @@
+#ifndef VALENTINE_IO_ARTIFACT_STORE_H_
+#define VALENTINE_IO_ARTIFACT_STORE_H_
+
+/// \file artifact_store.h
+/// Persistent, versioned store of per-table discovery artifacts.
+///
+/// The discovery engine's repository-scale story (ROADMAP item 1)
+/// requires that registering a table the repository has already seen —
+/// in a previous process, or in a previous copy-on-write snapshot of
+/// the serving registry — does not pay the sketch/profile build again.
+/// This store holds one artifact per *table content fingerprint*
+/// (matchers/artifact_cache.h): the table's Lazo sketches (one per
+/// column, ready for LshIndex::AddSketch) plus, optionally, its full
+/// ColumnProfiles under the ProfileSpec they were built with.
+///
+/// Contracts:
+///  * Serialization is canonical and byte-stable: the same artifact
+///    always serializes to the same bytes, across processes and
+///    platforms (fixed little-endian encoding; unordered sets are
+///    canonicalized by sorting). Round-tripping is byte-identical.
+///  * Files are versioned ("VDA1" magic + u32 version); parsing a
+///    truncated, foreign, or future-versioned file yields ParseError,
+///    never garbage.
+///  * Put is atomic at the filesystem level (write temp + rename), so
+///    a crash mid-write never leaves a half-written artifact behind.
+///  * The store is thread-safe; its mutex (LockRank::kArtifactStore)
+///    ranks above the serve registry lock so the serving layer may
+///    consult the store while holding its registry mutex.
+///  * Loaded artifacts are immutable and shared via shared_ptr; a
+///    process-local cache makes repeat Gets (the serve copy-on-write
+///    rebuild path) free of both IO and parsing.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/status.h"
+#include "core/table.h"
+#include "core/thread_annotations.h"
+#include "scaling/lazo.h"
+#include "stats/column_profile.h"
+
+namespace valentine {
+
+/// One column's persisted discovery state: its name and Lazo sketch
+/// (MinHash signature + cardinality), ready to be re-inserted into an
+/// LshIndex without touching the column's values.
+struct ColumnDiscoveryArtifact {
+  std::string name;
+  LazoSketch sketch;
+};
+
+/// Everything the discovery engine derives from one table, keyed by the
+/// table's content fingerprint. `profiles` (when `has_profiles`) holds
+/// one ColumnProfile per column, parallel to `columns`, built under
+/// `profile_spec` — the load path only serves them to a matcher
+/// pipeline configured with an identical spec (ProfileSpecsEqual).
+struct TableDiscoveryArtifact {
+  uint64_t fingerprint = 0;
+  std::string table_name;
+  size_t signature_size = 0;  ///< MinHash width the sketches were built with
+  std::vector<ColumnDiscoveryArtifact> columns;
+  bool has_profiles = false;
+  ProfileSpec profile_spec;
+  std::vector<ColumnProfile> profiles;
+};
+
+/// Derives a table's artifact from scratch: fingerprint, per-column
+/// Lazo sketches at `signature_size`, and (when `with_profiles`) full
+/// ColumnProfiles under `spec`. Pure function of its arguments.
+TableDiscoveryArtifact BuildDiscoveryArtifact(const Table& table,
+                                              size_t signature_size,
+                                              bool with_profiles,
+                                              const ProfileSpec& spec = {});
+
+/// Assembles a shareable TableProfile from an artifact's stored
+/// ColumnProfiles (nullptr when the artifact carries none). The result
+/// is indistinguishable from TableProfile::Build on the original table
+/// under artifact.profile_spec, so it feeds the matcher pipeline's
+/// Prepare path directly.
+std::shared_ptr<const TableProfile> TableProfileFromArtifact(
+    const TableDiscoveryArtifact& artifact);
+
+/// Canonical byte-stable serialization (see file comment for the
+/// stability contract).
+std::string SerializeDiscoveryArtifact(const TableDiscoveryArtifact& artifact);
+
+/// Inverse of SerializeDiscoveryArtifact. ParseError on bad magic,
+/// unsupported version, truncation, or trailing bytes.
+Result<TableDiscoveryArtifact> ParseDiscoveryArtifact(
+    const std::string& bytes);
+
+/// \brief Directory-backed store: one `<16-hex-fingerprint>.vda` file
+/// per artifact, plus a process-local immutable cache.
+class ArtifactStore {
+ public:
+  /// Opens (and creates, if needed) the store rooted at `directory`.
+  explicit ArtifactStore(std::string directory);
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  const std::string& directory() const { return directory_; }
+
+  /// Persists the artifact (write-through: disk then memory cache).
+  /// Overwrites any previous artifact with the same fingerprint.
+  [[nodiscard]] Status Put(
+      std::shared_ptr<const TableDiscoveryArtifact> artifact) EXCLUDES(mu_);
+
+  /// Fetches by fingerprint: memory cache first, then disk (parsing and
+  /// caching on hit). NotFound when the fingerprint is absent; IOError /
+  /// ParseError on unreadable or corrupt files.
+  Result<std::shared_ptr<const TableDiscoveryArtifact>> Get(
+      uint64_t fingerprint) const EXCLUDES(mu_);
+
+  /// True when the fingerprint is present in memory or on disk.
+  bool Contains(uint64_t fingerprint) const EXCLUDES(mu_);
+
+  /// Removes the artifact from cache and disk. OK when absent.
+  [[nodiscard]] Status Remove(uint64_t fingerprint) EXCLUDES(mu_);
+
+  /// Fingerprints of every artifact on disk, sorted ascending.
+  std::vector<uint64_t> List() const;
+
+  /// Drops the in-memory cache (cold-restart simulation for tests;
+  /// subsequent Gets re-read from disk).
+  void DropMemoryCache() EXCLUDES(mu_);
+
+  size_t memory_cache_size() const EXCLUDES(mu_);
+
+ private:
+  std::string PathFor(uint64_t fingerprint) const;
+
+  const std::string directory_;  // lint:allow(guarded-by-coverage) immutable
+  mutable Mutex mu_{LockRank::kArtifactStore, "ArtifactStore"};
+  mutable std::map<uint64_t, std::shared_ptr<const TableDiscoveryArtifact>>
+      cache_ GUARDED_BY(mu_);
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_IO_ARTIFACT_STORE_H_

@@ -39,7 +39,11 @@ Result<MatchResult> ApproximateOverlapMatcher::MatchWithContext(
   // Index the target once; prune source columns through the LSH.
   LshIndex index(options_.lsh);
   for (const Column& c : target.columns()) {
-    index.Add(c.name(), c.DistinctStringSet());
+    // Duplicate column names keep the first occurrence (the index
+    // rejects re-adds); empty columns register but never band, so they
+    // can no longer surface as spurious jaccard-1.0 candidates.
+    Status added = index.Add(c.name(), c.DistinctStringSet());
+    if (!added.ok()) continue;
   }
   for (size_t i = 0; i < source.num_columns(); ++i) {
     VALENTINE_RETURN_NOT_OK(context.Check("lsh pruned query"));

@@ -1,6 +1,7 @@
 #include "scaling/lsh_index.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace valentine {
 
@@ -14,7 +15,38 @@ uint64_t HashBand(const uint64_t* values, size_t n, uint64_t band_seed) {
   }
   return h;
 }
+
+/// An empty set leaves every MinHash slot at the UINT64_MAX sentinel;
+/// banding such a signature makes every pair of empty domains collide
+/// everywhere. Empty sketches are registered but never posted/probed.
+bool EmptySketch(const LazoSketch& sketch) {
+  return sketch.cardinality == 0 || sketch.signature.empty_set();
+}
+
+void EraseIdFrom(std::unordered_map<uint64_t, std::vector<size_t>>* bucket_map,
+                 uint64_t bucket, size_t id) {
+  auto it = bucket_map->find(bucket);
+  if (it == bucket_map->end()) return;
+  auto& ids = it->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  if (ids.empty()) bucket_map->erase(it);
+}
 }  // namespace
+
+size_t LshCardinalityPartition(size_t cardinality, size_t partitions) {
+  // Geometric cardinality boundaries: [0,100), [100,1k), [1k,10k), ...
+  size_t partition = 0;
+  size_t boundary = 100;
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+  while (partition + 1 < partitions && cardinality >= boundary) {
+    ++partition;
+    // Saturate: once the next boundary would wrap size_t, no cardinality
+    // can reach it, so every larger set shares this partition.
+    if (boundary > kMax / 10) break;
+    boundary *= 10;
+  }
+  return partition;
+}
 
 LshIndex::LshIndex(LshOptions options) : options_(options) {
   if (options_.bands == 0) options_.bands = 1;
@@ -28,23 +60,11 @@ LshIndex::LshIndex(LshOptions options) : options_(options) {
 }
 
 size_t LshIndex::PartitionOf(size_t cardinality) const {
-  // Geometric cardinality boundaries: [0,100), [100,1k), [1k,10k), ...
-  size_t partition = 0;
-  size_t boundary = 100;
-  while (partition + 1 < options_.cardinality_partitions &&
-         cardinality >= boundary) {
-    ++partition;
-    boundary *= 10;
-  }
-  return partition;
+  return LshCardinalityPartition(cardinality,
+                                 options_.cardinality_partitions);
 }
 
-void LshIndex::Add(const std::string& key,
-                   const std::unordered_set<std::string>& set) {
-  size_t id = keys_.size();
-  keys_.push_back(key);
-  key_to_id_[key] = id;
-  LazoSketch sketch = LazoSketch::Build(set, signature_size());
+void LshIndex::InsertPostings(size_t id, const LazoSketch& sketch) {
   const std::vector<uint64_t>& mins = sketch.signature.mins();
   size_t partition = PartitionOf(sketch.cardinality);
   for (size_t b = 0; b < options_.bands; ++b) {
@@ -55,31 +75,63 @@ void LshIndex::Add(const std::string& key,
   for (size_t s = 0; s < mins.size(); ++s) {
     slot_buckets_[s][mins[s]].push_back(id);
   }
-  sketches_.push_back(std::move(sketch));
 }
 
-std::vector<std::string> LshIndex::ContainmentCandidates(
-    const std::unordered_set<std::string>& query) const {
-  LazoSketch sketch = LazoSketch::Build(query, signature_size());
+void LshIndex::ErasePostings(size_t id, const LazoSketch& sketch) {
   const std::vector<uint64_t>& mins = sketch.signature.mins();
-  std::unordered_set<size_t> hits;
-  for (size_t s = 0; s < mins.size(); ++s) {
-    auto it = slot_buckets_[s].find(mins[s]);
-    if (it == slot_buckets_[s].end()) continue;
-    for (size_t id : it->second) hits.insert(id);
+  size_t partition = PartitionOf(sketch.cardinality);
+  for (size_t b = 0; b < options_.bands; ++b) {
+    uint64_t bucket = HashBand(mins.data() + b * options_.rows_per_band,
+                               options_.rows_per_band, b);
+    EraseIdFrom(&buckets_[partition][b], bucket, id);
   }
-  std::vector<std::string> out;
-  out.reserve(hits.size());
-  for (size_t id : hits) out.push_back(keys_[id]);
-  std::sort(out.begin(), out.end());
-  return out;
+  for (size_t s = 0; s < mins.size(); ++s) {
+    EraseIdFrom(&slot_buckets_[s], mins[s], id);
+  }
 }
 
-std::vector<std::string> LshIndex::Candidates(
-    const std::unordered_set<std::string>& query) const {
-  LazoSketch sketch = LazoSketch::Build(query, signature_size());
-  const std::vector<uint64_t>& mins = sketch.signature.mins();
-  std::unordered_set<size_t> hits;
+Status LshIndex::Add(const std::string& key,
+                     const std::unordered_set<std::string>& set) {
+  return AddSketch(key, LazoSketch::Build(set, signature_size()));
+}
+
+Status LshIndex::AddSketch(const std::string& key, LazoSketch sketch) {
+  if (key_to_id_.count(key) != 0) {
+    return Status::InvalidArgument("LshIndex: duplicate key '" + key + "'");
+  }
+  if (sketch.signature.mins().size() != signature_size()) {
+    return Status::InvalidArgument(
+        "LshIndex: sketch signature width " +
+        std::to_string(sketch.signature.mins().size()) +
+        " does not match index signature size " +
+        std::to_string(signature_size()));
+  }
+  size_t id = keys_.size();
+  keys_.push_back(key);
+  key_to_id_[key] = id;
+  live_.push_back(1);
+  ++live_count_;
+  if (!EmptySketch(sketch)) InsertPostings(id, sketch);
+  sketches_.push_back(std::move(sketch));
+  return Status::OK();
+}
+
+Status LshIndex::Remove(const std::string& key) {
+  auto it = key_to_id_.find(key);
+  if (it == key_to_id_.end()) {
+    return Status::NotFound("LshIndex: no key '" + key + "'");
+  }
+  size_t id = it->second;
+  if (!EmptySketch(sketches_[id])) ErasePostings(id, sketches_[id]);
+  live_[id] = 0;
+  --live_count_;
+  key_to_id_.erase(it);
+  return Status::OK();
+}
+
+std::vector<size_t> LshIndex::CandidateIds(const LazoSketch& query) const {
+  const std::vector<uint64_t>& mins = query.signature.mins();
+  std::vector<size_t> hits;
   // A containment-style query must probe every cardinality partition:
   // the matching domain may be much larger than the query.
   for (const auto& partition : buckets_) {
@@ -88,12 +140,48 @@ std::vector<std::string> LshIndex::Candidates(
                                  options_.rows_per_band, b);
       auto it = partition[b].find(bucket);
       if (it == partition[b].end()) continue;
-      for (size_t id : it->second) hits.insert(id);
+      for (size_t id : it->second) {
+        if (live_[id]) hits.push_back(id);
+      }
     }
   }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+std::vector<size_t> LshIndex::ContainmentCandidateIds(
+    const LazoSketch& query) const {
+  const std::vector<uint64_t>& mins = query.signature.mins();
+  std::vector<size_t> hits;
+  for (size_t s = 0; s < mins.size(); ++s) {
+    auto it = slot_buckets_[s].find(mins[s]);
+    if (it == slot_buckets_[s].end()) continue;
+    for (size_t id : it->second) {
+      if (live_[id]) hits.push_back(id);
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+std::vector<std::string> LshIndex::Candidates(
+    const std::unordered_set<std::string>& query) const {
+  LazoSketch sketch = LazoSketch::Build(query, signature_size());
+  if (EmptySketch(sketch)) return {};
   std::vector<std::string> out;
-  out.reserve(hits.size());
-  for (size_t id : hits) out.push_back(keys_[id]);
+  for (size_t id : CandidateIds(sketch)) out.push_back(keys_[id]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> LshIndex::ContainmentCandidates(
+    const std::unordered_set<std::string>& query) const {
+  LazoSketch sketch = LazoSketch::Build(query, signature_size());
+  if (EmptySketch(sketch)) return {};
+  std::vector<std::string> out;
+  for (size_t id : ContainmentCandidateIds(sketch)) out.push_back(keys_[id]);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -102,10 +190,10 @@ std::vector<std::pair<std::string, double>> LshIndex::QueryJaccard(
     const std::unordered_set<std::string>& query, double min_jaccard) const {
   LazoSketch q = LazoSketch::Build(query, signature_size());
   std::vector<std::pair<std::string, double>> out;
-  for (const std::string& key : Candidates(query)) {
-    const LazoSketch& candidate = sketches_[key_to_id_.at(key)];
-    LazoEstimate est = EstimateLazo(q, candidate);
-    if (est.jaccard >= min_jaccard) out.emplace_back(key, est.jaccard);
+  if (EmptySketch(q)) return out;
+  for (size_t id : CandidateIds(q)) {
+    LazoEstimate est = EstimateLazo(q, sketches_[id]);
+    if (est.jaccard >= min_jaccard) out.emplace_back(keys_[id], est.jaccard);
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
@@ -119,11 +207,11 @@ std::vector<std::pair<std::string, double>> LshIndex::QueryContainment(
     double min_containment) const {
   LazoSketch q = LazoSketch::Build(query, signature_size());
   std::vector<std::pair<std::string, double>> out;
-  for (const std::string& key : ContainmentCandidates(query)) {
-    const LazoSketch& candidate = sketches_[key_to_id_.at(key)];
-    LazoEstimate est = EstimateLazo(q, candidate);
+  if (EmptySketch(q)) return out;
+  for (size_t id : ContainmentCandidateIds(q)) {
+    LazoEstimate est = EstimateLazo(q, sketches_[id]);
     if (est.containment_a_in_b >= min_containment) {
-      out.emplace_back(key, est.containment_a_in_b);
+      out.emplace_back(keys_[id], est.containment_a_in_b);
     }
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {

@@ -8,6 +8,23 @@
 /// and a query only compares against columns that collide in at least
 /// one band. Partitioning by set cardinality sharpens containment
 /// queries when domain sizes are skewed.
+///
+/// Correctness contracts (regression-tested in tests/scaling_test.cpp):
+///  * Keys are unique. Adding a key that is already present is rejected
+///    with kInvalidArgument instead of silently remapping the key to a
+///    new sketch while stale postings keep serving the old one.
+///  * Query paths are id-based end to end: a candidate id scores
+///    against exactly the sketch that was banded under that id, never
+///    against whatever sketch a same-named key pointed to last.
+///  * Empty sets never band. An empty set leaves every signature slot
+///    at the UINT64_MAX sentinel, so before this guard every pair of
+///    empty domains collided in every band and slot and surfaced as
+///    spurious candidates with Lazo jaccard 1.0. Empty sets are
+///    registered (size/Contains see them) but never enter postings, and
+///    empty queries return no candidates.
+///  * Removal is supported: Remove(key) physically erases the entry's
+///    postings, so an index that tracked a mutating repository serves
+///    exactly the live keys.
 
 #include <cstdint>
 #include <string>
@@ -15,6 +32,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/status.h"
 #include "scaling/lazo.h"
 
 namespace valentine {
@@ -29,6 +47,12 @@ struct LshOptions {
   size_t cardinality_partitions = 4;
 };
 
+/// Geometric cardinality partition: [0,100) -> 0, [100,1k) -> 1,
+/// [1k,10k) -> 2, ... capped at `partitions - 1`. The boundary
+/// saturates instead of overflowing size_t, so extreme partition counts
+/// (where 100 * 10^p wraps) keep the mapping monotonic in cardinality.
+size_t LshCardinalityPartition(size_t cardinality, size_t partitions);
+
 /// \brief Banded MinHash-LSH index over named value sets.
 class LshIndex {
  public:
@@ -39,14 +63,31 @@ class LshIndex {
     return options_.bands * options_.rows_per_band;
   }
 
-  /// Adds a named set to the index.
-  void Add(const std::string& key,
-           const std::unordered_set<std::string>& set);
+  /// Sketches and adds a named set. Fails with kInvalidArgument on a
+  /// duplicate key (remove first to replace).
+  [[nodiscard]] Status Add(const std::string& key,
+                           const std::unordered_set<std::string>& set);
 
-  size_t size() const { return sketches_.size(); }
+  /// Adds a pre-built sketch (the persistent-store load path: a sketch
+  /// deserialized from disk bands identically to one built inline).
+  /// Fails on duplicate keys and on sketches whose signature width
+  /// disagrees with signature_size().
+  [[nodiscard]] Status AddSketch(const std::string& key, LazoSketch sketch);
+
+  /// Removes a key and its postings; kNotFound when absent. The key may
+  /// be re-added afterwards (with a fresh sketch).
+  [[nodiscard]] Status Remove(const std::string& key);
+
+  bool Contains(const std::string& key) const {
+    return key_to_id_.count(key) != 0;
+  }
+
+  /// Number of live (added and not removed) keys.
+  size_t size() const { return live_count_; }
 
   /// Keys whose signatures collide with the query in >= 1 band;
   /// the superset from which exact/estimated verification proceeds.
+  /// Sorted by key. Empty queries produce no candidates.
   std::vector<std::string> Candidates(
       const std::unordered_set<std::string>& query) const;
 
@@ -71,14 +112,21 @@ class LshIndex {
       double min_containment) const;
 
  private:
-  /// Raw (unfolded) per-slot MinHash values for banding.
-  std::vector<uint64_t> RawSignature(
-      const std::unordered_set<std::string>& set) const;
   size_t PartitionOf(size_t cardinality) const;
+  void InsertPostings(size_t id, const LazoSketch& sketch);
+  void ErasePostings(size_t id, const LazoSketch& sketch);
+
+  /// Live entry ids colliding with the query in >= 1 band (sorted,
+  /// deduplicated). Empty-query guard lives in the callers.
+  std::vector<size_t> CandidateIds(const LazoSketch& query) const;
+  /// Live entry ids colliding in >= 1 single slot (sorted, dedup).
+  std::vector<size_t> ContainmentCandidateIds(const LazoSketch& query) const;
 
   LshOptions options_;
-  std::vector<std::string> keys_;
-  std::vector<LazoSketch> sketches_;
+  std::vector<std::string> keys_;      ///< id -> key (id slot never reused)
+  std::vector<LazoSketch> sketches_;   ///< id -> the sketch that was banded
+  std::vector<uint8_t> live_;          ///< id -> still registered?
+  size_t live_count_ = 0;
   std::unordered_map<std::string, size_t> key_to_id_;
   /// partition -> band -> bucket-hash -> entry ids.
   std::vector<std::vector<std::unordered_map<uint64_t, std::vector<size_t>>>>

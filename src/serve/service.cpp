@@ -82,6 +82,14 @@ Result<Table> TableFromJson(const JsonValue& value) {
   if (name == nullptr || !name->is_string() || name->string_value().empty()) {
     return Status::InvalidArgument("table requires a non-empty string 'name'");
   }
+  // The engine keys its column index as "<table>\x1f<column>"; a name
+  // smuggling the separator could impersonate another table's keys.
+  // Rejected here, at the wire boundary, so the client gets a clean 400
+  // instead of an engine-internal error.
+  if (name->string_value().find('\x1f') != std::string::npos) {
+    return Status::InvalidArgument(
+        "table name contains reserved character U+001F");
+  }
   const JsonValue* columns = value.Find("columns");
   if (columns == nullptr || !columns->is_array()) {
     return Status::InvalidArgument("table requires a 'columns' array");
@@ -96,6 +104,10 @@ Result<Table> TableFromJson(const JsonValue& value) {
         col_name->string_value().empty()) {
       return Status::InvalidArgument(
           "each column requires a non-empty string 'name'");
+    }
+    if (col_name->string_value().find('\x1f') != std::string::npos) {
+      return Status::InvalidArgument(
+          "column name contains reserved character U+001F");
     }
     const JsonValue* values = col.Find("values");
     if (values == nullptr || !values->is_array()) {
@@ -173,6 +185,9 @@ Result<std::shared_ptr<const DiscoveryEngine>> DiscoveryService::BuildEngine(
   opt.lsh = options_.lsh;
   opt.min_containment = options_.min_containment;
   opt.union_evidence_columns = options_.union_evidence_columns;
+  opt.store = options_.store;
+  opt.joinable_path = options_.joinable_path;
+  opt.unionable_path = options_.unionable_path;
   opt.clock = options_.clock;
   opt.tracer = options_.tracer;
   opt.metrics = options_.metrics;

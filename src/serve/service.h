@@ -77,6 +77,16 @@ struct ServiceOptions {
   /// Largest accepted `budget_ms` (requests asking for more are
   /// clamped, not rejected — a client cannot buy an unbounded request).
   double max_budget_ms = 60000.0;
+  /// Optional persistent artifact store (borrowed; must outlive the
+  /// service), passed to every rebuilt engine. This is what makes the
+  /// copy-on-write registry cheap: a rebuild re-registers every table,
+  /// but each AddTable resolves its sketches/profiles from the store's
+  /// memory cache instead of re-deriving them from values — and a
+  /// restarted process warms up from disk without rebuilding anything.
+  ArtifactStore* store = nullptr;
+  /// Candidate front-end per query mode (see DiscoveryOptions).
+  CandidatePath joinable_path = CandidatePath::kLsh;
+  CandidatePath unionable_path = CandidatePath::kLsh;
 };
 
 /// \brief Routes HTTP requests onto a copy-on-write DiscoveryEngine.

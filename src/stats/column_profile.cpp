@@ -74,6 +74,13 @@ size_t ColumnProfile::DistinctPrefixLength(size_t cap) const {
   return std::min(EffectiveCap(cap, full_distinct_count_), distinct_.size());
 }
 
+bool ProfileSpecsEqual(const ProfileSpec& a, const ProfileSpec& b) {
+  return a.distinct_cap == b.distinct_cap && a.set_cap == b.set_cap &&
+         a.histogram_cap == b.histogram_cap && a.num_bins == b.num_bins &&
+         a.minhash_hashes == b.minhash_hashes && a.ngram_n == b.ngram_n &&
+         a.build_value_ngrams == b.build_value_ngrams;
+}
+
 TableProfile TableProfile::Build(const Table& table, const ProfileSpec& spec) {
   TableProfile tp;
   tp.spec_ = spec;

@@ -128,7 +128,14 @@ class ColumnProfile {
   /// a real vector copy the prefix.
   size_t DistinctPrefixLength(size_t cap) const;
 
+  const ProfileSpec& spec() const { return spec_; }
+
  private:
+  /// The persistent discovery store (src/io/artifact_store.*) needs to
+  /// reconstruct profiles field-by-field from their canonical
+  /// serialization; the codec is the single sanctioned backdoor.
+  friend class DiscoveryArtifactCodec;
+
   std::vector<std::string> distinct_;
   size_t full_distinct_count_ = 0;
   std::unordered_set<std::string> distinct_set_;
@@ -160,9 +167,17 @@ class TableProfile {
   }
 
  private:
+  friend class DiscoveryArtifactCodec;  ///< see ColumnProfile
+
   std::vector<ColumnProfile> columns_;
   ProfileSpec spec_;
 };
+
+/// Field-wise equality of two specs — the compatibility gate the
+/// persistent store uses before serving a stored profile in place of a
+/// fresh Build (a profile only substitutes for one built under an
+/// identical spec).
+bool ProfileSpecsEqual(const ProfileSpec& a, const ProfileSpec& b);
 
 /// \brief Thread-safe build-once cache of TableProfiles, keyed by table
 /// identity (address). Borrowed tables must outlive the cache; the

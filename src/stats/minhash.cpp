@@ -35,6 +35,14 @@ MinHashSignature MinHashSignature::Build(
   return sig;
 }
 
+MinHashSignature MinHashSignature::FromMins(std::vector<uint64_t> mins,
+                                            bool empty_set) {
+  MinHashSignature sig;
+  sig.mins_ = std::move(mins);
+  sig.empty_set_ = empty_set;
+  return sig;
+}
+
 double MinHashSignature::EstimateJaccard(const MinHashSignature& other) const {
   if (empty_set_ && other.empty_set_) return 1.0;
   if (empty_set_ || other.empty_set_) return 0.0;

@@ -21,6 +21,15 @@ class MinHashSignature {
   static MinHashSignature Build(const std::unordered_set<std::string>& set,
                                 size_t num_hashes = 128);
 
+  /// Reconstructs a signature from its raw slots (the persistent-store
+  /// load path). `empty_set` must be the flag the original Build
+  /// recorded: an empty set leaves every slot at the UINT64_MAX
+  /// sentinel, and consumers (Jaccard estimation, LSH banding) must be
+  /// able to distinguish "empty domain" from a pathological singleton
+  /// that genuinely hashed to the sentinel everywhere.
+  static MinHashSignature FromMins(std::vector<uint64_t> mins,
+                                   bool empty_set);
+
   /// Estimated Jaccard similarity: fraction of agreeing slots.
   double EstimateJaccard(const MinHashSignature& other) const;
 

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "datasets/chembl.h"
 #include "datasets/opendata.h"
 #include "datasets/tpcdi.h"
@@ -139,6 +142,118 @@ TEST(DiscoveryEngineTest, CustomMatcherInjected) {
   auto results = engine.FindUnionable(query, 1);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_DOUBLE_EQ(results[0].score, 1.0);  // identical single column
+}
+
+TEST(DiscoveryEngineTest, RejectsReservedSeparatorInNames) {
+  DiscoveryEngine engine;
+  // Table name carrying the LSH key separator (U+001F) would let one
+  // registration forge another table's posting keys.
+  Table bad_table(std::string("evil\x1f") + "twin");
+  Column c1("c", DataType::kString);
+  c1.Append(Value::String("v"));
+  ASSERT_TRUE(bad_table.AddColumn(std::move(c1)).ok());
+  EXPECT_EQ(engine.AddTable(bad_table).code(),
+            StatusCode::kInvalidArgument);
+
+  Table bad_column("ok_table");
+  Column c2(std::string("col\x1f") + "umn", DataType::kString);
+  c2.Append(Value::String("v"));
+  ASSERT_TRUE(bad_column.AddColumn(std::move(c2)).ok());
+  EXPECT_EQ(engine.AddTable(bad_column).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.num_tables(), 0u);
+}
+
+TEST(DiscoveryEngineTest, RejectsDuplicateColumnNames) {
+  DiscoveryEngine engine;
+  Table t("dup_cols");
+  Column a("same", DataType::kString);
+  a.Append(Value::String("x"));
+  Column b("same", DataType::kString);
+  b.Append(Value::String("y"));
+  ASSERT_TRUE(t.AddColumn(std::move(a)).ok());
+  ASSERT_TRUE(t.AddColumn(std::move(b)).ok());
+  // Two columns with one name would collide on the same LSH key; the
+  // engine must reject the table atomically (no partial registration).
+  EXPECT_EQ(engine.AddTable(t).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.num_tables(), 0u);
+}
+
+TEST(DiscoveryEngineTest, RemoveTableErasesItFromResults) {
+  Lake lake;
+  ASSERT_TRUE(lake.engine.RemoveTable("planted_partner").ok());
+  EXPECT_EQ(lake.engine.num_tables(), 2u);
+  for (const auto& r : lake.engine.FindJoinable(lake.query, 10)) {
+    EXPECT_NE(r.table_name, "planted_partner");
+  }
+  for (const auto& r : lake.engine.FindUnionable(lake.query, 10)) {
+    EXPECT_NE(r.table_name, "planted_partner");
+  }
+  EXPECT_EQ(lake.engine.RemoveTable("planted_partner").code(),
+            StatusCode::kNotFound);
+
+  // Re-adding after removal restores it to the top rank.
+  Table prospect = MakeTpcdiProspect(200, 2026);
+  FabricationOptions fab;
+  fab.scenario = Scenario::kJoinable;
+  fab.column_overlap = 0.4;
+  fab.seed = 4;
+  DatasetPair split = FabricateDatasetPair(prospect, fab).ValueOrDie();
+  Table partner = split.target;
+  partner.set_name("planted_partner");
+  ASSERT_TRUE(lake.engine.AddTable(std::move(partner)).ok());
+  auto results = lake.engine.FindJoinable(lake.query, 3);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].table_name, "planted_partner");
+}
+
+TEST(DiscoveryEngineTest, LshPathMatchesExhaustiveTopK) {
+  // The LSH candidate front-end is a recall optimization, not a scoring
+  // change: on the Lake repository both paths must produce identical
+  // ranked lists for both query types.
+  auto run = [](CandidatePath path) {
+    DiscoveryOptions opt;
+    opt.joinable_path = path;
+    opt.unionable_path = path;
+    DiscoveryEngine engine(std::move(opt));
+    Table prospect = MakeTpcdiProspect(200, 2026);
+    FabricationOptions fab;
+    fab.scenario = Scenario::kJoinable;
+    fab.column_overlap = 0.4;
+    fab.seed = 4;
+    DatasetPair split = FabricateDatasetPair(prospect, fab).ValueOrDie();
+    Table partner = split.target;
+    partner.set_name("planted_partner");
+    EXPECT_TRUE(engine.AddTable(std::move(partner)).ok());
+    EXPECT_TRUE(engine.AddTable(MakeOpenDataTable(200, 4711)).ok());
+    EXPECT_TRUE(engine.AddTable(MakeChemblAssays(200, 99)).ok());
+    Table query = split.source;
+    query.set_name("query");
+    std::string out;
+    for (const auto& r : engine.FindJoinable(query, 3)) {
+      out += "J:" + r.table_name + "=" + std::to_string(r.score) + ";";
+    }
+    for (const auto& r : engine.FindUnionable(query, 3)) {
+      out += "U:" + r.table_name + "=" + std::to_string(r.score) + ";";
+    }
+    return out;
+  };
+  std::string lsh = run(CandidatePath::kLsh);
+  std::string exhaustive = run(CandidatePath::kExhaustive);
+  EXPECT_FALSE(lsh.empty());
+  // Top-ranked results must agree exactly; LSH may prune tail tables
+  // the exhaustive path scores near zero, but everything LSH surfaces
+  // must appear in the exhaustive output with the same score.
+  std::istringstream lsh_items(lsh);
+  std::string item;
+  while (std::getline(lsh_items, item, ';')) {
+    EXPECT_NE(exhaustive.find(item + ";"), std::string::npos)
+        << "LSH produced " << item << " absent from exhaustive output "
+        << exhaustive;
+  }
+  EXPECT_EQ(lsh.substr(0, lsh.find(';')),
+            exhaustive.substr(0, exhaustive.find(';')));
 }
 
 TEST(DiscoveryEngineTest, EmptyRepository) {

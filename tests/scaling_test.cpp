@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/rng.h"
 #include "datasets/tpcdi.h"
 #include "fabrication/fabricator.h"
@@ -80,9 +82,9 @@ TEST(LazoTest, IntersectionCappedBySmallerSet) {
 
 TEST(LshIndexTest, FindsNearDuplicates) {
   LshIndex index;
-  index.Add("dup", MakeSet(0, 500));
-  index.Add("half", MakeSet(250, 750));
-  index.Add("far", MakeSet(5000, 5500));
+  ASSERT_TRUE(index.Add("dup", MakeSet(0, 500)).ok());
+  ASSERT_TRUE(index.Add("half", MakeSet(250, 750)).ok());
+  ASSERT_TRUE(index.Add("far", MakeSet(5000, 5500)).ok());
   auto results = index.QueryJaccard(MakeSet(0, 500), 0.5);
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].first, "dup");
@@ -92,7 +94,9 @@ TEST(LshIndexTest, FindsNearDuplicates) {
 TEST(LshIndexTest, PrunesDistantSets) {
   LshIndex index;
   for (int k = 0; k < 50; ++k) {
-    index.Add("set" + std::to_string(k), MakeSet(k * 1000, k * 1000 + 400));
+    ASSERT_TRUE(index.Add("set" + std::to_string(k),
+                          MakeSet(k * 1000, k * 1000 + 400))
+                    .ok());
   }
   // A query overlapping only set0 should not produce ~50 candidates.
   auto candidates = index.Candidates(MakeSet(0, 400));
@@ -104,8 +108,8 @@ TEST(LshIndexTest, PrunesDistantSets) {
 
 TEST(LshIndexTest, ContainmentQueryFindsSuperset) {
   LshIndex index;
-  index.Add("superset", MakeSet(0, 2000));
-  index.Add("unrelated", MakeSet(9000, 9300));
+  ASSERT_TRUE(index.Add("superset", MakeSet(0, 2000)).ok());
+  ASSERT_TRUE(index.Add("unrelated", MakeSet(9000, 9300)).ok());
   // Small query fully contained in "superset": J is only ~0.1 but
   // containment is ~1.0.
   auto results = index.QueryContainment(MakeSet(0, 200), 0.5);
@@ -116,9 +120,129 @@ TEST(LshIndexTest, ContainmentQueryFindsSuperset) {
 TEST(LshIndexTest, SizeTracksAdds) {
   LshIndex index;
   EXPECT_EQ(index.size(), 0u);
-  index.Add("a", MakeSet(0, 10));
-  index.Add("b", MakeSet(0, 10));
+  ASSERT_TRUE(index.Add("a", MakeSet(0, 10)).ok());
+  ASSERT_TRUE(index.Add("b", MakeSet(0, 10)).ok());
   EXPECT_EQ(index.size(), 2u);
+}
+
+// Regression (PR 8): re-adding an existing key used to remap the key to
+// a fresh sketch while the old postings kept serving the stale id —
+// queries could then surface the same key twice, scored against two
+// different sketches. Duplicate adds are now rejected outright and the
+// original sketch keeps serving.
+TEST(LshIndexTest, DuplicateKeyRejectedAndOriginalKeepsServing) {
+  LshIndex index;
+  ASSERT_TRUE(index.Add("k", MakeSet(0, 500)).ok());
+  Status again = index.Add("k", MakeSet(5000, 5500));
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.size(), 1u);
+
+  // Still scores ~1.0 against the ORIGINAL set, and appears exactly once.
+  auto results = index.QueryJaccard(MakeSet(0, 500), 0.5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].first, "k");
+  EXPECT_GT(results[0].second, 0.9);
+  // The rejected set must not have been indexed under any key.
+  EXPECT_TRUE(index.QueryJaccard(MakeSet(5000, 5500), 0.5).empty());
+}
+
+// Regression (PR 8): an empty set leaves every signature slot at the
+// UINT64_MAX sentinel, so every pair of empty domains used to collide
+// in every band and slot and score Lazo jaccard 1.0 against each other.
+// Empty sets are registered but never band, and empty queries return
+// nothing.
+TEST(LshIndexTest, EmptySetsNeverSurfaceAsCandidates) {
+  LshIndex index;
+  ASSERT_TRUE(index.Add("empty_a", {}).ok());
+  ASSERT_TRUE(index.Add("empty_b", {}).ok());
+  ASSERT_TRUE(index.Add("full", MakeSet(0, 100)).ok());
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_TRUE(index.Contains("empty_a"));
+
+  // An empty query collides with nothing — in particular not with the
+  // other empty set.
+  EXPECT_TRUE(index.Candidates({}).empty());
+  EXPECT_TRUE(index.ContainmentCandidates({}).empty());
+  EXPECT_TRUE(index.QueryJaccard({}, 0.0).empty());
+  EXPECT_TRUE(index.QueryContainment({}, 0.0).empty());
+
+  // A non-empty query never sees the empty entries.
+  for (const auto& [key, score] : index.QueryJaccard(MakeSet(0, 100), 0.0)) {
+    EXPECT_EQ(key, "full") << "empty set surfaced with score " << score;
+  }
+}
+
+// Regression (PR 8): removal physically erases postings, so a removed
+// key can neither be returned nor shadow a later re-add.
+TEST(LshIndexTest, RemoveErasesPostingsAndAllowsReAdd) {
+  LshIndex index;
+  ASSERT_TRUE(index.Add("gone", MakeSet(0, 500)).ok());
+  ASSERT_TRUE(index.Add("stay", MakeSet(0, 500)).ok());
+  ASSERT_TRUE(index.Remove("gone").ok());
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_FALSE(index.Contains("gone"));
+  EXPECT_EQ(index.Remove("gone").code(), StatusCode::kNotFound);
+
+  auto results = index.QueryJaccard(MakeSet(0, 500), 0.5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].first, "stay");
+
+  // Re-add under the same key with a different set: queries score the
+  // fresh sketch, not the removed one.
+  ASSERT_TRUE(index.Add("gone", MakeSet(9000, 9500)).ok());
+  auto fresh = index.QueryJaccard(MakeSet(9000, 9500), 0.5);
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh[0].first, "gone");
+  EXPECT_GT(fresh[0].second, 0.9);
+}
+
+// Regression (PR 8): the geometric partition boundary used to be grown
+// by unchecked `boundary *= 10`, which wraps size_t once the partition
+// count allows 10^20-scale boundaries — after the wrap, huge sets
+// compared against tiny boundaries landed in partition 0 and the
+// mapping lost monotonicity.
+TEST(LshIndexTest, CardinalityPartitionSaturatesInsteadOfOverflowing) {
+  // Normal regime: [0,100) -> 0, [100,1k) -> 1, [1k,10k) -> 2, rest
+  // capped at partitions-1.
+  EXPECT_EQ(LshCardinalityPartition(0, 4), 0u);
+  EXPECT_EQ(LshCardinalityPartition(99, 4), 0u);
+  EXPECT_EQ(LshCardinalityPartition(100, 4), 1u);
+  EXPECT_EQ(LshCardinalityPartition(5000, 4), 2u);
+  EXPECT_EQ(LshCardinalityPartition(1u << 20, 4), 3u);
+
+  // Enough partitions that 100 * 10^p would wrap size_t many times.
+  const size_t partitions = 64;
+  size_t last = 0;
+  for (size_t card : {size_t{1}, size_t{1000}, size_t{1} << 40,
+                      std::numeric_limits<size_t>::max()}) {
+    size_t p = LshCardinalityPartition(card, partitions);
+    EXPECT_LT(p, partitions);
+    EXPECT_GE(p, last) << "partition must stay monotonic in cardinality";
+    last = p;
+  }
+  // The largest representable cardinality must land in the top
+  // reachable partition, not wrap back to 0.
+  EXPECT_GT(LshCardinalityPartition(std::numeric_limits<size_t>::max(), 64),
+            LshCardinalityPartition(1000, 64));
+}
+
+TEST(LshIndexTest, AddSketchMatchesInlineBuild) {
+  LshIndex a;
+  LshIndex b;
+  ASSERT_TRUE(a.Add("col", MakeSet(0, 500)).ok());
+  ASSERT_TRUE(
+      b.AddSketch("col", LazoSketch::Build(MakeSet(0, 500), b.signature_size()))
+          .ok());
+  auto ra = a.QueryJaccard(MakeSet(0, 500), 0.5);
+  auto rb = b.QueryJaccard(MakeSet(0, 500), 0.5);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].first, rb[i].first);
+    EXPECT_DOUBLE_EQ(ra[i].second, rb[i].second);
+  }
+  // Width mismatches are rejected, not silently mis-banded.
+  EXPECT_EQ(b.AddSketch("w", LazoSketch::Build(MakeSet(0, 10), 32)).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ApproximateMatcherTest, AgreesWithExactOnEasyPair) {

@@ -5,10 +5,12 @@
 
 #include "serve/service.h"
 
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "io/artifact_store.h"
 #include "serve_test_util.h"
 
 namespace valentine {
@@ -70,6 +72,65 @@ TEST(ServeTableFromJson, RejectsBadShapes) {
     EXPECT_FALSE(table.ok()) << doc;
     EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument) << doc;
   }
+}
+
+TEST(ServeTableFromJson, RejectsReservedSeparatorCharacter) {
+  // U+001F is the LSH posting-key separator; a table or column name
+  // carrying it could forge another table's index keys, so the serve
+  // boundary rejects it before the registry ever sees the table.
+  for (const char* doc : {
+           "{\"name\":\"evil\\u001ftwin\",\"columns\":["
+           "{\"name\":\"c\",\"values\":[1]}]}",
+           "{\"name\":\"t\",\"columns\":["
+           "{\"name\":\"c\\u001fol\",\"values\":[1]}]}",
+       }) {
+    Result<JsonValue> parsed = ParseJson(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    Result<Table> table = TableFromJson(parsed.ValueOrDie());
+    EXPECT_FALSE(table.ok()) << doc;
+    EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument) << doc;
+  }
+  DiscoveryService service;
+  HttpResponse r = service.Handle(MakeRequest(
+      "POST", "/v1/tables",
+      "{\"name\":\"evil\\u001ftwin\",\"columns\":["
+      "{\"name\":\"c\",\"values\":[1]}]}"));
+  EXPECT_EQ(r.status, 400);
+}
+
+TEST(ServeService, ArtifactStoreSkipsResketchOnRegistryRebuild) {
+  // With a store attached, every copy-on-write registry rebuild should
+  // resolve sketches from the store's memory cache instead of
+  // re-deriving them: after N registrations of distinct tables, the
+  // engine rebuilds N times but only ever *builds* N artifacts — all
+  // later passes over previously-seen tables are hits.
+  std::string dir = ::testing::TempDir() + "/valentine_serve_store_test";
+  std::filesystem::remove_all(dir);
+  ArtifactStore store(dir);
+  MetricsRegistry metrics;
+  ServiceOptions opt;
+  opt.metrics = &metrics;
+  opt.store = &store;
+  DiscoveryService service(opt);
+
+  constexpr int kTables = 4;
+  for (int i = 0; i < kTables; ++i) {
+    ASSERT_TRUE(
+        service
+            .RegisterTable(MakeServeTable("t" + std::to_string(i), 20, 3))
+            .ok());
+  }
+  uint64_t builds = metrics
+                        .CounterFor("valentine_discovery_store_total",
+                                    {{"event", "build"}})
+                        ->value();
+  uint64_t hits = metrics
+                      .CounterFor("valentine_discovery_store_total",
+                                  {{"event", "hit"}})
+                      ->value();
+  EXPECT_EQ(builds, static_cast<uint64_t>(kTables));
+  // Rebuild i re-registers tables 0..i-1 from the store: 0+1+2+...
+  EXPECT_EQ(hits, static_cast<uint64_t>(kTables * (kTables - 1) / 2));
 }
 
 TEST(ServeService, HealthzGolden) {

@@ -205,7 +205,7 @@ UNORDERED_DECL_RE = re.compile(
 # (tests/serve_service_test.cpp pins this), so the same applies.
 ORDER_SENSITIVE_PREFIXES = ("src/matchers/", "src/text/", "src/stats/",
                             "src/discovery/", "src/knowledge/", "src/obs/",
-                            "src/serve/")
+                            "src/serve/", "src/io/", "src/scaling/")
 ORDER_SENSITIVE_FILES = {"src/harness/json_export.h", "src/harness/json_export.cpp"}
 
 
@@ -248,11 +248,23 @@ STATUS_FN_DECL_RE = re.compile(
     r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)*"
     r"(?:::)?(?:valentine::)?(?:Status|Result\s*<[^;{]+>)\s+(\w+)\s*\(")
 
+# Declarations of the same *name* with a non-Status return type. The rule
+# matches call sites by bare method name, so a name used for both (e.g.
+# LshIndex::Add returns Status while MatchResult::Add returns void) cannot
+# be judged at the token level — such names are dropped from the set and
+# left to the compiler's [[nodiscard]] enforcement, which is type-aware.
+NONSTATUS_FN_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+|constexpr\s+)*"
+    r"(?:void|bool|int|int64_t|uint64_t|size_t|double|float|auto|"
+    r"std::\s*\w[\w:<>,\s*&]*|[A-Z]\w*(?:<[^;{()]*>)?[*&]?)\s+(\w+)\s*\(")
+
 
 def collect_status_functions(files) -> set:
     """Names of functions/methods declared to return Status or Result<T>,
-    harvested from the repo's own headers."""
-    names = set()
+    harvested from the repo's own headers. Names that are *also* declared
+    with a non-Status return type anywhere are excluded as ambiguous."""
+    status_names = set()
+    other_names = set()
     for path in files:
         if path.suffix != ".h":
             continue
@@ -263,8 +275,12 @@ def collect_status_functions(files) -> set:
         for _, _, code in iter_code_lines(text):
             m = STATUS_FN_DECL_RE.match(code)
             if m:
-                names.add(m.group(1))
-    return names
+                status_names.add(m.group(1))
+                continue
+            m = NONSTATUS_FN_DECL_RE.match(code)
+            if m:
+                other_names.add(m.group(1))
+    return status_names - other_names
 
 
 def check_ignored_status(path: Path, rel: str, text: str,

@@ -15,7 +15,12 @@
 // Usage: valentine_serve [--host A] [--port N] [--port-file PATH]
 //                        [--workers N] [--queue N] [--drain-ms D]
 //                        [--read-timeout-ms D] [--write-timeout-ms D]
-//                        [--metrics-out PATH]
+//                        [--metrics-out PATH] [--store DIR]
+//
+// --store DIR attaches the persistent artifact store: table
+// registrations resolve their sketches/profiles from DIR by content
+// fingerprint (building and persisting on miss), so restarts and
+// registry rebuilds skip the expensive derivations.
 //
 // Exits 0 on clean drain, 1 on startup failure, 2 on usage errors.
 
@@ -23,8 +28,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "io/artifact_store.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -38,6 +45,7 @@ struct DaemonOptions {
   ServerOptions server;
   std::string port_file;
   std::string metrics_out;
+  std::string store_dir;
   double drain_ms = 2000.0;
 };
 
@@ -46,7 +54,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host A] [--port N] [--port-file PATH] [--workers N]\n"
       "          [--queue N] [--drain-ms D] [--read-timeout-ms D]\n"
-      "          [--write-timeout-ms D] [--metrics-out PATH]\n",
+      "          [--write-timeout-ms D] [--metrics-out PATH] [--store DIR]\n",
       argv0);
   return 2;
 }
@@ -76,6 +84,8 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opt) {
       opt->server.write_timeout_ms = std::atoi(v);
     } else if (arg == "--metrics-out" && (v = next())) {
       opt->metrics_out = v;
+    } else if (arg == "--store" && (v = next())) {
+      opt->store_dir = v;
     } else {
       return false;
     }
@@ -90,8 +100,14 @@ int RunDaemon(const DaemonOptions& opt) {
   metrics.SetHelp("valentine_serve_requests_total",
                   "Requests handled, by route and HTTP code");
 
+  std::unique_ptr<ArtifactStore> store;
+  if (!opt.store_dir.empty()) {
+    store = std::make_unique<ArtifactStore>(opt.store_dir);
+  }
+
   ServiceOptions service_opt;
   service_opt.metrics = &metrics;
+  service_opt.store = store.get();
   DiscoveryService service(service_opt);
 
   ServerOptions server_opt = opt.server;
