@@ -67,11 +67,10 @@ int main() {
               key.target.column.c_str());
 
   // 2. Execute the join against the discovered table.
-  const Table* feature_table = nullptr;
-  for (const Table& t : lake.tables()) {
-    if (t.name() == best.table_name) feature_table = &t;
-  }
-  if (feature_table == nullptr) return 1;
+  std::shared_ptr<const RegisteredTable> feature_entry =
+      lake.repository().Find(best.table_name);
+  if (feature_entry == nullptr) return 1;
+  const Table* feature_table = &feature_entry->table;
   JoinOptions jopt;
   jopt.type = JoinType::kLeft;  // keep every training row
   Result<Table> augmented = HashJoin(training, key.source.column,

@@ -1,0 +1,145 @@
+#include "discovery/candidate_index.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "text/tokenizer.h"
+
+namespace valentine {
+
+namespace {
+
+constexpr char kKeySeparator = '\x1f';
+
+std::string ColumnKey(const std::string& table, const std::string& column) {
+  return table + kKeySeparator + column;
+}
+
+std::string TableOfKey(const std::string& key) {
+  return key.substr(0, key.find(kKeySeparator));
+}
+
+/// Degraded nomination: the whole repository, flagged. Used when the
+/// index cannot see the query at all — the caller counts the event in
+/// valentine_discovery_fallback_total instead of dropping the fact.
+RetrievedCandidates FallbackToExhaustive(const TableRepository& repository,
+                                         const std::string& index_name,
+                                         const std::string& reason) {
+  RetrievedCandidates out;
+  out.index = index_name;
+  out.fallback = true;
+  out.fallback_reason = reason;
+  for (size_t i = 0; i < repository.size(); ++i) {
+    out.tables.insert(repository.entry(i).table.name());
+  }
+  return out;
+}
+
+}  // namespace
+
+LshCandidateIndex::LshCandidateIndex(Options options)
+    : options_(options), index_(options_.lsh) {}
+
+Status LshCandidateIndex::Add(const RegisteredTable& entry) {
+  const std::string& table_name = entry.table.name();
+  for (const ColumnDiscoveryArtifact& c : entry.artifact->columns) {
+    VALENTINE_RETURN_NOT_OK(
+        index_.AddSketch(ColumnKey(table_name, c.name), c.sketch));
+  }
+  for (const std::vector<std::string>& tokens : entry.name_tokens) {
+    for (const std::string& token : tokens) {
+      name_token_tables_[token].insert(table_name);
+    }
+  }
+  return Status::OK();
+}
+
+Status LshCandidateIndex::Remove(const RegisteredTable& entry) {
+  const std::string& table_name = entry.table.name();
+  for (const Column& c : entry.table.columns()) {
+    VALENTINE_RETURN_NOT_OK(index_.Remove(ColumnKey(table_name, c.name())));
+  }
+  for (const std::vector<std::string>& tokens : entry.name_tokens) {
+    for (const std::string& token : tokens) {
+      auto it = name_token_tables_.find(token);
+      if (it == name_token_tables_.end()) continue;
+      it->second.erase(table_name);
+      if (it->second.empty()) name_token_tables_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+RetrievedCandidates LshCandidateIndex::Retrieve(
+    const Table& query, DiscoveryMode mode,
+    const TableRepository& repository) const {
+  RetrievedCandidates out;
+  out.index = Name();
+  // Empty value sets never band (scaling/lsh_index.h), so a query whose
+  // every column sketches empty is invisible to this index. For value
+  // channels that is a degraded query, not an empty answer.
+  bool any_nonempty_column = false;
+  if (mode == DiscoveryMode::kJoinable) {
+    for (const Column& c : query.columns()) {
+      const std::unordered_set<std::string> values = c.DistinctStringSet();
+      if (!values.empty()) any_nonempty_column = true;
+      auto hits = index_.QueryContainment(values, options_.min_containment);
+      for (const auto& [key, containment] : hits) {
+        out.tables.insert(TableOfKey(key));
+      }
+    }
+    if (!any_nonempty_column) {
+      return FallbackToExhaustive(repository, Name(), "empty-query-columns");
+    }
+    return out;
+  }
+  for (size_t ci = 0; ci < query.num_columns(); ++ci) {
+    const Column& c = query.column(ci);
+    const std::unordered_set<std::string> values = c.DistinctStringSet();
+    if (!values.empty()) any_nonempty_column = true;
+    // Slot-level probing (the recall end of the S-curve): unionable
+    // columns share values but rarely whole domains, so Jaccard
+    // banding's ~0.7 threshold would miss most of them.
+    for (const std::string& key : index_.ContainmentCandidates(values)) {
+      out.tables.insert(TableOfKey(key));
+    }
+    if (options_.union_name_candidates) {
+      for (const std::string& token : TokenizeIdentifier(c.name())) {
+        auto it = name_token_tables_.find(token);
+        if (it == name_token_tables_.end()) continue;
+        out.tables.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+  // With name postings active the query is never value-blind *and*
+  // name-blind at once, so only the pure-value configuration degrades.
+  if (!any_nonempty_column && !options_.union_name_candidates) {
+    return FallbackToExhaustive(repository, Name(), "empty-query-columns");
+  }
+  return out;
+}
+
+Status ExhaustiveCandidateIndex::Add(const RegisteredTable& entry) {
+  (void)entry;
+  return Status::OK();
+}
+
+Status ExhaustiveCandidateIndex::Remove(const RegisteredTable& entry) {
+  (void)entry;
+  return Status::OK();
+}
+
+RetrievedCandidates ExhaustiveCandidateIndex::Retrieve(
+    const Table& query, DiscoveryMode mode,
+    const TableRepository& repository) const {
+  (void)query;
+  (void)mode;
+  RetrievedCandidates out;
+  out.index = Name();
+  for (size_t i = 0; i < repository.size(); ++i) {
+    out.tables.insert(repository.entry(i).table.name());
+  }
+  return out;
+}
+
+}  // namespace valentine

@@ -1,0 +1,123 @@
+#ifndef VALENTINE_DISCOVERY_CANDIDATE_INDEX_H_
+#define VALENTINE_DISCOVERY_CANDIDATE_INDEX_H_
+
+/// \file candidate_index.h
+/// Stage 1 of the staged discovery pipeline (DESIGN.md §14): candidate
+/// nomination. A CandidateIndex maintains whatever per-table postings it
+/// needs (fed Add/Remove as the repository mutates) and, per query,
+/// nominates the table names worth scoring. Nomination is recall-biased
+/// and never affects result *bytes* — every nominated candidate is
+/// verified and scored by the Reranker — only which tables pay that
+/// scoring cost.
+///
+/// Contract shared by all implementations (tested in
+/// tests/discovery_candidate_index_test.cpp):
+///  * Retrieve never nominates a name outside the repository, and never
+///    duplicates (RetrievedCandidates::tables is a set).
+///  * After Remove(entry), that table is never nominated again; after a
+///    re-Add it is nominated as if fresh.
+///  * A degraded query (the index cannot see it at all — e.g. every
+///    query column sketches empty) sets `fallback` + `fallback_reason`
+///    and nominates the whole repository rather than silently returning
+///    nothing; the engine surfaces the event through
+///    valentine_discovery_fallback_total.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/status.h"
+#include "core/table.h"
+#include "discovery/repository.h"
+#include "discovery/types.h"
+#include "scaling/lsh_index.h"
+
+namespace valentine {
+
+/// \brief Nominates candidate tables for a discovery query.
+///
+/// Thread-safety: Retrieve on a const index is safe concurrently;
+/// Add/Remove must not race any other call.
+class CandidateIndex {
+ public:
+  virtual ~CandidateIndex() = default;
+
+  /// Implementation name, surfaced in explain output ("lsh",
+  /// "exhaustive", ...).
+  virtual std::string Name() const = 0;
+
+  /// Indexes a newly registered table's postings.
+  [[nodiscard]] virtual Status Add(const RegisteredTable& entry) = 0;
+
+  /// Erases a removed table's postings.
+  [[nodiscard]] virtual Status Remove(const RegisteredTable& entry) = 0;
+
+  /// Nominates candidate table names for `query` under `mode`.
+  virtual RetrievedCandidates Retrieve(
+      const Table& query, DiscoveryMode mode,
+      const TableRepository& repository) const = 0;
+};
+
+/// \brief MinHash-LSH nomination: joinable queries probe per-column
+/// containment (LSH Ensemble style), unionable queries combine
+/// slot-level containment candidates with column-name token postings.
+/// Scoring cost is bounded by the candidates actually nominated, not
+/// the repository size.
+class LshCandidateIndex : public CandidateIndex {
+ public:
+  struct Options {
+    LshOptions lsh;
+    /// Minimum estimated containment for a query column to nominate a
+    /// candidate in joinable mode.
+    double min_containment = 0.3;
+    /// In unionable mode, also nominate tables sharing a column-name
+    /// token with the query, so value-disjoint but schema-aligned
+    /// tables (which the value-based index cannot see) stay reachable.
+    bool union_name_candidates = true;
+  };
+
+  explicit LshCandidateIndex(Options options);
+
+  std::string Name() const override { return "lsh"; }
+
+  /// MinHash signature width this index bands at; repository sketches
+  /// must be built at the same width or Add fails.
+  size_t signature_size() const { return index_.signature_size(); }
+
+  [[nodiscard]] Status Add(const RegisteredTable& entry) override;
+  [[nodiscard]] Status Remove(const RegisteredTable& entry) override;
+
+  RetrievedCandidates Retrieve(const Table& query, DiscoveryMode mode,
+                               const TableRepository& repository)
+      const override;
+
+ private:
+  Options options_;
+  LshIndex index_;  ///< keys are "<table>\x1f<column>"
+  /// Column-name token -> names of tables owning such a column; the
+  /// value-blind half of unionable nomination. Ordered containers keep
+  /// iteration deterministic.
+  std::map<std::string, std::set<std::string>> name_token_tables_;
+};
+
+/// \brief Reference nomination: every repository table. Maintains no
+/// postings; the A/B baseline LSH nomination is checked against
+/// (bench/bench_repository.cpp), and the right choice for tiny
+/// repositories where pruning buys nothing.
+class ExhaustiveCandidateIndex : public CandidateIndex {
+ public:
+  std::string Name() const override { return "exhaustive"; }
+
+  [[nodiscard]] Status Add(const RegisteredTable& entry) override;
+  [[nodiscard]] Status Remove(const RegisteredTable& entry) override;
+
+  RetrievedCandidates Retrieve(const Table& query, DiscoveryMode mode,
+                               const TableRepository& repository)
+      const override;
+};
+
+}  // namespace valentine
+
+#endif  // VALENTINE_DISCOVERY_CANDIDATE_INDEX_H_

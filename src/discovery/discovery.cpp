@@ -1,42 +1,68 @@
 #include "discovery/discovery.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <utility>
 
 #include "matchers/coma.h"
-#include "text/tokenizer.h"
 
 namespace valentine {
 
 namespace {
 
-constexpr char kKeySeparator = '\x1f';
+LshCandidateIndex::Options LshIndexOptions(const DiscoveryOptions& options) {
+  LshCandidateIndex::Options out;
+  out.lsh = options.lsh;
+  out.min_containment = options.min_containment;
+  out.union_name_candidates = options.union_name_candidates;
+  return out;
+}
 
-/// A stored artifact substitutes for a fresh build only when it
-/// describes this exact table shape at this signature width (content
-/// fingerprints collide across renames: the fingerprint hashes the
-/// table name too, so a mismatch here means a foreign or stale file).
-bool ArtifactServesTable(const TableDiscoveryArtifact& artifact,
-                         const Table& table, size_t signature_size) {
-  if (artifact.signature_size != signature_size) return false;
-  if (artifact.columns.size() != table.num_columns()) return false;
-  for (size_t i = 0; i < table.num_columns(); ++i) {
-    if (artifact.columns[i].name != table.column(i).name()) return false;
-  }
-  if (artifact.has_profiles &&
-      artifact.profiles.size() != artifact.columns.size()) {
-    return false;
-  }
-  return true;
+RepositoryOptions RepositoryOptionsFor(const DiscoveryOptions& options,
+                                       size_t signature_size) {
+  RepositoryOptions out;
+  out.store = options.store;
+  out.metrics = options.metrics;
+  out.signature_size = signature_size;
+  return out;
 }
 
 }  // namespace
 
+const char* DiscoveryModeName(DiscoveryMode mode) {
+  switch (mode) {
+    case DiscoveryMode::kJoinable:
+      return "joinable";
+    case DiscoveryMode::kUnionable:
+      return "unionable";
+  }
+  return "unknown";
+}
+
 DiscoveryEngine::DiscoveryEngine(DiscoveryOptions options)
-    : options_(std::move(options)), column_index_(options_.lsh) {}
+    : options_(std::move(options)),
+      repository_(RepositoryOptionsFor(
+          options_, options_.lsh.bands * options_.lsh.rows_per_band)),
+      lsh_index_(LshIndexOptions(options_)) {
+  if (options_.reranker == nullptr) {
+    ExactReranker::Options exact;
+    exact.union_evidence_columns = options_.union_evidence_columns;
+    default_reranker_ = std::make_unique<ExactReranker>(&matcher(), exact);
+  }
+}
 
 DiscoveryEngine::~DiscoveryEngine() = default;
+
+Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::FromRepository(
+    DiscoveryOptions options, TableRepository repository) {
+  auto engine = std::make_unique<DiscoveryEngine>(std::move(options));
+  engine->repository_ = std::move(repository);
+  // Re-band every entry's already-built sketches: cheap re-indexing,
+  // no fingerprinting, no store IO, no value re-sketching.
+  for (size_t i = 0; i < engine->repository_.size(); ++i) {
+    VALENTINE_RETURN_NOT_OK(engine->lsh_index_.Add(engine->repository_.entry(i)));
+  }
+  return engine;
+}
 
 const ColumnMatcher& DiscoveryEngine::matcher() const {
   if (options_.matcher) return *options_.matcher;
@@ -48,217 +74,43 @@ const ColumnMatcher& DiscoveryEngine::matcher() const {
   return *kDefault;
 }
 
-Status DiscoveryEngine::ValidateTable(const Table& table) const {
-  if (table.num_columns() == 0) {
-    return Status::InvalidArgument("table '" + table.name() +
-                                   "' has no columns");
-  }
-  if (table.name().find(kKeySeparator) != std::string::npos) {
-    return Status::InvalidArgument(
-        "table name contains reserved separator \\x1f");
-  }
-  for (const Table& existing : tables_) {
-    if (existing.name() == table.name()) {
-      return Status::InvalidArgument("duplicate table name '" +
-                                     table.name() + "'");
-    }
-  }
-  std::set<std::string> seen_columns;
-  for (const Column& c : table.columns()) {
-    if (c.name().find(kKeySeparator) != std::string::npos) {
-      return Status::InvalidArgument(
-          "column name contains reserved separator \\x1f (table '" +
-          table.name() + "')");
-    }
-    if (!seen_columns.insert(c.name()).second) {
-      return Status::InvalidArgument("duplicate column name '" + c.name() +
-                                     "' in table '" + table.name() + "'");
-    }
-  }
-  return Status::OK();
+const Reranker& DiscoveryEngine::reranker() const {
+  return options_.reranker != nullptr ? *options_.reranker
+                                      : *default_reranker_;
+}
+
+Reranker& DiscoveryEngine::reranker() {
+  return options_.reranker != nullptr ? *options_.reranker
+                                      : *default_reranker_;
+}
+
+const CandidateIndex& DiscoveryEngine::IndexFor(DiscoveryMode mode) const {
+  const CandidatePath path = mode == DiscoveryMode::kJoinable
+                                 ? options_.joinable_path
+                                 : options_.unionable_path;
+  if (path == CandidatePath::kExhaustive) return exhaustive_index_;
+  return lsh_index_;
 }
 
 Status DiscoveryEngine::AddTable(Table table) {
-  // Validate-then-commit: nothing below can fail on a valid table, so a
-  // rejected registration leaves no partial index state behind.
-  VALENTINE_RETURN_NOT_OK(ValidateTable(table));
-
-  const size_t signature_size = column_index_.signature_size();
-  std::shared_ptr<const TableDiscoveryArtifact> artifact;
-  if (options_.store != nullptr) {
-    const uint64_t fingerprint = TableContentFingerprint(table);
-    auto loaded = options_.store->Get(fingerprint);
-    if (loaded.ok() &&
-        ArtifactServesTable(**loaded, table, signature_size)) {
-      artifact = *loaded;
-      if (options_.metrics != nullptr) {
-        options_.metrics
-            ->CounterFor("valentine_discovery_store_total",
-                         {{"event", "hit"}})
-            ->Increment();
-      }
-    } else {
-      artifact = std::make_shared<const TableDiscoveryArtifact>(
-          BuildDiscoveryArtifact(table, signature_size,
-                                 /*with_profiles=*/true, ProfileSpec{}));
-      Status persisted = options_.store->Put(artifact);
-      // A failed persist degrades to in-memory registration: queries
-      // stay correct, only the next cold start pays the rebuild.
-      if (options_.metrics != nullptr) {
-        options_.metrics
-            ->CounterFor("valentine_discovery_store_total",
-                         {{"event", persisted.ok() ? "build" : "put-error"}})
-            ->Increment();
-      }
-    }
-  }
-
-  if (artifact != nullptr) {
-    for (const ColumnDiscoveryArtifact& c : artifact->columns) {
-      VALENTINE_RETURN_NOT_OK(column_index_.AddSketch(
-          table.name() + kKeySeparator + c.name, c.sketch));
-    }
-  } else {
-    for (const Column& c : table.columns()) {
-      VALENTINE_RETURN_NOT_OK(column_index_.Add(
-          table.name() + kKeySeparator + c.name(), c.DistinctStringSet()));
-    }
-  }
-
-  // Store-loaded profiles only substitute for fresh builds under an
-  // identical spec; otherwise the matcher pipeline builds inline.
-  std::shared_ptr<const TableProfile> profile;
-  if (artifact != nullptr && artifact->has_profiles &&
-      ProfileSpecsEqual(artifact->profile_spec, ProfileSpec{})) {
-    profile = TableProfileFromArtifact(*artifact);
-  }
-
-  for (const Column& c : table.columns()) {
-    for (const std::string& token : TokenizeIdentifier(c.name())) {
-      name_token_tables_[token].insert(table.name());
-    }
-  }
-
-  tables_.push_back(std::move(table));
-  table_profiles_.push_back(std::move(profile));
-  // Growing the vector may relocate every table; cached artifacts
-  // borrow that storage, so they must be rebuilt on next query.
-  artifacts_.Clear();
+  auto entry = repository_.AddTable(std::move(table));
+  VALENTINE_RETURN_NOT_OK(entry.status());
+  VALENTINE_RETURN_NOT_OK(lsh_index_.Add(**entry));
+  // Cached prepared artifacts may borrow repository state; mutations
+  // drop them (rebuilt lazily on the next query).
+  reranker().OnRepositoryChanged();
   return Status::OK();
 }
 
 Status DiscoveryEngine::RemoveTable(const std::string& name) {
-  size_t index = tables_.size();
-  for (size_t i = 0; i < tables_.size(); ++i) {
-    if (tables_[i].name() == name) {
-      index = i;
-      break;
-    }
-  }
-  if (index == tables_.size()) {
+  std::shared_ptr<const RegisteredTable> entry = repository_.Find(name);
+  if (entry == nullptr) {
     return Status::NotFound("no table '" + name + "'");
   }
-  const Table& table = tables_[index];
-  for (const Column& c : table.columns()) {
-    VALENTINE_RETURN_NOT_OK(
-        column_index_.Remove(name + kKeySeparator + c.name()));
-  }
-  for (const Column& c : table.columns()) {
-    for (const std::string& token : TokenizeIdentifier(c.name())) {
-      auto it = name_token_tables_.find(token);
-      if (it == name_token_tables_.end()) continue;
-      it->second.erase(name);
-      if (it->second.empty()) name_token_tables_.erase(it);
-    }
-  }
-  tables_.erase(tables_.begin() + static_cast<ptrdiff_t>(index));
-  table_profiles_.erase(table_profiles_.begin() +
-                        static_cast<ptrdiff_t>(index));
-  // Erasing shifts every subsequent table; cached artifacts borrow that
-  // storage (same invalidation rule as AddTable).
-  artifacts_.Clear();
+  VALENTINE_RETURN_NOT_OK(lsh_index_.Remove(*entry));
+  VALENTINE_RETURN_NOT_OK(repository_.RemoveTable(name));
+  reranker().OnRepositoryChanged();
   return Status::OK();
-}
-
-std::set<std::string> DiscoveryEngine::UnionCandidates(
-    const Table& query) const {
-  std::set<std::string> names;
-  for (const Column& c : query.columns()) {
-    // Slot-level probing (the recall end of the S-curve): unionable
-    // columns share values but rarely whole domains, so Jaccard
-    // banding's ~0.7 threshold would miss most of them.
-    for (const std::string& key :
-         column_index_.ContainmentCandidates(c.DistinctStringSet())) {
-      names.insert(key.substr(0, key.find(kKeySeparator)));
-    }
-    if (options_.union_name_candidates) {
-      for (const std::string& token : TokenizeIdentifier(c.name())) {
-        auto it = name_token_tables_.find(token);
-        if (it == name_token_tables_.end()) continue;
-        names.insert(it->second.begin(), it->second.end());
-      }
-    }
-  }
-  return names;
-}
-
-MatchContext DiscoveryEngine::ObsContext(const MatchContext& base,
-                                         const std::string& trace_id,
-                                         uint64_t parent_span) const {
-  MatchContext context;
-  context.deadline = base.deadline;
-  context.cancel = base.cancel;
-  context.source_profile = base.source_profile;
-  context.target_profile = base.target_profile;
-  context.trace_id = trace_id;
-  context.clock = base.clock != nullptr ? base.clock : options_.clock;
-  context.tracer = options_.tracer;
-  context.parent_span = parent_span;
-  return context;
-}
-
-Result<MatchResult> DiscoveryEngine::ScoreAgainstRepository(
-    const PreparedTable* prepared_query, const Table& query,
-    const Table& candidate, const TableProfile* candidate_profile,
-    const MatchContext& base, const std::string& trace_id,
-    uint64_t parent_span) const {
-  if (prepared_query != nullptr) {
-    PreparedTablePtr prepared_candidate = artifacts_.GetOrPrepare(
-        matcher(), candidate, candidate_profile,
-        ObsContext(base, trace_id, parent_span));
-    if (prepared_candidate != nullptr) {
-      SpanScope score_span(options_.tracer, trace_id, "score",
-                           candidate.name(), parent_span);
-      score_span.Attr("path", "prepared");
-      Result<MatchResult> scored =
-          matcher().Score(*prepared_query, *prepared_candidate,
-                          ObsContext(base, trace_id, score_span.id()));
-      if (scored.ok()) return scored;
-      // The request's budget/cancellation aborts the whole query; any
-      // other error (only possible via an injected decorator) degrades
-      // to the empty result, exactly like the infallible Match overload.
-      if (scored.status().code() == StatusCode::kDeadlineExceeded ||
-          scored.status().code() == StatusCode::kCancelled) {
-        return scored.status();
-      }
-      return MatchResult();
-    }
-    // A failed artifact build under a fired context must abort, not
-    // silently fall back to the slower monolithic path.
-    Status checked = base.Check("discovery/prepare");
-    if (!checked.ok()) return checked;
-  }
-  SpanScope score_span(options_.tracer, trace_id, "score", candidate.name(),
-                       parent_span);
-  score_span.Attr("path", "monolithic");
-  Result<MatchResult> matched = matcher().Match(
-      query, candidate, ObsContext(base, trace_id, score_span.id()));
-  if (matched.ok()) return matched;
-  if (matched.status().code() == StatusCode::kDeadlineExceeded ||
-      matched.status().code() == StatusCode::kCancelled) {
-    return matched.status();
-  }
-  return MatchResult();
 }
 
 std::vector<DiscoveryResult> DiscoveryEngine::FindJoinable(
@@ -274,70 +126,107 @@ std::vector<DiscoveryResult> DiscoveryEngine::FindUnionable(
 }
 
 Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindJoinable(
-    const Table& query, size_t k, const MatchContext& ctx) const {
+    const Table& query, size_t k, const MatchContext& ctx,
+    DiscoveryExplain* explain) const {
+  return Find(DiscoveryMode::kJoinable, query, k, ctx, explain);
+}
+
+Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindUnionable(
+    const Table& query, size_t k, const MatchContext& ctx,
+    DiscoveryExplain* explain) const {
+  return Find(DiscoveryMode::kUnionable, query, k, ctx, explain);
+}
+
+Result<std::vector<DiscoveryResult>> DiscoveryEngine::Find(
+    DiscoveryMode mode, const Table& query, size_t k, const MatchContext& ctx,
+    DiscoveryExplain* explain) const {
+  const char* mode_name = DiscoveryModeName(mode);
   const std::string trace_id =
       ctx.trace_id.empty() ? "discovery/" + query.name() : ctx.trace_id;
   SpanScope query_span(options_.tracer, trace_id, "query", query.name(),
                        ctx.parent_span);
-  query_span.Attr("mode", "joinable");
+  query_span.Attr("mode", mode_name);
   query_span.Attr("k", std::to_string(k));
   if (options_.metrics != nullptr) {
     options_.metrics
         ->CounterFor("valentine_discovery_queries_total",
-                     {{"mode", "joinable"}})
+                     {{"mode", mode_name}})
         ->Increment();
   }
   // Fail fast: a request that arrives with its budget already spent (or
   // cancelled) must do zero candidate work.
-  VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/joinable/start"));
-  // Nominate candidate tables: for every query column, probe the
-  // containment index and credit the owning table. The exhaustive path
-  // nominates everything (the A/B reference).
-  std::set<std::string> candidate_tables;
-  if (options_.joinable_path == CandidatePath::kExhaustive) {
-    for (const Table& t : tables_) candidate_tables.insert(t.name());
-  } else {
-    for (const Column& c : query.columns()) {
-      auto hits = column_index_.QueryContainment(c.DistinctStringSet(),
-                                                 options_.min_containment);
-      for (const auto& [key, containment] : hits) {
-        candidate_tables.insert(key.substr(0, key.find(kKeySeparator)));
-      }
+  VALENTINE_RETURN_NOT_OK(ctx.Check(mode == DiscoveryMode::kJoinable
+                                        ? "discovery/joinable/start"
+                                        : "discovery/unionable/start"));
+
+  // Stage 1 — Retrieve: nominate candidate table names.
+  RetrievedCandidates retrieved;
+  {
+    SpanScope stage(options_.tracer, trace_id, "stage", "discovery.retrieve",
+                    query_span.id());
+    retrieved = IndexFor(mode).Retrieve(query, mode, repository_);
+    stage.Attr("index", retrieved.index);
+    stage.Attr("candidates", std::to_string(retrieved.tables.size()));
+    if (retrieved.fallback) stage.Attr("fallback", retrieved.fallback_reason);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->CounterFor("valentine_discovery_stage_candidates_total",
+                     {{"mode", mode_name}, {"stage", "retrieve"}})
+        ->Increment(retrieved.tables.size());
+    if (retrieved.fallback) {
+      options_.metrics
+          ->CounterFor("valentine_discovery_fallback_total",
+                       {{"mode", mode_name},
+                        {"reason", retrieved.fallback_reason}})
+          ->Increment();
     }
   }
 
-  // Prepare the query once; every candidate scores against it. The
-  // query is caller-owned and transient, so its artifact is built
-  // inline rather than cached.
-  Result<PreparedTablePtr> prepared_query = matcher().Prepare(
-      query, /*profile=*/nullptr, ObsContext(ctx, trace_id, query_span.id()));
-
-  // Verify candidates with the matcher; table score = best column match.
-  std::vector<DiscoveryResult> results;
-  size_t scored_count = 0;
-  for (size_t ti = 0; ti < tables_.size(); ++ti) {
-    const Table& t = tables_[ti];
-    if (!candidate_tables.count(t.name())) continue;
-    VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/joinable/candidate"));
-    Result<MatchResult> scored = ScoreAgainstRepository(
-        prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
-        table_profiles_[ti].get(), ctx, trace_id, query_span.id());
-    if (!scored.ok()) return scored.status();
-    ++scored_count;
-    MatchResult ranked = std::move(scored).ValueOrDie();
-    DiscoveryResult r;
-    r.table_name = t.name();
-    if (!ranked.empty()) {
-      r.score = ranked[0].score;
-      r.evidence = ranked.TopK(3);
-    }
-    results.push_back(std::move(r));
+  // Stage 2 — Enrich: join nominations to repository metadata.
+  CandidateSet candidates;
+  {
+    SpanScope stage(options_.tracer, trace_id, "stage", "discovery.enrich",
+                    query_span.id());
+    candidates = enricher_.Enrich(retrieved, repository_);
+    stage.Attr("candidates", std::to_string(candidates.candidates.size()));
+    stage.Attr("profiles_attached",
+               std::to_string(candidates.profiles_attached));
   }
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->CounterFor("valentine_discovery_stage_candidates_total",
+                     {{"mode", mode_name}, {"stage", "enrich"}})
+        ->Increment(candidates.candidates.size());
+  }
+
+  // Stage 3 — Rerank: verify and score every candidate.
+  Result<std::vector<DiscoveryResult>> reranked = [&] {
+    SpanScope stage(options_.tracer, trace_id, "stage", "discovery.rerank",
+                    query_span.id());
+    stage.Attr("reranker", reranker().Name());
+    RerankContext rctx;
+    rctx.base = &ctx;
+    rctx.trace_id = trace_id;
+    rctx.parent_span = stage.id();
+    rctx.clock = options_.clock;
+    rctx.tracer = options_.tracer;
+    rctx.metrics = options_.metrics;
+    return reranker().Rerank(query, mode, candidates, rctx);
+  }();
+  if (!reranked.ok()) return reranked.status();
+  std::vector<DiscoveryResult> results = std::move(reranked).ValueOrDie();
+
+  const size_t scored_count = results.size();
   query_span.Attr("candidates_scored", std::to_string(scored_count));
   if (options_.metrics != nullptr) {
     options_.metrics
         ->CounterFor("valentine_discovery_candidates_scored_total",
-                     {{"mode", "joinable"}})
+                     {{"mode", mode_name}})
+        ->Increment(scored_count);
+    options_.metrics
+        ->CounterFor("valentine_discovery_stage_candidates_total",
+                     {{"mode", mode_name}, {"stage", "rerank"}})
         ->Increment(scored_count);
   }
   std::sort(results.begin(), results.end(),
@@ -346,91 +235,23 @@ Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindJoinable(
               return a.table_name < b.table_name;
             });
   if (results.size() > k) results.resize(k);
-  return results;
-}
-
-Result<std::vector<DiscoveryResult>> DiscoveryEngine::FindUnionable(
-    const Table& query, size_t k, const MatchContext& ctx) const {
-  const std::string trace_id =
-      ctx.trace_id.empty() ? "discovery/" + query.name() : ctx.trace_id;
-  SpanScope query_span(options_.tracer, trace_id, "query", query.name(),
-                       ctx.parent_span);
-  query_span.Attr("mode", "unionable");
-  query_span.Attr("k", std::to_string(k));
   if (options_.metrics != nullptr) {
     options_.metrics
-        ->CounterFor("valentine_discovery_queries_total",
-                     {{"mode", "unionable"}})
-        ->Increment();
+        ->CounterFor("valentine_discovery_survivors_total",
+                     {{"mode", mode_name}})
+        ->Increment(results.size());
   }
-  VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/unionable/start"));
-  // Candidate nomination: unionable tables share value domains (LSH
-  // containment probes) or column vocabulary (name-token postings);
-  // the exhaustive path scores everything.
-  const bool exhaustive =
-      options_.unionable_path == CandidatePath::kExhaustive;
-  std::set<std::string> candidate_tables;
-  if (!exhaustive) candidate_tables = UnionCandidates(query);
-  Result<PreparedTablePtr> prepared_query = matcher().Prepare(
-      query, /*profile=*/nullptr, ObsContext(ctx, trace_id, query_span.id()));
-  std::vector<DiscoveryResult> results;
-  size_t scored_count = 0;
-  for (size_t ti = 0; ti < tables_.size(); ++ti) {
-    const Table& t = tables_[ti];
-    if (!exhaustive && !candidate_tables.count(t.name())) continue;
-    VALENTINE_RETURN_NOT_OK(ctx.Check("discovery/unionable/candidate"));
-    Result<MatchResult> scored = ScoreAgainstRepository(
-        prepared_query.ok() ? prepared_query->get() : nullptr, query, t,
-        table_profiles_[ti].get(), ctx, trace_id, query_span.id());
-    if (!scored.ok()) return scored.status();
-    ++scored_count;
-    MatchResult ranked = std::move(scored).ValueOrDie();
-    // Union score: mean of the best per-query-column matches, over the
-    // strongest `union_evidence_columns` columns.
-    std::map<std::string, Match> best_per_column;
-    for (const Match& m : ranked.matches()) {
-      auto it = best_per_column.find(m.source.column);
-      if (it == best_per_column.end() || m.score > it->second.score) {
-        best_per_column[m.source.column] = m;
-      }
-    }
-    std::vector<Match> bests;
-    bests.reserve(best_per_column.size());
-    for (auto& [col, m] : best_per_column) bests.push_back(m);
-    std::sort(bests.begin(), bests.end(),
-              [](const Match& a, const Match& b) { return a.score > b.score; });
-    size_t evidence_n =
-        std::min<size_t>(options_.union_evidence_columns, bests.size());
-    DiscoveryResult r;
-    r.table_name = t.name();
-    if (evidence_n > 0) {
-      double total = 0.0;
-      for (size_t i = 0; i < evidence_n; ++i) {
-        total += bests[i].score;
-        r.evidence.push_back(bests[i]);
-      }
-      // Penalize arity mismatch: unionable relations must align fully.
-      double arity = static_cast<double>(
-                         std::min(query.num_columns(), t.num_columns())) /
-                     static_cast<double>(
-                         std::max(query.num_columns(), t.num_columns()));
-      r.score = (total / static_cast<double>(evidence_n)) * arity;
-    }
-    results.push_back(std::move(r));
+  if (explain != nullptr) {
+    explain->index = retrieved.index;
+    explain->fallback = retrieved.fallback;
+    explain->fallback_reason = retrieved.fallback_reason;
+    explain->repository_tables = repository_.size();
+    explain->retrieved = retrieved.tables.size();
+    explain->enriched = candidates.candidates.size();
+    explain->profiles_attached = candidates.profiles_attached;
+    explain->reranked = scored_count;
+    explain->survivors = results.size();
   }
-  query_span.Attr("candidates_scored", std::to_string(scored_count));
-  if (options_.metrics != nullptr) {
-    options_.metrics
-        ->CounterFor("valentine_discovery_candidates_scored_total",
-                     {{"mode", "unionable"}})
-        ->Increment(scored_count);
-  }
-  std::sort(results.begin(), results.end(),
-            [](const DiscoveryResult& a, const DiscoveryResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.table_name < b.table_name;
-            });
-  if (results.size() > k) results.resize(k);
   return results;
 }
 

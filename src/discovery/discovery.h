@@ -4,7 +4,17 @@
 /// \file discovery.h
 /// Dataset discovery on top of the matchers — the consuming use case the
 /// paper targets (§II-B: "Valentine as a Discovery Component"). A
-/// DiscoveryEngine holds a repository of tables; given a query table it
+/// DiscoveryEngine orchestrates the staged pipeline of DESIGN.md §14
+/// over a TableRepository:
+///
+///   Retrieve  a CandidateIndex nominates candidate tables
+///             (discovery/candidate_index.h);
+///   Enrich    the Enricher joins nominations to repository metadata
+///             (discovery/enrich.h);
+///   Rerank    a Reranker verifies and scores every candidate
+///             (discovery/rerank.h);
+///
+/// then sorts and truncates to the top-k. Given a query table it
 /// returns ranked *tables*:
 ///
 ///  * FindJoinable — tables containing at least one column whose value
@@ -14,33 +24,27 @@
 ///    the query (scored by the mean of the best per-column matches).
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
 #include "core/table.h"
+#include "discovery/candidate_index.h"
+#include "discovery/enrich.h"
+#include "discovery/repository.h"
+#include "discovery/rerank.h"
+#include "discovery/types.h"
 #include "io/artifact_store.h"
-#include "matchers/artifact_cache.h"
 #include "matchers/matcher.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scaling/lsh_index.h"
-#include "stats/column_profile.h"
 
 namespace valentine {
 
-/// One discovered table with its evidence.
-struct DiscoveryResult {
-  std::string table_name;
-  double score = 0.0;          ///< table-level relatedness
-  std::vector<Match> evidence; ///< the column matches behind the score
-};
-
-/// How a Find* call nominates candidate tables before the matcher
+/// How a Find* call nominates candidate tables before the reranker
 /// verifies and scores them.
 enum class CandidatePath {
   /// Nominate through the LSH index (and, for unionable queries, the
@@ -74,6 +78,10 @@ struct DiscoveryOptions {
   /// schema-aligned tables (the unionable case the value-based index
   /// cannot see) stay reachable.
   bool union_name_candidates = true;
+  /// Scoring stage override (discovery/rerank.h). When null, the exact
+  /// Prepare/Score reranker over `matcher` is used — the seam ROADMAP
+  /// item 3's trainable scorer plugs into.
+  std::unique_ptr<Reranker> reranker;
   /// Optional persistent artifact store (borrowed; must outlive the
   /// engine). When set, AddTable first consults the store by table
   /// content fingerprint — a hit skips the sketch and profile builds
@@ -82,9 +90,11 @@ struct DiscoveryOptions {
   /// registers the same table without rebuilding anything.
   ArtifactStore* store = nullptr;
   /// Observability (obs/), all optional and borrowed: each Find* call
-  /// emits a "query" span (trace id "discovery/<query table>") with the
-  /// candidate scoring and artifact builds nested under it, and bumps
-  /// valentine_discovery_queries_total{mode}. Results are byte-identical
+  /// emits a "query" span (trace id "discovery/<query table>") with
+  /// per-stage "stage" spans (discovery.retrieve / discovery.enrich /
+  /// discovery.rerank) and the candidate scoring nested under it, and
+  /// bumps valentine_discovery_queries_total{mode} plus the per-stage
+  /// candidate/survivor/fallback counters. Results are byte-identical
   /// with or without them.
   const Clock* clock = nullptr;
   Tracer* tracer = nullptr;
@@ -100,7 +110,7 @@ struct DiscoveryOptions {
 /// the monolithic path (the matcher pipeline contract).
 ///
 /// Thread-safety: concurrent FindJoinable/FindUnionable calls on a
-/// const engine are safe (the artifact cache is internally
+/// const engine are safe (the reranker's artifact cache is internally
 /// synchronized, the matcher is const). AddTable/RemoveTable mutate
 /// the repository and must not run concurrently with any other call.
 class DiscoveryEngine {
@@ -110,6 +120,14 @@ class DiscoveryEngine {
 
   DiscoveryEngine(const DiscoveryEngine&) = delete;
   DiscoveryEngine& operator=(const DiscoveryEngine&) = delete;
+
+  /// Builds an engine over an existing repository snapshot: every entry
+  /// is re-indexed from its already-built sketches (no fingerprinting,
+  /// no store IO, no value re-sketching). The serving layer's
+  /// copy-on-write rebuild path. Fails when the snapshot's sketches
+  /// disagree with `options.lsh`'s signature width.
+  static Result<std::unique_ptr<DiscoveryEngine>> FromRepository(
+      DiscoveryOptions options, TableRepository repository);
 
   /// Registers a table. Fails on duplicate table names, empty tables,
   /// duplicate column names within the table, and names (table or
@@ -125,8 +143,11 @@ class DiscoveryEngine {
   /// content, not by registration, and re-adding should stay free).
   Status RemoveTable(const std::string& name);
 
-  size_t num_tables() const { return tables_.size(); }
-  const std::vector<Table>& tables() const { return tables_; }
+  size_t num_tables() const { return repository_.size(); }
+
+  /// The repository this engine queries over. Copying it is a cheap
+  /// snapshot (see discovery/repository.h).
+  const TableRepository& repository() const { return repository_; }
 
   /// Top-k tables joinable with the query: candidate tables are
   /// nominated by per-column LSH containment probes, then verified and
@@ -151,58 +172,38 @@ class DiscoveryEngine {
   /// the engine's default "discovery/<table>" id, so serving spans
   /// parent correctly. An unbounded default-constructed ctx returns
   /// byte-identical results to the infallible overloads.
+  ///
+  /// `explain` (optional out-param) receives per-stage accounting —
+  /// which index served, candidate counts per stage, fallback state —
+  /// without changing result bytes.
   Result<std::vector<DiscoveryResult>> FindJoinable(
-      const Table& query, size_t k, const MatchContext& ctx) const;
+      const Table& query, size_t k, const MatchContext& ctx,
+      DiscoveryExplain* explain = nullptr) const;
   Result<std::vector<DiscoveryResult>> FindUnionable(
-      const Table& query, size_t k, const MatchContext& ctx) const;
+      const Table& query, size_t k, const MatchContext& ctx,
+      DiscoveryExplain* explain = nullptr) const;
 
  private:
   const ColumnMatcher& matcher() const;
+  const Reranker& reranker() const;
+  Reranker& reranker();
+  const CandidateIndex& IndexFor(DiscoveryMode mode) const;
 
-  /// Registration-time validation (see AddTable).
-  Status ValidateTable(const Table& table) const;
-
-  /// Candidate table names for a unionable query: per-column
-  /// containment probes plus (optionally) column-name token postings.
-  std::set<std::string> UnionCandidates(const Table& query) const;
-
-  /// Scores the query against one repository table: the prepared fast
-  /// path when both artifacts resolved, the monolithic matcher
-  /// otherwise. `candidate_profile` (nullable) is the store-loaded
-  /// profile backing the candidate's Prepare. Deadline/cancellation
-  /// failures propagate (the caller aborts the query); any other
-  /// matcher error — only possible via an injected decorator —
-  /// degrades to the empty result, mirroring the infallible Match
-  /// overload.
-  Result<MatchResult> ScoreAgainstRepository(
-      const PreparedTable* prepared_query, const Table& query,
-      const Table& candidate, const TableProfile* candidate_profile,
-      const MatchContext& base, const std::string& trace_id,
-      uint64_t parent_span) const;
-
-  /// A MatchContext carrying this engine's observability plumbing plus
-  /// `base`'s deadline/cancellation/profiles.
-  MatchContext ObsContext(const MatchContext& base,
-                          const std::string& trace_id,
-                          uint64_t parent_span) const;
+  /// The staged pipeline shared by both modes: Retrieve → Enrich →
+  /// Rerank, then sort and truncate to the top-k.
+  Result<std::vector<DiscoveryResult>> Find(DiscoveryMode mode,
+                                            const Table& query, size_t k,
+                                            const MatchContext& ctx,
+                                            DiscoveryExplain* explain) const;
 
   DiscoveryOptions options_;
-  std::vector<Table> tables_;
-  LshIndex column_index_;  ///< keys are "<table>\x1f<column>"
-  /// Store-loaded per-table profiles, parallel to tables_ (nullptr when
-  /// no store is attached or the stored spec is incompatible). Profiles
-  /// own their data, so they survive tables_ relocation.
-  std::vector<std::shared_ptr<const TableProfile>> table_profiles_;
-  /// Column-name token -> names of tables owning such a column; the
-  /// value-blind half of unionable candidate nomination. Ordered
-  /// containers keep iteration deterministic.
-  std::map<std::string, std::set<std::string>> name_token_tables_;
-  /// Per-repository-table prepared artifacts, built lazily by Find*
-  /// calls and shared across them. Mutable because caching is not
-  /// observable through results; its internal mutex is what makes
-  /// concurrent const queries safe. Invalidated by AddTable (artifacts
-  /// borrow table storage, which may move when the repository grows).
-  mutable ArtifactCache artifacts_;
+  TableRepository repository_;
+  LshCandidateIndex lsh_index_;
+  ExhaustiveCandidateIndex exhaustive_index_;
+  Enricher enricher_;
+  /// Default reranker when options_.reranker is null (constructed over
+  /// matcher()).
+  std::unique_ptr<Reranker> default_reranker_;
 };
 
 }  // namespace valentine

@@ -1,0 +1,21 @@
+#include "discovery/enrich.h"
+
+namespace valentine {
+
+CandidateSet Enricher::Enrich(const RetrievedCandidates& retrieved,
+                              const TableRepository& repository) const {
+  CandidateSet out;
+  out.candidates.reserve(retrieved.tables.size());
+  for (size_t i = 0; i < repository.size(); ++i) {
+    const RegisteredTable& entry = repository.entry(i);
+    if (retrieved.tables.count(entry.table.name()) == 0) continue;
+    EnrichedCandidate candidate;
+    candidate.repository_index = i;
+    candidate.entry = &entry;
+    out.candidates.push_back(candidate);
+    if (entry.profile != nullptr) ++out.profiles_attached;
+  }
+  return out;
+}
+
+}  // namespace valentine

@@ -146,11 +146,33 @@ Result<Table> TableFromJson(const JsonValue& value) {
 
 std::string RenderDiscoveryResults(
     const std::string& query_table, const std::string& mode, size_t k,
-    const std::vector<DiscoveryResult>& results) {
+    const std::vector<DiscoveryResult>& results,
+    const DiscoveryExplain* explain) {
   JsonValue root = JsonValue::Object();
   root.Set("query", JsonValue::String(query_table));
   root.Set("mode", JsonValue::String(mode));
   root.Set("k", JsonValue::Number(static_cast<double>(k)));
+  if (explain != nullptr) {
+    JsonValue e = JsonValue::Object();
+    e.Set("index", JsonValue::String(explain->index));
+    e.Set("fallback", JsonValue::Bool(explain->fallback));
+    if (explain->fallback) {
+      e.Set("fallback_reason", JsonValue::String(explain->fallback_reason));
+    }
+    e.Set("repository_tables",
+          JsonValue::Number(static_cast<double>(explain->repository_tables)));
+    e.Set("retrieved",
+          JsonValue::Number(static_cast<double>(explain->retrieved)));
+    e.Set("enriched",
+          JsonValue::Number(static_cast<double>(explain->enriched)));
+    e.Set("profiles_attached",
+          JsonValue::Number(static_cast<double>(explain->profiles_attached)));
+    e.Set("reranked",
+          JsonValue::Number(static_cast<double>(explain->reranked)));
+    e.Set("survivors",
+          JsonValue::Number(static_cast<double>(explain->survivors)));
+    root.Set("explain", std::move(e));
+  }
   JsonValue items = JsonValue::Array();
   for (const DiscoveryResult& r : results) {
     JsonValue item = JsonValue::Object();
@@ -174,12 +196,17 @@ std::string RenderDiscoveryResults(
 DiscoveryService::DiscoveryService(ServiceOptions options)
     : options_(std::move(options)) {
   MutexLock lock(&mu_);
+  RepositoryOptions repo;
+  repo.store = options_.store;
+  repo.metrics = options_.metrics;
+  repo.signature_size = options_.lsh.bands * options_.lsh.rows_per_band;
+  repository_ = TableRepository(repo);
   // An empty repository cannot fail to build.
-  engine_ = BuildEngine({}).ValueOrDie();
+  engine_ = BuildEngine(repository_).ValueOrDie();
 }
 
 Result<std::shared_ptr<const DiscoveryEngine>> DiscoveryService::BuildEngine(
-    const std::map<std::string, Table>& tables) const {
+    TableRepository snapshot) const {
   DiscoveryOptions opt;
   if (options_.matcher_factory) opt.matcher = options_.matcher_factory();
   opt.lsh = options_.lsh;
@@ -191,49 +218,50 @@ Result<std::shared_ptr<const DiscoveryEngine>> DiscoveryService::BuildEngine(
   opt.clock = options_.clock;
   opt.tracer = options_.tracer;
   opt.metrics = options_.metrics;
-  auto engine = std::make_shared<DiscoveryEngine>(std::move(opt));
-  for (const auto& [name, table] : tables) {
-    VALENTINE_RETURN_NOT_OK(engine->AddTable(table));
-  }
-  return std::shared_ptr<const DiscoveryEngine>(std::move(engine));
+  Result<std::unique_ptr<DiscoveryEngine>> engine =
+      DiscoveryEngine::FromRepository(std::move(opt), std::move(snapshot));
+  VALENTINE_RETURN_NOT_OK(engine.status());
+  return std::shared_ptr<const DiscoveryEngine>(
+      std::move(engine).ValueOrDie());
 }
 
 Status DiscoveryService::RegisterTable(Table table) {
   MutexLock lock(&mu_);
-  if (tables_.count(table.name()) != 0) {
-    return Status::InvalidArgument("duplicate table name '" + table.name() +
-                                   "'");
-  }
-  // Validate-then-commit: build the replacement engine first so a
-  // rejected table (e.g. zero columns) leaves the registry untouched.
-  std::map<std::string, Table> next = tables_;
-  std::string name = table.name();
-  next.emplace(std::move(name), std::move(table));
-  Result<std::shared_ptr<const DiscoveryEngine>> built = BuildEngine(next);
+  // Validate-then-commit: register into a snapshot and build the
+  // replacement engine first, so a rejected table (e.g. zero columns)
+  // leaves the registry untouched. The snapshot shares every existing
+  // entry — only the new table pays fingerprinting/sketching (or a
+  // store lookup).
+  TableRepository next = repository_;
+  Result<std::shared_ptr<const RegisteredTable>> added =
+      next.AddTable(std::move(table));
+  VALENTINE_RETURN_NOT_OK(added.status());
+  Result<std::shared_ptr<const DiscoveryEngine>> built =
+      BuildEngine(next);
   if (!built.ok()) return built.status();
-  tables_ = std::move(next);
+  repository_ = std::move(next);
   engine_ = std::move(built).ValueOrDie();
   if (options_.metrics != nullptr) {
     options_.metrics->GaugeFor("valentine_serve_tables")
-        ->Set(static_cast<double>(tables_.size()));
+        ->Set(static_cast<double>(repository_.size()));
   }
   return Status::OK();
 }
 
 Status DiscoveryService::UnregisterTable(const std::string& name) {
   MutexLock lock(&mu_);
-  if (tables_.count(name) == 0) {
+  if (!repository_.Contains(name)) {
     return Status::NotFound("no table named '" + name + "'");
   }
-  std::map<std::string, Table> next = tables_;
-  next.erase(name);
+  TableRepository next = repository_;
+  VALENTINE_RETURN_NOT_OK(next.RemoveTable(name));
   Result<std::shared_ptr<const DiscoveryEngine>> built = BuildEngine(next);
   if (!built.ok()) return built.status();
-  tables_ = std::move(next);
+  repository_ = std::move(next);
   engine_ = std::move(built).ValueOrDie();
   if (options_.metrics != nullptr) {
     options_.metrics->GaugeFor("valentine_serve_tables")
-        ->Set(static_cast<double>(tables_.size()));
+        ->Set(static_cast<double>(repository_.size()));
   }
   return Status::OK();
 }
@@ -245,7 +273,7 @@ std::shared_ptr<const DiscoveryEngine> DiscoveryService::Snapshot() const {
 
 size_t DiscoveryService::num_tables() const {
   MutexLock lock(&mu_);
-  return tables_.size();
+  return repository_.size();
 }
 
 void DiscoveryService::CountRequest(const std::string& route,
@@ -371,6 +399,16 @@ HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
     k = static_cast<size_t>(bounded);
   }
 
+  bool want_explain = false;
+  if (const JsonValue* explain_json = body.Find("explain");
+      explain_json != nullptr) {
+    if (!explain_json->is_bool()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'explain' must be a boolean"));
+    }
+    want_explain = explain_json->bool_value();
+  }
+
   MatchContext ctx;
   ctx.cancel = cancel;
   if (const JsonValue* budget = body.Find("budget_ms"); budget != nullptr) {
@@ -386,10 +424,12 @@ HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
   }
 
   std::shared_ptr<const DiscoveryEngine> engine = Snapshot();
+  DiscoveryExplain explain;
+  DiscoveryExplain* explain_out = want_explain ? &explain : nullptr;
   Result<std::vector<DiscoveryResult>> found =
       mode == "joinable"
-          ? engine->FindJoinable(table.ValueOrDie(), k, ctx)
-          : engine->FindUnionable(table.ValueOrDie(), k, ctx);
+          ? engine->FindJoinable(table.ValueOrDie(), k, ctx, explain_out)
+          : engine->FindUnionable(table.ValueOrDie(), k, ctx, explain_out);
   if (!found.ok()) {
     // Cancellation means the server is draining: tell the client to
     // retry elsewhere shortly.
@@ -398,7 +438,7 @@ HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
   HttpResponse response;
   response.status = 200;
   response.body = RenderDiscoveryResults(table.ValueOrDie().name(), mode, k,
-                                         found.ValueOrDie());
+                                         found.ValueOrDie(), explain_out);
   return response;
 }
 

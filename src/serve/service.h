@@ -8,20 +8,24 @@
 /// Concurrency model: DiscoveryEngine supports concurrent const queries
 /// but AddTable is not safe against them, and the engine is
 /// non-copyable. The service therefore keeps the authoritative tables
-/// in a sorted map and rebuilds a fresh engine on every mutation,
-/// swapping it in as a `shared_ptr<const DiscoveryEngine>` snapshot.
-/// Queries grab the snapshot under a brief lock and then run entirely
-/// lock-free on an engine no mutation will ever touch; in-flight
-/// queries on a replaced snapshot keep it alive until they finish.
-/// Mutations are O(repository) — the right trade for a read-dominated
-/// discovery workload.
+/// in a TableRepository and, on every mutation, clones it (a cheap
+/// copy-on-write snapshot: entries are immutable and shared), applies
+/// the delta to the clone, and builds a fresh engine over it via
+/// DiscoveryEngine::FromRepository — re-banding existing sketches but
+/// never re-fingerprinting, re-sketching, or touching the store for
+/// tables already registered. The engine swaps in as a
+/// `shared_ptr<const DiscoveryEngine>` snapshot: queries grab it under
+/// a brief lock and then run entirely lock-free on an engine no
+/// mutation will ever touch; in-flight queries on a replaced snapshot
+/// keep it alive until they finish. Mutation cost is O(delta) artifact
+/// work + O(repository) index re-banding — the right trade for a
+/// read-dominated discovery workload.
 ///
 /// Byte-identity contract: responses are rendered by the same
 /// RenderDiscoveryResults used by the tests' direct-engine path, and
-/// engines are rebuilt from the name-sorted table map, so the ranking a
-/// client sees over HTTP is byte-identical to calling DiscoveryEngine
-/// directly on the same tables (results order by (score, name),
-/// independent of registration order).
+/// discovery rankings order by (score, name), so the ranking a client
+/// sees over HTTP is byte-identical to calling DiscoveryEngine directly
+/// on the same tables, independent of registration order.
 
 #include <functional>
 #include <map>
@@ -52,10 +56,14 @@ Result<Table> TableFromJson(const JsonValue& value);
 /// Canonical JSON body for a discovery response. This is THE rendering
 /// both the server and the byte-identity tests use: any drift between
 /// served results and a direct DiscoveryEngine call shows up as a byte
-/// diff, not a subtle float-formatting mismatch.
+/// diff, not a subtle float-formatting mismatch. When `explain` is
+/// non-null (the request opted in) an "explain" object is appended with
+/// per-stage candidate counts and the CandidateIndex that served the
+/// query; the "results" bytes are identical either way.
 std::string RenderDiscoveryResults(const std::string& query_table,
                                    const std::string& mode, size_t k,
-                                   const std::vector<DiscoveryResult>& results);
+                                   const std::vector<DiscoveryResult>& results,
+                                   const DiscoveryExplain* explain = nullptr);
 
 /// Configuration for DiscoveryService.
 struct ServiceOptions {
@@ -78,11 +86,10 @@ struct ServiceOptions {
   /// clamped, not rejected — a client cannot buy an unbounded request).
   double max_budget_ms = 60000.0;
   /// Optional persistent artifact store (borrowed; must outlive the
-  /// service), passed to every rebuilt engine. This is what makes the
-  /// copy-on-write registry cheap: a rebuild re-registers every table,
-  /// but each AddTable resolves its sketches/profiles from the store's
-  /// memory cache instead of re-deriving them from values — and a
-  /// restarted process warms up from disk without rebuilding anything.
+  /// service), consulted once per *newly registered* table — rebuilds
+  /// share the already-loaded repository entries and never touch the
+  /// store — and what lets a restarted process warm up from disk
+  /// without rebuilding sketches or profiles.
   ArtifactStore* store = nullptr;
   /// Candidate front-end per query mode (see DiscoveryOptions).
   CandidatePath joinable_path = CandidatePath::kLsh;
@@ -121,10 +128,10 @@ class DiscoveryService {
   size_t num_tables() const EXCLUDES(mu_);
 
  private:
-  /// Builds an engine over `tables` (name-sorted map → deterministic
-  /// registration order). Fails if any table is rejected.
+  /// Builds an engine over a repository snapshot (shared entries, no
+  /// artifact rebuilding). Fails if the snapshot cannot be re-indexed.
   Result<std::shared_ptr<const DiscoveryEngine>> BuildEngine(
-      const std::map<std::string, Table>& tables) const;
+      TableRepository snapshot) const;
 
   /// Routing helpers; each returns the complete response.
   HttpResponse HandleHealth() EXCLUDES(mu_);
@@ -139,7 +146,10 @@ class DiscoveryService {
 
   ServiceOptions options_;  // lint:allow(guarded-by-coverage) immutable after construction
   mutable Mutex mu_{LockRank::kServeRegistry, "DiscoveryService"};
-  std::map<std::string, Table> tables_ GUARDED_BY(mu_);
+  /// Authoritative registry. Mutations clone it (cheap: entries are
+  /// shared), mutate the clone, and swap; the live engine_ always wraps
+  /// a snapshot equal to the current value.
+  TableRepository repository_ GUARDED_BY(mu_);
   std::shared_ptr<const DiscoveryEngine> engine_ GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,195 @@
+// Contract tests for CandidateIndex (candidate_index.h), run against
+// both implementations: nominations stay inside the repository with no
+// duplicates, Remove makes a table un-nominate-able until re-Add, and a
+// value-blind query degrades to flagged whole-repository nomination
+// instead of a silent empty answer.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/chembl.h"
+#include "datasets/opendata.h"
+#include "datasets/tpcdi.h"
+#include "discovery/candidate_index.h"
+#include "discovery/repository.h"
+#include "fabrication/fabricator.h"
+
+namespace valentine {
+namespace {
+
+struct IndexMaker {
+  std::string name;
+  std::function<std::unique_ptr<CandidateIndex>()> make;
+};
+
+std::vector<IndexMaker> AllIndexes() {
+  return {
+      {"lsh",
+       [] {
+         LshCandidateIndex::Options opt;
+         return std::make_unique<LshCandidateIndex>(opt);
+       }},
+      {"exhaustive", [] { return std::make_unique<ExhaustiveCandidateIndex>(); }},
+  };
+}
+
+class CandidateIndexContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table prospect = MakeTpcdiProspect(150, 2026);
+    FabricationOptions fab;
+    fab.scenario = Scenario::kJoinable;
+    fab.column_overlap = 0.4;
+    fab.seed = 4;
+    DatasetPair split = FabricateDatasetPair(prospect, fab).ValueOrDie();
+    query_ = split.source;
+    query_.set_name("query");
+    Table partner = split.target;
+    partner.set_name("planted_partner");
+    tables_.push_back(std::move(partner));
+    tables_.push_back(MakeOpenDataTable(150, 4711));
+    tables_.push_back(MakeChemblAssays(150, 99));
+
+    RepositoryOptions opt;
+    opt.signature_size =
+        LshOptions().bands * LshOptions().rows_per_band;
+    repository_ = TableRepository(opt);
+    for (const Table& t : tables_) {
+      entries_.push_back(repository_.AddTable(t).ValueOrDie());
+    }
+  }
+
+  std::set<std::string> RepositoryNames() const {
+    std::set<std::string> names;
+    for (size_t i = 0; i < repository_.size(); ++i) {
+      names.insert(repository_.entry(i).table.name());
+    }
+    return names;
+  }
+
+  Table query_;
+  std::vector<Table> tables_;
+  TableRepository repository_;
+  std::vector<std::shared_ptr<const RegisteredTable>> entries_;
+};
+
+TEST_F(CandidateIndexContractTest, NominationsStayInsideRepository) {
+  for (const IndexMaker& maker : AllIndexes()) {
+    std::unique_ptr<CandidateIndex> index = maker.make();
+    EXPECT_EQ(index->Name(), maker.name);
+    for (const auto& entry : entries_) {
+      ASSERT_TRUE(index->Add(*entry).ok()) << maker.name;
+    }
+    const std::set<std::string> repo_names = RepositoryNames();
+    for (DiscoveryMode mode :
+         {DiscoveryMode::kJoinable, DiscoveryMode::kUnionable}) {
+      RetrievedCandidates out = index->Retrieve(query_, mode, repository_);
+      EXPECT_EQ(out.index, maker.name);
+      for (const std::string& name : out.tables) {
+        EXPECT_EQ(repo_names.count(name), 1u)
+            << maker.name << " nominated unknown table " << name;
+      }
+    }
+  }
+}
+
+TEST_F(CandidateIndexContractTest, LshNominatesThePlantedPartner) {
+  // Not part of the abstract contract, but the reason the LSH index
+  // exists: a fabricated joinable partner must be recalled.
+  LshCandidateIndex::Options opt;
+  LshCandidateIndex index(opt);
+  for (const auto& entry : entries_) {
+    ASSERT_TRUE(index.Add(*entry).ok());
+  }
+  RetrievedCandidates out =
+      index.Retrieve(query_, DiscoveryMode::kJoinable, repository_);
+  EXPECT_FALSE(out.fallback);
+  EXPECT_EQ(out.tables.count("planted_partner"), 1u);
+}
+
+TEST_F(CandidateIndexContractTest, RemoveUnNominatesUntilReAdd) {
+  for (const IndexMaker& maker : AllIndexes()) {
+    std::unique_ptr<CandidateIndex> index = maker.make();
+    for (const auto& entry : entries_) {
+      ASSERT_TRUE(index->Add(*entry).ok()) << maker.name;
+    }
+
+    // Remove the partner from BOTH the index and the repository (the
+    // engine always mutates them together; the exhaustive index
+    // nominates straight from the repository).
+    std::shared_ptr<const RegisteredTable> partner = entries_[0];
+    ASSERT_EQ(partner->table.name(), "planted_partner");
+    ASSERT_TRUE(index->Remove(*partner).ok()) << maker.name;
+    TableRepository without = repository_;  // snapshot: original untouched
+    ASSERT_TRUE(without.RemoveTable("planted_partner").ok());
+
+    for (DiscoveryMode mode :
+         {DiscoveryMode::kJoinable, DiscoveryMode::kUnionable}) {
+      RetrievedCandidates out = index->Retrieve(query_, mode, without);
+      EXPECT_EQ(out.tables.count("planted_partner"), 0u)
+          << maker.name << " still nominates a removed table";
+    }
+
+    // Re-Add restores nomination as if fresh.
+    TableRepository again = without;
+    auto readded = again.AddTable(partner->table);
+    ASSERT_TRUE(readded.ok());
+    ASSERT_TRUE(index->Add(**readded).ok()) << maker.name;
+    RetrievedCandidates out =
+        index->Retrieve(query_, DiscoveryMode::kJoinable, again);
+    EXPECT_EQ(out.tables.count("planted_partner"), 1u) << maker.name;
+  }
+}
+
+TEST_F(CandidateIndexContractTest, ValueBlindQueryDegradesLoudly) {
+  Table blind("blind");
+  Column c("c", DataType::kString);
+  for (int i = 0; i < 3; ++i) c.Append(Value::Null());
+  ASSERT_TRUE(blind.AddColumn(std::move(c)).ok());
+
+  // LSH joinable: cannot see the query at all -> flagged fallback over
+  // the whole repository.
+  LshCandidateIndex::Options opt;
+  LshCandidateIndex lsh(opt);
+  for (const auto& entry : entries_) {
+    ASSERT_TRUE(lsh.Add(*entry).ok());
+  }
+  RetrievedCandidates out =
+      lsh.Retrieve(blind, DiscoveryMode::kJoinable, repository_);
+  EXPECT_TRUE(out.fallback);
+  EXPECT_EQ(out.fallback_reason, "empty-query-columns");
+  EXPECT_EQ(out.tables, RepositoryNames());
+
+  // Unionable with name postings on: the name channel still works, so
+  // no fallback.
+  RetrievedCandidates named =
+      lsh.Retrieve(blind, DiscoveryMode::kUnionable, repository_);
+  EXPECT_FALSE(named.fallback);
+
+  // Exhaustive nomination is never degraded: it already is the
+  // fallback behaviour, unflagged.
+  ExhaustiveCandidateIndex exhaustive;
+  RetrievedCandidates all =
+      exhaustive.Retrieve(blind, DiscoveryMode::kJoinable, repository_);
+  EXPECT_FALSE(all.fallback);
+  EXPECT_EQ(all.tables, RepositoryNames());
+}
+
+TEST_F(CandidateIndexContractTest, ExhaustiveNominatesEverythingAlways) {
+  ExhaustiveCandidateIndex index;
+  // Never fed a single Add: nominations come from the repository.
+  for (DiscoveryMode mode :
+       {DiscoveryMode::kJoinable, DiscoveryMode::kUnionable}) {
+    RetrievedCandidates out = index.Retrieve(query_, mode, repository_);
+    EXPECT_EQ(out.tables, RepositoryNames());
+    EXPECT_FALSE(out.fallback);
+  }
+}
+
+}  // namespace
+}  // namespace valentine

@@ -98,12 +98,13 @@ TEST(ServeTableFromJson, RejectsReservedSeparatorCharacter) {
   EXPECT_EQ(r.status, 400);
 }
 
-TEST(ServeService, ArtifactStoreSkipsResketchOnRegistryRebuild) {
-  // With a store attached, every copy-on-write registry rebuild should
-  // resolve sketches from the store's memory cache instead of
-  // re-deriving them: after N registrations of distinct tables, the
-  // engine rebuilds N times but only ever *builds* N artifacts — all
-  // later passes over previously-seen tables are hits.
+TEST(ServeService, RegistryRebuildsNeverRepayArtifactWork) {
+  // Copy-on-write registry rebuilds operate on TableRepository
+  // snapshots whose entries are shared, so after N registrations of
+  // distinct tables the store saw exactly N artifact builds and ZERO
+  // re-consultations: previously registered tables are carried by the
+  // snapshot, not re-registered through the store (the pre-pipeline
+  // service paid 0+1+...+(N-1) store hits here).
   std::string dir = ::testing::TempDir() + "/valentine_serve_store_test";
   std::filesystem::remove_all(dir);
   ArtifactStore store(dir);
@@ -129,8 +130,22 @@ TEST(ServeService, ArtifactStoreSkipsResketchOnRegistryRebuild) {
                                   {{"event", "hit"}})
                       ->value();
   EXPECT_EQ(builds, static_cast<uint64_t>(kTables));
-  // Rebuild i re-registers tables 0..i-1 from the store: 0+1+2+...
-  EXPECT_EQ(hits, static_cast<uint64_t>(kTables * (kTables - 1) / 2));
+  EXPECT_EQ(hits, 0u);
+
+  // Unregistering rebuilds the engine from the shrunk snapshot —
+  // still no store traffic for the surviving tables.
+  ASSERT_TRUE(service.UnregisterTable("t0").ok());
+  EXPECT_EQ(service.num_tables(), static_cast<size_t>(kTables - 1));
+  EXPECT_EQ(metrics
+                .CounterFor("valentine_discovery_store_total",
+                            {{"event", "hit"}})
+                ->value(),
+            0u);
+  EXPECT_EQ(metrics
+                .CounterFor("valentine_discovery_store_total",
+                            {{"event", "build"}})
+                ->value(),
+            static_cast<uint64_t>(kTables));
 }
 
 TEST(ServeService, HealthzGolden) {
@@ -219,6 +234,73 @@ TEST(ServeService, DiscoveryMatchesDirectEngineByteForByte) {
               RenderDiscoveryResults("query_t", mode, 3, expected))
         << "mode=" << mode;
   }
+}
+
+TEST(ServeService, ExplainFlagReportsStagesWithoutChangingResults) {
+  // Opt-in per-stage accounting: the "explain" object reports which
+  // CandidateIndex served the query and the per-stage candidate counts,
+  // and the rendered "results" bytes are identical with or without it.
+  DiscoveryService service;
+  DiscoveryEngine direct;
+  for (size_t i = 0; i < 4; ++i) {
+    Table t = MakeServeTable("table_" + std::to_string(i), 30, i + 2);
+    ASSERT_TRUE(service.RegisterTable(t).ok());
+    ASSERT_TRUE(direct.AddTable(std::move(t)).ok());
+  }
+  Table query = MakeServeTable("query_t", 30, 3);
+
+  for (const std::string mode : {"joinable", "unionable"}) {
+    const std::string body =
+        "{\"table\":" + ServeTableJson("query_t", 30, 3) + ",\"k\":3";
+    HttpResponse plain = service.Handle(
+        MakeRequest("POST", "/v1/discovery/" + mode, body + "}"));
+    HttpResponse explained = service.Handle(MakeRequest(
+        "POST", "/v1/discovery/" + mode, body + ",\"explain\":true}"));
+    ASSERT_EQ(plain.status, 200) << plain.body;
+    ASSERT_EQ(explained.status, 200) << explained.body;
+
+    // Byte-for-byte: the explained response is exactly the direct
+    // engine's results + explain rendered through the shared codec.
+    DiscoveryExplain expected_explain;
+    Result<std::vector<DiscoveryResult>> expected =
+        mode == "joinable"
+            ? direct.FindJoinable(query, 3, MatchContext(), &expected_explain)
+            : direct.FindUnionable(query, 3, MatchContext(),
+                                   &expected_explain);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(plain.body, RenderDiscoveryResults("query_t", mode, 3,
+                                                 expected.ValueOrDie()))
+        << "mode=" << mode;
+    EXPECT_EQ(explained.body,
+              RenderDiscoveryResults("query_t", mode, 3,
+                                     expected.ValueOrDie(),
+                                     &expected_explain))
+        << "mode=" << mode;
+
+    // Sanity on the reported stages: the default front-end is LSH, the
+    // repository had 4 tables, and everything enriched got reranked.
+    EXPECT_EQ(expected_explain.index, "lsh") << "mode=" << mode;
+    EXPECT_FALSE(expected_explain.fallback) << "mode=" << mode;
+    EXPECT_EQ(expected_explain.repository_tables, 4u) << "mode=" << mode;
+    EXPECT_EQ(expected_explain.enriched, expected_explain.reranked)
+        << "mode=" << mode;
+    EXPECT_NE(explained.body.find("\"explain\":{\"enriched\":"),
+              std::string::npos)
+        << explained.body;
+    EXPECT_EQ(plain.body.find("\"explain\""), std::string::npos)
+        << plain.body;
+  }
+}
+
+TEST(ServeService, ExplainFlagMustBeBoolean) {
+  DiscoveryService service;
+  ASSERT_TRUE(service.RegisterTable(MakeServeTable("repo", 20, 3)).ok());
+  HttpResponse r = service.Handle(MakeRequest(
+      "POST", "/v1/discovery/joinable",
+      "{\"table\":" + ServeTableJson("q", 20, 3) + ",\"explain\":1}"));
+  EXPECT_EQ(r.status, 400) << r.body;
+  EXPECT_NE(r.body.find("'explain' must be a boolean"), std::string::npos)
+      << r.body;
 }
 
 // Regression (serving boundary): a request whose budget is already
