@@ -61,6 +61,8 @@ const char* LockRankName(LockRank rank) {
       return "kServeServer";
     case LockRank::kServeRegistry:
       return "kServeRegistry";
+    case LockRank::kServeTelemetry:
+      return "kServeTelemetry";
     case LockRank::kJournal:
       return "kJournal";
     case LockRank::kFaultInjection:

@@ -46,6 +46,7 @@ enum class LockRank : int {
   kServeAdmission = 4,   ///< serve/admission.* (AdmissionQueue)
   kServeServer = 5,      ///< serve/server.* (HttpServer lifecycle/in-flight)
   kServeRegistry = 6,    ///< serve/service.* (DiscoveryService tables/engine)
+  kServeTelemetry = 7,   ///< serve/telemetry.* (access log + tracez ring)
   kJournal = 10,         ///< harness/journal.* (OutcomeJournal)
   kFaultInjection = 20,  ///< matchers/fault_injection.* attempt counters
   kArtifactStore = 25,   ///< io/artifact_store.* (persistent discovery store)

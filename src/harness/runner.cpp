@@ -7,6 +7,7 @@
 
 #include "core/rng.h"
 #include "metrics/metrics.h"
+#include "obs/opcount.h"
 
 namespace valentine {
 
@@ -114,6 +115,25 @@ std::string FormatMsAttr(double ms) {
   return buf;
 }
 
+/// Folds a thread-local kernel op-count delta into the registry under
+/// `valentine_opcount_total{family,op}`. Counter adds are atomic and
+/// order-independent, so parallel family runs aggregate
+/// deterministically. No-op when counting is compiled out or the delta
+/// is all zero — reports themselves never carry these numbers (the
+/// registry is the single exclusion point from report byte-identity).
+void SurfaceOpCounts(MetricsRegistry* metrics, const std::string& family,
+                     const opcount::Snapshot& delta) {
+  if (metrics == nullptr || !delta.AnyNonZero()) return;
+  for (opcount::Op op : opcount::AllOps()) {
+    uint64_t n = delta.value(op);
+    if (n == 0) continue;
+    metrics
+        ->CounterFor("valentine_opcount_total",
+                     {{"family", family}, {"op", opcount::OpName(op)}})
+        ->Increment(n);
+  }
+}
+
 /// Runs one configuration under the policy: a fresh per-attempt
 /// deadline, bounded retries for transient codes, runtime accumulated
 /// across attempts. `source_profile` / `target_profile` may be null.
@@ -151,8 +171,14 @@ ExperimentResult RunExperimentWithPolicy(const ColumnMatcher& matcher,
     context.tracer = run.tracer;
     context.parent_span = attempt_span.id() != 0 ? attempt_span.id()
                                                  : experiment_span;
+    // Kernel op counts for this attempt, attributed to the family. The
+    // snapshots bracket the matcher call on the thread that runs it, so
+    // thread-local deltas are exact even under the parallel runner.
+    opcount::Snapshot ops_before = opcount::ThreadSnapshot();
     result = RunExperiment(matcher, config, pair, context, prepared_source,
                            prepared_target);
+    SurfaceOpCounts(run.metrics, family_name,
+                    opcount::ThreadSnapshot().DeltaSince(ops_before));
     total_runtime_ms += result.runtime_ms;
     result.attempts = attempt;
     attempt_span.Attr("code", StatusCodeName(result.code));

@@ -1,7 +1,9 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace valentine {
 
@@ -27,6 +29,28 @@ std::string EscapeLabelValue(const std::string& value) {
         break;
       case '"':
         out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus HELP-text escaping: backslash and newline only (the
+/// exposition format leaves double quotes raw on HELP lines, unlike
+/// label values). Without this, a help string containing a newline
+/// splits the line and corrupts the whole exposition.
+std::string EscapeHelpText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
         break;
       case '\n':
         out += "\\n";
@@ -71,8 +95,22 @@ MetricLabels SortedLabels(const MetricLabels& labels) {
   return sorted;
 }
 
+/// Shortest decimal form that round-trips to the same double, so bucket
+/// bounds render the way they were written (le="0.1", not
+/// le="0.10000000000000001") while lossy shortening stays impossible.
 std::string FormatDouble(double value) {
   char buf[64];
+  // Integral values keep their plain form ("10", never "1e+01", no
+  // fraction) — the %.*g probe below would otherwise pick the exponent
+  // spelling as soon as it round-trips.
+  if (std::floor(value) == value && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  for (int precision = 1; precision < 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) return buf;
+  }
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
 }
@@ -275,7 +313,7 @@ std::string MetricsRegistry::RenderPrometheusText() const {
     if (by_labels.empty()) continue;
     auto help_it = help_.find(name);
     if (help_it != help_.end()) {
-      out += "# HELP " + name + " " + help_it->second + "\n";
+      out += "# HELP " + name + " " + EscapeHelpText(help_it->second) + "\n";
     }
     switch (by_labels.begin()->second.kind) {
       case Kind::kCounter:

@@ -6,29 +6,29 @@ namespace serve {
 AdmissionQueue::AdmissionQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
-bool AdmissionQueue::TryEnqueue(int fd) {
+bool AdmissionQueue::TryEnqueue(int fd, int64_t enqueue_ns) {
   {
     MutexLock lock(&mu_);
     if (closed_ || queue_.size() >= capacity_) {
       ++shed_total_;
       return false;
     }
-    queue_.push_back(fd);
+    queue_.push_back(AdmittedConnection{fd, enqueue_ns});
     ++admitted_total_;
   }
   cv_.NotifyOne();
   return true;
 }
 
-std::optional<int> AdmissionQueue::Dequeue() {
+std::optional<AdmittedConnection> AdmissionQueue::Dequeue() {
   MutexLock lock(&mu_);
   while (queue_.empty() && !closed_) {
     cv_.Wait(&mu_);
   }
   if (queue_.empty()) return std::nullopt;  // closed and drained
-  int fd = queue_.front();
+  AdmittedConnection admitted = queue_.front();
   queue_.pop_front();
-  return fd;
+  return admitted;
 }
 
 void AdmissionQueue::Close() {

@@ -28,6 +28,14 @@
 namespace valentine {
 namespace serve {
 
+/// One admitted connection: the descriptor plus the telemetry-clock
+/// instant it entered the queue, so the dequeuing worker can charge the
+/// request its queue wait.
+struct AdmittedConnection {
+  int fd = -1;
+  int64_t enqueue_ns = 0;
+};
+
 /// \brief Thread-safe bounded FIFO of accepted connection descriptors.
 class AdmissionQueue {
  public:
@@ -39,12 +47,13 @@ class AdmissionQueue {
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
   /// Admits `fd` unless the queue is full or closed. Never blocks.
-  /// False means the caller must shed the connection.
-  bool TryEnqueue(int fd) EXCLUDES(mu_);
+  /// False means the caller must shed the connection. `enqueue_ns` is
+  /// carried to the dequeuer verbatim (0 when the caller doesn't time).
+  bool TryEnqueue(int fd, int64_t enqueue_ns = 0) EXCLUDES(mu_);
 
   /// Blocks until an entry is available or the queue is closed and
   /// empty (nullopt — the worker should exit).
-  std::optional<int> Dequeue() EXCLUDES(mu_);
+  std::optional<AdmittedConnection> Dequeue() EXCLUDES(mu_);
 
   /// Refuses all future enqueues and wakes every blocked Dequeue once
   /// the backlog drains. Idempotent.
@@ -61,7 +70,7 @@ class AdmissionQueue {
   const size_t capacity_;  // lint:allow(guarded-by-coverage) immutable
   mutable Mutex mu_{LockRank::kServeAdmission, "AdmissionQueue"};
   CondVar cv_;  // lint:allow(guarded-by-coverage) internally synchronized
-  std::deque<int> queue_ GUARDED_BY(mu_);
+  std::deque<AdmittedConnection> queue_ GUARDED_BY(mu_);
   bool closed_ GUARDED_BY(mu_) = false;
   uint64_t admitted_total_ GUARDED_BY(mu_) = 0;
   uint64_t shed_total_ GUARDED_BY(mu_) = 0;

@@ -89,7 +89,18 @@ Status HttpServer::Start() {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  PublishServerState();
   return Status::OK();
+}
+
+void HttpServer::PublishServerState() {
+  if (options_.telemetry == nullptr) return;
+  ServeTelemetry::ServerState state;
+  state.running = running_.load(std::memory_order_acquire);
+  state.draining = draining_.load(std::memory_order_acquire);
+  state.workers = options_.workers == 0 ? 1 : options_.workers;
+  state.queue_capacity = options_.queue_capacity;
+  options_.telemetry->PublishServerState(state);
 }
 
 void HttpServer::PublishQueueDepth() {
@@ -130,7 +141,13 @@ void HttpServer::AcceptLoop() {
     }
     SetSocketTimeout(fd, SO_RCVTIMEO, options_.read_timeout_ms);
     SetSocketTimeout(fd, SO_SNDTIMEO, options_.write_timeout_ms);
-    if (queue_.TryEnqueue(fd)) {
+    // Queue wait is timed on the telemetry clock (injectable) so
+    // fake-clock runs log deterministic waits; it measures admission
+    // latency, not socket I/O, so a Clock may legitimately stand in.
+    int64_t enqueue_ns = options_.telemetry != nullptr
+                             ? options_.telemetry->clock().NowNanos()
+                             : 0;
+    if (queue_.TryEnqueue(fd, enqueue_ns)) {
       PublishQueueDepth();
       continue;
     }
@@ -147,41 +164,48 @@ void HttpServer::AcceptLoop() {
 
 void HttpServer::WorkerLoop() {
   while (true) {
-    std::optional<int> fd = queue_.Dequeue();
-    if (!fd.has_value()) return;  // queue closed and drained
+    std::optional<AdmittedConnection> admitted = queue_.Dequeue();
+    if (!admitted.has_value()) return;  // queue closed and drained
     PublishQueueDepth();
+    const int fd = admitted->fd;
+    double queue_wait_ms = 0.0;
+    if (options_.telemetry != nullptr) {
+      queue_wait_ms = ElapsedMs(admitted->enqueue_ns,
+                                options_.telemetry->clock().NowNanos());
+    }
     {
       MutexLock lock(&mu_);
       ++inflight_;
-      open_fds_.insert(*fd);
+      open_fds_.insert(fd);
       if (options_.metrics != nullptr) {
         options_.metrics->GaugeFor("valentine_serve_inflight")
             ->Set(static_cast<double>(inflight_));
       }
     }
-    ServeConnection(*fd);
+    ServeConnection(fd, queue_wait_ms);
     {
       // Unregister before close(): Shutdown only ::shutdown()s fds
       // still in the set, so a closed (possibly reused) descriptor can
       // never be hit.
       MutexLock lock(&mu_);
       --inflight_;
-      open_fds_.erase(*fd);
+      open_fds_.erase(fd);
       if (options_.metrics != nullptr) {
         options_.metrics->GaugeFor("valentine_serve_inflight")
             ->Set(static_cast<double>(inflight_));
       }
     }
-    close(*fd);
+    close(fd);
     idle_cv_.NotifyAll();
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
+void HttpServer::ServeConnection(int fd, double queue_wait_ms) {
   HttpRequestParser parser(options_.http_limits);
   std::string pending;  // bytes read past the current request
   char buf[8192];
   size_t served = 0;
+  uint64_t request_bytes = 0;  // wire bytes consumed by the current request
 
   while (served < options_.max_requests_per_connection) {
     bool saw_bytes = !pending.empty();
@@ -189,6 +213,7 @@ void HttpServer::ServeConnection(int fd) {
     if (!pending.empty()) {
       size_t used = parser.Consume(pending.data(), pending.size());
       pending.erase(0, used);
+      request_bytes += used;
     }
     while (!parser.complete() && !parser.failed()) {
       ssize_t n = recv(fd, buf, sizeof(buf), 0);
@@ -213,6 +238,7 @@ void HttpServer::ServeConnection(int fd) {
       if (used < static_cast<size_t>(n)) {
         pending.append(buf + used, static_cast<size_t>(n) - used);
       }
+      request_bytes += used;
     }
 
     if (parser.failed()) {
@@ -226,9 +252,16 @@ void HttpServer::ServeConnection(int fd) {
     const HttpRequest& request = parser.request();
     // Request latency is measured against the real steady clock: it
     // times socket+engine work of a live request, which no injectable
-    // clock can witness.
+    // clock can witness. (The access log's handler_ms runs on the
+    // telemetry clock instead — that one must be fake-clock stable.)
     auto started = std::chrono::steady_clock::now();
-    HttpResponse response = service_->Handle(request, &drain_cancel_);
+    RequestLogEntry entry;
+    // Queue wait belongs to the connection's admission; charge it to
+    // the first request only — keep-alive successors never queued.
+    HttpResponse response = HandleWithTelemetry(
+        service_, options_.telemetry, request, &drain_cancel_,
+        served == 0 ? queue_wait_ms : 0.0,
+        options_.telemetry != nullptr ? &entry : nullptr);
     if (options_.metrics != nullptr) {
       double elapsed_ms =
           std::chrono::duration<double, std::milli>(
@@ -241,7 +274,17 @@ void HttpServer::ServeConnection(int fd) {
     bool close_after = request.WantsClose() ||
                        served >= options_.max_requests_per_connection ||
                        draining_.load(std::memory_order_acquire);
-    if (!SendAll(fd, SerializeResponse(response, close_after))) return;
+    const std::string wire = SerializeResponse(response, close_after);
+    if (options_.telemetry != nullptr) {
+      // Amend the transport-truth byte counts before logging: raw bytes
+      // consumed off the wire in, serialized response (headers
+      // included) out.
+      entry.bytes_in = request_bytes;
+      entry.bytes_out = wire.size();
+      options_.telemetry->RecordRequest(entry);
+    }
+    request_bytes = 0;
+    if (!SendAll(fd, wire)) return;
     if (close_after) return;
     parser.Reset();
   }
@@ -267,6 +310,7 @@ void HttpServer::BeginDrain() {
   char byte = 1;
   ssize_t ignored = write(wake_pipe_[1], &byte, 1);
   (void)ignored;
+  PublishServerState();
 }
 
 void HttpServer::Shutdown(double drain_ms) {

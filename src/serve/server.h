@@ -43,6 +43,7 @@
 #include "serve/admission.h"
 #include "serve/http.h"
 #include "serve/service.h"
+#include "serve/telemetry.h"
 
 namespace valentine {
 namespace serve {
@@ -69,6 +70,12 @@ struct ServerOptions {
   /// Borrowed; the transport publishes valentine_serve_shed_total,
   /// _connections_total, _inflight, _queue_depth, _request_ms here.
   MetricsRegistry* metrics = nullptr;
+  /// Borrowed request-telemetry spine (trace ids, serve.request spans,
+  /// JSONL access log, queue-wait timing, /statusz server state).
+  /// Optional; when set it should be the same instance as
+  /// ServiceOptions::telemetry so /statusz and /tracez see the
+  /// transport's requests. Must outlive the server.
+  ServeTelemetry* telemetry = nullptr;
 };
 
 /// \brief Blocking HTTP server over a DiscoveryService.
@@ -114,7 +121,12 @@ class HttpServer {
   void AcceptLoop();
   void WorkerLoop();
   /// Serves one admitted connection until close/keep-alive ends.
-  void ServeConnection(int fd);
+  /// `queue_wait_ms` is the admission wait, charged to the first
+  /// request of the connection (keep-alive successors never queued).
+  void ServeConnection(int fd, double queue_wait_ms);
+  /// Mirrors lifecycle state onto the telemetry spine (no-op without
+  /// one); /statusz renders it.
+  void PublishServerState();
   /// Sends all of `bytes` (bounded by SO_SNDTIMEO); false on failure.
   bool SendAll(int fd, const std::string& bytes);
   void PublishQueueDepth();

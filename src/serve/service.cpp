@@ -286,22 +286,47 @@ void DiscoveryService::CountRequest(const std::string& route,
 }
 
 HttpResponse DiscoveryService::Handle(const HttpRequest& request,
-                                      const CancellationToken* cancel) {
+                                      const CancellationToken* cancel,
+                                      RequestObs* obs) {
   const std::string path = request.Path();
+  // The route label is reported through `obs` even for rejected
+  // methods, so the access log attributes every request to the route it
+  // aimed at rather than a catch-all.
+  auto route_is = [obs](const char* route) {
+    if (obs != nullptr) obs->route = route;
+  };
   if (path == "/healthz") {
+    route_is("healthz");
     if (request.method != "GET") return MethodNotAllowed(request.method, path);
     HttpResponse r = HandleHealth();
     CountRequest("healthz", r.status);
     return r;
   }
   if (path == "/metrics") {
+    route_is("metrics");
     if (request.method != "GET") return MethodNotAllowed(request.method, path);
     // Counted BEFORE rendering so the exposition includes this request —
     // scrapes see a self-consistent requests_total.
     CountRequest("metrics", 200);
     return HandleMetrics();
   }
+  if (path == "/statusz") {
+    route_is("statusz");
+    if (request.method != "GET") return MethodNotAllowed(request.method, path);
+    // Counted first for the same reason as /metrics: the rendered
+    // per-route table includes this very request.
+    CountRequest("statusz", 200);
+    return HandleStatusz();
+  }
+  if (path == "/tracez") {
+    route_is("tracez");
+    if (request.method != "GET") return MethodNotAllowed(request.method, path);
+    HttpResponse r = HandleTracez();
+    CountRequest("tracez", r.status);
+    return r;
+  }
   if (path == "/v1/tables") {
+    route_is("register");
     if (request.method != "POST") return MethodNotAllowed(request.method, path);
     HttpResponse r = HandleRegister(request);
     CountRequest("register", r.status);
@@ -309,6 +334,7 @@ HttpResponse DiscoveryService::Handle(const HttpRequest& request,
   }
   const std::string kTablePrefix = "/v1/tables/";
   if (path.compare(0, kTablePrefix.size(), kTablePrefix) == 0) {
+    route_is("unregister");
     if (request.method != "DELETE") {
       return MethodNotAllowed(request.method, path);
     }
@@ -317,13 +343,15 @@ HttpResponse DiscoveryService::Handle(const HttpRequest& request,
     return r;
   }
   if (path == "/v1/discovery/joinable" || path == "/v1/discovery/unionable") {
-    if (request.method != "POST") return MethodNotAllowed(request.method, path);
     const std::string mode =
         path == "/v1/discovery/joinable" ? "joinable" : "unionable";
-    HttpResponse r = HandleDiscovery(request, mode, cancel);
+    route_is(mode.c_str());
+    if (request.method != "POST") return MethodNotAllowed(request.method, path);
+    HttpResponse r = HandleDiscovery(request, mode, cancel, obs);
     CountRequest(mode, r.status);
     return r;
   }
+  route_is("unknown");
   HttpResponse r = ErrorResponse(Status::NotFound("no route for " + path));
   CountRequest("unknown", r.status);
   return r;
@@ -344,6 +372,85 @@ HttpResponse DiscoveryService::HandleMetrics() {
     response.body = options_.metrics->RenderPrometheusText();
   }
   return response;
+}
+
+HttpResponse DiscoveryService::HandleStatusz() {
+  JsonValue body = JsonValue::Object();
+  JsonValue build = JsonValue::Object();
+  build.Set("name", JsonValue::String(kServeBuildName));
+  build.Set("version", JsonValue::String(kServeBuildVersion));
+  body.Set("build", std::move(build));
+  body.Set("tables", JsonValue::Number(static_cast<double>(num_tables())));
+  if (options_.telemetry != nullptr) {
+    body.Set("uptime_ms", JsonValue::Number(options_.telemetry->UptimeMs()));
+    body.Set("requests_logged",
+             JsonValue::Number(static_cast<double>(
+                 options_.telemetry->requests_logged())));
+    ServeTelemetry::ServerState state = options_.telemetry->server_state();
+    JsonValue server = JsonValue::Object();
+    server.Set("running", JsonValue::Bool(state.running));
+    server.Set("draining", JsonValue::Bool(state.draining));
+    server.Set("workers",
+               JsonValue::Number(static_cast<double>(state.workers)));
+    server.Set("queue_capacity",
+               JsonValue::Number(static_cast<double>(state.queue_capacity)));
+    body.Set("server", std::move(server));
+  }
+  if (options_.metrics != nullptr) {
+    JsonValue admission = JsonValue::Object();
+    admission.Set("queue_depth",
+                  JsonValue::Number(options_.metrics
+                                        ->GaugeFor("valentine_serve_queue_depth")
+                                        ->value()));
+    admission.Set(
+        "connections_total",
+        JsonValue::Number(static_cast<double>(options_.metrics->CounterValue(
+            "valentine_serve_connections_total"))));
+    admission.Set(
+        "shed_total",
+        JsonValue::Number(static_cast<double>(
+            options_.metrics->CounterValue("valentine_serve_shed_total"))));
+    body.Set("admission", std::move(admission));
+    // Per-route status-code counts, folded from the labelled
+    // requests_total series. CounterSamples is sorted by (name, label
+    // string), so the nested objects come out deterministic.
+    JsonValue routes = JsonValue::Object();
+    for (const MetricsRegistry::CounterSample& sample :
+         options_.metrics->CounterSamples()) {
+      if (sample.name != "valentine_serve_requests_total") continue;
+      std::string code, route;
+      for (const auto& [key, value] : sample.labels) {
+        if (key == "code") code = value;
+        if (key == "route") route = value;
+      }
+      if (route.empty()) continue;
+      const JsonValue* existing = routes.Find(route);
+      JsonValue per_route =
+          existing != nullptr ? *existing : JsonValue::Object();
+      per_route.Set(code.empty() ? "unknown" : code,
+                    JsonValue::Number(static_cast<double>(sample.value)));
+      routes.Set(route, std::move(per_route));
+    }
+    body.Set("routes", std::move(routes));
+  }
+  return JsonResponse(200, body);
+}
+
+HttpResponse DiscoveryService::HandleTracez() {
+  JsonValue body = JsonValue::Object();
+  size_t capacity = options_.telemetry != nullptr
+                        ? options_.telemetry->trace_buffer_capacity()
+                        : 0;
+  body.Set("capacity", JsonValue::Number(static_cast<double>(capacity)));
+  JsonValue requests = JsonValue::Array();
+  if (options_.telemetry != nullptr) {
+    for (const RequestLogEntry& entry :
+         options_.telemetry->RecentRequests()) {
+      requests.Append(RequestLogEntryJson(entry));
+    }
+  }
+  body.Set("requests", std::move(requests));
+  return JsonResponse(200, body);
 }
 
 HttpResponse DiscoveryService::HandleRegister(const HttpRequest& request) {
@@ -374,7 +481,8 @@ HttpResponse DiscoveryService::HandleUnregister(const std::string& name) {
 
 HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
                                                const std::string& mode,
-                                               const CancellationToken* cancel) {
+                                               const CancellationToken* cancel,
+                                               RequestObs* obs) {
   Result<JsonValue> parsed = ParseJson(request.body);
   if (!parsed.ok()) return ErrorResponse(parsed.status());
   const JsonValue& body = parsed.ValueOrDie();
@@ -411,6 +519,13 @@ HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
 
   MatchContext ctx;
   ctx.cancel = cancel;
+  if (obs != nullptr) {
+    // Join the discovery spans to the request trace: the engine's
+    // "query" span (and its retrieve/enrich/rerank stage spans) parent
+    // onto the serve.request span through these two fields.
+    ctx.trace_id = obs->trace_id;
+    ctx.parent_span = obs->span_id;
+  }
   if (const JsonValue* budget = body.Find("budget_ms"); budget != nullptr) {
     if (!budget->is_number()) {
       return ErrorResponse(
@@ -421,6 +536,7 @@ HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
     // contract tested at this boundary); oversized budgets clamp.
     double budget_ms = std::min(budget->number_value(), options_.max_budget_ms);
     ctx.deadline = Deadline::AfterMs(budget_ms);
+    if (obs != nullptr) obs->budget_ms = std::max(budget_ms, 0.0);
   }
 
   std::shared_ptr<const DiscoveryEngine> engine = Snapshot();
@@ -430,10 +546,27 @@ HttpResponse DiscoveryService::HandleDiscovery(const HttpRequest& request,
       mode == "joinable"
           ? engine->FindJoinable(table.ValueOrDie(), k, ctx, explain_out)
           : engine->FindUnionable(table.ValueOrDie(), k, ctx, explain_out);
+  if (obs != nullptr && !ctx.deadline.never_expires()) {
+    obs->deadline_remaining_ms = ctx.deadline.remaining_ms();
+  }
   if (!found.ok()) {
-    // Cancellation means the server is draining: tell the client to
-    // retry elsewhere shortly.
-    return ErrorResponse(found.status(), /*retry_after_s=*/1);
+    if (obs != nullptr) {
+      obs->error_code = StatusCodeName(found.status().code());
+    }
+    HttpResponse error =
+        ErrorResponse(found.status(), options_.retry_after_s);
+    if (error.status == 503 && options_.metrics != nullptr) {
+      // Request-level sheds (drain cancellation, exhausted engine),
+      // labelled by route + reason. The unlabelled series of the same
+      // name stays the transport's accept-time shed ledger — that one
+      // fires before any bytes are parsed, so it cannot know a route.
+      options_.metrics
+          ->CounterFor("valentine_serve_shed_total",
+                       {{"reason", StatusCodeName(found.status().code())},
+                        {"route", mode}})
+          ->Increment();
+    }
+    return error;
   }
   HttpResponse response;
   response.status = 200;

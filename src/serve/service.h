@@ -41,6 +41,7 @@
 #include "obs/metrics.h"
 #include "serve/http.h"
 #include "serve/json.h"
+#include "serve/telemetry.h"
 
 namespace valentine {
 namespace serve {
@@ -82,6 +83,13 @@ struct ServiceOptions {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   const Clock* clock = nullptr;
+  /// Borrowed request-telemetry spine (trace ids, access log, /tracez
+  /// ring, /statusz server state). Optional; must outlive the service.
+  ServeTelemetry* telemetry = nullptr;
+  /// Advertised in the Retry-After header of request-level 503s (a
+  /// drained/cancelled discovery query). The transport-level shed 503
+  /// has its own knob in ServerOptions.
+  int retry_after_s = 1;
   /// Largest accepted `budget_ms` (requests asking for more are
   /// clamped, not rejected — a client cannot buy an unbounded request).
   double max_budget_ms = 60000.0;
@@ -110,10 +118,13 @@ class DiscoveryService {
   /// Handles one parsed request and produces the full response.
   /// `cancel` is the server's drain token (nullptr when standalone); it
   /// is threaded into discovery queries so SIGTERM can cut in-flight
-  /// work off cooperatively.
+  /// work off cooperatively. `obs`, when non-null, carries the request
+  /// trace identity in (threading discovery spans under the
+  /// serve.request span) and routing/budget/outcome fields out — see
+  /// RequestObs. Response bytes are identical with or without it.
   HttpResponse Handle(const HttpRequest& request,
-                      const CancellationToken* cancel = nullptr)
-      EXCLUDES(mu_);
+                      const CancellationToken* cancel = nullptr,
+                      RequestObs* obs = nullptr) EXCLUDES(mu_);
 
   /// Registers a table (validates first, commits only on success).
   Status RegisterTable(Table table) EXCLUDES(mu_);
@@ -136,11 +147,14 @@ class DiscoveryService {
   /// Routing helpers; each returns the complete response.
   HttpResponse HandleHealth() EXCLUDES(mu_);
   HttpResponse HandleMetrics();
+  HttpResponse HandleStatusz() EXCLUDES(mu_);
+  HttpResponse HandleTracez();
   HttpResponse HandleRegister(const HttpRequest& request) EXCLUDES(mu_);
   HttpResponse HandleUnregister(const std::string& name) EXCLUDES(mu_);
   HttpResponse HandleDiscovery(const HttpRequest& request,
                                const std::string& mode,
-                               const CancellationToken* cancel) EXCLUDES(mu_);
+                               const CancellationToken* cancel,
+                               RequestObs* obs) EXCLUDES(mu_);
 
   void CountRequest(const std::string& route, int http_status);
 

@@ -1,0 +1,212 @@
+#include "serve/telemetry.h"
+
+#include <utility>
+
+#include "serve/json.h"
+#include "serve/service.h"
+
+namespace valentine {
+namespace serve {
+
+namespace {
+
+/// Header-provided trace ids are caller data: bound their length so a
+/// hostile client cannot inflate every log line and span record. The
+/// JSON writer escapes whatever bytes remain.
+constexpr size_t kMaxTraceIdBytes = 128;
+
+/// Response-size histogram bounds (bytes). The latency buckets are
+/// ms-shaped; body sizes need their own scale.
+const std::vector<double>& ResponseSizeBucketsBytes() {
+  static const std::vector<double> kBounds = {256,    1024,    4096,   16384,
+                                              65536,  262144,  1048576};
+  return kBounds;
+}
+
+}  // namespace
+
+std::string RenderAccessLogLine(const RequestLogEntry& entry) {
+  return WriteJson(RequestLogEntryJson(entry));
+}
+
+JsonValue RequestLogEntryJson(const RequestLogEntry& entry) {
+  JsonValue line = JsonValue::Object();
+  line.Set("trace_id", JsonValue::String(entry.trace_id));
+  line.Set("method", JsonValue::String(entry.method));
+  line.Set("route", JsonValue::String(entry.route));
+  line.Set("path", JsonValue::String(entry.path));
+  line.Set("status", JsonValue::Number(static_cast<double>(entry.status)));
+  line.Set("bytes_in",
+           JsonValue::Number(static_cast<double>(entry.bytes_in)));
+  line.Set("bytes_out",
+           JsonValue::Number(static_cast<double>(entry.bytes_out)));
+  line.Set("queue_wait_ms", JsonValue::Number(entry.queue_wait_ms));
+  line.Set("handler_ms", JsonValue::Number(entry.handler_ms));
+  line.Set("start_ns",
+           JsonValue::Number(static_cast<double>(entry.start_ns)));
+  line.Set("end_ns", JsonValue::Number(static_cast<double>(entry.end_ns)));
+  // Budget columns only exist when the request asked for a deadline:
+  // they are the only real-clock-derived fields, so unbudgeted
+  // fake-clock runs stay fully deterministic.
+  if (entry.budget_ms >= 0.0) {
+    line.Set("budget_ms", JsonValue::Number(entry.budget_ms));
+    line.Set("deadline_remaining_ms",
+             JsonValue::Number(entry.deadline_remaining_ms));
+  }
+  if (!entry.error_code.empty()) {
+    line.Set("error", JsonValue::String(entry.error_code));
+  }
+  return line;
+}
+
+ServeTelemetry::ServeTelemetry(Options options)
+    : options_(std::move(options)),
+      clock_(&ClockOrSteady(options_.clock)),
+      capacity_(options_.trace_buffer_capacity == 0
+                    ? 1
+                    : options_.trace_buffer_capacity),
+      next_trace_(options_.trace_seed) {
+  start_ns_ = clock_->NowNanos();
+  if (!options_.access_log_path.empty()) {
+    MutexLock lock(&mu_);
+    log_file_ = std::fopen(options_.access_log_path.c_str(), "wb");
+    if (log_file_ == nullptr) {
+      status_ = Status::IOError("cannot open access log '" +
+                                options_.access_log_path + "'");
+    }
+  }
+}
+
+ServeTelemetry::~ServeTelemetry() {
+  MutexLock lock(&mu_);
+  if (log_file_ != nullptr) {
+    std::fclose(log_file_);
+    log_file_ = nullptr;
+  }
+}
+
+std::string ServeTelemetry::TraceIdFor(const std::string& header_value) {
+  if (!header_value.empty()) {
+    return header_value.size() <= kMaxTraceIdBytes
+               ? header_value
+               : header_value.substr(0, kMaxTraceIdBytes);
+  }
+  uint64_t n = next_trace_.fetch_add(1, std::memory_order_relaxed);
+  return "serve/" + std::to_string(n);
+}
+
+void ServeTelemetry::RecordRequest(const RequestLogEntry& entry) {
+  if (options_.metrics != nullptr) {
+    Histogram* latency = options_.metrics->HistogramFor(
+        "valentine_serve_request_latency_ms", {{"route", entry.route}});
+    if (latency != nullptr) latency->Observe(entry.handler_ms);
+    Histogram* wait =
+        options_.metrics->HistogramFor("valentine_serve_queue_wait_ms");
+    if (wait != nullptr) wait->Observe(entry.queue_wait_ms);
+    Histogram* size = options_.metrics->HistogramFor(
+        "valentine_serve_response_bytes", {{"route", entry.route}},
+        ResponseSizeBucketsBytes());
+    if (size != nullptr) {
+      size->Observe(static_cast<double>(entry.bytes_out));
+    }
+  }
+  const std::string line = RenderAccessLogLine(entry);
+  MutexLock lock(&mu_);
+  ++logged_total_;
+  if (log_file_ != nullptr) {
+    std::fputs(line.c_str(), log_file_);
+    std::fputc('\n', log_file_);
+    // Flushed per line, like the campaign journal: a crash loses at
+    // most the line being written.
+    std::fflush(log_file_);
+  }
+  if (options_.keep_access_log_in_memory) {
+    log_memory_ += line;
+    log_memory_ += '\n';
+  }
+  ring_.push_back(entry);
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<RequestLogEntry> ServeTelemetry::RecentRequests() const {
+  MutexLock lock(&mu_);
+  return std::vector<RequestLogEntry>(ring_.begin(), ring_.end());
+}
+
+uint64_t ServeTelemetry::requests_logged() const {
+  MutexLock lock(&mu_);
+  return logged_total_;
+}
+
+std::string ServeTelemetry::AccessLogText() const {
+  MutexLock lock(&mu_);
+  return log_memory_;
+}
+
+double ServeTelemetry::UptimeMs() const {
+  return ElapsedMs(start_ns_, clock_->NowNanos());
+}
+
+void ServeTelemetry::PublishServerState(const ServerState& state) {
+  MutexLock lock(&mu_);
+  server_state_ = state;
+}
+
+ServeTelemetry::ServerState ServeTelemetry::server_state() const {
+  MutexLock lock(&mu_);
+  return server_state_;
+}
+
+HttpResponse HandleWithTelemetry(DiscoveryService* service,
+                                 ServeTelemetry* telemetry,
+                                 const HttpRequest& request,
+                                 const CancellationToken* cancel,
+                                 double queue_wait_ms,
+                                 RequestLogEntry* entry_out) {
+  if (telemetry == nullptr) return service->Handle(request, cancel);
+
+  RequestObs obs;
+  obs.trace_id = telemetry->TraceIdFor(request.Header("x-valentine-trace"));
+  // The serve.request span is the per-request trace root: the service
+  // threads (trace_id, span_id) into MatchContext, so the discovery
+  // "query" span and its retrieve/enrich/rerank stage spans all nest
+  // under it — one joined tree from socket to kernel.
+  SpanScope request_span(telemetry->tracer(), obs.trace_id, "request",
+                         request.method + " " + request.Path());
+  obs.span_id = request_span.id();
+
+  const Clock& clock = telemetry->clock();
+  int64_t start_ns = clock.NowNanos();
+  HttpResponse response = service->Handle(request, cancel, &obs);
+  int64_t end_ns = clock.NowNanos();
+
+  request_span.Attr("route", obs.route);
+  request_span.Attr("status", std::to_string(response.status));
+  if (!obs.error_code.empty()) request_span.Attr("error", obs.error_code);
+  request_span.End();
+
+  RequestLogEntry entry;
+  entry.trace_id = obs.trace_id;
+  entry.method = request.method;
+  entry.route = obs.route;
+  entry.path = request.Path();
+  entry.status = response.status;
+  entry.bytes_in = request.body.size();
+  entry.bytes_out = response.body.size();
+  entry.queue_wait_ms = queue_wait_ms;
+  entry.handler_ms = ElapsedMs(start_ns, end_ns);
+  entry.budget_ms = obs.budget_ms;
+  entry.deadline_remaining_ms = obs.deadline_remaining_ms;
+  entry.error_code = obs.error_code;
+  entry.start_ns = start_ns;
+  entry.end_ns = end_ns;
+  if (entry_out != nullptr) {
+    *entry_out = std::move(entry);
+  } else {
+    telemetry->RecordRequest(entry);
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace valentine

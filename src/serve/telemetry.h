@@ -1,0 +1,215 @@
+#ifndef VALENTINE_SERVE_TELEMETRY_H_
+#define VALENTINE_SERVE_TELEMETRY_H_
+
+/// \file telemetry.h
+/// Request-scoped serve observability: deterministic trace ids, the
+/// `serve.request` span that parents every discovery/stage span, a
+/// structured JSONL access log, and the ring buffer behind `/tracez`.
+///
+/// One ServeTelemetry instance is shared by the transport (HttpServer
+/// times queue-wait and counts raw bytes) and the service
+/// (DiscoveryService reports route, budget, and failure reason through
+/// RequestObs, and renders `/statusz` + `/tracez` from here). Both
+/// borrow it; the embedder (tools/serve, tests) owns it.
+///
+/// Determinism contract (extends DESIGN.md §10/§12): trace ids carry no
+/// randomness — a request either brings its own via the
+/// `x-valentine-trace` header or gets `serve/<n>` from a seeded
+/// per-server counter. All timing fields flow through the injectable
+/// Clock, so a single-threaded run under a non-advancing FakeClock
+/// serializes a byte-identical access log on every run, and response
+/// bytes never depend on whether telemetry is attached at all (the
+/// registry/log/ring are strictly write-only side channels; the
+/// byte-identity tests pin this).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/deadline.h"
+#include "core/mutex.h"
+#include "core/status.h"
+#include "core/thread_annotations.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/http.h"
+#include "serve/json.h"
+
+namespace valentine {
+namespace serve {
+
+class DiscoveryService;
+
+/// Build identity surfaced on /statusz. The version bumps with the
+/// repo's PR sequence, not with upstream releases.
+inline constexpr const char* kServeBuildName = "valentine-serve";
+inline constexpr const char* kServeBuildVersion = "0.10.0";
+
+/// \brief Per-request observation bag threaded through
+/// DiscoveryService::Handle.
+///
+/// The transport fills the identity fields before dispatch; the service
+/// fills the routing/budget/outcome fields while handling. Plain data,
+/// owned by the caller, no synchronization needed.
+struct RequestObs {
+  /// Trace id for this request (header-provided or derived); threaded
+  /// into MatchContext so discovery/stage spans join the request trace.
+  std::string trace_id;
+  /// The serve.request span id; 0 when tracing is off. Becomes
+  /// MatchContext::parent_span so the discovery "query" span nests
+  /// under the request.
+  uint64_t span_id = 0;
+
+  /// Route label the service resolved ("joinable", "metrics", ...).
+  std::string route = "unknown";
+  /// Requested deadline budget after clamping; < 0 = no budget asked.
+  double budget_ms = -1.0;
+  /// Deadline budget left when the handler finished; < 0 = no budget.
+  double deadline_remaining_ms = -1.0;
+  /// StatusCodeName of a failed handler outcome ("" = none): the
+  /// shed/cancel reason column of the access log.
+  std::string error_code;
+};
+
+/// \brief One completed request, as logged and as served by /tracez.
+struct RequestLogEntry {
+  std::string trace_id;
+  std::string method;
+  std::string route;
+  std::string path;
+  int status = 0;
+  uint64_t bytes_in = 0;   ///< raw request bytes consumed off the wire
+  uint64_t bytes_out = 0;  ///< serialized response bytes
+  double queue_wait_ms = 0.0;  ///< admission-queue wait (telemetry clock)
+  double handler_ms = 0.0;     ///< service Handle() time (telemetry clock)
+  double budget_ms = -1.0;             ///< < 0 = request asked no budget
+  double deadline_remaining_ms = -1.0; ///< < 0 = no budget
+  std::string error_code;  ///< shed/cancel reason ("" = none)
+  int64_t start_ns = 0;    ///< handler start on the telemetry clock
+  int64_t end_ns = 0;      ///< handler end on the telemetry clock
+};
+
+/// Canonical JSONL access-log line (no trailing newline): one sorted-key
+/// JSON object per request. `budget_ms`/`deadline_remaining_ms` are
+/// omitted when negative and `error` when empty, so unbudgeted
+/// fake-clock runs contain no real-clock-dependent field at all.
+std::string RenderAccessLogLine(const RequestLogEntry& entry);
+
+/// The same object as a JsonValue (what /tracez embeds per request).
+JsonValue RequestLogEntryJson(const RequestLogEntry& entry);
+
+/// \brief Shared per-server request observability state.
+///
+/// Thread-safe: trace-id derivation is a single atomic, RecordRequest
+/// appends under a leaf-ranked mutex (kServeTelemetry — above the serve
+/// locks, below obs), and metric updates go through MetricsRegistry's
+/// own synchronization.
+class ServeTelemetry {
+ public:
+  struct Options {
+    /// Borrowed sinks; any may be null (that aspect is then off).
+    MetricsRegistry* metrics = nullptr;
+    Tracer* tracer = nullptr;
+    /// Timing source for queue-wait/handler measurements; nullptr =
+    /// real steady clock. Tests inject a FakeClock for byte-stable logs.
+    const Clock* clock = nullptr;
+    /// Ring capacity of /tracez (last N completed requests).
+    size_t trace_buffer_capacity = 64;
+    /// First value of the derived trace-id counter: request n gets
+    /// "serve/<seed + n>". A fixed seed makes single-threaded runs
+    /// reproduce ids exactly.
+    uint64_t trace_seed = 1;
+    /// JSONL access-log sink; empty = no file. Truncated on open so a
+    /// run's log is self-contained (and byte-comparable across runs).
+    std::string access_log_path;
+    /// Also retain every rendered line in memory (tests; unbounded —
+    /// not for long-lived servers).
+    bool keep_access_log_in_memory = false;
+  };
+
+  explicit ServeTelemetry(Options options);
+  ~ServeTelemetry();
+
+  ServeTelemetry(const ServeTelemetry&) = delete;
+  ServeTelemetry& operator=(const ServeTelemetry&) = delete;
+
+  /// Open status of the access-log sink (OK when no path configured).
+  const Status& status() const { return status_; }
+
+  const Clock& clock() const { return *clock_; }
+  Tracer* tracer() const { return options_.tracer; }
+  MetricsRegistry* metrics() const { return options_.metrics; }
+  size_t trace_buffer_capacity() const { return capacity_; }
+
+  /// Trace id for a request: the `x-valentine-trace` header value when
+  /// non-empty (truncated to a sane bound), else the next derived id.
+  std::string TraceIdFor(const std::string& header_value) EXCLUDES(mu_);
+
+  /// Records a completed request: appends the access-log line (file
+  /// and/or memory), pushes into the /tracez ring, and observes the
+  /// latency / queue-wait / response-size histograms.
+  void RecordRequest(const RequestLogEntry& entry) EXCLUDES(mu_);
+
+  /// /tracez snapshot, oldest first.
+  std::vector<RequestLogEntry> RecentRequests() const EXCLUDES(mu_);
+
+  /// Requests recorded over this instance's lifetime.
+  uint64_t requests_logged() const EXCLUDES(mu_);
+
+  /// In-memory access log (lines joined with '\n', trailing newline),
+  /// empty unless keep_access_log_in_memory.
+  std::string AccessLogText() const EXCLUDES(mu_);
+
+  /// Uptime on the telemetry clock since construction.
+  double UptimeMs() const;
+
+  /// Transport lifecycle state mirrored onto /statusz.
+  struct ServerState {
+    bool running = false;
+    bool draining = false;
+    size_t workers = 0;
+    size_t queue_capacity = 0;
+  };
+  void PublishServerState(const ServerState& state) EXCLUDES(mu_);
+  ServerState server_state() const EXCLUDES(mu_);
+
+ private:
+  Options options_;  // lint:allow(guarded-by-coverage) immutable after construction
+  const Clock* clock_;  // lint:allow(guarded-by-coverage) immutable
+  const size_t capacity_;  // lint:allow(guarded-by-coverage) immutable
+  int64_t start_ns_ = 0;  // lint:allow(guarded-by-coverage) immutable after construction
+  Status status_;  // lint:allow(guarded-by-coverage) immutable after construction
+  std::atomic<uint64_t> next_trace_{0};
+
+  mutable Mutex mu_{LockRank::kServeTelemetry, "ServeTelemetry"};
+  std::FILE* log_file_ GUARDED_BY(mu_) = nullptr;
+  std::string log_memory_ GUARDED_BY(mu_);
+  std::deque<RequestLogEntry> ring_ GUARDED_BY(mu_);
+  uint64_t logged_total_ GUARDED_BY(mu_) = 0;
+  ServerState server_state_ GUARDED_BY(mu_);
+};
+
+/// Dispatches one request through `service` under full request
+/// telemetry: derives the trace id, opens the `serve.request` span
+/// (parenting any discovery spans via RequestObs), times the handler on
+/// the telemetry clock, and — unless `entry_out` is non-null — records
+/// the completed request with body-size byte counts.
+///
+/// Transports that know the real wire byte counts pass `entry_out`,
+/// amend `bytes_in`/`bytes_out`, and call RecordRequest themselves.
+/// With a null `telemetry` this degrades to a plain Handle() call.
+HttpResponse HandleWithTelemetry(DiscoveryService* service,
+                                 ServeTelemetry* telemetry,
+                                 const HttpRequest& request,
+                                 const CancellationToken* cancel,
+                                 double queue_wait_ms = 0.0,
+                                 RequestLogEntry* entry_out = nullptr);
+
+}  // namespace serve
+}  // namespace valentine
+
+#endif  // VALENTINE_SERVE_TELEMETRY_H_

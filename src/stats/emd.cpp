@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/opcount.h"
+
 namespace valentine {
 
 double EmdPointMasses(std::vector<MassPoint> a, std::vector<MassPoint> b) {
@@ -32,7 +34,9 @@ double EmdPointMasses(std::vector<MassPoint> a, std::vector<MassPoint> b) {
   double emd = 0.0;
   double prev_pos = 0.0;
   bool first = true;
+  uint64_t sweep_iters = 0;
   while (i < a.size() || j < b.size()) {
+    ++sweep_iters;
     double pos;
     if (j >= b.size() || (i < a.size() && a[i].position <= b[j].position)) {
       pos = a[i].position;
@@ -45,6 +49,7 @@ double EmdPointMasses(std::vector<MassPoint> a, std::vector<MassPoint> b) {
     while (i < a.size() && a[i].position == pos) surplus += a[i++].mass;
     while (j < b.size() && b[j].position == pos) surplus -= b[j++].mass;
   }
+  opcount::Add(opcount::Op::kEmdSweepIterations, sweep_iters);
   return emd;
 }
 

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/opcount.h"
+
 namespace valentine {
 
 namespace {
@@ -24,6 +26,8 @@ MinHashSignature MinHashSignature::Build(
   MinHashSignature sig;
   sig.mins_.assign(num_hashes, std::numeric_limits<uint64_t>::max());
   sig.empty_set_ = set.empty();
+  opcount::Add(opcount::Op::kMinHashHashes,
+               static_cast<uint64_t>(set.size()) * num_hashes);
   // Per-slot min is commutative: any iteration order yields the same
   // signature.
   for (const std::string& s : set) {  // lint:allow(unordered-iteration)

@@ -4,6 +4,8 @@
 #include <array>
 #include <unordered_map>
 
+#include "obs/opcount.h"
+
 namespace valentine {
 
 namespace {
@@ -44,6 +46,7 @@ size_t LevenshteinDistance(const std::string& a, const std::string& b) {
   if (a.empty()) return b.size();
   if (b.empty()) return a.size();
   const size_t n = b.size();
+  opcount::Add(opcount::Op::kLevenshteinCells, a.size() * n);
   std::vector<size_t> prev(n + 1), cur(n + 1);
   for (size_t j = 0; j <= n; ++j) prev[j] = j;
   for (size_t i = 1; i <= a.size(); ++i) {
@@ -91,9 +94,13 @@ size_t LevenshteinWithin(const std::string& a, const std::string& b,
   for (size_t j = 0; j <= first_hi; ++j) prev_row[j] = j;
   if (first_hi < lb) prev_row[first_hi + 1] = too_far;
 
+  // Band cells visited, flushed to the op counter at every exit. A
+  // plain local keeps the inner loop free of thread-local traffic.
+  uint64_t cells = 0;
   for (size_t i = 1; i <= la; ++i) {
     const size_t band_lo = (i > max_dist) ? i - max_dist : 1;
     const size_t band_hi = std::min(lb, i + max_dist);
+    cells += band_hi - band_lo + 1;
     cur_row[band_lo - 1] = (band_lo == 1) ? i : too_far;
     size_t row_min = cur_row[band_lo - 1];
     const char ca = sa[i - 1];
@@ -109,9 +116,13 @@ size_t LevenshteinWithin(const std::string& a, const std::string& b,
     if (band_hi < lb) cur_row[band_hi + 1] = too_far;
     // Early exit: edit distance is non-decreasing along the DP rows, so
     // once the whole band exceeds the budget the answer must too.
-    if (row_min > max_dist) return too_far;
+    if (row_min > max_dist) {
+      opcount::Add(opcount::Op::kLevenshteinCells, cells);
+      return too_far;
+    }
     std::swap(prev_row, cur_row);
   }
+  opcount::Add(opcount::Op::kLevenshteinCells, cells);
   const size_t d = prev_row[lb];
   return d <= max_dist ? d : too_far;
 }
@@ -176,6 +187,7 @@ std::vector<std::string> CharNGrams(const std::string& s, size_t n) {
   for (size_t i = 0; i + n <= padded.size(); ++i) {
     grams.push_back(padded.substr(i, n));
   }
+  opcount::Add(opcount::Op::kNGramEmissions, grams.size());
   return grams;
 }
 
@@ -288,7 +300,11 @@ double FuzzyJaccard(const std::vector<std::string>& a,
                          1;
           // Bag distance never exceeds the true distance, so a pair it
           // rejects could never have passed the accept test below.
-          if (BagDistanceExceeds(s, b_left[j], bound)) continue;
+          if (BagDistanceExceeds(s, b_left[j], bound)) {
+            opcount::Add(opcount::Op::kBagPrefilterHits, 1);
+            continue;
+          }
+          opcount::Add(opcount::Op::kBagPrefilterMisses, 1);
           dist = LevenshteinWithin(s, b_left[j], bound);
           if (dist > bound) continue;
         } else {

@@ -177,6 +177,46 @@ TEST(PrometheusTextTest, LabelValuesAreEscaped) {
       << text;
 }
 
+TEST(PrometheusTextTest, HostileValuesGolden) {
+  // Every user-controlled string in one exposition: help text with
+  // backslash + embedded newline, label values with quote, backslash,
+  // and newline. The golden output stays a well-formed two-line-per-
+  // series exposition — nothing splits a line.
+  MetricsRegistry registry;
+  registry.SetHelp("c", "path C:\\tmp\nsecond line");
+  registry.CounterFor("c", {{"k", "a\"b\\c\nd"}})->Increment(1);
+  EXPECT_EQ(registry.RenderPrometheusText(),
+            "# HELP c path C:\\\\tmp\\nsecond line\n"
+            "# TYPE c counter\n"
+            "c{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(PrometheusTextTest, HelpTextKeepsQuotesRaw) {
+  // The exposition format escapes only backslash and newline on HELP
+  // lines; double quotes pass through untouched (unlike label values).
+  MetricsRegistry registry;
+  registry.SetHelp("g", "the \"effective\" rate");
+  registry.GaugeFor("g")->Set(1.0);
+  std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# HELP g the \"effective\" rate\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, DoublesRenderShortestRoundTrip) {
+  // Bucket bounds and gauges render the way they were written: 0.1 is
+  // le="0.1" (not the %.17g spelling 0.10000000000000001), integral
+  // values stay plain ("10", never "1e+01").
+  MetricsRegistry registry;
+  registry.HistogramFor("lat", {}, {0.1, 10.0})->Observe(0.05);
+  registry.GaugeFor("g")->Set(0.1);
+  std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("lat_bucket{le=\"0.1\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_sum 0.05\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g 0.1\n"), std::string::npos) << text;
+}
+
 TEST(PrometheusTextTest, HistogramBucketsAreCumulative) {
   MetricsRegistry registry;
   Histogram* h = registry.HistogramFor("lat", {{"family", "JL"}}, {1.0, 10.0});

@@ -14,6 +14,14 @@ namespace valentine {
 namespace serve {
 namespace {
 
+// Projects a dequeue onto the descriptor, which is what most assertions
+// here care about (enqueue_ns has its own test).
+std::optional<int> DequeueFd(AdmissionQueue& q) {
+  std::optional<AdmittedConnection> admitted = q.Dequeue();
+  if (!admitted.has_value()) return std::nullopt;
+  return admitted->fd;
+}
+
 TEST(ServeAdmission, AdmitsUpToCapacityThenSheds) {
   AdmissionQueue q(3);
   EXPECT_TRUE(q.TryEnqueue(10));
@@ -31,12 +39,26 @@ TEST(ServeAdmission, DequeuePreservesFifoOrder) {
   ASSERT_TRUE(q.TryEnqueue(1));
   ASSERT_TRUE(q.TryEnqueue(2));
   ASSERT_TRUE(q.TryEnqueue(3));
-  EXPECT_EQ(q.Dequeue(), std::optional<int>(1));
-  EXPECT_EQ(q.Dequeue(), std::optional<int>(2));
+  EXPECT_EQ(DequeueFd(q), std::optional<int>(1));
+  EXPECT_EQ(DequeueFd(q), std::optional<int>(2));
   // Space freed: admission works again.
   EXPECT_TRUE(q.TryEnqueue(4));
-  EXPECT_EQ(q.Dequeue(), std::optional<int>(3));
-  EXPECT_EQ(q.Dequeue(), std::optional<int>(4));
+  EXPECT_EQ(DequeueFd(q), std::optional<int>(3));
+  EXPECT_EQ(DequeueFd(q), std::optional<int>(4));
+}
+
+TEST(ServeAdmission, CarriesEnqueueTimestampToDequeuer) {
+  AdmissionQueue q(2);
+  ASSERT_TRUE(q.TryEnqueue(5, /*enqueue_ns=*/12345));
+  ASSERT_TRUE(q.TryEnqueue(6));  // untimed caller → 0
+  std::optional<AdmittedConnection> first = q.Dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->fd, 5);
+  EXPECT_EQ(first->enqueue_ns, 12345);
+  std::optional<AdmittedConnection> second = q.Dequeue();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->fd, 6);
+  EXPECT_EQ(second->enqueue_ns, 0);
 }
 
 TEST(ServeAdmission, ZeroCapacityClampsToOne) {
@@ -54,24 +76,24 @@ TEST(ServeAdmission, CloseRefusesNewButDrainsExisting) {
   EXPECT_FALSE(q.TryEnqueue(9));  // refused, counted as shed
   EXPECT_EQ(q.shed_total(), 1u);
   // Admitted entries still drain — never dropped.
-  EXPECT_EQ(q.Dequeue(), std::optional<int>(7));
-  EXPECT_EQ(q.Dequeue(), std::optional<int>(8));
+  EXPECT_EQ(DequeueFd(q), std::optional<int>(7));
+  EXPECT_EQ(DequeueFd(q), std::optional<int>(8));
   // Closed and empty → nullopt (worker exit signal).
-  EXPECT_EQ(q.Dequeue(), std::nullopt);
+  EXPECT_EQ(DequeueFd(q), std::nullopt);
 }
 
 TEST(ServeAdmission, CloseIsIdempotent) {
   AdmissionQueue q(1);
   q.Close();
   q.Close();
-  EXPECT_EQ(q.Dequeue(), std::nullopt);
+  EXPECT_EQ(DequeueFd(q), std::nullopt);
 }
 
 TEST(ServeAdmission, BlockedDequeueWakesOnEnqueue) {
   AdmissionQueue q(2);
   std::atomic<int> got{-1};
   std::thread consumer([&] {
-    std::optional<int> fd = q.Dequeue();  // blocks until producer runs
+    std::optional<int> fd = DequeueFd(q);  // blocks until producer runs
     got = fd.value_or(-2);
   });
   EXPECT_TRUE(q.TryEnqueue(42));
@@ -83,7 +105,7 @@ TEST(ServeAdmission, BlockedDequeueWakesOnClose) {
   AdmissionQueue q(2);
   std::atomic<bool> returned{false};
   std::thread consumer([&] {
-    EXPECT_EQ(q.Dequeue(), std::nullopt);
+    EXPECT_EQ(DequeueFd(q), std::nullopt);
     returned = true;
   });
   q.Close();
@@ -102,7 +124,7 @@ TEST(ServeAdmission, ConcurrentProducersNeverExceedBound) {
 
   std::thread consumer([&] {
     while (true) {
-      std::optional<int> fd = q.Dequeue();
+      std::optional<int> fd = DequeueFd(q);
       if (!fd.has_value()) return;
       ++consumed;
     }

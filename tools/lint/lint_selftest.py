@@ -68,6 +68,13 @@ def main() -> int:
            ["--pretend-rel", "src/serve/responder.cpp", fixture],
            1, "unordered-iteration")
 
+    # src/obs/ serializes traces, op counters, and Prometheus text whose
+    # bytes must be run-stable, so it is order-sensitive too (the
+    # opcount/metrics surfacing paths live here).
+    expect("flagged-under-obs",
+           ["--pretend-rel", "src/obs/opcount_export.cpp", fixture],
+           1, "unordered-iteration")
+
     # Outside the order-sensitive scope the same code is legal (hash
     # order feeding a set/count is fine; the rule targets ranked paths).
     expect("ignored-outside-scope",
@@ -113,6 +120,12 @@ def main() -> int:
     expect("raw-steady-clock-serve-service-not-exempt",
            ["--pretend-rel", "src/serve/service.cpp", clock_fixture],
            1, "wallclock-time")
+    # The request-telemetry spine measures handler time on the
+    # injectable clock by contract (byte-stable fake-clock access logs);
+    # it must never inherit the event loop's steady-clock pass.
+    expect("raw-steady-clock-serve-telemetry-not-exempt",
+           ["--pretend-rel", "src/serve/telemetry.cpp", clock_fixture],
+           1, "wallclock-time")
     # Outside src/ the rule does not apply at all.
     expect("raw-steady-clock-out-of-scope",
            ["--pretend-rel", "tools/bench_report/bench_report.cpp",
@@ -125,6 +138,11 @@ def main() -> int:
     naked_fixture = str(TESTDATA / "naked_mutex.cpp")
     expect("naked-mutex-flagged",
            ["--pretend-rel", "src/obs/some_registry.cpp", naked_fixture],
+           1, "naked-mutex")
+    # The telemetry spine's access-log/ring mutex must come from the
+    # annotated layer (it carries a lock rank the checker verifies).
+    expect("naked-mutex-serve-telemetry-flagged",
+           ["--pretend-rel", "src/serve/telemetry.cpp", naked_fixture],
            1, "naked-mutex")
     expect("naked-mutex-allow-respected",
            ["--pretend-rel", "src/obs/some_registry.cpp", naked_fixture],
@@ -167,7 +185,7 @@ def main() -> int:
         for f in FAILURES:
             print(f"lint_selftest FAIL {f}", file=sys.stderr)
         return 1
-    print("lint_selftest: OK (26 cases)")
+    print("lint_selftest: OK (29 cases)")
     return 0
 
 

@@ -16,11 +16,17 @@
 //                        [--workers N] [--queue N] [--drain-ms D]
 //                        [--read-timeout-ms D] [--write-timeout-ms D]
 //                        [--metrics-out PATH] [--store DIR]
+//                        [--access-log PATH] [--retry-after S]
+//                        [--trace-buffer N]
 //
 // --store DIR attaches the persistent artifact store: table
 // registrations resolve their sketches/profiles from DIR by content
 // fingerprint (building and persisting on miss), so restarts and
 // registry rebuilds skip the expensive derivations.
+//
+// --access-log PATH streams one JSONL line per completed request
+// (trace id, route, status, bytes, queue-wait, handler time); the
+// request-telemetry spine behind it also powers /statusz and /tracez.
 //
 // Exits 0 on clean drain, 1 on startup failure, 2 on usage errors.
 
@@ -46,6 +52,8 @@ struct DaemonOptions {
   std::string port_file;
   std::string metrics_out;
   std::string store_dir;
+  std::string access_log;
+  size_t trace_buffer = 64;
   double drain_ms = 2000.0;
 };
 
@@ -54,7 +62,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host A] [--port N] [--port-file PATH] [--workers N]\n"
       "          [--queue N] [--drain-ms D] [--read-timeout-ms D]\n"
-      "          [--write-timeout-ms D] [--metrics-out PATH] [--store DIR]\n",
+      "          [--write-timeout-ms D] [--metrics-out PATH] [--store DIR]\n"
+      "          [--access-log PATH] [--retry-after S] [--trace-buffer N]\n",
       argv0);
   return 2;
 }
@@ -86,6 +95,12 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opt) {
       opt->metrics_out = v;
     } else if (arg == "--store" && (v = next())) {
       opt->store_dir = v;
+    } else if (arg == "--access-log" && (v = next())) {
+      opt->access_log = v;
+    } else if (arg == "--retry-after" && (v = next())) {
+      opt->server.retry_after_s = std::atoi(v);
+    } else if (arg == "--trace-buffer" && (v = next())) {
+      opt->trace_buffer = static_cast<size_t>(std::atol(v));
     } else {
       return false;
     }
@@ -105,13 +120,27 @@ int RunDaemon(const DaemonOptions& opt) {
     store = std::make_unique<ArtifactStore>(opt.store_dir);
   }
 
+  ServeTelemetry::Options telemetry_opt;
+  telemetry_opt.metrics = &metrics;
+  telemetry_opt.trace_buffer_capacity = opt.trace_buffer;
+  telemetry_opt.access_log_path = opt.access_log;
+  ServeTelemetry telemetry(telemetry_opt);
+  if (!telemetry.status().ok()) {
+    std::fprintf(stderr, "valentine_serve: %s\n",
+                 telemetry.status().message().c_str());
+    return 1;
+  }
+
   ServiceOptions service_opt;
   service_opt.metrics = &metrics;
   service_opt.store = store.get();
+  service_opt.telemetry = &telemetry;
+  service_opt.retry_after_s = opt.server.retry_after_s;
   DiscoveryService service(service_opt);
 
   ServerOptions server_opt = opt.server;
   server_opt.metrics = &metrics;
+  server_opt.telemetry = &telemetry;
   HttpServer server(&service, server_opt);
 
   // Block the lifecycle signals *before* Start() spawns threads so
